@@ -1,0 +1,119 @@
+//! Head-to-head of the three miners on workloads each can handle:
+//! Algorithm 1's O(n²m) advantage on complete logs over Algorithm 2's
+//! O(n³m), and Algorithm 3's instance-labeling overhead on cyclic logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use procmine_core::{mine_cyclic, mine_general_dag, mine_special_dag, MinerOptions};
+use procmine_log::WorkflowLog;
+use procmine_sim::{walk, ProcessModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A complete log (every activity in every execution): random
+/// interleavings of a wide parallel fan.
+fn complete_log(n: usize, m: usize, seed: u64) -> WorkflowLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..n).map(|i| format!("T{i}")).collect();
+    let mut log = WorkflowLog::new();
+    for _ in 0..m {
+        // START, shuffled middle, END.
+        let mut middle: Vec<&str> = names[1..n - 1].iter().map(String::as_str).collect();
+        middle.shuffle(&mut rng);
+        let mut seq = vec![names[0].as_str()];
+        seq.extend(middle);
+        seq.push(names[n - 1].as_str());
+        log.push_sequence(&seq).unwrap();
+    }
+    log
+}
+
+/// A cyclic log over a small rework loop with k iterations.
+fn cyclic_log(m: usize, seed: u64) -> WorkflowLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = WorkflowLog::new();
+    for _ in 0..m {
+        let mut seq = vec!["A"];
+        let loops = rng.gen_range(1..=4);
+        for _ in 0..loops {
+            seq.push("B");
+            seq.push("C");
+        }
+        seq.push("D");
+        log.push_sequence(&seq).unwrap();
+    }
+    log
+}
+
+fn partial_log(n: usize, m: usize, seed: u64) -> WorkflowLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = procmine_sim::randdag::random_dag(
+        &procmine_sim::randdag::RandomDagConfig { vertices: n, edge_prob: 0.4 },
+        &mut rng,
+    )
+    .unwrap();
+    let _: &ProcessModel = &model;
+    walk::random_walk_log(&model, m, &mut rng).unwrap()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    for &m in &[200usize, 1000] {
+        let complete = complete_log(20, m, 1);
+        group.bench_with_input(
+            BenchmarkId::new("special_on_complete", m),
+            &complete,
+            |b, log| b.iter(|| mine_special_dag(log, &MinerOptions::default()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general_on_complete", m),
+            &complete,
+            |b, log| b.iter(|| mine_general_dag(log, &MinerOptions::default()).unwrap()),
+        );
+
+        let partial = partial_log(20, m, 2);
+        group.bench_with_input(
+            BenchmarkId::new("general_on_partial", m),
+            &partial,
+            |b, log| b.iter(|| mine_general_dag(log, &MinerOptions::default()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cyclic_on_partial", m),
+            &partial,
+            |b, log| b.iter(|| mine_cyclic(log, &MinerOptions::default()).unwrap()),
+        );
+
+        let cyclic = cyclic_log(m, 3);
+        group.bench_with_input(BenchmarkId::new("cyclic_on_loops", m), &cyclic, |b, log| {
+            b.iter(|| mine_cyclic(log, &MinerOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 6's k-dependence: mining time of Algorithm 3 as the maximum
+/// repetition count grows (instance-vertex space is k·n).
+fn bench_cyclic_k_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclic_k_scaling");
+    for &k in &[1usize, 2, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut log = WorkflowLog::new();
+        for _ in 0..200 {
+            let mut seq = vec!["A"];
+            let loops = rng.gen_range(1..=k);
+            for _ in 0..loops {
+                seq.push("B");
+                seq.push("C");
+            }
+            seq.push("D");
+            log.push_sequence(&seq).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &log, |b, log| {
+            b.iter(|| mine_cyclic(log, &MinerOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_cyclic_k_scaling);
+criterion_main!(benches);

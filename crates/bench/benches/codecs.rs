@@ -1,0 +1,54 @@
+//! Log codec throughput: the paper's logs reached 107 MB for 10 000
+//! executions, so parse/serialize speed matters for end-to-end runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use procmine_bench::synthetic_workload;
+use procmine_log::codec::{flowmark, jsonl, seqs};
+
+fn bench_codecs(c: &mut Criterion) {
+    let (_, log) = synthetic_workload(25, 224, 1000, 555);
+
+    let mut fm = Vec::new();
+    flowmark::write_log(&log, &mut fm).unwrap();
+    let mut js = Vec::new();
+    jsonl::write_log(&log, &mut js).unwrap();
+    let mut sq = Vec::new();
+    seqs::write_log(&log, &mut sq).unwrap();
+
+    let mut group = c.benchmark_group("codec_read");
+    group.throughput(Throughput::Bytes(fm.len() as u64));
+    group.bench_with_input(BenchmarkId::new("flowmark", fm.len()), &fm, |b, data| {
+        b.iter(|| flowmark::read_log(data.as_slice()).unwrap())
+    });
+    group.throughput(Throughput::Bytes(js.len() as u64));
+    group.bench_with_input(BenchmarkId::new("jsonl", js.len()), &js, |b, data| {
+        b.iter(|| jsonl::read_log(data.as_slice()).unwrap())
+    });
+    group.throughput(Throughput::Bytes(sq.len() as u64));
+    group.bench_with_input(BenchmarkId::new("seqs", sq.len()), &sq, |b, data| {
+        b.iter(|| seqs::read_log(data.as_slice()).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("codec_write");
+    group.throughput(Throughput::Bytes(fm.len() as u64));
+    group.bench_function("flowmark", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(fm.len());
+            flowmark::write_log(&log, &mut out).unwrap();
+            out
+        })
+    });
+    group.throughput(Throughput::Bytes(js.len() as u64));
+    group.bench_function("jsonl", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(js.len());
+            jsonl::write_log(&log, &mut out).unwrap();
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion counterpart of Table 1: mining time on synthetic
+//! workloads, sweeping graph size and log size. The measured claim is
+//! the paper's scaling shape — linear in the number of executions,
+//! modest growth in the number of vertices. (The `table1` binary prints
+//! the paper-style table; this bench gives statistically robust
+//! per-configuration timings.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use procmine_bench::synthetic_workload;
+use procmine_core::{mine_general_dag, MinerOptions};
+
+fn bench_mine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_general_dag");
+    for &(n, edges) in &[(10usize, 24usize), (25, 224), (50, 1058), (100, 4569)] {
+        for &m in &[100usize, 1000] {
+            let (_, log) = synthetic_workload(n, edges, m, 9000 + n as u64);
+            group.throughput(Throughput::Elements(m as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), m),
+                &log,
+                |b, log| b.iter(|| mine_general_dag(log, &MinerOptions::default()).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_m(c: &mut Criterion) {
+    // Fixed 25-vertex graph, log size sweep — the per-execution cost
+    // should stay flat (linear total).
+    let mut group = c.benchmark_group("scaling_in_m_n25");
+    group.sample_size(10);
+    for &m in &[250usize, 500, 1000, 2000, 4000] {
+        let (_, log) = synthetic_workload(25, 224, m, 9100);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &log, |b, log| {
+            b.iter(|| mine_general_dag(log, &MinerOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mine, bench_scaling_in_m);
+criterion_main!(benches);

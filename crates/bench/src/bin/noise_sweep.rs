@@ -1,0 +1,122 @@
+//! §6 noise experiment — Example 9 and the threshold analysis.
+//!
+//! The paper analyzes a chain process A→B→C→D→E whose log contains
+//! erroneous out-of-order executions: with the threshold `T` too low the
+//! miner declares interior activities independent; the §6 bound
+//! `T = m·ln2/(ln2 − ln ε)` balances the two failure modes. This binary
+//! sweeps the error rate ε and the threshold T on the chain workload and
+//! reports edge precision/recall of the mined graph, plus the analytic
+//! bounds, demonstrating that the derived T recovers the chain across
+//! the swept range. Run with `--release`.
+
+use procmine_bench::TextTable;
+use procmine_core::metrics::compare_models;
+use procmine_core::noise::{ln_prob_dependency_lost, ln_prob_false_dependency, optimal_threshold};
+use procmine_core::{mine_general_dag, MinedModel, MinerOptions};
+use procmine_sim::noise::{corrupt_log, NoiseConfig};
+use procmine_sim::{walk, ProcessModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chain_model() -> ProcessModel {
+    let names = ["A", "B", "C", "D", "E"];
+    let mut b = ProcessModel::builder("chain5");
+    for n in names {
+        b = b.activity(n);
+    }
+    for w in names.windows(2) {
+        b = b.edge(w[0], w[1]);
+    }
+    b.build().expect("chain is valid")
+}
+
+fn mine_quality(model: &ProcessModel, m: usize, eps: f64, t: u32, seed: u64) -> (f64, f64, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clean = walk::random_walk_log(model, m, &mut rng).expect("log");
+    let noisy = corrupt_log(&clean, &NoiseConfig::swap_only(eps), &mut rng);
+    let mined = mine_general_dag(&noisy, &MinerOptions::with_threshold(t)).expect("mine");
+    let reference = MinedModel::from_graph(model.graph_clone());
+    let r = compare_models(&reference, &mined).expect("same activities");
+    (r.diff.precision(), r.diff.recall(), r.exact)
+}
+
+fn main() {
+    let model = chain_model();
+    let m = 1000usize;
+
+    println!("Noise sweep (§6): chain A→B→C→D→E, m = {m} executions\n");
+
+    // Part 1: fixed ε, sweep T — Example 9's failure mode at T too low,
+    // plus degradation when T is far too high.
+    let eps = 0.05;
+    let t_opt = optimal_threshold(m as u64, eps);
+    println!("ε = {eps}: optimal T = {t_opt}");
+    let mut table = TextTable::new(["T", "precision", "recall", "exact"]);
+    for t in [1u32, 5, 20, t_opt, 2 * t_opt, (m as u32) / 2] {
+        let (p, r, exact) = mine_quality(&model, m, eps, t, 42);
+        table.row([
+            t.to_string(),
+            format!("{p:.3}"),
+            format!("{r:.3}"),
+            exact.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(T=1 reproduces Example 9: a single swapped pair breaks the chain)\n");
+
+    // Part 2: sweep ε at the derived optimal T.
+    let mut table = TextTable::new([
+        "eps",
+        "T*",
+        "precision",
+        "recall",
+        "exact",
+        "ln P[lost]",
+        "ln P[false]",
+    ]);
+    for eps in [0.01, 0.02, 0.05, 0.10, 0.20, 0.30] {
+        let t = optimal_threshold(m as u64, eps);
+        let (p, r, exact) = mine_quality(&model, m, eps, t, 7);
+        table.row([
+            format!("{eps}"),
+            t.to_string(),
+            format!("{p:.3}"),
+            format!("{r:.3}"),
+            exact.to_string(),
+            format!("{:.1}", ln_prob_dependency_lost(m as u64, t as u64, eps)),
+            format!("{:.1}", ln_prob_false_dependency(m as u64, t as u64)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("shape: with the derived T no true dependency is lost (recall 1.0) across the");
+    println!("swept ε range, while T=1 (no thresholding) loses edges as soon as any swap");
+    println!("occurs. Residual precision loss comes from the corrupted executions");
+    println!("remaining in the log: execution completeness (step 5) keeps edges they need.");
+    println!("(ln bounds > 0 are vacuous — the bound exceeded 1 at that m, T.)\n");
+
+    // Part 3: conformance-based cleaning — drop executions inconsistent
+    // with the robust model and re-mine; the chain comes back exactly.
+    let mut table = TextTable::new(["eps", "kept execs", "precision", "recall", "exact"]);
+    for eps in [0.02, 0.05, 0.10, 0.20] {
+        let t = optimal_threshold(m as u64, eps);
+        let mut rng = StdRng::seed_from_u64(42);
+        let clean = walk::random_walk_log(&model, m, &mut rng).expect("log");
+        let noisy = corrupt_log(&clean, &NoiseConfig::swap_only(eps), &mut rng);
+        let robust = mine_general_dag(&noisy, &MinerOptions::with_threshold(t)).expect("mine");
+        let filtered = noisy.filtered(|exec| {
+            procmine_core::conformance::check_execution(&robust, exec).is_empty()
+        });
+        let remined = mine_general_dag(&filtered, &MinerOptions::default()).expect("mine");
+        let reference = MinedModel::from_graph(model.graph_clone());
+        let r = compare_models(&reference, &remined).expect("same activities");
+        table.row([
+            format!("{eps}"),
+            format!("{}/{m}", filtered.len()),
+            format!("{:.3}", r.diff.precision()),
+            format!("{:.3}", r.diff.recall()),
+            r.exact.to_string(),
+        ]);
+    }
+    println!("cleaning pass (drop executions inconsistent with the robust model, re-mine):");
+    println!("{}", table.render());
+}

@@ -1,0 +1,67 @@
+//! Ablation A5 — what interval overlap buys the miner.
+//!
+//! §2 justifies the list-form simplification with "if there are two
+//! activities in the log that overlap in time, then they must be
+//! independent activities". With a sequential log, independence of a
+//! parallel pair can only be learned by observing *both orders across
+//! executions*; with a multi-agent interval log, one overlapping
+//! execution suffices. This ablation mines StressSleep (four parallel
+//! lanes) from sequential vs. overlapping logs at increasing m and
+//! reports how many spurious lane-ordering edges survive.
+//! Run with `--release`.
+
+use procmine_bench::TextTable;
+use procmine_core::metrics::compare_models;
+use procmine_core::{mine_general_dag, MinedModel, MinerOptions};
+use procmine_sim::engine::{generate_log_with, DurationSpec, EngineConfig};
+use procmine_sim::presets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = presets::stress_sleep();
+    let reference = MinedModel::from_graph(model.graph_clone());
+    println!(
+        "Overlap ablation: {} ({} activities, {} edges; 4 parallel lanes)\n",
+        model.name(),
+        model.activity_count(),
+        model.edge_count()
+    );
+
+    let sequential = EngineConfig {
+        duration: DurationSpec::Instant,
+        agents: 1,
+    };
+    let overlapping = EngineConfig {
+        duration: DurationSpec::Uniform(10, 50),
+        agents: 6,
+    };
+
+    let mut table = TextTable::new([
+        "m",
+        "seq precision",
+        "seq recall",
+        "ovl precision",
+        "ovl recall",
+    ]);
+    for &m in &[5usize, 10, 20, 40, 80, 160] {
+        let mut row = vec![m.to_string()];
+        for cfg in [&sequential, &overlapping] {
+            let mut rng = StdRng::seed_from_u64(7000 + m as u64);
+            let log = generate_log_with(&model, m, cfg, &mut rng).expect("log");
+            let mined = mine_general_dag(&log, &MinerOptions::default()).expect("mine");
+            let r = compare_models(&reference, &mined).expect("same activities");
+            row.push(format!("{:.3}", r.diff.precision()));
+            row.push(format!("{:.3}", r.diff.recall()));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("shape: a single overlapping execution shows parallel lanes as unordered,");
+    println!("so the interval miner starts at higher precision in the tiny-log regime");
+    println!("(m=5); the sequential engine needs enough executions to sample both");
+    println!("orders of every independent pair, but its random interleaving gets there");
+    println!("within tens of executions on this process. (recall < 1 reflects the");
+    println!("preset's redundant shortcut edges, which complete-execution logs cannot");
+    println!("witness — Lemma 2 closure equality still holds, see table3.)");
+}

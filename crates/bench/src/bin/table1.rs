@@ -1,0 +1,64 @@
+//! Table 1 — execution times of the miner on synthetic datasets.
+//!
+//! The paper reports seconds on a 1994 RS/6000 250 for random DAGs of
+//! 10/25/50/100 vertices and logs of 100/1 000/10 000 executions:
+//!
+//! ```text
+//! executions    10     25     50    100   (vertices)
+//!        100   4.6    6.5    9.9   15.9
+//!       1000  46.6   64.6  100.4  153.2
+//!      10000 393.3  570.6  879.7 1385.1
+//! ```
+//!
+//! Absolute numbers are incomparable across three decades of hardware;
+//! the *shapes* being reproduced are (a) linear scaling in the number of
+//! executions at fixed graph size, and (b) sub-quadratic growth with the
+//! number of vertices in this range. Run with `--release`.
+
+use procmine_bench::{paper_execution_counts, paper_graph_configs, synthetic_workload, timed_mine, TextTable};
+
+fn main() {
+    println!("Table 1: mining time (seconds) on synthetic datasets\n");
+    let configs = paper_graph_configs();
+    let mut headers = vec!["executions".to_string()];
+    headers.extend(configs.iter().map(|(n, _)| format!("n={n}")));
+    let mut table = TextTable::new(headers);
+
+    let mut per_exec_times: Vec<Vec<f64>> = Vec::new();
+    for &m in &paper_execution_counts() {
+        let mut row = vec![format!("{m}")];
+        let mut times = Vec::new();
+        for (i, &(n, edges)) in configs.iter().enumerate() {
+            let (_, log) = synthetic_workload(n, edges, m, 1000 + i as u64);
+            // Repeat until ≥0.5s of measurement so the m-scaling ratios
+            // are stable even for the fast small configurations.
+            let mut total = 0.0;
+            let mut runs = 0u32;
+            while total < 0.5 && runs < 1000 {
+                let (_, elapsed) = timed_mine(&log);
+                total += elapsed.as_secs_f64();
+                runs += 1;
+            }
+            let mean = total / runs as f64;
+            times.push(mean);
+            row.push(format!("{mean:.4}"));
+        }
+        per_exec_times.push(times);
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // Shape check (a): time scales ~linearly in m at fixed n.
+    println!("scaling in m (time ratio per 10x executions; paper: ~8.5-10x):");
+    for (col, (n, _)) in configs.iter().enumerate() {
+        let r1 = per_exec_times[1][col] / per_exec_times[0][col].max(1e-9);
+        let r2 = per_exec_times[2][col] / per_exec_times[1][col].max(1e-9);
+        println!("  n={n:>3}: 100->1000 = {r1:.1}x, 1000->10000 = {r2:.1}x");
+    }
+    // Shape check (b): growth with n at fixed m.
+    let last = per_exec_times.last().expect("rows exist");
+    println!(
+        "scaling in n at m=10000 (paper: 393s->1385s, ~3.5x from n=10 to n=100): {:.1}x",
+        last[configs.len() - 1] / last[0].max(1e-9)
+    );
+}

@@ -1,0 +1,145 @@
+//! Shared helpers for the experiment binaries that regenerate the
+//! paper's tables and figures (see `src/bin/`) and for the Criterion
+//! benches (see `benches/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use procmine_core::{mine_general_dag, MinedModel, MinerOptions};
+use procmine_log::WorkflowLog;
+use procmine_sim::randdag::{random_dag, RandomDagConfig};
+use procmine_sim::{walk, ProcessModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// The synthetic graph sizes of Tables 1 and 2, with the edge counts the
+/// paper reports for its generating graphs (used to pick matching edge
+/// densities): 10/24, 25/224, 50/1058, 100/4569.
+pub fn paper_graph_configs() -> Vec<(usize, usize)> {
+    vec![(10, 24), (25, 224), (50, 1058), (100, 4569)]
+}
+
+/// The execution counts of Table 1.
+pub fn paper_execution_counts() -> Vec<usize> {
+    vec![100, 1_000, 10_000]
+}
+
+/// Generates the synthetic workload of §8.1: a random DAG with `n`
+/// vertices targeting `edges` edges, and `m` random-walk executions.
+/// Deterministic in `seed`.
+pub fn synthetic_workload(
+    n: usize,
+    edges: usize,
+    m: usize,
+    seed: u64,
+) -> (ProcessModel, WorkflowLog) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = random_dag(&RandomDagConfig::with_target_edges(n, edges), &mut rng)
+        .expect("random DAG generation is infallible for n >= 2");
+    let log = walk::random_walk_log(&model, m, &mut rng).expect("walk generation");
+    (model, log)
+}
+
+/// Mines with Algorithm 2 and returns the model plus wall-clock time.
+pub fn timed_mine(log: &WorkflowLog) -> (MinedModel, Duration) {
+    let started = Instant::now();
+    let model = mine_general_dag(log, &MinerOptions::default()).expect("mining succeeds");
+    (model, started.elapsed())
+}
+
+/// A minimal fixed-width text table, for printing paper-style tables to
+/// stdout.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with right-aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            line.push('\n');
+            line
+        }
+        let mut out = fmt_row(&self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_in_seed() {
+        let (m1, l1) = synthetic_workload(10, 24, 20, 7);
+        let (m2, l2) = synthetic_workload(10, 24, 20, 7);
+        assert_eq!(m1.edge_count(), m2.edge_count());
+        assert_eq!(l1.display_sequences(), l2.display_sequences());
+        let (_, l3) = synthetic_workload(10, 24, 20, 8);
+        assert_ne!(l1.display_sequences(), l3.display_sequences());
+    }
+
+    #[test]
+    fn timed_mine_returns_model() {
+        let (_, log) = synthetic_workload(10, 24, 50, 1);
+        let (model, elapsed) = timed_mine(&log);
+        assert_eq!(model.activity_count(), 10);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(["n", "time"]);
+        t.row(["10", "4.6"]);
+        t.row(["100", "15.9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("time"));
+        assert!(lines[3].contains("100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn text_table_rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Training-set construction (§7).
+//!
+//! "Formally the training set for `f_(u,v)` is defined as follows. For
+//! each execution of the process that `u` and `v` appear, the point
+//! `(o(u), 1)` is inserted. For each execution of the process that `u`
+//! but not `v` appears, the point `(o(u), 0)` is inserted."
+
+use procmine_log::{ActivityId, WorkflowLog};
+use std::fmt;
+
+/// Errors constructing datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The rows are empty.
+    Empty,
+    /// Feature vectors have inconsistent lengths.
+    RaggedFeatures {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset has no rows"),
+            DatasetError::RaggedFeatures { expected, row, got } => write!(
+                f,
+                "row {row} has {got} features, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A labelled dataset: integer feature vectors with Boolean labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Vec<Vec<i64>>,
+    labels: Vec<bool>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from `(features, label)` rows. All rows must
+    /// have the same dimension.
+    pub fn from_rows(rows: Vec<(Vec<i64>, bool)>) -> Result<Self, DatasetError> {
+        if rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let dim = rows[0].0.len();
+        for (i, (x, _)) in rows.iter().enumerate() {
+            if x.len() != dim {
+                return Err(DatasetError::RaggedFeatures {
+                    expected: dim,
+                    row: i,
+                    got: x.len(),
+                });
+            }
+        }
+        let (features, labels) = rows.into_iter().unzip();
+        Ok(Dataset { features, labels, dim })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if there are no rows (never for constructed datasets).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> (&[i64], bool) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// Count of positive labels.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Iterates `(features, label)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], bool)> {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+}
+
+/// Builds the §7 training set for the edge `(u, v)` from a log.
+///
+/// Executions where `u` did not run contribute nothing; executions where
+/// `u` ran but recorded no output contribute the null (all-zero) vector
+/// padded to the dataset's dimension, which is taken from the widest
+/// output observed for `u`. Returns `None` if `u` never appears with or
+/// without output, or if the log gives only one class no dimension at
+/// all (no output ever recorded and so nothing to learn from).
+pub fn edge_training_set(log: &WorkflowLog, u: ActivityId, v: ActivityId) -> Option<Dataset> {
+    // Find the widest output of u (outputs may be absent on some runs).
+    let dim = log
+        .executions()
+        .iter()
+        .filter_map(|e| e.output_of(u).map(<[i64]>::len))
+        .max()?;
+    if dim == 0 {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for exec in log.executions() {
+        if !exec.contains(u) {
+            continue;
+        }
+        let mut x = exec.output_of(u).map(<[i64]>::to_vec).unwrap_or_default();
+        x.resize(dim, 0);
+        rows.push((x, exec.contains(v)));
+    }
+    Dataset::from_rows(rows).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procmine_log::{ActivityInstance, Execution, WorkflowLog};
+
+    fn log_with_outputs() -> WorkflowLog {
+        // Three executions of A(o)→{B | C}: A's output decides.
+        let mut log = WorkflowLog::new();
+        let mut table = procmine_log::ActivityTable::new();
+        let a = table.intern("A");
+        let b = table.intern("B");
+        let c = table.intern("C");
+        let mut log2 = WorkflowLog::with_activities(table);
+        for (i, (out, took_b)) in [(vec![10i64], true), (vec![3], false), (vec![8], true)]
+            .into_iter()
+            .enumerate()
+        {
+            let next = if took_b { b } else { c };
+            let exec = Execution::new(
+                format!("e{i}"),
+                vec![
+                    ActivityInstance { activity: a, start: 0, end: 1, output: Some(out) },
+                    ActivityInstance { activity: next, start: 2, end: 3, output: None },
+                ],
+            )
+            .unwrap();
+            log2.push(exec);
+        }
+        std::mem::swap(&mut log, &mut log2);
+        log
+    }
+
+    #[test]
+    fn builds_edge_training_set() {
+        let log = log_with_outputs();
+        let a = log.activities().id("A").unwrap();
+        let b = log.activities().id("B").unwrap();
+        let ds = edge_training_set(&log, a, b).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 1);
+        assert_eq!(ds.positives(), 2);
+        let rows: Vec<_> = ds.iter().collect();
+        assert_eq!(rows[0], (&[10i64][..], true));
+        assert_eq!(rows[1], (&[3i64][..], false));
+    }
+
+    #[test]
+    fn no_outputs_means_no_dataset() {
+        let log = WorkflowLog::from_strings(["ABC", "AC"]).unwrap();
+        let a = log.activities().id("A").unwrap();
+        let b = log.activities().id("B").unwrap();
+        assert!(edge_training_set(&log, a, b).is_none());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Dataset::from_rows(vec![(vec![1, 2], true), (vec![1], false)]).unwrap_err();
+        assert!(matches!(err, DatasetError::RaggedFeatures { expected: 2, row: 1, got: 1 }));
+        assert_eq!(Dataset::from_rows(vec![]).unwrap_err(), DatasetError::Empty);
+    }
+}

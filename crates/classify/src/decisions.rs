@@ -1,0 +1,172 @@
+//! Decision mining: connecting split gateways with learned conditions.
+//!
+//! A split point plus per-edge learned conditions (§7) together form a
+//! *decision rule* for executing the mined model: on completing the
+//! split activity, evaluate each branch's condition on its output. This
+//! module scores how well the learned rules explain the observed
+//! routing — for an XOR split the branch predictions should cover every
+//! observed output (coverage) and fire exactly one branch at a time
+//! (exclusivity); an AND split's conditions should fire all branches.
+
+use crate::{learn_edge_conditions, LearnedCondition, TreeConfig};
+use procmine_core::splits::{analyze_gateways, Gateway, GatewayKind};
+use procmine_core::MinedModel;
+use procmine_log::WorkflowLog;
+
+/// A split gateway with its learned routing rules and their quality.
+#[derive(Debug)]
+pub struct DecisionPoint {
+    /// The gateway this decision sits on.
+    pub gateway: Gateway,
+    /// The learned condition per branch (same order as
+    /// `gateway.branches`).
+    pub conditions: Vec<LearnedCondition>,
+    /// Fraction of observed split-activity outputs for which at least
+    /// one branch condition fires.
+    pub coverage: f64,
+    /// Fraction of observed outputs for which *exactly* one branch
+    /// fires — 1.0 for a clean XOR decision; low values mean the
+    /// routing is parallel or not output-determined.
+    pub exclusivity: f64,
+    /// Number of observed outputs scored.
+    pub samples: usize,
+}
+
+impl DecisionPoint {
+    /// `true` if the learned rules behave like a data-driven exclusive
+    /// choice: classified XOR, full coverage, full exclusivity.
+    pub fn is_clean_xor(&self) -> bool {
+        self.gateway.kind == GatewayKind::Xor
+            && self.samples > 0
+            && self.coverage == 1.0
+            && self.exclusivity == 1.0
+    }
+}
+
+/// Analyzes every split of `model`: classifies it from co-occurrence
+/// (AND/XOR/OR), learns per-branch conditions, and scores
+/// coverage/exclusivity of the learned rules over the log's outputs.
+pub fn analyze_decision_points(
+    model: &MinedModel,
+    log: &WorkflowLog,
+    cfg: &TreeConfig,
+) -> Vec<DecisionPoint> {
+    let gateways = analyze_gateways(model, log);
+    let learned = learn_edge_conditions(model, log, cfg);
+
+    gateways
+        .splits
+        .into_iter()
+        .map(|gateway| {
+            let conditions: Vec<LearnedCondition> = gateway
+                .branches
+                .iter()
+                .map(|branch| {
+                    learned
+                        .iter()
+                        .find(|c| c.from == gateway.activity && &c.to == branch)
+                        .expect("every model edge has a learned condition")
+                        .clone()
+                })
+                .collect();
+
+            // Score over the split activity's observed outputs.
+            let source = log
+                .activities()
+                .id(&gateway.activity)
+                .expect("model activities come from the log");
+            let mut samples = 0usize;
+            let mut covered = 0usize;
+            let mut exclusive = 0usize;
+            for exec in log.executions() {
+                let Some(output) = exec.output_of(source) else {
+                    continue;
+                };
+                samples += 1;
+                let fired = conditions.iter().filter(|c| c.predict(output)).count();
+                covered += (fired >= 1) as usize;
+                exclusive += (fired == 1) as usize;
+            }
+            DecisionPoint {
+                gateway,
+                conditions,
+                coverage: if samples == 0 { 0.0 } else { covered as f64 / samples as f64 },
+                exclusivity: if samples == 0 { 0.0 } else { exclusive as f64 / samples as f64 },
+                samples,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procmine_core::{mine_general_dag, MinerOptions};
+    use procmine_sim::{engine, presets, textfmt};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_xor_decision_detected() {
+        let definition = "\
+process Claims
+activity Receive
+activity Triage output uniform 0..100
+activity Fast
+activity Full
+activity Done
+edge Receive -> Triage
+edge Triage -> Fast if o[0] <= 30
+edge Triage -> Full if o[0] > 30
+edge Fast -> Done
+edge Full -> Done
+";
+        let model = textfmt::read_model(definition.as_bytes()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let log = engine::generate_log(&model, 400, &mut rng).unwrap();
+        let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let points = analyze_decision_points(&mined, &log, &TreeConfig::default());
+
+        let triage = points
+            .iter()
+            .find(|p| p.gateway.activity == "Triage")
+            .expect("Triage splits");
+        assert_eq!(triage.gateway.kind, GatewayKind::Xor);
+        assert!(triage.samples > 300);
+        assert!(triage.coverage > 0.99, "coverage {}", triage.coverage);
+        assert!(triage.exclusivity > 0.99, "exclusivity {}", triage.exclusivity);
+        assert!(triage.is_clean_xor() || triage.exclusivity > 0.99);
+    }
+
+    #[test]
+    fn mixed_or_split_scores_lower_exclusivity() {
+        // order_fulfillment's Assess split is OR (approval XOR + fraud
+        // add-on): coverage stays high, exclusivity drops whenever the
+        // fraud branch fires alongside an approval branch.
+        let model = presets::order_fulfillment();
+        let mut rng = StdRng::seed_from_u64(6);
+        let log = engine::generate_log(&model, 400, &mut rng).unwrap();
+        let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let points = analyze_decision_points(&mined, &log, &TreeConfig::default());
+
+        let assess = points
+            .iter()
+            .find(|p| p.gateway.activity == "Assess")
+            .expect("Assess splits");
+        assert_eq!(assess.gateway.kind, GatewayKind::Or);
+        assert!(assess.coverage > 0.99);
+        assert!(assess.exclusivity < 0.9, "fraud branch overlaps: {}", assess.exclusivity);
+        assert!(!assess.is_clean_xor());
+    }
+
+    #[test]
+    fn splits_without_outputs_have_zero_samples() {
+        let log = procmine_log::WorkflowLog::from_strings(["ABD", "ACD"]).unwrap();
+        let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let points = analyze_decision_points(&mined, &log, &TreeConfig::default());
+        let a = points.iter().find(|p| p.gateway.activity == "A").unwrap();
+        assert_eq!(a.samples, 0);
+        assert_eq!(a.coverage, 0.0);
+        assert!(!a.is_clean_xor());
+    }
+}

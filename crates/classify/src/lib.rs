@@ -1,0 +1,47 @@
+//! Conditions mining (§7 of the paper): learning the Boolean edge
+//! functions of a mined process model from activity outputs.
+//!
+//! Under the paper's simplifying assumption, the condition on edge
+//! `(u, v)` is a Boolean function of `o(u)` alone. Every execution in
+//! which `u` ran therefore yields a training example for `f_(u,v)`:
+//! positive if `v` also ran, negative otherwise. A decision-tree
+//! classifier over those examples "gives a set of simple rules that
+//! classify when a given activity is taken or not".
+//!
+//! * [`Dataset`] / [`edge_training_set`] — §7's training-set
+//!   construction;
+//! * [`DecisionTree`] — a from-scratch CART-style classifier (Gini
+//!   impurity, axis-parallel integer splits);
+//! * [`Rule`] / [`rules_of`] — readable rules extracted from the tree;
+//! * [`learn_edge_conditions`] — the end-to-end pass: one learned
+//!   condition per edge of a mined model.
+//!
+//! # Example
+//!
+//! ```
+//! use procmine_classify::{Dataset, DecisionTree, TreeConfig};
+//!
+//! // Orders above 500 need approval.
+//! let ds = Dataset::from_rows(vec![
+//!     (vec![700], true), (vec![650], true), (vec![900], true),
+//!     (vec![100], false), (vec![499], false), (vec![300], false),
+//! ]).unwrap();
+//! let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+//! assert!(tree.predict(&[800]));
+//! assert!(!tree.predict(&[42]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod decisions;
+mod learn;
+mod rules;
+mod tree;
+
+pub use dataset::{edge_training_set, Dataset, DatasetError};
+pub use decisions::{analyze_decision_points, DecisionPoint};
+pub use learn::{learn_edge_conditions, LearnedCondition};
+pub use rules::{rules_of, Atom, Rule};
+pub use tree::{DecisionTree, TreeConfig};

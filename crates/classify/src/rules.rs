@@ -1,0 +1,165 @@
+//! Rule extraction: turning a fitted tree into readable conditions.
+//!
+//! §7: "the use of a decision tree classifier will give a set of simple
+//! rules that classify when a given activity is taken or not". Each
+//! root-to-positive-leaf path becomes one [`Rule`] — a conjunction of
+//! threshold atoms; the rule set (a disjunction of rules) is the learned
+//! edge condition.
+
+use crate::tree::{DecisionTree, Node};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One threshold test on an output component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Atom {
+    /// `o[feature] <= threshold`.
+    Le {
+        /// Component index.
+        feature: usize,
+        /// Threshold.
+        threshold: i64,
+    },
+    /// `o[feature] > threshold`.
+    Gt {
+        /// Component index.
+        feature: usize,
+        /// Threshold.
+        threshold: i64,
+    },
+}
+
+impl Atom {
+    /// Evaluates the atom (missing components read as 0).
+    pub fn eval(&self, x: &[i64]) -> bool {
+        match *self {
+            Atom::Le { feature, threshold } => x.get(feature).copied().unwrap_or(0) <= threshold,
+            Atom::Gt { feature, threshold } => x.get(feature).copied().unwrap_or(0) > threshold,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Atom::Le { feature, threshold } => write!(f, "o[{feature}] <= {threshold}"),
+            Atom::Gt { feature, threshold } => write!(f, "o[{feature}] > {threshold}"),
+        }
+    }
+}
+
+/// A conjunction of atoms leading to a positive leaf, with the leaf's
+/// training support.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The conjoined tests (empty = always true).
+    pub atoms: Vec<Atom>,
+    /// `(negative, positive)` training counts at the leaf.
+    pub support: (usize, usize),
+}
+
+impl Rule {
+    /// `true` if the vector satisfies every atom.
+    pub fn matches(&self, x: &[i64]) -> bool {
+        self.atoms.iter().all(|a| a.eval(x))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            write!(f, "true")?;
+        } else {
+            for (i, a) in self.atoms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " && ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, "  [{}+/{}-]", self.support.1, self.support.0)
+    }
+}
+
+/// Extracts the positive rules of a tree: one per leaf predicting
+/// `true`. The disjunction of the returned rules is exactly the tree's
+/// positive region.
+pub fn rules_of(tree: &DecisionTree) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    let mut path = Vec::new();
+    walk(tree.root(), &mut path, &mut rules);
+    rules
+}
+
+fn walk(node: &Node, path: &mut Vec<Atom>, rules: &mut Vec<Rule>) {
+    match node {
+        Node::Leaf { label, counts } => {
+            if *label {
+                rules.push(Rule {
+                    atoms: path.clone(),
+                    support: *counts,
+                });
+            }
+        }
+        Node::Split { feature, threshold, left, right } => {
+            path.push(Atom::Le { feature: *feature, threshold: *threshold });
+            walk(left, path, rules);
+            path.pop();
+            path.push(Atom::Gt { feature: *feature, threshold: *threshold });
+            walk(right, path, rules);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, TreeConfig};
+
+    #[test]
+    fn threshold_rule_extracted() {
+        let data = Dataset::from_rows((0..100).map(|i| (vec![i], i > 50)).collect()).unwrap();
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        let rules = rules_of(&tree);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].atoms, vec![Atom::Gt { feature: 0, threshold: 50 }]);
+        assert_eq!(rules[0].support, (0, 49));
+        assert!(rules[0].matches(&[51]) && !rules[0].matches(&[50]));
+        assert_eq!(rules[0].to_string(), "o[0] > 50  [49+/0-]");
+    }
+
+    #[test]
+    fn rules_reproduce_tree_predictions() {
+        let mut rows = Vec::new();
+        for x0 in 0..12i64 {
+            for x1 in 0..6i64 {
+                rows.push((vec![x0, x1], x0 > 5 && x1 <= 2));
+            }
+        }
+        let data = Dataset::from_rows(rows).unwrap();
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        let rules = rules_of(&tree);
+        for (x, _) in data.iter() {
+            let by_rules = rules.iter().any(|r| r.matches(x));
+            assert_eq!(by_rules, tree.predict(x), "at {x:?}");
+        }
+    }
+
+    #[test]
+    fn always_true_tree_yields_empty_conjunction() {
+        let data = Dataset::from_rows(vec![(vec![1], true), (vec![2], true)]).unwrap();
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        let rules = rules_of(&tree);
+        assert_eq!(rules.len(), 1);
+        assert!(rules[0].atoms.is_empty());
+        assert!(rules[0].to_string().starts_with("true"));
+    }
+
+    #[test]
+    fn always_false_tree_yields_no_rules() {
+        let data = Dataset::from_rows(vec![(vec![1], false), (vec![2], false)]).unwrap();
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert!(rules_of(&tree).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! A from-scratch CART-style decision tree over integer features.
+//!
+//! The paper delegates to "a classifier [WK91] … in particular, the use
+//! of a decision tree classifier will give a set of simple rules". This
+//! is a standard recursive-partitioning implementation: axis-parallel
+//! splits of the form `x[f] <= t`, chosen to minimize weighted Gini
+//! impurity, grown until purity, depth, or minimum-sample limits.
+
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Tree-growing limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum Gini-impurity decrease required to accept a split.
+    pub min_gain: f64,
+    /// Minimum number of samples each side of a split must keep — a
+    /// regularizer against memorizing individual noisy points.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_gain: 1e-9,
+            min_leaf: 1,
+        }
+    }
+}
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node predicting `label`; `counts` is `(negatives,
+    /// positives)` of the training rows that reached it.
+    Leaf {
+        /// Predicted class.
+        label: bool,
+        /// Training `(negative, positive)` counts at this leaf.
+        counts: (usize, usize),
+    },
+    /// Internal split: rows with `x[feature] <= threshold` go left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold (inclusive on the left).
+        threshold: i64,
+        /// Subtree for `x[feature] <= threshold`.
+        left: Box<Node>,
+        /// Subtree for `x[feature] > threshold`.
+        right: Box<Node>,
+    },
+}
+
+/// A fitted binary decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    dim: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree to the dataset.
+    pub fn fit(ds: &Dataset, cfg: &TreeConfig) -> Self {
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let root = grow(ds, indices, cfg, 0);
+        DecisionTree { root, dim: ds.dim() }
+    }
+
+    /// Predicts the class of a feature vector. Missing trailing
+    /// components read as 0 (the null output vector).
+    pub fn predict(&self, x: &[i64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split { feature, threshold, left, right } => {
+                    let v = x.get(*feature).copied().unwrap_or(0);
+                    node = if v <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Fraction of dataset rows the tree classifies correctly.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 1.0;
+        }
+        let correct = ds
+            .iter()
+            .filter(|(x, label)| self.predict(x) == *label)
+            .count();
+        correct as f64 / ds.len() as f64
+    }
+
+    /// The root node (for rule extraction and inspection).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Feature dimension the tree was trained on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+fn class_counts(ds: &Dataset, idx: &[usize]) -> (usize, usize) {
+    let pos = idx.iter().filter(|&&i| ds.row(i).1).count();
+    (idx.len() - pos, pos)
+}
+
+fn gini(neg: usize, pos: usize) -> f64 {
+    let total = (neg + pos) as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    let (pn, pp) = (neg as f64 / total, pos as f64 / total);
+    1.0 - pn * pn - pp * pp
+}
+
+fn leaf(ds: &Dataset, idx: &[usize]) -> Node {
+    let (neg, pos) = class_counts(ds, idx);
+    Node::Leaf {
+        label: pos >= neg && pos > 0 || neg == 0,
+        counts: (neg, pos),
+    }
+}
+
+fn grow(ds: &Dataset, idx: Vec<usize>, cfg: &TreeConfig, depth: usize) -> Node {
+    let (neg, pos) = class_counts(ds, &idx);
+    if neg == 0 || pos == 0 || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        return leaf(ds, &idx);
+    }
+
+    // Best split search: for each feature, sort row values and consider
+    // thresholds between distinct consecutive values.
+    let parent_gini = gini(neg, pos);
+    let mut best: Option<(usize, i64, f64)> = None; // (feature, threshold, gain)
+    for f in 0..ds.dim() {
+        let mut vals: Vec<(i64, bool)> = idx.iter().map(|&i| {
+            let (x, l) = ds.row(i);
+            (x[f], l)
+        }).collect();
+        vals.sort_unstable_by_key(|&(v, _)| v);
+
+        let total_pos = pos;
+        let total = idx.len();
+        let mut left_pos = 0usize;
+        let mut left_n = 0usize;
+        for w in 0..vals.len() - 1 {
+            left_pos += vals[w].1 as usize;
+            left_n += 1;
+            if vals[w].0 == vals[w + 1].0 {
+                continue; // can't split between equal values
+            }
+            let right_n = total - left_n;
+            if left_n < cfg.min_leaf || right_n < cfg.min_leaf {
+                continue; // split would strand too few samples
+            }
+            let right_pos = total_pos - left_pos;
+            let child = (left_n as f64 * gini(left_n - left_pos, left_pos)
+                + right_n as f64 * gini(right_n - right_pos, right_pos))
+                / total as f64;
+            let gain = parent_gini - child;
+            if best.map_or(gain > cfg.min_gain, |(_, _, g)| gain > g) {
+                best = Some((f, vals[w].0, gain));
+            }
+        }
+    }
+
+    match best {
+        None => leaf(ds, &idx),
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                .into_iter()
+                .partition(|&i| ds.row(i).0[feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(ds, left_idx, cfg, depth + 1)),
+                right: Box::new(grow(ds, right_idx, cfg, depth + 1)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(rows: Vec<(Vec<i64>, bool)>) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn single_threshold_recovered() {
+        let data = ds((0..100)
+            .map(|i| (vec![i], i > 50))
+            .collect());
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.accuracy(&data), 1.0);
+        assert_eq!(tree.depth(), 1, "one split suffices");
+        assert!(tree.predict(&[51]) && !tree.predict(&[50]));
+        match tree.root() {
+            Node::Split { feature: 0, threshold: 50, .. } => {}
+            other => panic!("expected split at 50, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conjunction_recovered() {
+        // label = x0 > 5 && x1 <= 2.
+        let mut rows = Vec::new();
+        for x0 in 0..12 {
+            for x1 in 0..6 {
+                rows.push((vec![x0, x1], x0 > 5 && x1 <= 2));
+            }
+        }
+        let data = ds(rows);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.accuracy(&data), 1.0);
+        assert!(tree.predict(&[8, 1]));
+        assert!(!tree.predict(&[8, 4]));
+        assert!(!tree.predict(&[2, 1]));
+    }
+
+    #[test]
+    fn pure_dataset_is_single_leaf() {
+        let data = ds(vec![(vec![1], true), (vec![2], true), (vec![9], true)]);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.predict(&[1000]));
+    }
+
+    #[test]
+    fn inseparable_data_predicts_majority() {
+        // Identical features, conflicting labels 2:1 negative.
+        let data = ds(vec![(vec![5], false), (vec![5], false), (vec![5], true)]);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(!tree.predict(&[5]));
+        assert!((tree.accuracy(&data) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let data = ds((0..64).map(|i| (vec![i], i % 2 == 0)).collect());
+        let cfg = TreeConfig { max_depth: 3, ..Default::default() };
+        let tree = DecisionTree::fit(&data, &cfg);
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn min_leaf_suppresses_noise_splits() {
+        // 50 clean points with one mislabelled outlier at x=25: without
+        // regularization the tree carves a sliver around it; with
+        // min_leaf=5 the outlier cannot justify a split of its own.
+        let mut rows: Vec<(Vec<i64>, bool)> = (0..50).map(|i| (vec![i], i > 25)).collect();
+        rows[10] = (vec![10], true); // noise
+        let data = ds(rows);
+
+        let overfit = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(overfit.accuracy(&data), 1.0, "memorizes the outlier");
+        assert!(overfit.predict(&[10]), "unregularized tree reproduces the noise");
+
+        let cfg = TreeConfig { min_leaf: 5, ..Default::default() };
+        let regular = DecisionTree::fit(&data, &cfg);
+        assert!(!regular.predict(&[10]), "outlier voted down by its neighbourhood");
+        assert!(regular.predict(&[40]) && !regular.predict(&[5]));
+        assert!(regular.accuracy(&data) < 1.0, "no longer memorizes");
+    }
+
+    #[test]
+    fn min_leaf_larger_than_data_yields_single_leaf() {
+        let data = ds((0..10).map(|i| (vec![i], i > 5)).collect());
+        let cfg = TreeConfig { min_leaf: 20, ..Default::default() };
+        let tree = DecisionTree::fit(&data, &cfg);
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn missing_features_read_zero_in_predict() {
+        let data = ds(vec![(vec![0, 10], true), (vec![0, -10], false)]);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        // x[1] missing → 0 → which side depends on the split; just must
+        // not panic.
+        let _ = tree.predict(&[]);
+        let _ = tree.predict(&[0]);
+    }
+
+    #[test]
+    fn xor_collapses_to_majority_leaf() {
+        // Greedy axis-parallel trees cannot make progress on balanced
+        // XOR: every first split has zero Gini gain, so the tree stays a
+        // single (majority) leaf. This is a known limitation of the
+        // paper's chosen classifier family, not a bug.
+        let mut rows = Vec::new();
+        for x0 in 0..2i64 {
+            for x1 in 0..2i64 {
+                for _ in 0..10 {
+                    rows.push((vec![x0, x1], (x0 ^ x1) == 1));
+                }
+            }
+        }
+        let data = ds(rows);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.accuracy(&data) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal argument parsing: flags with values, positionals, and typed
+//! lookups. Hand-rolled to keep the dependency surface to the crates
+//! the workspace already uses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: positional arguments plus `--flag value` /
+/// `--switch` options.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Argument errors.
+#[derive(Debug)]
+pub enum ArgError {
+    /// A `--flag` that requires a value was last on the line.
+    MissingValue(String),
+    /// A flag was not recognized by the command.
+    Unknown(String),
+    /// A value could not be parsed.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+        /// Expected type/kind.
+        expected: &'static str,
+    },
+    /// A required flag or positional is absent.
+    Required(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
+            ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag}: `{value}` is not a valid {expected}")
+            }
+            ArgError::Required(what) => write!(f, "missing required {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `argv` given the sets of value-taking flags and boolean
+/// switches accepted by the command. Flags may be spelled `--name value`
+/// or `--name=value`; `-o` is an alias for `--out`.
+pub fn parse(
+    argv: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Parsed, ArgError> {
+    let mut parsed = Parsed::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = &argv[i];
+        if let Some(stripped) = arg.strip_prefix("--") {
+            let (name, inline) = match stripped.split_once('=') {
+                Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                None => (stripped.to_string(), None),
+            };
+            if switch_flags.contains(&name.as_str()) {
+                parsed.switches.push(name);
+            } else if value_flags.contains(&name.as_str()) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        argv.get(i)
+                            .cloned()
+                            .ok_or_else(|| ArgError::MissingValue(name.clone()))?
+                    }
+                };
+                parsed.flags.insert(name, value);
+            } else {
+                return Err(ArgError::Unknown(name));
+            }
+        } else if arg == "-o" {
+            i += 1;
+            let value = argv
+                .get(i)
+                .cloned()
+                .ok_or_else(|| ArgError::MissingValue("out".into()))?;
+            parsed.flags.insert("out".into(), value);
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The value of a flag, if given.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// `true` if the switch was given.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// Typed flag lookup with a default.
+    pub fn get_parse<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_switches_positionals() {
+        let p = parse(
+            &argv(&["log.fm", "--threshold", "3", "--check", "--format=seqs"]),
+            &["threshold", "format"],
+            &["check"],
+        )
+        .unwrap();
+        assert_eq!(p.positional(), &["log.fm"]);
+        assert_eq!(p.get("threshold"), Some("3"));
+        assert_eq!(p.get("format"), Some("seqs"));
+        assert!(p.has("check"));
+        assert!(!p.has("verbose"));
+        assert_eq!(p.get_parse("threshold", 1u32, "integer").unwrap(), 3);
+        assert_eq!(p.get_parse("missing", 7u32, "integer").unwrap(), 7);
+    }
+
+    #[test]
+    fn short_o_aliases_out() {
+        let p = parse(&argv(&["-o", "file.txt"]), &["out"], &[]).unwrap();
+        assert_eq!(p.get("out"), Some("file.txt"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse(&argv(&["--nope"]), &[], &[]),
+            Err(ArgError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse(&argv(&["--threshold"]), &["threshold"], &[]),
+            Err(ArgError::MissingValue(_))
+        ));
+        let p = parse(&argv(&["--threshold", "abc"]), &["threshold"], &[]).unwrap();
+        assert!(matches!(
+            p.get_parse("threshold", 1u32, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+}

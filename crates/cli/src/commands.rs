@@ -1,0 +1,515 @@
+//! Command implementations: `generate`, `mine`, `check`, `conditions`,
+//! `info`, `help`.
+
+use crate::args::{parse, ArgError, Parsed};
+use procmine_classify::TreeConfig;
+use procmine_core::{
+    conformance, mine_auto, mine_cyclic, mine_general_dag, mine_special_dag, Algorithm,
+    MinedModel, MinerOptions,
+};
+use procmine_log::{codec, WorkflowLog};
+use procmine_sim::{engine, presets, randdag, walk, ProcessModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+procmine — mine process models from workflow logs
+(Agrawal, Gunopulos, Leymann; EDBT 1998)
+
+USAGE:
+  procmine <command> [options]
+
+COMMANDS:
+  generate    Generate a synthetic workflow log
+      --preset NAME        graph10 | upload | stress | pend | swap | uwi | order
+      --model FILE         load a process-model definition file instead
+      --random-dag N       random DAG with N vertices instead of a preset
+      --edge-prob P        edge probability for --random-dag (default 0.5)
+      --executions M       number of executions (default 100)
+      --seed S             RNG seed (default 42)
+      --engine KIND        walk (§8.1 random walk, default) | conditions
+                           (condition-driven engine with outputs)
+      --agents N           concurrent agents for --engine conditions (default 1)
+      --duration LO..HI    activity duration range for --engine conditions
+      --format F           flowmark (default) | seqs | jsonl | xes
+      -o / --out FILE      output file (default: stdout)
+
+  mine        Mine a process model from a log
+      <LOG>                input log file
+      --format F           flowmark (default) | seqs | jsonl | xes
+      --algorithm A        auto (default) | special | general | cyclic
+      --threshold T        noise threshold (default 1)
+      --dot FILE           write the mined graph as Graphviz DOT
+      --graphml FILE       write the mined graph as GraphML (yEd/Gephi)
+      --json FILE          write the mined model as JSON
+      --bpmn FILE          write the mined model as BPMN 2.0 XML
+      --check              verify conformance (Definition 7) after mining
+      --stream             stream the log through the incremental miner
+                           (flowmark format, contiguous cases; bad cases
+                           are skipped with a warning)
+
+  check       Check a mined model (JSON) against a log
+      <MODEL.json> <LOG>
+      --format F           log format (default flowmark)
+
+  conditions  Mine a model and learn Boolean edge conditions (§7)
+      <LOG>
+      --format F           log format (default flowmark)
+      --threshold T        noise threshold (default 1)
+      --max-depth D        decision-tree depth limit (default 8)
+
+  info        Show log statistics
+      <LOG>
+      --format F           log format (default flowmark)
+
+  convert     Convert a log between formats
+      <IN> <OUT>
+      --from F             input format (default: by file extension)
+      --to F               output format (default: by file extension)
+
+  help        Show this message
+
+Log formats: flowmark (.fm/.csv), seqs (.seqs/.txt), jsonl (.jsonl),
+xes (.xes). Where a format is defaulted from a file extension, unknown
+extensions fall back to flowmark.
+";
+
+/// Entry point: dispatches on the first argument.
+pub fn run(argv: &[String]) -> CliResult {
+    match argv.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("generate") => generate(&argv[1..]),
+        Some("mine") => mine(&argv[1..]),
+        Some("check") => check(&argv[1..]),
+        Some("conditions") => conditions(&argv[1..]),
+        Some("info") => info(&argv[1..]),
+        Some("convert") => convert(&argv[1..]),
+        Some(other) => Err(format!("unknown command `{other}`; see `procmine help`").into()),
+    }
+}
+
+/// Guesses a log format from a file extension; unknown extensions fall
+/// back to flowmark.
+fn format_from_extension(path: &str) -> &'static str {
+    match std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
+        Some("xes") => "xes",
+        Some("jsonl") => "jsonl",
+        Some("seqs") | Some("txt") => "seqs",
+        _ => "flowmark",
+    }
+}
+
+fn convert(argv: &[String]) -> CliResult {
+    let p = parse(argv, &["from", "to"], &[])?;
+    let [input, output] = p.positional() else {
+        return Err(ArgError::Required("IN and OUT arguments").into());
+    };
+    let from = p.get("from").unwrap_or_else(|| format_from_extension(input));
+    let to = p.get("to").unwrap_or_else(|| format_from_extension(output));
+    let log = read_log(input, from)?;
+    write_log(&log, Some(output), to)?;
+    eprintln!(
+        "converted {} executions: {input} ({from}) -> {output} ({to})",
+        log.len()
+    );
+    Ok(())
+}
+
+fn read_log(path: &str, format: &str) -> Result<WorkflowLog, Box<dyn Error>> {
+    let reader = BufReader::new(File::open(path)?);
+    let log = match format {
+        "flowmark" => codec::flowmark::read_log(reader)?,
+        "seqs" => codec::seqs::read_log(reader)?,
+        "jsonl" => codec::jsonl::read_log(reader)?,
+        "xes" => codec::xes::read_log(reader)?,
+        other => return Err(format!("unknown log format `{other}`").into()),
+    };
+    Ok(log)
+}
+
+fn write_log(log: &WorkflowLog, out: Option<&str>, format: &str) -> CliResult {
+    let mut sink: Box<dyn Write> = match out {
+        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    match format {
+        "flowmark" => codec::flowmark::write_log(log, &mut sink)?,
+        "seqs" => codec::seqs::write_log(log, &mut sink)?,
+        "jsonl" => codec::jsonl::write_log(log, &mut sink)?,
+        "xes" => codec::xes::write_log(log, &mut sink)?,
+        other => return Err(format!("unknown log format `{other}`").into()),
+    }
+    sink.flush()?;
+    Ok(())
+}
+
+fn preset_model(name: &str) -> Result<ProcessModel, Box<dyn Error>> {
+    Ok(match name {
+        "graph10" => presets::graph10(),
+        "upload" => presets::upload_and_notify(),
+        "stress" => presets::stress_sleep(),
+        "pend" => presets::pend_block(),
+        "swap" => presets::local_swap(),
+        "uwi" => presets::uwi_pilot(),
+        "order" => presets::order_fulfillment(),
+        other => return Err(format!("unknown preset `{other}`").into()),
+    })
+}
+
+fn generate(argv: &[String]) -> CliResult {
+    let p = parse(
+        argv,
+        &[
+            "preset", "model", "random-dag", "edge-prob", "executions", "seed", "engine",
+            "agents", "duration", "format", "out",
+        ],
+        &[],
+    )?;
+    let m: usize = p.get_parse("executions", 100, "integer")?;
+    let seed: u64 = p.get_parse("seed", 42, "integer")?;
+    let format = p.get("format").unwrap_or("flowmark");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let source_flags =
+        [p.get("preset").is_some(), p.get("model").is_some(), p.get("random-dag").is_some()];
+    if source_flags.iter().filter(|&&f| f).count() > 1 {
+        return Err("--preset, --model and --random-dag are mutually exclusive".into());
+    }
+    let model = if let Some(name) = p.get("preset") {
+        preset_model(name)?
+    } else if let Some(path) = p.get("model") {
+        procmine_sim::textfmt::read_model(BufReader::new(File::open(path)?))?
+    } else if let Some(n) = p.get("random-dag") {
+        let vertices: usize = n
+            .parse()
+            .map_err(|_| format!("--random-dag: `{n}` is not a vertex count"))?;
+        let edge_prob: f64 = p.get_parse("edge-prob", 0.5, "probability")?;
+        randdag::random_dag(&randdag::RandomDagConfig { vertices, edge_prob }, &mut rng)?
+    } else {
+        presets::graph10()
+    };
+
+    let log = match p.get("engine").unwrap_or("walk") {
+        "walk" => walk::random_walk_log(&model, m, &mut rng)?,
+        "conditions" => {
+            let agents: usize = p.get_parse("agents", 1, "integer")?;
+            let duration = match p.get("duration") {
+                None => engine::DurationSpec::Instant,
+                Some(range) => {
+                    let (lo, hi) = range
+                        .split_once("..")
+                        .ok_or_else(|| format!("--duration: `{range}` needs LO..HI"))?;
+                    engine::DurationSpec::Uniform(
+                        lo.parse().map_err(|_| format!("bad duration bound `{lo}`"))?,
+                        hi.parse().map_err(|_| format!("bad duration bound `{hi}`"))?,
+                    )
+                }
+            };
+            let cfg = engine::EngineConfig { duration, agents };
+            engine::generate_log_with(&model, m, &cfg, &mut rng)?
+        }
+        other => return Err(format!("unknown engine `{other}`").into()),
+    };
+    eprintln!(
+        "generated {} executions of `{}` ({} activities, {} edges)",
+        log.len(),
+        model.name(),
+        model.activity_count(),
+        model.edge_count()
+    );
+    write_log(&log, p.get("out"), format)
+}
+
+fn mine_with(p: &Parsed, log: &WorkflowLog) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
+    let opts = MinerOptions::with_threshold(p.get_parse("threshold", 1, "integer")?);
+    Ok(match p.get("algorithm").unwrap_or("auto") {
+        "auto" => mine_auto(log, &opts)?,
+        "special" => (mine_special_dag(log, &opts)?, Algorithm::SpecialDag),
+        "general" => (mine_general_dag(log, &opts)?, Algorithm::GeneralDag),
+        "cyclic" => (mine_cyclic(log, &opts)?, Algorithm::Cyclic),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
+    })
+}
+
+/// Streams a flowmark log through the incremental miner, skipping bad
+/// cases with a warning. Returns the model and the log (re-read in
+/// batch form for the conformance/gateway reporting).
+fn mine_streaming(
+    path: &str,
+    threshold: u32,
+) -> Result<(MinedModel, WorkflowLog), Box<dyn Error>> {
+    use procmine_log::codec::stream::ExecutionStream;
+    let mut miner = procmine_core::IncrementalMiner::new(MinerOptions::with_threshold(threshold));
+    let mut stream = ExecutionStream::new(BufReader::new(File::open(path)?));
+    let mut skipped = 0usize;
+    let mut kept = WorkflowLog::new();
+    while let Some(result) = stream.next() {
+        match result {
+            Ok(exec) => {
+                let table = stream.activities().clone();
+                match miner.absorb_execution(&exec, &table) {
+                    Ok(()) => {
+                        let names: Vec<String> = exec
+                            .sequence()
+                            .iter()
+                            .map(|&a| table.name(a).to_string())
+                            .collect();
+                        kept.push_sequence(&names)?;
+                    }
+                    Err(e) => {
+                        eprintln!("warning: skipping case `{}`: {e}", exec.id);
+                        skipped += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("warning: skipping unparsable case: {e}");
+                skipped += 1;
+            }
+        }
+    }
+    if skipped > 0 {
+        eprintln!("streamed with {skipped} case(s) skipped");
+    }
+    Ok((miner.model()?, kept))
+}
+
+fn mine(argv: &[String]) -> CliResult {
+    let p = parse(
+        argv,
+        &["format", "algorithm", "threshold", "dot", "graphml", "json", "bpmn"],
+        &["check", "stream"],
+    )?;
+    let path = p
+        .positional()
+        .first()
+        .ok_or(ArgError::Required("log file"))?;
+    let started = std::time::Instant::now();
+    let (model, log, algorithm) = if p.has("stream") {
+        if p.get("format").is_some_and(|f| f != "flowmark") {
+            return Err("--stream supports the flowmark format only".into());
+        }
+        let threshold = p.get_parse("threshold", 1, "integer")?;
+        let (model, log) = mine_streaming(path, threshold)?;
+        (model, log, Algorithm::GeneralDag)
+    } else {
+        let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
+        let (model, algorithm) = mine_with(&p, &log)?;
+        (model, log, algorithm)
+    };
+    let elapsed = started.elapsed();
+
+    println!(
+        "mined `{path}` with {algorithm:?}: {} activities, {} edges ({} executions, {:.3}s)",
+        model.activity_count(),
+        model.edge_count(),
+        log.len(),
+        elapsed.as_secs_f64()
+    );
+    for (u, v) in model.edges_named() {
+        println!("  {u} -> {v}");
+    }
+
+    // Route analytics (acyclic models with a unique source and sink).
+    let g = model.graph();
+    if let (&[source], &[sink]) = (&g.sources()[..], &g.sinks()[..]) {
+        if let Ok(routes) = procmine_graph::paths::count_paths(g, source, sink) {
+            println!("distinct routes: {routes}");
+        }
+        if let Ok(Some(critical)) = procmine_graph::paths::longest_path(g, source, sink) {
+            let names: Vec<&str> = critical.iter().map(|&v| g.node(v).as_str()).collect();
+            println!("critical path:   {}", names.join(" -> "));
+        }
+        let mandatory = procmine_graph::dominators::mandatory_activities(g, source, sink);
+        let names: Vec<&str> = mandatory.iter().map(|&v| g.node(v).as_str()).collect();
+        println!("mandatory:       {}", names.join(", "));
+    }
+
+    // Split/join semantics from the log's co-occurrence statistics.
+    let gateways = procmine_core::splits::analyze_gateways(&model, &log);
+    for gw in gateways.splits.iter() {
+        println!("split at {}: {} over {{{}}}", gw.activity, gw.kind, gw.branches.join(", "));
+    }
+    for gw in gateways.joins.iter() {
+        println!("join at {}:  {} over {{{}}}", gw.activity, gw.kind, gw.branches.join(", "));
+    }
+
+    if let Some(dot_path) = p.get("dot") {
+        std::fs::write(dot_path, model.to_dot("mined"))?;
+        eprintln!("wrote {dot_path}");
+    }
+    if let Some(graphml_path) = p.get("graphml") {
+        let support: std::collections::HashMap<(usize, usize), u32> = model
+            .edge_support()
+            .iter()
+            .map(|&(u, v, c)| ((u, v), c))
+            .collect();
+        let xml = procmine_graph::graphml::to_graphml_with(
+            model.graph(),
+            "mined_process",
+            |_, name| name.clone(),
+            |u, v| support.get(&(u.index(), v.index())).map(|&c| f64::from(c)),
+        );
+        std::fs::write(graphml_path, xml)?;
+        eprintln!("wrote {graphml_path}");
+    }
+    if let Some(json_path) = p.get("json") {
+        let f = BufWriter::new(File::create(json_path)?);
+        serde_json::to_writer_pretty(f, &model)?;
+        eprintln!("wrote {json_path}");
+    }
+    if let Some(bpmn_path) = p.get("bpmn") {
+        let gateways = procmine_core::splits::analyze_gateways(&model, &log);
+        std::fs::write(
+            bpmn_path,
+            procmine_core::bpmn::to_bpmn_xml(&model, &gateways, "mined_process"),
+        )?;
+        eprintln!("wrote {bpmn_path}");
+    }
+    if p.has("check") {
+        let report = conformance::check_conformance(&model, &log);
+        if report.is_conformal() {
+            println!("conformance: OK (dependency-complete, irredundant, execution-complete)");
+        } else {
+            println!("conformance: FAILED");
+            for (u, v) in &report.missing_dependencies {
+                println!("  missing dependency: {u} -> {v}");
+            }
+            for (u, v) in &report.spurious_dependencies {
+                println!("  spurious dependency: {u} -> {v}");
+            }
+            for (exec, violations) in &report.inconsistent_executions {
+                println!("  inconsistent execution {exec}: {violations:?}");
+            }
+            return Err("mined model is not conformal".into());
+        }
+    }
+    Ok(())
+}
+
+fn check(argv: &[String]) -> CliResult {
+    let p = parse(argv, &["format"], &[])?;
+    let [model_path, log_path] = p.positional() else {
+        return Err(ArgError::Required("MODEL.json and LOG arguments").into());
+    };
+    let model: MinedModel = serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
+    let log = read_log(log_path, p.get("format").unwrap_or("flowmark"))?;
+    let report = conformance::check_conformance(&model, &log);
+    if report.is_conformal() {
+        println!("conformal: model satisfies Definition 7 for this log");
+        Ok(())
+    } else {
+        println!(
+            "not conformal: {} missing, {} spurious, {} inconsistent executions",
+            report.missing_dependencies.len(),
+            report.spurious_dependencies.len(),
+            report.inconsistent_executions.len()
+        );
+        Err("model is not conformal".into())
+    }
+}
+
+fn conditions(argv: &[String]) -> CliResult {
+    let p = parse(argv, &["format", "threshold", "max-depth"], &[])?;
+    let path = p
+        .positional()
+        .first()
+        .ok_or(ArgError::Required("log file"))?;
+    let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
+    let (model, _) = mine_with(&p, &log)?;
+    let cfg = TreeConfig {
+        max_depth: p.get_parse("max-depth", 8, "integer")?,
+        ..TreeConfig::default()
+    };
+    let learned = procmine_classify::learn_edge_conditions(&model, &log, &cfg);
+    for c in &learned {
+        println!(
+            "{} -> {}   [{} taken / {} not, accuracy {:.2}]",
+            c.from,
+            c.to,
+            c.support.1,
+            c.support.0,
+            c.train_accuracy
+        );
+        if c.tree.is_none() {
+            println!("    (no outputs logged; unconditional)");
+        } else if c.rules.is_empty() {
+            println!("    never taken");
+        } else {
+            for rule in &c.rules {
+                println!("    when {rule}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn info(argv: &[String]) -> CliResult {
+    let p = parse(argv, &["format"], &[])?;
+    let path = p
+        .positional()
+        .first()
+        .ok_or(ArgError::Required("log file"))?;
+    let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
+    let stats = procmine_log::stats::log_stats(&log);
+
+    println!("executions:  {}", stats.executions);
+    println!("activities:  {}", stats.activities);
+    println!("instances:   {}", stats.total_instances);
+    println!("distinct:    {} distinct sequences", stats.distinct_sequences);
+    println!("max repeats: {}", log.max_repeats());
+    println!(
+        "complete:    {} (every activity in every execution)",
+        log.every_activity_in_every_execution()
+    );
+    println!(
+        "exec length: min {} / avg {:.1} / max {}",
+        stats.min_len, stats.mean_len, stats.max_len
+    );
+    let names = |ids: &[procmine_log::ActivityId]| {
+        ids.iter()
+            .map(|&a| log.activities().name(a))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("starts with: {}", names(&stats.start_candidates()));
+    println!("ends with:   {}", names(&stats.end_candidates()));
+    println!("\nper-activity (executions / instances):");
+    for s in &stats.per_activity {
+        println!(
+            "  {:<24} {:>6} / {:<6}",
+            log.activities().name(s.activity),
+            s.executions,
+            s.instances
+        );
+    }
+    let variants = procmine_log::stats::variants(&log);
+    println!("\ntop variants ({} total):", variants.len());
+    for v in variants.iter().take(5) {
+        let names: Vec<&str> = v
+            .sequence
+            .iter()
+            .map(|&a| log.activities().name(a))
+            .collect();
+        println!(
+            "  {:>4}x ({:>5.1}%)  {}",
+            v.count,
+            100.0 * v.count as f64 / log.len().max(1) as f64,
+            names.join(" ")
+        );
+    }
+    Ok(())
+}

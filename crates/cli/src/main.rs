@@ -1,0 +1,26 @@
+//! `procmine` — command-line interface to the workflow process miner.
+//!
+//! ```text
+//! procmine generate --preset graph10 --executions 100 -o log.fm
+//! procmine mine log.fm --dot model.dot --check
+//! procmine conditions log.fm
+//! procmine info log.fm
+//! ```
+//!
+//! See `procmine help` for the full usage text.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("procmine: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Integration tests driving the `procmine` binary end-to-end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn procmine(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_procmine"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("procmine-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    for args in [vec!["help"], vec!["--help"], vec![]] {
+        let out = procmine(&args);
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("USAGE"), "{text}");
+        assert!(text.contains("generate") && text.contains("mine"));
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = procmine(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn generate_mine_check_pipeline() {
+    let dir = tmpdir("pipeline");
+    let log = dir.join("g10.fm");
+    let dot = dir.join("model.dot");
+    let json = dir.join("model.json");
+
+    let out = procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "200",
+        "--seed",
+        "7",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--check",
+        "--dot",
+        dot.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("conformance: OK"), "{text}");
+
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("digraph"));
+
+    // The saved model checks out against the same log via `check`.
+    let out = procmine(&["check", json.to_str().unwrap(), log.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn info_reports_statistics() {
+    let dir = tmpdir("info");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate", "--preset", "pend", "--executions", "50", "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&["info", log.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("executions:  50"), "{text}");
+    assert!(text.contains("activities:  6"), "{text}");
+}
+
+#[test]
+fn conditions_on_engine_log() {
+    let dir = tmpdir("conditions");
+    let log = dir.join("orders.fm");
+    let out = procmine(&[
+        "generate",
+        "--preset",
+        "order",
+        "--engine",
+        "conditions",
+        "--executions",
+        "300",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = procmine(&["conditions", log.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Assess -> ManagerApproval"), "{text}");
+    assert!(text.contains("o[0] >"), "learned a threshold rule: {text}");
+}
+
+#[test]
+fn mine_missing_file_fails_cleanly() {
+    let out = procmine(&["mine", "/nonexistent/nope.fm"]);
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn seqs_format_roundtrip_via_cli() {
+    let dir = tmpdir("seqs");
+    let log = dir.join("log.seqs");
+    procmine(&[
+        "generate", "--preset", "uwi", "--executions", "40", "--format", "seqs", "-o",
+        log.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(text.lines().count() == 40);
+    assert!(text.starts_with("Start "));
+    let out = procmine(&["mine", log.to_str().unwrap(), "--format", "seqs", "--check"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn stream_mining_matches_batch() {
+    let dir = tmpdir("stream");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate", "--preset", "uwi", "--executions", "120", "--seed", "3", "-o",
+        log.to_str().unwrap(),
+    ]);
+    let batch = procmine(&["mine", log.to_str().unwrap()]);
+    let stream = procmine(&["mine", log.to_str().unwrap(), "--stream"]);
+    assert!(batch.status.success() && stream.status.success());
+    let edges = |out: &[u8]| -> Vec<String> {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| l.starts_with("  ") && l.contains(" -> "))
+            .map(str::to_string)
+            .collect()
+    };
+    let mut a = edges(&batch.stdout);
+    let mut b = edges(&stream.stdout);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bpmn_export_produces_xml() {
+    let dir = tmpdir("bpmn");
+    let log = dir.join("log.fm");
+    let bpmn = dir.join("model.bpmn");
+    procmine(&[
+        "generate", "--preset", "pend", "--executions", "80", "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--bpmn",
+        bpmn.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let xml = std::fs::read_to_string(&bpmn).unwrap();
+    assert!(xml.contains("<definitions"));
+    assert!(xml.contains("<task"));
+    assert!(xml.contains("<sequenceFlow"));
+}
+
+#[test]
+fn convert_between_formats_by_extension() {
+    let dir = tmpdir("convert");
+    let fm = dir.join("log.fm");
+    let xes = dir.join("log.xes");
+    let seqs = dir.join("log.seqs");
+    procmine(&[
+        "generate", "--preset", "upload", "--executions", "30", "-o",
+        fm.to_str().unwrap(),
+    ]);
+    // fm -> xes -> seqs, formats inferred from extensions.
+    let out = procmine(&["convert", fm.to_str().unwrap(), xes.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&xes).unwrap().contains("<log"));
+    let out = procmine(&["convert", xes.to_str().unwrap(), seqs.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&seqs).unwrap();
+    assert_eq!(text.lines().count(), 30);
+    assert!(text.lines().all(|l| l.starts_with("Start ")));
+
+    // Explicit --to overrides the extension.
+    let odd = dir.join("log.data");
+    let out = procmine(&[
+        "convert",
+        fm.to_str().unwrap(),
+        odd.to_str().unwrap(),
+        "--to",
+        "jsonl",
+    ]);
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(&odd).unwrap().starts_with('{'));
+}
+
+#[test]
+fn bad_flags_are_reported() {
+    let out = procmine(&["mine", "--definitely-not-a-flag"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = procmine(&["generate", "--preset", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}

@@ -1,0 +1,254 @@
+//! Baseline: finite-state-machine process discovery (k-tails).
+//!
+//! The paper's related-work section positions process graphs against
+//! the FSM-based discovery of Cook & Wolf [CW95, CW96], whose RNet/
+//! k-tails methods come from Biermann & Feldman's classic grammar
+//! inference. The paper's §1 argument is structural: for the parallel
+//! process `{S→A, A→E, S→B, B→E}` with executions `SABE` and `SBAE`,
+//! "the automaton that accepts these two strings is a quite different
+//! structure … An activity appears only once in a process graph as a
+//! vertex label, whereas the same token (activity) may appear multiple
+//! times in an automaton."
+//!
+//! This module implements the k-tails baseline so that claim can be
+//! *measured*: [`ktail`] builds the automaton whose states are
+//! equivalence classes of prefixes with identical k-futures, and
+//! [`Automaton::token_duplication`] counts how often each activity
+//! labels more than one transition — the blow-up process graphs avoid.
+//! The `baseline_fsm` experiment binary compares model sizes on the
+//! paper's workloads.
+
+use procmine_log::{ActivityId, WorkflowLog};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A discovered finite-state machine. State 0 is initial; transitions
+/// are deterministic in the merged-prefix construction only if the
+/// k-future equivalence happens to be right-invariant on the log.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    state_count: usize,
+    /// `(from_state, activity) → to_state`, sorted for determinism.
+    transitions: BTreeMap<(usize, ActivityId), BTreeSet<usize>>,
+    accepting: BTreeSet<usize>,
+}
+
+impl Automaton {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of transitions (edges of the automaton graph, counting
+    /// multi-target nondeterministic entries individually).
+    pub fn transition_count(&self) -> usize {
+        self.transitions.values().map(BTreeSet::len).sum()
+    }
+
+    /// Accepting states (ends of observed traces).
+    pub fn accepting_states(&self) -> &BTreeSet<usize> {
+        &self.accepting
+    }
+
+    /// `true` if no `(state, activity)` pair has more than one target.
+    pub fn is_deterministic(&self) -> bool {
+        self.transitions.values().all(|t| t.len() == 1)
+    }
+
+    /// How many distinct transitions each activity labels — the §1
+    /// duplication argument: in a process graph every activity labels
+    /// exactly one vertex, in an automaton the same token may appear on
+    /// many transitions. Returns `(activity, transition_count)` for
+    /// activities appearing more than once.
+    pub fn token_duplication(&self) -> Vec<(ActivityId, usize)> {
+        let mut counts: HashMap<ActivityId, usize> = HashMap::new();
+        for (&(_, a), targets) in &self.transitions {
+            *counts.entry(a).or_insert(0) += targets.len();
+        }
+        let mut dup: Vec<(ActivityId, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c > 1)
+            .collect();
+        dup.sort_by_key(|&(a, _)| a);
+        dup
+    }
+
+    /// `true` if the automaton accepts the activity sequence (follows
+    /// any nondeterministic branch).
+    pub fn accepts(&self, seq: &[ActivityId]) -> bool {
+        let mut states: BTreeSet<usize> = BTreeSet::from([0]);
+        for &a in seq {
+            let mut next = BTreeSet::new();
+            for &s in &states {
+                if let Some(targets) = self.transitions.get(&(s, a)) {
+                    next.extend(targets);
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        states.iter().any(|s| self.accepting.contains(s))
+    }
+}
+
+/// Builds a k-tails automaton from the log: prefixes of observed traces
+/// are states, and two prefixes merge when the sets of suffixes of
+/// length ≤ `k` observed after them are equal. `k = 0` merges
+/// everything into one state; large `k` approaches the prefix-tree
+/// acceptor.
+pub fn ktail(log: &WorkflowLog, k: usize) -> Automaton {
+    let traces: Vec<Vec<ActivityId>> =
+        log.executions().iter().map(|e| e.sequence()).collect();
+
+    // Enumerate all prefixes (including the empty prefix and full
+    // traces) and collect each prefix's k-future set.
+    type Future = BTreeSet<Vec<ActivityId>>;
+    let mut futures: BTreeMap<Vec<ActivityId>, Future> = BTreeMap::new();
+    let mut is_end: BTreeSet<Vec<ActivityId>> = BTreeSet::new();
+    for t in &traces {
+        for cut in 0..=t.len() {
+            let prefix = t[..cut].to_vec();
+            let suffix = &t[cut..];
+            let horizon = suffix.len().min(k);
+            futures
+                .entry(prefix.clone())
+                .or_default()
+                .insert(suffix[..horizon].to_vec());
+            if cut == t.len() {
+                is_end.insert(prefix);
+            }
+        }
+    }
+
+    // Merge prefixes with identical futures.
+    let mut class_of_future: HashMap<&Future, usize> = HashMap::new();
+    let mut class_of_prefix: BTreeMap<&Vec<ActivityId>, usize> = BTreeMap::new();
+    // Ensure the empty prefix's class is state 0.
+    let empty = Vec::new();
+    let empty_future = futures.get(&empty).cloned().unwrap_or_default();
+    let mut next_class = 0usize;
+    for (prefix, future) in &futures {
+        let class = *class_of_future.entry(future).or_insert_with(|| {
+            let c = next_class;
+            next_class += 1;
+            c
+        });
+        class_of_prefix.insert(prefix, class);
+    }
+    // Swap classes so the empty prefix is state 0.
+    let empty_class = class_of_future.get(&empty_future).copied().unwrap_or(0);
+
+    let renumber = |c: usize| -> usize {
+        if c == empty_class {
+            0
+        } else if c == 0 {
+            empty_class
+        } else {
+            c
+        }
+    };
+
+    let mut transitions: BTreeMap<(usize, ActivityId), BTreeSet<usize>> = BTreeMap::new();
+    let mut accepting = BTreeSet::new();
+    for t in &traces {
+        for cut in 0..t.len() {
+            let from = renumber(class_of_prefix[&t[..cut].to_vec()]);
+            let to = renumber(class_of_prefix[&t[..cut + 1].to_vec()]);
+            transitions.entry((from, t[cut])).or_default().insert(to);
+        }
+        accepting.insert(renumber(class_of_prefix[&t.to_vec()]));
+    }
+
+    Automaton {
+        state_count: next_class,
+        transitions,
+        accepting,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(log: &WorkflowLog, s: &str) -> Vec<ActivityId> {
+        s.chars()
+            .map(|c| log.activities().id(&c.to_string()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn paper_section1_parallel_example() {
+        // Executions SABE and SBAE of the parallel process: the process
+        // graph has 4 vertices and 4 edges with each activity appearing
+        // once; the k-tails automaton duplicates the A and B tokens.
+        let log = WorkflowLog::from_strings(["SABE", "SBAE"]).unwrap();
+        let fsm = ktail(&log, 2);
+        assert!(fsm.accepts(&seq(&log, "SABE")));
+        assert!(fsm.accepts(&seq(&log, "SBAE")));
+        assert!(!fsm.accepts(&seq(&log, "SAAE")));
+
+        let dup = fsm.token_duplication();
+        let a = log.activities().id("A").unwrap();
+        let b = log.activities().id("B").unwrap();
+        assert!(dup.iter().any(|&(t, c)| t == a && c >= 2), "{dup:?}");
+        assert!(dup.iter().any(|&(t, c)| t == b && c >= 2), "{dup:?}");
+
+        // The mined process graph, by contrast, has one node per
+        // activity and admits both interleavings with 4 edges.
+        let (model, _) =
+            crate::mine_auto(&log, &crate::MinerOptions::default()).unwrap();
+        assert_eq!(model.activity_count(), 4);
+        assert_eq!(model.edge_count(), 4);
+    }
+
+    #[test]
+    fn k0_collapses_k_large_is_prefix_tree() {
+        let log = WorkflowLog::from_strings(["ABC", "ABD"]).unwrap();
+        let collapsed = ktail(&log, 0);
+        assert_eq!(collapsed.state_count(), 1, "all futures trivially equal");
+
+        let tree = ktail(&log, 10);
+        // Prefix classes: "", A, AB, ABC, ABD — AB C/D diverge, the two
+        // leaves share the empty future and merge: 4 distinct states.
+        assert!(tree.state_count() >= 4, "{}", tree.state_count());
+        assert!(tree.accepts(&seq(&log, "ABC")));
+        assert!(tree.accepts(&seq(&log, "ABD")));
+        assert!(!tree.accepts(&seq(&log, "AB")));
+    }
+
+    #[test]
+    fn accepts_only_observed_like_traces() {
+        let log = WorkflowLog::from_strings(["ABCE", "ACBE"]).unwrap();
+        let fsm = ktail(&log, 3);
+        assert!(fsm.accepts(&seq(&log, "ABCE")));
+        assert!(fsm.accepts(&seq(&log, "ACBE")));
+        assert!(!fsm.accepts(&seq(&log, "AE")));
+        assert!(!fsm.accepts(&seq(&log, "ABCEA")));
+    }
+
+    #[test]
+    fn loops_produce_cyclic_automata() {
+        let log = WorkflowLog::from_strings(["AXB", "AXXB", "AXXXB"]).unwrap();
+        let fsm = ktail(&log, 1);
+        // With k=1 the states inside the X-run merge, giving a loop the
+        // automaton generalizes through.
+        let x4 = {
+            let mut s = seq(&log, "A");
+            for _ in 0..4 {
+                s.push(log.activities().id("X").unwrap());
+            }
+            s.push(log.activities().id("B").unwrap());
+            s
+        };
+        assert!(fsm.accepts(&x4), "generalizes to unseen repetition counts");
+    }
+
+    #[test]
+    fn deterministic_on_deterministic_logs() {
+        let log = WorkflowLog::from_strings(["ABC", "ABC"]).unwrap();
+        let fsm = ktail(&log, 2);
+        assert!(fsm.is_deterministic());
+        assert_eq!(fsm.transition_count(), 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! BPMN 2.0 XML export of mined models.
+//!
+//! The paper's motivation is feeding discovered models back into a
+//! workflow system; today's lingua franca for that is BPMN. This module
+//! serializes a [`MinedModel`] plus its
+//! [`GatewayAnalysis`] as a minimal
+//! BPMN 2.0 `<process>`: one `<task>` per activity, a `<startEvent>` /
+//! `<endEvent>` wired to the initiating/terminating activities, and an
+//! explicit gateway element (`parallelGateway` for AND,
+//! `exclusiveGateway` for XOR, `inclusiveGateway` for OR) materialized
+//! after every split and before every join. The output imports into
+//! BPMN-aware editors (bpmn.io, Camunda Modeler, Signavio).
+
+use crate::splits::{GatewayAnalysis, GatewayKind};
+use crate::MinedModel;
+use std::fmt::Write as _;
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn gateway_element(kind: GatewayKind) -> &'static str {
+    match kind {
+        GatewayKind::And => "parallelGateway",
+        GatewayKind::Xor => "exclusiveGateway",
+        GatewayKind::Or => "inclusiveGateway",
+    }
+}
+
+/// Serializes the model as BPMN 2.0 XML.
+///
+/// Splits and joins listed in `gateways` become explicit gateway nodes;
+/// edges not adjacent to a gateway become direct `<sequenceFlow>`s.
+/// Pass `GatewayAnalysis::default()` to export without gateways (every
+/// branch wired directly).
+pub fn to_bpmn_xml(model: &MinedModel, gateways: &GatewayAnalysis, process_id: &str) -> String {
+    let g = model.graph();
+    let mut nodes = String::new();
+    let mut flows = String::new();
+    let mut flow_id = 0usize;
+    let mut flow = |flows: &mut String, from: String, to: String| {
+        flow_id += 1;
+        let _ = writeln!(
+            flows,
+            r#"    <sequenceFlow id="flow_{flow_id}" sourceRef="{from}" targetRef="{to}"/>"#
+        );
+    };
+
+    // Tasks.
+    for (id, name) in g.nodes() {
+        let _ = writeln!(
+            nodes,
+            r#"    <task id="task_{}" name="{}"/>"#,
+            id.index(),
+            xml_escape(name)
+        );
+    }
+
+    // Gateways: one node per classified split/join.
+    let split_of = |name: &str| gateways.splits.iter().find(|s| s.activity == name);
+    let join_of = |name: &str| gateways.joins.iter().find(|j| j.activity == name);
+    for s in &gateways.splits {
+        if let Some(v) = model.node_of(&s.activity) {
+            let _ = writeln!(
+                nodes,
+                r#"    <{} id="split_{}"/>"#,
+                gateway_element(s.kind),
+                v.index()
+            );
+        }
+    }
+    for j in &gateways.joins {
+        if let Some(v) = model.node_of(&j.activity) {
+            let _ = writeln!(
+                nodes,
+                r#"    <{} id="join_{}"/>"#,
+                gateway_element(j.kind),
+                v.index()
+            );
+        }
+    }
+
+    // Start / end events around the model's source(s) and sink(s).
+    let _ = writeln!(nodes, r#"    <startEvent id="start"/>"#);
+    let _ = writeln!(nodes, r#"    <endEvent id="end"/>"#);
+    for v in g.sources() {
+        flow(&mut flows, "start".into(), format!("task_{}", v.index()));
+    }
+    for v in g.sinks() {
+        flow(&mut flows, format!("task_{}", v.index()), "end".into());
+    }
+
+    // Split-side flows: task → its gateway (once); branch flows follow.
+    for (id, name) in g.nodes() {
+        if split_of(name).is_some() {
+            flow(&mut flows, format!("task_{}", id.index()), format!("split_{}", id.index()));
+        }
+    }
+    // Edge flows, routed through gateways where present.
+    for (u, v) in g.edges() {
+        let from = match split_of(g.node(u)) {
+            Some(_) => format!("split_{}", u.index()),
+            None => format!("task_{}", u.index()),
+        };
+        let to = match join_of(g.node(v)) {
+            Some(_) => format!("join_{}", v.index()),
+            None => format!("task_{}", v.index()),
+        };
+        flow(&mut flows, from, to);
+    }
+    // Join-side flows: gateway → task (once).
+    for (id, name) in g.nodes() {
+        if join_of(name).is_some() {
+            flow(&mut flows, format!("join_{}", id.index()), format!("task_{}", id.index()));
+        }
+    }
+
+    format!(
+        r#"<?xml version="1.0" encoding="UTF-8"?>
+<definitions xmlns="http://www.omg.org/spec/BPMN/20100524/MODEL"
+             id="procmine_definitions"
+             targetNamespace="https://procmine.example/bpmn">
+  <process id="{}" isExecutable="false">
+{}{}  </process>
+</definitions>
+"#,
+        xml_escape(process_id),
+        nodes,
+        flows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splits::analyze_gateways;
+    use crate::{mine_general_dag, MinerOptions};
+    use procmine_log::WorkflowLog;
+
+    fn exported(strings: &[&str]) -> String {
+        let log = WorkflowLog::from_strings(strings.iter().copied()).unwrap();
+        let model = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let gateways = analyze_gateways(&model, &log);
+        to_bpmn_xml(&model, &gateways, "test_process")
+    }
+
+    #[test]
+    fn chain_exports_tasks_and_events() {
+        let xml = exported(&["ABC", "ABC"]);
+        assert!(xml.starts_with(r#"<?xml version="1.0""#));
+        assert!(xml.contains(r#"<task id="task_0" name="A"/>"#));
+        assert!(xml.contains(r#"<startEvent id="start"/>"#));
+        assert!(xml.contains(r#"sourceRef="start" targetRef="task_0""#));
+        assert!(xml.contains(r#"targetRef="end""#));
+        assert!(!xml.contains("Gateway"), "no branches, no gateways");
+    }
+
+    #[test]
+    fn and_split_becomes_parallel_gateway() {
+        let xml = exported(&["ABCD", "ACBD"]);
+        assert!(xml.contains("<parallelGateway id=\"split_0\"/>"), "{xml}");
+        assert!(xml.contains("<parallelGateway id=\"join_3\"/>"));
+        // A routes through its gateway, not directly to B.
+        assert!(xml.contains(r#"sourceRef="task_0" targetRef="split_0""#));
+        assert!(xml.contains(r#"sourceRef="split_0" targetRef="task_1""#));
+        assert!(xml.contains(r#"sourceRef="join_3" targetRef="task_3""#));
+        assert!(!xml.contains(r#"sourceRef="task_0" targetRef="task_1""#));
+    }
+
+    #[test]
+    fn xor_split_becomes_exclusive_gateway() {
+        let xml = exported(&["ABD", "ACD"]);
+        assert!(xml.contains("<exclusiveGateway id=\"split_0\"/>"));
+        assert!(xml.contains("<exclusiveGateway id=\"join_"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let log = WorkflowLog::from_sequences([["a<b", "c&d"]]).unwrap();
+        let model = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let xml = to_bpmn_xml(&model, &Default::default(), "p \"q\"");
+        assert!(xml.contains("name=\"a&lt;b\""));
+        assert!(xml.contains("name=\"c&amp;d\""));
+        assert!(xml.contains("id=\"p &quot;q&quot;\""));
+    }
+
+    #[test]
+    fn flow_count_matches_structure() {
+        // Chain A→B→C: flows = start→A, C→end, A→B, B→C = 4.
+        let xml = exported(&["ABC"]);
+        assert_eq!(xml.matches("<sequenceFlow").count(), 4);
+        // Diamond with AND split at A and join at D:
+        // start→A, D→end, A→split, split→B, split→C, B→join, C→join,
+        // join→D = 8.
+        let xml = exported(&["ABCD", "ACBD"]);
+        assert_eq!(xml.matches("<sequenceFlow").count(), 8, "{xml}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Algorithm 3 (Cyclic Graphs): general directed process graphs.
+//!
+//! Cycles make the DAG machinery break down: a legitimate loop and two
+//! independent activities both produce orderings in both directions. The
+//! paper's fix (§5) is *instance labeling*: the `i`-th occurrence of
+//! activity `A` in an execution becomes its own vertex `Aᵢ`. The
+//! Algorithm 2 pipeline then runs over instance vertices (where each
+//! vertex occurs at most once per execution, restoring the DAG setting),
+//! and a final step merges each activity's instances back into one
+//! vertex, keeping an edge between two activities iff some pair of their
+//! instances kept one. A `B₁→C₁, C₁→B₂` pattern thereby becomes the
+//! cycle `B⇄C`.
+
+use crate::general_dag::{mine_vertex_log, VertexLog};
+use crate::model::graph_skeleton;
+use crate::{MineError, MinedModel, MinerOptions};
+use procmine_graph::NodeId;
+use procmine_log::WorkflowLog;
+
+/// Mines a process graph that may contain cycles (Algorithm 3). With
+/// every activity repeating at most `k` times per execution, runs in
+/// O((kn)³ m).
+///
+/// Edges between instances of the *same* activity (e.g. `B₁→B₂`) are
+/// dropped by the merge step, per the paper ("we put an edge in the new
+/// graph if there exists an edge between two vertices of *different*
+/// equivalent sets"); immediate self-repetition `AA` therefore does not
+/// produce a self-loop.
+pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedModel, MineError> {
+    if log.is_empty() {
+        return Err(MineError::EmptyLog);
+    }
+    let n = log.activities().len();
+
+    // Step 2 (of Algorithm 3): uniquely identify each occurrence.
+    // Instance vertex space: activity a gets `max_occ[a]` consecutive
+    // vertices starting at offset[a].
+    let mut max_occ = vec![0usize; n];
+    for exec in log.executions() {
+        let mut counts = vec![0usize; n];
+        for a in exec.sequence() {
+            counts[a.index()] += 1;
+            max_occ[a.index()] = max_occ[a.index()].max(counts[a.index()]);
+        }
+    }
+    let mut offset = vec![0usize; n + 1];
+    for a in 0..n {
+        offset[a + 1] = offset[a] + max_occ[a];
+    }
+    let total = offset[n];
+    // Reverse map: instance vertex -> activity.
+    let mut activity_of = vec![0usize; total];
+    for a in 0..n {
+        activity_of[offset[a]..offset[a + 1]].fill(a);
+    }
+
+    // Lower the log to instance vertices (steps 1–3 are one pass).
+    let vlog = VertexLog {
+        n: total,
+        execs: log
+            .executions()
+            .iter()
+            .map(|e| {
+                let labeled = e.labeled_sequence();
+                e.instances()
+                    .iter()
+                    .zip(labeled)
+                    .map(|(inst, (a, occ))| (offset[a.index()] + occ as usize, inst.start, inst.end))
+                    .collect()
+            })
+            .collect(),
+    };
+
+    // Steps 4–7: the shared pipeline.
+    let result = mine_vertex_log(&vlog, options.noise_threshold);
+
+    // Step 8: merge instance vertices back into activities.
+    let mut graph = graph_skeleton(log.activities());
+    let mut support_acc = vec![0u32; n * n];
+    for (x, y) in result.graph.edges() {
+        let (a, b) = (activity_of[x], activity_of[y]);
+        if a != b {
+            graph.add_edge(NodeId::new(a), NodeId::new(b));
+            support_acc[a * n + b] =
+                support_acc[a * n + b].saturating_add(result.counts[x * total + y]);
+        }
+    }
+    let support = graph
+        .edges()
+        .map(|(u, v)| (u.index(), v.index(), support_acc[u.index() * n + v.index()]))
+        .collect();
+    Ok(MinedModel::new(graph, support))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mine(strings: &[&str]) -> MinedModel {
+        let log = WorkflowLog::from_strings(strings.iter().copied()).unwrap();
+        mine_cyclic(&log, &MinerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_8() {
+        // Log {ABDCE, ABDCBCE, ABCBDCE, ADE} → Figure 6 (right): the
+        // mined graph contains the B⇄C cycle.
+        let model = mine(&["ABDCE", "ABDCBCE", "ABCBDCE", "ADE"]);
+        let mut edges = model.edges_named();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                ("A", "B"), ("A", "D"),
+                ("B", "C"), ("B", "D"),
+                ("C", "B"), ("C", "E"),
+                ("D", "C"), ("D", "E"),
+            ]
+        );
+        assert!(model.has_edge("B", "C") && model.has_edge("C", "B"), "B⇄C cycle");
+    }
+
+    #[test]
+    fn acyclic_log_matches_general_miner() {
+        let strings = ["ABCF", "ACDF", "ADEF", "AECF"];
+        let log = WorkflowLog::from_strings(strings).unwrap();
+        let cyclic = mine_cyclic(&log, &MinerOptions::default()).unwrap();
+        let general = crate::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let mut a = cyclic.edges_named();
+        let mut b = general.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "on repeat-free logs Algorithm 3 degenerates to Algorithm 2");
+    }
+
+    #[test]
+    fn simple_loop_recovered() {
+        // Process A → B → C with a rework loop C → B.
+        let model = mine(&["ABCD", "ABCBCD", "ABCBCBCD"]);
+        assert!(model.has_edge("A", "B"));
+        assert!(model.has_edge("B", "C"));
+        assert!(model.has_edge("C", "B"), "rework loop");
+        assert!(model.has_edge("C", "D"));
+        assert!(!model.has_edge("B", "D"), "D only reachable through C");
+    }
+
+    #[test]
+    fn immediate_self_repeat_yields_no_self_loop() {
+        let model = mine(&["AABC", "ABC"]);
+        assert!(!model.has_edge("A", "A"));
+        assert!(model.has_edge("B", "C"));
+    }
+
+    #[test]
+    fn empty_log_rejected() {
+        assert_eq!(
+            mine_cyclic(&WorkflowLog::new(), &MinerOptions::default()).unwrap_err(),
+            MineError::EmptyLog
+        );
+    }
+
+    #[test]
+    fn instance_counts_sized_per_activity() {
+        // A appears 3×, B 1× — instance space must be ragged, and the
+        // miner must not panic or cross-wire instances.
+        let model = mine(&["ABACA", "ACA"]);
+        assert_eq!(model.activity_count(), 3);
+        assert!(model.node_of("A").is_some());
+    }
+}

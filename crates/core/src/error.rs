@@ -1,0 +1,48 @@
+//! Error type for the miners.
+
+use std::fmt;
+
+/// Errors produced by the mining algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MineError {
+    /// The log contains no executions — nothing to mine.
+    EmptyLog,
+    /// Algorithm 1 requires every activity to appear in every execution;
+    /// the named execution is missing at least one activity.
+    SpecialPreconditionViolated {
+        /// The offending execution's name.
+        execution: String,
+    },
+    /// Algorithm 1 or 2 was given a log with repeated activities —
+    /// evidence of cycles, which require [`crate::mine_cyclic`].
+    RepeatsRequireCyclicMiner {
+        /// The offending execution's name.
+        execution: String,
+    },
+    /// The ordering graph still contained a long cycle where the
+    /// algorithm requires a DAG. With interval (non-instantaneous) logs
+    /// this can happen in Algorithm 1; the general miner handles it.
+    UnexpectedCycle,
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::EmptyLog => write!(f, "the log contains no executions"),
+            MineError::SpecialPreconditionViolated { execution } => write!(
+                f,
+                "execution `{execution}` does not contain every activity; use mine_general_dag"
+            ),
+            MineError::RepeatsRequireCyclicMiner { execution } => write!(
+                f,
+                "execution `{execution}` repeats an activity; use mine_cyclic"
+            ),
+            MineError::UnexpectedCycle => write!(
+                f,
+                "the ordering graph contains a cycle the algorithm cannot resolve; use mine_general_dag or mine_cyclic"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MineError {}

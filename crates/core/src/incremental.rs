@@ -1,0 +1,262 @@
+//! Incremental mining — the paper's *process evolution* application.
+//!
+//! The introduction motivates using mined models "to allow the evolution
+//! of the current process model into future versions of the model by
+//! incorporating feedback from successful process executions". That
+//! calls for a miner that absorbs executions as they complete and can
+//! produce an up-to-date model at any point without rescanning history.
+//!
+//! [`IncrementalMiner`] maintains the step-2 ordering counts (the
+//! dominant O(n²) work per execution) across batches; requesting a
+//! [`model`](IncrementalMiner::model) runs only the cheap finishing
+//! steps (threshold → two-cycles → SCC → per-execution reduction) over
+//! the retained executions. The activity universe may grow between
+//! batches — count matrices are re-indexed on the fly.
+//!
+//! Like Algorithm 2, the incremental miner handles acyclic processes;
+//! an execution with repeated activities is rejected (route such logs
+//! to [`crate::mine_cyclic`]).
+
+use crate::general_dag::{count_one_execution, finish_from_counts, OrderObservations, VertexLog};
+use crate::model::graph_skeleton;
+use crate::{MineError, MinedModel, MinerOptions};
+use procmine_graph::NodeId;
+use procmine_log::{ActivityTable, Execution, WorkflowLog};
+
+/// A miner that absorbs executions over time (Algorithm 2, incremental
+/// step-2 counts).
+#[derive(Debug, Clone)]
+pub struct IncrementalMiner {
+    options: MinerOptions,
+    table: ActivityTable,
+    /// Row-major `n × n` ordered-pair and overlap counts over the
+    /// *current* table.
+    obs: OrderObservations,
+    /// Lowered executions (dense vertex, start, end), kept for the
+    /// marking pass (steps 5–6 need the executions themselves).
+    execs: Vec<Vec<(usize, u64, u64)>>,
+}
+
+impl IncrementalMiner {
+    /// Creates an empty miner.
+    pub fn new(options: MinerOptions) -> Self {
+        IncrementalMiner {
+            options,
+            table: ActivityTable::new(),
+            obs: OrderObservations::new(0),
+            execs: Vec::new(),
+        }
+    }
+
+    /// Number of executions absorbed.
+    pub fn executions(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// The activity table accumulated so far.
+    pub fn activities(&self) -> &ActivityTable {
+        &self.table
+    }
+
+    /// Absorbs one execution given as an ordered list of activity
+    /// names (instantaneous form). New names grow the activity universe.
+    pub fn absorb_sequence<S: AsRef<str>>(&mut self, names: &[S]) -> Result<(), MineError> {
+        if names.is_empty() {
+            return Err(MineError::EmptyLog);
+        }
+        let mut seen = std::collections::HashSet::new();
+        if names.iter().any(|n| !seen.insert(n.as_ref())) {
+            return Err(MineError::RepeatsRequireCyclicMiner {
+                execution: format!("incremental-{}", self.execs.len()),
+            });
+        }
+        let old_n = self.table.len();
+        let lowered: Vec<(usize, u64, u64)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (self.table.intern(s.as_ref()).index(), i as u64, i as u64))
+            .collect();
+        self.grow_to(self.table.len(), old_n);
+        count_one_execution(self.table.len(), &lowered, &mut self.obs);
+        self.execs.push(lowered);
+        Ok(())
+    }
+
+    /// Absorbs an execution from a log that shares this miner's
+    /// activity-name universe (ids are re-interned by name, so the
+    /// source log may use a different table).
+    pub fn absorb_execution(
+        &mut self,
+        exec: &Execution,
+        source_table: &ActivityTable,
+    ) -> Result<(), MineError> {
+        if exec.has_repeats() {
+            return Err(MineError::RepeatsRequireCyclicMiner {
+                execution: exec.id.clone(),
+            });
+        }
+        let old_n = self.table.len();
+        let lowered: Vec<(usize, u64, u64)> = exec
+            .instances()
+            .iter()
+            .map(|i| {
+                (
+                    self.table.intern(source_table.name(i.activity)).index(),
+                    i.start,
+                    i.end,
+                )
+            })
+            .collect();
+        self.grow_to(self.table.len(), old_n);
+        count_one_execution(self.table.len(), &lowered, &mut self.obs);
+        self.execs.push(lowered);
+        Ok(())
+    }
+
+    /// Absorbs every execution of a log.
+    pub fn absorb_log(&mut self, log: &WorkflowLog) -> Result<(), MineError> {
+        for exec in log.executions() {
+            self.absorb_execution(exec, log.activities())?;
+        }
+        Ok(())
+    }
+
+    /// Re-indexes the count matrices when the activity universe grows
+    /// from `old_n` to `new_n`.
+    fn grow_to(&mut self, new_n: usize, old_n: usize) {
+        if new_n == old_n {
+            return;
+        }
+        let grow = |old: &[u32]| {
+            let mut grown = vec![0u32; new_n * new_n];
+            for u in 0..old_n {
+                grown[u * new_n..u * new_n + old_n]
+                    .copy_from_slice(&old[u * old_n..u * old_n + old_n]);
+            }
+            grown
+        };
+        self.obs.ordered = grow(&self.obs.ordered);
+        self.obs.overlap = grow(&self.obs.overlap);
+    }
+
+    /// Produces the current model (steps 3–7 over the retained
+    /// executions). Errors if nothing has been absorbed.
+    pub fn model(&self) -> Result<MinedModel, MineError> {
+        if self.execs.is_empty() {
+            return Err(MineError::EmptyLog);
+        }
+        let n = self.table.len();
+        let vlog = VertexLog {
+            n,
+            execs: self.execs.clone(),
+        };
+        let result = finish_from_counts(&vlog, self.obs.clone(), self.options.noise_threshold);
+        let mut graph = graph_skeleton(&self.table);
+        let mut support = Vec::with_capacity(result.graph.edge_count());
+        for (u, v) in result.graph.edges() {
+            graph.add_edge(NodeId::new(u), NodeId::new(v));
+            support.push((u, v, result.counts[u * n + v]));
+        }
+        Ok(MinedModel::new(graph, support))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine_general_dag;
+
+    #[test]
+    fn matches_batch_miner() {
+        let strings = ["ABCF", "ACDF", "ADEF", "AECF"];
+        let log = WorkflowLog::from_strings(strings).unwrap();
+
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        inc.absorb_log(&log).unwrap();
+        let incremental = inc.model().unwrap();
+        let batch = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+
+        let mut a = incremental.edges_named();
+        let mut b = batch.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_evolves_with_new_executions() {
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        inc.absorb_sequence(&["A", "B", "C"]).unwrap();
+        inc.absorb_sequence(&["A", "B", "C"]).unwrap();
+        let before = inc.model().unwrap();
+        assert!(before.has_edge("B", "C"));
+
+        // New observations reverse B and C: they become independent.
+        inc.absorb_sequence(&["A", "C", "B"]).unwrap();
+        let after = inc.model().unwrap();
+        assert!(!after.has_edge("B", "C") && !after.has_edge("C", "B"));
+        assert!(after.has_edge("A", "B") && after.has_edge("A", "C"));
+    }
+
+    #[test]
+    fn activity_universe_grows() {
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        inc.absorb_sequence(&["A", "B"]).unwrap();
+        assert_eq!(inc.activities().len(), 2);
+        // A branch through new activities arrives later.
+        inc.absorb_sequence(&["A", "C", "D", "B"]).unwrap();
+        assert_eq!(inc.activities().len(), 4);
+        let model = inc.model().unwrap();
+        assert!(model.has_edge("A", "B"), "direct path still needed by exec 1");
+        assert!(model.has_edge("C", "D"));
+        assert_eq!(model.activity_count(), 4);
+    }
+
+    #[test]
+    fn count_matrix_survives_growth() {
+        // Counts recorded before growth must keep their values after
+        // re-indexing.
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        for _ in 0..5 {
+            inc.absorb_sequence(&["A", "B"]).unwrap();
+        }
+        inc.absorb_sequence(&["A", "X", "B"]).unwrap();
+        let model = inc.model().unwrap();
+        let support = model.edge_support();
+        let ab = support
+            .iter()
+            .find(|&&(u, v, _)| {
+                model.name_of(procmine_graph::NodeId::new(u)) == "A"
+                    && model.name_of(procmine_graph::NodeId::new(v)) == "B"
+            })
+            .expect("A->B mined");
+        assert_eq!(ab.2, 6, "all six observations counted");
+    }
+
+    #[test]
+    fn rejects_repeats_and_empty() {
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        assert!(matches!(
+            inc.absorb_sequence(&["A", "B", "A"]),
+            Err(MineError::RepeatsRequireCyclicMiner { .. })
+        ));
+        assert!(matches!(
+            inc.absorb_sequence::<&str>(&[]),
+            Err(MineError::EmptyLog)
+        ));
+        assert!(matches!(inc.model(), Err(MineError::EmptyLog)));
+    }
+
+    #[test]
+    fn absorb_from_differently_ordered_table() {
+        // A log whose table interned names in another order still lands
+        // on the right activities.
+        let log = WorkflowLog::from_strings(["CBA"]).unwrap();
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        inc.absorb_sequence(&["A", "B", "C"]).unwrap();
+        inc.absorb_log(&log).unwrap();
+        let model = inc.model().unwrap();
+        // Both orders observed → all pairs independent.
+        assert_eq!(model.edge_count(), 0);
+    }
+}

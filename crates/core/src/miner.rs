@@ -1,0 +1,99 @@
+//! Miner configuration and automatic algorithm selection.
+
+use crate::{mine_cyclic, mine_general_dag, mine_special_dag, MineError, MinedModel};
+use procmine_log::WorkflowLog;
+
+/// Options shared by all miners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinerOptions {
+    /// Minimum number of executions that must exhibit an ordered pair
+    /// before it becomes an edge in step 2 — the §6 noise threshold `T`.
+    /// The default of 1 keeps every observed ordering (the noise-free
+    /// setting of §3–§5). Use [`crate::noise::optimal_threshold`] to
+    /// derive a value from an error-rate estimate.
+    pub noise_threshold: u32,
+}
+
+impl Default for MinerOptions {
+    fn default() -> Self {
+        MinerOptions { noise_threshold: 1 }
+    }
+}
+
+impl MinerOptions {
+    /// Options with a specific noise threshold.
+    pub fn with_threshold(noise_threshold: u32) -> Self {
+        MinerOptions { noise_threshold }
+    }
+}
+
+/// Which of the paper's algorithms a mining run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1 — acyclic, every activity in every execution.
+    SpecialDag,
+    /// Algorithm 2 — acyclic, activities may be skipped.
+    GeneralDag,
+    /// Algorithm 3 — general graphs with cycles.
+    Cyclic,
+}
+
+/// Inspects the log and runs the most specific applicable algorithm:
+///
+/// * any repeated activity within an execution → [`mine_cyclic`]
+///   (Algorithm 3);
+/// * every activity present in every execution → [`mine_special_dag`]
+///   (Algorithm 1), which guarantees the unique minimal conformal graph;
+/// * otherwise → [`mine_general_dag`] (Algorithm 2).
+///
+/// Returns the model together with the algorithm chosen.
+pub fn mine_auto(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+) -> Result<(MinedModel, Algorithm), MineError> {
+    if log.is_empty() {
+        return Err(MineError::EmptyLog);
+    }
+    if log.has_repeats() {
+        Ok((mine_cyclic(log, options)?, Algorithm::Cyclic))
+    } else if log.every_activity_in_every_execution() {
+        Ok((mine_special_dag(log, options)?, Algorithm::SpecialDag))
+    } else {
+        Ok((mine_general_dag(log, options)?, Algorithm::GeneralDag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_to_special() {
+        let log = WorkflowLog::from_strings(["ABCDE", "ACDBE", "ACBDE"]).unwrap();
+        let (_, alg) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        assert_eq!(alg, Algorithm::SpecialDag);
+    }
+
+    #[test]
+    fn dispatches_to_general() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+        let (_, alg) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        assert_eq!(alg, Algorithm::GeneralDag);
+    }
+
+    #[test]
+    fn dispatches_to_cyclic() {
+        let log = WorkflowLog::from_strings(["ABDCE", "ABDCBCE"]).unwrap();
+        let (_, alg) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        assert_eq!(alg, Algorithm::Cyclic);
+    }
+
+    #[test]
+    fn empty_log_is_an_error() {
+        let log = WorkflowLog::new();
+        assert_eq!(
+            mine_auto(&log, &MinerOptions::default()).unwrap_err(),
+            MineError::EmptyLog
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Noise thresholding (§6 of the paper).
+//!
+//! Logging errors insert spurious orderings; independent activities can
+//! by chance always appear in the same order. Both failure modes are
+//! controlled by the edge-count threshold `T` of
+//! [`MinerOptions::noise_threshold`](crate::MinerOptions): an ordered
+//! pair becomes an edge only if at least `T` executions exhibit it.
+//!
+//! With error rate `ε < 1/2` and `m` executions the paper bounds
+//!
+//! * `P[dependency lost]   ≤ C(m, T)·ε^T` — at least `T` erroneous
+//!   reversals arrive, creating a two-cycle that deletes a real edge;
+//! * `P[false dependency]  ≤ C(m, m−T)·(1/2)^(m−T)` — two independent
+//!   activities happen to be ordered the same way in at least `m−T`
+//!   executions, so the minority direction falls below `T` and a
+//!   spurious edge survives.
+//!
+//! Setting the bounds equal gives `ε^T = (1/2)^(m−T)`, i.e.
+//! `T = m·ln 2 / (ln 2 − ln ε)` — implemented by [`optimal_threshold`].
+
+/// ln(m choose k), computed by summing logarithms (exact enough for the
+/// probability bounds; `k ≤ m` required).
+pub fn ln_choose(m: u64, k: u64) -> f64 {
+    assert!(k <= m, "ln_choose requires k <= m");
+    let k = k.min(m - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((m - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// Natural log of the bound `C(m,t)·eps^t` (without clamping) — use
+/// this when the bound underflows `f64` (it does quickly: the whole
+/// point of the threshold is to make these probabilities astronomically
+/// small). Returns `f64::INFINITY`-free values; `eps = 0` gives
+/// `-inf` for `t > 0`.
+pub fn ln_prob_dependency_lost(m: u64, t: u64, eps: f64) -> f64 {
+    assert!((0.0..1.0).contains(&eps), "eps must be in [0, 1)");
+    if t > m {
+        return f64::NEG_INFINITY;
+    }
+    ln_choose(m, t) + t as f64 * eps.ln()
+}
+
+/// Natural log of the bound `C(m, m−t)·(1/2)^(m−t)` (without clamping).
+pub fn ln_prob_false_dependency(m: u64, t: u64) -> f64 {
+    if t >= m {
+        return 0.0; // bound degenerates to 1
+    }
+    let k = m - t;
+    ln_choose(m, k) + k as f64 * 0.5f64.ln()
+}
+
+/// Upper bound on the probability that a true dependency is lost to
+/// noise: at least `t` of `m` executions reverse the pair, each
+/// independently with probability `eps`. (`C(m,t)·eps^t`, clamped to 1.)
+pub fn prob_dependency_lost(m: u64, t: u64, eps: f64) -> f64 {
+    if t > m {
+        return 0.0; // can never see t reversals in fewer executions
+    }
+    if eps == 0.0 {
+        return if t == 0 { 1.0 } else { 0.0 };
+    }
+    ln_prob_dependency_lost(m, t, eps).exp().min(1.0)
+}
+
+/// Upper bound on the probability that a false dependency is added
+/// between independent activities: they are ordered the same way in at
+/// least `m − t` of `m` executions. (`C(m, m−t)·(1/2)^(m−t)`, clamped.)
+pub fn prob_false_dependency(m: u64, t: u64) -> f64 {
+    ln_prob_false_dependency(m, t).exp().min(1.0)
+}
+
+/// Lower bound `δ` on the probability that Algorithm 2 classifies a
+/// given pair correctly: `1 − max(P[lost], P[false])`.
+pub fn success_probability(m: u64, t: u64, eps: f64) -> f64 {
+    (1.0 - prob_dependency_lost(m, t, eps).max(prob_false_dependency(m, t))).max(0.0)
+}
+
+/// The threshold `T` that balances the two §6 error bounds:
+/// `T = m·ln 2 / (ln 2 − ln ε)`, rounded, clamped to `[1, m]`.
+///
+/// Requires `0 < eps < 1/2` (the paper's standing assumption); at
+/// `eps → 1/2` this tends to `m/2`, and smaller error rates give smaller
+/// thresholds.
+pub fn optimal_threshold(m: u64, eps: f64) -> u32 {
+    assert!(
+        eps > 0.0 && eps < 0.5,
+        "optimal_threshold requires 0 < eps < 1/2 (got {eps})"
+    );
+    let ln2 = std::f64::consts::LN_2;
+    let t = m as f64 * ln2 / (ln2 - eps.ln());
+    (t.round() as u64).clamp(1, m.max(1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_choose_matches_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0)).abs() < 1e-12);
+        assert!((ln_choose(10, 10)).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_threshold_limits() {
+        // ε → 1/2 gives T ≈ m/2 (within rounding).
+        let t = optimal_threshold(1000, 0.499);
+        assert!((499..=500).contains(&t), "got {t}");
+        // Small ε gives small T.
+        let t = optimal_threshold(1000, 0.01);
+        assert!(t < 150, "got {t}");
+        // Monotone in ε.
+        assert!(optimal_threshold(1000, 0.05) < optimal_threshold(1000, 0.2));
+        // Always at least 1.
+        assert_eq!(optimal_threshold(1, 0.01), 1);
+    }
+
+    #[test]
+    fn balanced_threshold_equalizes_bounds() {
+        // At the optimal T the two log-bounds agree (the probabilities
+        // themselves underflow f64 — by design).
+        let (m, eps) = (10_000u64, 0.05f64);
+        let t = optimal_threshold(m, eps) as u64;
+        let lost = ln_prob_dependency_lost(m, t, eps);
+        let false_dep = ln_prob_false_dependency(m, t);
+        let rel = (lost - false_dep).abs() / lost.abs().max(1.0);
+        assert!(rel < 0.02, "ln lost={lost} ln false={false_dep}");
+    }
+
+    #[test]
+    fn probabilities_are_clamped_and_monotone() {
+        assert!(prob_dependency_lost(10, 1, 0.4) <= 1.0);
+        assert!(prob_dependency_lost(10, 11, 0.4) == 0.0);
+        assert_eq!(prob_false_dependency(10, 10), 1.0);
+        // More executions make false dependencies less likely at fixed T-fraction.
+        assert!(prob_false_dependency(1000, 100) < prob_false_dependency(10, 1));
+        // Raising the threshold lowers the lost-dependency bound: more
+        // erroneous reversals are required. (Compare in log domain —
+        // the clamped bounds saturate at 1 for small T.)
+        assert!(
+            ln_prob_dependency_lost(100, 50, 0.1) < ln_prob_dependency_lost(100, 30, 0.1)
+        );
+        assert!(prob_dependency_lost(100, 50, 0.1) < 1e-10);
+    }
+
+    #[test]
+    fn success_probability_reasonable() {
+        let m = 10_000;
+        let eps = 0.05;
+        let t = optimal_threshold(m, eps) as u64;
+        let p = success_probability(m, t, eps);
+        assert!(p > 0.999, "with m=10k, eps=5% the pair-level error is negligible (p={p})");
+        // A terrible threshold ruins it.
+        assert!(success_probability(10, 9, 0.05) < 0.5);
+    }
+
+    #[test]
+    fn zero_eps_edge_cases() {
+        assert_eq!(prob_dependency_lost(100, 5, 0.0), 0.0);
+        assert_eq!(prob_dependency_lost(100, 0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < eps < 1/2")]
+    fn optimal_threshold_rejects_large_eps() {
+        optimal_threshold(100, 0.6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Parallel mining: Algorithm 2's two heavy passes — ordered-pair
+//! counting (step 2) and per-execution transitive-reduction marking
+//! (step 5) — are embarrassingly parallel over executions. This module
+//! runs them on scoped threads with per-thread accumulators merged at
+//! the barriers, producing results identical to the serial miner.
+//!
+//! The paper's cost model has `m ≫ n`, so both passes are linear in the
+//! number of executions; at the Table 1 scale (10 000 executions) the
+//! speedup is near-linear in cores (see the `parallel_scaling` bench
+//! binary).
+
+use crate::general_dag::{
+    count_one_execution, mark_one_execution, prune_graph, MarkScratch, OrderObservations,
+    VertexLog,
+};
+use crate::model::graph_skeleton;
+use crate::{MineError, MinedModel, MinerOptions};
+use procmine_graph::{AdjMatrix, NodeId};
+use procmine_log::WorkflowLog;
+
+/// Parallel Algorithm 2: identical output to
+/// [`mine_general_dag`](crate::mine_general_dag), with steps 2 and 5
+/// fanned out over `threads` scoped threads.
+///
+/// `threads == 0` is treated as 1. The result is deterministic and
+/// equal to the serial miner's for any thread count (counts merge by
+/// addition, marks by union — both order-independent).
+pub fn mine_general_dag_parallel(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    threads: usize,
+) -> Result<MinedModel, MineError> {
+    if log.is_empty() {
+        return Err(MineError::EmptyLog);
+    }
+    for exec in log.executions() {
+        if exec.has_repeats() {
+            return Err(MineError::RepeatsRequireCyclicMiner {
+                execution: exec.id.clone(),
+            });
+        }
+    }
+    let threads = threads.max(1);
+    let n = log.activities().len();
+    let vlog = VertexLog {
+        n,
+        execs: log
+            .executions()
+            .iter()
+            .map(|e| {
+                e.instances()
+                    .iter()
+                    .map(|i| (i.activity.index(), i.start, i.end))
+                    .collect()
+            })
+            .collect(),
+    };
+
+    // Step 2 in parallel: per-thread count matrices, merged by addition.
+    let chunk = vlog.execs.len().div_ceil(threads);
+    let obs: OrderObservations = std::thread::scope(|scope| {
+        let handles: Vec<_> = vlog
+            .execs
+            .chunks(chunk.max(1))
+            .map(|execs| {
+                scope.spawn(move || {
+                    let mut local = OrderObservations::new(n);
+                    for exec in execs {
+                        count_one_execution(n, exec, &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut total = OrderObservations::new(n);
+        for h in handles {
+            let local = h.join().expect("counting thread panicked");
+            for (t, l) in total.ordered.iter_mut().zip(local.ordered) {
+                *t += l;
+            }
+            for (t, l) in total.overlap.iter_mut().zip(local.overlap) {
+                *t += l;
+            }
+        }
+        total
+    });
+
+    // Steps 3–4 serial (cheap).
+    let mut g = prune_graph(n, &obs, options.noise_threshold);
+    let counts = obs.ordered;
+
+    // Step 5 in parallel: per-thread marked matrices, merged by union.
+    let marked: AdjMatrix = std::thread::scope(|scope| {
+        let g_ref = &g;
+        let handles: Vec<_> = vlog
+            .execs
+            .chunks(chunk.max(1))
+            .map(|execs| {
+                scope.spawn(move || {
+                    let mut local = AdjMatrix::new(n);
+                    let mut scratch = MarkScratch::new();
+                    for exec in execs {
+                        mark_one_execution(g_ref, exec, &mut local, &mut scratch);
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut total = AdjMatrix::new(n);
+        for h in handles {
+            let local = h.join().expect("marking thread panicked");
+            for (u, v) in local.edges() {
+                total.add_edge(u, v);
+            }
+        }
+        total
+    });
+
+    // Step 6: drop edges no execution needed.
+    let unmarked: Vec<(usize, usize)> =
+        g.edges().filter(|&(u, v)| !marked.has_edge(u, v)).collect();
+    for (u, v) in unmarked {
+        g.remove_edge(u, v);
+    }
+
+    let mut graph = graph_skeleton(log.activities());
+    let mut support = Vec::with_capacity(g.edge_count());
+    for (u, v) in g.edges() {
+        graph.add_edge(NodeId::new(u), NodeId::new(v));
+        support.push((u, v, counts[u * n + v]));
+    }
+    Ok(MinedModel::new(graph, support))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine_general_dag;
+
+    fn assert_matches_serial(strings: &[&str], threads: usize) {
+        let log = WorkflowLog::from_strings(strings.iter().copied()).unwrap();
+        let serial = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let parallel = mine_general_dag_parallel(&log, &MinerOptions::default(), threads).unwrap();
+        let mut a = serial.edges_named();
+        let mut b = parallel.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "threads={threads}");
+        // Edge support must match too (counts merged correctly).
+        let mut sa = serial.edge_support().to_vec();
+        let mut sb = parallel.edge_support().to_vec();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn matches_serial_at_various_thread_counts() {
+        let strings = ["ABCF", "ACDF", "ADEF", "AECF", "ABCF", "ACDF"];
+        for threads in [0, 1, 2, 3, 8, 64] {
+            assert_matches_serial(&strings, threads);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_larger_random_workload() {
+        use procmine_sim::{randdag, walk};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = randdag::random_dag(
+            &randdag::RandomDagConfig { vertices: 20, edge_prob: 0.4 },
+            &mut rng,
+        )
+        .unwrap();
+        let log = walk::random_walk_log(&model, 500, &mut rng).unwrap();
+        let serial = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let parallel = mine_general_dag_parallel(&log, &MinerOptions::default(), 4).unwrap();
+        let mut a = serial.edges_named();
+        let mut b = parallel.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs_like_serial() {
+        assert!(matches!(
+            mine_general_dag_parallel(&WorkflowLog::new(), &MinerOptions::default(), 4),
+            Err(MineError::EmptyLog)
+        ));
+        let cyclic = WorkflowLog::from_strings(["ABAB"]).unwrap();
+        assert!(matches!(
+            mine_general_dag_parallel(&cyclic, &MinerOptions::default(), 4),
+            Err(MineError::RepeatsRequireCyclicMiner { .. })
+        ));
+    }
+
+    #[test]
+    fn respects_threshold() {
+        let mut strings = vec!["ABC"; 10];
+        strings.push("ACB");
+        let log = WorkflowLog::from_strings(strings).unwrap();
+        let serial = mine_general_dag(&log, &MinerOptions::with_threshold(2)).unwrap();
+        let parallel =
+            mine_general_dag_parallel(&log, &MinerOptions::with_threshold(2), 3).unwrap();
+        let mut a = serial.edges_named();
+        let mut b = parallel.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,262 @@
+//! A fixed-capacity bitset over `u64` blocks.
+//!
+//! Used as the row type of [`crate::AdjMatrix`] and as the descendant
+//! sets in the Appendix-A transitive-reduction algorithm, where the
+//! dominant operation is `descendants(v) |= descendants(succ)` — a
+//! block-wise union.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-capacity set of `usize` values in `0..len`.
+///
+/// All operations panic if an index is out of range; capacity is fixed at
+/// construction (the mining algorithms know `n` up front).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for values in `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            blocks: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// The capacity (exclusive upper bound of storable values).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn check(&self, bit: usize) {
+        assert!(
+            bit < self.len,
+            "bit index {bit} out of range for BitSet of capacity {}",
+            self.len
+        );
+    }
+
+    /// Inserts `bit`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        self.check(bit);
+        let (blk, mask) = (bit / BITS, 1u64 << (bit % BITS));
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] |= mask;
+        !was
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        self.check(bit);
+        let (blk, mask) = (bit / BITS, 1u64 << (bit % BITS));
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] &= !mask;
+        was
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        self.check(bit);
+        self.blocks[bit / BITS] & (1u64 << (bit % BITS)) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `self |= other`. Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other`. Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other` (set difference). Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` if the sets share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "BitSet capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates the elements in increasing order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to just fit the maximum value.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`], in increasing order.
+pub struct Ones<'a> {
+    set: &'a BitSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.block * BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(63) && !s.contains(128));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = BitSet::new(200);
+        for v in [5usize, 0, 199, 64, 63, 65] {
+            s.insert(v);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn empty_iteration_and_zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let s = BitSet::new(100);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for v in [1usize, 2, 3, 70] {
+            a.insert(v);
+        }
+        for v in [2usize, 3, 4, 99] {
+            b.insert(v);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70, 99]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 70]);
+        assert!(a.intersects(&b));
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(10);
+        s.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [3usize, 9, 1].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 9]);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.capacity(), 0);
+    }
+}

@@ -1,0 +1,380 @@
+//! A node-labelled directed graph with stable integer node ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`DiGraph`] or [`crate::AdjMatrix`].
+///
+/// Ids are dense indices assigned in insertion order; they are never
+/// reused or invalidated (nodes cannot be removed, matching the paper's
+/// setting where the activity set only grows while scanning the log).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// The raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A directed graph whose nodes carry a payload `N`.
+///
+/// Edges are unweighted and stored in both directions (out- and
+/// in-adjacency), kept sorted so that `has_edge` is a binary search and
+/// edge iteration is deterministic. Parallel edges are not representable:
+/// `add_edge` is idempotent. Self-loops are allowed (Algorithm 3 can
+/// produce them when merging instance vertices of a tight cycle).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct DiGraph<N> {
+    nodes: Vec<N>,
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl<N> Default for DiGraph<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            out: Vec::new(),
+            inn: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node with the given payload and returns its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(payload);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The payload of `id`. Panics if `id` is not in this graph.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to the payload of `id`.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates all node ids in increasing order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + Clone + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Iterates `(id, payload)` pairs in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// Adds the edge `(from, to)`; returns `true` if it was newly added.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.index() < self.nodes.len(), "`from` not in graph");
+        assert!(to.index() < self.nodes.len(), "`to` not in graph");
+        match self.out[from.index()].binary_search(&to) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.out[from.index()].insert(pos, to);
+                let ipos = self.inn[to.index()]
+                    .binary_search(&from)
+                    .expect_err("in/out adjacency out of sync");
+                self.inn[to.index()].insert(ipos, from);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the edge `(from, to)`; returns `true` if it was present.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if from.index() >= self.nodes.len() || to.index() >= self.nodes.len() {
+            return false;
+        }
+        match self.out[from.index()].binary_search(&to) {
+            Ok(pos) => {
+                self.out[from.index()].remove(pos);
+                let ipos = self.inn[to.index()]
+                    .binary_search(&from)
+                    .expect("in/out adjacency out of sync");
+                self.inn[to.index()].remove(ipos);
+                self.edge_count -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Tests whether the edge `(from, to)` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        from.index() < self.nodes.len() && self.out[from.index()].binary_search(&to).is_ok()
+    }
+
+    /// The out-neighbours of `id`, in increasing id order.
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.out[id.index()]
+    }
+
+    /// The in-neighbours of `id`, in increasing id order.
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.inn[id.index()]
+    }
+
+    /// Out-degree of `id`.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out[id.index()].len()
+    }
+
+    /// In-degree of `id`.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.inn[id.index()].len()
+    }
+
+    /// Iterates all edges `(from, to)` in lexicographic order.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            out: &self.out,
+            from: 0,
+            pos: 0,
+        }
+    }
+
+    /// Nodes with in-degree 0 (the candidates for the process' initiating
+    /// activity).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Nodes with out-degree 0 (the candidates for the terminating
+    /// activity).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Builds a graph from a node-payload list and an edge list of raw
+    /// indices. Panics if any index is out of range.
+    pub fn from_edges<I>(payloads: Vec<N>, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut g = DiGraph::with_capacity(payloads.len());
+        for p in payloads {
+            g.add_node(p);
+        }
+        for (u, v) in edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+        g
+    }
+
+    /// Maps node payloads, preserving ids and edges.
+    pub fn map<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> DiGraph<M> {
+        DiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| f(NodeId::new(i), n))
+                .collect(),
+            out: self.out.clone(),
+            inn: self.inn.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// The graph with every edge reversed (payloads preserved).
+    pub fn reversed(&self) -> Self
+    where
+        N: Clone,
+    {
+        DiGraph {
+            nodes: self.nodes.clone(),
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+}
+
+impl<N: fmt::Debug> fmt::Debug for DiGraph<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DiGraph ({} nodes, {} edges)", self.node_count(), self.edge_count())?;
+        for (id, n) in self.nodes() {
+            write!(f, "  {:?} {:?} ->", id, n)?;
+            for s in self.successors(id) {
+                write!(f, " {:?}", s)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over all edges of a [`DiGraph`], in lexicographic order.
+pub struct EdgeIter<'a> {
+    out: &'a [Vec<NodeId>],
+    from: usize,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.from < self.out.len() {
+            if self.pos < self.out[self.from].len() {
+                let e = (NodeId::new(self.from), self.out[self.from][self.pos]);
+                self.pos += 1;
+                return Some(e);
+            }
+            self.from += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<char>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node('A');
+        let b = g.add_node('B');
+        let c = g.add_node('C');
+        let d = g.add_node('D');
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(a, b) && g.has_edge(c, d));
+        assert!(!g.has_edge(b, a) && !g.has_edge(a, d));
+        assert_eq!(g.successors(a), &[b, c]);
+        assert_eq!(g.predecessors(d), &[b, c]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 0);
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let (mut g, [a, b, ..]) = diamond();
+        assert!(!g.add_edge(a, b));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_directions() {
+        let (mut g, [a, b, _, d]) = diamond();
+        assert!(g.remove_edge(a, b));
+        assert!(!g.remove_edge(a, b));
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.predecessors(b), &[] as &[NodeId]);
+        assert_eq!(g.predecessors(d).len(), 2);
+    }
+
+    #[test]
+    fn edges_iterate_lexicographically() {
+        let (g, [a, b, c, d]) = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(a, b), (a, c), (b, d), (c, d)]);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, [a, .., d]) = diamond();
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn self_loop_allowed() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        assert!(g.add_edge(a, a));
+        assert!(g.has_edge(a, a));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(a), &[a]);
+        assert_eq!(g.predecessors(a), &[a]);
+    }
+
+    #[test]
+    fn from_edges_and_map_and_reversed() {
+        let g = DiGraph::from_edges(vec!["a", "b", "c"], [(0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        let mapped = g.map(|_, s| s.to_uppercase());
+        assert_eq!(mapped.node(NodeId::new(0)), "A");
+        assert_eq!(mapped.edge_count(), 2);
+        let rev = g.reversed();
+        assert!(rev.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(rev.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert_eq!(rev.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.sources().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Dominator analysis.
+//!
+//! In a process graph with initiating activity `s`, activity `d`
+//! *dominates* activity `v` if every path from `s` to `v` passes through
+//! `d`. Dominators of the terminating activity are the process'
+//! *mandatory* activities — they occur in every complete execution the
+//! model admits, which is exactly the question a process owner asks
+//! ("can a case skip Approval?"). Implemented with the
+//! Cooper–Harvey–Kennedy iterative algorithm over a reverse-post-order
+//! numbering.
+
+use crate::{BitSet, DiGraph, NodeId};
+
+/// The dominator tree of a graph from a given root.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    root: NodeId,
+    /// Immediate dominator per node (`None` for the root and for nodes
+    /// unreachable from it).
+    idom: Vec<Option<NodeId>>,
+}
+
+impl Dominators {
+    /// The root (initiating activity) the analysis ran from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The immediate dominator of `v` (`None` for the root itself and
+    /// for nodes unreachable from the root).
+    pub fn immediate_dominator(&self, v: NodeId) -> Option<NodeId> {
+        if v == self.root {
+            None
+        } else {
+            self.idom[v.index()]
+        }
+    }
+
+    /// `true` if `v` is reachable from the root (the root dominates it).
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        v == self.root || self.idom[v.index()].is_some()
+    }
+
+    /// All dominators of `v`, from its immediate dominator up to the
+    /// root. Empty for the root and for unreachable nodes.
+    pub fn dominators_of(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = v;
+        while let Some(d) = self.immediate_dominator(cur) {
+            out.push(d);
+            cur = d;
+        }
+        out
+    }
+
+    /// `true` if `d` dominates `v` (every root→`v` path passes through
+    /// `d`). Every node dominates itself.
+    pub fn dominates(&self, d: NodeId, v: NodeId) -> bool {
+        if d == v {
+            return self.is_reachable(v);
+        }
+        let mut cur = v;
+        while let Some(i) = self.immediate_dominator(cur) {
+            if i == d {
+                return true;
+            }
+            cur = i;
+        }
+        false
+    }
+}
+
+/// Computes the dominator tree of `g` from `root` (Cooper–Harvey–
+/// Kennedy). O(V·E) worst case, near-linear on process-sized graphs.
+pub fn dominators<N>(g: &DiGraph<N>, root: NodeId) -> Dominators {
+    let n = g.node_count();
+    // Reverse post-order (DFS finish order reversed), root first.
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut visited = BitSet::new(n);
+    // Iterative post-order DFS.
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    visited.insert(root.index());
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        let succs = g.successors(v);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if visited.insert(s.index()) {
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(v);
+            stack.pop();
+        }
+    }
+    order.reverse();
+
+    let mut rpo_number = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        rpo_number[v.index()] = i;
+    }
+
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    idom[root.index()] = Some(root);
+
+    let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+        while a != b {
+            while rpo_number[a.index()] > rpo_number[b.index()] {
+                a = idom[a.index()].expect("processed node has idom");
+            }
+            while rpo_number[b.index()] > rpo_number[a.index()] {
+                b = idom[b.index()].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in order.iter().skip(1) {
+            // First processed predecessor.
+            let mut new_idom: Option<NodeId> = None;
+            for &p in g.predecessors(v) {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[v.index()] != Some(ni) {
+                    idom[v.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Normalize: the root's self-idom becomes None via accessor; keep
+    // internal encoding, but unreachable nodes stay None.
+    let idom = idom
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| if i == root.index() { None } else { d })
+        .collect();
+    Dominators { root, idom }
+}
+
+/// The mandatory activities of a single-source/single-sink process
+/// graph: the nodes dominating `sink` (plus `sink` itself), in
+/// root-to-sink order. These occur on every source→sink route.
+pub fn mandatory_activities<N>(g: &DiGraph<N>, source: NodeId, sink: NodeId) -> Vec<NodeId> {
+    let dom = dominators(g, source);
+    if !dom.is_reachable(sink) {
+        return Vec::new();
+    }
+    let mut chain = dom.dominators_of(sink);
+    chain.reverse(); // root first
+    chain.push(sink);
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_dominators() {
+        // 0→1→3, 0→2→3: 1 and 2 do not dominate 3; 0 dominates all.
+        let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dom = dominators(&g, NodeId::new(0));
+        assert_eq!(dom.immediate_dominator(NodeId::new(3)), Some(NodeId::new(0)));
+        assert!(dom.dominates(NodeId::new(0), NodeId::new(3)));
+        assert!(!dom.dominates(NodeId::new(1), NodeId::new(3)));
+        assert!(dom.dominates(NodeId::new(3), NodeId::new(3)), "self-domination");
+        assert_eq!(dom.immediate_dominator(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn chain_everything_mandatory() {
+        let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (1, 2), (2, 3)]);
+        let mandatory = mandatory_activities(&g, NodeId::new(0), NodeId::new(3));
+        assert_eq!(
+            mandatory,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn branch_and_join_mandatory_set() {
+        // 0→{1,2}→3→{4,5}→6: 0, 3, 6 are mandatory.
+        let g = DiGraph::from_edges(
+            vec![(); 7],
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+        );
+        let mandatory = mandatory_activities(&g, NodeId::new(0), NodeId::new(6));
+        assert_eq!(mandatory, vec![NodeId::new(0), NodeId::new(3), NodeId::new(6)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_dominators() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1)]);
+        let dom = dominators(&g, NodeId::new(0));
+        assert!(!dom.is_reachable(NodeId::new(2)));
+        assert!(dom.dominators_of(NodeId::new(2)).is_empty());
+        assert!(mandatory_activities(&g, NodeId::new(0), NodeId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn cyclic_graph_dominators() {
+        // 0→1⇄2→3: both 1 and 0 dominate 3 (the cycle must be entered
+        // through 1).
+        let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let dom = dominators(&g, NodeId::new(0));
+        assert!(dom.dominates(NodeId::new(1), NodeId::new(3)));
+        assert!(dom.dominates(NodeId::new(2), NodeId::new(3)));
+        assert_eq!(dom.immediate_dominator(NodeId::new(2)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn shortcut_breaks_domination() {
+        // 0→1→2 plus shortcut 0→2: 1 no longer dominates 2.
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (0, 2)]);
+        let dom = dominators(&g, NodeId::new(0));
+        assert!(!dom.dominates(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(
+            mandatory_activities(&g, NodeId::new(0), NodeId::new(2)),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn graph10_mandatory_activities() {
+        // From the Figure 7 preset shape: A (source), B? no — B is
+        // bypassed by H→E; E and J are mandatory (all paths join at E).
+        let edges = [
+            (0usize, 3usize), (0, 6), (3, 1), (6, 7), (6, 2), (2, 5), (5, 8),
+            (8, 1), (7, 1), (7, 4), (1, 4), (4, 9),
+        ];
+        let g = DiGraph::from_edges(vec![(); 10], edges);
+        let mandatory = mandatory_activities(&g, NodeId::new(0), NodeId::new(9));
+        assert_eq!(mandatory, vec![NodeId::new(0), NodeId::new(4), NodeId::new(9)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Graphviz DOT export.
+//!
+//! The paper presents its outputs as drawn process graphs (Figures 3–12);
+//! this module renders mined [`DiGraph`]s to DOT so they can be rendered
+//! with `dot -Tpng` and compared to the paper's figures.
+
+use crate::{DiGraph, NodeId};
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// The `digraph` name.
+    pub name: String,
+    /// Rank direction: `"LR"` (paper-style, left to right) or `"TB"`.
+    pub rankdir: String,
+    /// Extra attributes applied to every node (e.g. `shape=box`).
+    pub node_attrs: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "process".to_string(),
+            rankdir: "LR".to_string(),
+            node_attrs: "shape=ellipse".to_string(),
+        }
+    }
+}
+
+/// Renders `g` as DOT, labelling each node with `label(id, payload)`.
+pub fn to_dot_with<N>(
+    g: &DiGraph<N>,
+    opts: &DotOptions,
+    mut label: impl FnMut(NodeId, &N) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(&opts.name));
+    let _ = writeln!(out, "  rankdir={};", opts.rankdir);
+    let _ = writeln!(out, "  node [{}];", opts.node_attrs);
+    for (id, payload) in g.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", id.index(), escape(&label(id, payload)));
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `g` as DOT using the payload's `Display` as the node label.
+pub fn to_dot<N: std::fmt::Display>(g: &DiGraph<N>, opts: &DotOptions) -> String {
+    to_dot_with(g, opts, |_, p| p.to_string())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn sanitize_id(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = DiGraph::from_edges(vec!["A", "B", "C"], [(0, 1), (1, 2)]);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph process {"));
+        assert!(dot.contains("n0 [label=\"A\"];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        let g = DiGraph::from_edges(vec!["say \"hi\"", "back\\slash"], [(0, 1)]);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("back\\\\slash"));
+    }
+
+    #[test]
+    fn sanitizes_graph_name() {
+        let g: DiGraph<&str> = DiGraph::new();
+        let opts = DotOptions {
+            name: "Upload and Notify".into(),
+            ..Default::default()
+        };
+        let dot = to_dot(&g, &opts);
+        assert!(dot.starts_with("digraph Upload_and_Notify {"));
+        let opts = DotOptions { name: "7graph".into(), ..Default::default() };
+        assert!(to_dot(&g, &opts).starts_with("digraph g_7graph {"));
+    }
+
+    #[test]
+    fn custom_labels() {
+        let g = DiGraph::from_edges(vec![(); 2], [(0, 1)]);
+        let dot = to_dot_with(&g, &DotOptions::default(), |id, _| format!("act{}", id.index()));
+        assert!(dot.contains("label=\"act0\""));
+        assert!(dot.contains("label=\"act1\""));
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for graph algorithms.
+
+use std::fmt;
+
+/// Errors produced by graph algorithms in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An algorithm requiring a DAG was given a graph containing a cycle.
+    /// Carries one node known to lie on a cycle.
+    CycleDetected {
+        /// A node on some cycle.
+        node: usize,
+    },
+    /// Node index out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CycleDetected { node } => {
+                write!(f, "graph contains a cycle (through node {node})")
+            }
+            GraphError::NodeOutOfRange { index, node_count } => {
+                write!(f, "node index {index} out of range (graph has {node_count} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

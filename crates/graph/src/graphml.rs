@@ -1,0 +1,114 @@
+//! GraphML export.
+//!
+//! DOT covers Graphviz; GraphML is the XML interchange the graph-tool
+//! ecosystem (yEd, Gephi, NetworkX) reads. Node labels are emitted as a
+//! declared `label` data key; optional edge weights (e.g. the miners'
+//! support counts) as a `weight` key.
+
+use crate::{DiGraph, NodeId};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders `g` as GraphML, labelling nodes via `label` and optionally
+/// weighting edges via `weight`.
+pub fn to_graphml_with<N>(
+    g: &DiGraph<N>,
+    graph_id: &str,
+    mut label: impl FnMut(NodeId, &N) -> String,
+    mut weight: impl FnMut(NodeId, NodeId) -> Option<f64>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    out.push('\n');
+    out.push_str(r#"<graphml xmlns="http://graphml.graphdrawing.org/xmlns">"#);
+    out.push('\n');
+    out.push_str(r#"  <key id="label" for="node" attr.name="label" attr.type="string"/>"#);
+    out.push('\n');
+    out.push_str(r#"  <key id="weight" for="edge" attr.name="weight" attr.type="double"/>"#);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        r#"  <graph id="{}" edgedefault="directed">"#,
+        escape(graph_id)
+    );
+    for (id, payload) in g.nodes() {
+        let _ = writeln!(
+            out,
+            r#"    <node id="n{}"><data key="label">{}</data></node>"#,
+            id.index(),
+            escape(&label(id, payload))
+        );
+    }
+    for (i, (u, v)) in g.edges().enumerate() {
+        match weight(u, v) {
+            Some(w) => {
+                let _ = writeln!(
+                    out,
+                    r#"    <edge id="e{i}" source="n{}" target="n{}"><data key="weight">{w}</data></edge>"#,
+                    u.index(),
+                    v.index()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    r#"    <edge id="e{i}" source="n{}" target="n{}"/>"#,
+                    u.index(),
+                    v.index()
+                );
+            }
+        }
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+/// Renders `g` as GraphML using the payload's `Display` as the label
+/// and no edge weights.
+pub fn to_graphml<N: std::fmt::Display>(g: &DiGraph<N>, graph_id: &str) -> String {
+    to_graphml_with(g, graph_id, |_, p| p.to_string(), |_, _| None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_structure() {
+        let g = DiGraph::from_edges(vec!["A", "B & C"], [(0, 1)]);
+        let xml = to_graphml(&g, "p<1>");
+        assert!(xml.starts_with(r#"<?xml version="1.0""#));
+        assert!(xml.contains(r#"<graph id="p&lt;1&gt;" edgedefault="directed">"#));
+        assert!(xml.contains(r#"<node id="n0"><data key="label">A</data></node>"#));
+        assert!(xml.contains("B &amp; C"));
+        assert!(xml.contains(r#"<edge id="e0" source="n0" target="n1"/>"#));
+        assert!(xml.trim_end().ends_with("</graphml>"));
+    }
+
+    #[test]
+    fn weights_emitted_when_given() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2)]);
+        let xml = to_graphml_with(
+            &g,
+            "w",
+            |id, _| format!("t{}", id.index()),
+            |u, _| if u.index() == 0 { Some(2.5) } else { None },
+        );
+        assert!(xml.contains(r#"<data key="weight">2.5</data>"#));
+        assert!(xml.contains(r#"<edge id="e1" source="n1" target="n2"/>"#));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g: DiGraph<&str> = DiGraph::new();
+        let xml = to_graphml(&g, "empty");
+        assert!(xml.contains(r#"<graph id="empty""#));
+        assert!(!xml.contains("<node"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Induced subgraphs.
+//!
+//! Definition 6 evaluates executions against the subgraph induced by
+//! their present activities; the miners' step 5 reduces per-execution
+//! induced subgraphs. This module provides the shared construction.
+
+use crate::{DiGraph, NodeId};
+
+/// A subgraph induced by a node subset, with the mapping back to the
+/// original graph's ids.
+#[derive(Debug, Clone)]
+pub struct Induced<N> {
+    /// The induced graph; node `i` corresponds to `original_ids[i]`.
+    pub graph: DiGraph<N>,
+    /// For each induced node, its id in the original graph.
+    pub original_ids: Vec<NodeId>,
+}
+
+impl<N> Induced<N> {
+    /// The induced-graph id of an original node, if it was selected.
+    pub fn induced_id(&self, original: NodeId) -> Option<NodeId> {
+        self.original_ids
+            .iter()
+            .position(|&o| o == original)
+            .map(NodeId::new)
+    }
+}
+
+/// Builds the subgraph of `g` induced by `nodes` (payloads cloned).
+/// Node order in the result follows `nodes`; duplicate entries are
+/// ignored after their first occurrence. Edges are exactly the edges of
+/// `g` with both endpoints selected — Definition 6's
+/// `{(u, v) ∈ E | u, v ∈ V'}`.
+pub fn induced_subgraph<N: Clone>(g: &DiGraph<N>, nodes: &[NodeId]) -> Induced<N> {
+    let mut position = vec![usize::MAX; g.node_count()];
+    let mut original_ids: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut graph = DiGraph::with_capacity(nodes.len());
+    for &v in nodes {
+        if position[v.index()] != usize::MAX {
+            continue;
+        }
+        position[v.index()] = original_ids.len();
+        original_ids.push(v);
+        graph.add_node(g.node(v).clone());
+    }
+    for &v in &original_ids {
+        for &s in g.successors(v) {
+            if position[s.index()] != usize::MAX {
+                graph.add_edge(
+                    NodeId::new(position[v.index()]),
+                    NodeId::new(position[s.index()]),
+                );
+            }
+        }
+    }
+    Induced { graph, original_ids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<&'static str> {
+        DiGraph::from_edges(
+            vec!["A", "B", "C", "D", "E"],
+            [(0, 1), (0, 2), (1, 4), (2, 3), (2, 4), (3, 4)],
+        )
+    }
+
+    #[test]
+    fn selects_nodes_and_internal_edges() {
+        let g = sample();
+        let ind = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(ind.graph.node_count(), 3);
+        // A→C and C→E survive; edges through absent B and D do not.
+        assert_eq!(ind.graph.edge_count(), 2);
+        assert_eq!(*ind.graph.node(NodeId::new(0)), "A");
+        assert_eq!(ind.original_ids, vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(ind.induced_id(NodeId::new(4)), Some(NodeId::new(2)));
+        assert_eq!(ind.induced_id(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn preserves_requested_order_and_dedups() {
+        let g = sample();
+        let ind = induced_subgraph(
+            &g,
+            &[NodeId::new(3), NodeId::new(1), NodeId::new(3), NodeId::new(0)],
+        );
+        assert_eq!(
+            ind.original_ids,
+            vec![NodeId::new(3), NodeId::new(1), NodeId::new(0)]
+        );
+        // Only A→B among the selected.
+        assert_eq!(ind.graph.edge_count(), 1);
+        assert!(ind
+            .graph
+            .has_edge(ind.induced_id(NodeId::new(0)).unwrap(), ind.induced_id(NodeId::new(1)).unwrap()));
+    }
+
+    #[test]
+    fn empty_and_full_selections() {
+        let g = sample();
+        let empty = induced_subgraph(&g, &[]);
+        assert_eq!(empty.graph.node_count(), 0);
+        let all: Vec<NodeId> = g.node_ids().collect();
+        let full = induced_subgraph(&g, &all);
+        assert_eq!(full.graph.edge_count(), g.edge_count());
+    }
+}

@@ -1,0 +1,67 @@
+//! Directed-graph substrate for the `procmine` workspace.
+//!
+//! The process-mining algorithms of Agrawal, Gunopulos and Leymann (EDBT
+//! 1998) are graph algorithms at heart: they build a directed graph of
+//! observed orderings, strip two-cycles, collapse strongly connected
+//! components, and take per-execution transitive reductions. This crate
+//! provides exactly that toolbox, implemented from scratch:
+//!
+//! * [`DiGraph`] — a node-labelled directed graph with stable integer
+//!   node ids, the public result type of the miners;
+//! * [`AdjMatrix`] — a dense bit-matrix graph used in the miners' inner
+//!   loops where edge tests and removals must be O(1);
+//! * [`BitSet`] — the fixed-capacity bitset backing [`AdjMatrix`] and the
+//!   descendant sets of the transitive-reduction algorithm;
+//! * [`topo`] — Kahn topological sort and cycle detection;
+//! * [`scc`] — Tarjan's strongly-connected-components algorithm and the
+//!   condensation graph;
+//! * [`reach`] — reachability, descendant sets and transitive closure;
+//! * [`reduction`] — the paper's Appendix-A transitive-reduction
+//!   algorithm (reverse topological order with descendant bitsets) plus a
+//!   naive reference implementation used for testing and ablation;
+//! * [`dot`] — Graphviz DOT export;
+//! * [`diff`] — edge-set comparison (precision / recall / missing /
+//!   spurious) used to score mined graphs against ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use procmine_graph::{DiGraph, reduction};
+//!
+//! // Build A -> B -> C plus the redundant shortcut A -> C …
+//! let mut g: DiGraph<&str> = DiGraph::new();
+//! let a = g.add_node("A");
+//! let b = g.add_node("B");
+//! let c = g.add_node("C");
+//! g.add_edge(a, b);
+//! g.add_edge(b, c);
+//! g.add_edge(a, c);
+//!
+//! // … and the transitive reduction removes the shortcut.
+//! let tr = reduction::transitive_reduction_dag(&g).unwrap();
+//! assert!(tr.has_edge(a, b) && tr.has_edge(b, c) && !tr.has_edge(a, c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjmatrix;
+mod bitset;
+mod digraph;
+mod error;
+
+pub mod diff;
+pub mod dominators;
+pub mod dot;
+pub mod graphml;
+pub mod induced;
+pub mod paths;
+pub mod reach;
+pub mod reduction;
+pub mod scc;
+pub mod topo;
+
+pub use adjmatrix::AdjMatrix;
+pub use bitset::BitSet;
+pub use digraph::{DiGraph, EdgeIter, NodeId};
+pub use error::GraphError;

@@ -1,0 +1,221 @@
+//! Transitive reduction of directed acyclic graphs.
+//!
+//! The paper's Appendix A (Algorithm 4, "TR") computes the unique
+//! transitive reduction of a DAG by visiting vertices in reverse
+//! topological order and maintaining, per vertex, the bitset of its
+//! descendants:
+//!
+//! 1. find a topological ordering;
+//! 2. for each vertex `v` in reverse topological order:
+//!    a. `desc(v) = ⋃ desc(s)` over the successors `s` of `v`;
+//!    b. drop every successor of `v` that is already in `desc(v)`
+//!    (Lemma 7: an edge is in the reduction iff there is no *other*
+//!    path between its endpoints);
+//!    c. add the surviving successors to `desc(v)`.
+//!
+//! This runs in O(|V||E|) time — with bitsets, O(|E|·|V|/64) words.
+//! [`transitive_reduction_naive`] is the per-edge-DFS reference used to
+//! cross-check it in tests and as the baseline of ablation A1.
+
+use crate::topo::topological_sort;
+use crate::{AdjMatrix, BitSet, DiGraph, GraphError, NodeId};
+
+/// Computes the transitive reduction of the DAG `g` (Appendix A,
+/// Algorithm 4). Payloads are preserved. Returns
+/// [`GraphError::CycleDetected`] if `g` is not acyclic — a DAG has a
+/// unique reduction, a cyclic graph does not.
+pub fn transitive_reduction_dag<N: Clone>(g: &DiGraph<N>) -> Result<DiGraph<N>, GraphError> {
+    let order = topological_sort(g)?;
+    let n = g.node_count();
+    let mut desc: Vec<BitSet> = vec![BitSet::new(n); n];
+    let mut reduced = g.map(|_, p| p.clone());
+
+    for &v in order.iter().rev() {
+        let vi = v.index();
+        // (a) union the descendants of all current successors.
+        let mut dv = BitSet::new(n);
+        for &s in g.successors(v) {
+            dv.union_with(&desc[s.index()]);
+        }
+        // (b) an edge (v, s) is redundant iff s is reachable through a
+        // different successor.
+        for &s in g.successors(v) {
+            if dv.contains(s.index()) {
+                reduced.remove_edge(v, s);
+            }
+        }
+        // (c) surviving successors are also descendants.
+        for &s in reduced.successors(v) {
+            dv.insert(s.index());
+        }
+        desc[vi] = dv;
+    }
+    Ok(reduced)
+}
+
+/// Transitive reduction of a DAG given as an [`AdjMatrix`]. Same
+/// algorithm as [`transitive_reduction_dag`], operating on bitset rows
+/// directly; used in the miners' inner loops.
+pub fn transitive_reduction_matrix(m: &AdjMatrix) -> Result<AdjMatrix, GraphError> {
+    let g = m.to_digraph(|_| ());
+    let order = topological_sort(&g)?;
+    let n = m.node_count();
+    let mut desc: Vec<BitSet> = vec![BitSet::new(n); n];
+    let mut reduced = m.clone();
+
+    for &v in order.iter().rev() {
+        let vi = v.index();
+        let mut dv = BitSet::new(n);
+        for s in m.successors(vi) {
+            dv.union_with(&desc[s]);
+        }
+        for s in m.successors(vi) {
+            if dv.contains(s) {
+                reduced.remove_edge(vi, s);
+            }
+        }
+        for s in reduced.successors(vi) {
+            dv.insert(s);
+        }
+        desc[vi] = dv;
+    }
+    Ok(reduced)
+}
+
+/// Naive O(|E|·(|V|+|E|)) transitive reduction: for each edge `(u, v)`,
+/// run a DFS from `u` that avoids the direct edge and remove `(u, v)` if
+/// `v` is still reachable. Reference implementation for tests and the
+/// ablation benchmark.
+pub fn transitive_reduction_naive<N: Clone>(g: &DiGraph<N>) -> Result<DiGraph<N>, GraphError> {
+    topological_sort(g)?;
+    let mut reduced = g.map(|_, p| p.clone());
+    for (u, v) in g.edges() {
+        if reachable_avoiding(g, u, v) {
+            reduced.remove_edge(u, v);
+        }
+    }
+    Ok(reduced)
+}
+
+/// DFS from `u` to `v` that may not take the direct edge `(u, v)` as its
+/// first step.
+fn reachable_avoiding<N>(g: &DiGraph<N>, u: NodeId, v: NodeId) -> bool {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack: Vec<NodeId> = g
+        .successors(u)
+        .iter()
+        .copied()
+        .filter(|&s| s != v)
+        .collect();
+    for s in &stack {
+        seen.insert(s.index());
+    }
+    while let Some(w) = stack.pop() {
+        if w == v {
+            return true;
+        }
+        for &x in g.successors(w) {
+            if seen.insert(x.index()) {
+                if x == v {
+                    return true;
+                }
+                stack.push(x);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::transitive_closure;
+
+    #[test]
+    fn removes_shortcut_edge() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (0, 2)]);
+        let tr = transitive_reduction_dag(&g).unwrap();
+        assert_eq!(tr.edge_count(), 2);
+        assert!(!tr.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn preserves_closure() {
+        let g = DiGraph::from_edges(
+            vec![(); 6],
+            [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3), (1, 4), (3, 4), (0, 4), (4, 5), (0, 5)],
+        );
+        let tr = transitive_reduction_dag(&g).unwrap();
+        assert_eq!(transitive_closure(&g), transitive_closure(&tr));
+        assert!(tr.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn paper_example_6() {
+        // Log {ABCDE, ACDBE, ACBDE}: after two-cycle removal the
+        // ordering graph has edges A→{B,C,D,E}, B→E, C→{D,E}, D→E
+        // (B is independent of C and D). TR keeps A→B, A→C, B→E, C→D,
+        // D→E — the process graph of Figure 3. A=0 B=1 C=2 D=3 E=4.
+        let g = DiGraph::from_edges(
+            vec![(); 5],
+            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 4), (2, 3), (2, 4), (3, 4)],
+        );
+        let tr = transitive_reduction_dag(&g).unwrap();
+        let edges: Vec<_> = tr.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 4), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn matrix_and_digraph_agree() {
+        let g = DiGraph::from_edges(
+            vec![(); 7],
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5), (5, 6), (3, 6)],
+        );
+        let tr_g = transitive_reduction_dag(&g).unwrap();
+        let tr_m = transitive_reduction_matrix(&AdjMatrix::from_digraph(&g)).unwrap();
+        assert_eq!(AdjMatrix::from_digraph(&tr_g), tr_m);
+    }
+
+    #[test]
+    fn naive_and_fast_agree() {
+        let g = DiGraph::from_edges(
+            vec![(); 8],
+            [
+                (0, 1), (0, 2), (0, 5), (1, 3), (2, 3), (3, 4), (0, 4), (1, 4),
+                (5, 6), (6, 7), (5, 7), (4, 7),
+            ],
+        );
+        let fast = transitive_reduction_dag(&g).unwrap();
+        let naive = transitive_reduction_naive(&g).unwrap();
+        assert_eq!(
+            fast.edges().collect::<Vec<_>>(),
+            naive.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let g = DiGraph::from_edges(vec![(); 2], [(0, 1), (1, 0)]);
+        assert!(transitive_reduction_dag(&g).is_err());
+        assert!(transitive_reduction_naive(&g).is_err());
+    }
+
+    #[test]
+    fn reduction_of_reduction_is_identity() {
+        let g = DiGraph::from_edges(
+            vec![(); 5],
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (0, 4)],
+        );
+        let tr = transitive_reduction_dag(&g).unwrap();
+        let tr2 = transitive_reduction_dag(&tr).unwrap();
+        assert_eq!(tr.edges().collect::<Vec<_>>(), tr2.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert_eq!(transitive_reduction_dag(&g).unwrap().edge_count(), 0);
+        let g = DiGraph::from_edges(vec![(); 3], std::iter::empty());
+        assert_eq!(transitive_reduction_dag(&g).unwrap().edge_count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Strongly connected components (Tarjan) and the condensation graph.
+//!
+//! Step 4 of Algorithm 2 removes all edges between vertices in the same
+//! strongly connected component of the followings graph: a cycle of
+//! followings means the activities on it are mutually independent.
+
+use crate::{DiGraph, NodeId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `component[v]` is the component index of node `v`.
+    component: Vec<usize>,
+    /// The members of each component. Components are numbered in reverse
+    /// topological order of the condensation (a Tarjan property): if
+    /// there is an edge from component `a` to component `b` (a ≠ b),
+    /// then `a > b`.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component index of a node.
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.component[v.index()]
+    }
+
+    /// Members of component `c`, in increasing node-id order.
+    pub fn members(&self, c: usize) -> &[NodeId] {
+        &self.members[c]
+    }
+
+    /// Iterates all components as member slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// `true` if `u` and `v` are in the same component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+
+    /// Components with more than one member (the "cycles of followings"
+    /// that Algorithm 2 dissolves). A single node with a self-loop is not
+    /// reported here; the miners remove self-loops in the two-cycle step.
+    pub fn nontrivial(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.members.iter().filter(|m| m.len() > 1).map(Vec::as_slice)
+    }
+}
+
+/// Computes the strongly connected components of `g` with an iterative
+/// Tarjan algorithm (explicit stack — no recursion, so deep graphs cannot
+/// overflow the call stack).
+pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNVISITED; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Work stack frames: (node, next-successor-position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let succs = g.successors(NodeId::new(v));
+            if *pos < succs.len() {
+                let w = succs[*pos].index();
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let c = members.len();
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w] = false;
+                        component[w] = c;
+                        comp.push(NodeId::new(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    SccDecomposition { component, members }
+}
+
+/// Builds the condensation of `g`: one node per SCC (payload = members),
+/// with an edge between two components iff `g` has an edge between their
+/// members. The condensation is always a DAG.
+pub fn condensation<N>(g: &DiGraph<N>) -> DiGraph<Vec<NodeId>> {
+    let sccs = tarjan_scc(g);
+    let mut cg = DiGraph::with_capacity(sccs.count());
+    for c in 0..sccs.count() {
+        cg.add_node(sccs.members(c).to_vec());
+    }
+    for (u, v) in g.edges() {
+        let (cu, cv) = (sccs.component_of(u), sccs.component_of(v));
+        if cu != cv {
+            cg.add_edge(NodeId::new(cu), NodeId::new(cv));
+        }
+    }
+    cg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_acyclic;
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (2, 0)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.count(), 1);
+        assert_eq!(sccs.members(0).len(), 3);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (1, 2), (2, 3)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.count(), 4);
+        assert!(sccs.nontrivial().next().is_none());
+    }
+
+    #[test]
+    fn paper_example_7_component() {
+        // Followings graph of the log {ABCF, ACDF, ADEF, AECF} after
+        // two-cycle removal has C, D, E in one SCC (C→D→E→C).
+        // Nodes: A=0 B=1 C=2 D=3 E=4 F=5.
+        let g = DiGraph::from_edges(
+            vec![(); 6],
+            [
+                (0, 1), (0, 2), (0, 3), (0, 4),
+                (1, 2), (1, 5),
+                (2, 3), (2, 5),
+                (3, 4), (3, 5),
+                (4, 2), (4, 5),
+            ],
+        );
+        let sccs = tarjan_scc(&g);
+        let nontrivial: Vec<_> = sccs.nontrivial().collect();
+        assert_eq!(nontrivial.len(), 1);
+        assert_eq!(
+            nontrivial[0],
+            &[NodeId::new(2), NodeId::new(3), NodeId::new(4)]
+        );
+    }
+
+    #[test]
+    fn two_separate_cycles() {
+        let g = DiGraph::from_edges(
+            vec![(); 6],
+            [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2), (5, 0)],
+        );
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.count(), 3);
+        assert!(sccs.same_component(NodeId::new(0), NodeId::new(1)));
+        assert!(sccs.same_component(NodeId::new(2), NodeId::new(4)));
+        assert!(!sccs.same_component(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(sccs.component_of(NodeId::new(5)), sccs.component_of(NodeId::new(5)));
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let g = DiGraph::from_edges(
+            vec![(); 6],
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)],
+        );
+        let cg = condensation(&g);
+        assert_eq!(cg.node_count(), 4);
+        assert!(is_acyclic(&cg));
+        // Total members across components == node count.
+        let total: usize = cg.nodes().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = DiGraph::from_edges(vec![(); 2], [(0, 0), (0, 1)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.count(), 2);
+        assert!(sccs.nontrivial().next().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node chain — would overflow a recursive Tarjan.
+        let n = 100_000;
+        let g = DiGraph::from_edges(vec![(); n], (0..n - 1).map(|i| (i, i + 1)));
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.count(), n);
+    }
+}

@@ -1,0 +1,120 @@
+//! Topological ordering (Kahn's algorithm) and cycle detection.
+//!
+//! The Appendix-A transitive-reduction algorithm visits vertices "in
+//! reverse topological order"; this module supplies that order and, as a
+//! byproduct, a DAG check used to validate miner outputs.
+
+use crate::{DiGraph, GraphError, NodeId};
+use std::collections::VecDeque;
+
+/// Computes a topological ordering of `g` using Kahn's algorithm.
+///
+/// Returns [`GraphError::CycleDetected`] if `g` has a cycle. Ties are
+/// broken by node id (the queue is FIFO over ids inserted in increasing
+/// order), so the result is deterministic.
+pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId::new(i))).collect();
+    let mut queue: VecDeque<NodeId> = g
+        .node_ids()
+        .filter(|&v| in_deg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.successors(v) {
+            in_deg[w.index()] -= 1;
+            if in_deg[w.index()] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        // Some node still has positive in-degree: it lies on or below a cycle.
+        let node = (0..n).find(|&i| in_deg[i] > 0).expect("cycle node must exist");
+        Err(GraphError::CycleDetected { node })
+    }
+}
+
+/// `true` if `g` contains no directed cycle.
+pub fn is_acyclic<N>(g: &DiGraph<N>) -> bool {
+    topological_sort(g).is_ok()
+}
+
+/// `true` if `order` is a permutation of `g`'s nodes consistent with
+/// every edge of `g` (used by tests and the conformance checker).
+pub fn is_topological_order<N>(g: &DiGraph<N>, order: &[NodeId]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.node_count()];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= g.node_count() || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    g.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_dag() {
+        let g = DiGraph::from_edges(vec![(); 5], [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let order = topological_sort(&g).unwrap();
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order[0], NodeId::new(0));
+        assert_eq!(order[4], NodeId::new(4));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (2, 0)]);
+        assert!(matches!(topological_sort(&g), Err(GraphError::CycleDetected { .. })));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let g = DiGraph::from_edges(vec![(); 2], [(0, 0), (0, 1)]);
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert_eq!(topological_sort(&g).unwrap(), vec![]);
+        let g = DiGraph::from_edges(vec![()], std::iter::empty());
+        assert_eq!(topological_sort(&g).unwrap(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn disconnected_components_all_appear() {
+        let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (2, 3)]);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        assert!(is_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn rejects_bad_orders() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2)]);
+        // Wrong direction.
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+        ));
+        // Wrong length.
+        assert!(!is_topological_order(&g, &[NodeId::new(0)]));
+        // Duplicate entry.
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId::new(0), NodeId::new(0), NodeId::new(2)]
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Activity-name interning.
+//!
+//! The miners' inner loops are O(n²) per execution over activity pairs;
+//! interning activity names to dense `u32` ids up front keeps those loops
+//! on integers and lets graphs and logs share one id space.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for an activity name, valid within one
+/// [`ActivityTable`] (and any log or mined graph built over it).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActivityId(pub(crate) u32);
+
+impl ActivityId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index (use only with indices obtained
+    /// from the same table).
+    pub fn from_index(index: usize) -> Self {
+        ActivityId(u32::try_from(index).expect("activity index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for ActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An interning table mapping activity names to dense [`ActivityId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ActivityTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, ActivityId>,
+}
+
+impl ActivityTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table pre-populated with `names`, in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Self::new();
+        for n in names {
+            t.intern(n.as_ref());
+        }
+        t
+    }
+
+    /// Returns the id for `name`, inserting it if unseen.
+    pub fn intern(&mut self, name: &str) -> ActivityId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = ActivityId::from_index(self.names.len());
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing name without inserting.
+    pub fn id(&self, name: &str) -> Option<ActivityId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of `id`. Panics if `id` is not from this table.
+    pub fn name(&self, id: ActivityId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct activities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no activity has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ActivityId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ActivityId::from_index(i), n.as_str()))
+    }
+
+    /// All names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Rebuilds the name→id index (needed after deserializing, since the
+    /// index is not serialized).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ActivityId::from_index(i)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = ActivityTable::new();
+        let a = t.intern("Approve");
+        let b = t.intern("Bill");
+        let a2 = t.intern("Approve");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "Approve");
+        assert_eq!(t.id("Bill"), Some(b));
+        assert_eq!(t.id("Ship"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let t = ActivityTable::from_names(["A", "B", "C"]);
+        let ids: Vec<usize> = t.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(t.names(), &["A", "B", "C"]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let t = ActivityTable::from_names(["X", "Y"]);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: ActivityTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id("X"), None, "index is skipped in serde");
+        back.rebuild_index();
+        assert_eq!(back.id("X"), Some(ActivityId::from_index(0)));
+        assert_eq!(back.id("Y"), Some(ActivityId::from_index(1)));
+    }
+}

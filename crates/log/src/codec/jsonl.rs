@@ -1,0 +1,125 @@
+//! JSON-lines codec: one JSON object per execution, lossless.
+//!
+//! Each line is an object with the execution id and its instances, with
+//! activity names inlined so the file is self-describing:
+//!
+//! ```json
+//! {"id":"p1","instances":[{"activity":"A","start":0,"end":1,"output":[3,4]}]}
+//! ```
+
+use crate::{ActivityInstance, Execution, LogError, WorkflowLog};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+#[derive(Serialize, Deserialize)]
+struct JsonInstance {
+    activity: String,
+    start: u64,
+    end: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    output: Option<Vec<i64>>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JsonExecution {
+    id: String,
+    instances: Vec<JsonInstance>,
+}
+
+/// Writes a log as JSON-lines.
+pub fn write_log<W: Write>(log: &WorkflowLog, mut writer: W) -> Result<(), LogError> {
+    for exec in log.executions() {
+        let je = JsonExecution {
+            id: exec.id.clone(),
+            instances: exec
+                .instances()
+                .iter()
+                .map(|i| JsonInstance {
+                    activity: log.activities().name(i.activity).to_string(),
+                    start: i.start,
+                    end: i.end,
+                    output: i.output.clone(),
+                })
+                .collect(),
+        };
+        serde_json::to_writer(&mut writer, &je)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines log. Blank lines are skipped.
+pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
+    let mut executions = Vec::new();
+    let mut table = crate::ActivityTable::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let je: JsonExecution = serde_json::from_str(&line).map_err(|e| LogError::Parse {
+            line: lineno + 1,
+            message: e.to_string(),
+        })?;
+        let instances: Vec<ActivityInstance> = je
+            .instances
+            .into_iter()
+            .map(|i| ActivityInstance {
+                activity: table.intern(&i.activity),
+                start: i.start,
+                end: i.end,
+                output: i.output,
+            })
+            .collect();
+        executions.push(Execution::new(je.id, instances)?);
+    }
+    let mut log = WorkflowLog::with_activities(table);
+    for e in executions {
+        log.push(e);
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventRecord;
+
+    #[test]
+    fn lossless_round_trip() {
+        let records = vec![
+            EventRecord::start("p1", "A", 0),
+            EventRecord::start("p1", "B", 1), // overlaps A
+            EventRecord::end("p1", "A", 2, Some(vec![5, -3])),
+            EventRecord::end("p1", "B", 4, None),
+        ];
+        let log = WorkflowLog::from_events(&records).unwrap();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let back = read_log(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 1);
+        let exec = &back.executions()[0];
+        assert_eq!(exec.instances().len(), 2);
+        assert_eq!(exec.instances()[0].start, 0);
+        assert_eq!(exec.instances()[0].end, 2);
+        assert_eq!(exec.instances()[0].output.as_deref(), Some(&[5i64, -3][..]));
+        // Overlap is preserved — no precedence pair between A and B.
+        assert_eq!(exec.precedence_pairs().count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_json() {
+        let result = read_log("{not json".as_bytes());
+        assert!(matches!(result, Err(LogError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let log = WorkflowLog::from_strings(["AB"]).unwrap();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let padded = format!("\n{}\n\n", String::from_utf8(buf).unwrap());
+        let back = read_log(padded.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Log codecs: serialization formats for workflow logs.
+//!
+//! Three formats are provided:
+//!
+//! * [`flowmark`] — a CSV-like event format modelled on the IBM Flowmark
+//!   audit-trail convention the paper's implementation consumed: one
+//!   event record `(process, activity, START|END, timestamp, output?)`
+//!   per line;
+//! * [`seqs`] — one execution per line as whitespace-separated activity
+//!   names (the paper's compact `ABCE` notation, generalized to
+//!   multi-character names);
+//! * [`jsonl`] — one JSON object per execution, carrying full interval
+//!   and output information losslessly;
+//! * [`xes`] — the IEEE 1849 XML interchange format of the
+//!   process-mining ecosystem (ProM, PM4Py), for cross-tool workflows.
+
+pub mod flowmark;
+pub mod jsonl;
+pub mod seqs;
+pub mod stream;
+pub mod xes;

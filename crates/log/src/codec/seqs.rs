@@ -1,0 +1,83 @@
+//! Sequence format: one execution per line, whitespace-separated names.
+//!
+//! ```text
+//! # optional comment
+//! A B C E
+//! A C D E
+//! ```
+//!
+//! This is the paper's compact execution notation (`ABCE`), generalized
+//! to multi-character activity names. Interval and output information is
+//! not representable — executions are read back as instantaneous.
+
+use crate::{LogError, WorkflowLog};
+use std::io::{BufRead, Write};
+
+/// Reads a sequence-format log.
+pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
+    let mut log = WorkflowLog::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let names: Vec<&str> = trimmed.split_whitespace().collect();
+        log.push_sequence(&names).map_err(|e| match e {
+            LogError::EmptyExecution { .. } => LogError::Parse {
+                line: lineno + 1,
+                message: "empty execution".to_string(),
+            },
+            other => other,
+        })?;
+    }
+    Ok(log)
+}
+
+/// Writes a log in sequence format (activity names in start-time order,
+/// one execution per line). Interval overlap and outputs are lost.
+pub fn write_log<W: Write>(log: &WorkflowLog, mut writer: W) -> Result<(), LogError> {
+    for exec in log.executions() {
+        let line = exec.display(log.activities());
+        if line.split_whitespace().count() != exec.len() {
+            return Err(LogError::Parse {
+                line: 0,
+                message: "activity names containing whitespace cannot be written in sequence format"
+                    .to_string(),
+            });
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes() {
+        let text = "# log\nA B C E\nA C D E\n\nA D B E\n";
+        let log = read_log(text.as_bytes()).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.display_sequences(), vec!["A B C E", "A C D E", "A D B E"]);
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let back = read_log(buf.as_slice()).unwrap();
+        assert_eq!(back.display_sequences(), log.display_sequences());
+    }
+
+    #[test]
+    fn multi_character_names() {
+        let log = read_log("Receive Approve Ship\nReceive Reject\n".as_bytes()).unwrap();
+        assert_eq!(log.activities().len(), 4);
+        assert!(log.activities().id("Approve").is_some());
+    }
+
+    #[test]
+    fn whitespace_names_unwritable() {
+        let mut log = WorkflowLog::new();
+        log.push_sequence(&["bad name", "B"]).unwrap();
+        assert!(write_log(&log, &mut Vec::new()).is_err());
+    }
+}

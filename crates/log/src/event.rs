@@ -1,0 +1,109 @@
+//! Raw event records — the paper's Definition 2 log schema.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of a logged event: an activity starting or ending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The activity started.
+    Start,
+    /// The activity terminated; the record carries the activity output.
+    End,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventKind::Start => "START",
+            EventKind::End => "END",
+        })
+    }
+}
+
+impl std::str::FromStr for EventKind {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "START" | "start" | "Start" => Ok(EventKind::Start),
+            "END" | "end" | "End" => Ok(EventKind::End),
+            _ => Err(()),
+        }
+    }
+}
+
+/// One record of the execution log: `(P, A, E, T, O)` — Definition 2.
+///
+/// `P` is the process-execution name (case identifier), `A` the activity
+/// name, `E` the event type, `T` the timestamp, and `O` the output
+/// vector of the activity (present only on `END` events; the paper's
+/// null vector is represented as `None`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Process-execution (case) name.
+    pub process: String,
+    /// Activity name.
+    pub activity: String,
+    /// START or END.
+    pub kind: EventKind,
+    /// Event timestamp. Any monotone clock; the algorithms only compare
+    /// timestamps within one execution.
+    pub time: u64,
+    /// Output vector `o(A) ∈ N^k`, present on END events.
+    pub output: Option<Vec<i64>>,
+}
+
+impl EventRecord {
+    /// Convenience constructor for a START event.
+    pub fn start(process: impl Into<String>, activity: impl Into<String>, time: u64) -> Self {
+        EventRecord {
+            process: process.into(),
+            activity: activity.into(),
+            kind: EventKind::Start,
+            time,
+            output: None,
+        }
+    }
+
+    /// Convenience constructor for an END event.
+    pub fn end(
+        process: impl Into<String>,
+        activity: impl Into<String>,
+        time: u64,
+        output: Option<Vec<i64>>,
+    ) -> Self {
+        EventRecord {
+            process: process.into(),
+            activity: activity.into(),
+            kind: EventKind::End,
+            time,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_strings() {
+        for (s, k) in [("START", EventKind::Start), ("END", EventKind::End)] {
+            assert_eq!(s.parse::<EventKind>().unwrap(), k);
+            assert_eq!(k.to_string(), s);
+        }
+        assert!("BEGIN".parse::<EventKind>().is_err());
+        assert_eq!("start".parse::<EventKind>().unwrap(), EventKind::Start);
+    }
+
+    #[test]
+    fn constructors() {
+        let s = EventRecord::start("p1", "A", 5);
+        assert_eq!(s.kind, EventKind::Start);
+        assert_eq!(s.output, None);
+        let e = EventRecord::end("p1", "A", 9, Some(vec![1, 2]));
+        assert_eq!(e.kind, EventKind::End);
+        assert_eq!(e.output.as_deref(), Some(&[1i64, 2][..]));
+    }
+}

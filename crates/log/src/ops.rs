@@ -1,0 +1,143 @@
+//! Log manipulation: filtering, merging, splitting, deduplication.
+//!
+//! Cleaning workflows (drop inconsistent executions and re-mine, as in
+//! the `noisy_audit_log` example), evaluation workflows (train/test
+//! splits for scoring learned conditions), and consolidation of logs
+//! from several sources (merging re-interns activity names, so logs
+//! with different tables combine correctly).
+
+use crate::{ActivityId, Execution, WorkflowLog};
+
+impl WorkflowLog {
+    /// A new log containing only the executions satisfying `pred`,
+    /// sharing this log's activity table.
+    pub fn filtered(&self, mut pred: impl FnMut(&Execution) -> bool) -> WorkflowLog {
+        let mut out = WorkflowLog::with_activities(self.activities().clone());
+        for exec in self.executions() {
+            if pred(exec) {
+                out.push(exec.clone());
+            }
+        }
+        out
+    }
+
+    /// Merges `other` into `self`. Activity names are re-interned, so
+    /// the two logs may come from different tables; `other`'s execution
+    /// ids are preserved.
+    pub fn merge(&mut self, other: &WorkflowLog) {
+        // Fast path: identical tables share the id space directly.
+        let same_table = self.activities().names() == other.activities().names();
+        if same_table {
+            for exec in other.executions() {
+                self.push(exec.clone());
+            }
+            return;
+        }
+        for exec in other.executions() {
+            let instances = exec
+                .instances()
+                .iter()
+                .map(|inst| {
+                    let name = other.activities().name(inst.activity);
+                    crate::ActivityInstance {
+                        activity: self.intern_activity(name),
+                        ..inst.clone()
+                    }
+                })
+                .collect();
+            self.push(
+                Execution::new(exec.id.clone(), instances)
+                    .expect("re-interning preserves validity"),
+            );
+        }
+    }
+
+    /// Splits the log into a prefix of `⌈fraction·m⌉` executions and the
+    /// remaining suffix (in log order) — a train/test split for scoring
+    /// learned conditions. `fraction` is clamped to `[0, 1]`.
+    pub fn split_at_fraction(&self, fraction: f64) -> (WorkflowLog, WorkflowLog) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let cut = (self.len() as f64 * fraction).ceil() as usize;
+        let mut head = WorkflowLog::with_activities(self.activities().clone());
+        let mut tail = WorkflowLog::with_activities(self.activities().clone());
+        for (i, exec) in self.executions().iter().enumerate() {
+            if i < cut {
+                head.push(exec.clone());
+            } else {
+                tail.push(exec.clone());
+            }
+        }
+        (head, tail)
+    }
+
+    /// A new log with one representative per distinct activity
+    /// *sequence* (first occurrence wins). The miners' output depends
+    /// only on which orderings exist — except for the §6 noise counters,
+    /// so deduplicate only noise-free logs.
+    pub fn dedup_sequences(&self) -> WorkflowLog {
+        let mut seen: std::collections::HashSet<Vec<ActivityId>> = std::collections::HashSet::new();
+        self.filtered(|exec| seen.insert(exec.sequence()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtered_keeps_matching() {
+        let log = WorkflowLog::from_strings(["ABC", "AC", "ABC"]).unwrap();
+        let full = log.filtered(|e| e.len() == 3);
+        assert_eq!(full.len(), 2);
+        assert_eq!(full.activities().len(), log.activities().len());
+        let none = log.filtered(|_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn merge_with_shared_table() {
+        let mut a = WorkflowLog::from_strings(["AB"]).unwrap();
+        let b = WorkflowLog::from_strings(["AB", "BA"]).unwrap();
+        // Same names interned in the same order → fast path.
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.activities().len(), 2);
+    }
+
+    #[test]
+    fn merge_reinterns_foreign_tables() {
+        let mut a = WorkflowLog::from_sequences([["X", "Y"]]).unwrap();
+        let b = WorkflowLog::from_sequences([["Y", "Z"]]).unwrap();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.activities().len(), 3, "X, Y, Z");
+        // The merged execution's Y maps to a's Y id.
+        let y = a.activities().id("Y").unwrap();
+        assert!(a.executions()[1].contains(y));
+        assert_eq!(a.display_sequences(), vec!["X Y", "Y Z"]);
+    }
+
+    #[test]
+    fn split_fraction() {
+        let log = WorkflowLog::from_strings(["AB", "AB", "AB", "AB"]).unwrap();
+        let (train, test) = log.split_at_fraction(0.75);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        let (all, none) = log.split_at_fraction(1.0);
+        assert_eq!((all.len(), none.len()), (4, 0));
+        let (none, all) = log.split_at_fraction(0.0);
+        assert_eq!((none.len(), all.len()), (0, 4));
+        // Out-of-range fractions clamp.
+        let (a, _) = log.split_at_fraction(7.5);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn dedup_sequences_keeps_first() {
+        let log = WorkflowLog::from_strings(["ABC", "ACB", "ABC", "ABC"]).unwrap();
+        let deduped = log.dedup_sequences();
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped.executions()[0].id, "exec-0");
+        assert_eq!(deduped.display_sequences(), vec!["A B C", "A C B"]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Descriptive statistics over a workflow log.
+//!
+//! The paper's experimental section characterizes its inputs by number
+//! of executions, number of activities, and log size; real deployments
+//! additionally want per-activity frequencies and the directly-follows
+//! counts before committing to a mining run. This module computes those
+//! in one pass.
+
+use crate::{ActivityId, WorkflowLog};
+
+/// Per-activity occurrence statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityStats {
+    /// The activity.
+    pub activity: ActivityId,
+    /// Executions containing the activity at least once.
+    pub executions: usize,
+    /// Total instances across the log (≥ `executions`).
+    pub instances: usize,
+    /// Executions where it was the first activity.
+    pub starts: usize,
+    /// Executions where it was the last activity.
+    pub ends: usize,
+}
+
+/// Summary statistics of a log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogStats {
+    /// Number of executions.
+    pub executions: usize,
+    /// Number of distinct activities.
+    pub activities: usize,
+    /// Total activity instances.
+    pub total_instances: usize,
+    /// Minimum execution length.
+    pub min_len: usize,
+    /// Mean execution length.
+    pub mean_len: f64,
+    /// Maximum execution length.
+    pub max_len: usize,
+    /// Number of distinct activity sequences.
+    pub distinct_sequences: usize,
+    /// Per-activity breakdown, in activity-id order.
+    pub per_activity: Vec<ActivityStats>,
+}
+
+/// Computes [`LogStats`] in one pass over the log.
+pub fn log_stats(log: &WorkflowLog) -> LogStats {
+    let n = log.activities().len();
+    let mut per_activity: Vec<ActivityStats> = (0..n)
+        .map(|i| ActivityStats {
+            activity: ActivityId::from_index(i),
+            executions: 0,
+            instances: 0,
+            starts: 0,
+            ends: 0,
+        })
+        .collect();
+
+    let mut total_instances = 0usize;
+    let mut min_len = usize::MAX;
+    let mut max_len = 0usize;
+    let mut distinct = std::collections::HashSet::new();
+    let mut seen = vec![false; n];
+
+    for exec in log.executions() {
+        let seq = exec.sequence();
+        total_instances += seq.len();
+        min_len = min_len.min(seq.len());
+        max_len = max_len.max(seq.len());
+        distinct.insert(seq.clone());
+
+        seen[..n].fill(false);
+        for &a in &seq {
+            per_activity[a.index()].instances += 1;
+            if !seen[a.index()] {
+                seen[a.index()] = true;
+                per_activity[a.index()].executions += 1;
+            }
+        }
+        let (first, last) = exec.endpoints();
+        per_activity[first.index()].starts += 1;
+        per_activity[last.index()].ends += 1;
+    }
+
+    let executions = log.len();
+    LogStats {
+        executions,
+        activities: n,
+        total_instances,
+        min_len: if executions == 0 { 0 } else { min_len },
+        mean_len: if executions == 0 {
+            0.0
+        } else {
+            total_instances as f64 / executions as f64
+        },
+        max_len,
+        distinct_sequences: distinct.len(),
+        per_activity,
+    }
+}
+
+/// One sequence *variant*: a distinct activity order with its frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// The activity sequence.
+    pub sequence: Vec<ActivityId>,
+    /// Executions following exactly this sequence.
+    pub count: usize,
+}
+
+/// Groups the log's executions into variants, most frequent first (ties
+/// broken by first appearance). The variant distribution is the
+/// behavioural fingerprint of a process: a handful of variants covering
+/// most cases indicates a disciplined process, a long tail indicates
+/// ad-hoc work — and it determines how many executions the miners need
+/// to observe every ordering.
+pub fn variants(log: &WorkflowLog) -> Vec<Variant> {
+    let mut order: Vec<Vec<ActivityId>> = Vec::new();
+    let mut counts: std::collections::HashMap<Vec<ActivityId>, usize> =
+        std::collections::HashMap::new();
+    for exec in log.executions() {
+        let seq = exec.sequence();
+        if !counts.contains_key(&seq) {
+            order.push(seq.clone());
+        }
+        *counts.entry(seq).or_insert(0) += 1;
+    }
+    let mut result: Vec<Variant> = order
+        .into_iter()
+        .map(|sequence| {
+            let count = counts[&sequence];
+            Variant { sequence, count }
+        })
+        .collect();
+    result.sort_by_key(|v| std::cmp::Reverse(v.count));
+    result
+}
+
+/// Fraction of executions covered by the `k` most frequent variants
+/// (1.0 for an empty log).
+pub fn variant_coverage(log: &WorkflowLog, k: usize) -> f64 {
+    if log.is_empty() {
+        return 1.0;
+    }
+    let vs = variants(log);
+    let covered: usize = vs.iter().take(k).map(|v| v.count).sum();
+    covered as f64 / log.len() as f64
+}
+
+/// Service-time statistics of one activity (END − START per instance),
+/// in the log's clock ticks. All zeros for instantaneous logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationStats {
+    /// The activity.
+    pub activity: ActivityId,
+    /// Instances measured.
+    pub instances: usize,
+    /// Shortest observed service time.
+    pub min: u64,
+    /// Total service time (mean = `total / instances`).
+    pub total: u64,
+    /// Longest observed service time.
+    pub max: u64,
+}
+
+impl DurationStats {
+    /// Mean service time (0 when no instances).
+    pub fn mean(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.instances as f64
+        }
+    }
+}
+
+/// Per-activity service-time statistics — the performance dimension of
+/// a START/END log (interesting only for non-instantaneous logs, e.g.
+/// from the multi-agent engine or real Flowmark audit trails).
+pub fn duration_stats(log: &WorkflowLog) -> Vec<DurationStats> {
+    let n = log.activities().len();
+    let mut stats: Vec<DurationStats> = (0..n)
+        .map(|i| DurationStats {
+            activity: ActivityId::from_index(i),
+            instances: 0,
+            min: u64::MAX,
+            total: 0,
+            max: 0,
+        })
+        .collect();
+    for exec in log.executions() {
+        for inst in exec.instances() {
+            let s = &mut stats[inst.activity.index()];
+            let d = inst.end - inst.start;
+            s.instances += 1;
+            s.min = s.min.min(d);
+            s.max = s.max.max(d);
+            s.total += d;
+        }
+    }
+    for s in &mut stats {
+        if s.instances == 0 {
+            s.min = 0;
+        }
+    }
+    stats
+}
+
+impl LogStats {
+    /// Activities that start at least one execution — candidates for the
+    /// process' initiating activity. A well-formed log has exactly one.
+    pub fn start_candidates(&self) -> Vec<ActivityId> {
+        self.per_activity
+            .iter()
+            .filter(|s| s.starts > 0)
+            .map(|s| s.activity)
+            .collect()
+    }
+
+    /// Activities that end at least one execution.
+    pub fn end_candidates(&self) -> Vec<ActivityId> {
+        self.per_activity
+            .iter()
+            .filter(|s| s.ends > 0)
+            .map(|s| s.activity)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_log() {
+        let log = WorkflowLog::from_strings(["ABCE", "ACDE", "ABCE"]).unwrap();
+        let s = log_stats(&log);
+        assert_eq!(s.executions, 3);
+        assert_eq!(s.activities, 5);
+        assert_eq!(s.total_instances, 12);
+        assert_eq!(s.min_len, 4);
+        assert_eq!(s.max_len, 4);
+        assert!((s.mean_len - 4.0).abs() < 1e-12);
+        assert_eq!(s.distinct_sequences, 2);
+
+        let a = log.activities().id("A").unwrap();
+        let b = log.activities().id("B").unwrap();
+        let e = log.activities().id("E").unwrap();
+        assert_eq!(s.per_activity[a.index()].executions, 3);
+        assert_eq!(s.per_activity[a.index()].starts, 3);
+        assert_eq!(s.per_activity[b.index()].executions, 2);
+        assert_eq!(s.per_activity[e.index()].ends, 3);
+        assert_eq!(s.start_candidates(), vec![a]);
+        assert_eq!(s.end_candidates(), vec![e]);
+    }
+
+    #[test]
+    fn repeats_counted_as_instances() {
+        let log = WorkflowLog::from_strings(["ABAB"]).unwrap();
+        let s = log_stats(&log);
+        let a = log.activities().id("A").unwrap();
+        assert_eq!(s.per_activity[a.index()].executions, 1);
+        assert_eq!(s.per_activity[a.index()].instances, 2);
+    }
+
+    #[test]
+    fn variants_sorted_by_frequency() {
+        let log =
+            WorkflowLog::from_strings(["ABC", "ACB", "ABC", "ABC", "ACB", "AC"]).unwrap();
+        let vs = variants(&log);
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0].count, 3, "ABC most frequent");
+        assert_eq!(vs[1].count, 2);
+        assert_eq!(vs[2].count, 1);
+        let names: Vec<&str> = vs[0]
+            .sequence
+            .iter()
+            .map(|&a| log.activities().name(a))
+            .collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+
+        assert!((variant_coverage(&log, 1) - 0.5).abs() < 1e-12);
+        assert!((variant_coverage(&log, 2) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(variant_coverage(&log, 10), 1.0);
+        assert_eq!(variant_coverage(&WorkflowLog::new(), 3), 1.0);
+    }
+
+    #[test]
+    fn duration_stats_from_intervals() {
+        use crate::{ActivityInstance, ActivityTable};
+        let mut table = ActivityTable::new();
+        let a = table.intern("A");
+        let b = table.intern("B");
+        let mut log = WorkflowLog::with_activities(table);
+        log.push(
+            crate::Execution::new(
+                "e0",
+                vec![
+                    ActivityInstance { activity: a, start: 0, end: 10, output: None },
+                    ActivityInstance { activity: a, start: 20, end: 24, output: None },
+                    ActivityInstance { activity: b, start: 30, end: 30, output: None },
+                ],
+            )
+            .unwrap(),
+        );
+        let stats = duration_stats(&log);
+        let sa = &stats[a.index()];
+        assert_eq!((sa.instances, sa.min, sa.max, sa.total), (2, 4, 10, 14));
+        assert!((sa.mean() - 7.0).abs() < 1e-12);
+        let sb = &stats[b.index()];
+        assert_eq!((sb.instances, sb.min, sb.max), (1, 0, 0));
+    }
+
+    #[test]
+    fn duration_stats_instantaneous_log_all_zero() {
+        let log = WorkflowLog::from_strings(["ABC"]).unwrap();
+        for s in duration_stats(&log) {
+            assert_eq!((s.min, s.max, s.total), (0, 0, 0));
+            assert_eq!(s.mean(), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_log_stats() {
+        let s = log_stats(&WorkflowLog::new());
+        assert_eq!(s.executions, 0);
+        assert_eq!(s.min_len, 0);
+        assert_eq!(s.mean_len, 0.0);
+        assert!(s.start_candidates().is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Boolean edge conditions over activity output vectors.
+//!
+//! Each edge `(u, v)` of a process model carries a Boolean function
+//! `f((u,v)) : N^k → {0, 1}` evaluated on the output `o(u)` of the
+//! source activity (Definition 1 and the §7 simplifying assumption).
+//! This module provides a small expression AST covering the forms the
+//! paper illustrates, e.g. `f(C,D) = (o(C)[1] > 0) ∧ (o(C)[2] < o(C)[1])`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators for condition atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        })
+    }
+}
+
+/// A Boolean condition over an output vector `o ∈ Z^k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Always true (the default edge condition).
+    True,
+    /// Always false.
+    False,
+    /// `o[index] op value`.
+    Cmp {
+        /// Output-vector component (0-based).
+        index: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: i64,
+    },
+    /// `o[left] op o[right]` — comparing two components, as in the
+    /// paper's `o(C)[2] < o(C)[1]` example.
+    CmpVar {
+        /// Left component.
+        left: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right component.
+        right: usize,
+    },
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// Evaluates the condition on an output vector. Components beyond
+    /// `output.len()` read as 0 (a missing output is the null vector of
+    /// Definition 2).
+    pub fn eval(&self, output: &[i64]) -> bool {
+        let get = |i: usize| output.get(i).copied().unwrap_or(0);
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Cmp { index, op, value } => op.apply(get(*index), *value),
+            Condition::CmpVar { left, op, right } => op.apply(get(*left), get(*right)),
+            Condition::And(a, b) => a.eval(output) && b.eval(output),
+            Condition::Or(a, b) => a.eval(output) || b.eval(output),
+            Condition::Not(a) => !a.eval(output),
+        }
+    }
+
+    /// The smallest output arity that the condition references (0 for
+    /// constants).
+    pub fn min_arity(&self) -> usize {
+        match self {
+            Condition::True | Condition::False => 0,
+            Condition::Cmp { index, .. } => index + 1,
+            Condition::CmpVar { left, right, .. } => left.max(right) + 1,
+            Condition::And(a, b) | Condition::Or(a, b) => a.min_arity().max(b.min_arity()),
+            Condition::Not(a) => a.min_arity(),
+        }
+    }
+
+    /// Convenience: `o[index] op value`.
+    pub fn cmp(index: usize, op: CmpOp, value: i64) -> Self {
+        Condition::Cmp { index, op, value }
+    }
+
+    /// Convenience: conjunction.
+    pub fn and(self, other: Condition) -> Self {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: disjunction.
+    pub fn or(self, other: Condition) -> Self {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Condition::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "true"),
+            Condition::False => write!(f, "false"),
+            Condition::Cmp { index, op, value } => write!(f, "o[{index}] {op} {value}"),
+            Condition::CmpVar { left, op, right } => write!(f, "o[{left}] {op} o[{right}]"),
+            Condition::And(a, b) => write!(f, "({a} && {b})"),
+            Condition::Or(a, b) => write!(f, "({a} || {b})"),
+            Condition::Not(a) => write!(f, "!({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1_condition() {
+        // f(C,D) = (o(C)[0] > 0) && (o(C)[1] < o(C)[0]) (0-based).
+        let f = Condition::cmp(0, CmpOp::Gt, 0).and(Condition::CmpVar {
+            left: 1,
+            op: CmpOp::Lt,
+            right: 0,
+        });
+        assert!(f.eval(&[5, 3]));
+        assert!(!f.eval(&[0, -1]), "o[0] > 0 fails");
+        assert!(!f.eval(&[5, 7]), "o[1] < o[0] fails");
+        assert_eq!(f.min_arity(), 2);
+    }
+
+    #[test]
+    fn missing_components_read_zero() {
+        let f = Condition::cmp(3, CmpOp::Eq, 0);
+        assert!(f.eval(&[]));
+        assert!(f.eval(&[1, 2]));
+        let g = Condition::cmp(3, CmpOp::Gt, 0);
+        assert!(!g.eval(&[]));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = Condition::True;
+        let f = Condition::False;
+        assert!(t.clone().or(f.clone()).eval(&[]));
+        assert!(!t.clone().and(f.clone()).eval(&[]));
+        assert!(f.not().eval(&[]));
+    }
+
+    #[test]
+    fn all_operators() {
+        assert!(CmpOp::Lt.apply(1, 2) && !CmpOp::Lt.apply(2, 2));
+        assert!(CmpOp::Le.apply(2, 2));
+        assert!(CmpOp::Gt.apply(3, 2) && !CmpOp::Gt.apply(2, 2));
+        assert!(CmpOp::Ge.apply(2, 2));
+        assert!(CmpOp::Eq.apply(2, 2) && !CmpOp::Eq.apply(1, 2));
+        assert!(CmpOp::Ne.apply(1, 2));
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let f = Condition::cmp(0, CmpOp::Gt, 10).and(Condition::cmp(1, CmpOp::Le, 5).not());
+        assert_eq!(f.to_string(), "(o[0] > 10 && !(o[1] <= 5))");
+    }
+}

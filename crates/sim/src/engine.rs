@@ -1,0 +1,475 @@
+//! Condition-driven execution engine (Flowmark semantics, §2).
+//!
+//! Executing a process walks its graph: when an activity `u` terminates,
+//! its output `o(u)` is computed and every outgoing edge's Boolean
+//! function is evaluated on it. A successor `v` becomes *ready* when all
+//! of its incoming edges are resolved and at least one resolved to true
+//! (AND-join with dead-path elimination: an activity all of whose
+//! incoming edges resolved to false is *dead*, and its own outgoing
+//! edges resolve to false transitively). Ready activities are picked in
+//! random order, modelling independent agents draining the work queue.
+//!
+//! The engine produces the timestamped, output-carrying logs that both
+//! the miners (§3–§6) and conditions mining (§7) consume.
+
+use crate::ProcessModel;
+use procmine_graph::NodeId;
+use procmine_log::{ActivityInstance, Execution, LogError, WorkflowLog};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Unresolved,
+    Ready,
+    Executed,
+    Dead,
+}
+
+/// How long an activity takes between its START and END events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DurationSpec {
+    /// Instantaneous activities (`start == end`) — the paper's
+    /// simplification (§2).
+    Instant,
+    /// Every activity takes exactly this many ticks.
+    Fixed(u64),
+    /// Durations drawn uniformly from an inclusive range.
+    Uniform(u64, u64),
+}
+
+impl DurationSpec {
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            DurationSpec::Instant => 0,
+            DurationSpec::Fixed(d) => d,
+            DurationSpec::Uniform(lo, hi) => {
+                assert!(lo <= hi, "invalid duration range {lo}..={hi}");
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+}
+
+/// Execution-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Activity duration model.
+    pub duration: DurationSpec,
+    /// Number of agents executing ready activities concurrently. With
+    /// more than one agent and nonzero durations, parallel branches
+    /// genuinely *overlap in time*, so the START/END interval order in
+    /// the log reveals independence within a single execution (the
+    /// paper's justification for the list-form simplification).
+    pub agents: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            duration: DurationSpec::Instant,
+            agents: 1,
+        }
+    }
+}
+
+/// Simulates one execution of `model`, using `rng` both for output
+/// sampling and for the random interleaving of parallel branches.
+///
+/// The execution is recorded with instantaneous activities at strictly
+/// increasing integer timestamps, matching the paper's simplification;
+/// activity outputs are attached to the END side of each instance. Use
+/// [`simulate_with`] for durations and multi-agent overlap.
+pub fn simulate<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    id: impl Into<String>,
+    rng: &mut R,
+) -> Result<Execution, LogError> {
+    simulate_with(model, id, &EngineConfig::default(), rng)
+}
+
+/// Simulates one execution under an explicit [`EngineConfig`]: an
+/// event-driven run where up to `agents` ready activities execute
+/// concurrently, each occupying a `[start, end]` interval.
+pub fn simulate_with<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    id: impl Into<String>,
+    config: &EngineConfig,
+    rng: &mut R,
+) -> Result<Execution, LogError> {
+    assert!(config.agents >= 1, "need at least one agent");
+    let g = model.graph();
+    let n = g.node_count();
+    let mut state = vec![NodeState::Unresolved; n];
+    // Per-node: how many incoming edges are resolved / resolved-true.
+    let mut resolved = vec![0usize; n];
+    let mut fired = vec![0usize; n];
+    let mut ready: Vec<usize> = Vec::new();
+    // Activities in flight: (node, end_time, output).
+    let mut running: Vec<(usize, u64, Option<Vec<i64>>)> = Vec::new();
+    let mut instances: Vec<ActivityInstance> = Vec::new();
+    let mut clock = 0u64;
+
+    let start = model.start().index();
+    state[start] = NodeState::Ready;
+    ready.push(start);
+
+    loop {
+        // Fill free agents with random ready activities.
+        while running.len() < config.agents && !ready.is_empty() {
+            let pick = rng.gen_range(0..ready.len());
+            let u = ready.swap_remove(pick);
+            state[u] = NodeState::Executed;
+            let output = model
+                .output_spec(procmine_log::ActivityId::from_index(u))
+                .sample(rng);
+            let duration = model
+                .duration_spec(procmine_log::ActivityId::from_index(u))
+                .unwrap_or(config.duration)
+                .sample(rng);
+            instances.push(ActivityInstance {
+                activity: procmine_log::ActivityId::from_index(u),
+                start: clock,
+                end: clock + duration,
+                output: output.clone(),
+            });
+            running.push((u, clock + duration, output));
+        }
+        if running.is_empty() {
+            break;
+        }
+
+        // Advance to the earliest completion; complete exactly the
+        // activities ending then.
+        let next_end = running.iter().map(|&(_, e, _)| e).min().expect("non-empty");
+        // Under Instant durations the next start must still come
+        // strictly after this end, so sequential activities never tie.
+        clock = next_end + 1;
+        let mut completed: Vec<(usize, Option<Vec<i64>>)> = Vec::new();
+        running.retain(|&(u, e, ref out)| {
+            if e == next_end {
+                completed.push((u, out.clone()));
+                false
+            } else {
+                true
+            }
+        });
+
+        // Resolve outgoing edges on o(u); dead-path eliminate.
+        let mut worklist: Vec<(usize, bool)> = Vec::new();
+        for (u, output) in completed {
+            let out_vec: Vec<i64> = output.unwrap_or_default();
+            for &v in g.successors(NodeId::new(u)) {
+                let cond = model
+                    .condition(
+                        procmine_log::ActivityId::from_index(u),
+                        procmine_log::ActivityId::from_index(v.index()),
+                    )
+                    .expect("edge exists");
+                worklist.push((v.index(), cond.eval(&out_vec)));
+            }
+        }
+        while let Some((v, value)) = worklist.pop() {
+            resolved[v] += 1;
+            fired[v] += value as usize;
+            if resolved[v] == g.in_degree(NodeId::new(v)) {
+                if fired[v] > 0 {
+                    state[v] = NodeState::Ready;
+                    ready.push(v);
+                } else {
+                    state[v] = NodeState::Dead;
+                    for &w in g.successors(NodeId::new(v)) {
+                        worklist.push((w.index(), false));
+                    }
+                }
+            }
+        }
+    }
+
+    Execution::new(id, instances)
+}
+
+/// Generates a log of `m` executions of `model`. The log shares the
+/// model's activity table, so mined graphs align index-for-index with
+/// the ground truth.
+pub fn generate_log<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    m: usize,
+    rng: &mut R,
+) -> Result<WorkflowLog, LogError> {
+    let mut log = WorkflowLog::with_activities(model.activities().clone());
+    for i in 0..m {
+        log.push(simulate(model, format!("sim-{i}"), rng)?);
+    }
+    Ok(log)
+}
+
+/// Generates a log of `m` executions under an explicit engine
+/// configuration (durations / multi-agent overlap).
+pub fn generate_log_with<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    m: usize,
+    config: &EngineConfig,
+    rng: &mut R,
+) -> Result<WorkflowLog, LogError> {
+    let mut log = WorkflowLog::with_activities(model.activities().clone());
+    for i in 0..m {
+        log.push(simulate_with(model, format!("sim-{i}"), config, rng)?);
+    }
+    Ok(log)
+}
+
+/// Like [`generate_log`], but shuffles the order of executions at the
+/// end (harmless for the miners, useful for exercising codecs with
+/// interleaved case ids).
+pub fn generate_log_shuffled<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    m: usize,
+    rng: &mut R,
+) -> Result<WorkflowLog, LogError> {
+    let log = generate_log(model, m, rng)?;
+    let mut execs: Vec<Execution> = log.executions().to_vec();
+    execs.shuffle(rng);
+    let mut out = WorkflowLog::with_activities(model.activities().clone());
+    for e in execs {
+        out.push(e);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, Condition, OutputSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_diamond() -> ProcessModel {
+        ProcessModel::builder("xor")
+            .activity_with("A", OutputSpec::Uniform(vec![(0, 9)]))
+            .activity("B")
+            .activity("C")
+            .activity("D")
+            .edge_if("A", "B", Condition::cmp(0, CmpOp::Ge, 5))
+            .edge_if("A", "C", Condition::cmp(0, CmpOp::Lt, 5))
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn xor_takes_exactly_one_branch() {
+        let model = xor_diamond();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut saw_b = false;
+        let mut saw_c = false;
+        let b = model.activities().id("B").unwrap();
+        let c = model.activities().id("C").unwrap();
+        for i in 0..50 {
+            let e = simulate(&model, format!("x{i}"), &mut rng).unwrap();
+            assert_ne!(e.contains(b), e.contains(c), "exactly one branch: {:?}", e);
+            assert_eq!(e.len(), 3, "A, one branch, D");
+            saw_b |= e.contains(b);
+            saw_c |= e.contains(c);
+            // The branch taken matches the output of A.
+            let a_out = e.output_of(model.activities().id("A").unwrap()).unwrap();
+            assert_eq!(e.contains(b), a_out[0] >= 5);
+        }
+        assert!(saw_b && saw_c, "both branches exercised across runs");
+    }
+
+    #[test]
+    fn parallel_branches_interleave() {
+        let model = ProcessModel::builder("par")
+            .activity("S")
+            .activity("X")
+            .activity("Y")
+            .activity("E")
+            .edge("S", "X")
+            .edge("S", "Y")
+            .edge("X", "E")
+            .edge("Y", "E")
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut orders = std::collections::HashSet::new();
+        for i in 0..100 {
+            let e = simulate(&model, format!("p{i}"), &mut rng).unwrap();
+            assert_eq!(e.len(), 4, "all activities run (AND-join)");
+            orders.insert(e.display(model.activities()));
+        }
+        assert_eq!(orders.len(), 2, "both X-Y interleavings occur: {orders:?}");
+    }
+
+    #[test]
+    fn endpoints_are_start_and_end() {
+        let model = xor_diamond();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..20 {
+            let e = simulate(&model, format!("e{i}"), &mut rng).unwrap();
+            let (first, last) = e.endpoints();
+            assert_eq!(first, model.start());
+            assert_eq!(last, model.end());
+        }
+    }
+
+    #[test]
+    fn dead_path_elimination_propagates() {
+        // A → B (false) → C → D; A → D. B is dead, C transitively dead,
+        // D still runs via the direct edge.
+        let model = ProcessModel::builder("dpe")
+            .activity_with("A", OutputSpec::Constant(vec![0]))
+            .activity("B")
+            .activity("C")
+            .activity("D")
+            .edge_if("A", "B", Condition::False)
+            .edge("B", "C")
+            .edge("C", "D")
+            .edge("A", "D")
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = simulate(&model, "d", &mut rng).unwrap();
+        assert_eq!(e.display(model.activities()), "A D");
+    }
+
+    #[test]
+    fn fully_dead_sink_never_happens_with_true_edges() {
+        let model = ProcessModel::builder("chain")
+            .activity("A")
+            .activity("B")
+            .activity("C")
+            .edge("A", "B")
+            .edge("B", "C")
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let log = generate_log(&model, 10, &mut rng).unwrap();
+        assert_eq!(log.len(), 10);
+        for e in log.executions() {
+            assert_eq!(e.len(), 3);
+        }
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let model = xor_diamond();
+        let mut rng = StdRng::seed_from_u64(11);
+        let e = simulate(&model, "t", &mut rng).unwrap();
+        let inst = e.instances();
+        for w in inst.windows(2) {
+            assert!(w[0].end < w[1].start || w[0].start < w[1].start);
+            assert_eq!(w[0].start, w[0].end, "instantaneous activities");
+        }
+    }
+
+    #[test]
+    fn multi_agent_runs_overlap_in_time() {
+        // S → {X, Y} → E with two agents and long durations: X and Y
+        // run concurrently, so their intervals overlap within a single
+        // execution.
+        let model = ProcessModel::builder("par")
+            .activity("S")
+            .activity("X")
+            .activity("Y")
+            .activity("E")
+            .edge("S", "X")
+            .edge("S", "Y")
+            .edge("X", "E")
+            .edge("Y", "E")
+            .build()
+            .unwrap();
+        let cfg = EngineConfig {
+            duration: DurationSpec::Fixed(10),
+            agents: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = model.activities().id("X").unwrap();
+        let y = model.activities().id("Y").unwrap();
+        for i in 0..10 {
+            let e = simulate_with(&model, format!("m{i}"), &cfg, &mut rng).unwrap();
+            let xi = e.instances().iter().find(|i| i.activity == x).unwrap();
+            let yi = e.instances().iter().find(|i| i.activity == y).unwrap();
+            assert_eq!(xi.start, yi.start, "both branches start together");
+            // Overlapping: no precedence pair between X and Y.
+            assert!(xi.end >= yi.start && yi.end >= xi.start);
+        }
+    }
+
+    #[test]
+    fn overlap_reveals_independence_in_one_execution() {
+        // With interval overlap, a single execution suffices for the
+        // miner to see X ∥ Y — no need to observe both orders.
+        let model = ProcessModel::builder("par")
+            .activity("S")
+            .activity("X")
+            .activity("Y")
+            .activity("E")
+            .edge("S", "X")
+            .edge("S", "Y")
+            .edge("X", "E")
+            .edge("Y", "E")
+            .build()
+            .unwrap();
+        let cfg = EngineConfig {
+            duration: DurationSpec::Uniform(5, 15),
+            agents: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let log = generate_log_with(&model, 1, &cfg, &mut rng).unwrap();
+        let exec = &log.executions()[0];
+        // X and Y present, unordered.
+        let pairs: Vec<_> = exec.precedence_pairs().collect();
+        // S precedes X, Y, E; X and Y precede E; X-Y unordered:
+        // 5 ordered pairs out of the 6 possible.
+        assert_eq!(pairs.len(), 5);
+    }
+
+    #[test]
+    fn single_agent_serializes_even_with_durations() {
+        let model = xor_diamond();
+        let cfg = EngineConfig {
+            duration: DurationSpec::Uniform(1, 9),
+            agents: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let e = simulate_with(&model, "s", &cfg, &mut rng).unwrap();
+        let inst = e.instances();
+        for w in inst.windows(2) {
+            assert!(w[0].end < w[1].start, "one agent → strictly sequential");
+        }
+    }
+
+    #[test]
+    fn per_activity_durations_override_engine_default() {
+        let model = ProcessModel::builder("timed")
+            .activity("A")
+            .activity_timed("Slow", OutputSpec::None, Some(DurationSpec::Fixed(100)))
+            .activity("C")
+            .edge("A", "Slow")
+            .edge("Slow", "C")
+            .build()
+            .unwrap();
+        let cfg = EngineConfig {
+            duration: DurationSpec::Fixed(2),
+            agents: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = simulate_with(&model, "t", &cfg, &mut rng).unwrap();
+        let slow = model.activities().id("Slow").unwrap();
+        let a = model.activities().id("A").unwrap();
+        let inst = |id| e.instances().iter().find(|i| i.activity == id).unwrap();
+        assert_eq!(inst(slow).end - inst(slow).start, 100, "override");
+        assert_eq!(inst(a).end - inst(a).start, 2, "engine default");
+    }
+
+    #[test]
+    fn generated_log_shares_activity_table() {
+        let model = xor_diamond();
+        let mut rng = StdRng::seed_from_u64(13);
+        let log = generate_log(&model, 5, &mut rng).unwrap();
+        assert_eq!(log.activities().len(), model.activity_count());
+        assert_eq!(log.activities().id("A"), model.activities().id("A"));
+    }
+}

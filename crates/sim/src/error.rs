@@ -1,0 +1,83 @@
+//! Error type for process-model construction and simulation.
+
+use std::fmt;
+
+/// Errors from building or simulating process models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The model has no activities.
+    NoActivities,
+    /// An edge references an activity that was never declared.
+    UnknownActivity {
+        /// The unknown name.
+        name: String,
+    },
+    /// The same activity was declared twice.
+    DuplicateActivity {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An edge was declared twice.
+    DuplicateEdge {
+        /// Source activity name.
+        from: String,
+        /// Target activity name.
+        to: String,
+    },
+    /// A self-loop edge was declared (not supported by the engine).
+    SelfLoop {
+        /// The activity.
+        name: String,
+    },
+    /// The model does not have exactly one source (initiating activity).
+    BadSources {
+        /// Names of in-degree-0 activities found.
+        found: Vec<String>,
+    },
+    /// The model does not have exactly one sink (terminating activity).
+    BadSinks {
+        /// Names of out-degree-0 activities found.
+        found: Vec<String>,
+    },
+    /// The engine requires an acyclic model, but the graph has a cycle.
+    NotAcyclic,
+    /// An edge condition reads more output components than the source
+    /// activity produces.
+    ConditionArity {
+        /// Source activity name.
+        from: String,
+        /// Target activity name.
+        to: String,
+        /// Components the condition reads.
+        needs: usize,
+        /// Components the activity produces.
+        produces: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoActivities => write!(f, "process model has no activities"),
+            ModelError::UnknownActivity { name } => write!(f, "unknown activity `{name}`"),
+            ModelError::DuplicateActivity { name } => write!(f, "duplicate activity `{name}`"),
+            ModelError::DuplicateEdge { from, to } => write!(f, "duplicate edge `{from}` -> `{to}`"),
+            ModelError::SelfLoop { name } => write!(f, "self-loop on `{name}` is not supported"),
+            ModelError::BadSources { found } => write!(
+                f,
+                "process model must have exactly one initiating activity, found {found:?}"
+            ),
+            ModelError::BadSinks { found } => write!(
+                f,
+                "process model must have exactly one terminating activity, found {found:?}"
+            ),
+            ModelError::NotAcyclic => write!(f, "the execution engine requires an acyclic model"),
+            ModelError::ConditionArity { from, to, needs, produces } => write!(
+                f,
+                "condition on `{from}` -> `{to}` reads {needs} output components but `{from}` produces {produces}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,45 @@
+//! Process-model simulation and synthetic workflow-log generation — the
+//! substrate that stands in for the paper's IBM Flowmark installation.
+//!
+//! Section 2 of the paper defines a business process as a directed graph
+//! of activities with an output function per activity and a Boolean
+//! condition per edge; §8.1 describes the synthetic-data generator used
+//! for the evaluation. This crate implements both:
+//!
+//! * [`ProcessModel`] / [`ProcessModelBuilder`] — annotated activity
+//!   graphs (Definition 1) with per-edge [`Condition`]s and per-activity
+//!   [`OutputSpec`]s;
+//! * [`engine`] — a Flowmark-style execution engine: condition-driven
+//!   control flow with AND-joins and dead-path elimination, producing
+//!   timestamped [`WorkflowLog`](procmine_log::WorkflowLog)s with output
+//!   vectors (the input to conditions mining);
+//! * [`walk`] — the paper's §8.1 random-walk log generator (ready-list
+//!   with random selection), used for the Table 1/2 experiments;
+//! * [`randdag`] — the random process-graph generator behind the
+//!   synthetic datasets;
+//! * [`noise`] — §6-style log corruption (swapped, dropped, inserted
+//!   activities);
+//! * [`presets`] — fixed process models: the Figure 7 `Graph10` and
+//!   stand-ins for the five Flowmark processes of Table 3, with the
+//!   paper's vertex/edge counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod condition;
+mod error;
+mod model;
+mod output;
+
+pub mod annotate;
+pub mod engine;
+pub mod noise;
+pub mod presets;
+pub mod randdag;
+pub mod textfmt;
+pub mod walk;
+
+pub use condition::{CmpOp, Condition};
+pub use error::ModelError;
+pub use model::{ProcessModel, ProcessModelBuilder};
+pub use output::OutputSpec;

@@ -1,0 +1,413 @@
+//! The annotated process model of Definition 1: an activity graph with
+//! per-edge Boolean conditions and per-activity output specs.
+
+use crate::engine::DurationSpec;
+use crate::{Condition, ModelError, OutputSpec};
+use procmine_graph::{topo, DiGraph, NodeId};
+use procmine_log::{ActivityId, ActivityTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A business-process model `P = (V_P, G_P, o_P, {f_(u,v)})`
+/// (Definition 1): a directed activity graph with a single initiating
+/// and a single terminating activity, an output spec per activity and a
+/// Boolean condition per edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessModel {
+    name: String,
+    table: ActivityTable,
+    graph: DiGraph<String>,
+    outputs: Vec<OutputSpec>,
+    /// Per-activity service-time overrides; activities without one use
+    /// the engine configuration's duration model.
+    durations: Vec<Option<DurationSpec>>,
+    /// Conditions keyed by `(from, to)` dense indices; edges absent from
+    /// the map have condition `True`.
+    conditions: HashMap<(usize, usize), Condition>,
+    start: usize,
+    end: usize,
+}
+
+impl ProcessModel {
+    /// Starts building a model with the given name.
+    pub fn builder(name: impl Into<String>) -> ProcessModelBuilder {
+        ProcessModelBuilder {
+            name: name.into(),
+            table: ActivityTable::new(),
+            outputs: Vec::new(),
+            durations: Vec::new(),
+            edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The activity table (shared index space with the graph).
+    pub fn activities(&self) -> &ActivityTable {
+        &self.table
+    }
+
+    /// The activity graph (node payloads are names).
+    pub fn graph(&self) -> &DiGraph<String> {
+        &self.graph
+    }
+
+    /// Number of activities.
+    pub fn activity_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The initiating activity.
+    pub fn start(&self) -> ActivityId {
+        ActivityId::from_index(self.start)
+    }
+
+    /// The terminating activity.
+    pub fn end(&self) -> ActivityId {
+        ActivityId::from_index(self.end)
+    }
+
+    /// The condition on edge `(from, to)` (`True` if none was set).
+    /// Returns `None` if the edge does not exist.
+    pub fn condition(&self, from: ActivityId, to: ActivityId) -> Option<&Condition> {
+        if !self
+            .graph
+            .has_edge(NodeId::new(from.index()), NodeId::new(to.index()))
+        {
+            return None;
+        }
+        Some(
+            self.conditions
+                .get(&(from.index(), to.index()))
+                .unwrap_or(&Condition::True),
+        )
+    }
+
+    /// The output spec of an activity.
+    pub fn output_spec(&self, a: ActivityId) -> &OutputSpec {
+        &self.outputs[a.index()]
+    }
+
+    /// The activity's service-time override, if declared
+    /// ([`ProcessModelBuilder::activity_timed`]). `None` means the
+    /// engine configuration's duration model applies.
+    pub fn duration_spec(&self, a: ActivityId) -> Option<DurationSpec> {
+        self.durations[a.index()]
+    }
+
+    /// `true` if the graph is acyclic (guaranteed for models built with
+    /// [`ProcessModelBuilder::build`]).
+    pub fn is_acyclic(&self) -> bool {
+        topo::is_acyclic(&self.graph)
+    }
+
+    /// A clone of the activity graph, for wrapping as ground truth in
+    /// comparisons against mined models.
+    pub fn graph_clone(&self) -> DiGraph<String> {
+        self.graph.clone()
+    }
+}
+
+/// Builder for [`ProcessModel`]. Declare activities first, then edges;
+/// the first error encountered is reported by
+/// [`build`](ProcessModelBuilder::build), keeping the declaration chain
+/// fluent.
+pub struct ProcessModelBuilder {
+    name: String,
+    table: ActivityTable,
+    outputs: Vec<OutputSpec>,
+    durations: Vec<Option<DurationSpec>>,
+    edges: Vec<(usize, usize, Condition)>,
+    error: Option<ModelError>,
+}
+
+impl ProcessModelBuilder {
+    /// Declares an activity with no output.
+    pub fn activity(self, name: &str) -> Self {
+        self.activity_with(name, OutputSpec::None)
+    }
+
+    /// Declares an activity with an output spec.
+    pub fn activity_with(self, name: &str, output: OutputSpec) -> Self {
+        self.activity_timed(name, output, None)
+    }
+
+    /// Declares an activity with an output spec and a service-time
+    /// model of its own (overriding the engine configuration).
+    pub fn activity_timed(
+        mut self,
+        name: &str,
+        output: OutputSpec,
+        duration: Option<DurationSpec>,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if self.table.id(name).is_some() {
+            self.error = Some(ModelError::DuplicateActivity {
+                name: name.to_string(),
+            });
+            return self;
+        }
+        self.table.intern(name);
+        self.outputs.push(output);
+        self.durations.push(duration);
+        self
+    }
+
+    /// Declares an unconditional edge.
+    pub fn edge(self, from: &str, to: &str) -> Self {
+        self.edge_if(from, to, Condition::True)
+    }
+
+    /// Declares an edge guarded by a condition on the source's output.
+    pub fn edge_if(mut self, from: &str, to: &str, condition: Condition) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let (f, t) = match (self.table.id(from), self.table.id(to)) {
+            (Some(f), Some(t)) => (f.index(), t.index()),
+            (None, _) => {
+                self.error = Some(ModelError::UnknownActivity {
+                    name: from.to_string(),
+                });
+                return self;
+            }
+            (_, None) => {
+                self.error = Some(ModelError::UnknownActivity {
+                    name: to.to_string(),
+                });
+                return self;
+            }
+        };
+        self.edges.push((f, t, condition));
+        self
+    }
+
+    /// Validates and builds the model: exactly one source and one sink,
+    /// acyclic, no duplicate edges or self-loops, and every condition
+    /// arity within its source's output arity.
+    pub fn build(self) -> Result<ProcessModel, ModelError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        if self.table.is_empty() {
+            return Err(ModelError::NoActivities);
+        }
+
+        let n = self.table.len();
+        let mut graph: DiGraph<String> = DiGraph::with_capacity(n);
+        for name in self.table.names() {
+            graph.add_node(name.clone());
+        }
+        let mut conditions = HashMap::new();
+        for (f, t, cond) in self.edges {
+            if f == t {
+                return Err(ModelError::SelfLoop {
+                    name: self.table.names()[f].clone(),
+                });
+            }
+            if !graph.add_edge(NodeId::new(f), NodeId::new(t)) {
+                return Err(ModelError::DuplicateEdge {
+                    from: self.table.names()[f].clone(),
+                    to: self.table.names()[t].clone(),
+                });
+            }
+            let needs = cond.min_arity();
+            let produces = self.outputs[f].arity();
+            if needs > produces {
+                return Err(ModelError::ConditionArity {
+                    from: self.table.names()[f].clone(),
+                    to: self.table.names()[t].clone(),
+                    needs,
+                    produces,
+                });
+            }
+            if cond != Condition::True {
+                conditions.insert((f, t), cond);
+            }
+        }
+
+        let sources = graph.sources();
+        if sources.len() != 1 {
+            return Err(ModelError::BadSources {
+                found: sources.iter().map(|&s| graph.node(s).clone()).collect(),
+            });
+        }
+        let sinks = graph.sinks();
+        if sinks.len() != 1 {
+            return Err(ModelError::BadSinks {
+                found: sinks.iter().map(|&s| graph.node(s).clone()).collect(),
+            });
+        }
+        if !topo::is_acyclic(&graph) {
+            return Err(ModelError::NotAcyclic);
+        }
+
+        Ok(ProcessModel {
+            name: self.name,
+            table: self.table,
+            graph,
+            outputs: self.outputs,
+            durations: self.durations,
+            conditions,
+            start: sources[0].index(),
+            end: sinks[0].index(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CmpOp;
+
+    fn diamond() -> ProcessModel {
+        ProcessModel::builder("diamond")
+            .activity_with("A", OutputSpec::Uniform(vec![(0, 9)]))
+            .activity("B")
+            .activity("C")
+            .activity("D")
+            .edge_if("A", "B", Condition::cmp(0, CmpOp::Ge, 5))
+            .edge_if("A", "C", Condition::cmp(0, CmpOp::Lt, 5))
+            .edge("B", "D")
+            .edge("C", "D")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let m = diamond();
+        assert_eq!(m.activity_count(), 4);
+        assert_eq!(m.edge_count(), 4);
+        assert_eq!(m.activities().name(m.start()), "A");
+        assert_eq!(m.activities().name(m.end()), "D");
+        let a = m.activities().id("A").unwrap();
+        let b = m.activities().id("B").unwrap();
+        let d = m.activities().id("D").unwrap();
+        assert_eq!(m.condition(a, b), Some(&Condition::cmp(0, CmpOp::Ge, 5)));
+        assert_eq!(m.condition(b, d), Some(&Condition::True));
+        assert_eq!(m.condition(a, d), None, "no such edge");
+        assert!(m.is_acyclic());
+    }
+
+    #[test]
+    fn rejects_multiple_sources() {
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .activity("B")
+            .activity("C")
+            .edge("A", "C")
+            .edge("B", "C")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::BadSources { found } if found.len() == 2));
+    }
+
+    #[test]
+    fn rejects_multiple_sinks() {
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .activity("B")
+            .activity("C")
+            .edge("A", "B")
+            .edge("A", "C")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::BadSinks { found } if found.len() == 2));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let err = ProcessModel::builder("bad")
+            .activity("S")
+            .activity("A")
+            .activity("B")
+            .activity("E")
+            .edge("S", "A")
+            .edge("A", "B")
+            .edge("B", "A")
+            .edge("B", "E")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::NotAcyclic);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknowns() {
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .activity("A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateActivity { name } if name == "A"));
+
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .edge("A", "Z")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownActivity { name } if name == "Z"));
+
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .activity("B")
+            .edge("A", "B")
+            .edge("A", "B")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateEdge { .. }));
+
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .edge("A", "A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn rejects_condition_arity_overflow() {
+        let err = ProcessModel::builder("bad")
+            .activity("A") // no output
+            .activity("B")
+            .edge_if("A", "B", Condition::cmp(0, CmpOp::Gt, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::ConditionArity { needs: 1, produces: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_model() {
+        assert_eq!(
+            ProcessModel::builder("empty").build().unwrap_err(),
+            ModelError::NoActivities
+        );
+    }
+
+    #[test]
+    fn first_error_wins() {
+        // Unknown activity reported even though a later edge also
+        // duplicates — the chain short-circuits on the first problem.
+        let err = ProcessModel::builder("bad")
+            .activity("A")
+            .edge("A", "Z")
+            .edge("A", "A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownActivity { .. }));
+    }
+}

@@ -1,0 +1,98 @@
+//! Output-vector generators for activities (`o_P : V_P → N^k`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How an activity produces its output vector when executed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputSpec {
+    /// No output (the null vector of Definition 2); conditions on
+    /// outgoing edges read zeros.
+    #[default]
+    None,
+    /// A fixed vector.
+    Constant(Vec<i64>),
+    /// Each component drawn uniformly from an inclusive range.
+    Uniform(Vec<(i64, i64)>),
+    /// A vector drawn uniformly from an empirical pool — used when
+    /// executing *mined* models, bootstrapping from the outputs observed
+    /// in the log. Must be non-empty.
+    Choice(Vec<Vec<i64>>),
+}
+
+impl OutputSpec {
+    /// Number of components produced (for [`OutputSpec::Choice`], the
+    /// widest pooled vector).
+    pub fn arity(&self) -> usize {
+        match self {
+            OutputSpec::None => 0,
+            OutputSpec::Constant(v) => v.len(),
+            OutputSpec::Uniform(ranges) => ranges.len(),
+            OutputSpec::Choice(pool) => pool.iter().map(Vec::len).max().unwrap_or(0),
+        }
+    }
+
+    /// Samples an output vector. Returns `None` for [`OutputSpec::None`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<i64>> {
+        match self {
+            OutputSpec::None => None,
+            OutputSpec::Constant(v) => Some(v.clone()),
+            OutputSpec::Uniform(ranges) => Some(
+                ranges
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        assert!(lo <= hi, "invalid range {lo}..={hi}");
+                        rng.gen_range(lo..=hi)
+                    })
+                    .collect(),
+            ),
+            OutputSpec::Choice(pool) => {
+                assert!(!pool.is_empty(), "empty Choice pool");
+                Some(pool[rng.gen_range(0..pool.len())].clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arities() {
+        assert_eq!(OutputSpec::None.arity(), 0);
+        assert_eq!(OutputSpec::Constant(vec![1, 2, 3]).arity(), 3);
+        assert_eq!(OutputSpec::Uniform(vec![(0, 9), (5, 5)]).arity(), 2);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let spec = OutputSpec::Uniform(vec![(0, 9), (-5, 5)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = spec.sample(&mut rng).unwrap();
+            assert!((0..=9).contains(&v[0]));
+            assert!((-5..=5).contains(&v[1]));
+        }
+    }
+
+    #[test]
+    fn constant_and_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(
+            OutputSpec::Constant(vec![4]).sample(&mut rng),
+            Some(vec![4])
+        );
+        assert_eq!(OutputSpec::None.sample(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let spec = OutputSpec::Uniform(vec![(5, 0)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = spec.sample(&mut rng);
+    }
+}

@@ -1,0 +1,289 @@
+//! Fixed process models used by the experiments and examples.
+//!
+//! * [`graph10`] — a 10-activity DAG matching Figure 7 of the paper
+//!   ("Graph10"): the paper lists ADBEJ, AGHEJ, ADGHBEJ and AGCFIBEJ as
+//!   typical executions, and this model admits all of them.
+//! * [`flowmark_models`] — stand-ins for the five processes of Table 3
+//!   (`Upload_and_Notify`, `StressSleep`, `Pend_Block`, `Local_Swap`,
+//!   `UWI_Pilot`). The original Flowmark installation logs are
+//!   proprietary; these models reproduce each process' **vertex and edge
+//!   counts** exactly as reported in Table 3, so the experiment — mine
+//!   the log, verify the underlying process is recovered — exercises the
+//!   same code path at the same scale.
+//! * [`order_fulfillment`] — a conditions-annotated model for the §7
+//!   conditions-mining experiment: edges guarded by simple predicates on
+//!   activity outputs, which the decision-tree learner should recover.
+
+use crate::{CmpOp, Condition, OutputSpec, ProcessModel};
+
+/// The Figure 7 synthetic graph: 10 activities A–J, single source A,
+/// single sink J. Typical random-walk executions include ADBEJ, AGHEJ,
+/// ADGHBEJ and AGCFIBEJ.
+pub fn graph10() -> ProcessModel {
+    ProcessModel::builder("Graph10")
+        .activity("A")
+        .activity("B")
+        .activity("C")
+        .activity("D")
+        .activity("E")
+        .activity("F")
+        .activity("G")
+        .activity("H")
+        .activity("I")
+        .activity("J")
+        .edge("A", "D")
+        .edge("A", "G")
+        .edge("D", "B")
+        .edge("G", "H")
+        .edge("G", "C")
+        .edge("C", "F")
+        .edge("F", "I")
+        .edge("I", "B")
+        .edge("H", "B")
+        .edge("H", "E")
+        .edge("B", "E")
+        .edge("E", "J")
+        .build()
+        .expect("graph10 preset is valid")
+}
+
+/// `Upload_and_Notify` stand-in: 7 vertices, 7 edges (Table 3).
+pub fn upload_and_notify() -> ProcessModel {
+    ProcessModel::builder("Upload_and_Notify")
+        .activity("Start")
+        .activity("CheckFile")
+        .activity("Upload")
+        .activity("Verify")
+        .activity("NotifyUser")
+        .activity("NotifyAdmin")
+        .activity("End")
+        .edge("Start", "CheckFile")
+        .edge("CheckFile", "Upload")
+        .edge("Upload", "Verify")
+        .edge("Verify", "NotifyUser")
+        .edge("Verify", "NotifyAdmin")
+        .edge("NotifyUser", "End")
+        .edge("NotifyAdmin", "End")
+        .build()
+        .expect("preset is valid")
+}
+
+/// `StressSleep` stand-in: 14 vertices, 23 edges (Table 3) — the
+/// densest of the five, with four parallel worker lanes and cross-lane
+/// dependencies.
+pub fn stress_sleep() -> ProcessModel {
+    let mut b = ProcessModel::builder("StressSleep")
+        .activity("Start")
+        .activity("Warmup")
+        .activity("Init")
+        .activity("Collect")
+        .activity("Report")
+        .activity("End");
+    for i in 1..=4 {
+        b = b.activity(&format!("Spawn{i}")).activity(&format!("Sleep{i}"));
+    }
+    let mut b = b
+        .edge("Start", "Warmup")
+        .edge("Warmup", "Init")
+        .edge("Init", "Collect")
+        .edge("Collect", "Report")
+        .edge("Report", "End");
+    for i in 1..=4 {
+        b = b
+            .edge("Init", &format!("Spawn{i}"))
+            .edge(&format!("Spawn{i}"), &format!("Sleep{i}"))
+            .edge(&format!("Sleep{i}"), "Collect");
+    }
+    b.edge("Spawn1", "Sleep2")
+        .edge("Spawn2", "Sleep3")
+        .edge("Spawn3", "Sleep4")
+        .edge("Spawn4", "Sleep1")
+        .edge("Warmup", "Collect")
+        .edge("Spawn1", "Sleep3")
+        .build()
+        .expect("preset is valid")
+}
+
+/// `Pend_Block` stand-in: 6 vertices, 7 edges (Table 3).
+pub fn pend_block() -> ProcessModel {
+    ProcessModel::builder("Pend_Block")
+        .activity("Start")
+        .activity("Submit")
+        .activity("Pend")
+        .activity("Block")
+        .activity("Resolve")
+        .activity("End")
+        .edge("Start", "Submit")
+        .edge("Submit", "Pend")
+        .edge("Submit", "Block")
+        .edge("Pend", "Resolve")
+        .edge("Block", "Resolve")
+        .edge("Resolve", "End")
+        .edge("Submit", "Resolve")
+        .build()
+        .expect("preset is valid")
+}
+
+/// `Local_Swap` stand-in: 12 vertices, 11 edges (Table 3). A
+/// single-source/single-sink graph with `n − 1` edges is necessarily a
+/// chain, so the process is a 12-step sequence.
+pub fn local_swap() -> ProcessModel {
+    let steps = [
+        "Start", "Quiesce", "Snapshot", "CopyOut", "VerifyCopy", "Detach",
+        "SwapVolume", "Attach", "Replay", "VerifySwap", "Resume", "End",
+    ];
+    let mut b = ProcessModel::builder("Local_Swap");
+    for s in steps {
+        b = b.activity(s);
+    }
+    for w in steps.windows(2) {
+        b = b.edge(w[0], w[1]);
+    }
+    b.build().expect("preset is valid")
+}
+
+/// `UWI_Pilot` stand-in: 7 vertices, 7 edges (Table 3).
+pub fn uwi_pilot() -> ProcessModel {
+    ProcessModel::builder("UWI_Pilot")
+        .activity("Start")
+        .activity("Init")
+        .activity("Run")
+        .activity("Evaluate")
+        .activity("Publish")
+        .activity("Archive")
+        .activity("End")
+        .edge("Start", "Init")
+        .edge("Init", "Run")
+        .edge("Run", "Evaluate")
+        .edge("Evaluate", "Publish")
+        .edge("Evaluate", "Archive")
+        .edge("Publish", "End")
+        .edge("Archive", "End")
+        .build()
+        .expect("preset is valid")
+}
+
+/// All five Table 3 stand-ins with the paper's execution counts:
+/// `(model, number_of_executions)`.
+pub fn flowmark_models() -> Vec<(ProcessModel, usize)> {
+    vec![
+        (upload_and_notify(), 134),
+        (stress_sleep(), 160),
+        (pend_block(), 121),
+        (local_swap(), 24),
+        (uwi_pilot(), 134),
+    ]
+}
+
+/// An order-fulfillment process with output-dependent routing, for the
+/// §7 conditions-mining experiment:
+///
+/// * `Assess` outputs `(amount, risk)`;
+/// * orders with `amount > 500` require `ManagerApproval`, others take
+///   `AutoApprove`;
+/// * `risk > 70` additionally routes through `FraudCheck` (in parallel
+///   with the approval path);
+/// * everything joins at `Ship`.
+pub fn order_fulfillment() -> ProcessModel {
+    let high_value = Condition::cmp(0, CmpOp::Gt, 500);
+    let low_value = Condition::cmp(0, CmpOp::Le, 500);
+    let risky = Condition::cmp(1, CmpOp::Gt, 70);
+    ProcessModel::builder("OrderFulfillment")
+        .activity("Receive")
+        .activity_with("Assess", OutputSpec::Uniform(vec![(0, 1000), (0, 100)]))
+        .activity("ManagerApproval")
+        .activity("AutoApprove")
+        .activity_with("FraudCheck", OutputSpec::Uniform(vec![(0, 1)]))
+        .activity("Ship")
+        .edge("Receive", "Assess")
+        .edge_if("Assess", "ManagerApproval", high_value)
+        .edge_if("Assess", "AutoApprove", low_value)
+        .edge_if("Assess", "FraudCheck", risky)
+        .edge("ManagerApproval", "Ship")
+        .edge("AutoApprove", "Ship")
+        .edge("FraudCheck", "Ship")
+        .build()
+        .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procmine_log::{ActivityId, Execution};
+
+    /// Asserts the string is a valid execution order of the model: every
+    /// graph edge between present activities is respected.
+    fn admits(model: &ProcessModel, s: &str) {
+        let ids: Vec<ActivityId> = s
+            .chars()
+            .map(|c| model.activities().id(&c.to_string()).expect("known activity"))
+            .collect();
+        let exec = Execution::from_ids(s, &ids).unwrap();
+        let g = model.graph();
+        let seq = exec.sequence();
+        for (i, &u) in seq.iter().enumerate() {
+            for &v in &seq[i + 1..] {
+                assert!(
+                    !g.has_edge(
+                        procmine_graph::NodeId::new(v.index()),
+                        procmine_graph::NodeId::new(u.index())
+                    ),
+                    "{s} violates edge {} -> {}",
+                    model.activities().name(v),
+                    model.activities().name(u)
+                );
+            }
+        }
+        assert_eq!(seq[0], model.start());
+        assert_eq!(*seq.last().unwrap(), model.end());
+    }
+
+    #[test]
+    fn graph10_admits_paper_executions() {
+        let model = graph10();
+        assert_eq!(model.activity_count(), 10);
+        for s in ["ADBEJ", "AGHEJ", "ADGHBEJ", "AGCFIBEJ"] {
+            admits(&model, s);
+        }
+    }
+
+    #[test]
+    fn flowmark_counts_match_table3() {
+        let expected = [
+            ("Upload_and_Notify", 7, 7, 134),
+            ("StressSleep", 14, 23, 160),
+            ("Pend_Block", 6, 7, 121),
+            ("Local_Swap", 12, 11, 24),
+            ("UWI_Pilot", 7, 7, 134),
+        ];
+        let models = flowmark_models();
+        assert_eq!(models.len(), expected.len());
+        for ((model, m), (name, v, e, execs)) in models.iter().zip(expected) {
+            assert_eq!(model.name(), name);
+            assert_eq!(model.activity_count(), v, "{name} vertices");
+            assert_eq!(model.edge_count(), e, "{name} edges");
+            assert_eq!(*m, execs, "{name} executions");
+            assert!(model.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn order_fulfillment_routing_is_exclusive_on_value() {
+        use crate::engine::simulate;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = order_fulfillment();
+        let mut rng = StdRng::seed_from_u64(77);
+        let approval = model.activities().id("ManagerApproval").unwrap();
+        let auto = model.activities().id("AutoApprove").unwrap();
+        let fraud = model.activities().id("FraudCheck").unwrap();
+        let assess = model.activities().id("Assess").unwrap();
+        for i in 0..100 {
+            let e = simulate(&model, format!("o{i}"), &mut rng).unwrap();
+            assert_ne!(e.contains(approval), e.contains(auto));
+            let out = e.output_of(assess).unwrap();
+            assert_eq!(e.contains(approval), out[0] > 500);
+            assert_eq!(e.contains(fraud), out[1] > 70);
+        }
+    }
+}

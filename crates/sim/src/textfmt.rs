@@ -1,0 +1,659 @@
+//! A plain-text process-model definition format.
+//!
+//! Lets users define annotated activity graphs (Definition 1) in a
+//! file, load them with the CLI (`procmine generate --model FILE`), and
+//! round-trip models to text. The format is line-oriented:
+//!
+//! ```text
+//! # Anything after '#' is a comment.
+//! process OrderFulfillment
+//!
+//! activity Receive
+//! activity Assess output uniform 0..1000, 0..100
+//! activity Ship
+//!
+//! edge Receive -> Assess
+//! edge Assess -> Ship if o[0] > 500 && !(o[1] <= 70)
+//! ```
+//!
+//! Conditions use the expression grammar of [`Condition`]: comparisons
+//! between output components `o[i]` and integer constants (or other
+//! components), combined with `&&`, `||`, `!` and parentheses.
+
+use crate::{CmpOp, Condition, ModelError, OutputSpec, ProcessModel};
+use procmine_log::ActivityId;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from parsing a model file.
+#[derive(Debug)]
+pub enum TextFormatError {
+    /// I/O failure while reading or writing.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed definition failed model validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for TextFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextFormatError::Io(e) => write!(f, "I/O error: {e}"),
+            TextFormatError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TextFormatError::Model(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextFormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TextFormatError::Io(e) => Some(e),
+            TextFormatError::Model(e) => Some(e),
+            TextFormatError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TextFormatError {
+    fn from(e: std::io::Error) -> Self {
+        TextFormatError::Io(e)
+    }
+}
+
+impl From<ModelError> for TextFormatError {
+    fn from(e: ModelError) -> Self {
+        TextFormatError::Model(e)
+    }
+}
+
+/// Parses a model definition.
+pub fn read_model<R: BufRead>(reader: R) -> Result<ProcessModel, TextFormatError> {
+    let mut name: Option<String> = None;
+    let mut builder = ProcessModel::builder("unnamed");
+    let mut started = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| TextFormatError::Parse { line: lineno, message };
+
+        if let Some(rest) = line.strip_prefix("process ") {
+            if started {
+                return Err(err("`process` must come before activities and edges".into()));
+            }
+            name = Some(rest.trim().to_string());
+            builder = ProcessModel::builder(rest.trim());
+        } else if let Some(rest) = line.strip_prefix("activity ") {
+            started = true;
+            let rest = rest.trim();
+            let (act_name, output) = match rest.split_once(" output ") {
+                None => (rest, OutputSpec::None),
+                Some((n, spec)) => (n.trim(), parse_output(spec.trim()).map_err(&err)?),
+            };
+            if act_name.is_empty() || act_name.contains(char::is_whitespace) {
+                return Err(err(format!("invalid activity name `{act_name}`")));
+            }
+            builder = builder.activity_with(act_name, output);
+        } else if let Some(rest) = line.strip_prefix("edge ") {
+            started = true;
+            let rest = rest.trim();
+            let (endpoints, condition) = match rest.split_once(" if ") {
+                None => (rest, Condition::True),
+                Some((e, cond)) => (e.trim(), parse_condition(cond.trim()).map_err(&err)?),
+            };
+            let (from, to) = endpoints
+                .split_once("->")
+                .ok_or_else(|| err(format!("edge `{endpoints}` needs `FROM -> TO`")))?;
+            builder = builder.edge_if(from.trim(), to.trim(), condition);
+        } else {
+            return Err(err(format!(
+                "expected `process`, `activity` or `edge`, got `{line}`"
+            )));
+        }
+    }
+
+    let _ = name; // the builder already carries it
+    Ok(builder.build()?)
+}
+
+/// Writes a model definition that [`read_model`] parses back to an
+/// equivalent model.
+pub fn write_model<W: Write>(model: &ProcessModel, mut writer: W) -> Result<(), TextFormatError> {
+    writeln!(writer, "process {}", model.name())?;
+    writeln!(writer)?;
+    for (id, name) in model.activities().iter() {
+        match model.output_spec(id) {
+            OutputSpec::None => writeln!(writer, "activity {name}")?,
+            OutputSpec::Constant(v) => {
+                let vals: Vec<String> = v.iter().map(i64::to_string).collect();
+                writeln!(writer, "activity {name} output constant {}", vals.join(", "))?;
+            }
+            OutputSpec::Uniform(ranges) => {
+                let vals: Vec<String> =
+                    ranges.iter().map(|(lo, hi)| format!("{lo}..{hi}")).collect();
+                writeln!(writer, "activity {name} output uniform {}", vals.join(", "))?;
+            }
+            OutputSpec::Choice(pool) => {
+                let vals: Vec<String> = pool
+                    .iter()
+                    .map(|v| v.iter().map(i64::to_string).collect::<Vec<_>>().join(";"))
+                    .collect();
+                writeln!(writer, "activity {name} output choice {}", vals.join(" | "))?;
+            }
+        }
+    }
+    writeln!(writer)?;
+    for (u, v) in model.graph().edges() {
+        let from = model.graph().node(u);
+        let to = model.graph().node(v);
+        let cond = model
+            .condition(
+                ActivityId::from_index(u.index()),
+                ActivityId::from_index(v.index()),
+            )
+            .expect("edge exists");
+        match cond {
+            Condition::True => writeln!(writer, "edge {from} -> {to}")?,
+            other => writeln!(writer, "edge {from} -> {to} if {other}")?,
+        }
+    }
+    Ok(())
+}
+
+fn parse_output(spec: &str) -> Result<OutputSpec, String> {
+    if spec == "none" {
+        return Ok(OutputSpec::None);
+    }
+    if let Some(rest) = spec.strip_prefix("constant ") {
+        let vals: Result<Vec<i64>, _> =
+            rest.split(',').map(|v| v.trim().parse::<i64>()).collect();
+        return vals
+            .map(OutputSpec::Constant)
+            .map_err(|_| format!("invalid constant output `{rest}`"));
+    }
+    if let Some(rest) = spec.strip_prefix("choice ") {
+        let pool: Result<Vec<Vec<i64>>, String> = rest
+            .split('|')
+            .map(|vecs| {
+                vecs.trim()
+                    .split(';')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<i64>()
+                            .map_err(|_| format!("invalid choice value `{v}`"))
+                    })
+                    .collect()
+            })
+            .collect();
+        let pool = pool?;
+        if pool.is_empty() {
+            return Err("choice output needs at least one vector".to_string());
+        }
+        return Ok(OutputSpec::Choice(pool));
+    }
+    if let Some(rest) = spec.strip_prefix("uniform ") {
+        let ranges: Result<Vec<(i64, i64)>, String> = rest
+            .split(',')
+            .map(|r| {
+                let r = r.trim();
+                let (lo, hi) = r
+                    .split_once("..")
+                    .ok_or_else(|| format!("range `{r}` needs `lo..hi`"))?;
+                let lo: i64 = lo.trim().parse().map_err(|_| format!("bad bound in `{r}`"))?;
+                let hi: i64 = hi.trim().parse().map_err(|_| format!("bad bound in `{r}`"))?;
+                if lo > hi {
+                    return Err(format!("empty range `{r}`"));
+                }
+                Ok((lo, hi))
+            })
+            .collect();
+        return ranges.map(OutputSpec::Uniform);
+    }
+    Err(format!("unknown output spec `{spec}` (use none / constant / uniform)"))
+}
+
+/// Parses a condition expression. Grammar (standard precedence,
+/// `!` > `&&` > `||`):
+///
+/// ```text
+/// expr  := and ('||' and)*
+/// and   := unary ('&&' unary)*
+/// unary := '!' unary | '(' expr ')' | 'true' | 'false' | cmp
+/// cmp   := term op term          op := < <= > >= == !=
+/// term  := 'o[' INT ']' | INT
+/// ```
+pub fn parse_condition(text: &str) -> Result<Condition, String> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let cond = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(format!(
+            "unexpected trailing input at `{}`",
+            parser.tokens[parser.pos]
+        ));
+    }
+    Ok(cond)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Var(usize),
+    Int(i64),
+    Op(CmpOp),
+    AndAnd,
+    OrOr,
+    Not,
+    LParen,
+    RParen,
+    True,
+    False,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Var(i) => write!(f, "o[{i}]"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Op(op) => write!(f, "{op}"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Not => write!(f, "!"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err("single `&` (use `&&`)".into());
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err("single `|` (use `||`)".into());
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Le));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(CmpOp::Eq));
+                    i += 2;
+                } else {
+                    return Err("single `=` (use `==`)".into());
+                }
+            }
+            'o' if bytes.get(i + 1) == Some(&b'[') => {
+                let close = text[i..]
+                    .find(']')
+                    .ok_or_else(|| "unterminated `o[`".to_string())?
+                    + i;
+                let idx: usize = text[i + 2..close]
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad output index `{}`", &text[i + 2..close]))?;
+                tokens.push(Token::Var(idx));
+                i = close + 1;
+            }
+            't' if text[i..].starts_with("true") => {
+                tokens.push(Token::True);
+                i += 4;
+            }
+            'f' if text[i..].starts_with("false") => {
+                tokens.push(Token::False);
+                i += 5;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: i64 = text[start..i]
+                    .parse()
+                    .map_err(|_| format!("bad integer `{}`", &text[start..i]))?;
+                tokens.push(Token::Int(v));
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<Condition, String> {
+        let mut left = self.and()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.pos += 1;
+            let right = self.and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Condition, String> {
+        let mut left = self.unary()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.pos += 1;
+            let right = self.unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Condition, String> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.pos += 1;
+                Ok(self.unary()?.not())
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if self.peek() != Some(&Token::RParen) {
+                    return Err("missing `)`".into());
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(Token::True) => {
+                self.pos += 1;
+                Ok(Condition::True)
+            }
+            Some(Token::False) => {
+                self.pos += 1;
+                Ok(Condition::False)
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Condition, String> {
+        let left = self.term()?;
+        let op = match self.peek() {
+            Some(&Token::Op(op)) => op,
+            other => {
+                return Err(format!(
+                    "expected comparison operator, got {}",
+                    other.map_or("end of input".to_string(), ToString::to_string)
+                ))
+            }
+        };
+        self.pos += 1;
+        let right = self.term()?;
+        Ok(match (left, right) {
+            (Term::Var(l), Term::Const(v)) => Condition::Cmp { index: l, op, value: v },
+            (Term::Var(l), Term::Var(r)) => Condition::CmpVar { left: l, op, right: r },
+            (Term::Const(v), Term::Var(r)) => Condition::Cmp {
+                index: r,
+                op: flip(op),
+                value: v,
+            },
+            (Term::Const(a), Term::Const(b)) => {
+                if op.apply(a, b) {
+                    Condition::True
+                } else {
+                    Condition::False
+                }
+            }
+        })
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        match self.peek() {
+            Some(&Token::Var(i)) => {
+                self.pos += 1;
+                Ok(Term::Var(i))
+            }
+            Some(&Token::Int(v)) => {
+                self.pos += 1;
+                Ok(Term::Const(v))
+            }
+            other => Err(format!(
+                "expected `o[i]` or integer, got {}",
+                other.map_or("end of input".to_string(), ToString::to_string)
+            )),
+        }
+    }
+}
+
+enum Term {
+    Var(usize),
+    Const(i64),
+}
+
+/// Mirrors a comparison when its operands swap sides: `5 < o[0]`
+/// becomes `o[0] > 5`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn parses_minimal_model() {
+        let text = "\
+process Demo
+activity A
+activity B
+edge A -> B
+";
+        let model = read_model(text.as_bytes()).unwrap();
+        assert_eq!(model.name(), "Demo");
+        assert_eq!(model.activity_count(), 2);
+        assert_eq!(model.edge_count(), 1);
+    }
+
+    #[test]
+    fn parses_outputs_and_conditions() {
+        let text = "\
+# order process
+process Orders
+
+activity Receive
+activity Assess output uniform 0..1000, 0..100
+activity Approve
+activity Auto
+activity Ship
+
+edge Receive -> Assess
+edge Assess -> Approve if o[0] > 500
+edge Assess -> Auto if o[0] <= 500 && !(o[1] > 70)
+edge Assess -> Ship if false
+edge Approve -> Ship
+edge Auto -> Ship
+";
+        let model = read_model(text.as_bytes()).unwrap();
+        let assess = model.activities().id("Assess").unwrap();
+        let approve = model.activities().id("Approve").unwrap();
+        assert_eq!(
+            model.condition(assess, approve),
+            Some(&Condition::cmp(0, CmpOp::Gt, 500))
+        );
+        assert_eq!(model.output_spec(assess).arity(), 2);
+    }
+
+    #[test]
+    fn round_trips_presets() {
+        for model in [
+            presets::order_fulfillment(),
+            presets::graph10(),
+            presets::stress_sleep(),
+        ] {
+            let mut buf = Vec::new();
+            write_model(&model, &mut buf).unwrap();
+            let back = read_model(buf.as_slice()).unwrap();
+            assert_eq!(back.name(), model.name());
+            assert_eq!(back.activity_count(), model.activity_count());
+            assert_eq!(back.edge_count(), model.edge_count());
+            // Conditions survive the round trip.
+            for (u, v) in model.graph().edges() {
+                let a = ActivityId::from_index(u.index());
+                let b = ActivityId::from_index(v.index());
+                let orig = model.condition(a, b).unwrap();
+                let from = model.graph().node(u);
+                let to = model.graph().node(v);
+                let ba = back.activities().id(from).unwrap();
+                let bb = back.activities().id(to).unwrap();
+                assert_eq!(back.condition(ba, bb).unwrap(), orig, "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn condition_parser_grammar() {
+        let c = parse_condition("o[0] > 5 && o[1] <= 3 || !(o[2] == 0)").unwrap();
+        // Precedence: (a && b) || !(c).
+        assert!(c.eval(&[6, 3, 0]));
+        assert!(c.eval(&[0, 0, 1]));
+        assert!(!c.eval(&[0, 0, 0]));
+
+        assert_eq!(parse_condition("true").unwrap(), Condition::True);
+        assert_eq!(parse_condition("3 < 5").unwrap(), Condition::True);
+        assert_eq!(parse_condition("3 > 5").unwrap(), Condition::False);
+        // Constant-on-the-left comparisons flip.
+        assert_eq!(
+            parse_condition("500 < o[0]").unwrap(),
+            Condition::cmp(0, CmpOp::Gt, 500)
+        );
+        assert_eq!(
+            parse_condition("o[1] != o[0]").unwrap(),
+            Condition::CmpVar { left: 1, op: CmpOp::Ne, right: 0 }
+        );
+        // Negative constants.
+        assert_eq!(
+            parse_condition("o[0] >= -3").unwrap(),
+            Condition::cmp(0, CmpOp::Ge, -3)
+        );
+    }
+
+    #[test]
+    fn condition_parser_errors() {
+        for bad in [
+            "o[0] >", "&& true", "o[0] & 1", "o[0] = 1", "(o[0] > 1", "o[x] > 1",
+            "o[0] > 1 extra", "", "5", "o[0]",
+        ] {
+            assert!(parse_condition(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn reader_errors_carry_line_numbers() {
+        let text = "process P\nactivity A\nwat A -> B\n";
+        match read_model(text.as_bytes()) {
+            Err(TextFormatError::Parse { line: 3, .. }) => {}
+            other => panic!("expected parse error on line 3, got {other:?}"),
+        }
+
+        let text = "process P\nactivity A\nedge A B\n";
+        assert!(matches!(
+            read_model(text.as_bytes()),
+            Err(TextFormatError::Parse { line: 3, .. })
+        ));
+
+        // Model-level validation errors surface too (a two-node cycle
+        // leaves the model with no source, reported as BadSources).
+        let text = "process P\nactivity A\nactivity B\nedge A -> B\nedge B -> A\n";
+        assert!(matches!(
+            read_model(text.as_bytes()),
+            Err(TextFormatError::Model(ModelError::BadSources { .. }))
+        ));
+        // A cycle reachable from a proper source reports NotAcyclic.
+        let text =
+            "process P\nactivity S\nactivity A\nactivity B\nactivity E\nedge S -> A\nedge A -> B\nedge B -> A\nedge B -> E\n";
+        assert!(matches!(
+            read_model(text.as_bytes()),
+            Err(TextFormatError::Model(ModelError::NotAcyclic))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nprocess P # trailing\n\nactivity A # the start\nactivity B\nedge A -> B # done\n";
+        let model = read_model(text.as_bytes()).unwrap();
+        assert_eq!(model.name(), "P");
+        assert_eq!(model.edge_count(), 1);
+    }
+}

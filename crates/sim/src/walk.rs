@@ -1,0 +1,192 @@
+//! The paper's §8.1 synthetic-log generator: a random walk over the
+//! process graph with a ready list.
+//!
+//! > "The START activity is executed first and then all the activities
+//! > that can be reached directly with one edge are inserted in a list.
+//! > The next activity to be executed is selected from this list in
+//! > random order. Once an activity A is logged, it is removed from the
+//! > list, along with any activity B in the list such that there exists
+//! > a (B, A) dependency. At the same time A's descendents are added to
+//! > the list. When the END activity is selected, the process
+//! > terminates. In this way, not all activities are present in all
+//! > executions."
+//!
+//! Dependencies are taken as reachability in the model graph. Two extra
+//! guards keep every generated execution consistent with the model
+//! (Definition 6) without changing the spirit of the scheme: an activity
+//! is never added to the list if an already-executed activity should
+//! have run after it, and duplicates are not added.
+
+use crate::ProcessModel;
+use procmine_graph::{reach, AdjMatrix, NodeId};
+use procmine_log::{ActivityId, Execution, LogError, WorkflowLog};
+use rand::Rng;
+
+/// Generates one random-walk execution of `model`'s graph (edge
+/// conditions are ignored; branching randomness comes from list order
+/// and early END selection).
+pub fn random_walk<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    closure: &AdjMatrix,
+    id: impl Into<String>,
+    rng: &mut R,
+) -> Result<Execution, LogError> {
+    let g = model.graph();
+    let n = g.node_count();
+    let start = model.start().index();
+    let end = model.end().index();
+
+    let mut executed = vec![false; n];
+    let mut in_list = vec![false; n];
+    let mut list: Vec<usize> = Vec::new();
+    let mut seq: Vec<ActivityId> = Vec::new();
+
+    // Execute START, seed the list with its direct successors.
+    executed[start] = true;
+    seq.push(ActivityId::from_index(start));
+    for &s in g.successors(NodeId::new(start)) {
+        if !in_list[s.index()] {
+            in_list[s.index()] = true;
+            list.push(s.index());
+        }
+    }
+
+    while !list.is_empty() {
+        let pick = rng.gen_range(0..list.len());
+        let a = list.swap_remove(pick);
+        in_list[a] = false;
+
+        executed[a] = true;
+        seq.push(ActivityId::from_index(a));
+        if a == end {
+            break;
+        }
+
+        // Remove any listed B with a (B, A) dependency: B should have
+        // run before A, so it can no longer run.
+        list.retain(|&b| {
+            let keep = !closure.has_edge(b, a);
+            if !keep {
+                in_list[b] = false;
+            }
+            keep
+        });
+
+        // Add A's direct successors, skipping anything already executed,
+        // already listed, or that should have preceded an executed
+        // activity.
+        for &s in g.successors(NodeId::new(a)) {
+            let s = s.index();
+            if executed[s] || in_list[s] {
+                continue;
+            }
+            let invalidated = (0..n).any(|x| executed[x] && closure.has_edge(s, x));
+            if invalidated {
+                continue;
+            }
+            in_list[s] = true;
+            list.push(s);
+        }
+    }
+
+    Execution::from_ids(id, &seq)
+}
+
+/// Generates a log of `m` random-walk executions, sharing the model's
+/// activity table. This is the workload generator of the Table 1/2
+/// experiments.
+pub fn random_walk_log<R: Rng + ?Sized>(
+    model: &ProcessModel,
+    m: usize,
+    rng: &mut R,
+) -> Result<WorkflowLog, LogError> {
+    let closure = reach::transitive_closure(model.graph());
+    let mut log = WorkflowLog::with_activities(model.activities().clone());
+    for i in 0..m {
+        log.push(random_walk(model, &closure, format!("walk-{i}"), rng)?);
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walks_start_at_start_and_end_at_end() {
+        let model = presets::graph10();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let log = random_walk_log(&model, 200, &mut rng).unwrap();
+        for e in log.executions() {
+            let (first, last) = e.endpoints();
+            assert_eq!(first, model.start());
+            assert_eq!(last, model.end());
+            assert!(!e.has_repeats());
+        }
+    }
+
+    #[test]
+    fn walks_respect_dependencies() {
+        let model = presets::graph10();
+        let closure = reach::transitive_closure(model.graph());
+        let mut rng = StdRng::seed_from_u64(7);
+        let log = random_walk_log(&model, 300, &mut rng).unwrap();
+        for e in log.executions() {
+            let seq = e.sequence();
+            for (i, &u) in seq.iter().enumerate() {
+                for &v in &seq[i + 1..] {
+                    assert!(
+                        !closure.has_edge(v.index(), u.index()),
+                        "execution {} violates dependency {} -> {}",
+                        e.display(model.activities()),
+                        model.activities().name(v),
+                        model.activities().name(u),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_all_activities_in_every_execution() {
+        let model = presets::graph10();
+        let mut rng = StdRng::seed_from_u64(99);
+        let log = random_walk_log(&model, 100, &mut rng).unwrap();
+        let partial = log
+            .executions()
+            .iter()
+            .filter(|e| e.len() < model.activity_count())
+            .count();
+        assert!(partial > 0, "§8.1: random walks skip activities");
+    }
+
+    #[test]
+    fn executions_vary() {
+        let model = presets::graph10();
+        let mut rng = StdRng::seed_from_u64(5);
+        let log = random_walk_log(&model, 100, &mut rng).unwrap();
+        let distinct: std::collections::HashSet<String> =
+            log.display_sequences().into_iter().collect();
+        assert!(distinct.len() > 5, "random selection produces variety");
+    }
+
+    #[test]
+    fn chain_walks_are_the_full_chain() {
+        let model = crate::ProcessModel::builder("chain")
+            .activity("A")
+            .activity("B")
+            .activity("C")
+            .edge("A", "B")
+            .edge("B", "C")
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let log = random_walk_log(&model, 10, &mut rng).unwrap();
+        for e in log.executions() {
+            assert_eq!(e.display(model.activities()), "A B C");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # procmine — Mining Process Models from Workflow Logs
+//!
+//! A Rust implementation of the process-mining system of **Agrawal,
+//! Gunopulos and Leymann, "Mining Process Models from Workflow Logs"
+//! (EDBT 1998)**: given a log of past, unstructured executions of a
+//! business process, synthesize a *conformal* directed-graph model of the
+//! process — one that preserves every dependency observed in the log,
+//! introduces no spurious dependency, and admits every logged execution.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `procmine-graph` | directed-graph substrate (SCC, topo sort, transitive reduction, DOT) |
+//! | [`log`] | `procmine-log` | event records, executions, workflow logs, codecs |
+//! | [`sim`] | `procmine-sim` | process models, execution engine, synthetic-log generator, noise |
+//! | [`mine`] | `procmine-core` | Algorithms 1–3, noise thresholding, conformance checking |
+//! | [`classify`] | `procmine-classify` | decision-tree learning of Boolean edge conditions |
+//! | [`bridge`] | (this crate) | mined model + learned conditions → executable process; behavioural fitness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use procmine::log::WorkflowLog;
+//! use procmine::mine::{mine_general_dag, MinerOptions};
+//!
+//! // Example 6 from the paper: three executions of a five-activity
+//! // process, every activity present in every execution.
+//! let log = WorkflowLog::from_sequences([
+//!     ["A", "B", "C", "D", "E"],
+//!     ["A", "C", "D", "B", "E"],
+//!     ["A", "C", "B", "D", "E"],
+//! ]).unwrap();
+//!
+//! let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+//!
+//! // The paper's Figure 3 result: the chain A→C→D→E with B parallel
+//! // between A and E.
+//! assert!(mined.has_edge("A", "C") && mined.has_edge("C", "D"));
+//! assert!(mined.has_edge("A", "B") && mined.has_edge("B", "E"));
+//! assert!(mined.has_edge("D", "E"));
+//! assert!(!mined.has_edge("A", "E"), "transitively reduced");
+//! ```
+
+pub mod bridge;
+
+pub use procmine_classify as classify;
+pub use procmine_core as mine;
+pub use procmine_graph as graph;
+pub use procmine_log as log;
+pub use procmine_sim as sim;

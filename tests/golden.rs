@@ -1,0 +1,103 @@
+//! Golden-file tests: deterministic end-to-end outputs (mined DOT
+//! graphs, BPMN export, learned rules) compared byte-for-byte against
+//! checked-in references in `tests/golden/`.
+//!
+//! Regenerate after an intentional behaviour change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use procmine::classify::{learn_edge_conditions, TreeConfig};
+use procmine::log::WorkflowLog;
+use procmine::mine::splits::analyze_gateways;
+use procmine::mine::{bpmn, mine_auto, MinerOptions};
+use procmine::sim::{annotate, engine, presets};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "output drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn example6_dot() {
+    let log = WorkflowLog::from_strings(["ABCDE", "ACDBE", "ACBDE"]).unwrap();
+    let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+    check("example6.dot", &model.to_dot("example6"));
+}
+
+#[test]
+fn example8_cyclic_dot() {
+    let log = WorkflowLog::from_strings(["ABDCE", "ABDCBCE", "ABCBDCE", "ADE"]).unwrap();
+    let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+    check("example8.dot", &model.to_dot("example8"));
+}
+
+#[test]
+fn graph10_recovered_dot() {
+    let annotated = annotate::with_xor_conditions(&presets::graph10());
+    let mut rng = StdRng::seed_from_u64(7);
+    let log = engine::generate_log(&annotated, 100, &mut rng).unwrap();
+    let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+    check("graph10_mined.dot", &model.to_dot("Graph10"));
+}
+
+#[test]
+fn order_fulfillment_bpmn() {
+    let process = presets::order_fulfillment();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let log = engine::generate_log(&process, 300, &mut rng).unwrap();
+    let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+    let gateways = analyze_gateways(&model, &log);
+    check(
+        "order_fulfillment.bpmn",
+        &bpmn::to_bpmn_xml(&model, &gateways, "order_fulfillment"),
+    );
+}
+
+#[test]
+fn order_fulfillment_rules() {
+    let process = presets::order_fulfillment();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let log = engine::generate_log(&process, 300, &mut rng).unwrap();
+    let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+    let learned = learn_edge_conditions(&model, &log, &TreeConfig::default());
+    let mut text = String::new();
+    for c in &learned {
+        text.push_str(&format!("{} -> {}:", c.from, c.to));
+        if c.rules.is_empty() {
+            text.push_str(" <no positive rules>");
+        }
+        for r in &c.rules {
+            text.push_str(&format!(" [{r}]"));
+        }
+        text.push('\n');
+    }
+    check("order_fulfillment.rules", &text);
+}
+
+#[test]
+fn support_annotated_dot() {
+    let log = WorkflowLog::from_strings(["ABCE", "ABCE", "ABCE", "ACDE", "ADBE"]).unwrap();
+    let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+    check("support.dot", &model.to_dot_with_support("support"));
+}

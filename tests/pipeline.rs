@@ -1,0 +1,140 @@
+//! End-to-end integration: simulate → serialize → parse → mine → verify
+//! → learn conditions, across the workspace crates through the facade.
+
+use procmine::classify::{learn_edge_conditions, TreeConfig};
+use procmine::log::codec::{flowmark, jsonl};
+use procmine::mine::conformance::check_conformance;
+use procmine::mine::metrics::compare_models;
+use procmine::mine::{mine_auto, Algorithm, MinedModel, MinerOptions};
+use procmine::sim::{engine, presets, walk};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_pipeline_on_graph10() {
+    let process = presets::graph10();
+    let mut rng = StdRng::seed_from_u64(42);
+    let log = walk::random_walk_log(&process, 300, &mut rng).unwrap();
+
+    // Serialize through the Flowmark codec and parse back.
+    let mut buf = Vec::new();
+    flowmark::write_log(&log, &mut buf).unwrap();
+    let parsed = flowmark::read_log(buf.as_slice()).unwrap();
+    assert_eq!(parsed.display_sequences(), log.display_sequences());
+
+    // Mine and verify.
+    let (mined, algorithm) = mine_auto(&parsed, &MinerOptions::default()).unwrap();
+    assert_eq!(algorithm, Algorithm::GeneralDag);
+    let report = check_conformance(&mined, &parsed);
+    assert!(report.is_conformal(), "{report:?}");
+
+    // Compare with ground truth: at 300 executions recovery should be
+    // at least closure-faithful and near-complete.
+    let reference = MinedModel::from_graph(process.graph_clone());
+    let recovery = compare_models(&reference, &mined).unwrap();
+    assert!(recovery.diff.recall() >= 0.9, "{:?}", recovery.diff);
+}
+
+#[test]
+fn full_pipeline_with_conditions() {
+    let process = presets::order_fulfillment();
+    let mut rng = StdRng::seed_from_u64(7);
+    let log = engine::generate_log(&process, 300, &mut rng).unwrap();
+
+    // JSON-lines keeps the outputs; round-trip and mine.
+    let mut buf = Vec::new();
+    jsonl::write_log(&log, &mut buf).unwrap();
+    let parsed = jsonl::read_log(buf.as_slice()).unwrap();
+
+    let (mined, _) = mine_auto(&parsed, &MinerOptions::default()).unwrap();
+    assert!(check_conformance(&mined, &parsed).is_conformal());
+
+    let learned = learn_edge_conditions(&mined, &parsed, &TreeConfig::default());
+    let approval = learned
+        .iter()
+        .find(|c| c.from == "Assess" && c.to == "ManagerApproval")
+        .expect("edge mined and condition learned");
+    assert!(approval.train_accuracy > 0.95);
+    assert!(approval.predict(&[900, 0]) && !approval.predict(&[10, 0]));
+}
+
+#[test]
+fn all_flowmark_presets_recover_at_paper_scale() {
+    // Table 3's claim: "In every case, our algorithm was able to
+    // recover the underlying process." Recovery = identical edge set,
+    // or identical transitive closure — by the paper's Lemma 2 two
+    // graphs with the same closure encode the same dependency relation.
+    // Allow a few seeds since small logs (Local_Swap has only 24
+    // executions) are right at the recovery boundary.
+    for (process, m) in presets::flowmark_models() {
+        let reference = MinedModel::from_graph(process.graph_clone());
+        let recovered = (0..3).any(|seed| {
+            let mut rng = StdRng::seed_from_u64(1998 + seed);
+            let log = walk::random_walk_log(&process, m, &mut rng).unwrap();
+            let (mined, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+            let r = compare_models(&reference, &mined).unwrap();
+            r.exact || r.closure_equal
+        });
+        assert!(recovered, "{} not recovered at m={m}", process.name());
+    }
+}
+
+#[test]
+fn mined_models_survive_json_round_trip() {
+    let process = presets::pend_block();
+    let mut rng = StdRng::seed_from_u64(5);
+    let log = walk::random_walk_log(&process, 121, &mut rng).unwrap();
+    let (mined, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+
+    let json = serde_json::to_string(&mined).unwrap();
+    let back: MinedModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.edges_named(), mined.edges_named());
+    assert!(check_conformance(&back, &log).is_conformal());
+}
+
+#[test]
+fn engine_logs_are_consistent_with_their_model() {
+    // Every execution the engine produces must be consistent with the
+    // generating graph (Definition 6) — the engine is the ground truth
+    // oracle for the conformance checker.
+    use procmine::mine::conformance::check_execution;
+    for process in [
+        presets::graph10(),
+        presets::order_fulfillment(),
+        presets::stress_sleep(),
+    ] {
+        let reference = MinedModel::from_graph(process.graph_clone());
+        let mut rng = StdRng::seed_from_u64(31);
+        let log = engine::generate_log(&process, 100, &mut rng).unwrap();
+        for exec in log.executions() {
+            let violations = check_execution(&reference, exec);
+            assert!(
+                violations.is_empty(),
+                "{}: execution {} violates {:?}",
+                process.name(),
+                exec.display(log.activities()),
+                violations
+            );
+        }
+    }
+}
+
+#[test]
+fn walk_logs_are_consistent_with_their_model() {
+    use procmine::mine::conformance::check_execution;
+    for process in [presets::graph10(), presets::uwi_pilot()] {
+        let reference = MinedModel::from_graph(process.graph_clone());
+        let mut rng = StdRng::seed_from_u64(77);
+        let log = walk::random_walk_log(&process, 200, &mut rng).unwrap();
+        for exec in log.executions() {
+            let violations = check_execution(&reference, exec);
+            assert!(
+                violations.is_empty(),
+                "{}: {} -> {:?}",
+                process.name(),
+                exec.display(log.activities()),
+                violations
+            );
+        }
+    }
+}

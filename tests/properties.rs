@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * mined models are conformal with their input log (the Definition 7
+//!   guarantee, checked by the independent conformance module);
+//! * transitive reduction preserves the closure and is minimal;
+//! * SCC decomposition agrees with brute-force mutual reachability;
+//! * codecs round-trip arbitrary logs.
+
+use procmine::graph::reach::{has_path, transitive_closure};
+use procmine::graph::reduction::{transitive_reduction_dag, transitive_reduction_naive};
+use procmine::graph::{scc, DiGraph, NodeId};
+use procmine::log::codec::{flowmark, jsonl, seqs};
+use procmine::log::WorkflowLog;
+use procmine::mine::conformance::check_conformance;
+use procmine::mine::{mine_auto, MinerOptions};
+use proptest::prelude::*;
+
+/// Strategy: a random log of executions over activities `A`..`J`. Each
+/// execution is a shuffled subset wrapped in fixed START/END
+/// activities, so logs look like real partial process executions.
+fn arb_log(max_execs: usize) -> impl Strategy<Value = WorkflowLog> {
+    let activity_pool: Vec<String> = (b'B'..=b'I').map(|c| (c as char).to_string()).collect();
+    let exec = proptest::sample::subsequence(activity_pool, 0..=8).prop_shuffle();
+    proptest::collection::vec(exec, 1..=max_execs).prop_map(|execs| {
+        let mut log = WorkflowLog::new();
+        for middle in execs {
+            let mut seq = vec!["A".to_string()];
+            seq.extend(middle);
+            seq.push("J".to_string());
+            log.push_sequence(&seq).unwrap();
+        }
+        log
+    })
+}
+
+/// Strategy: a random DAG over `n` nodes (edges only go forward in node
+/// order, so acyclicity is structural).
+fn arb_dag(n: usize) -> impl Strategy<Value = DiGraph<()>> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    proptest::sample::subsequence(pairs, 0..=n * (n - 1) / 2)
+        .prop_map(move |edges| DiGraph::from_edges(vec![(); n], edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mined_models_are_conformal(log in arb_log(12)) {
+        let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        let report = check_conformance(&model, &log);
+        prop_assert!(report.is_conformal(), "log {:?}: {report:?}", log.display_sequences());
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_closure(g in arb_dag(10)) {
+        let tr = transitive_reduction_dag(&g).unwrap();
+        prop_assert_eq!(transitive_closure(&g), transitive_closure(&tr));
+        prop_assert!(tr.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn transitive_reduction_is_minimal(g in arb_dag(9)) {
+        // Removing any edge of the reduction changes the closure.
+        let tr = transitive_reduction_dag(&g).unwrap();
+        let closure = transitive_closure(&tr);
+        for (u, v) in tr.edges().collect::<Vec<_>>() {
+            let mut smaller = tr.clone();
+            smaller.remove_edge(u, v);
+            prop_assert_ne!(
+                transitive_closure(&smaller), closure.clone(),
+                "edge {:?}->{:?} was removable", u, v
+            );
+        }
+    }
+
+    #[test]
+    fn fast_tr_matches_naive(g in arb_dag(10)) {
+        let fast = transitive_reduction_dag(&g).unwrap();
+        let naive = transitive_reduction_naive(&g).unwrap();
+        prop_assert_eq!(
+            fast.edges().collect::<Vec<_>>(),
+            naive.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scc_matches_mutual_reachability(edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24)) {
+        let g = DiGraph::from_edges(vec![(); 8], edges);
+        let sccs = scc::tarjan_scc(&g);
+        for u in 0..8 {
+            for v in 0..8 {
+                if u == v { continue; }
+                let mutual = has_path(&g, NodeId::new(u), NodeId::new(v))
+                    && has_path(&g, NodeId::new(v), NodeId::new(u));
+                prop_assert_eq!(
+                    sccs.same_component(NodeId::new(u), NodeId::new(v)),
+                    mutual,
+                    "u={} v={}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_match_path_enumeration(g in arb_dag(7)) {
+        use procmine::graph::dominators::dominators;
+        use procmine::graph::paths::all_simple_paths;
+        let root = NodeId::new(0);
+        let dom = dominators(&g, root);
+        for v in 1..7usize {
+            let v = NodeId::new(v);
+            let paths = all_simple_paths(&g, root, v, 512);
+            if paths.is_empty() {
+                prop_assert!(!dom.is_reachable(v));
+                continue;
+            }
+            for d in 0..7usize {
+                let d = NodeId::new(d);
+                let on_all = paths.iter().all(|p| p.contains(&d));
+                prop_assert_eq!(
+                    dom.dominates(d, v),
+                    on_all,
+                    "node {:?} vs {:?}", d, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_mined_models_fit_their_logs(rounds in proptest::collection::vec(1usize..4, 1..8)) {
+        // Rework-loop logs: Draft (Edit Review)^k Publish.
+        use procmine::mine::conformance::fitness;
+        let mut log = WorkflowLog::new();
+        for k in rounds {
+            let mut seq = vec!["Draft"];
+            for _ in 0..k {
+                seq.push("Edit");
+                seq.push("Review");
+            }
+            seq.push("Publish");
+            log.push_sequence(&seq).unwrap();
+        }
+        let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        let f = fitness(&model, &log);
+        prop_assert_eq!(f.fraction(), 1.0, "{:?}", f);
+    }
+
+    #[test]
+    fn codecs_round_trip(log in arb_log(8)) {
+        let mut buf = Vec::new();
+        flowmark::write_log(&log, &mut buf).unwrap();
+        prop_assert_eq!(
+            flowmark::read_log(buf.as_slice()).unwrap().display_sequences(),
+            log.display_sequences()
+        );
+
+        let mut buf = Vec::new();
+        jsonl::write_log(&log, &mut buf).unwrap();
+        prop_assert_eq!(
+            jsonl::read_log(buf.as_slice()).unwrap().display_sequences(),
+            log.display_sequences()
+        );
+
+        let mut buf = Vec::new();
+        seqs::write_log(&log, &mut buf).unwrap();
+        prop_assert_eq!(
+            seqs::read_log(buf.as_slice()).unwrap().display_sequences(),
+            log.display_sequences()
+        );
+    }
+
+    #[test]
+    fn special_and_general_agree_on_complete_logs(
+        perms in proptest::collection::vec(
+            Just(vec!["B", "C", "D"]).prop_shuffle(),
+            1..10
+        )
+    ) {
+        // Complete logs: A + permutation of B,C,D + E.
+        let mut log = WorkflowLog::new();
+        for middle in perms {
+            let mut seq = vec!["A"];
+            seq.extend(middle);
+            seq.push("E");
+            log.push_sequence(&seq).unwrap();
+        }
+        let special = procmine::mine::mine_special_dag(&log, &MinerOptions::default()).unwrap();
+        let general = procmine::mine::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let mut a = special.edges_named(); a.sort();
+        let mut b = general.edges_named(); b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xes_round_trips_arbitrary_logs(log in arb_log(8)) {
+        use procmine::log::codec::xes;
+        let mut buf = Vec::new();
+        xes::write_log(&log, &mut buf).unwrap();
+        let back = xes::read_log(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.display_sequences(), log.display_sequences());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_arbitrary_logs(
+        log in arb_log(10),
+        threads in 1usize..6,
+    ) {
+        use procmine::mine::mine_general_dag_parallel;
+        let serial = procmine::mine::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let parallel = mine_general_dag_parallel(&log, &MinerOptions::default(), threads).unwrap();
+        let mut a = serial.edges_named(); a.sort();
+        let mut b = parallel.edges_named(); b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_arbitrary_logs(log in arb_log(10)) {
+        use procmine::mine::IncrementalMiner;
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        inc.absorb_log(&log).unwrap();
+        let incremental = inc.model().unwrap();
+        let batch = procmine::mine::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let mut a = incremental.edges_named(); a.sort();
+        let mut b = batch.edges_named(); b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mined_graphs_have_no_two_cycles_or_self_loops(log in arb_log(12)) {
+        let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        let g = model.graph();
+        for (u, v) in g.edges() {
+            prop_assert!(u != v, "self loop at {:?}", u);
+            prop_assert!(!g.has_edge(v, u), "two-cycle {:?} <-> {:?}", u, v);
+        }
+    }
+
+    #[test]
+    fn cyclic_agrees_with_general_on_repeat_free_logs(log in arb_log(10)) {
+        let cyclic = procmine::mine::mine_cyclic(&log, &MinerOptions::default()).unwrap();
+        let general = procmine::mine::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let mut a = cyclic.edges_named(); a.sort();
+        let mut b = general.edges_named(); b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
