@@ -48,7 +48,10 @@ fn cyclic_log(m: usize, seed: u64) -> WorkflowLog {
 fn partial_log(n: usize, m: usize, seed: u64) -> WorkflowLog {
     let mut rng = StdRng::seed_from_u64(seed);
     let model = procmine_sim::randdag::random_dag(
-        &procmine_sim::randdag::RandomDagConfig { vertices: n, edge_prob: 0.4 },
+        &procmine_sim::randdag::RandomDagConfig {
+            vertices: n,
+            edge_prob: 0.4,
+        },
         &mut rng,
     )
     .unwrap();

@@ -15,11 +15,9 @@ fn bench_mine(c: &mut Criterion) {
         for &m in &[100usize, 1000] {
             let (_, log) = synthetic_workload(n, edges, m, 9000 + n as u64);
             group.throughput(Throughput::Elements(m as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), m),
-                &log,
-                |b, log| b.iter(|| mine_general_dag(log, &MinerOptions::default()).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("n{n}"), m), &log, |b, log| {
+                b.iter(|| mine_general_dag(log, &MinerOptions::default()).unwrap())
+            });
         }
     }
     group.finish();

@@ -77,8 +77,12 @@ fn main() {
         log.activities().id("D").unwrap().index(),
         log.activities().id("E").unwrap().index(),
     );
-    println!("Example 7: follows(C,D)={} follows(D,E)={} follows(E,C)={} — a cycle of",
-        f.follows(c, d), f.follows(d, e), f.follows(e, c));
+    println!(
+        "Example 7: follows(C,D)={} follows(D,E)={} follows(E,C)={} — a cycle of",
+        f.follows(c, d),
+        f.follows(d, e),
+        f.follows(e, c)
+    );
     println!("followings; step 4 declares C, D, E mutually independent:");
     println!(
         "  independent(C,D)={} independent(D,E)={} independent(C,E)={}",

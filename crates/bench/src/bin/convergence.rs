@@ -13,9 +13,7 @@ use procmine_core::MinedModel;
 fn main() {
     println!("Convergence of recovery with log size (5 random logs per cell)\n");
     const TRIALS: u64 = 5;
-    let mut table = TextTable::new([
-        "n", "m", "precision", "recall", "exact/5", "closure-eq/5",
-    ]);
+    let mut table = TextTable::new(["n", "m", "precision", "recall", "exact/5", "closure-eq/5"]);
     for &(n, edges) in &[(10usize, 24usize), (25, 224), (50, 1058)] {
         for &m in &[25usize, 50, 100, 250, 500, 1000, 2500] {
             let mut psum = 0.0;

@@ -16,11 +16,11 @@ use rand::SeedableRng;
 
 fn main() {
     let figures = [
-        ("Figure 8", 0usize),  // Upload_and_Notify
-        ("Figure 10", 1),      // StressSleep
-        ("Figure 11", 2),      // Pend_Block
-        ("Figure 12", 3),      // Local_Swap
-        ("Figure 9", 4),       // UWI_Pilot
+        ("Figure 8", 0usize), // Upload_and_Notify
+        ("Figure 10", 1),     // StressSleep
+        ("Figure 11", 2),     // Pend_Block
+        ("Figure 12", 3),     // Local_Swap
+        ("Figure 9", 4),      // UWI_Pilot
     ];
     let models = presets::flowmark_models();
     let mut rng = StdRng::seed_from_u64(812);

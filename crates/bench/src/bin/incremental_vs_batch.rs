@@ -16,7 +16,12 @@ use std::time::Instant;
 fn main() {
     println!("Incremental vs. batch re-mining (model refreshed after every batch)\n");
     let mut table = TextTable::new([
-        "n", "batches x size", "batch total(s)", "incremental(s)", "speedup", "same output",
+        "n",
+        "batches x size",
+        "batch total(s)",
+        "incremental(s)",
+        "speedup",
+        "same output",
     ]);
 
     for &(n, edges, batches, batch_size) in &[
@@ -45,7 +50,8 @@ fn main() {
         let mut inc_model = None;
         for b in 0..batches {
             for e in &execs[b * batch_size..(b + 1) * batch_size] {
-                inc.absorb_execution(e, full_log.activities()).expect("absorb");
+                inc.absorb_execution(e, full_log.activities())
+                    .expect("absorb");
             }
             inc_model = Some(inc.model().expect("model"));
         }

@@ -103,9 +103,8 @@ fn main() {
         let clean = walk::random_walk_log(&model, m, &mut rng).expect("log");
         let noisy = corrupt_log(&clean, &NoiseConfig::swap_only(eps), &mut rng);
         let robust = mine_general_dag(&noisy, &MinerOptions::with_threshold(t)).expect("mine");
-        let filtered = noisy.filtered(|exec| {
-            procmine_core::conformance::check_execution(&robust, exec).is_empty()
-        });
+        let filtered = noisy
+            .filtered(|exec| procmine_core::conformance::check_execution(&robust, exec).is_empty());
         let remined = mine_general_dag(&filtered, &MinerOptions::default()).expect("mine");
         let reference = MinedModel::from_graph(model.graph_clone());
         let r = compare_models(&reference, &remined).expect("same activities");

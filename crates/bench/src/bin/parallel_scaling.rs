@@ -17,7 +17,15 @@ fn main() {
         println!("NOTE: single-core host; expect ~1.0x — this run verifies overhead and");
         println!("output equality rather than speedup.\n");
     }
-    let mut table = TextTable::new(["n", "m", "serial(s)", "2 thr", "4 thr", "8 thr", "same output"]);
+    let mut table = TextTable::new([
+        "n",
+        "m",
+        "serial(s)",
+        "2 thr",
+        "4 thr",
+        "8 thr",
+        "same output",
+    ]);
 
     for &(n, edges) in &[(50usize, 1058usize), (100, 4569)] {
         for &m in &[50_000usize, 200_000] {
@@ -31,9 +39,8 @@ fn main() {
             let mut all_match = true;
             for threads in [2usize, 4, 8] {
                 let started = Instant::now();
-                let parallel =
-                    mine_general_dag_parallel(&log, &MinerOptions::default(), threads)
-                        .expect("mine");
+                let parallel = mine_general_dag_parallel(&log, &MinerOptions::default(), threads)
+                    .expect("mine");
                 let t = started.elapsed().as_secs_f64();
                 row.push(format!("{t:.3} ({:.1}x)", serial_t / t.max(1e-9)));
                 let mut a = serial.edges_named();

@@ -15,7 +15,9 @@
 //! executions at fixed graph size, and (b) sub-quadratic growth with the
 //! number of vertices in this range. Run with `--release`.
 
-use procmine_bench::{paper_execution_counts, paper_graph_configs, synthetic_workload, timed_mine, TextTable};
+use procmine_bench::{
+    paper_execution_counts, paper_graph_configs, synthetic_workload, timed_mine, TextTable,
+};
 
 fn main() {
     println!("Table 1: mining time (seconds) on synthetic datasets\n");

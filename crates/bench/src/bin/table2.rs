@@ -17,7 +17,9 @@
 //! graph is still short of fully recovered at 10 000 executions.
 //! Run with `--release`.
 
-use procmine_bench::{paper_execution_counts, paper_graph_configs, synthetic_workload, timed_mine, TextTable};
+use procmine_bench::{
+    paper_execution_counts, paper_graph_configs, synthetic_workload, timed_mine, TextTable,
+};
 use procmine_core::metrics::compare_models;
 use procmine_core::MinedModel;
 

@@ -28,10 +28,9 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::Empty => write!(f, "dataset has no rows"),
-            DatasetError::RaggedFeatures { expected, row, got } => write!(
-                f,
-                "row {row} has {got} features, expected {expected}"
-            ),
+            DatasetError::RaggedFeatures { expected, row, got } => {
+                write!(f, "row {row} has {got} features, expected {expected}")
+            }
         }
     }
 }
@@ -64,7 +63,11 @@ impl Dataset {
             }
         }
         let (features, labels) = rows.into_iter().unzip();
-        Ok(Dataset { features, labels, dim })
+        Ok(Dataset {
+            features,
+            labels,
+            dim,
+        })
     }
 
     /// Number of rows.
@@ -152,8 +155,18 @@ mod tests {
             let exec = Execution::new(
                 format!("e{i}"),
                 vec![
-                    ActivityInstance { activity: a, start: 0, end: 1, output: Some(out) },
-                    ActivityInstance { activity: next, start: 2, end: 3, output: None },
+                    ActivityInstance {
+                        activity: a,
+                        start: 0,
+                        end: 1,
+                        output: Some(out),
+                    },
+                    ActivityInstance {
+                        activity: next,
+                        start: 2,
+                        end: 3,
+                        output: None,
+                    },
                 ],
             )
             .unwrap();
@@ -188,7 +201,14 @@ mod tests {
     #[test]
     fn rejects_ragged_rows() {
         let err = Dataset::from_rows(vec![(vec![1, 2], true), (vec![1], false)]).unwrap_err();
-        assert!(matches!(err, DatasetError::RaggedFeatures { expected: 2, row: 1, got: 1 }));
+        assert!(matches!(
+            err,
+            DatasetError::RaggedFeatures {
+                expected: 2,
+                row: 1,
+                got: 1
+            }
+        ));
         assert_eq!(Dataset::from_rows(vec![]).unwrap_err(), DatasetError::Empty);
     }
 }

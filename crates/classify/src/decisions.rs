@@ -90,8 +90,16 @@ pub fn analyze_decision_points(
             DecisionPoint {
                 gateway,
                 conditions,
-                coverage: if samples == 0 { 0.0 } else { covered as f64 / samples as f64 },
-                exclusivity: if samples == 0 { 0.0 } else { exclusive as f64 / samples as f64 },
+                coverage: if samples == 0 {
+                    0.0
+                } else {
+                    covered as f64 / samples as f64
+                },
+                exclusivity: if samples == 0 {
+                    0.0
+                } else {
+                    exclusive as f64 / samples as f64
+                },
                 samples,
             }
         })
@@ -134,7 +142,11 @@ edge Full -> Done
         assert_eq!(triage.gateway.kind, GatewayKind::Xor);
         assert!(triage.samples > 300);
         assert!(triage.coverage > 0.99, "coverage {}", triage.coverage);
-        assert!(triage.exclusivity > 0.99, "exclusivity {}", triage.exclusivity);
+        assert!(
+            triage.exclusivity > 0.99,
+            "exclusivity {}",
+            triage.exclusivity
+        );
         assert!(triage.is_clean_xor() || triage.exclusivity > 0.99);
     }
 
@@ -155,7 +167,11 @@ edge Full -> Done
             .expect("Assess splits");
         assert_eq!(assess.gateway.kind, GatewayKind::Or);
         assert!(assess.coverage > 0.99);
-        assert!(assess.exclusivity < 0.9, "fraud branch overlaps: {}", assess.exclusivity);
+        assert!(
+            assess.exclusivity < 0.9,
+            "fraud branch overlaps: {}",
+            assess.exclusivity
+        );
         assert!(!assess.is_clean_xor());
     }
 

@@ -2,8 +2,8 @@
 
 use crate::{edge_training_set, rules_of, Dataset, DecisionTree, Rule, TreeConfig};
 use procmine_core::MinedModel;
-use procmine_log::WorkflowLog;
 use procmine_log::ActivityId;
+use procmine_log::WorkflowLog;
 
 /// The learned condition for one edge of a mined model.
 #[derive(Debug, Clone)]
@@ -118,7 +118,11 @@ mod tests {
 
         // Assess → ManagerApproval fires iff amount (o[0]) > 500.
         let approval = find("Assess", "ManagerApproval");
-        assert!(approval.train_accuracy > 0.98, "acc={}", approval.train_accuracy);
+        assert!(
+            approval.train_accuracy > 0.98,
+            "acc={}",
+            approval.train_accuracy
+        );
         assert!(approval.predict(&[800, 10]));
         assert!(!approval.predict(&[100, 10]));
 
@@ -137,7 +141,10 @@ mod tests {
         for c in &learned {
             assert!(c.tree.is_none(), "no outputs anywhere in this log");
         }
-        let ab = learned.iter().find(|c| c.from == "A" && c.to == "B").unwrap();
+        let ab = learned
+            .iter()
+            .find(|c| c.from == "A" && c.to == "B")
+            .unwrap();
         assert_eq!(ab.support, (1, 2));
         assert!(ab.predict(&[]), "majority of A-executions take B");
     }

@@ -101,11 +101,22 @@ fn walk(node: &Node, path: &mut Vec<Atom>, rules: &mut Vec<Rule>) {
                 });
             }
         }
-        Node::Split { feature, threshold, left, right } => {
-            path.push(Atom::Le { feature: *feature, threshold: *threshold });
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            path.push(Atom::Le {
+                feature: *feature,
+                threshold: *threshold,
+            });
             walk(left, path, rules);
             path.pop();
-            path.push(Atom::Gt { feature: *feature, threshold: *threshold });
+            path.push(Atom::Gt {
+                feature: *feature,
+                threshold: *threshold,
+            });
             walk(right, path, rules);
             path.pop();
         }
@@ -123,7 +134,13 @@ mod tests {
         let tree = DecisionTree::fit(&data, &TreeConfig::default());
         let rules = rules_of(&tree);
         assert_eq!(rules.len(), 1);
-        assert_eq!(rules[0].atoms, vec![Atom::Gt { feature: 0, threshold: 50 }]);
+        assert_eq!(
+            rules[0].atoms,
+            vec![Atom::Gt {
+                feature: 0,
+                threshold: 50
+            }]
+        );
         assert_eq!(rules[0].support, (0, 49));
         assert!(rules[0].matches(&[51]) && !rules[0].matches(&[50]));
         assert_eq!(rules[0].to_string(), "o[0] > 50  [49+/0-]");

@@ -70,7 +70,10 @@ impl DecisionTree {
     pub fn fit(ds: &Dataset, cfg: &TreeConfig) -> Self {
         let indices: Vec<usize> = (0..ds.len()).collect();
         let root = grow(ds, indices, cfg, 0);
-        DecisionTree { root, dim: ds.dim() }
+        DecisionTree {
+            root,
+            dim: ds.dim(),
+        }
     }
 
     /// Predicts the class of a feature vector. Missing trailing
@@ -80,7 +83,12 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { label, .. } => return *label,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let v = x.get(*feature).copied().unwrap_or(0);
                     node = if v <= *threshold { left } else { right };
                 }
@@ -166,10 +174,13 @@ fn grow(ds: &Dataset, idx: Vec<usize>, cfg: &TreeConfig, depth: usize) -> Node {
     let parent_gini = gini(neg, pos);
     let mut best: Option<(usize, i64, f64)> = None; // (feature, threshold, gain)
     for f in 0..ds.dim() {
-        let mut vals: Vec<(i64, bool)> = idx.iter().map(|&i| {
-            let (x, l) = ds.row(i);
-            (x[f], l)
-        }).collect();
+        let mut vals: Vec<(i64, bool)> = idx
+            .iter()
+            .map(|&i| {
+                let (x, l) = ds.row(i);
+                (x[f], l)
+            })
+            .collect();
         vals.sort_unstable_by_key(|&(v, _)| v);
 
         let total_pos = pos;
@@ -223,15 +234,17 @@ mod tests {
 
     #[test]
     fn single_threshold_recovered() {
-        let data = ds((0..100)
-            .map(|i| (vec![i], i > 50))
-            .collect());
+        let data = ds((0..100).map(|i| (vec![i], i > 50)).collect());
         let tree = DecisionTree::fit(&data, &TreeConfig::default());
         assert_eq!(tree.accuracy(&data), 1.0);
         assert_eq!(tree.depth(), 1, "one split suffices");
         assert!(tree.predict(&[51]) && !tree.predict(&[50]));
         match tree.root() {
-            Node::Split { feature: 0, threshold: 50, .. } => {}
+            Node::Split {
+                feature: 0,
+                threshold: 50,
+                ..
+            } => {}
             other => panic!("expected split at 50, got {other:?}"),
         }
     }
@@ -274,7 +287,10 @@ mod tests {
     #[test]
     fn max_depth_limits_growth() {
         let data = ds((0..64).map(|i| (vec![i], i % 2 == 0)).collect());
-        let cfg = TreeConfig { max_depth: 3, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&data, &cfg);
         assert!(tree.depth() <= 3);
     }
@@ -290,11 +306,20 @@ mod tests {
 
         let overfit = DecisionTree::fit(&data, &TreeConfig::default());
         assert_eq!(overfit.accuracy(&data), 1.0, "memorizes the outlier");
-        assert!(overfit.predict(&[10]), "unregularized tree reproduces the noise");
+        assert!(
+            overfit.predict(&[10]),
+            "unregularized tree reproduces the noise"
+        );
 
-        let cfg = TreeConfig { min_leaf: 5, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf: 5,
+            ..Default::default()
+        };
         let regular = DecisionTree::fit(&data, &cfg);
-        assert!(!regular.predict(&[10]), "outlier voted down by its neighbourhood");
+        assert!(
+            !regular.predict(&[10]),
+            "outlier voted down by its neighbourhood"
+        );
         assert!(regular.predict(&[40]) && !regular.predict(&[5]));
         assert!(regular.accuracy(&data) < 1.0, "no longer memorizes");
     }
@@ -302,7 +327,10 @@ mod tests {
     #[test]
     fn min_leaf_larger_than_data_yields_single_leaf() {
         let data = ds((0..10).map(|i| (vec![i], i > 5)).collect());
-        let cfg = TreeConfig { min_leaf: 20, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf: 20,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&data, &cfg);
         assert_eq!(tree.leaf_count(), 1);
     }

@@ -39,7 +39,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
             ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag}: `{value}` is not a valid {expected}")
             }
             ArgError::Required(what) => write!(f, "missing required {what}"),

@@ -4,9 +4,11 @@
 use crate::args::{parse, ArgError, Parsed};
 use procmine_classify::TreeConfig;
 use procmine_core::{
-    conformance, mine_auto, mine_cyclic, mine_general_dag, mine_special_dag, Algorithm,
-    MinedModel, MinerOptions,
+    conformance, mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
+    mine_special_dag_instrumented, Algorithm, MetricsSink, MinedModel, MinerMetrics, MinerOptions,
+    NullSink,
 };
+use procmine_log::codec::CodecStats;
 use procmine_log::{codec, WorkflowLog};
 use procmine_sim::{engine, presets, randdag, walk, ProcessModel};
 use rand::rngs::StdRng;
@@ -52,6 +54,10 @@ COMMANDS:
       --stream             stream the log through the incremental miner
                            (flowmark format, contiguous cases; bad cases
                            are skipped with a warning)
+      --stats              print pipeline telemetry (stage timings,
+                           counters, codec byte/event tallies)
+      --stats-json FILE    write the same telemetry as JSON with a
+                           stable key order
 
   check       Check a mined model (JSON) against a log
       <MODEL.json> <LOG>
@@ -117,7 +123,9 @@ fn convert(argv: &[String]) -> CliResult {
     let [input, output] = p.positional() else {
         return Err(ArgError::Required("IN and OUT arguments").into());
     };
-    let from = p.get("from").unwrap_or_else(|| format_from_extension(input));
+    let from = p
+        .get("from")
+        .unwrap_or_else(|| format_from_extension(input));
     let to = p.get("to").unwrap_or_else(|| format_from_extension(output));
     let log = read_log(input, from)?;
     write_log(&log, Some(output), to)?;
@@ -129,12 +137,20 @@ fn convert(argv: &[String]) -> CliResult {
 }
 
 fn read_log(path: &str, format: &str) -> Result<WorkflowLog, Box<dyn Error>> {
+    read_log_instrumented(path, format, &mut CodecStats::default())
+}
+
+fn read_log_instrumented(
+    path: &str,
+    format: &str,
+    stats: &mut CodecStats,
+) -> Result<WorkflowLog, Box<dyn Error>> {
     let reader = BufReader::new(File::open(path)?);
     let log = match format {
-        "flowmark" => codec::flowmark::read_log(reader)?,
-        "seqs" => codec::seqs::read_log(reader)?,
-        "jsonl" => codec::jsonl::read_log(reader)?,
-        "xes" => codec::xes::read_log(reader)?,
+        "flowmark" => codec::flowmark::read_log_instrumented(reader, stats)?,
+        "seqs" => codec::seqs::read_log_instrumented(reader, stats)?,
+        "jsonl" => codec::jsonl::read_log_instrumented(reader, stats)?,
+        "xes" => codec::xes::read_log_instrumented(reader, stats)?,
         other => return Err(format!("unknown log format `{other}`").into()),
     };
     Ok(log)
@@ -173,8 +189,17 @@ fn generate(argv: &[String]) -> CliResult {
     let p = parse(
         argv,
         &[
-            "preset", "model", "random-dag", "edge-prob", "executions", "seed", "engine",
-            "agents", "duration", "format", "out",
+            "preset",
+            "model",
+            "random-dag",
+            "edge-prob",
+            "executions",
+            "seed",
+            "engine",
+            "agents",
+            "duration",
+            "format",
+            "out",
         ],
         &[],
     )?;
@@ -183,8 +208,11 @@ fn generate(argv: &[String]) -> CliResult {
     let format = p.get("format").unwrap_or("flowmark");
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let source_flags =
-        [p.get("preset").is_some(), p.get("model").is_some(), p.get("random-dag").is_some()];
+    let source_flags = [
+        p.get("preset").is_some(),
+        p.get("model").is_some(),
+        p.get("random-dag").is_some(),
+    ];
     if source_flags.iter().filter(|&&f| f).count() > 1 {
         return Err("--preset, --model and --random-dag are mutually exclusive".into());
     }
@@ -197,7 +225,13 @@ fn generate(argv: &[String]) -> CliResult {
             .parse()
             .map_err(|_| format!("--random-dag: `{n}` is not a vertex count"))?;
         let edge_prob: f64 = p.get_parse("edge-prob", 0.5, "probability")?;
-        randdag::random_dag(&randdag::RandomDagConfig { vertices, edge_prob }, &mut rng)?
+        randdag::random_dag(
+            &randdag::RandomDagConfig {
+                vertices,
+                edge_prob,
+            },
+            &mut rng,
+        )?
     } else {
         presets::graph10()
     };
@@ -213,8 +247,10 @@ fn generate(argv: &[String]) -> CliResult {
                         .split_once("..")
                         .ok_or_else(|| format!("--duration: `{range}` needs LO..HI"))?;
                     engine::DurationSpec::Uniform(
-                        lo.parse().map_err(|_| format!("bad duration bound `{lo}`"))?,
-                        hi.parse().map_err(|_| format!("bad duration bound `{hi}`"))?,
+                        lo.parse()
+                            .map_err(|_| format!("bad duration bound `{lo}`"))?,
+                        hi.parse()
+                            .map_err(|_| format!("bad duration bound `{hi}`"))?,
                     )
                 }
             };
@@ -233,13 +269,26 @@ fn generate(argv: &[String]) -> CliResult {
     write_log(&log, p.get("out"), format)
 }
 
-fn mine_with(p: &Parsed, log: &WorkflowLog) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
+fn mine_with<S: MetricsSink>(
+    p: &Parsed,
+    log: &WorkflowLog,
+    sink: &mut S,
+) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
     let opts = MinerOptions::with_threshold(p.get_parse("threshold", 1, "integer")?);
     Ok(match p.get("algorithm").unwrap_or("auto") {
-        "auto" => mine_auto(log, &opts)?,
-        "special" => (mine_special_dag(log, &opts)?, Algorithm::SpecialDag),
-        "general" => (mine_general_dag(log, &opts)?, Algorithm::GeneralDag),
-        "cyclic" => (mine_cyclic(log, &opts)?, Algorithm::Cyclic),
+        "auto" => mine_auto_instrumented(log, &opts, sink)?,
+        "special" => (
+            mine_special_dag_instrumented(log, &opts, sink)?,
+            Algorithm::SpecialDag,
+        ),
+        "general" => (
+            mine_general_dag_instrumented(log, &opts, sink)?,
+            Algorithm::GeneralDag,
+        ),
+        "cyclic" => (
+            mine_cyclic_instrumented(log, &opts, sink)?,
+            Algorithm::Cyclic,
+        ),
         other => return Err(format!("unknown algorithm `{other}`").into()),
     })
 }
@@ -250,6 +299,7 @@ fn mine_with(p: &Parsed, log: &WorkflowLog) -> Result<(MinedModel, Algorithm), B
 fn mine_streaming(
     path: &str,
     threshold: u32,
+    metrics: Option<&mut MinerMetrics>,
 ) -> Result<(MinedModel, WorkflowLog), Box<dyn Error>> {
     use procmine_log::codec::stream::ExecutionStream;
     let mut miner = procmine_core::IncrementalMiner::new(MinerOptions::with_threshold(threshold));
@@ -284,30 +334,60 @@ fn mine_streaming(
     if skipped > 0 {
         eprintln!("streamed with {skipped} case(s) skipped");
     }
-    Ok((miner.model()?, kept))
+    let model = match metrics {
+        Some(m) => miner.model_instrumented(m)?,
+        None => miner.model()?,
+    };
+    Ok((model, kept))
 }
 
 fn mine(argv: &[String]) -> CliResult {
     let p = parse(
         argv,
-        &["format", "algorithm", "threshold", "dot", "graphml", "json", "bpmn"],
-        &["check", "stream"],
+        &[
+            "format",
+            "algorithm",
+            "threshold",
+            "dot",
+            "graphml",
+            "json",
+            "bpmn",
+            "stats-json",
+        ],
+        &["check", "stream", "stats"],
     )?;
     let path = p
         .positional()
         .first()
         .ok_or(ArgError::Required("log file"))?;
+    let want_stats = p.has("stats") || p.get("stats-json").is_some();
+    let mut codec_stats = CodecStats::default();
+    let mut metrics = MinerMetrics::new();
     let started = std::time::Instant::now();
     let (model, log, algorithm) = if p.has("stream") {
         if p.get("format").is_some_and(|f| f != "flowmark") {
             return Err("--stream supports the flowmark format only".into());
         }
         let threshold = p.get_parse("threshold", 1, "integer")?;
-        let (model, log) = mine_streaming(path, threshold)?;
+        let (model, log) = mine_streaming(path, threshold, want_stats.then_some(&mut metrics))?;
+        if want_stats {
+            // The stream hands executions straight to the miner; only
+            // the execution tally is known at the codec level.
+            codec_stats.executions_parsed = log.len() as u64;
+        }
         (model, log, Algorithm::GeneralDag)
     } else {
-        let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
-        let (model, algorithm) = mine_with(&p, &log)?;
+        let format = p.get("format").unwrap_or("flowmark");
+        let log = if want_stats {
+            read_log_instrumented(path, format, &mut codec_stats)?
+        } else {
+            read_log(path, format)?
+        };
+        let (model, algorithm) = if want_stats {
+            mine_with(&p, &log, &mut metrics)?
+        } else {
+            mine_with(&p, &log, &mut NullSink)?
+        };
         (model, log, algorithm)
     };
     let elapsed = started.elapsed();
@@ -341,10 +421,20 @@ fn mine(argv: &[String]) -> CliResult {
     // Split/join semantics from the log's co-occurrence statistics.
     let gateways = procmine_core::splits::analyze_gateways(&model, &log);
     for gw in gateways.splits.iter() {
-        println!("split at {}: {} over {{{}}}", gw.activity, gw.kind, gw.branches.join(", "));
+        println!(
+            "split at {}: {} over {{{}}}",
+            gw.activity,
+            gw.kind,
+            gw.branches.join(", ")
+        );
     }
     for gw in gateways.joins.iter() {
-        println!("join at {}:  {} over {{{}}}", gw.activity, gw.kind, gw.branches.join(", "));
+        println!(
+            "join at {}:  {} over {{{}}}",
+            gw.activity,
+            gw.kind,
+            gw.branches.join(", ")
+        );
     }
 
     if let Some(dot_path) = p.get("dot") {
@@ -378,6 +468,23 @@ fn mine(argv: &[String]) -> CliResult {
             procmine_core::bpmn::to_bpmn_xml(&model, &gateways, "mined_process"),
         )?;
         eprintln!("wrote {bpmn_path}");
+    }
+    if p.has("stats") {
+        println!(
+            "codec: {} bytes read, {} events parsed, {} executions parsed",
+            codec_stats.bytes_read, codec_stats.events_parsed, codec_stats.executions_parsed
+        );
+        print!("{}", metrics.render_table());
+    }
+    if let Some(stats_path) = p.get("stats-json") {
+        let mut out = String::from("{\"codec\":");
+        out.push_str(&codec_stats.to_json());
+        out.push(',');
+        metrics.write_json_fields(&mut out);
+        out.push('}');
+        out.push('\n');
+        std::fs::write(stats_path, out)?;
+        eprintln!("wrote {stats_path}");
     }
     if p.has("check") {
         let report = conformance::check_conformance(&model, &log);
@@ -429,7 +536,7 @@ fn conditions(argv: &[String]) -> CliResult {
         .first()
         .ok_or(ArgError::Required("log file"))?;
     let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
-    let (model, _) = mine_with(&p, &log)?;
+    let (model, _) = mine_with(&p, &log, &mut NullSink)?;
     let cfg = TreeConfig {
         max_depth: p.get_parse("max-depth", 8, "integer")?,
         ..TreeConfig::default()
@@ -438,11 +545,7 @@ fn conditions(argv: &[String]) -> CliResult {
     for c in &learned {
         println!(
             "{} -> {}   [{} taken / {} not, accuracy {:.2}]",
-            c.from,
-            c.to,
-            c.support.1,
-            c.support.0,
-            c.train_accuracy
+            c.from, c.to, c.support.1, c.support.0, c.train_accuracy
         );
         if c.tree.is_none() {
             println!("    (no outputs logged; unconditional)");
@@ -469,7 +572,10 @@ fn info(argv: &[String]) -> CliResult {
     println!("executions:  {}", stats.executions);
     println!("activities:  {}", stats.activities);
     println!("instances:   {}", stats.total_instances);
-    println!("distinct:    {} distinct sequences", stats.distinct_sequences);
+    println!(
+        "distinct:    {} distinct sequences",
+        stats.distinct_sequences
+    );
     println!("max repeats: {}", log.max_repeats());
     println!(
         "complete:    {} (every activity in every execution)",

@@ -53,7 +53,11 @@ fn generate_mine_check_pipeline() {
         "-o",
         log.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = procmine(&[
         "mine",
@@ -64,7 +68,11 @@ fn generate_mine_check_pipeline() {
         "--json",
         json.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("conformance: OK"), "{text}");
 
@@ -73,7 +81,11 @@ fn generate_mine_check_pipeline() {
 
     // The saved model checks out against the same log via `check`.
     let out = procmine(&["check", json.to_str().unwrap(), log.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]
@@ -81,7 +93,12 @@ fn info_reports_statistics() {
     let dir = tmpdir("info");
     let log = dir.join("log.fm");
     procmine(&[
-        "generate", "--preset", "pend", "--executions", "50", "-o",
+        "generate",
+        "--preset",
+        "pend",
+        "--executions",
+        "50",
+        "-o",
         log.to_str().unwrap(),
     ]);
     let out = procmine(&["info", log.to_str().unwrap()]);
@@ -106,9 +123,17 @@ fn conditions_on_engine_log() {
         "-o",
         log.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = procmine(&["conditions", log.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Assess -> ManagerApproval"), "{text}");
     assert!(text.contains("o[0] >"), "learned a threshold rule: {text}");
@@ -126,14 +151,25 @@ fn seqs_format_roundtrip_via_cli() {
     let dir = tmpdir("seqs");
     let log = dir.join("log.seqs");
     procmine(&[
-        "generate", "--preset", "uwi", "--executions", "40", "--format", "seqs", "-o",
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "40",
+        "--format",
+        "seqs",
+        "-o",
         log.to_str().unwrap(),
     ]);
     let text = std::fs::read_to_string(&log).unwrap();
     assert!(text.lines().count() == 40);
     assert!(text.starts_with("Start "));
     let out = procmine(&["mine", log.to_str().unwrap(), "--format", "seqs", "--check"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]
@@ -141,7 +177,14 @@ fn stream_mining_matches_batch() {
     let dir = tmpdir("stream");
     let log = dir.join("log.fm");
     procmine(&[
-        "generate", "--preset", "uwi", "--executions", "120", "--seed", "3", "-o",
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "120",
+        "--seed",
+        "3",
+        "-o",
         log.to_str().unwrap(),
     ]);
     let batch = procmine(&["mine", log.to_str().unwrap()]);
@@ -167,7 +210,12 @@ fn bpmn_export_produces_xml() {
     let log = dir.join("log.fm");
     let bpmn = dir.join("model.bpmn");
     procmine(&[
-        "generate", "--preset", "pend", "--executions", "80", "-o",
+        "generate",
+        "--preset",
+        "pend",
+        "--executions",
+        "80",
+        "-o",
         log.to_str().unwrap(),
     ]);
     let out = procmine(&[
@@ -176,7 +224,11 @@ fn bpmn_export_produces_xml() {
         "--bpmn",
         bpmn.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let xml = std::fs::read_to_string(&bpmn).unwrap();
     assert!(xml.contains("<definitions"));
     assert!(xml.contains("<task"));
@@ -190,15 +242,28 @@ fn convert_between_formats_by_extension() {
     let xes = dir.join("log.xes");
     let seqs = dir.join("log.seqs");
     procmine(&[
-        "generate", "--preset", "upload", "--executions", "30", "-o",
+        "generate",
+        "--preset",
+        "upload",
+        "--executions",
+        "30",
+        "-o",
         fm.to_str().unwrap(),
     ]);
     // fm -> xes -> seqs, formats inferred from extensions.
     let out = procmine(&["convert", fm.to_str().unwrap(), xes.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(std::fs::read_to_string(&xes).unwrap().contains("<log"));
     let out = procmine(&["convert", xes.to_str().unwrap(), seqs.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&seqs).unwrap();
     assert_eq!(text.lines().count(), 30);
     assert!(text.lines().all(|l| l.starts_with("Start ")));
@@ -214,6 +279,118 @@ fn convert_between_formats_by_extension() {
     ]);
     assert!(out.status.success());
     assert!(std::fs::read_to_string(&odd).unwrap().starts_with('{'));
+}
+
+#[test]
+fn stats_json_matches_mined_model() {
+    let dir = tmpdir("stats");
+    let log = dir.join("log.fm");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "200",
+        "--seed",
+        "11",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--stats",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+
+    // The human table lists codec tallies, stages, and counters.
+    assert!(text.contains("codec: "), "{text}");
+    assert!(text.contains("count_pairs"), "{text}");
+    assert!(text.contains("executions_scanned"), "{text}");
+
+    let edge_lines = text
+        .lines()
+        .filter(|l| l.starts_with("  ") && l.contains(" -> "))
+        .count() as u64;
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let counters = json.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("executions_scanned").unwrap().as_u64(),
+        Some(200)
+    );
+    assert_eq!(
+        counters.get("edges_final").unwrap().as_u64(),
+        Some(edge_lines),
+        "stats edges_final must equal the edges the CLI printed"
+    );
+    let codec = json.get("codec").expect("codec object");
+    assert_eq!(codec.get("executions_parsed").unwrap().as_u64(), Some(200));
+    assert_eq!(
+        codec.get("bytes_read").unwrap().as_u64(),
+        Some(std::fs::metadata(&log).unwrap().len()),
+        "codec must account for every byte of the log file"
+    );
+    for stage in ["lower", "count_pairs", "prune", "reduce", "assemble"] {
+        assert!(
+            json.get("stages_ns").unwrap().get(stage).is_some(),
+            "missing stage {stage}"
+        );
+    }
+}
+
+#[test]
+fn stream_stats_report_miner_counters() {
+    let dir = tmpdir("stream-stats");
+    let log = dir.join("log.fm");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "60",
+        "--seed",
+        "9",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--stream",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let counters = json.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("executions_scanned").unwrap().as_u64(),
+        Some(60)
+    );
+    assert_eq!(
+        json.get("codec")
+            .unwrap()
+            .get("executions_parsed")
+            .unwrap()
+            .as_u64(),
+        Some(60)
+    );
 }
 
 #[test]

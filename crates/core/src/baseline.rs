@@ -64,10 +64,8 @@ impl Automaton {
         for (&(_, a), targets) in &self.transitions {
             *counts.entry(a).or_insert(0) += targets.len();
         }
-        let mut dup: Vec<(ActivityId, usize)> = counts
-            .into_iter()
-            .filter(|&(_, c)| c > 1)
-            .collect();
+        let mut dup: Vec<(ActivityId, usize)> =
+            counts.into_iter().filter(|&(_, c)| c > 1).collect();
         dup.sort_by_key(|&(a, _)| a);
         dup
     }
@@ -98,8 +96,7 @@ impl Automaton {
 /// everything into one state; large `k` approaches the prefix-tree
 /// acceptor.
 pub fn ktail(log: &WorkflowLog, k: usize) -> Automaton {
-    let traces: Vec<Vec<ActivityId>> =
-        log.executions().iter().map(|e| e.sequence()).collect();
+    let traces: Vec<Vec<ActivityId>> = log.executions().iter().map(|e| e.sequence()).collect();
 
     // Enumerate all prefixes (including the empty prefix and full
     // traces) and collect each prefix's k-future set.
@@ -196,8 +193,7 @@ mod tests {
 
         // The mined process graph, by contrast, has one node per
         // activity and admits both interleavings with 4 edges.
-        let (model, _) =
-            crate::mine_auto(&log, &crate::MinerOptions::default()).unwrap();
+        let (model, _) = crate::mine_auto(&log, &crate::MinerOptions::default()).unwrap();
         assert_eq!(model.activity_count(), 4);
         assert_eq!(model.edge_count(), 4);
     }

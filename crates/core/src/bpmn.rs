@@ -96,7 +96,11 @@ pub fn to_bpmn_xml(model: &MinedModel, gateways: &GatewayAnalysis, process_id: &
     // Split-side flows: task → its gateway (once); branch flows follow.
     for (id, name) in g.nodes() {
         if split_of(name).is_some() {
-            flow(&mut flows, format!("task_{}", id.index()), format!("split_{}", id.index()));
+            flow(
+                &mut flows,
+                format!("task_{}", id.index()),
+                format!("split_{}", id.index()),
+            );
         }
     }
     // Edge flows, routed through gateways where present.
@@ -114,7 +118,11 @@ pub fn to_bpmn_xml(model: &MinedModel, gateways: &GatewayAnalysis, process_id: &
     // Join-side flows: gateway → task (once).
     for (id, name) in g.nodes() {
         if join_of(name).is_some() {
-            flow(&mut flows, format!("join_{}", id.index()), format!("task_{}", id.index()));
+            flow(
+                &mut flows,
+                format!("join_{}", id.index()),
+                format!("task_{}", id.index()),
+            );
         }
     }
 

@@ -192,14 +192,16 @@ pub fn check_conformance(model: &MinedModel, log: &WorkflowLog) -> ConformanceRe
             let path = closure.has_edge(u, v);
             let same_cycle = sccs.same_component(NodeId::new(u), NodeId::new(v));
             if follows.depends(u, v) && !path {
-                report
-                    .missing_dependencies
-                    .push((g.node(NodeId::new(u)).clone(), g.node(NodeId::new(v)).clone()));
+                report.missing_dependencies.push((
+                    g.node(NodeId::new(u)).clone(),
+                    g.node(NodeId::new(v)).clone(),
+                ));
             }
             if follows.independent(u, v) && path && !same_cycle {
-                report
-                    .spurious_dependencies
-                    .push((g.node(NodeId::new(u)).clone(), g.node(NodeId::new(v)).clone()));
+                report.spurious_dependencies.push((
+                    g.node(NodeId::new(u)).clone(),
+                    g.node(NodeId::new(v)).clone(),
+                ));
             }
         }
     }
@@ -207,7 +209,9 @@ pub fn check_conformance(model: &MinedModel, log: &WorkflowLog) -> ConformanceRe
     for exec in log.executions() {
         let violations = check_execution(model, exec);
         if !violations.is_empty() {
-            report.inconsistent_executions.push((exec.id.clone(), violations));
+            report
+                .inconsistent_executions
+                .push((exec.id.clone(), violations));
         }
     }
     report
@@ -312,7 +316,9 @@ mod tests {
         let exec = exec_of(&log, "ADBE");
         let violations = check_execution(&model, &exec);
         assert!(
-            violations.iter().any(|v| matches!(v, Violation::Unreachable { activity } if activity == "D")),
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::Unreachable { activity } if activity == "D")),
             "got {violations:?}"
         );
     }
@@ -323,9 +329,9 @@ mod tests {
         // B before A contradicts A→B.
         let exec = exec_of(&log, "BACDE");
         let violations = check_execution(&model, &exec);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::DependencyViolated { from, to } if from == "A" && to == "B")));
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::DependencyViolated { from, to } if from == "A" && to == "B")
+        ));
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::WrongInitiating { found } if found == "B")));

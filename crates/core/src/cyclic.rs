@@ -13,6 +13,7 @@
 
 use crate::general_dag::{mine_vertex_log, VertexLog};
 use crate::model::graph_skeleton;
+use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
 use procmine_log::WorkflowLog;
@@ -27,6 +28,18 @@ use procmine_log::WorkflowLog;
 /// equivalent sets"); immediate self-repetition `AA` therefore does not
 /// produce a self-loop.
 pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedModel, MineError> {
+    mine_cyclic_instrumented(log, options, &mut NullSink)
+}
+
+/// [`mine_cyclic`] with telemetry: stage timings and counters are
+/// recorded into `sink` (see [`crate::telemetry`]). Instance labeling
+/// and lowering are timed as [`Stage::Lower`]; the instance-merge step
+/// is part of [`Stage::Assemble`].
+pub fn mine_cyclic_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+) -> Result<MinedModel, MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -35,6 +48,7 @@ pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedMod
     // Step 2 (of Algorithm 3): uniquely identify each occurrence.
     // Instance vertex space: activity a gets `max_occ[a]` consecutive
     // vertices starting at offset[a].
+    let started = stage_start::<S>();
     let mut max_occ = vec![0usize; n];
     for exec in log.executions() {
         let mut counts = vec![0usize; n];
@@ -55,26 +69,29 @@ pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedMod
     }
 
     // Lower the log to instance vertices (steps 1–3 are one pass).
+    let execs: Vec<Vec<(usize, u64, u64)>> = log
+        .executions()
+        .iter()
+        .map(|e| {
+            let labeled = e.labeled_sequence();
+            e.instances()
+                .iter()
+                .zip(labeled)
+                .map(|(inst, (a, occ))| (offset[a.index()] + occ as usize, inst.start, inst.end))
+                .collect()
+        })
+        .collect();
     let vlog = VertexLog {
         n: total,
-        execs: log
-            .executions()
-            .iter()
-            .map(|e| {
-                let labeled = e.labeled_sequence();
-                e.instances()
-                    .iter()
-                    .zip(labeled)
-                    .map(|(inst, (a, occ))| (offset[a.index()] + occ as usize, inst.start, inst.end))
-                    .collect()
-            })
-            .collect(),
+        execs: &execs,
     };
+    stage_end(sink, Stage::Lower, started);
 
     // Steps 4–7: the shared pipeline.
-    let result = mine_vertex_log(&vlog, options.noise_threshold);
+    let result = mine_vertex_log(&vlog, options.noise_threshold, sink);
 
     // Step 8: merge instance vertices back into activities.
+    let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support_acc = vec![0u32; n * n];
     for (x, y) in result.graph.edges() {
@@ -85,10 +102,18 @@ pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedMod
                 support_acc[a * n + b].saturating_add(result.counts[x * total + y]);
         }
     }
-    let support = graph
+    let support: Vec<(usize, usize, u32)> = graph
         .edges()
         .map(|(u, v)| (u.index(), v.index(), support_acc[u.index() * n + v.index()]))
         .collect();
+    if S::ENABLED {
+        // The pipeline recorded the instance-level edge count; the
+        // merge step can collapse several instance edges into one
+        // activity edge, so re-point `edges_final` at the model.
+        let merged = support.len() as u64;
+        sink.record(|m| m.edges_final = merged);
+    }
+    stage_end(sink, Stage::Assemble, started);
     Ok(MinedModel::new(graph, support))
 }
 
@@ -111,13 +136,20 @@ mod tests {
         assert_eq!(
             edges,
             vec![
-                ("A", "B"), ("A", "D"),
-                ("B", "C"), ("B", "D"),
-                ("C", "B"), ("C", "E"),
-                ("D", "C"), ("D", "E"),
+                ("A", "B"),
+                ("A", "D"),
+                ("B", "C"),
+                ("B", "D"),
+                ("C", "B"),
+                ("C", "E"),
+                ("D", "C"),
+                ("D", "E"),
             ]
         );
-        assert!(model.has_edge("B", "C") && model.has_edge("C", "B"), "B⇄C cycle");
+        assert!(
+            model.has_edge("B", "C") && model.has_edge("C", "B"),
+            "B⇄C cycle"
+        );
     }
 
     #[test]
@@ -130,7 +162,10 @@ mod tests {
         let mut b = general.edges_named();
         a.sort();
         b.sort();
-        assert_eq!(a, b, "on repeat-free logs Algorithm 3 degenerates to Algorithm 2");
+        assert_eq!(
+            a, b,
+            "on repeat-free logs Algorithm 3 degenerates to Algorithm 2"
+        );
     }
 
     #[test]

@@ -7,6 +7,14 @@ use std::fmt;
 pub enum MineError {
     /// The log contains no executions — nothing to mine.
     EmptyLog,
+    /// An execution contained no activity instances. Unlike
+    /// [`MineError::EmptyLog`] (a whole log with nothing in it), this
+    /// names the specific execution that was empty, so callers feeding
+    /// executions one at a time can report which one was rejected.
+    EmptyExecution {
+        /// The offending execution's name.
+        execution: String,
+    },
     /// Algorithm 1 requires every activity to appear in every execution;
     /// the named execution is missing at least one activity.
     SpecialPreconditionViolated {
@@ -29,6 +37,9 @@ impl fmt::Display for MineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MineError::EmptyLog => write!(f, "the log contains no executions"),
+            MineError::EmptyExecution { execution } => {
+                write!(f, "execution `{execution}` contains no activity instances")
+            }
             MineError::SpecialPreconditionViolated { execution } => write!(
                 f,
                 "execution `{execution}` does not contain every activity; use mine_general_dag"

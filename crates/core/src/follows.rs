@@ -68,7 +68,11 @@ impl OrderCounts {
                 max_end[a] = 0;
             }
         }
-        OrderCounts { n, ordered, cooccur }
+        OrderCounts {
+            n,
+            ordered,
+            cooccur,
+        }
     }
 
     /// Number of activities.
@@ -221,7 +225,12 @@ mod tests {
         // (B follows D directly, D follows B via C).
         let log = WorkflowLog::from_strings(["ABCE", "ACDE", "ADBE"]).unwrap();
         let f = FollowsAnalysis::analyze(&log);
-        let (a, b, c, d) = (idx(&log, "A"), idx(&log, "B"), idx(&log, "C"), idx(&log, "D"));
+        let (a, b, c, d) = (
+            idx(&log, "A"),
+            idx(&log, "B"),
+            idx(&log, "C"),
+            idx(&log, "D"),
+        );
 
         assert!(f.follows(a, b) && !f.follows(b, a), "B depends on A");
         assert!(f.depends(a, b));
@@ -260,7 +269,10 @@ mod tests {
         assert_eq!(counts.cooccur(a, b), 3);
         assert_eq!(counts.ordered(a, b), 2);
         assert_eq!(counts.ordered(b, a), 1);
-        assert!(!counts.directly_follows(a, b), "one reversal breaks direct following");
+        assert!(
+            !counts.directly_follows(a, b),
+            "one reversal breaks direct following"
+        );
     }
 
     #[test]

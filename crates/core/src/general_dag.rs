@@ -20,6 +20,7 @@
 //! the shared implementation.
 
 use crate::model::graph_skeleton;
+use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::{scc, AdjMatrix, BitSet, NodeId};
 use procmine_log::WorkflowLog;
@@ -28,9 +29,13 @@ use procmine_log::WorkflowLog;
 /// start-time-sorted list of `(vertex, start, end)`. For Algorithm 2 the
 /// vertices are activities; for Algorithm 3 they are activity
 /// *instances*. Each vertex occurs at most once per execution.
-pub(crate) struct VertexLog {
+///
+/// Borrows the lowered executions so long-lived owners (the incremental
+/// miner retains them across batches) can run the finishing steps
+/// without cloning the whole log per snapshot.
+pub(crate) struct VertexLog<'a> {
     pub n: usize,
-    pub execs: Vec<Vec<(usize, u64, u64)>>,
+    pub execs: &'a [Vec<(usize, u64, u64)>],
 }
 
 /// Output of the shared pipeline: the final edge matrix plus the step-2
@@ -41,9 +46,13 @@ pub(crate) struct VertexMineResult {
 }
 
 /// Steps 2–7 of Algorithm 2 over an arbitrary vertex log.
-pub(crate) fn mine_vertex_log(vlog: &VertexLog, threshold: u32) -> VertexMineResult {
-    let counts = count_ordered_pairs(vlog);
-    finish_from_counts(vlog, counts, threshold)
+pub(crate) fn mine_vertex_log<S: MetricsSink>(
+    vlog: &VertexLog<'_>,
+    threshold: u32,
+    sink: &mut S,
+) -> VertexMineResult {
+    let counts = count_ordered_pairs(vlog, sink);
+    finish_from_counts(vlog, counts, threshold, sink)
 }
 
 /// Step-2 observation counts: `ordered[u*n+v]` executions where `u`
@@ -70,13 +79,38 @@ impl OrderObservations {
 
 /// Step 2 alone, exposed separately so the incremental miner can
 /// maintain counts across batches.
-pub(crate) fn count_ordered_pairs(vlog: &VertexLog) -> OrderObservations {
+pub(crate) fn count_ordered_pairs<S: MetricsSink>(
+    vlog: &VertexLog<'_>,
+    sink: &mut S,
+) -> OrderObservations {
+    let started = stage_start::<S>();
     let n = vlog.n;
     let mut obs = OrderObservations::new(n);
-    for exec in &vlog.execs {
+    for exec in vlog.execs {
         count_one_execution(n, exec, &mut obs);
     }
+    if S::ENABLED {
+        let scanned = vlog.execs.len() as u64;
+        let pairs = pair_observations(vlog.execs);
+        sink.record(|m| {
+            m.executions_scanned += scanned;
+            m.pairs_counted += pairs;
+        });
+    }
+    stage_end(sink, Stage::CountPairs, started);
     obs
+}
+
+/// Pair observations step 2 makes over `execs`: `k·(k−1)/2` per
+/// execution of length `k`.
+pub(crate) fn pair_observations(execs: &[Vec<(usize, u64, u64)>]) -> u64 {
+    execs
+        .iter()
+        .map(|e| {
+            let k = e.len() as u64;
+            k * k.saturating_sub(1) / 2
+        })
+        .sum()
 }
 
 /// Adds one execution's ordered and overlapping pairs into `obs`.
@@ -173,7 +207,9 @@ pub(crate) fn mark_one_execution(
             di.union_with(&after[s - i - 1]); // successors have j > i
         }
         scratch.redundant.clear();
-        scratch.redundant.extend(sub[i].iter().filter(|&s| di.contains(s)));
+        scratch
+            .redundant
+            .extend(sub[i].iter().filter(|&s| di.contains(s)));
         for &s in &scratch.redundant {
             sub[i].remove(s);
         }
@@ -198,23 +234,42 @@ impl Default for MarkScratch {
 /// Steps 3–4 of Algorithm 2: threshold the counts into an edge matrix,
 /// remove two-cycles (including pairs observed overlapping — §2's
 /// independence evidence), and dissolve strongly connected components.
-pub(crate) fn prune_graph(n: usize, obs: &OrderObservations, threshold: u32) -> AdjMatrix {
+pub(crate) fn prune_graph<S: MetricsSink>(
+    n: usize,
+    obs: &OrderObservations,
+    threshold: u32,
+    sink: &mut S,
+) -> AdjMatrix {
+    let started = stage_start::<S>();
+    if S::ENABLED {
+        let before = (0..n * n)
+            .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
+            .count() as u64;
+        sink.record(|m| m.edges_before_threshold += before);
+    }
     let mut g = AdjMatrix::new(n);
     for u in 0..n {
         for v in 0..n {
-            if u != v
-                && obs.ordered[u * n + v] >= threshold
-                && obs.overlap[u * n + v] < threshold
-            {
+            if u != v && obs.ordered[u * n + v] >= threshold && obs.overlap[u * n + v] < threshold {
                 g.add_edge(u, v);
             }
         }
     }
+    let thresholded = g.edge_count();
     g.remove_two_cycles();
+    if S::ENABLED {
+        let dissolved = ((thresholded - g.edge_count()) / 2) as u64;
+        sink.record(|m| {
+            m.edges_after_threshold += thresholded as u64;
+            m.two_cycles_dissolved += dissolved;
+        });
+    }
 
     let digraph = g.to_digraph(|_| ());
     let sccs = scc::tarjan_scc(&digraph);
+    let mut nontrivial = 0u64;
     for comp in sccs.nontrivial() {
+        nontrivial += 1;
         for &u in comp {
             for &v in comp {
                 if u != v {
@@ -223,33 +278,48 @@ pub(crate) fn prune_graph(n: usize, obs: &OrderObservations, threshold: u32) -> 
             }
         }
     }
+    if S::ENABLED {
+        sink.record(|m| m.scc_count += nontrivial);
+    }
+    stage_end(sink, Stage::Prune, started);
     g
 }
 
 /// Steps 3–7 of Algorithm 2, given precomputed step-2 counts.
-pub(crate) fn finish_from_counts(
-    vlog: &VertexLog,
+pub(crate) fn finish_from_counts<S: MetricsSink>(
+    vlog: &VertexLog<'_>,
     obs: OrderObservations,
     threshold: u32,
+    sink: &mut S,
 ) -> VertexMineResult {
     let n = vlog.n;
-    let mut g = prune_graph(n, &obs, threshold);
+    let mut g = prune_graph(n, &obs, threshold, sink);
     let counts = obs.ordered;
 
     // Steps 5–6: per-execution induced-subgraph transitive reduction;
     // keep only edges some reduction needs.
+    let started = stage_start::<S>();
     let mut marked = AdjMatrix::new(n);
     let mut scratch = MarkScratch::new();
-    for exec in &vlog.execs {
+    for exec in vlog.execs {
         mark_one_execution(&g, exec, &mut marked, &mut scratch);
     }
 
     // Step 6: drop edges no execution needed.
     let unmarked: Vec<(usize, usize)> =
         g.edges().filter(|&(u, v)| !marked.has_edge(u, v)).collect();
+    if S::ENABLED {
+        let dropped = unmarked.len() as u64;
+        sink.record(|m| m.edges_dropped_by_reduction += dropped);
+    }
     for (u, v) in unmarked {
         g.remove_edge(u, v);
     }
+    if S::ENABLED {
+        let final_edges = g.edge_count() as u64;
+        sink.record(|m| m.edges_final += final_edges);
+    }
+    stage_end(sink, Stage::Reduce, started);
 
     VertexMineResult { graph: g, counts }
 }
@@ -264,6 +334,17 @@ pub fn mine_general_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<MinedModel, MineError> {
+    mine_general_dag_instrumented(log, options, &mut NullSink)
+}
+
+/// [`mine_general_dag`] with telemetry: stage timings and counters are
+/// recorded into `sink` (see [`crate::telemetry`]). With
+/// [`NullSink`] this compiles to exactly the uninstrumented miner.
+pub fn mine_general_dag_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+) -> Result<MinedModel, MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -275,28 +356,31 @@ pub fn mine_general_dag(
         }
     }
 
+    let started = stage_start::<S>();
     let n = log.activities().len();
-    let vlog = VertexLog {
-        n,
-        execs: log
-            .executions()
-            .iter()
-            .map(|e| {
-                e.instances()
-                    .iter()
-                    .map(|i| (i.activity.index(), i.start, i.end))
-                    .collect()
-            })
-            .collect(),
-    };
-    let result = mine_vertex_log(&vlog, options.noise_threshold);
+    let execs: Vec<Vec<(usize, u64, u64)>> = log
+        .executions()
+        .iter()
+        .map(|e| {
+            e.instances()
+                .iter()
+                .map(|i| (i.activity.index(), i.start, i.end))
+                .collect()
+        })
+        .collect();
+    stage_end(sink, Stage::Lower, started);
 
+    let vlog = VertexLog { n, execs: &execs };
+    let result = mine_vertex_log(&vlog, options.noise_threshold, sink);
+
+    let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support = Vec::with_capacity(result.graph.edge_count());
     for (u, v) in result.graph.edges() {
         graph.add_edge(NodeId::new(u), NodeId::new(v));
         support.push((u, v, result.counts[u * n + v]));
     }
+    stage_end(sink, Stage::Assemble, started);
     Ok(MinedModel::new(graph, support))
 }
 
@@ -322,8 +406,14 @@ mod tests {
         assert_eq!(
             edges,
             vec![
-                ("A", "B"), ("A", "C"), ("A", "D"), ("A", "E"),
-                ("B", "C"), ("C", "F"), ("D", "F"), ("E", "F"),
+                ("A", "B"),
+                ("A", "C"),
+                ("A", "D"),
+                ("A", "E"),
+                ("B", "C"),
+                ("C", "F"),
+                ("D", "F"),
+                ("E", "F"),
             ]
         );
     }
@@ -409,6 +499,23 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instrumented_counters_match_model() {
+        use crate::telemetry::MinerMetrics;
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+        let mut metrics = MinerMetrics::new();
+        let model =
+            mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut metrics).unwrap();
+        assert_eq!(metrics.executions_scanned, 4);
+        assert_eq!(metrics.pairs_counted, 4 * 6, "four executions of length 4");
+        assert_eq!(metrics.edges_final, model.edge_count() as u64);
+        assert_eq!(metrics.scc_count, 1, "Example 7: C,D,E form one SCC");
+        assert!(metrics.edges_before_threshold >= metrics.edges_after_threshold);
+        // The instrumented run mines the same model as the plain one.
+        let plain = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        assert_eq!(plain.edges_named(), model.edges_named());
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! an execution with repeated activities is rejected (route such logs
 //! to [`crate::mine_cyclic`]).
 
-use crate::general_dag::{count_one_execution, finish_from_counts, OrderObservations, VertexLog};
+use crate::general_dag::{
+    count_one_execution, finish_from_counts, pair_observations, OrderObservations, VertexLog,
+};
 use crate::model::graph_skeleton;
+use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
 use procmine_log::{ActivityTable, Execution, WorkflowLog};
@@ -62,7 +65,9 @@ impl IncrementalMiner {
     /// names (instantaneous form). New names grow the activity universe.
     pub fn absorb_sequence<S: AsRef<str>>(&mut self, names: &[S]) -> Result<(), MineError> {
         if names.is_empty() {
-            return Err(MineError::EmptyLog);
+            return Err(MineError::EmptyExecution {
+                execution: format!("incremental-{}", self.execs.len()),
+            });
         }
         let mut seen = std::collections::HashSet::new();
         if names.iter().any(|n| !seen.insert(n.as_ref())) {
@@ -90,6 +95,11 @@ impl IncrementalMiner {
         exec: &Execution,
         source_table: &ActivityTable,
     ) -> Result<(), MineError> {
+        if exec.instances().is_empty() {
+            return Err(MineError::EmptyExecution {
+                execution: exec.id.clone(),
+            });
+        }
         if exec.has_repeats() {
             return Err(MineError::RepeatsRequireCyclicMiner {
                 execution: exec.id.clone(),
@@ -141,22 +151,49 @@ impl IncrementalMiner {
 
     /// Produces the current model (steps 3–7 over the retained
     /// executions). Errors if nothing has been absorbed.
+    ///
+    /// Snapshots borrow the retained executions — producing a model
+    /// copies nothing but the count matrices.
     pub fn model(&self) -> Result<MinedModel, MineError> {
+        self.model_instrumented(&mut NullSink)
+    }
+
+    /// [`model`](IncrementalMiner::model) with telemetry: the finishing
+    /// steps are timed and counted into `sink` (see
+    /// [`crate::telemetry`]). The step-2 counting work happened at
+    /// absorb time, so [`Stage::CountPairs`] stays zero here; the
+    /// scanned-execution and pair totals are still reported so the
+    /// counters describe the whole mining effort behind the snapshot.
+    pub fn model_instrumented<S: MetricsSink>(
+        &self,
+        sink: &mut S,
+    ) -> Result<MinedModel, MineError> {
         if self.execs.is_empty() {
             return Err(MineError::EmptyLog);
         }
         let n = self.table.len();
         let vlog = VertexLog {
             n,
-            execs: self.execs.clone(),
+            execs: &self.execs,
         };
-        let result = finish_from_counts(&vlog, self.obs.clone(), self.options.noise_threshold);
+        if S::ENABLED {
+            let scanned = self.execs.len() as u64;
+            let pairs = pair_observations(&self.execs);
+            sink.record(|m| {
+                m.executions_scanned += scanned;
+                m.pairs_counted += pairs;
+            });
+        }
+        let result =
+            finish_from_counts(&vlog, self.obs.clone(), self.options.noise_threshold, sink);
+        let started = stage_start::<S>();
         let mut graph = graph_skeleton(&self.table);
         let mut support = Vec::with_capacity(result.graph.edge_count());
         for (u, v) in result.graph.edges() {
             graph.add_edge(NodeId::new(u), NodeId::new(v));
             support.push((u, v, result.counts[u * n + v]));
         }
+        stage_end(sink, Stage::Assemble, started);
         Ok(MinedModel::new(graph, support))
     }
 }
@@ -207,7 +244,10 @@ mod tests {
         inc.absorb_sequence(&["A", "C", "D", "B"]).unwrap();
         assert_eq!(inc.activities().len(), 4);
         let model = inc.model().unwrap();
-        assert!(model.has_edge("A", "B"), "direct path still needed by exec 1");
+        assert!(
+            model.has_edge("A", "B"),
+            "direct path still needed by exec 1"
+        );
         assert!(model.has_edge("C", "D"));
         assert_eq!(model.activity_count(), 4);
     }
@@ -242,7 +282,7 @@ mod tests {
         ));
         assert!(matches!(
             inc.absorb_sequence::<&str>(&[]),
-            Err(MineError::EmptyLog)
+            Err(MineError::EmptyExecution { .. })
         ));
         assert!(matches!(inc.model(), Err(MineError::EmptyLog)));
     }

@@ -63,12 +63,14 @@ pub mod follows;
 pub mod metrics;
 pub mod noise;
 pub mod splits;
+pub mod telemetry;
 
-pub use cyclic::mine_cyclic;
+pub use cyclic::{mine_cyclic, mine_cyclic_instrumented};
 pub use error::MineError;
-pub use general_dag::mine_general_dag;
+pub use general_dag::{mine_general_dag, mine_general_dag_instrumented};
 pub use incremental::IncrementalMiner;
-pub use miner::{mine_auto, Algorithm, MinerOptions};
+pub use miner::{mine_auto, mine_auto_instrumented, Algorithm, MinerOptions};
 pub use model::MinedModel;
-pub use parallel::mine_general_dag_parallel;
-pub use special_dag::mine_special_dag;
+pub use parallel::{mine_general_dag_parallel, mine_general_dag_parallel_instrumented};
+pub use special_dag::{mine_special_dag, mine_special_dag_instrumented};
+pub use telemetry::{MetricsSink, MinerMetrics, NullSink, Stage};

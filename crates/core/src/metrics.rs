@@ -51,7 +51,10 @@ impl std::fmt::Display for MetricsError {
 impl std::error::Error for MetricsError {}
 
 /// Compares `mined` against `reference`, aligning activities by name.
-pub fn compare_models(reference: &MinedModel, mined: &MinedModel) -> Result<Recovery, MetricsError> {
+pub fn compare_models(
+    reference: &MinedModel,
+    mined: &MinedModel,
+) -> Result<Recovery, MetricsError> {
     // Check name sets match.
     let missing: Vec<String> = reference
         .graph()
@@ -226,7 +229,10 @@ mod tests {
         let mined = model(&["A", "B", "C"], &[(0, 1), (2, 0)]);
         let d = compare_dependencies(&reference, &mined).unwrap();
         assert!(d.added.contains(&("C".to_string(), "A".to_string())));
-        assert!(d.added.contains(&("C".to_string(), "B".to_string())), "via C→A→B");
+        assert!(
+            d.added.contains(&("C".to_string(), "B".to_string())),
+            "via C→A→B"
+        );
         assert!(d.removed.contains(&("B".to_string(), "C".to_string())));
         assert!(d.removed.contains(&("A".to_string(), "C".to_string())));
         assert!(!d.is_empty());
@@ -237,7 +243,9 @@ mod tests {
         let reference = model(&["A", "B"], &[(0, 1)]);
         let mined = model(&["A", "C"], &[(0, 1)]);
         let err = compare_models(&reference, &mined).unwrap_err();
-        assert!(matches!(err, MetricsError::ActivityMismatch { ref missing, ref extra }
-            if missing == &["B"] && extra == &["C"]));
+        assert!(
+            matches!(err, MetricsError::ActivityMismatch { ref missing, ref extra }
+            if missing == &["B"] && extra == &["C"])
+        );
     }
 }

@@ -1,6 +1,10 @@
 //! Miner configuration and automatic algorithm selection.
 
-use crate::{mine_cyclic, mine_general_dag, mine_special_dag, MineError, MinedModel};
+use crate::cyclic::mine_cyclic_instrumented;
+use crate::general_dag::mine_general_dag_instrumented;
+use crate::special_dag::mine_special_dag_instrumented;
+use crate::telemetry::{MetricsSink, NullSink};
+use crate::{MineError, MinedModel};
 use procmine_log::WorkflowLog;
 
 /// Options shared by all miners.
@@ -51,15 +55,34 @@ pub fn mine_auto(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<(MinedModel, Algorithm), MineError> {
+    mine_auto_instrumented(log, options, &mut NullSink)
+}
+
+/// [`mine_auto`] with telemetry: the chosen algorithm's stage timings
+/// and counters are recorded into `sink` (see [`crate::telemetry`]).
+pub fn mine_auto_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+) -> Result<(MinedModel, Algorithm), MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
     if log.has_repeats() {
-        Ok((mine_cyclic(log, options)?, Algorithm::Cyclic))
+        Ok((
+            mine_cyclic_instrumented(log, options, sink)?,
+            Algorithm::Cyclic,
+        ))
     } else if log.every_activity_in_every_execution() {
-        Ok((mine_special_dag(log, options)?, Algorithm::SpecialDag))
+        Ok((
+            mine_special_dag_instrumented(log, options, sink)?,
+            Algorithm::SpecialDag,
+        ))
     } else {
-        Ok((mine_general_dag(log, options)?, Algorithm::GeneralDag))
+        Ok((
+            mine_general_dag_instrumented(log, options, sink)?,
+            Algorithm::GeneralDag,
+        ))
     }
 }
 

@@ -20,7 +20,10 @@ pub struct MinedModel {
 
 impl MinedModel {
     pub(crate) fn new(graph: DiGraph<String>, edge_support: Vec<(usize, usize, u32)>) -> Self {
-        MinedModel { graph, edge_support }
+        MinedModel {
+            graph,
+            edge_support,
+        }
     }
 
     /// Builds a model directly from a graph whose node ids align with
@@ -114,11 +117,20 @@ impl MinedModel {
             .map(|&(u, v, c)| ((u, v), c))
             .collect();
         let mut out = String::new();
-        let _ = writeln!(out, "digraph {} {{", name.replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_"));
+        let _ = writeln!(
+            out,
+            "digraph {} {{",
+            name.replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_")
+        );
         let _ = writeln!(out, "  rankdir=LR;");
         let _ = writeln!(out, "  node [shape=ellipse];");
         for (id, label) in self.graph.nodes() {
-            let _ = writeln!(out, "  n{} [label=\"{}\"];", id.index(), label.replace('"', "\\\""));
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\"];",
+                id.index(),
+                label.replace('"', "\\\"")
+            );
         }
         for (u, v) in self.graph.edges() {
             let c = support.get(&(u.index(), v.index())).copied().unwrap_or(0);

@@ -142,9 +142,7 @@ mod tests {
         // Raising the threshold lowers the lost-dependency bound: more
         // erroneous reversals are required. (Compare in log domain —
         // the clamped bounds saturate at 1 for small T.)
-        assert!(
-            ln_prob_dependency_lost(100, 50, 0.1) < ln_prob_dependency_lost(100, 30, 0.1)
-        );
+        assert!(ln_prob_dependency_lost(100, 50, 0.1) < ln_prob_dependency_lost(100, 30, 0.1));
         assert!(prob_dependency_lost(100, 50, 0.1) < 1e-10);
     }
 
@@ -154,7 +152,10 @@ mod tests {
         let eps = 0.05;
         let t = optimal_threshold(m, eps) as u64;
         let p = success_probability(m, t, eps);
-        assert!(p > 0.999, "with m=10k, eps=5% the pair-level error is negligible (p={p})");
+        assert!(
+            p > 0.999,
+            "with m=10k, eps=5% the pair-level error is negligible (p={p})"
+        );
         // A terrible threshold ruins it.
         assert!(success_probability(10, 9, 0.05) < 0.5);
     }

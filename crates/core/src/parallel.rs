@@ -10,10 +10,11 @@
 //! binary).
 
 use crate::general_dag::{
-    count_one_execution, mark_one_execution, prune_graph, MarkScratch, OrderObservations,
-    VertexLog,
+    count_one_execution, mark_one_execution, pair_observations, prune_graph, MarkScratch,
+    OrderObservations, VertexLog,
 };
 use crate::model::graph_skeleton;
+use crate::telemetry::{stage_end, stage_start, MetricsSink, MinerMetrics, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::{AdjMatrix, NodeId};
 use procmine_log::WorkflowLog;
@@ -30,6 +31,20 @@ pub fn mine_general_dag_parallel(
     options: &MinerOptions,
     threads: usize,
 ) -> Result<MinedModel, MineError> {
+    mine_general_dag_parallel_instrumented(log, options, threads, &mut NullSink)
+}
+
+/// [`mine_general_dag_parallel`] with telemetry: each worker thread
+/// accumulates its own [`MinerMetrics`], merged into `sink` at the two
+/// join barriers (see [`crate::telemetry`]). Stage nanoseconds for the
+/// parallel passes therefore sum CPU time across threads rather than
+/// wall-clock time; the counters are identical to the serial miner's.
+pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    threads: usize,
+    sink: &mut S,
+) -> Result<MinedModel, MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -42,21 +57,23 @@ pub fn mine_general_dag_parallel(
     }
     let threads = threads.max(1);
     let n = log.activities().len();
-    let vlog = VertexLog {
-        n,
-        execs: log
-            .executions()
-            .iter()
-            .map(|e| {
-                e.instances()
-                    .iter()
-                    .map(|i| (i.activity.index(), i.start, i.end))
-                    .collect()
-            })
-            .collect(),
-    };
+    let started = stage_start::<S>();
+    let execs: Vec<Vec<(usize, u64, u64)>> = log
+        .executions()
+        .iter()
+        .map(|e| {
+            e.instances()
+                .iter()
+                .map(|i| (i.activity.index(), i.start, i.end))
+                .collect()
+        })
+        .collect();
+    let vlog = VertexLog { n, execs: &execs };
+    stage_end(sink, Stage::Lower, started);
 
     // Step 2 in parallel: per-thread count matrices, merged by addition.
+    // Each worker also fills a private MinerMetrics (the sink itself
+    // never crosses a thread boundary); the join merges them.
     let chunk = vlog.execs.len().div_ceil(threads);
     let obs: OrderObservations = std::thread::scope(|scope| {
         let handles: Vec<_> = vlog
@@ -64,29 +81,39 @@ pub fn mine_general_dag_parallel(
             .chunks(chunk.max(1))
             .map(|execs| {
                 scope.spawn(move || {
+                    let started = stage_start::<S>();
                     let mut local = OrderObservations::new(n);
                     for exec in execs {
                         count_one_execution(n, exec, &mut local);
                     }
-                    local
+                    let mut lm = MinerMetrics::new();
+                    if S::ENABLED {
+                        lm.executions_scanned = execs.len() as u64;
+                        lm.pairs_counted = pair_observations(execs);
+                        stage_end(&mut lm, Stage::CountPairs, started);
+                    }
+                    (local, lm)
                 })
             })
             .collect();
         let mut total = OrderObservations::new(n);
         for h in handles {
-            let local = h.join().expect("counting thread panicked");
+            let (local, lm) = h.join().expect("counting thread panicked");
             for (t, l) in total.ordered.iter_mut().zip(local.ordered) {
                 *t += l;
             }
             for (t, l) in total.overlap.iter_mut().zip(local.overlap) {
                 *t += l;
             }
+            if S::ENABLED {
+                sink.record(|m| m.merge(&lm));
+            }
         }
         total
     });
 
     // Steps 3–4 serial (cheap).
-    let mut g = prune_graph(n, &obs, options.noise_threshold);
+    let mut g = prune_graph(n, &obs, options.noise_threshold, sink);
     let counts = obs.ordered;
 
     // Step 5 in parallel: per-thread marked matrices, merged by union.
@@ -97,20 +124,28 @@ pub fn mine_general_dag_parallel(
             .chunks(chunk.max(1))
             .map(|execs| {
                 scope.spawn(move || {
+                    let started = stage_start::<S>();
                     let mut local = AdjMatrix::new(n);
                     let mut scratch = MarkScratch::new();
                     for exec in execs {
                         mark_one_execution(g_ref, exec, &mut local, &mut scratch);
                     }
-                    local
+                    let mut lm = MinerMetrics::new();
+                    if S::ENABLED {
+                        stage_end(&mut lm, Stage::Reduce, started);
+                    }
+                    (local, lm)
                 })
             })
             .collect();
         let mut total = AdjMatrix::new(n);
         for h in handles {
-            let local = h.join().expect("marking thread panicked");
+            let (local, lm) = h.join().expect("marking thread panicked");
             for (u, v) in local.edges() {
                 total.add_edge(u, v);
+            }
+            if S::ENABLED {
+                sink.record(|m| m.merge(&lm));
             }
         }
         total
@@ -119,16 +154,26 @@ pub fn mine_general_dag_parallel(
     // Step 6: drop edges no execution needed.
     let unmarked: Vec<(usize, usize)> =
         g.edges().filter(|&(u, v)| !marked.has_edge(u, v)).collect();
+    if S::ENABLED {
+        let dropped = unmarked.len() as u64;
+        sink.record(|m| m.edges_dropped_by_reduction += dropped);
+    }
     for (u, v) in unmarked {
         g.remove_edge(u, v);
     }
+    if S::ENABLED {
+        let final_edges = g.edge_count() as u64;
+        sink.record(|m| m.edges_final += final_edges);
+    }
 
+    let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support = Vec::with_capacity(g.edge_count());
     for (u, v) in g.edges() {
         graph.add_edge(NodeId::new(u), NodeId::new(v));
         support.push((u, v, counts[u * n + v]));
     }
+    stage_end(sink, Stage::Assemble, started);
     Ok(MinedModel::new(graph, support))
 }
 
@@ -169,7 +214,10 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(5);
         let model = randdag::random_dag(
-            &randdag::RandomDagConfig { vertices: 20, edge_prob: 0.4 },
+            &randdag::RandomDagConfig {
+                vertices: 20,
+                edge_prob: 0.4,
+            },
             &mut rng,
         )
         .unwrap();
@@ -194,6 +242,31 @@ mod tests {
             mine_general_dag_parallel(&cyclic, &MinerOptions::default(), 4),
             Err(MineError::RepeatsRequireCyclicMiner { .. })
         ));
+    }
+
+    #[test]
+    fn merged_counters_equal_serial() {
+        use crate::general_dag::mine_general_dag_instrumented;
+        use crate::telemetry::MinerMetrics;
+        let strings = ["ABCF", "ACDF", "ADEF", "AECF", "ABCF", "ACDF"];
+        let log = WorkflowLog::from_strings(strings).unwrap();
+        let mut serial = MinerMetrics::new();
+        mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut serial).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let mut parallel = MinerMetrics::new();
+            mine_general_dag_parallel_instrumented(
+                &log,
+                &MinerOptions::default(),
+                threads,
+                &mut parallel,
+            )
+            .unwrap();
+            assert_eq!(
+                serial.counters(),
+                parallel.counters(),
+                "threads={threads}: per-thread metrics must merge to the serial totals"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! Complexity O(n²m): step 1 dominates since `m ≫ n`.
 
 use crate::model::graph_skeleton;
+use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::reduction::transitive_reduction_matrix;
 use procmine_graph::{AdjMatrix, NodeId};
@@ -35,6 +36,18 @@ pub fn mine_special_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<MinedModel, MineError> {
+    mine_special_dag_instrumented(log, options, &mut NullSink)
+}
+
+/// [`mine_special_dag`] with telemetry: stage timings and counters are
+/// recorded into `sink` (see [`crate::telemetry`]). Algorithm 1 lowers
+/// while counting, so [`Stage::Lower`] stays zero and its global
+/// transitive reduction is timed as [`Stage::Reduce`].
+pub fn mine_special_dag_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+) -> Result<MinedModel, MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -56,6 +69,7 @@ pub fn mine_special_dag(
     // occurs once per execution, so each execution contributes at most
     // 1 per pair. An overlap is independence evidence (§2) and prunes
     // the pair like a two-cycle.
+    let started = stage_start::<S>();
     let mut obs = crate::general_dag::OrderObservations::new(n);
     for exec in log.executions() {
         let lowered: Vec<(usize, u64, u64)> = exec
@@ -65,9 +79,26 @@ pub fn mine_special_dag(
             .collect();
         crate::general_dag::count_one_execution(n, &lowered, &mut obs);
     }
+    if S::ENABLED {
+        let scanned = log.len() as u64;
+        // Every execution contains all n activities exactly once.
+        let pairs = scanned * (n as u64 * (n as u64).saturating_sub(1) / 2);
+        sink.record(|m| {
+            m.executions_scanned += scanned;
+            m.pairs_counted += pairs;
+        });
+    }
+    stage_end(sink, Stage::CountPairs, started);
     let counts = obs.ordered.clone();
 
     // Threshold (T = 1 keeps everything) and step 3: drop two-cycles.
+    let started = stage_start::<S>();
+    if S::ENABLED {
+        let before = (0..n * n)
+            .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
+            .count() as u64;
+        sink.record(|m| m.edges_before_threshold += before);
+    }
     let mut m = AdjMatrix::new(n);
     for u in 0..n {
         for v in 0..n {
@@ -79,17 +110,38 @@ pub fn mine_special_dag(
             }
         }
     }
+    let thresholded = m.edge_count();
     m.remove_two_cycles();
+    if S::ENABLED {
+        let dissolved = ((thresholded - m.edge_count()) / 2) as u64;
+        sink.record(|met| {
+            met.edges_after_threshold += thresholded as u64;
+            met.two_cycles_dissolved += dissolved;
+        });
+    }
+    stage_end(sink, Stage::Prune, started);
 
     // Step 4: transitive reduction (unique for a DAG).
+    let started = stage_start::<S>();
     let reduced = transitive_reduction_matrix(&m).map_err(|_| MineError::UnexpectedCycle)?;
+    if S::ENABLED {
+        let dropped = (m.edge_count() - reduced.edge_count()) as u64;
+        let final_edges = reduced.edge_count() as u64;
+        sink.record(|met| {
+            met.edges_dropped_by_reduction += dropped;
+            met.edges_final += final_edges;
+        });
+    }
+    stage_end(sink, Stage::Reduce, started);
 
+    let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support = Vec::with_capacity(reduced.edge_count());
     for (u, v) in reduced.edges() {
         graph.add_edge(NodeId::new(u), NodeId::new(v));
         support.push((u, v, counts[u * n + v]));
     }
+    stage_end(sink, Stage::Assemble, started);
     Ok(MinedModel::new(graph, support))
 }
 

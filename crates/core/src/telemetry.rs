@@ -1,0 +1,397 @@
+//! Pipeline telemetry: monotonic stage timers and counters for the
+//! miners, behind a sink trait that is zero-cost when disabled.
+//!
+//! Every miner has an `*_instrumented` twin taking a
+//! [`MetricsSink`]. The plain entry points pass [`NullSink`], whose
+//! `ENABLED = false` constant lets the instrumentation monomorphize
+//! away entirely — the hot loops compile to the same code as before the
+//! telemetry layer existed. Passing a [`MinerMetrics`] collects:
+//!
+//! * wall-clock nanoseconds per pipeline [`Stage`] (summed across
+//!   threads in the parallel miner, so parallel stage times read as CPU
+//!   time, not elapsed time);
+//! * the counters of [`MinerMetrics`] — executions scanned, pairs
+//!   counted, edge populations before/after the noise threshold,
+//!   two-cycles dissolved, nontrivial SCCs dissolved, edges dropped by
+//!   the per-execution transitive reduction, and final edge count.
+//!
+//! [`MinerMetrics::to_json`] renders a machine-readable report with a
+//! stable key order (locked by a unit test, so downstream golden tests
+//! can depend on it); [`MinerMetrics::render_table`] renders the same
+//! data as a human-readable table. Codec-level byte/event counts live
+//! in `procmine_log::codec::CodecStats` (the log crate cannot depend on
+//! this one); the CLI merges both reports.
+
+use std::fmt;
+use std::time::Instant;
+
+/// The pipeline stages timed by the instrumented miners.
+///
+/// Not every algorithm exercises every stage: Algorithm 1 has no
+/// separate lowering pass (it lowers while counting) and no marking
+/// pass (its step 4 is a global transitive reduction, timed as
+/// [`Stage::Reduce`]). Untouched stages report zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Lowering the log to dense vertex ids (instance labeling, for the
+    /// cyclic miner).
+    Lower,
+    /// Step 2: scanning executions and counting ordered/overlapping
+    /// pairs.
+    CountPairs,
+    /// Steps 3–4: noise thresholding, two-cycle removal, and SCC
+    /// dissolution.
+    Prune,
+    /// Transitive reduction: the per-execution marking pass of steps
+    /// 5–6 (Algorithms 2–3) or the global reduction of Algorithm 1.
+    Reduce,
+    /// Final assembly of the named model graph and its edge support.
+    Assemble,
+}
+
+impl Stage {
+    /// Number of stages (size of the timer array).
+    pub const COUNT: usize = 5;
+
+    /// All stages, in reporting order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Lower,
+        Stage::CountPairs,
+        Stage::Prune,
+        Stage::Reduce,
+        Stage::Assemble,
+    ];
+
+    /// Stable machine-readable name, used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Lower => "lower",
+            Stage::CountPairs => "count_pairs",
+            Stage::Prune => "prune",
+            Stage::Reduce => "reduce",
+            Stage::Assemble => "assemble",
+        }
+    }
+}
+
+/// Counters and stage timings collected by one mining run.
+///
+/// Counters accumulate: reusing one `MinerMetrics` across several runs
+/// (as the CLI's streaming mode does per snapshot) sums them, and
+/// [`merge`](Self::merge) folds per-thread metrics together the same
+/// way.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MinerMetrics {
+    /// Nanoseconds per stage, indexed by `Stage as usize`.
+    stage_nanos: [u64; Stage::COUNT],
+    /// Executions scanned by the step-2 counting pass.
+    pub executions_scanned: u64,
+    /// Pair observations recorded in step 2 (`k·(k−1)/2` per execution
+    /// of length `k` — each unordered instance pair is inspected once).
+    pub pairs_counted: u64,
+    /// Ordered pairs with at least one observation, before the noise
+    /// threshold is applied.
+    pub edges_before_threshold: u64,
+    /// Edges surviving the threshold (step 3, before two-cycle
+    /// removal).
+    pub edges_after_threshold: u64,
+    /// Mutual edge pairs dissolved as two-cycles (each pair counts
+    /// once).
+    pub two_cycles_dissolved: u64,
+    /// Nontrivial strongly connected components dissolved in step 4.
+    pub scc_count: u64,
+    /// Edges dropped because no execution's transitive reduction needed
+    /// them (step 6), or by Algorithm 1's global reduction.
+    pub edges_dropped_by_reduction: u64,
+    /// Edges in the final mined graph (vertex-level, before the cyclic
+    /// miner's instance merge).
+    pub edges_final: u64,
+}
+
+impl MinerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        MinerMetrics::default()
+    }
+
+    /// Adds `nanos` to a stage timer.
+    pub fn add_stage_nanos(&mut self, stage: Stage, nanos: u64) {
+        self.stage_nanos[stage as usize] += nanos;
+    }
+
+    /// Nanoseconds accumulated for a stage.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage as usize]
+    }
+
+    /// Folds another metrics value into this one (all counters and
+    /// timers add). Used to merge per-thread metrics at the parallel
+    /// miner's join barriers.
+    pub fn merge(&mut self, other: &MinerMetrics) {
+        for (t, o) in self.stage_nanos.iter_mut().zip(other.stage_nanos) {
+            *t += o;
+        }
+        self.executions_scanned += other.executions_scanned;
+        self.pairs_counted += other.pairs_counted;
+        self.edges_before_threshold += other.edges_before_threshold;
+        self.edges_after_threshold += other.edges_after_threshold;
+        self.two_cycles_dissolved += other.two_cycles_dissolved;
+        self.scc_count += other.scc_count;
+        self.edges_dropped_by_reduction += other.edges_dropped_by_reduction;
+        self.edges_final += other.edges_final;
+    }
+
+    /// The counters as `(name, value)` pairs in the stable reporting
+    /// order used by [`to_json`](Self::to_json) — the single source of
+    /// truth for the JSON schema.
+    pub fn counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("executions_scanned", self.executions_scanned),
+            ("pairs_counted", self.pairs_counted),
+            ("edges_before_threshold", self.edges_before_threshold),
+            ("edges_after_threshold", self.edges_after_threshold),
+            ("two_cycles_dissolved", self.two_cycles_dissolved),
+            ("scc_count", self.scc_count),
+            (
+                "edges_dropped_by_reduction",
+                self.edges_dropped_by_reduction,
+            ),
+            ("edges_final", self.edges_final),
+        ]
+    }
+
+    /// The stage timers as `(name, nanos)` pairs in reporting order.
+    pub fn stages(&self) -> [(&'static str, u64); Stage::COUNT] {
+        Stage::ALL.map(|s| (s.name(), self.stage_nanos(s)))
+    }
+
+    /// Writes the two JSON fields `"counters":{…},"stages_ns":{…}`
+    /// (no surrounding braces) so callers can splice additional
+    /// sibling fields — the CLI prepends its codec stats.
+    pub fn write_json_fields(&self, out: &mut String) {
+        fn obj(out: &mut String, name: &str, pairs: &[(&'static str, u64)]) {
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":{");
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\":");
+                out.push_str(&value.to_string());
+            }
+            out.push('}');
+        }
+        obj(out, "counters", &self.counters());
+        out.push(',');
+        obj(out, "stages_ns", &self.stages());
+    }
+
+    /// Machine-readable JSON report with a stable key order (suitable
+    /// for golden tests, modulo the timing values).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        self.write_json_fields(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable two-column table of stages and counters.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("stage                         time\n");
+        for (name, nanos) in self.stages() {
+            out.push_str(&format!("  {name:<26}  {}\n", format_nanos(nanos)));
+        }
+        out.push_str("counter                       value\n");
+        for (name, value) in self.counters() {
+            out.push_str(&format!("  {name:<26}  {value}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for MinerMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+fn format_nanos(nanos: u64) -> String {
+    let ns = nanos as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A destination for miner telemetry.
+///
+/// The `*_instrumented` miners are generic over this trait and guard
+/// every measurement behind `Self::ENABLED`, a compile-time constant:
+/// with [`NullSink`] the guards are `if false` and the instrumentation
+/// vanishes at monomorphization, so the plain entry points pay nothing.
+pub trait MetricsSink {
+    /// Whether this sink records anything. Instrumentation code checks
+    /// this constant before doing measurement work.
+    const ENABLED: bool;
+
+    /// Applies `update` to the underlying metrics; a no-op when
+    /// disabled.
+    fn record(&mut self, update: impl FnOnce(&mut MinerMetrics));
+}
+
+/// The disabled sink: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _update: impl FnOnce(&mut MinerMetrics)) {}
+}
+
+impl MetricsSink for MinerMetrics {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, update: impl FnOnce(&mut MinerMetrics)) {
+        update(self);
+    }
+}
+
+/// Starts a stage timer if the sink is enabled (monomorphizes to `None`
+/// for [`NullSink`]).
+pub(crate) fn stage_start<S: MetricsSink>() -> Option<Instant> {
+    S::ENABLED.then(Instant::now)
+}
+
+/// Closes a stage timer opened by [`stage_start`], crediting the
+/// elapsed nanoseconds to `stage`.
+pub(crate) fn stage_end<S: MetricsSink>(sink: &mut S, stage: Stage, started: Option<Instant>) {
+    if let Some(started) = started {
+        let nanos = started.elapsed().as_nanos() as u64;
+        sink.record(|m| m.add_stage_nanos(stage, nanos));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MinerMetrics {
+        let mut m = MinerMetrics::new();
+        m.add_stage_nanos(Stage::Lower, 10);
+        m.add_stage_nanos(Stage::CountPairs, 20);
+        m.add_stage_nanos(Stage::Prune, 30);
+        m.add_stage_nanos(Stage::Reduce, 40);
+        m.add_stage_nanos(Stage::Assemble, 50);
+        m.executions_scanned = 1;
+        m.pairs_counted = 2;
+        m.edges_before_threshold = 3;
+        m.edges_after_threshold = 4;
+        m.two_cycles_dissolved = 5;
+        m.scc_count = 6;
+        m.edges_dropped_by_reduction = 7;
+        m.edges_final = 8;
+        m
+    }
+
+    #[test]
+    fn json_schema_is_locked() {
+        // This string is the contract for downstream golden tests: key
+        // order and spelling must not change without a migration.
+        assert_eq!(
+            sample().to_json(),
+            "{\"counters\":{\
+             \"executions_scanned\":1,\
+             \"pairs_counted\":2,\
+             \"edges_before_threshold\":3,\
+             \"edges_after_threshold\":4,\
+             \"two_cycles_dissolved\":5,\
+             \"scc_count\":6,\
+             \"edges_dropped_by_reduction\":7,\
+             \"edges_final\":8},\
+             \"stages_ns\":{\
+             \"lower\":10,\
+             \"count_pairs\":20,\
+             \"prune\":30,\
+             \"reduce\":40,\
+             \"assemble\":50}}"
+        );
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.stage_nanos(Stage::Lower), 20);
+        assert_eq!(a.stage_nanos(Stage::Assemble), 100);
+        assert_eq!(a.executions_scanned, 2);
+        assert_eq!(a.edges_final, 16);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let m = MinerMetrics::default();
+        assert!(m.counters().iter().all(|&(_, v)| v == 0));
+        assert!(m.stages().iter().all(|&(_, v)| v == 0));
+    }
+
+    // The disabled path is a compile-time property.
+    const _: () = assert!(!NullSink::ENABLED);
+    const _: () = assert!(MinerMetrics::ENABLED);
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let mut sink = NullSink;
+        sink.record(|m| m.edges_final += 1);
+        // And timers never even start.
+        assert!(stage_start::<NullSink>().is_none());
+    }
+
+    #[test]
+    fn metrics_sink_records() {
+        let mut m = MinerMetrics::new();
+        m.record(|m| m.edges_final += 3);
+        assert_eq!(m.edges_final, 3);
+        let started = stage_start::<MinerMetrics>();
+        assert!(started.is_some());
+        stage_end(&mut m, Stage::Prune, started);
+        // Elapsed time is monotonic, possibly zero on coarse clocks —
+        // just assert it was credited without panicking.
+        let _ = m.stage_nanos(Stage::Prune);
+    }
+
+    #[test]
+    fn table_lists_all_keys() {
+        let table = sample().render_table();
+        for (name, _) in sample().counters() {
+            assert!(table.contains(name), "missing counter {name}");
+        }
+        for stage in Stage::ALL {
+            assert!(
+                table.contains(stage.name()),
+                "missing stage {}",
+                stage.name()
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_serde_value() {
+        // The report must stay parseable JSON.
+        let parsed: serde_json::Value = serde_json::from_str(&sample().to_json()).unwrap();
+        match parsed {
+            serde_json::Value::Map(fields) => assert_eq!(fields.len(), 2),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -112,13 +112,19 @@ impl BitSet {
     /// `true` if the sets share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "BitSet capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// `true` if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "BitSet capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates the elements in increasing order.

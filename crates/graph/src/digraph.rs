@@ -114,7 +114,10 @@ impl<N> DiGraph<N> {
 
     /// Iterates `(id, payload)` pairs in id order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::new(i), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i), n))
     }
 
     /// Adds the edge `(from, to)`; returns `true` if it was newly added.
@@ -191,13 +194,17 @@ impl<N> DiGraph<N> {
     /// Nodes with in-degree 0 (the candidates for the process' initiating
     /// activity).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.in_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Nodes with out-degree 0 (the candidates for the terminating
     /// activity).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.out_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// Builds a graph from a node-payload list and an edge list of raw
@@ -247,7 +254,12 @@ impl<N> DiGraph<N> {
 
 impl<N: fmt::Debug> fmt::Debug for DiGraph<N> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DiGraph ({} nodes, {} edges)", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "DiGraph ({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for (id, n) in self.nodes() {
             write!(f, "  {:?} {:?} ->", id, n)?;
             for s in self.successors(id) {

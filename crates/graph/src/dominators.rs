@@ -172,10 +172,16 @@ mod tests {
         // 0→1→3, 0→2→3: 1 and 2 do not dominate 3; 0 dominates all.
         let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (0, 2), (1, 3), (2, 3)]);
         let dom = dominators(&g, NodeId::new(0));
-        assert_eq!(dom.immediate_dominator(NodeId::new(3)), Some(NodeId::new(0)));
+        assert_eq!(
+            dom.immediate_dominator(NodeId::new(3)),
+            Some(NodeId::new(0))
+        );
         assert!(dom.dominates(NodeId::new(0), NodeId::new(3)));
         assert!(!dom.dominates(NodeId::new(1), NodeId::new(3)));
-        assert!(dom.dominates(NodeId::new(3), NodeId::new(3)), "self-domination");
+        assert!(
+            dom.dominates(NodeId::new(3), NodeId::new(3)),
+            "self-domination"
+        );
         assert_eq!(dom.immediate_dominator(NodeId::new(0)), None);
     }
 
@@ -185,7 +191,12 @@ mod tests {
         let mandatory = mandatory_activities(&g, NodeId::new(0), NodeId::new(3));
         assert_eq!(
             mandatory,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 
@@ -194,10 +205,22 @@ mod tests {
         // 0→{1,2}→3→{4,5}→6: 0, 3, 6 are mandatory.
         let g = DiGraph::from_edges(
             vec![(); 7],
-            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         );
         let mandatory = mandatory_activities(&g, NodeId::new(0), NodeId::new(6));
-        assert_eq!(mandatory, vec![NodeId::new(0), NodeId::new(3), NodeId::new(6)]);
+        assert_eq!(
+            mandatory,
+            vec![NodeId::new(0), NodeId::new(3), NodeId::new(6)]
+        );
     }
 
     #[test]
@@ -217,7 +240,10 @@ mod tests {
         let dom = dominators(&g, NodeId::new(0));
         assert!(dom.dominates(NodeId::new(1), NodeId::new(3)));
         assert!(dom.dominates(NodeId::new(2), NodeId::new(3)));
-        assert_eq!(dom.immediate_dominator(NodeId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(
+            dom.immediate_dominator(NodeId::new(2)),
+            Some(NodeId::new(1))
+        );
     }
 
     #[test]
@@ -237,11 +263,24 @@ mod tests {
         // From the Figure 7 preset shape: A (source), B? no — B is
         // bypassed by H→E; E and J are mandatory (all paths join at E).
         let edges = [
-            (0usize, 3usize), (0, 6), (3, 1), (6, 7), (6, 2), (2, 5), (5, 8),
-            (8, 1), (7, 1), (7, 4), (1, 4), (4, 9),
+            (0usize, 3usize),
+            (0, 6),
+            (3, 1),
+            (6, 7),
+            (6, 2),
+            (2, 5),
+            (5, 8),
+            (8, 1),
+            (7, 1),
+            (7, 4),
+            (1, 4),
+            (4, 9),
         ];
         let g = DiGraph::from_edges(vec![(); 10], edges);
         let mandatory = mandatory_activities(&g, NodeId::new(0), NodeId::new(9));
-        assert_eq!(mandatory, vec![NodeId::new(0), NodeId::new(4), NodeId::new(9)]);
+        assert_eq!(
+            mandatory,
+            vec![NodeId::new(0), NodeId::new(4), NodeId::new(9)]
+        );
     }
 }

@@ -39,7 +39,12 @@ pub fn to_dot_with<N>(
     let _ = writeln!(out, "  rankdir={};", opts.rankdir);
     let _ = writeln!(out, "  node [{}];", opts.node_attrs);
     for (id, payload) in g.nodes() {
-        let _ = writeln!(out, "  n{} [label=\"{}\"];", id.index(), escape(&label(id, payload)));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            id.index(),
+            escape(&label(id, payload))
+        );
     }
     for (u, v) in g.edges() {
         let _ = writeln!(out, "  n{} -> n{};", u.index(), v.index());
@@ -60,7 +65,13 @@ fn escape(s: &str) -> String {
 fn sanitize_id(s: &str) -> String {
     let cleaned: String = s
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")
@@ -101,14 +112,19 @@ mod tests {
         };
         let dot = to_dot(&g, &opts);
         assert!(dot.starts_with("digraph Upload_and_Notify {"));
-        let opts = DotOptions { name: "7graph".into(), ..Default::default() };
+        let opts = DotOptions {
+            name: "7graph".into(),
+            ..Default::default()
+        };
         assert!(to_dot(&g, &opts).starts_with("digraph g_7graph {"));
     }
 
     #[test]
     fn custom_labels() {
         let g = DiGraph::from_edges(vec![(); 2], [(0, 1)]);
-        let dot = to_dot_with(&g, &DotOptions::default(), |id, _| format!("act{}", id.index()));
+        let dot = to_dot_with(&g, &DotOptions::default(), |id, _| {
+            format!("act{}", id.index())
+        });
         assert!(dot.contains("label=\"act0\""));
         assert!(dot.contains("label=\"act1\""));
     }

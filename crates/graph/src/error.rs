@@ -27,7 +27,10 @@ impl fmt::Display for GraphError {
                 write!(f, "graph contains a cycle (through node {node})")
             }
             GraphError::NodeOutOfRange { index, node_count } => {
-                write!(f, "node index {index} out of range (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node index {index} out of range (graph has {node_count} nodes)"
+                )
             }
         }
     }

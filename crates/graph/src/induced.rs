@@ -53,7 +53,10 @@ pub fn induced_subgraph<N: Clone>(g: &DiGraph<N>, nodes: &[NodeId]) -> Induced<N
             }
         }
     }
-    Induced { graph, original_ids }
+    Induced {
+        graph,
+        original_ids,
+    }
 }
 
 #[cfg(test)]
@@ -75,7 +78,10 @@ mod tests {
         // A→C and C→E survive; edges through absent B and D do not.
         assert_eq!(ind.graph.edge_count(), 2);
         assert_eq!(*ind.graph.node(NodeId::new(0)), "A");
-        assert_eq!(ind.original_ids, vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(
+            ind.original_ids,
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]
+        );
         assert_eq!(ind.induced_id(NodeId::new(4)), Some(NodeId::new(2)));
         assert_eq!(ind.induced_id(NodeId::new(1)), None);
     }
@@ -85,7 +91,12 @@ mod tests {
         let g = sample();
         let ind = induced_subgraph(
             &g,
-            &[NodeId::new(3), NodeId::new(1), NodeId::new(3), NodeId::new(0)],
+            &[
+                NodeId::new(3),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(0),
+            ],
         );
         assert_eq!(
             ind.original_ids,
@@ -93,9 +104,10 @@ mod tests {
         );
         // Only A→B among the selected.
         assert_eq!(ind.graph.edge_count(), 1);
-        assert!(ind
-            .graph
-            .has_edge(ind.induced_id(NodeId::new(0)).unwrap(), ind.induced_id(NodeId::new(1)).unwrap()));
+        assert!(ind.graph.has_edge(
+            ind.induced_id(NodeId::new(0)).unwrap(),
+            ind.induced_id(NodeId::new(1)).unwrap()
+        ));
     }
 
     #[test]

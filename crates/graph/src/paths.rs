@@ -145,10 +145,7 @@ mod tests {
             g.add_edge(b, join);
             prev = join;
         }
-        assert_eq!(
-            count_paths(&g, NodeId::new(0), prev).unwrap(),
-            1u128 << n
-        );
+        assert_eq!(count_paths(&g, NodeId::new(0), prev).unwrap(), 1u128 << n);
     }
 
     #[test]
@@ -183,7 +180,10 @@ mod tests {
         let paths = all_simple_paths(&g, NodeId::new(0), NodeId::new(3), 10);
         assert_eq!(paths.len(), 3);
         // DFS order over ascending successors: via 1, via 2, direct.
-        assert_eq!(paths[0], vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            paths[0],
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
         let capped = all_simple_paths(&g, NodeId::new(0), NodeId::new(3), 2);
         assert_eq!(capped.len(), 2);
     }
@@ -193,6 +193,9 @@ mod tests {
         // 0→1→2 with a 1⇄2 cycle: simple paths don't revisit.
         let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (2, 1)]);
         let paths = all_simple_paths(&g, NodeId::new(0), NodeId::new(2), 10);
-        assert_eq!(paths, vec![vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]]);
+        assert_eq!(
+            paths,
+            vec![vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]]
+        );
     }
 }

@@ -108,7 +108,10 @@ mod tests {
         let g = chain(5);
         assert!(has_path(&g, NodeId::new(0), NodeId::new(4)));
         assert!(!has_path(&g, NodeId::new(4), NodeId::new(0)));
-        assert!(!has_path(&g, NodeId::new(2), NodeId::new(2)), "no self-path without cycle");
+        assert!(
+            !has_path(&g, NodeId::new(2), NodeId::new(2)),
+            "no self-path without cycle"
+        );
         let r = reachable_from(&g, NodeId::new(1));
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
     }
@@ -121,7 +124,10 @@ mod tests {
 
     #[test]
     fn closure_matches_bfs_closure() {
-        let g = DiGraph::from_edges(vec![(); 6], [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 4)]);
+        let g = DiGraph::from_edges(
+            vec![(); 6],
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 4)],
+        );
         let c1 = transitive_closure(&g);
         let mut c2 = AdjMatrix::from_digraph(&g);
         closure_in_place(&mut c2);
@@ -135,7 +141,10 @@ mod tests {
     fn closure_on_cyclic_graph() {
         let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 0), (1, 2)]);
         let c = transitive_closure(&g);
-        assert!(c.has_edge(0, 0) && c.has_edge(1, 1), "cycle members reach themselves");
+        assert!(
+            c.has_edge(0, 0) && c.has_edge(1, 1),
+            "cycle members reach themselves"
+        );
         assert!(c.has_edge(0, 2) && c.has_edge(1, 2));
         assert!(!c.has_edge(2, 2));
         let mut c2 = AdjMatrix::from_digraph(&g);

@@ -143,7 +143,18 @@ mod tests {
     fn preserves_closure() {
         let g = DiGraph::from_edges(
             vec![(); 6],
-            [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3), (1, 4), (3, 4), (0, 4), (4, 5), (0, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 3),
+                (2, 3),
+                (1, 4),
+                (3, 4),
+                (0, 4),
+                (4, 5),
+                (0, 5),
+            ],
         );
         let tr = transitive_reduction_dag(&g).unwrap();
         assert_eq!(transitive_closure(&g), transitive_closure(&tr));
@@ -158,7 +169,16 @@ mod tests {
         // D→E — the process graph of Figure 3. A=0 B=1 C=2 D=3 E=4.
         let g = DiGraph::from_edges(
             vec![(); 5],
-            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 4), (2, 3), (2, 4), (3, 4)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
         );
         let tr = transitive_reduction_dag(&g).unwrap();
         let edges: Vec<_> = tr.edges().map(|(u, v)| (u.index(), v.index())).collect();
@@ -169,7 +189,18 @@ mod tests {
     fn matrix_and_digraph_agree() {
         let g = DiGraph::from_edges(
             vec![(); 7],
-            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5), (5, 6), (3, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3),
+                (3, 4),
+                (1, 4),
+                (4, 5),
+                (5, 6),
+                (3, 6),
+            ],
         );
         let tr_g = transitive_reduction_dag(&g).unwrap();
         let tr_m = transitive_reduction_matrix(&AdjMatrix::from_digraph(&g)).unwrap();
@@ -181,8 +212,18 @@ mod tests {
         let g = DiGraph::from_edges(
             vec![(); 8],
             [
-                (0, 1), (0, 2), (0, 5), (1, 3), (2, 3), (3, 4), (0, 4), (1, 4),
-                (5, 6), (6, 7), (5, 7), (4, 7),
+                (0, 1),
+                (0, 2),
+                (0, 5),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (0, 4),
+                (1, 4),
+                (5, 6),
+                (6, 7),
+                (5, 7),
+                (4, 7),
             ],
         );
         let fast = transitive_reduction_dag(&g).unwrap();
@@ -208,7 +249,10 @@ mod tests {
         );
         let tr = transitive_reduction_dag(&g).unwrap();
         let tr2 = transitive_reduction_dag(&tr).unwrap();
-        assert_eq!(tr.edges().collect::<Vec<_>>(), tr2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            tr.edges().collect::<Vec<_>>(),
+            tr2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl SccDecomposition {
     /// that Algorithm 2 dissolves). A single node with a self-loop is not
     /// reported here; the miners remove self-loops in the two-cycle step.
     pub fn nontrivial(&self) -> impl Iterator<Item = &[NodeId]> {
-        self.members.iter().filter(|m| m.len() > 1).map(Vec::as_slice)
+        self.members
+            .iter()
+            .filter(|m| m.len() > 1)
+            .map(Vec::as_slice)
     }
 }
 
@@ -169,11 +172,18 @@ mod tests {
         let g = DiGraph::from_edges(
             vec![(); 6],
             [
-                (0, 1), (0, 2), (0, 3), (0, 4),
-                (1, 2), (1, 5),
-                (2, 3), (2, 5),
-                (3, 4), (3, 5),
-                (4, 2), (4, 5),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 5),
+                (2, 3),
+                (2, 5),
+                (3, 4),
+                (3, 5),
+                (4, 2),
+                (4, 5),
             ],
         );
         let sccs = tarjan_scc(&g);
@@ -196,7 +206,10 @@ mod tests {
         assert!(sccs.same_component(NodeId::new(0), NodeId::new(1)));
         assert!(sccs.same_component(NodeId::new(2), NodeId::new(4)));
         assert!(!sccs.same_component(NodeId::new(0), NodeId::new(2)));
-        assert_eq!(sccs.component_of(NodeId::new(5)), sccs.component_of(NodeId::new(5)));
+        assert_eq!(
+            sccs.component_of(NodeId::new(5)),
+            sccs.component_of(NodeId::new(5))
+        );
     }
 
     #[test]

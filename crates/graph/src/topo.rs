@@ -15,10 +15,7 @@ use std::collections::VecDeque;
 pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
     let n = g.node_count();
     let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId::new(i))).collect();
-    let mut queue: VecDeque<NodeId> = g
-        .node_ids()
-        .filter(|&v| in_deg[v.index()] == 0)
-        .collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|&v| in_deg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop_front() {
         order.push(v);
@@ -33,7 +30,9 @@ pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
         Ok(order)
     } else {
         // Some node still has positive in-degree: it lies on or below a cycle.
-        let node = (0..n).find(|&i| in_deg[i] > 0).expect("cycle node must exist");
+        let node = (0..n)
+            .find(|&i| in_deg[i] > 0)
+            .expect("cycle node must exist");
         Err(GraphError::CycleDetected { node })
     }
 }
@@ -75,7 +74,10 @@ mod tests {
     #[test]
     fn detects_cycles() {
         let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (2, 0)]);
-        assert!(matches!(topological_sort(&g), Err(GraphError::CycleDetected { .. })));
+        assert!(matches!(
+            topological_sort(&g),
+            Err(GraphError::CycleDetected { .. })
+        ));
         assert!(!is_acyclic(&g));
     }
 

@@ -13,6 +13,7 @@
 //! consumed ("lists of event records consisting of the process name, the
 //! activity name, the event type, and the timestamp", §8).
 
+use super::{CodecStats, CountingReader};
 use crate::{EventKind, EventRecord, LogError, WorkflowLog};
 use std::io::{BufRead, Write};
 
@@ -33,8 +34,22 @@ pub fn read_events<R: BufRead>(reader: R) -> Result<Vec<EventRecord>, LogError> 
 /// Parses a Flowmark-style event stream and assembles it into a
 /// [`WorkflowLog`] (strict START/END pairing).
 pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
-    let records = read_events(reader)?;
-    WorkflowLog::from_events(&records)
+    read_log_instrumented(reader, &mut CodecStats::default())
+}
+
+/// [`read_log`] with telemetry: bytes consumed, event lines parsed, and
+/// executions assembled accumulate into `stats`.
+pub fn read_log_instrumented<R: BufRead>(
+    reader: R,
+    stats: &mut CodecStats,
+) -> Result<WorkflowLog, LogError> {
+    let mut counting = CountingReader::new(reader);
+    let records = read_events(&mut counting)?;
+    let log = WorkflowLog::from_events(&records)?;
+    stats.bytes_read += counting.bytes();
+    stats.events_parsed += records.len() as u64;
+    stats.executions_parsed += log.len() as u64;
+    Ok(log)
 }
 
 /// Writes a log as a Flowmark-style event stream. Instances are emitted
@@ -70,7 +85,11 @@ fn write_line<W: Write>(e: &EventRecord, writer: &mut W) -> Result<(), LogError>
     match &e.output {
         Some(o) => {
             let joined = o.iter().map(i64::to_string).collect::<Vec<_>>().join(";");
-            writeln!(writer, "{},{},{},{},{}", e.process, e.activity, e.kind, e.time, joined)?;
+            writeln!(
+                writer,
+                "{},{},{},{},{}",
+                e.process, e.activity, e.kind, e.time, joined
+            )?;
         }
         None => writeln!(writer, "{},{},{},{}", e.process, e.activity, e.kind, e.time)?,
     }
@@ -94,7 +113,10 @@ pub fn parse_event_line(line: &str, lineno: usize) -> Result<EventRecord, LogErr
     if parts.len() < 4 || parts.len() > 5 {
         return Err(LogError::Parse {
             line: lineno,
-            message: format!("expected 4 or 5 comma-separated fields, got {}", parts.len()),
+            message: format!(
+                "expected 4 or 5 comma-separated fields, got {}",
+                parts.len()
+            ),
         });
     }
     let kind: EventKind = parts[2].trim().parse().map_err(|()| LogError::Parse {

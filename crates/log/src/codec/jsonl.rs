@@ -7,6 +7,7 @@
 //! {"id":"p1","instances":[{"activity":"A","start":0,"end":1,"output":[3,4]}]}
 //! ```
 
+use super::{CodecStats, CountingReader};
 use crate::{ActivityInstance, Execution, LogError, WorkflowLog};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
@@ -50,9 +51,19 @@ pub fn write_log<W: Write>(log: &WorkflowLog, mut writer: W) -> Result<(), LogEr
 
 /// Reads a JSON-lines log. Blank lines are skipped.
 pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
+    read_log_instrumented(reader, &mut CodecStats::default())
+}
+
+/// [`read_log`] with telemetry: bytes consumed, activity instances
+/// parsed, and executions assembled accumulate into `stats`.
+pub fn read_log_instrumented<R: BufRead>(
+    reader: R,
+    stats: &mut CodecStats,
+) -> Result<WorkflowLog, LogError> {
+    let mut counting = CountingReader::new(reader);
     let mut executions = Vec::new();
     let mut table = crate::ActivityTable::new();
-    for (lineno, line) in reader.lines().enumerate() {
+    for (lineno, line) in (&mut counting).lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
@@ -61,6 +72,7 @@ pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
             line: lineno + 1,
             message: e.to_string(),
         })?;
+        stats.events_parsed += je.instances.len() as u64;
         let instances: Vec<ActivityInstance> = je
             .instances
             .into_iter()
@@ -77,6 +89,8 @@ pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
     for e in executions {
         log.push(e);
     }
+    stats.bytes_read += counting.bytes();
+    stats.executions_parsed += log.len() as u64;
     Ok(log)
 }
 

@@ -19,3 +19,155 @@ pub mod jsonl;
 pub mod seqs;
 pub mod stream;
 pub mod xes;
+
+use std::io::{BufRead, Read};
+
+/// Byte and event tallies from one codec read.
+///
+/// Every codec has a `read_log_instrumented` twin that fills one of
+/// these; the plain `read_log` entry points discard the stats. Fields
+/// accumulate, so one `CodecStats` can tally several reads.
+///
+/// `events_parsed` counts the format's natural unit: event lines for
+/// [`flowmark`], activity names for [`seqs`], activity instances for
+/// [`jsonl`], and `<event>` elements for [`xes`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Bytes consumed from the underlying reader.
+    pub bytes_read: u64,
+    /// Events parsed (see the type docs for the per-format unit).
+    pub events_parsed: u64,
+    /// Executions in the assembled log.
+    pub executions_parsed: u64,
+}
+
+impl CodecStats {
+    /// Machine-readable JSON object with a stable key order (matches
+    /// the field order above).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bytes_read\":{},\"events_parsed\":{},\"executions_parsed\":{}}}",
+            self.bytes_read, self.events_parsed, self.executions_parsed
+        )
+    }
+}
+
+/// A [`BufRead`] adapter that counts the bytes consumed through it.
+///
+/// Bytes are tallied in [`BufRead::consume`] (the line-oriented codecs)
+/// and in [`Read::read`] (the slurping XES codec); each codec drives
+/// exactly one of the two paths, so nothing is double-counted.
+pub struct CountingReader<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R> CountingReader<R> {
+    /// Wraps a reader with a zeroed byte counter.
+    pub fn new(inner: R) -> Self {
+        CountingReader { inner, bytes: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for CountingReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.bytes += amt as u64;
+        self.inner.consume(amt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkflowLog;
+
+    #[test]
+    fn seqs_stats_count_bytes_names_and_executions() {
+        let text = "# log\nA B C E\nA C D E\n";
+        let mut stats = CodecStats::default();
+        let log = seqs::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(stats.bytes_read, text.len() as u64);
+        assert_eq!(stats.events_parsed, 8);
+        assert_eq!(stats.executions_parsed, 2);
+    }
+
+    #[test]
+    fn flowmark_stats_count_event_lines() {
+        let text = "p1,A,START,0\np1,A,END,1\np1,B,START,2\np1,B,END,3\n";
+        let mut stats = CodecStats::default();
+        let log = flowmark::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(stats.bytes_read, text.len() as u64);
+        assert_eq!(stats.events_parsed, 4);
+        assert_eq!(stats.executions_parsed, 1);
+    }
+
+    #[test]
+    fn jsonl_stats_count_instances() {
+        let log = WorkflowLog::from_strings(["ABC", "AB"]).unwrap();
+        let mut buf = Vec::new();
+        jsonl::write_log(&log, &mut buf).unwrap();
+        let mut stats = CodecStats::default();
+        let back = jsonl::read_log_instrumented(buf.as_slice(), &mut stats).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(stats.bytes_read, buf.len() as u64);
+        assert_eq!(stats.events_parsed, 5);
+        assert_eq!(stats.executions_parsed, 2);
+    }
+
+    #[test]
+    fn xes_stats_count_event_elements() {
+        let log = WorkflowLog::from_strings(["ABC", "AB"]).unwrap();
+        let mut buf = Vec::new();
+        xes::write_log(&log, &mut buf).unwrap();
+        let mut stats = CodecStats::default();
+        let back = xes::read_log_instrumented(buf.as_slice(), &mut stats).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(stats.bytes_read, buf.len() as u64);
+        // Instantaneous instances write one `complete` element each.
+        assert_eq!(stats.events_parsed, 5);
+        assert_eq!(stats.executions_parsed, 2);
+    }
+
+    #[test]
+    fn stats_accumulate_across_reads() {
+        let text = "A B\n";
+        let mut stats = CodecStats::default();
+        seqs::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        seqs::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        assert_eq!(stats.bytes_read, 2 * text.len() as u64);
+        assert_eq!(stats.events_parsed, 4);
+        assert_eq!(stats.executions_parsed, 2);
+    }
+
+    #[test]
+    fn stats_json_has_stable_key_order() {
+        let stats = CodecStats {
+            bytes_read: 1,
+            events_parsed: 2,
+            executions_parsed: 3,
+        };
+        assert_eq!(
+            stats.to_json(),
+            "{\"bytes_read\":1,\"events_parsed\":2,\"executions_parsed\":3}"
+        );
+    }
+}

@@ -10,19 +10,31 @@
 //! to multi-character activity names. Interval and output information is
 //! not representable — executions are read back as instantaneous.
 
+use super::{CodecStats, CountingReader};
 use crate::{LogError, WorkflowLog};
 use std::io::{BufRead, Write};
 
 /// Reads a sequence-format log.
 pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
+    read_log_instrumented(reader, &mut CodecStats::default())
+}
+
+/// [`read_log`] with telemetry: bytes consumed, activity names parsed,
+/// and executions assembled accumulate into `stats`.
+pub fn read_log_instrumented<R: BufRead>(
+    reader: R,
+    stats: &mut CodecStats,
+) -> Result<WorkflowLog, LogError> {
+    let mut counting = CountingReader::new(reader);
     let mut log = WorkflowLog::new();
-    for (lineno, line) in reader.lines().enumerate() {
+    for (lineno, line) in (&mut counting).lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let names: Vec<&str> = trimmed.split_whitespace().collect();
+        stats.events_parsed += names.len() as u64;
         log.push_sequence(&names).map_err(|e| match e {
             LogError::EmptyExecution { .. } => LogError::Parse {
                 line: lineno + 1,
@@ -31,6 +43,8 @@ pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
             other => other,
         })?;
     }
+    stats.bytes_read += counting.bytes();
+    stats.executions_parsed += log.len() as u64;
     Ok(log)
 }
 
@@ -42,8 +56,9 @@ pub fn write_log<W: Write>(log: &WorkflowLog, mut writer: W) -> Result<(), LogEr
         if line.split_whitespace().count() != exec.len() {
             return Err(LogError::Parse {
                 line: 0,
-                message: "activity names containing whitespace cannot be written in sequence format"
-                    .to_string(),
+                message:
+                    "activity names containing whitespace cannot be written in sequence format"
+                        .to_string(),
             });
         }
         writeln!(writer, "{line}")?;
@@ -60,7 +75,10 @@ mod tests {
         let text = "# log\nA B C E\nA C D E\n\nA D B E\n";
         let log = read_log(text.as_bytes()).unwrap();
         assert_eq!(log.len(), 3);
-        assert_eq!(log.display_sequences(), vec!["A B C E", "A C D E", "A D B E"]);
+        assert_eq!(
+            log.display_sequences(),
+            vec!["A B C E", "A C D E", "A D B E"]
+        );
         let mut buf = Vec::new();
         write_log(&log, &mut buf).unwrap();
         let back = read_log(buf.as_slice()).unwrap();

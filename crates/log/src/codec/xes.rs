@@ -61,7 +61,11 @@ pub fn millis_to_iso8601(millis: u64) -> String {
     let days = (total_secs / 86_400) as i64;
     let secs_of_day = total_secs % 86_400;
     let (y, mo, d) = civil_from_days(days);
-    let (h, mi, s) = (secs_of_day / 3600, (secs_of_day % 3600) / 60, secs_of_day % 60);
+    let (h, mi, s) = (
+        secs_of_day / 3600,
+        (secs_of_day % 3600) / 60,
+        secs_of_day % 60,
+    );
     format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{ms:03}+00:00")
 }
 
@@ -72,11 +76,17 @@ pub fn millis_to_iso8601(millis: u64) -> String {
 pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
     let bytes = text.as_bytes();
     let fail = || format!("invalid ISO 8601 timestamp `{text}`");
-    if bytes.len() < 19 || bytes[4] != b'-' || bytes[7] != b'-' || (bytes[10] != b'T' && bytes[10] != b' ') {
+    if bytes.len() < 19
+        || bytes[4] != b'-'
+        || bytes[7] != b'-'
+        || (bytes[10] != b'T' && bytes[10] != b' ')
+    {
         return Err(fail());
     }
     let num = |range: std::ops::Range<usize>| -> Result<i64, String> {
-        text.get(range).and_then(|s| s.parse().ok()).ok_or_else(fail)
+        text.get(range)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(fail)
     };
     let (y, mo, d) = (num(0..4)?, num(5..7)? as u32, num(8..10)? as u32);
     if !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
@@ -126,8 +136,7 @@ pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
     }
 
     let days = days_from_civil(y, mo, d);
-    let total =
-        (days * 86_400 + h * 3600 + mi * 60 + s + offset_minutes * 60) * 1000 + ms;
+    let total = (days * 86_400 + h * 3600 + mi * 60 + s + offset_minutes * 60) * 1000 + ms;
     u64::try_from(total).map_err(|_| format!("timestamp `{text}` is before the Unix epoch"))
 }
 
@@ -210,11 +219,19 @@ impl XmlParser {
             loop {
                 self.skip_ws();
                 if self.consume('>') {
-                    return Ok(Some(Xml::Open { name, attrs, self_closing: false }));
+                    return Ok(Some(Xml::Open {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    }));
                 }
                 if self.starts_with("/>") {
                     self.pos += 2;
-                    return Ok(Some(Xml::Open { name, attrs, self_closing: true }));
+                    return Ok(Some(Xml::Open {
+                        name,
+                        attrs,
+                        self_closing: true,
+                    }));
                 }
                 let key = self.read_name()?;
                 self.skip_ws();
@@ -430,9 +447,19 @@ pub fn write_log<W: Write>(log: &WorkflowLog, mut w: W) -> Result<(), LogError> 
 /// Reads an XES log. Events missing a `lifecycle:transition` are treated
 /// as `complete`; a lone `complete` without a preceding `start` becomes
 /// an instantaneous instance.
-pub fn read_log<R: BufRead>(mut reader: R) -> Result<WorkflowLog, LogError> {
+pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
+    read_log_instrumented(reader, &mut super::CodecStats::default())
+}
+
+/// [`read_log`] with telemetry: bytes consumed, `<event>` elements
+/// parsed, and executions assembled accumulate into `stats`.
+pub fn read_log_instrumented<R: BufRead>(
+    mut reader: R,
+    stats: &mut super::CodecStats,
+) -> Result<WorkflowLog, LogError> {
     let mut text = String::new();
     reader.read_to_string(&mut text)?;
+    stats.bytes_read += text.len() as u64;
     let mut parser = XmlParser::new(&text);
 
     let mut records: Vec<EventRecord> = Vec::new();
@@ -454,8 +481,14 @@ pub fn read_log<R: BufRead>(mut reader: R) -> Result<WorkflowLog, LogError> {
                 event_attrs.clear();
                 let _ = attrs;
             }
-            Xml::Open { name, attrs, self_closing }
-                if matches!(name.as_str(), "string" | "date" | "int" | "float" | "boolean") =>
+            Xml::Open {
+                name,
+                attrs,
+                self_closing,
+            } if matches!(
+                name.as_str(),
+                "string" | "date" | "int" | "float" | "boolean"
+            ) =>
             {
                 let key = attrs.get("key").cloned().unwrap_or_default();
                 let value = attrs.get("value").cloned().unwrap_or_default();
@@ -471,6 +504,7 @@ pub fn read_log<R: BufRead>(mut reader: R) -> Result<WorkflowLog, LogError> {
                 }
             }
             Xml::Close(name) if name == "event" => {
+                stats.events_parsed += 1;
                 in_event = false;
                 let case = trace_name.clone().unwrap_or_else(|| "trace-0".to_string());
                 let activity = event_attrs
@@ -481,10 +515,8 @@ pub fn read_log<R: BufRead>(mut reader: R) -> Result<WorkflowLog, LogError> {
                         message: "event without concept:name".to_string(),
                     })?;
                 let stamp = match event_attrs.get("time:timestamp") {
-                    Some(ts) => iso8601_to_millis(ts).map_err(|message| LogError::Parse {
-                        line: 0,
-                        message,
-                    })?,
+                    Some(ts) => iso8601_to_millis(ts)
+                        .map_err(|message| LogError::Parse { line: 0, message })?,
                     None => records.len() as u64, // ordinal fallback
                 };
                 let transition = event_attrs
@@ -550,7 +582,9 @@ pub fn read_log<R: BufRead>(mut reader: R) -> Result<WorkflowLog, LogError> {
             _ => {}
         }
     }
-    WorkflowLog::from_events(&records)
+    let log = WorkflowLog::from_events(&records)?;
+    stats.executions_parsed += log.len() as u64;
+    Ok(log)
 }
 
 #[cfg(test)]
@@ -594,7 +628,12 @@ mod tests {
             "offset behind UTC adds"
         );
         assert_eq!(iso8601_to_millis("1970-01-01 00:00:00").unwrap(), 0);
-        for bad in ["1970-13-01T00:00:00Z", "not a date", "1970-01-01T00:00", "1969-01-01T00:00:00Z"] {
+        for bad in [
+            "1970-13-01T00:00:00Z",
+            "not a date",
+            "1970-01-01T00:00",
+            "1969-01-01T00:00:00Z",
+        ] {
             assert!(iso8601_to_millis(bad).is_err(), "{bad}");
         }
     }
@@ -607,7 +646,10 @@ mod tests {
         let text = String::from_utf8(buf.clone()).unwrap();
         assert!(text.contains("<trace>"));
         assert!(text.contains(r#"<string key="lifecycle:transition" value="complete"/>"#));
-        assert!(!text.contains(r#"value="start""#), "instantaneous → complete only");
+        assert!(
+            !text.contains(r#"value="start""#),
+            "instantaneous → complete only"
+        );
 
         let back = read_log(buf.as_slice()).unwrap();
         assert_eq!(back.display_sequences(), log.display_sequences());
@@ -623,8 +665,18 @@ mod tests {
             Execution::new(
                 "case \"1\"",
                 vec![
-                    ActivityInstance { activity: a, start: 0, end: 5000, output: Some(vec![-3, 12]) },
-                    ActivityInstance { activity: b, start: 2000, end: 9000, output: None },
+                    ActivityInstance {
+                        activity: a,
+                        start: 0,
+                        end: 5000,
+                        output: Some(vec![-3, 12]),
+                    },
+                    ActivityInstance {
+                        activity: b,
+                        start: 2000,
+                        end: 9000,
+                        output: None,
+                    },
                 ],
             )
             .unwrap(),
@@ -675,7 +727,7 @@ mod tests {
     #[test]
     fn malformed_xml_is_rejected() {
         for bad in [
-            "<log><trace><event></log>",       // mismatched nesting is tolerated…
+            "<log><trace><event></log>", // mismatched nesting is tolerated…
             "<log><event><string key=></event></log>", // …but broken attributes are not
             "<log><trace><event><string key='concept:name' value='A'",
         ] {
@@ -683,7 +735,8 @@ mod tests {
             // error or produce an empty/partial log.
             let _ = read_log(bad.as_bytes());
         }
-        let bad_attr = "<log><event><string key=\"concept:name\" value=\"unterminated></event></log>";
+        let bad_attr =
+            "<log><event><string key=\"concept:name\" value=\"unterminated></event></log>";
         assert!(read_log(bad_attr.as_bytes()).is_err());
     }
 

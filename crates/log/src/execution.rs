@@ -39,7 +39,10 @@ impl Execution {
     /// Returns [`LogError::EmptyExecution`] if `instances` is empty and
     /// [`LogError::NegativeInterval`] if any instance ends before it
     /// starts.
-    pub fn new(id: impl Into<String>, mut instances: Vec<ActivityInstance>) -> Result<Self, LogError> {
+    pub fn new(
+        id: impl Into<String>,
+        mut instances: Vec<ActivityInstance>,
+    ) -> Result<Self, LogError> {
         let id = id.into();
         if instances.is_empty() {
             return Err(LogError::EmptyExecution { execution: id });
@@ -123,8 +126,14 @@ impl Execution {
     /// these to be the process' initiating and terminating activities.
     pub fn endpoints(&self) -> (ActivityId, ActivityId) {
         (
-            self.instances.first().expect("executions are non-empty").activity,
-            self.instances.last().expect("executions are non-empty").activity,
+            self.instances
+                .first()
+                .expect("executions are non-empty")
+                .activity,
+            self.instances
+                .last()
+                .expect("executions are non-empty")
+                .activity,
         )
     }
 
@@ -147,7 +156,8 @@ impl Execution {
     /// differentiate appearances" device of Algorithm 3 (the paper's
     /// `B1`, `B2`, …).
     pub fn labeled_sequence(&self) -> Vec<(ActivityId, u32)> {
-        let mut counts: std::collections::HashMap<ActivityId, u32> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<ActivityId, u32> =
+            std::collections::HashMap::new();
         self.instances
             .iter()
             .map(|i| {
@@ -222,9 +232,24 @@ mod tests {
         let e = Execution::new(
             "p",
             vec![
-                ActivityInstance { activity: aid(&t, "A"), start: 0, end: 2, output: None },
-                ActivityInstance { activity: aid(&t, "B"), start: 1, end: 3, output: None },
-                ActivityInstance { activity: aid(&t, "C"), start: 4, end: 5, output: None },
+                ActivityInstance {
+                    activity: aid(&t, "A"),
+                    start: 0,
+                    end: 2,
+                    output: None,
+                },
+                ActivityInstance {
+                    activity: aid(&t, "B"),
+                    start: 1,
+                    end: 3,
+                    output: None,
+                },
+                ActivityInstance {
+                    activity: aid(&t, "C"),
+                    start: 4,
+                    end: 5,
+                    output: None,
+                },
             ],
         )
         .unwrap();
@@ -239,8 +264,18 @@ mod tests {
         let e = Execution::new(
             "p",
             vec![
-                ActivityInstance { activity: aid(&t, "A"), start: 0, end: 0, output: None },
-                ActivityInstance { activity: aid(&t, "B"), start: 0, end: 0, output: None },
+                ActivityInstance {
+                    activity: aid(&t, "A"),
+                    start: 0,
+                    end: 0,
+                    output: None,
+                },
+                ActivityInstance {
+                    activity: aid(&t, "B"),
+                    start: 0,
+                    end: 0,
+                    output: None,
+                },
             ],
         )
         .unwrap();
@@ -250,7 +285,13 @@ mod tests {
     #[test]
     fn repeats_and_labeling() {
         let t = table();
-        let seq = [aid(&t, "A"), aid(&t, "B"), aid(&t, "C"), aid(&t, "B"), aid(&t, "C")];
+        let seq = [
+            aid(&t, "A"),
+            aid(&t, "B"),
+            aid(&t, "C"),
+            aid(&t, "B"),
+            aid(&t, "C"),
+        ];
         let e = Execution::from_ids("p", &seq).unwrap();
         assert!(e.has_repeats());
         assert_eq!(e.count_of(aid(&t, "B")), 2);
@@ -267,8 +308,18 @@ mod tests {
         let e = Execution::new(
             "p",
             vec![
-                ActivityInstance { activity: aid(&t, "A"), start: 0, end: 1, output: Some(vec![7]) },
-                ActivityInstance { activity: aid(&t, "B"), start: 2, end: 3, output: None },
+                ActivityInstance {
+                    activity: aid(&t, "A"),
+                    start: 0,
+                    end: 1,
+                    output: Some(vec![7]),
+                },
+                ActivityInstance {
+                    activity: aid(&t, "B"),
+                    start: 2,
+                    end: 3,
+                    output: None,
+                },
             ],
         )
         .unwrap();
@@ -282,8 +333,18 @@ mod tests {
         let e = Execution::new(
             "p",
             vec![
-                ActivityInstance { activity: aid(&t, "B"), start: 5, end: 6, output: None },
-                ActivityInstance { activity: aid(&t, "A"), start: 0, end: 1, output: None },
+                ActivityInstance {
+                    activity: aid(&t, "B"),
+                    start: 5,
+                    end: 6,
+                    output: None,
+                },
+                ActivityInstance {
+                    activity: aid(&t, "A"),
+                    start: 0,
+                    end: 1,
+                    output: None,
+                },
             ],
         )
         .unwrap();

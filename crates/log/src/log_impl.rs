@@ -175,7 +175,10 @@ mod tests {
         let log = WorkflowLog::from_strings(["ABCE", "ACDE", "ADBE"]).unwrap();
         assert_eq!(log.len(), 3);
         assert_eq!(log.activities().len(), 5);
-        assert_eq!(log.display_sequences(), vec!["A B C E", "A C D E", "A D B E"]);
+        assert_eq!(
+            log.display_sequences(),
+            vec!["A B C E", "A C D E", "A D B E"]
+        );
         assert!(!log.has_repeats());
         assert_eq!(log.max_repeats(), 1);
         assert!(!log.every_activity_in_every_execution());

@@ -266,8 +266,7 @@ mod tests {
 
     #[test]
     fn variants_sorted_by_frequency() {
-        let log =
-            WorkflowLog::from_strings(["ABC", "ACB", "ABC", "ABC", "ACB", "AC"]).unwrap();
+        let log = WorkflowLog::from_strings(["ABC", "ACB", "ABC", "ABC", "ACB", "AC"]).unwrap();
         let vs = variants(&log);
         assert_eq!(vs.len(), 3);
         assert_eq!(vs[0].count, 3, "ABC most frequent");
@@ -297,9 +296,24 @@ mod tests {
             crate::Execution::new(
                 "e0",
                 vec![
-                    ActivityInstance { activity: a, start: 0, end: 10, output: None },
-                    ActivityInstance { activity: a, start: 20, end: 24, output: None },
-                    ActivityInstance { activity: b, start: 30, end: 30, output: None },
+                    ActivityInstance {
+                        activity: a,
+                        start: 0,
+                        end: 10,
+                        output: None,
+                    },
+                    ActivityInstance {
+                        activity: a,
+                        start: 20,
+                        end: 24,
+                        output: None,
+                    },
+                    ActivityInstance {
+                        activity: b,
+                        start: 30,
+                        end: 30,
+                        output: None,
+                    },
                 ],
             )
             .unwrap(),

@@ -95,7 +95,10 @@ fn assemble_impl(
             order.push(&r.process);
             Vec::new()
         });
-        groups.get_mut(r.process.as_str()).expect("just inserted").push(r);
+        groups
+            .get_mut(r.process.as_str())
+            .expect("just inserted")
+            .push(r);
     }
 
     let mut diagnostics = Vec::new();
@@ -225,8 +228,7 @@ mod tests {
             EventRecord::start("p", "B", 3), // dangling START
         ];
         let mut t = ActivityTable::new();
-        let report =
-            assemble_executions_with(&records, &mut t, AssemblyPolicy::Lenient).unwrap();
+        let report = assemble_executions_with(&records, &mut t, AssemblyPolicy::Lenient).unwrap();
         assert_eq!(report.executions.len(), 1);
         assert_eq!(report.executions[0].len(), 1);
         assert_eq!(report.diagnostics.len(), 2);
@@ -272,8 +274,7 @@ mod tests {
             EventRecord::end("real", "A", 1, None),
         ];
         let mut t = ActivityTable::new();
-        let report =
-            assemble_executions_with(&records, &mut t, AssemblyPolicy::Lenient).unwrap();
+        let report = assemble_executions_with(&records, &mut t, AssemblyPolicy::Lenient).unwrap();
         assert_eq!(report.executions.len(), 1);
         assert_eq!(report.executions[0].id, "real");
     }

@@ -386,7 +386,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            ModelError::ConditionArity { needs: 1, produces: 0, .. }
+            ModelError::ConditionArity {
+                needs: 1,
+                produces: 0,
+                ..
+            }
         ));
     }
 

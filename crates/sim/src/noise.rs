@@ -65,8 +65,7 @@ pub fn corrupt_log<R: Rng + ?Sized>(
         }
 
         out.push(
-            Execution::from_ids(exec.id.clone(), &seq)
-                .expect("corrupted sequences stay non-empty"),
+            Execution::from_ids(exec.id.clone(), &seq).expect("corrupted sequences stay non-empty"),
         );
     }
     out
@@ -100,14 +99,20 @@ mod tests {
             .iter()
             .filter(|s| s.as_str() != "A B C D E")
             .count();
-        assert!((300..500).contains(&changed), "got {changed} ≈ 400 expected");
+        assert!(
+            (300..500).contains(&changed),
+            "got {changed} ≈ 400 expected"
+        );
     }
 
     #[test]
     fn drop_removes_interior_only() {
         let log = chain_log(500);
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = NoiseConfig { drop_prob: 1.0, ..Default::default() };
+        let cfg = NoiseConfig {
+            drop_prob: 1.0,
+            ..Default::default()
+        };
         let noisy = corrupt_log(&log, &cfg, &mut rng);
         for e in noisy.executions() {
             assert_eq!(e.len(), 4);
@@ -120,7 +125,10 @@ mod tests {
     fn insert_adds_one_activity() {
         let log = chain_log(100);
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = NoiseConfig { insert_prob: 1.0, ..Default::default() };
+        let cfg = NoiseConfig {
+            insert_prob: 1.0,
+            ..Default::default()
+        };
         let noisy = corrupt_log(&log, &cfg, &mut rng);
         for e in noisy.executions() {
             assert_eq!(e.len(), 6);
@@ -131,7 +139,11 @@ mod tests {
     fn table_is_preserved() {
         let log = chain_log(10);
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = NoiseConfig { swap_prob: 0.5, drop_prob: 0.5, insert_prob: 0.5 };
+        let cfg = NoiseConfig {
+            swap_prob: 0.5,
+            drop_prob: 0.5,
+            insert_prob: 0.5,
+        };
         let noisy = corrupt_log(&log, &cfg, &mut rng);
         assert_eq!(noisy.activities().len(), log.activities().len());
         assert_eq!(noisy.len(), log.len());

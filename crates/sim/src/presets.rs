@@ -80,7 +80,9 @@ pub fn stress_sleep() -> ProcessModel {
         .activity("Report")
         .activity("End");
     for i in 1..=4 {
-        b = b.activity(&format!("Spawn{i}")).activity(&format!("Sleep{i}"));
+        b = b
+            .activity(&format!("Spawn{i}"))
+            .activity(&format!("Sleep{i}"));
     }
     let mut b = b
         .edge("Start", "Warmup")
@@ -129,8 +131,18 @@ pub fn pend_block() -> ProcessModel {
 /// chain, so the process is a 12-step sequence.
 pub fn local_swap() -> ProcessModel {
     let steps = [
-        "Start", "Quiesce", "Snapshot", "CopyOut", "VerifyCopy", "Detach",
-        "SwapVolume", "Attach", "Replay", "VerifySwap", "Resume", "End",
+        "Start",
+        "Quiesce",
+        "Snapshot",
+        "CopyOut",
+        "VerifyCopy",
+        "Detach",
+        "SwapVolume",
+        "Attach",
+        "Replay",
+        "VerifySwap",
+        "Resume",
+        "End",
     ];
     let mut b = ProcessModel::builder("Local_Swap");
     for s in steps {
@@ -216,7 +228,12 @@ mod tests {
     fn admits(model: &ProcessModel, s: &str) {
         let ids: Vec<ActivityId> = s
             .chars()
-            .map(|c| model.activities().id(&c.to_string()).expect("known activity"))
+            .map(|c| {
+                model
+                    .activities()
+                    .id(&c.to_string())
+                    .expect("known activity")
+            })
             .collect();
         let exec = Execution::from_ids(s, &ids).unwrap();
         let g = model.graph();

@@ -134,15 +134,15 @@ mod tests {
     fn generates_valid_models_at_all_sizes() {
         let mut rng = StdRng::seed_from_u64(1);
         for &(n, p) in &[(2, 0.0), (5, 0.3), (10, 0.53), (25, 0.75), (50, 0.86)] {
-            let cfg = RandomDagConfig { vertices: n, edge_prob: p };
+            let cfg = RandomDagConfig {
+                vertices: n,
+                edge_prob: p,
+            };
             let model = random_dag(&cfg, &mut rng).unwrap();
             assert_eq!(model.activity_count(), n);
             assert!(model.is_acyclic());
             assert_eq!(model.activities().name(model.start()), "A");
-            assert_eq!(
-                model.activities().name(model.end()),
-                activity_name(n - 1)
-            );
+            assert_eq!(model.activities().name(model.end()), activity_name(n - 1));
         }
     }
 
@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn zero_prob_still_connected() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = RandomDagConfig { vertices: 8, edge_prob: 0.0 };
+        let cfg = RandomDagConfig {
+            vertices: 8,
+            edge_prob: 0.0,
+        };
         let model = random_dag(&cfg, &mut rng).unwrap();
         // Fix-ups alone must produce a valid single-source/sink DAG.
         assert!(model.edge_count() >= 7);
@@ -174,7 +177,10 @@ mod tests {
     #[test]
     fn full_prob_is_complete_dag() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = RandomDagConfig { vertices: 6, edge_prob: 1.0 };
+        let cfg = RandomDagConfig {
+            vertices: 6,
+            edge_prob: 1.0,
+        };
         let model = random_dag(&cfg, &mut rng).unwrap();
         assert_eq!(model.edge_count(), 6 * 5 / 2);
     }

@@ -88,7 +88,10 @@ pub fn read_model<R: BufRead>(reader: R) -> Result<ProcessModel, TextFormatError
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| TextFormatError::Parse { line: lineno, message };
+        let err = |message: String| TextFormatError::Parse {
+            line: lineno,
+            message,
+        };
 
         if let Some(rest) = line.strip_prefix("process ") {
             if started {
@@ -139,11 +142,17 @@ pub fn write_model<W: Write>(model: &ProcessModel, mut writer: W) -> Result<(), 
             OutputSpec::None => writeln!(writer, "activity {name}")?,
             OutputSpec::Constant(v) => {
                 let vals: Vec<String> = v.iter().map(i64::to_string).collect();
-                writeln!(writer, "activity {name} output constant {}", vals.join(", "))?;
+                writeln!(
+                    writer,
+                    "activity {name} output constant {}",
+                    vals.join(", ")
+                )?;
             }
             OutputSpec::Uniform(ranges) => {
-                let vals: Vec<String> =
-                    ranges.iter().map(|(lo, hi)| format!("{lo}..{hi}")).collect();
+                let vals: Vec<String> = ranges
+                    .iter()
+                    .map(|(lo, hi)| format!("{lo}..{hi}"))
+                    .collect();
                 writeln!(writer, "activity {name} output uniform {}", vals.join(", "))?;
             }
             OutputSpec::Choice(pool) => {
@@ -178,8 +187,7 @@ fn parse_output(spec: &str) -> Result<OutputSpec, String> {
         return Ok(OutputSpec::None);
     }
     if let Some(rest) = spec.strip_prefix("constant ") {
-        let vals: Result<Vec<i64>, _> =
-            rest.split(',').map(|v| v.trim().parse::<i64>()).collect();
+        let vals: Result<Vec<i64>, _> = rest.split(',').map(|v| v.trim().parse::<i64>()).collect();
         return vals
             .map(OutputSpec::Constant)
             .map_err(|_| format!("invalid constant output `{rest}`"));
@@ -212,8 +220,14 @@ fn parse_output(spec: &str) -> Result<OutputSpec, String> {
                 let (lo, hi) = r
                     .split_once("..")
                     .ok_or_else(|| format!("range `{r}` needs `lo..hi`"))?;
-                let lo: i64 = lo.trim().parse().map_err(|_| format!("bad bound in `{r}`"))?;
-                let hi: i64 = hi.trim().parse().map_err(|_| format!("bad bound in `{r}`"))?;
+                let lo: i64 = lo
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad bound in `{r}`"))?;
+                let hi: i64 = hi
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad bound in `{r}`"))?;
                 if lo > hi {
                     return Err(format!("empty range `{r}`"));
                 }
@@ -222,7 +236,9 @@ fn parse_output(spec: &str) -> Result<OutputSpec, String> {
             .collect();
         return ranges.map(OutputSpec::Uniform);
     }
-    Err(format!("unknown output spec `{spec}` (use none / constant / uniform)"))
+    Err(format!(
+        "unknown output spec `{spec}` (use none / constant / uniform)"
+    ))
 }
 
 /// Parses a condition expression. Grammar (standard precedence,
@@ -454,8 +470,16 @@ impl Parser {
         self.pos += 1;
         let right = self.term()?;
         Ok(match (left, right) {
-            (Term::Var(l), Term::Const(v)) => Condition::Cmp { index: l, op, value: v },
-            (Term::Var(l), Term::Var(r)) => Condition::CmpVar { left: l, op, right: r },
+            (Term::Var(l), Term::Const(v)) => Condition::Cmp {
+                index: l,
+                op,
+                value: v,
+            },
+            (Term::Var(l), Term::Var(r)) => Condition::CmpVar {
+                left: l,
+                op,
+                right: r,
+            },
             (Term::Const(v), Term::Var(r)) => Condition::Cmp {
                 index: r,
                 op: flip(op),
@@ -600,7 +624,11 @@ edge Auto -> Ship
         );
         assert_eq!(
             parse_condition("o[1] != o[0]").unwrap(),
-            Condition::CmpVar { left: 1, op: CmpOp::Ne, right: 0 }
+            Condition::CmpVar {
+                left: 1,
+                op: CmpOp::Ne,
+                right: 0
+            }
         );
         // Negative constants.
         assert_eq!(
@@ -612,8 +640,16 @@ edge Auto -> Ship
     #[test]
     fn condition_parser_errors() {
         for bad in [
-            "o[0] >", "&& true", "o[0] & 1", "o[0] = 1", "(o[0] > 1", "o[x] > 1",
-            "o[0] > 1 extra", "", "5", "o[0]",
+            "o[0] >",
+            "&& true",
+            "o[0] & 1",
+            "o[0] = 1",
+            "(o[0] > 1",
+            "o[x] > 1",
+            "o[0] > 1 extra",
+            "",
+            "5",
+            "o[0]",
         ] {
             assert!(parse_condition(bad).is_err(), "`{bad}` should fail");
         }

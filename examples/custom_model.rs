@@ -60,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dp.gateway.kind,
             dp.coverage,
             dp.exclusivity,
-            if dp.is_clean_xor() { "  <- clean XOR decision" } else { "" }
+            if dp.is_clean_xor() {
+                "  <- clean XOR decision"
+            } else {
+                ""
+            }
         );
         for (branch, cond) in dp.gateway.branches.iter().zip(&dp.conditions) {
             let rules: Vec<String> = cond.rules.iter().map(ToString::to_string).collect();

@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Mine the parsed log.
     let (model, algorithm) = mine_auto(&parsed, &MinerOptions::default())?;
-    println!(
-        "\nmined with {algorithm:?}: {} edges",
-        model.edge_count()
-    );
+    println!("\nmined with {algorithm:?}: {} edges", model.edge_count());
     for (u, v) in model.edges_named() {
         println!("  {u} -> {v}");
     }

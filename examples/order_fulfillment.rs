@@ -61,7 +61,10 @@ fn main() {
     let learned = learn_edge_conditions(&mined, &log, &TreeConfig::default());
     for c in &learned {
         match (&c.tree, c.rules.is_empty()) {
-            (None, _) => println!("  {} -> {}: unconditional (no outputs logged)", c.from, c.to),
+            (None, _) => println!(
+                "  {} -> {}: unconditional (no outputs logged)",
+                c.from, c.to
+            ),
             (Some(_), true) => println!("  {} -> {}: never taken", c.from, c.to),
             (Some(_), false) => {
                 let rules: Vec<String> = c.rules.iter().map(ToString::to_string).collect();

@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let log = xes::read_log(xes_bytes.as_slice())?;
     let stats = log_stats(&log);
     println!("\n== profile");
-    println!("cases: {}   activities: {}   events: ~{}", stats.executions, stats.activities, 2 * stats.total_instances);
+    println!(
+        "cases: {}   activities: {}   events: ~{}",
+        stats.executions,
+        stats.activities,
+        2 * stats.total_instances
+    );
     println!(
         "case length: min {} / avg {:.1} / max {}   distinct variants: {}",
         stats.min_len, stats.mean_len, stats.max_len, stats.distinct_sequences
@@ -68,10 +73,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== gateways");
     let gateways = analyze_gateways(&model, &log);
     for gw in &gateways.splits {
-        println!("  split at {:<8} {}  over {{{}}}", gw.activity, gw.kind, gw.branches.join(", "));
+        println!(
+            "  split at {:<8} {}  over {{{}}}",
+            gw.activity,
+            gw.kind,
+            gw.branches.join(", ")
+        );
     }
     for gw in &gateways.joins {
-        println!("  join at  {:<8} {}  over {{{}}}", gw.activity, gw.kind, gw.branches.join(", "));
+        println!(
+            "  join at  {:<8} {}  over {{{}}}",
+            gw.activity,
+            gw.kind,
+            gw.branches.join(", ")
+        );
     }
 
     // 5. Route analytics.
@@ -83,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let names: Vec<&str> = critical.iter().map(|&v| g.node(v).as_str()).collect();
             println!("critical path:   {}", names.join(" -> "));
         }
-        for (i, route) in paths::all_simple_paths(g, source, sink, 5).iter().enumerate() {
+        for (i, route) in paths::all_simple_paths(g, source, sink, 5)
+            .iter()
+            .enumerate()
+        {
             let names: Vec<&str> = route.iter().map(|&v| g.node(v).as_str()).collect();
             println!("route {}: {}", i + 1, names.join(" -> "));
         }

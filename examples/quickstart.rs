@@ -15,8 +15,7 @@ fn mine_and_print(title: &str, strings: &[&str]) {
     println!("   log: {}", strings.join(", "));
 
     let log = WorkflowLog::from_strings(strings.iter().copied()).expect("valid log");
-    let (model, algorithm) =
-        mine_auto(&log, &MinerOptions::default()).expect("mining succeeds");
+    let (model, algorithm) = mine_auto(&log, &MinerOptions::default()).expect("mining succeeds");
 
     println!("   algorithm: {algorithm:?}");
     println!(
@@ -55,5 +54,8 @@ fn main() {
     // DOT output, ready for `dot -Tpng`.
     let log = WorkflowLog::from_strings(["ABCDE", "ACDBE", "ACBDE"]).unwrap();
     let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
-    println!("== Graphviz DOT of the Example 6 model\n{}", model.to_dot("example6"));
+    println!(
+        "== Graphviz DOT of the Example 6 model\n{}",
+        model.to_dot("example6")
+    );
 }

@@ -172,7 +172,11 @@ pub fn behavioral_fitness<R: rand::Rng + ?Sized>(
     }
 
     Ok(BehavioralFitness {
-        precision: if samples == 0 { 1.0 } else { matched as f64 / samples as f64 },
+        precision: if samples == 0 {
+            1.0
+        } else {
+            matched as f64 / samples as f64
+        },
         recall: if total_variants == 0 {
             1.0
         } else {
@@ -192,8 +196,14 @@ mod tests {
     fn rule_conversion() {
         let rule = Rule {
             atoms: vec![
-                Atom::Gt { feature: 0, threshold: 500 },
-                Atom::Le { feature: 1, threshold: 70 },
+                Atom::Gt {
+                    feature: 0,
+                    threshold: 500,
+                },
+                Atom::Le {
+                    feature: 1,
+                    threshold: 70,
+                },
             ],
             support: (0, 10),
         };
@@ -202,13 +212,19 @@ mod tests {
         assert!(!cond.eval(&[400, 50]));
         assert!(!cond.eval(&[600, 80]));
 
-        let empty = Rule { atoms: vec![], support: (0, 1) };
+        let empty = Rule {
+            atoms: vec![],
+            support: (0, 1),
+        };
         assert_eq!(rule_to_condition(&empty), Condition::True);
         assert_eq!(rules_to_condition(&[]), Condition::False);
 
         // Disjunction of two rules.
         let other = Rule {
-            atoms: vec![Atom::Le { feature: 0, threshold: 10 }],
+            atoms: vec![Atom::Le {
+                feature: 0,
+                threshold: 10,
+            }],
             support: (0, 5),
         };
         let cond = rules_to_condition(&[rule, other]);
@@ -227,8 +243,7 @@ mod tests {
         let log = procmine_log::WorkflowLog::from_strings(["ABD", "ACD", "ABD"]).unwrap();
         let (mined, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let bf = behavioral_fitness(&mined, &log, &TreeConfig::default(), 100, &mut rng)
-            .unwrap();
+        let bf = behavioral_fitness(&mined, &log, &TreeConfig::default(), 100, &mut rng).unwrap();
         assert_eq!(bf.recall, 1.0);
         // No outputs are logged, so both branches are unconditional and
         // the AND-join engine runs B and C *together* — an extraneous
@@ -242,8 +257,7 @@ mod tests {
         let process = procmine_sim::presets::order_fulfillment();
         let log = procmine_sim::engine::generate_log(&process, 300, &mut rng).unwrap();
         let (mined, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
-        let bf = behavioral_fitness(&mined, &log, &TreeConfig::default(), 200, &mut rng)
-            .unwrap();
+        let bf = behavioral_fitness(&mined, &log, &TreeConfig::default(), 200, &mut rng).unwrap();
         assert_eq!(bf.recall, 1.0, "conformal ⟹ every variant replays");
         assert!(bf.precision > 0.9, "precision {}", bf.precision);
     }

@@ -196,7 +196,10 @@ fn mined_models_are_executable_round_trip() {
     let mut b = remined.edges_named();
     a.sort();
     b.sort();
-    assert_eq!(a, b, "control flow stable under the execute-mine round trip");
+    assert_eq!(
+        a, b,
+        "control flow stable under the execute-mine round trip"
+    );
 }
 
 #[test]

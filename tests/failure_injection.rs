@@ -2,8 +2,8 @@
 //! boundary conditions must produce typed errors or diagnostics — never
 //! panics or silently wrong models.
 
-use procmine::log::validate::{assemble_executions_with, AssemblyPolicy, Diagnostic};
 use procmine::log::codec::{flowmark, jsonl, seqs};
+use procmine::log::validate::{assemble_executions_with, AssemblyPolicy, Diagnostic};
 use procmine::log::{ActivityTable, EventRecord, LogError, WorkflowLog};
 use procmine::mine::{mine_auto, mine_general_dag, mine_special_dag, MineError, MinerOptions};
 
@@ -46,9 +46,12 @@ fn end_before_start_in_time_is_unmatched() {
     let err = WorkflowLog::from_events(&records).unwrap_err();
     assert!(matches!(err, LogError::UnmatchedEnd { .. }));
 
-    let report =
-        assemble_executions_with(&records, &mut table, AssemblyPolicy::Lenient).unwrap();
-    assert_eq!(report.diagnostics.len(), 2, "dangling END and dangling START");
+    let report = assemble_executions_with(&records, &mut table, AssemblyPolicy::Lenient).unwrap();
+    assert_eq!(
+        report.diagnostics.len(),
+        2,
+        "dangling END and dangling START"
+    );
     assert!(report
         .diagnostics
         .iter()
@@ -66,8 +69,7 @@ fn duplicate_end_events_are_diagnosed() {
         EventRecord::end("p1", "B", 4, None),
     ];
     let mut table = ActivityTable::new();
-    let report =
-        assemble_executions_with(&records, &mut table, AssemblyPolicy::Lenient).unwrap();
+    let report = assemble_executions_with(&records, &mut table, AssemblyPolicy::Lenient).unwrap();
     assert_eq!(report.executions.len(), 1);
     assert_eq!(report.executions[0].len(), 2);
     assert_eq!(report.diagnostics.len(), 1);
@@ -76,7 +78,10 @@ fn duplicate_end_events_are_diagnosed() {
 #[test]
 fn empty_and_whitespace_logs() {
     assert_eq!(flowmark::read_log("".as_bytes()).unwrap().len(), 0);
-    assert_eq!(seqs::read_log("\n\n# nothing\n".as_bytes()).unwrap().len(), 0);
+    assert_eq!(
+        seqs::read_log("\n\n# nothing\n".as_bytes()).unwrap().len(),
+        0
+    );
     assert_eq!(jsonl::read_log("\n\n".as_bytes()).unwrap().len(), 0);
 
     // Mining an empty log is a typed error for every algorithm.

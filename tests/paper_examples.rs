@@ -3,11 +3,11 @@
 //! acting as the "does the library reproduce the paper's narrative"
 //! checklist.
 
+use procmine::graph::DiGraph;
 use procmine::log::WorkflowLog;
 use procmine::mine::conformance::{check_execution, Violation};
 use procmine::mine::follows::FollowsAnalysis;
 use procmine::mine::{mine_auto, Algorithm, MinedModel, MinerOptions};
-use procmine::graph::DiGraph;
 
 fn idx(log: &WorkflowLog, name: &str) -> usize {
     log.activities().id(name).unwrap().index()
@@ -22,7 +22,14 @@ fn example_2_executions_of_figure_1() {
     let e = |a: &str, b: &str| (idx(&log, a), idx(&log, b));
     let g = DiGraph::from_edges(
         names,
-        [e("A", "B"), e("A", "C"), e("B", "E"), e("C", "D"), e("C", "E"), e("D", "E")],
+        [
+            e("A", "B"),
+            e("A", "C"),
+            e("B", "E"),
+            e("C", "D"),
+            e("C", "E"),
+            e("D", "E"),
+        ],
     );
     let model = MinedModel::from_graph(g);
     for exec in log.executions() {
@@ -41,7 +48,10 @@ fn example_3_dependencies() {
     let f = FollowsAnalysis::analyze(&log);
     let (a, b, d) = (idx(&log, "A"), idx(&log, "B"), idx(&log, "D"));
     assert!(f.depends(a, b), "B depends on A");
-    assert!(f.independent(b, d), "B and D independent (D follows B via C)");
+    assert!(
+        f.independent(b, d),
+        "B and D independent (D follows B via C)"
+    );
 
     let log = WorkflowLog::from_strings(["ABCE", "ACDE", "ADBE", "ADCE"]).unwrap();
     let f = FollowsAnalysis::analyze(&log);
@@ -57,7 +67,14 @@ fn example_4_consistency() {
     let e = |a: &str, b: &str| (idx(&log, a), idx(&log, b));
     let g = DiGraph::from_edges(
         names,
-        [e("A", "B"), e("A", "C"), e("B", "E"), e("C", "D"), e("C", "E"), e("D", "E")],
+        [
+            e("A", "B"),
+            e("A", "C"),
+            e("B", "E"),
+            e("C", "D"),
+            e("C", "E"),
+            e("D", "E"),
+        ],
     );
     let model = MinedModel::from_graph(g);
 
@@ -138,7 +155,10 @@ fn example_8_cyclic() {
     let log = WorkflowLog::from_strings(["ABDCE", "ABDCBCE", "ABCBDCE", "ADE"]).unwrap();
     let (model, algorithm) = mine_auto(&log, &MinerOptions::default()).unwrap();
     assert_eq!(algorithm, Algorithm::Cyclic);
-    assert!(model.has_edge("B", "C") && model.has_edge("C", "B"), "B⇄C cycle");
+    assert!(
+        model.has_edge("B", "C") && model.has_edge("C", "B"),
+        "B⇄C cycle"
+    );
     assert!(model.has_edge("A", "B") && model.has_edge("A", "D"));
     assert!(model.has_edge("C", "E") && model.has_edge("D", "E"));
 }

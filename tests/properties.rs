@@ -216,6 +216,113 @@ proptest! {
     }
 
     #[test]
+    fn parallel_matches_serial_with_more_threads_than_executions(
+        log in arb_log(3),
+        threads in 8usize..64,
+    ) {
+        // Degenerate chunking: most threads receive no executions at
+        // all; merge-at-join must still reproduce the serial result.
+        use procmine::mine::mine_general_dag_parallel_instrumented;
+        use procmine::mine::MinerMetrics;
+        let mut serial_metrics = MinerMetrics::new();
+        let serial = procmine::mine::mine_general_dag_instrumented(
+            &log, &MinerOptions::default(), &mut serial_metrics,
+        ).unwrap();
+        let mut parallel_metrics = MinerMetrics::new();
+        let parallel = mine_general_dag_parallel_instrumented(
+            &log, &MinerOptions::default(), threads, &mut parallel_metrics,
+        ).unwrap();
+        let mut a = serial.edges_named(); a.sort();
+        let mut b = parallel.edges_named(); b.sort();
+        prop_assert_eq!(a, b);
+        let mut sa = serial.edge_support().to_vec(); sa.sort();
+        let mut sb = parallel.edge_support().to_vec(); sb.sort();
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(serial_metrics.counters(), parallel_metrics.counters());
+    }
+
+    #[test]
+    fn order_counts_strict_on_zero_duration_ties(
+        execs in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, 0u64..4), 1..8),
+            1..8,
+        )
+    ) {
+        // Zero-duration instances crowded onto 4 timestamps: many pairs
+        // share a stamp exactly, where the strict `<` rule must count
+        // neither direction as ordered.
+        use procmine::log::EventRecord;
+        use procmine::mine::follows::OrderCounts;
+        const NAMES: [&str; 5] = ["A", "B", "C", "D", "E"];
+        let mut records = Vec::new();
+        for (i, instances) in execs.iter().enumerate() {
+            let case = format!("p{i}");
+            let mut instances = instances.clone();
+            instances.sort_by_key(|&(_, t)| t);
+            for &(a, t) in &instances {
+                records.push(EventRecord::start(case.clone(), NAMES[a], t));
+                records.push(EventRecord::end(case.clone(), NAMES[a], t, None));
+            }
+        }
+        let log = WorkflowLog::from_events(&records).unwrap();
+        let counts = OrderCounts::from_log(&log);
+
+        // Independent oracle over the assembled log.
+        let n = log.activities().len();
+        let mut expect_ordered = vec![0u32; n * n];
+        let mut expect_cooccur = vec![0u32; n * n];
+        for exec in log.executions() {
+            let mut min_start = vec![u64::MAX; n];
+            let mut max_end = vec![0u64; n];
+            let mut present = vec![false; n];
+            for inst in exec.instances() {
+                let a = inst.activity.index();
+                present[a] = true;
+                min_start[a] = min_start[a].min(inst.start);
+                max_end[a] = max_end[a].max(inst.end);
+            }
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && present[u] && present[v] {
+                        expect_cooccur[u * n + v] += 1;
+                        if max_end[u] < min_start[v] {
+                            expect_ordered[u * n + v] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if u == v { continue; }
+                prop_assert_eq!(counts.cooccur(u, v), expect_cooccur[u * n + v]);
+                prop_assert_eq!(counts.ordered(u, v), expect_ordered[u * n + v]);
+                // A pair sharing its only timestamp is unordered both
+                // ways, never ordered both ways.
+                prop_assert!(
+                    counts.ordered(u, v) + counts.ordered(v, u) <= counts.cooccur(u, v),
+                    "ordered counts cannot exceed co-occurrences"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_miners_match_plain(log in arb_log(8)) {
+        use procmine::mine::{mine_auto_instrumented, MinerMetrics};
+        let mut metrics = MinerMetrics::new();
+        let (instrumented, alg_a) =
+            mine_auto_instrumented(&log, &MinerOptions::default(), &mut metrics).unwrap();
+        let (plain, alg_b) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        prop_assert_eq!(alg_a, alg_b);
+        let mut a = instrumented.edges_named(); a.sort();
+        let mut b = plain.edges_named(); b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(metrics.executions_scanned, log.len() as u64);
+        prop_assert_eq!(metrics.edges_final, instrumented.edge_count() as u64);
+    }
+
+    #[test]
     fn incremental_matches_batch_on_arbitrary_logs(log in arb_log(10)) {
         use procmine::mine::IncrementalMiner;
         let mut inc = IncrementalMiner::new(MinerOptions::default());

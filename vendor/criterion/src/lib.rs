@@ -1,0 +1,283 @@
+//! A minimal, std-only stand-in for
+//! [`criterion`](https://crates.io/crates/criterion), vendored because
+//! this build environment has no registry access.
+//!
+//! Provides the group/bencher API surface the workspace's benches use,
+//! backed by a plain wall-clock timing loop (fixed warm-up, fixed
+//! sample count, median-of-samples reporting) instead of criterion's
+//! statistical machinery. Benches compiled with `harness = false` run
+//! as normal binaries and print one line per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs the timing loop.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each timed sample.
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms have elapsed to stabilize caches,
+        // measuring how many iterations fit a sample.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Aim each sample at ~10ms of work.
+        let iters_per_sample = ((10_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.into_benchmark_id().id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &str, bencher: &Bencher) {
+        let ns = bencher.median_ns();
+        let mut line = format!("{}/{}  {}", self.name, id, format_ns(ns));
+        if ns > 0.0 {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 / (ns / 1e9);
+                    let _ = write!(line, "  ({per_sec:.0} elem/s)");
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = n as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+                    let _ = write!(line, "  ({per_sec:.1} MiB/s)");
+                }
+                None => {}
+            }
+        }
+        self.criterion.lines.push(line.clone());
+        println!("{line}");
+    }
+
+    /// Ends the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into a [`BenchmarkId`] for `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Converts to an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert!(!c.lines.is_empty());
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

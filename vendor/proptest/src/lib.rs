@@ -1,0 +1,460 @@
+//! A minimal, std-only stand-in for
+//! [`proptest`](https://crates.io/crates/proptest), vendored because
+//! this build environment has no registry access.
+//!
+//! Provides deterministic random-input testing without shrinking: each
+//! `proptest!` test derives a fixed RNG seed from its path, generates
+//! `Config::cases` inputs from its strategies, and runs the body with
+//! `prop_assert*` mapped onto the std `assert*` macros. On failure the
+//! panic message reports the case number so the failure is reproducible
+//! (the stream is a pure function of the test path and case index).
+//!
+//! Covered API: `Strategy` (`prop_map`, `prop_shuffle`), ranges and
+//! tuples as strategies, `Just`, `sample::subsequence`,
+//! `collection::vec`, `ProptestConfig::with_cases`, and the `proptest!`
+//! / `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving generation.
+
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Run configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random inputs to run each test body with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 generator, seeded from the test path so runs are
+    /// reproducible.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a deterministic generator for a named test.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            TestRng {
+                state: h.finish() ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (n > 0), via Lemire's widening
+        /// multiply with rejection of the biased low region.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let mut wide = (self.next_u64() as u128) * (n as u128);
+            let mut lo = wide as u64;
+            if lo < n {
+                let threshold = n.wrapping_neg() % n;
+                while lo < threshold {
+                    wide = (self.next_u64() as u128) * (n as u128);
+                    lo = wide as u64;
+                }
+            }
+            (wide >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Shuffles generated collections.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+            Self::Value: ShuffleOps,
+        {
+            Shuffle { inner: self }
+        }
+    }
+
+    /// Collections whose element order can be randomized in place.
+    pub trait ShuffleOps {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle_with(&mut self, rng: &mut TestRng);
+    }
+
+    impl<T> ShuffleOps for Vec<T> {
+        fn shuffle_with(&mut self, rng: &mut TestRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.below((i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_shuffle`].
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Shuffle<S>
+    where
+        S::Value: ShuffleOps,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let mut v = self.inner.generate(rng);
+            v.shuffle_with(rng);
+            v
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(width) as $ty)
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128 + 1) as u64;
+                    if width == 0 {
+                        // Full-width range: raw sample.
+                        return rng.next_u64() as $ty;
+                    }
+                    lo.wrapping_add(rng.below(width) as $ty)
+                }
+            }
+        )*};
+    }
+    range_strategy!(usize, u64, u32, i64, i32, u8, u16);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+/// Length constraints for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut test_runner::TestRng) -> usize {
+        let width = self.hi - self.lo + 1;
+        self.lo + rng.below(width as u64) as usize
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+pub mod sample {
+    //! Strategies sampling from explicit value pools.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use crate::SizeRange;
+
+    /// Strategy yielding order-preserving random subsequences of a
+    /// source vector.
+    pub struct Subsequence<T: Clone> {
+        pool: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Picks a random subsequence (order-preserving subset) of `pool`
+    /// whose length falls in `size`.
+    pub fn subsequence<T: Clone>(pool: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            pool,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.pool.len();
+            let k = self.size.pick(rng).min(n);
+            // Choose k distinct indices via a partial Fisher-Yates,
+            // then restore source order.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + rng.below((n - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.pool[i].clone()).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies building collections of generated elements.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use crate::SizeRange;
+
+    /// Strategy yielding vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`, with each
+    /// element drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __strategies = ($($strat,)+);
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __inputs =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let __run = || {
+                    let ($($arg,)+) = __inputs;
+                    $body
+                };
+                if let Err(payload) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__run),
+                ) {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} (deterministic seed; \
+                         re-run reproduces it)",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0i64..=0).generate(&mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = crate::test_runner::TestRng::for_test("subseq");
+        let pool: Vec<u32> = (0..10).collect();
+        for _ in 0..200 {
+            let s = crate::sample::subsequence(pool.clone(), 0..=10).generate(&mut rng);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = crate::test_runner::TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..5, 2..4).generate(&mut rng);
+            assert!(v.len() == 2 || v.len() == 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_grammar_works(x in 0usize..10, y in 0usize..10) {
+            prop_assert!(x < 10);
+            prop_assert_ne!(x + y + 1, 0);
+        }
+    }
+}

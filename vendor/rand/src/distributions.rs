@@ -1,0 +1,274 @@
+//! Standard and uniform distributions, reproducing rand 0.8's exact
+//! sampling algorithms so seeded value streams match the real crate.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable with `rng.gen::<T>()` (rand's `Standard`
+/// distribution).
+pub trait StandardSample: Sized {
+    /// Samples one value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardSample for u16 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for usize {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 on 64-bit targets samples usize as u64.
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for i32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl StandardSample for i64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: one u32, test the sign bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for f64: 53 high bits scaled to [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with `rng.gen_range(..)`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range. Panics if empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply: `(high, low)` words of `a * b`.
+trait WideMul: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+macro_rules! wmul_impl {
+    ($ty:ty, $wide:ty, $bits:expr) => {
+        impl WideMul for $ty {
+            #[inline]
+            fn wmul(self, other: Self) -> (Self, Self) {
+                let tmp = (self as $wide) * (other as $wide);
+                ((tmp >> $bits) as $ty, tmp as $ty)
+            }
+        }
+    };
+}
+wmul_impl!(u32, u64, 32);
+wmul_impl!(u64, u128, 64);
+wmul_impl!(usize, u128, 64); // 64-bit targets
+
+macro_rules! uniform_int_impl {
+    ($fname:ident, $ty:ty, $uty:ty) => {
+        /// rand 0.8 `UniformInt::sample_single_inclusive`: widening-
+        /// multiply rejection sampling with a range-specific zone.
+        #[inline]
+        fn $fname<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+            let range = (high.wrapping_sub(low) as $uty).wrapping_add(1);
+            if range == 0 {
+                // The full integer range: any sample is uniform.
+                return <$uty as StandardSample>::sample_standard(rng) as $ty;
+            }
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v = <$uty as StandardSample>::sample_standard(rng);
+                let (hi, lo) = v.wmul(range);
+                if lo <= zone {
+                    return low.wrapping_add(hi as $ty);
+                }
+            }
+        }
+
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                $fname(self.start, self.end - 1, rng)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                $fname(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_int_impl!(sample_u32, u32, u32);
+uniform_int_impl!(sample_i32, i32, u32);
+uniform_int_impl!(sample_u64, u64, u64);
+uniform_int_impl!(sample_i64, i64, u64);
+uniform_int_impl!(sample_usize, usize, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // rand 0.8 `UniformFloat::sample_single`:
+        // value0_1 * scale + low, with scale = high - low.
+        let scale = self.end - self.start;
+        let value0_1 = f64::sample_standard(rng);
+        value0_1 * scale + self.start
+    }
+}
+
+/// Explicit distribution objects usable with `rng.sample(..)`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample_dist<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// rand 0.8's Bernoulli distribution: probability scaled to 2⁶⁴.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+/// Error for out-of-range Bernoulli probabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BernoulliError;
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+// 2^64 as f64 (p is scaled by 2 * 2^63 to stay in f64 range).
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution returning `true` with
+    /// probability `p`.
+    #[inline]
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError);
+        }
+        Ok(Bernoulli {
+            p_int: (p * SCALE) as u64,
+        })
+    }
+
+    /// Samples the distribution.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        let v: u64 = rng.gen();
+        v < self.p_int
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample_dist<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        self.sample(rng)
+    }
+}
+
+/// The standard distribution as a unit struct, for
+/// `rng.sample(Standard)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl<T: StandardSample> Distribution<T> for Standard {
+    #[inline]
+    fn sample_dist<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let x = rng.gen_range(0usize..1);
+            assert_eq!(x, 0);
+            let f = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn standard_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

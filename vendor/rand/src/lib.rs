@@ -1,0 +1,132 @@
+//! A minimal, std-only stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, vendored because this build environment has no registry access.
+//!
+//! Only the API surface procmine uses is provided: [`RngCore`], [`Rng`]
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom::shuffle`].
+//!
+//! **Bit-compatibility:** `StdRng` reproduces rand 0.8's `StdRng`
+//! exactly — a ChaCha12 block cipher stream seeded via `rand_core`'s
+//! PCG32-based `seed_from_u64`, with Lemire widening-multiply range
+//! sampling and the 2⁶⁴-scaled Bernoulli. Checked-in golden files that
+//! were generated with the real crate therefore keep their byte-exact
+//! outputs under this stand-in.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with the same
+    /// PCG32 stream rand_core 0.6 uses, so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing generator methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::StandardSample,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples a value uniformly from the given range (`a..b` or
+    /// `a..=b`). Panics on an empty range.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        distributions::Bernoulli::new(p)
+            .expect("gen_bool: probability out of range")
+            .sample(self)
+    }
+
+    /// Samples from an explicit distribution object.
+    #[inline]
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample_dist(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    //! Convenience re-exports.
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

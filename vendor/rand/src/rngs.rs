@@ -1,0 +1,64 @@
+//! Concrete generators.
+
+use crate::chacha::{BlockRng, ChaCha12Core};
+use crate::{RngCore, SeedableRng};
+
+/// The standard generator: ChaCha12, matching rand 0.8's `StdRng`
+/// word-for-word for identical seeds.
+#[derive(Clone, Debug)]
+pub struct StdRng(BlockRng);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(BlockRng::new(ChaCha12Core::from_seed(seed)))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Alias kept for API compatibility; the real crate's `SmallRng` is a
+/// different algorithm, but nothing in this workspace relies on its
+/// exact stream.
+pub type SmallRng = StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Bit-compatibility with the real rand 0.8 StdRng is verified
+    // end-to-end by the repo's RNG-dependent golden files
+    // (tests/golden), which were generated with the real crate.
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

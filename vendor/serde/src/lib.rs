@@ -1,0 +1,465 @@
+//! A minimal, std-only stand-in for [`serde`](https://crates.io/crates/serde),
+//! vendored because this build environment has no registry access.
+//!
+//! Instead of serde's zero-copy visitor architecture, this stand-in
+//! converts through an owned [`Value`] tree: `Serialize` renders a type
+//! *to* a `Value`, `Deserialize` rebuilds it *from* one. The vendored
+//! `serde_json` then maps `Value` to and from JSON text. Semantics
+//! relevant to this workspace match real serde:
+//!
+//! - struct fields serialize in declaration order;
+//! - `Option` fields accept a missing key as `None`;
+//! - unknown fields are ignored;
+//! - enums use the externally-tagged representation;
+//! - newtype structs are transparent;
+//! - `#[serde(skip)]` and `#[serde(skip_serializing_if = "..")]` are
+//!   honoured by the derive.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate tree both traits convert through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (positive ones parse as [`Value::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (JSON array).
+    Seq(Vec<Value>),
+    /// A map (JSON object), preserving insertion order. Keys are
+    /// `Value` so that maps with non-string keys still serialize; JSON
+    /// text itself only supports string keys.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Looks up a string key in a [`Value::Map`]; `None` for other
+    /// variants or absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+}
+
+// `Value` round-trips through itself, so generic code (and tests) can
+// deserialize into `Value` to inspect arbitrary documents.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: Value) -> Result<Self, DeError> {
+        Ok(value)
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An arbitrary error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" for a mismatched `Value` shape.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError {
+            msg: format!("expected {what}, found {}", got.type_name()),
+        }
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{variant}` for {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type renderable to a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the intermediate tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the intermediate tree.
+    fn from_value(v: Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field of this type is absent from the
+    /// input. `Option` overrides this to produce `None`; everything
+    /// else errors, like real serde.
+    fn absent(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+/// Derive-internal helper: pops a named field out of a struct map,
+/// falling back to [`Deserialize::absent`] when missing. Leftover keys
+/// are ignored, matching serde's default.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(map: &mut Vec<(Value, Value)>, name: &str) -> Result<T, DeError> {
+    if let Some(pos) = map
+        .iter()
+        .position(|(k, _)| matches!(k, Value::Str(s) if s == name))
+    {
+        let (_, v) = map.remove(pos);
+        T::from_value(v)
+    } else {
+        T::absent(name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+fn de_u64(v: Value) -> Result<u64, DeError> {
+    match v {
+        Value::U64(n) => Ok(n),
+        Value::I64(n) if n >= 0 => Ok(n as u64),
+        other => Err(DeError::expected("unsigned integer", &other)),
+    }
+}
+
+fn de_i64(v: Value) -> Result<i64, DeError> {
+    match v {
+        Value::I64(n) => Ok(n),
+        Value::U64(n) => {
+            i64::try_from(n).map_err(|_| DeError::custom(format!("integer {n} overflows i64")))
+        }
+        other => Err(DeError::expected("integer", &other)),
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(v: Value) -> Result<Self, DeError> {
+                let n = de_u64(v)?;
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(v: Value) -> Result<Self, DeError> {
+                let n = de_i64(v)?;
+                <$ty>::try_from(n)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(DeError::expected("number", &other)),
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(DeError::expected("bool", &other)),
+        }
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::expected("string", &other)),
+        }
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", &other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+    fn absent(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", &other)),
+        }
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", &other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($name:ident),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($($name::from_value(it.next().unwrap())?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("sequence of length ", $len), &other)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_is_none() {
+        let r: Result<Option<u32>, _> = Deserialize::absent("x");
+        assert_eq!(r, Ok(None));
+        let r: Result<u32, _> = Deserialize::absent("x");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(i64::from_value(Value::U64(5)), Ok(5));
+        assert_eq!(u64::from_value(Value::I64(5)), Ok(5));
+        assert!(u64::from_value(Value::I64(-1)).is_err());
+        assert_eq!(f64::from_value(Value::U64(2)), Ok(2.0));
+    }
+
+    #[test]
+    fn field_removal_ignores_unknown_keys() {
+        let mut map = vec![
+            (Value::Str("a".into()), Value::U64(1)),
+            (Value::Str("zz".into()), Value::Null),
+        ];
+        let a: u32 = __field(&mut map, "a").unwrap();
+        assert_eq!(a, 1);
+        let b: Option<u32> = __field(&mut map, "b").unwrap();
+        assert_eq!(b, None);
+    }
+}

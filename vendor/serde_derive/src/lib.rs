@@ -1,0 +1,543 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in. No `syn`/`quote` (the registry is offline):
+//! the item is parsed directly from the `proc_macro::TokenStream` and the
+//! impl is emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named structs, newtype/tuple structs, generic structs, and enums with
+//! unit/newtype/tuple/struct variants (externally tagged). Supported
+//! attributes: `#[serde(skip)]` and
+//! `#[serde(skip_serializing_if = "path")]` on named struct fields.
+//! Other attributes (doc comments, `#[default]`, …) are ignored.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+fn ident_str(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected identifier, found `{other}`"),
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Parses one `#[...]` bracket group, recording the serde attributes we
+/// understand.
+fn scan_attr(attr: &Group, skip: &mut bool, skip_if: &mut Option<String>) {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if toks.len() != 2 {
+        return;
+    }
+    if ident_opt(&toks[0]).as_deref() != Some("serde") {
+        return;
+    }
+    let TokenTree::Group(args) = &toks[1] else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match ident_opt(&args[i]).as_deref() {
+            Some("skip") => {
+                *skip = true;
+                i += 1;
+            }
+            Some("skip_serializing_if") => {
+                // skip_serializing_if = "path::to::pred"
+                i += 1; // '='
+                i += 1; // literal
+                if let Some(TokenTree::Literal(lit)) = args.get(i - 1) {
+                    let s = lit.to_string();
+                    *skip_if = Some(s.trim_matches('"').to_string());
+                }
+            }
+            _ => i += 1,
+        }
+        // step over a separating comma if present
+        if is_punct(args.get(i), ',') {
+            i += 1;
+        }
+    }
+}
+
+fn ident_opt(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances `i` past attributes and a visibility modifier, scanning
+/// serde attributes into the output slots.
+fn skip_attrs_and_vis(
+    toks: &[TokenTree],
+    i: &mut usize,
+    skip: &mut bool,
+    skip_if: &mut Option<String>,
+) {
+    loop {
+        if is_punct(toks.get(*i), '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                scan_attr(g, skip, skip_if);
+            }
+            *i += 2;
+        } else if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut since_comma = false;
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        since_comma = true;
+    }
+    if since_comma {
+        commas + 1
+    } else {
+        commas
+    }
+}
+
+/// Parses a `{ name: Type, ... }` field list.
+fn parse_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        let mut skip_if = None;
+        skip_attrs_and_vis(&toks, &mut i, &mut skip, &mut skip_if);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]);
+        i += 1; // name
+        i += 1; // ':'
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            skip_serializing_if: skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        let mut skip_if = None;
+        skip_attrs_and_vis(&toks, &mut i, &mut skip, &mut skip_if);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]);
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_fields(body))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(body))
+            }
+            _ => VariantFields::Unit,
+        };
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let (mut skip, mut skip_if) = (false, None);
+    skip_attrs_and_vis(&toks, &mut i, &mut skip, &mut skip_if);
+    let kw = ident_str(&toks[i]);
+    i += 1;
+    let name = ident_str(&toks[i]);
+    i += 1;
+    let mut generics = Vec::new();
+    if is_punct(toks.get(i), '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        while depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_fields(body))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(body))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(body))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn generics_strings(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g = format!(
+        "<{}>",
+        params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let ty_g = format!("<{}>", params.join(", "));
+    (impl_g, ty_g)
+}
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let mut s = String::from("let mut __fields: Vec<(serde::Value, serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let push = format!(
+            "__fields.push((serde::Value::Str(\"{n}\".to_string()), \
+             serde::Serialize::to_value(&{p}{n})));",
+            n = f.name,
+            p = access_prefix,
+        );
+        match &f.skip_serializing_if {
+            Some(pred) => {
+                s.push_str(&format!(
+                    "if !{pred}(&{p}{n}) {{ {push} }}\n",
+                    p = access_prefix,
+                    n = f.name
+                ));
+            }
+            None => {
+                s.push_str(&push);
+                s.push('\n');
+            }
+        }
+    }
+    s.push_str("serde::Value::Map(__fields)");
+    s
+}
+
+fn named_fields_from_map(ty_path: &str, fields: &[Field]) -> String {
+    let mut s = format!("Ok({ty_path} {{\n");
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!("{}: std::default::Default::default(),\n", f.name));
+        } else {
+            s.push_str(&format!(
+                "{n}: serde::__field(&mut __m, \"{n}\")?,\n",
+                n = f.name
+            ));
+        }
+    }
+    s.push_str("})");
+    s
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let (impl_g, ty_g) = generics_strings(&input.generics, "serde::Serialize");
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => named_fields_to_map(fields, "self."),
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => s.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantFields::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::Value::Map(vec![(\
+                         serde::Value::Str(\"{vn}\".to_string()), \
+                         serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Map(vec![(\
+                             serde::Value::Str(\"{vn}\".to_string()), \
+                             serde::Value::Seq(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __fields: Vec<(serde::Value, serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((serde::Value::Str(\"{n}\".to_string()), \
+                                 serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} \
+                             serde::Value::Map(vec![(serde::Value::Str(\"{vn}\".to_string()), \
+                             serde::Value::Map(__fields))]) }},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl{impl_g} serde::Serialize for {name}{ty_g} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let (impl_g, ty_g) = generics_strings(&input.generics, "serde::Deserialize");
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let build = named_fields_from_map(name, fields);
+            format!(
+                "match __v {{\n\
+                     serde::Value::Map(mut __m) => {{ let _ = &mut __m; {build} }}\n\
+                     __other => Err(serde::DeError::expected(\"map\", &__other)),\n\
+                 }}"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| "serde::Deserialize::from_value(__it.next().unwrap())?".to_string())
+                .collect();
+            format!(
+                "match __v {{\n\
+                     serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                         let mut __it = __items.into_iter();\n\
+                         Ok({name}({items}))\n\
+                     }}\n\
+                     __other => Err(serde::DeError::expected(\"sequence of length {n}\", &__other)),\n\
+                 }}",
+                items = items.join(", "),
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match __v {{\n\
+                 serde::Value::Null => Ok({name}),\n\
+                 __other => Err(serde::DeError::expected(\"null\", &__other)),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            let mut has_payload = false;
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantFields::Tuple(1) => {
+                        has_payload = true;
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             serde::Deserialize::from_value(__content)?)),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        has_payload = true;
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "serde::Deserialize::from_value(__it.next().unwrap())?".to_string()
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __content {{\n\
+                                 serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                                     let mut __it = __items.into_iter();\n\
+                                     Ok({name}::{vn}({items}))\n\
+                                 }}\n\
+                                 __other => Err(serde::DeError::expected(\
+                                     \"sequence of length {n}\", &__other)),\n\
+                             }},\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        has_payload = true;
+                        let build = named_fields_from_map(&format!("{name}::{vn}"), fields);
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __content {{\n\
+                                 serde::Value::Map(mut __m) => {{ let _ = &mut __m; {build} }}\n\
+                                 __other => Err(serde::DeError::expected(\"map\", &__other)),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            let map_arm = if has_payload {
+                format!(
+                    "serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __content) = __m.into_iter().next().unwrap();\n\
+                         let __tag = match __k {{\n\
+                             serde::Value::Str(__s) => __s,\n\
+                             __other => return Err(serde::DeError::expected(\
+                                 \"string variant tag\", &__other)),\n\
+                         }};\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             _ => Err(serde::DeError::unknown_variant(&__tag, \"{name}\")),\n\
+                         }}\n\
+                     }}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         _ => Err(serde::DeError::unknown_variant(&__s, \"{name}\")),\n\
+                     }},\n\
+                     {map_arm}\
+                     __other => Err(serde::DeError::expected(\"enum value\", &__other)),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl{impl_g} serde::Deserialize for {name}{ty_g} {{\n\
+             fn from_value(__v: serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
