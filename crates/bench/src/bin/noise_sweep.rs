@@ -49,7 +49,8 @@ fn main() {
     // Part 1: fixed ε, sweep T — Example 9's failure mode at T too low,
     // plus degradation when T is far too high.
     let eps = 0.05;
-    let t_opt = optimal_threshold(m as u64, eps);
+    let t_opt =
+        u32::try_from(optimal_threshold(m as u64, eps)).expect("threshold fits u32 at this m");
     println!("ε = {eps}: optimal T = {t_opt}");
     let mut table = TextTable::new(["T", "precision", "recall", "exact"]);
     for t in [1u32, 5, 20, t_opt, 2 * t_opt, (m as u32) / 2] {
@@ -75,7 +76,8 @@ fn main() {
         "ln P[false]",
     ]);
     for eps in [0.01, 0.02, 0.05, 0.10, 0.20, 0.30] {
-        let t = optimal_threshold(m as u64, eps);
+        let t =
+            u32::try_from(optimal_threshold(m as u64, eps)).expect("threshold fits u32 at this m");
         let (p, r, exact) = mine_quality(&model, m, eps, t, 7);
         table.row([
             format!("{eps}"),
@@ -83,8 +85,11 @@ fn main() {
             format!("{p:.3}"),
             format!("{r:.3}"),
             exact.to_string(),
-            format!("{:.1}", ln_prob_dependency_lost(m as u64, t as u64, eps)),
-            format!("{:.1}", ln_prob_false_dependency(m as u64, t as u64)),
+            format!(
+                "{:.1}",
+                ln_prob_dependency_lost(m as u64, u64::from(t), eps)
+            ),
+            format!("{:.1}", ln_prob_false_dependency(m as u64, u64::from(t))),
         ]);
     }
     println!("{}", table.render());
@@ -98,7 +103,8 @@ fn main() {
     // with the robust model and re-mine; the chain comes back exactly.
     let mut table = TextTable::new(["eps", "kept execs", "precision", "recall", "exact"]);
     for eps in [0.02, 0.05, 0.10, 0.20] {
-        let t = optimal_threshold(m as u64, eps);
+        let t =
+            u32::try_from(optimal_threshold(m as u64, eps)).expect("threshold fits u32 at this m");
         let mut rng = StdRng::seed_from_u64(42);
         let clean = walk::random_walk_log(&model, m, &mut rng).expect("log");
         let noisy = corrupt_log(&clean, &NoiseConfig::swap_only(eps), &mut rng);

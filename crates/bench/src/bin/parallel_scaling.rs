@@ -7,7 +7,10 @@
 //! match. Run with `--release`.
 
 use procmine_bench::{synthetic_workload, TextTable};
-use procmine_core::{mine_general_dag, mine_general_dag_parallel, MinerOptions};
+use procmine_core::{
+    mine_general_dag, mine_general_dag_parallel, mine_general_dag_parallel_instrumented,
+    MinerMetrics, MinerOptions, Stage,
+};
 use std::time::Instant;
 
 fn main() {
@@ -24,6 +27,7 @@ fn main() {
         "2 thr",
         "4 thr",
         "8 thr",
+        "cpu/wall@8",
         "same output",
     ]);
 
@@ -49,6 +53,16 @@ fn main() {
                 b.sort();
                 all_match &= a == b;
             }
+
+            // Parallel efficiency at 8 threads: CPU-ns summed across
+            // workers over wall-ns at the two join barriers. Near the
+            // thread count means the workers stayed busy.
+            let mut metrics = MinerMetrics::new();
+            mine_general_dag_parallel_instrumented(&log, &MinerOptions::default(), 8, &mut metrics)
+                .expect("mine");
+            let cpu = metrics.stage_nanos(Stage::CountPairs) + metrics.stage_nanos(Stage::Reduce);
+            let wall = metrics.wall_nanos(Stage::CountPairs) + metrics.wall_nanos(Stage::Reduce);
+            row.push(format!("{:.2}x", cpu as f64 / wall.max(1) as f64));
             row.push(all_match.to_string());
             table.row(row);
         }

@@ -1,9 +1,11 @@
 //! End-to-end conditions mining: one learned condition per model edge.
 
+use crate::telemetry::ClassifyMetrics;
 use crate::{edge_training_set, rules_of, Dataset, DecisionTree, Rule, TreeConfig};
-use procmine_core::MinedModel;
+use procmine_core::{MetricsSink, MinedModel, NullSink};
 use procmine_log::ActivityId;
 use procmine_log::WorkflowLog;
+use std::time::Instant;
 
 /// The learned condition for one edge of a mined model.
 #[derive(Debug, Clone)]
@@ -46,6 +48,20 @@ pub fn learn_edge_conditions(
     log: &WorkflowLog,
     cfg: &TreeConfig,
 ) -> Vec<LearnedCondition> {
+    learn_edge_conditions_instrumented(model, log, cfg, &mut NullSink)
+}
+
+/// [`learn_edge_conditions`] with telemetry: counts edges, extracted
+/// training rows, evaluated splits, fitted trees and their maximum
+/// depth, plus the end-to-end learn time, into `sink` (see
+/// [`ClassifyMetrics`]). With [`NullSink`] this is the plain twin.
+pub fn learn_edge_conditions_instrumented<S: MetricsSink<ClassifyMetrics>>(
+    model: &MinedModel,
+    log: &WorkflowLog,
+    cfg: &TreeConfig,
+    sink: &mut S,
+) -> Vec<LearnedCondition> {
+    let started = S::ENABLED.then(Instant::now);
     let mut out = Vec::with_capacity(model.edge_count());
     for (u, v) in model.graph().edges() {
         let ua = ActivityId::from_index(u.index());
@@ -53,9 +69,18 @@ pub fn learn_edge_conditions(
         let from = model.name_of(u).to_string();
         let to = model.name_of(v).to_string();
         let ds: Option<Dataset> = edge_training_set(log, ua, va);
+        if S::ENABLED {
+            let rows = ds.as_ref().map_or(0, |d| d.len() as u64);
+            let no_outputs = u64::from(ds.is_none());
+            sink.record(|m| {
+                m.edges_considered += 1;
+                m.rows_extracted += rows;
+                m.edges_without_outputs += no_outputs;
+            });
+        }
         match ds {
             Some(ds) => {
-                let tree = DecisionTree::fit(&ds, cfg);
+                let tree = DecisionTree::fit_instrumented(&ds, cfg, sink);
                 let rules = rules_of(&tree);
                 let support = (ds.len() - ds.positives(), ds.positives());
                 out.push(LearnedCondition {
@@ -89,6 +114,10 @@ pub fn learn_edge_conditions(
                 });
             }
         }
+    }
+    if let Some(s) = started {
+        let nanos = s.elapsed().as_nanos() as u64;
+        sink.record(|m| m.learn_nanos += nanos);
     }
     out
 }
@@ -131,6 +160,54 @@ mod tests {
         assert!(fraud.train_accuracy > 0.98);
         assert!(fraud.predict(&[100, 90]));
         assert!(!fraud.predict(&[100, 10]));
+    }
+
+    #[test]
+    fn instrumented_learning_matches_plain() {
+        let model = presets::order_fulfillment();
+        let mut rng = StdRng::seed_from_u64(7);
+        let log = engine::generate_log(&model, 200, &mut rng).unwrap();
+        let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+
+        let plain = learn_edge_conditions(&mined, &log, &TreeConfig::default());
+        let mut metrics = ClassifyMetrics::new();
+        let instrumented =
+            learn_edge_conditions_instrumented(&mined, &log, &TreeConfig::default(), &mut metrics);
+
+        assert_eq!(plain.len(), instrumented.len());
+        let mut max_depth = 0u64;
+        let mut rows = 0u64;
+        for (a, b) in plain.iter().zip(&instrumented) {
+            assert_eq!((&a.from, &a.to, a.support), (&b.from, &b.to, b.support));
+            assert_eq!(a.train_accuracy, b.train_accuracy);
+            assert_eq!(a.tree.is_some(), b.tree.is_some());
+            if let Some(t) = &b.tree {
+                max_depth = max_depth.max(t.depth() as u64);
+                rows += (b.support.0 + b.support.1) as u64;
+            }
+        }
+
+        assert_eq!(metrics.edges_considered, mined.edge_count() as u64);
+        assert_eq!(
+            metrics.trees_fitted + metrics.edges_without_outputs,
+            metrics.edges_considered
+        );
+        assert_eq!(metrics.max_tree_depth, max_depth);
+        assert_eq!(metrics.rows_extracted, rows);
+        assert!(metrics.splits_evaluated > 0);
+        assert!(metrics.learn_nanos > 0);
+    }
+
+    #[test]
+    fn instrumented_counts_edges_without_outputs() {
+        let log = procmine_log::WorkflowLog::from_strings(["ABC", "ABC", "AC"]).unwrap();
+        let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let mut metrics = ClassifyMetrics::new();
+        learn_edge_conditions_instrumented(&mined, &log, &TreeConfig::default(), &mut metrics);
+        assert_eq!(metrics.edges_without_outputs, metrics.edges_considered);
+        assert_eq!(metrics.trees_fitted, 0);
+        assert_eq!(metrics.rows_extracted, 0);
+        assert_eq!(metrics.splits_evaluated, 0);
     }
 
     #[test]

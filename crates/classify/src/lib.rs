@@ -40,8 +40,11 @@ mod learn;
 mod rules;
 mod tree;
 
+pub mod telemetry;
+
 pub use dataset::{edge_training_set, Dataset, DatasetError};
 pub use decisions::{analyze_decision_points, DecisionPoint};
-pub use learn::{learn_edge_conditions, LearnedCondition};
+pub use learn::{learn_edge_conditions, learn_edge_conditions_instrumented, LearnedCondition};
 pub use rules::{rules_of, Atom, Rule};
+pub use telemetry::ClassifyMetrics;
 pub use tree::{DecisionTree, TreeConfig};

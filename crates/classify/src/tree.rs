@@ -6,7 +6,9 @@
 //! splits of the form `x[f] <= t`, chosen to minimize weighted Gini
 //! impurity, grown until purity, depth, or minimum-sample limits.
 
+use crate::telemetry::ClassifyMetrics;
 use crate::Dataset;
+use procmine_core::{MetricsSink, NullSink};
 use serde::{Deserialize, Serialize};
 
 /// Tree-growing limits.
@@ -68,12 +70,31 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Fits a tree to the dataset.
     pub fn fit(ds: &Dataset, cfg: &TreeConfig) -> Self {
+        Self::fit_instrumented(ds, cfg, &mut NullSink)
+    }
+
+    /// [`fit`](Self::fit) with telemetry: counts the tree, the
+    /// candidate splits evaluated while growing it, and its final depth
+    /// into `sink` (see [`ClassifyMetrics`]).
+    pub fn fit_instrumented<S: MetricsSink<ClassifyMetrics>>(
+        ds: &Dataset,
+        cfg: &TreeConfig,
+        sink: &mut S,
+    ) -> Self {
         let indices: Vec<usize> = (0..ds.len()).collect();
-        let root = grow(ds, indices, cfg, 0);
-        DecisionTree {
+        let root = grow(ds, indices, cfg, 0, sink);
+        let tree = DecisionTree {
             root,
             dim: ds.dim(),
+        };
+        if S::ENABLED {
+            let depth = tree.depth() as u64;
+            sink.record(|m| {
+                m.trees_fitted += 1;
+                m.max_tree_depth = m.max_tree_depth.max(depth);
+            });
         }
+        tree
     }
 
     /// Predicts the class of a feature vector. Missing trailing
@@ -163,7 +184,13 @@ fn leaf(ds: &Dataset, idx: &[usize]) -> Node {
     }
 }
 
-fn grow(ds: &Dataset, idx: Vec<usize>, cfg: &TreeConfig, depth: usize) -> Node {
+fn grow<S: MetricsSink<ClassifyMetrics>>(
+    ds: &Dataset,
+    idx: Vec<usize>,
+    cfg: &TreeConfig,
+    depth: usize,
+    sink: &mut S,
+) -> Node {
     let (neg, pos) = class_counts(ds, &idx);
     if neg == 0 || pos == 0 || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
         return leaf(ds, &idx);
@@ -173,6 +200,7 @@ fn grow(ds: &Dataset, idx: Vec<usize>, cfg: &TreeConfig, depth: usize) -> Node {
     // thresholds between distinct consecutive values.
     let parent_gini = gini(neg, pos);
     let mut best: Option<(usize, i64, f64)> = None; // (feature, threshold, gain)
+    let mut evaluated = 0u64;
     for f in 0..ds.dim() {
         let mut vals: Vec<(i64, bool)> = idx
             .iter()
@@ -202,10 +230,16 @@ fn grow(ds: &Dataset, idx: Vec<usize>, cfg: &TreeConfig, depth: usize) -> Node {
                 + right_n as f64 * gini(right_n - right_pos, right_pos))
                 / total as f64;
             let gain = parent_gini - child;
+            if S::ENABLED {
+                evaluated += 1;
+            }
             if best.map_or(gain > cfg.min_gain, |(_, _, g)| gain > g) {
                 best = Some((f, vals[w].0, gain));
             }
         }
+    }
+    if S::ENABLED {
+        sink.record(|m| m.splits_evaluated += evaluated);
     }
 
     match best {
@@ -217,8 +251,8 @@ fn grow(ds: &Dataset, idx: Vec<usize>, cfg: &TreeConfig, depth: usize) -> Node {
             Node::Split {
                 feature,
                 threshold,
-                left: Box::new(grow(ds, left_idx, cfg, depth + 1)),
-                right: Box::new(grow(ds, right_idx, cfg, depth + 1)),
+                left: Box::new(grow(ds, left_idx, cfg, depth + 1, sink)),
+                right: Box::new(grow(ds, right_idx, cfg, depth + 1, sink)),
             }
         }
     }

@@ -2,11 +2,11 @@
 //! `info`, `help`.
 
 use crate::args::{parse, ArgError, Parsed};
-use procmine_classify::TreeConfig;
+use procmine_classify::{ClassifyMetrics, TreeConfig};
 use procmine_core::{
     conformance, mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
-    mine_special_dag_instrumented, Algorithm, MetricsSink, MinedModel, MinerMetrics, MinerOptions,
-    NullSink,
+    mine_general_dag_parallel_instrumented, mine_special_dag_instrumented, Algorithm,
+    ConformanceMetrics, MetricsSink, MinedModel, MinerMetrics, MinerOptions, NullSink,
 };
 use procmine_log::codec::CodecStats;
 use procmine_log::{codec, WorkflowLog};
@@ -54,20 +54,33 @@ COMMANDS:
       --stream             stream the log through the incremental miner
                            (flowmark format, contiguous cases; bad cases
                            are skipped with a warning)
+      --threads N          mine with the parallel general miner on N
+                           threads (requires --algorithm auto|general;
+                           not combinable with --stream)
       --stats              print pipeline telemetry (stage timings,
-                           counters, codec byte/event tallies)
+                           counters, codec byte/event tallies; with
+                           --threads also per-stage wall time and
+                           cpu/wall parallel efficiency)
       --stats-json FILE    write the same telemetry as JSON with a
                            stable key order
 
   check       Check a mined model (JSON) against a log
       <MODEL.json> <LOG>
       --format F           log format (default flowmark)
+      --stats              print conformance telemetry (executions
+                           checked, violations by variant, closure/SCC
+                           time, codec tallies)
+      --stats-json FILE    write the same telemetry as JSON
 
   conditions  Mine a model and learn Boolean edge conditions (§7)
       <LOG>
       --format F           log format (default flowmark)
       --threshold T        noise threshold (default 1)
       --max-depth D        decision-tree depth limit (default 8)
+      --stats              print miner and classifier telemetry (rows
+                           extracted, splits evaluated, tree depth,
+                           learn time)
+      --stats-json FILE    write the same telemetry as JSON
 
   info        Show log statistics
       <LOG>
@@ -275,6 +288,18 @@ fn mine_with<S: MetricsSink>(
     sink: &mut S,
 ) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
     let opts = MinerOptions::with_threshold(p.get_parse("threshold", 1, "integer")?);
+    let threads: usize = p.get_parse("threads", 0, "integer")?;
+    if threads > 0 {
+        return match p.get("algorithm").unwrap_or("auto") {
+            "auto" | "general" => Ok((
+                mine_general_dag_parallel_instrumented(log, &opts, threads, sink)?,
+                Algorithm::GeneralDag,
+            )),
+            other => Err(
+                format!("--threads requires the general miner (got --algorithm {other})").into(),
+            ),
+        };
+    }
     Ok(match p.get("algorithm").unwrap_or("auto") {
         "auto" => mine_auto_instrumented(log, &opts, sink)?,
         "special" => (
@@ -295,11 +320,13 @@ fn mine_with<S: MetricsSink>(
 
 /// Streams a flowmark log through the incremental miner, skipping bad
 /// cases with a warning. Returns the model and the log (re-read in
-/// batch form for the conformance/gateway reporting).
+/// batch form for the conformance/gateway reporting). The stream's
+/// byte/event/execution tallies are merged into `codec_stats`.
 fn mine_streaming(
     path: &str,
     threshold: u32,
     metrics: Option<&mut MinerMetrics>,
+    codec_stats: &mut CodecStats,
 ) -> Result<(MinedModel, WorkflowLog), Box<dyn Error>> {
     use procmine_log::codec::stream::ExecutionStream;
     let mut miner = procmine_core::IncrementalMiner::new(MinerOptions::with_threshold(threshold));
@@ -334,6 +361,7 @@ fn mine_streaming(
     if skipped > 0 {
         eprintln!("streamed with {skipped} case(s) skipped");
     }
+    codec_stats.merge(&stream.stats());
     let model = match metrics {
         Some(m) => miner.model_instrumented(m)?,
         None => miner.model()?,
@@ -348,6 +376,7 @@ fn mine(argv: &[String]) -> CliResult {
             "format",
             "algorithm",
             "threshold",
+            "threads",
             "dot",
             "graphml",
             "json",
@@ -368,13 +397,16 @@ fn mine(argv: &[String]) -> CliResult {
         if p.get("format").is_some_and(|f| f != "flowmark") {
             return Err("--stream supports the flowmark format only".into());
         }
-        let threshold = p.get_parse("threshold", 1, "integer")?;
-        let (model, log) = mine_streaming(path, threshold, want_stats.then_some(&mut metrics))?;
-        if want_stats {
-            // The stream hands executions straight to the miner; only
-            // the execution tally is known at the codec level.
-            codec_stats.executions_parsed = log.len() as u64;
+        if p.get("threads").is_some() {
+            return Err("--threads cannot be combined with --stream".into());
         }
+        let threshold = p.get_parse("threshold", 1, "integer")?;
+        let (model, log) = mine_streaming(
+            path,
+            threshold,
+            want_stats.then_some(&mut metrics),
+            &mut codec_stats,
+        )?;
         (model, log, Algorithm::GeneralDag)
     } else {
         let format = p.get("format").unwrap_or("flowmark");
@@ -501,6 +533,9 @@ fn mine(argv: &[String]) -> CliResult {
             for (exec, violations) in &report.inconsistent_executions {
                 println!("  inconsistent execution {exec}: {violations:?}");
             }
+            for activity in &report.unknown_activities {
+                println!("  unknown activity: {activity}");
+            }
             return Err("mined model is not conformal".into());
         }
     }
@@ -508,40 +543,119 @@ fn mine(argv: &[String]) -> CliResult {
 }
 
 fn check(argv: &[String]) -> CliResult {
-    let p = parse(argv, &["format"], &[])?;
+    let p = parse(argv, &["format", "stats-json"], &["stats"])?;
     let [model_path, log_path] = p.positional() else {
         return Err(ArgError::Required("MODEL.json and LOG arguments").into());
     };
+    let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let model: MinedModel = serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
-    let log = read_log(log_path, p.get("format").unwrap_or("flowmark"))?;
-    let report = conformance::check_conformance(&model, &log);
+    let format = p.get("format").unwrap_or("flowmark");
+    let mut codec_stats = CodecStats::default();
+    let log = if want_stats {
+        read_log_instrumented(log_path, format, &mut codec_stats)?
+    } else {
+        read_log(log_path, format)?
+    };
+    let mut metrics = ConformanceMetrics::new();
+    let report = if want_stats {
+        conformance::check_conformance_instrumented(&model, &log, &mut metrics)
+    } else {
+        conformance::check_conformance(&model, &log)
+    };
+    if p.has("stats") {
+        println!(
+            "codec: {} bytes read, {} events parsed, {} executions parsed",
+            codec_stats.bytes_read, codec_stats.events_parsed, codec_stats.executions_parsed
+        );
+        print!("{}", metrics.render_table());
+    }
+    if let Some(stats_path) = p.get("stats-json") {
+        let mut out = String::from("{\"codec\":");
+        out.push_str(&codec_stats.to_json());
+        out.push(',');
+        metrics.write_json_fields(&mut out);
+        out.push('}');
+        out.push('\n');
+        std::fs::write(stats_path, out)?;
+        eprintln!("wrote {stats_path}");
+    }
     if report.is_conformal() {
         println!("conformal: model satisfies Definition 7 for this log");
         Ok(())
     } else {
         println!(
-            "not conformal: {} missing, {} spurious, {} inconsistent executions",
+            "not conformal: {} missing, {} spurious, {} inconsistent executions, {} unknown activities",
             report.missing_dependencies.len(),
             report.spurious_dependencies.len(),
-            report.inconsistent_executions.len()
+            report.inconsistent_executions.len(),
+            report.unknown_activities.len()
         );
+        for activity in &report.unknown_activities {
+            println!("  unknown activity: {activity}");
+        }
         Err("model is not conformal".into())
     }
 }
 
 fn conditions(argv: &[String]) -> CliResult {
-    let p = parse(argv, &["format", "threshold", "max-depth"], &[])?;
+    let p = parse(
+        argv,
+        &["format", "threshold", "max-depth", "stats-json"],
+        &["stats"],
+    )?;
     let path = p
         .positional()
         .first()
         .ok_or(ArgError::Required("log file"))?;
-    let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
-    let (model, _) = mine_with(&p, &log, &mut NullSink)?;
+    let want_stats = p.has("stats") || p.get("stats-json").is_some();
+    let mut codec_stats = CodecStats::default();
+    let format = p.get("format").unwrap_or("flowmark");
+    let log = if want_stats {
+        read_log_instrumented(path, format, &mut codec_stats)?
+    } else {
+        read_log(path, format)?
+    };
+    let mut miner_metrics = MinerMetrics::new();
+    let (model, _) = if want_stats {
+        mine_with(&p, &log, &mut miner_metrics)?
+    } else {
+        mine_with(&p, &log, &mut NullSink)?
+    };
     let cfg = TreeConfig {
         max_depth: p.get_parse("max-depth", 8, "integer")?,
         ..TreeConfig::default()
     };
-    let learned = procmine_classify::learn_edge_conditions(&model, &log, &cfg);
+    let mut classify_metrics = ClassifyMetrics::new();
+    let learned = if want_stats {
+        procmine_classify::learn_edge_conditions_instrumented(
+            &model,
+            &log,
+            &cfg,
+            &mut classify_metrics,
+        )
+    } else {
+        procmine_classify::learn_edge_conditions(&model, &log, &cfg)
+    };
+    if p.has("stats") {
+        println!(
+            "codec: {} bytes read, {} events parsed, {} executions parsed",
+            codec_stats.bytes_read, codec_stats.events_parsed, codec_stats.executions_parsed
+        );
+        print!("{}", miner_metrics.render_table());
+        print!("{}", classify_metrics.render_table());
+    }
+    if let Some(stats_path) = p.get("stats-json") {
+        let mut out = String::from("{\"codec\":");
+        out.push_str(&codec_stats.to_json());
+        out.push(',');
+        miner_metrics.write_json_fields(&mut out);
+        out.push_str(",\"classify\":");
+        out.push_str(&classify_metrics.to_json());
+        out.push('}');
+        out.push('\n');
+        std::fs::write(stats_path, out)?;
+        eprintln!("wrote {stats_path}");
+    }
     for c in &learned {
         println!(
             "{} -> {}   [{} taken / {} not, accuracy {:.2}]",

@@ -394,6 +394,301 @@ fn stream_stats_report_miner_counters() {
 }
 
 #[test]
+fn check_stats_report_conformance_counters() {
+    let dir = tmpdir("check-stats");
+    let log = dir.join("log.fm");
+    let model = dir.join("model.json");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "150",
+        "--seed",
+        "5",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--json",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = procmine(&[
+        "check",
+        model.to_str().unwrap(),
+        log.to_str().unwrap(),
+        "--stats",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("conformance counter"), "{text}");
+    assert!(text.contains("executions_checked"), "{text}");
+    assert!(text.contains("conformal"), "{text}");
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let counters = json.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("executions_checked").unwrap().as_u64(),
+        Some(150)
+    );
+    assert_eq!(
+        counters.get("consistent_executions").unwrap().as_u64(),
+        Some(150),
+        "a model mined from this log must fit all of it"
+    );
+    let timers = json.get("timers_ns").expect("timers_ns object");
+    for timer in ["closure", "scc", "execution_checks"] {
+        assert!(timers.get(timer).is_some(), "missing timer {timer}");
+    }
+    assert_eq!(
+        json.get("codec")
+            .unwrap()
+            .get("bytes_read")
+            .unwrap()
+            .as_u64(),
+        Some(std::fs::metadata(&log).unwrap().len()),
+        "check --stats must count every byte of the log it read"
+    );
+}
+
+#[test]
+fn parallel_mine_stats_include_wall_column() {
+    let dir = tmpdir("wall-stats");
+    let log = dir.join("log.fm");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "300",
+        "--seed",
+        "13",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--stats",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("cpu/wall"), "{text}");
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let wall = json.get("stages_wall_ns").expect("stages_wall_ns object");
+    let wall_of = |stage: &str| wall.get(stage).unwrap().as_u64().unwrap();
+    assert!(wall_of("count_pairs") > 0, "barrier stage must be timed");
+    assert!(wall_of("reduce") > 0, "barrier stage must be timed");
+    assert_eq!(wall_of("lower"), 0, "non-barrier stages have no wall time");
+
+    // The parallel run must still agree with the serial miner.
+    let serial = procmine(&["mine", log.to_str().unwrap()]);
+    let edges = |out: &[u8]| -> Vec<String> {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| l.starts_with("  ") && l.contains(" -> "))
+            .map(str::to_string)
+            .collect()
+    };
+    let mut a = edges(&serial.stdout);
+    let mut b = edges(&out.stdout);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stream_stats_count_real_codec_bytes() {
+    let dir = tmpdir("stream-bytes");
+    let log = dir.join("log.fm");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "pend",
+        "--executions",
+        "80",
+        "--seed",
+        "21",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--stream",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let codec = json.get("codec").expect("codec object");
+    assert_eq!(
+        codec.get("bytes_read").unwrap().as_u64(),
+        Some(std::fs::metadata(&log).unwrap().len()),
+        "streaming codec must account for every byte"
+    );
+    assert!(codec.get("events_parsed").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(codec.get("executions_parsed").unwrap().as_u64(), Some(80));
+}
+
+#[test]
+fn threads_and_stream_are_mutually_exclusive() {
+    let dir = tmpdir("threads-stream");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "10",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&["mine", log.to_str().unwrap(), "--stream", "--threads", "2"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--threads"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn check_reports_unknown_activities_without_panicking() {
+    let dir = tmpdir("foreign-check");
+    let train = dir.join("train.seqs");
+    let foreign = dir.join("foreign.seqs");
+    let model = dir.join("model.json");
+    std::fs::write(&train, "A B C\nA B C\nA C\n").unwrap();
+    std::fs::write(&foreign, "A B C\nA Zed C\n").unwrap();
+
+    let out = procmine(&[
+        "mine",
+        train.to_str().unwrap(),
+        "--format",
+        "seqs",
+        "--json",
+        model.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Plain and instrumented paths must both diagnose, not panic.
+    for extra in [&[][..], &["--stats"][..]] {
+        let mut args = vec![
+            "check",
+            model.to_str().unwrap(),
+            foreign.to_str().unwrap(),
+            "--format",
+            "seqs",
+        ];
+        args.extend_from_slice(extra);
+        let out = procmine(&args);
+        assert!(!out.status.success(), "a foreign log is not conformal");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("not conformal"), "{text}");
+        assert!(text.contains("unknown activity: Zed"), "{text}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.contains("panicked"), "{err}");
+    }
+}
+
+#[test]
+fn conditions_stats_report_classify_counters() {
+    let dir = tmpdir("cond-stats");
+    let log = dir.join("orders.fm");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "order",
+        "--engine",
+        "conditions",
+        "--executions",
+        "200",
+        "--seed",
+        "2",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "conditions",
+        log.to_str().unwrap(),
+        "--stats",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("classify counter"), "{text}");
+    assert!(text.contains("trees_fitted"), "{text}");
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let classify = json.get("classify").expect("classify object");
+    let counters = classify.get("counters").expect("classify counters");
+    let edge_lines = text
+        .lines()
+        .filter(|l| !l.starts_with(' ') && l.contains(" -> "))
+        .count() as u64;
+    assert_eq!(
+        counters.get("edges_considered").unwrap().as_u64(),
+        Some(edge_lines),
+        "every printed edge must be counted"
+    );
+    assert!(counters.get("trees_fitted").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        classify
+            .get("timers_ns")
+            .unwrap()
+            .get("learn")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    // Miner fields ride along at the top level.
+    assert!(json.get("counters").is_some());
+    assert!(json.get("stages_ns").is_some());
+}
+
+#[test]
 fn bad_flags_are_reported() {
     let out = procmine(&["mine", "--definitely-not-a-flag"]);
     assert!(!out.status.success());

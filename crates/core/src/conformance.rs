@@ -15,15 +15,36 @@
 //! component follow each other both ways and are therefore *independent*
 //! (Definition 4); dependency checks skip such pairs, which generalizes
 //! the paper's DAG-centric definitions the way §5 intends.
+//!
+//! Conformance checking exists to diagnose *foreign* logs — a log whose
+//! activity table differs from the model's is the interesting case, not
+//! a programming error. [`check_conformance`] therefore aligns the two
+//! tables by activity name and reports unmatched names in
+//! [`ConformanceReport::unknown_activities`]; [`check_execution`]
+//! reports out-of-range activity ids as
+//! [`Violation::UnknownActivity`]. Neither panics. Both have
+//! `*_instrumented` twins feeding a
+//! [`ConformanceMetrics`](crate::telemetry::ConformanceMetrics) sink.
 
 use crate::follows::FollowsAnalysis;
+use crate::telemetry::{ConformanceMetrics, MetricsSink, NullSink};
 use crate::MinedModel;
 use procmine_graph::{reach, scc, NodeId};
-use procmine_log::{Execution, WorkflowLog};
+use procmine_log::{ActivityId, ActivityInstance, Execution, WorkflowLog};
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// One way an execution can fail Definition 6 against a model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
+    /// The execution contains an activity the model has no node for.
+    UnknownActivity {
+        /// The activity's name where known ([`check_conformance`]
+        /// resolves it from the log's table), otherwise its raw id
+        /// rendered as `#id` (a bare [`check_execution`] has no table
+        /// to consult).
+        activity: String,
+    },
     /// The induced subgraph over the execution's activities is not
     /// (weakly) connected.
     NotConnected,
@@ -55,20 +76,90 @@ pub enum Violation {
 /// Checks one execution against a model graph (Definition 6). Returns
 /// all violations found (empty = consistent).
 ///
-/// The model's node ids must align with the log's activity table (true
-/// for models mined from that log and for simulator ground truth).
+/// The model's node ids are assumed to align with the log's activity
+/// table (true for models mined from that log and for simulator ground
+/// truth). Activity ids the model has no node for are reported as
+/// [`Violation::UnknownActivity`] — never a panic — and the remaining
+/// checks run over the known activities only.
 pub fn check_execution(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
+    check_execution_impl(model, exec)
+}
+
+/// [`check_execution`] with telemetry: counts the execution, its
+/// violations by variant, and the check's wall time into `sink` (see
+/// [`ConformanceMetrics`]). With [`NullSink`] this is the plain twin.
+pub fn check_execution_instrumented<S: MetricsSink<ConformanceMetrics>>(
+    model: &MinedModel,
+    exec: &Execution,
+    sink: &mut S,
+) -> Vec<Violation> {
+    let started = S::ENABLED.then(Instant::now);
+    let violations = check_execution_impl(model, exec);
+    record_execution_check(sink, &violations, elapsed_nanos(started));
+    violations
+}
+
+fn elapsed_nanos(started: Option<Instant>) -> u64 {
+    started.map_or(0, |s| s.elapsed().as_nanos() as u64)
+}
+
+/// Tallies one checked execution's violations into the sink.
+fn record_execution_check<S: MetricsSink<ConformanceMetrics>>(
+    sink: &mut S,
+    violations: &[Violation],
+    nanos: u64,
+) {
+    if !S::ENABLED {
+        return;
+    }
+    sink.record(|m| {
+        m.executions_checked += 1;
+        m.check_nanos += nanos;
+        if violations.is_empty() {
+            m.consistent_executions += 1;
+        }
+        for v in violations {
+            match v {
+                Violation::UnknownActivity { .. } => m.violations_unknown_activity += 1,
+                Violation::NotConnected => m.violations_not_connected += 1,
+                Violation::WrongInitiating { .. } => m.violations_wrong_initiating += 1,
+                Violation::WrongTerminating { .. } => m.violations_wrong_terminating += 1,
+                Violation::Unreachable { .. } => m.violations_unreachable += 1,
+                Violation::DependencyViolated { .. } => m.violations_dependency += 1,
+            }
+        }
+    });
+}
+
+fn check_execution_impl(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
     let g = model.graph();
+    let n = g.node_count();
     let mut violations = Vec::new();
 
-    // Present activities, in start order (dedup, keep first occurrence).
+    // Present known activities, in start order (dedup, keep first
+    // occurrence). Ids the model has no node for become
+    // UnknownActivity violations (one per distinct id).
     let mut present: Vec<usize> = Vec::new();
-    let mut seen = vec![false; g.node_count()];
+    let mut seen = vec![false; n];
+    let mut unknown: Vec<usize> = Vec::new();
     for a in exec.sequence() {
-        if !seen[a.index()] {
-            seen[a.index()] = true;
-            present.push(a.index());
+        let idx = a.index();
+        if idx >= n {
+            if !unknown.contains(&idx) {
+                unknown.push(idx);
+                violations.push(Violation::UnknownActivity {
+                    activity: format!("#{idx}"),
+                });
+            }
+        } else if !seen[idx] {
+            seen[idx] = true;
+            present.push(idx);
         }
+    }
+    if present.is_empty() {
+        // Nothing the model knows about; the structural checks are
+        // vacuous.
+        return violations;
     }
 
     // Induced subgraph over the present activities: Definition 6 takes
@@ -83,7 +174,22 @@ pub fn check_execution(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
     // Endpoints: the model's initiating/terminating activities are its
     // sources/sinks. (A well-formed process model has exactly one of
     // each; we accept membership so partially-mined graphs still check.)
-    let (first, last) = exec.endpoints();
+    // With unknown activities in the mix, the first/last *known*
+    // activity stands in for the endpoints.
+    let known = |a: &ActivityId| a.index() < n;
+    let first = exec
+        .instances()
+        .iter()
+        .map(|i| i.activity)
+        .find(|a| known(a))
+        .expect("present is non-empty");
+    let last = exec
+        .instances()
+        .iter()
+        .rev()
+        .map(|i| i.activity)
+        .find(|a| known(a))
+        .expect("present is non-empty");
     let sources = g.sources();
     let sinks = g.sinks();
     if !sources.is_empty() && !sources.contains(&NodeId::new(first.index())) {
@@ -103,7 +209,7 @@ pub fn check_execution(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
         present
             .iter()
             .position(|&a| a == first.index())
-            .expect("first activity is present"),
+            .expect("first known activity is present"),
     );
     let mut reachable = reach::reachable_from(&induced, start_pos);
     reachable.insert(start_pos.index());
@@ -120,10 +226,13 @@ pub fn check_execution(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
     // cycle, i.e. independence), u must terminate before v starts.
     let closure = reach::transitive_closure(&induced);
     // Whole-activity intervals within this execution.
-    let mut min_start = vec![u64::MAX; g.node_count()];
-    let mut max_end = vec![0u64; g.node_count()];
+    let mut min_start = vec![u64::MAX; n];
+    let mut max_end = vec![0u64; n];
     for inst in exec.instances() {
         let a = inst.activity.index();
+        if a >= n {
+            continue;
+        }
         min_start[a] = min_start[a].min(inst.start);
         max_end[a] = max_end[a].max(inst.end);
     }
@@ -145,7 +254,7 @@ pub fn check_execution(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
 }
 
 /// The result of checking a model against a log (Definition 7).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConformanceReport {
     /// Dependencies in the log (`v` depends on `u`) with no `u→v` path
     /// in the model — failures of *dependency completeness*.
@@ -156,6 +265,10 @@ pub struct ConformanceReport {
     /// Executions that are not consistent with the model
     /// (Definition 6) — failures of *execution completeness*.
     pub inconsistent_executions: Vec<(String, Vec<Violation>)>,
+    /// Activity names present in the log but absent from the model —
+    /// a foreign log. The model cannot be conformal with a log it does
+    /// not even cover.
+    pub unknown_activities: Vec<String>,
 }
 
 impl ConformanceReport {
@@ -164,57 +277,172 @@ impl ConformanceReport {
         self.missing_dependencies.is_empty()
             && self.spurious_dependencies.is_empty()
             && self.inconsistent_executions.is_empty()
+            && self.unknown_activities.is_empty()
     }
 }
 
 /// Checks a model against a log for all three conformal-graph properties
-/// (Definition 7). The model's node ids must align with the log's
-/// activity table.
+/// (Definition 7).
+///
+/// The log's activity table is aligned to the model's nodes *by name*:
+/// a model mined from this log shares the table outright (the identity
+/// map, no overhead), while a foreign log may order activities
+/// differently or mention activities the model has no node for. The
+/// latter are reported in [`ConformanceReport::unknown_activities`];
+/// executions and dependencies involving them are checked over the
+/// known activities. This never panics.
 pub fn check_conformance(model: &MinedModel, log: &WorkflowLog) -> ConformanceReport {
+    check_conformance_instrumented(model, log, &mut NullSink)
+}
+
+/// [`check_conformance`] with telemetry: records the closure/SCC/check
+/// timers and the report-level counters into `sink` (see
+/// [`ConformanceMetrics`]). With [`NullSink`] this is the plain twin.
+pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
+    model: &MinedModel,
+    log: &WorkflowLog,
+    sink: &mut S,
+) -> ConformanceReport {
     let g = model.graph();
     let n = g.node_count();
     let follows = FollowsAnalysis::analyze(log);
-    assert_eq!(
-        follows.activity_count(),
-        n,
-        "model and log must share an activity table"
-    );
+    let n_log = follows.activity_count();
 
-    let closure = reach::transitive_closure(g);
-    let sccs = scc::tarjan_scc(g);
+    // Align the log's activity table to the model's nodes by name. A
+    // model mined from this log shares the table, so the map is the
+    // identity and executions can be checked without remapping.
+    let node_by_name: HashMap<&str, usize> = (0..n)
+        .map(|i| (g.node(NodeId::new(i)).as_str(), i))
+        .collect();
+    let log_names = log.activities().names();
+    let map: Vec<Option<usize>> = log_names
+        .iter()
+        .map(|name| node_by_name.get(name.as_str()).copied())
+        .collect();
+    let identity = map.iter().enumerate().all(|(i, &m)| m == Some(i));
 
     let mut report = ConformanceReport::default();
-    for u in 0..n {
-        for v in 0..n {
+    for (i, m) in map.iter().enumerate() {
+        if m.is_none() {
+            report.unknown_activities.push(log_names[i].clone());
+        }
+    }
+
+    let started = S::ENABLED.then(Instant::now);
+    let closure = reach::transitive_closure(g);
+    if let Some(s) = started {
+        let nanos = s.elapsed().as_nanos() as u64;
+        sink.record(|m| m.closure_nanos += nanos);
+    }
+    let started = S::ENABLED.then(Instant::now);
+    let sccs = scc::tarjan_scc(g);
+    if let Some(s) = started {
+        let nanos = s.elapsed().as_nanos() as u64;
+        sink.record(|m| m.scc_nanos += nanos);
+    }
+
+    for u in 0..n_log {
+        for v in 0..n_log {
             if u == v {
                 continue;
             }
-            let path = closure.has_edge(u, v);
-            let same_cycle = sccs.same_component(NodeId::new(u), NodeId::new(v));
-            if follows.depends(u, v) && !path {
-                report.missing_dependencies.push((
-                    g.node(NodeId::new(u)).clone(),
-                    g.node(NodeId::new(v)).clone(),
-                ));
-            }
-            if follows.independent(u, v) && path && !same_cycle {
-                report.spurious_dependencies.push((
-                    g.node(NodeId::new(u)).clone(),
-                    g.node(NodeId::new(v)).clone(),
-                ));
+            match (map[u], map[v]) {
+                (Some(mu), Some(mv)) => {
+                    let path = closure.has_edge(mu, mv);
+                    let same_cycle = sccs.same_component(NodeId::new(mu), NodeId::new(mv));
+                    if follows.depends(u, v) && !path {
+                        report
+                            .missing_dependencies
+                            .push((log_names[u].clone(), log_names[v].clone()));
+                    }
+                    if follows.independent(u, v) && path && !same_cycle {
+                        report
+                            .spurious_dependencies
+                            .push((log_names[u].clone(), log_names[v].clone()));
+                    }
+                }
+                _ => {
+                    // A dependency touching an activity the model lacks
+                    // can never be a model path.
+                    if follows.depends(u, v) {
+                        report
+                            .missing_dependencies
+                            .push((log_names[u].clone(), log_names[v].clone()));
+                    }
+                }
             }
         }
     }
 
     for exec in log.executions() {
-        let violations = check_execution(model, exec);
+        let violations = if identity {
+            check_execution_instrumented(model, exec, sink)
+        } else {
+            let started = S::ENABLED.then(Instant::now);
+            let violations = check_foreign_execution(model, exec, &map, log_names);
+            record_execution_check(sink, &violations, elapsed_nanos(started));
+            violations
+        };
         if !violations.is_empty() {
             report
                 .inconsistent_executions
                 .push((exec.id.clone(), violations));
         }
     }
+
+    if S::ENABLED {
+        let missing = report.missing_dependencies.len() as u64;
+        let spurious = report.spurious_dependencies.len() as u64;
+        let unknown = report.unknown_activities.len() as u64;
+        sink.record(|m| {
+            m.missing_dependencies += missing;
+            m.spurious_dependencies += spurious;
+            m.unknown_activities += unknown;
+        });
+    }
     report
+}
+
+/// Definition 6 for an execution whose activity ids live in a foreign
+/// table: remap instances onto model node ids via `map` (log activity
+/// index → model node), report unmapped activities by their log name,
+/// and run the plain check over what remains.
+fn check_foreign_execution(
+    model: &MinedModel,
+    exec: &Execution,
+    map: &[Option<usize>],
+    log_names: &[String],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut unknown_seen: Vec<usize> = Vec::new();
+    let mut mapped: Vec<ActivityInstance> = Vec::new();
+    for inst in exec.instances() {
+        let idx = inst.activity.index();
+        match map.get(idx).copied().flatten() {
+            Some(node) => {
+                let mut remapped = inst.clone();
+                remapped.activity = ActivityId::from_index(node);
+                mapped.push(remapped);
+            }
+            None => {
+                if !unknown_seen.contains(&idx) {
+                    unknown_seen.push(idx);
+                    let activity = log_names
+                        .get(idx)
+                        .cloned()
+                        .unwrap_or_else(|| format!("#{idx}"));
+                    violations.push(Violation::UnknownActivity { activity });
+                }
+            }
+        }
+    }
+    if mapped.is_empty() {
+        return violations;
+    }
+    let remapped = Execution::new(exec.id.clone(), mapped)
+        .expect("remapping preserves the original execution's validated intervals");
+    violations.extend(check_execution_impl(model, &remapped));
+    violations
 }
 
 /// Aggregate *fitness* of a log against a model: the fraction of
@@ -237,6 +465,8 @@ pub struct Fitness {
     pub unreachable: usize,
     /// Count of [`Violation::DependencyViolated`].
     pub dependency_violated: usize,
+    /// Count of [`Violation::UnknownActivity`].
+    pub unknown_activity: usize,
 }
 
 impl Fitness {
@@ -269,6 +499,7 @@ pub fn fitness(model: &MinedModel, log: &WorkflowLog) -> Fitness {
                 }
                 Violation::Unreachable { .. } => f.unreachable += 1,
                 Violation::DependencyViolated { .. } => f.dependency_violated += 1,
+                Violation::UnknownActivity { .. } => f.unknown_activity += 1,
             }
         }
     }
@@ -467,6 +698,169 @@ mod tests {
         // called, so the table mismatch is irrelevant.
         let f = fitness(&model, &empty);
         assert_eq!(f.fraction(), 1.0);
+    }
+
+    #[test]
+    fn not_connected_detected() {
+        // B and D share no edge in Figure 1: the induced subgraph over
+        // {B, D} has two components.
+        let (model, log) = figure1();
+        let exec = exec_of(&log, "BD");
+        let violations = check_execution(&model, &exec);
+        assert!(
+            violations.contains(&Violation::NotConnected),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_activity_id_reported_not_panicked() {
+        // The execution's table has an F (id 5) the 5-node model lacks.
+        let (model, _) = figure1();
+        let log = WorkflowLog::from_strings(["ABCDEF"]).unwrap();
+        let exec = exec_of(&log, "ABCDEF");
+        let violations = check_execution(&model, &exec);
+        assert_eq!(
+            violations,
+            vec![Violation::UnknownActivity {
+                activity: "#5".to_string()
+            }],
+            "the known prefix ABCDE is consistent; only F is foreign"
+        );
+    }
+
+    #[test]
+    fn execution_of_only_unknown_activities_is_inconsistent_not_fatal() {
+        let log = WorkflowLog::from_strings(["AB"]).unwrap();
+        let model = mine_special_dag(&log, &MinerOptions::default()).unwrap();
+        let foreign = WorkflowLog::from_strings(["XY"]).unwrap();
+        let report = check_conformance(&model, &foreign);
+        assert_eq!(
+            report.unknown_activities,
+            vec!["X".to_string(), "Y".to_string()]
+        );
+        assert_eq!(report.inconsistent_executions.len(), 1);
+        assert!(!report.is_conformal());
+    }
+
+    #[test]
+    fn foreign_table_does_not_panic_check_conformance() {
+        // Log mentions an X the model has never heard of, alongside
+        // known activities.
+        let (model, _) = figure1();
+        let foreign = WorkflowLog::from_strings(["AXB", "AXB"]).unwrap();
+        let report = check_conformance(&model, &foreign);
+        assert!(report.unknown_activities.contains(&"X".to_string()));
+        assert!(!report.is_conformal());
+        // The dependency A→X can never be a path in a model without X.
+        assert!(report
+            .missing_dependencies
+            .contains(&("A".to_string(), "X".to_string())));
+        // Every execution contains the unknown X.
+        assert_eq!(report.inconsistent_executions.len(), 2);
+        for (_, violations) in &report.inconsistent_executions {
+            assert!(violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnknownActivity { activity } if activity == "X")));
+        }
+    }
+
+    #[test]
+    fn smaller_foreign_table_checks_known_subset() {
+        // n_log < n: the old assert would have aborted here.
+        let (model, _) = figure1();
+        let small = WorkflowLog::from_strings(["AB"]).unwrap();
+        let report = check_conformance(&model, &small);
+        assert!(report.unknown_activities.is_empty());
+        // AB stops at B, not the model's terminating E.
+        assert!(report.inconsistent_executions.iter().any(|(_, vs)| vs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongTerminating { found } if found == "B"))));
+    }
+
+    #[test]
+    fn foreign_table_aligned_by_name() {
+        // Same activities, same executions, but the foreign log's table
+        // interns B before A. Alignment by name keeps the model
+        // conformal; the old code asserted or checked garbage ids.
+        let log = WorkflowLog::from_strings(["AB", "AB"]).unwrap();
+        let model = mine_special_dag(&log, &MinerOptions::default()).unwrap();
+        let table = procmine_log::ActivityTable::from_names(["B", "A"]);
+        let mut foreign = WorkflowLog::with_activities(table);
+        let a = foreign.activities().id("A").unwrap();
+        let b = foreign.activities().id("B").unwrap();
+        foreign.push(Execution::from_ids("x1", &[a, b]).unwrap());
+        foreign.push(Execution::from_ids("x2", &[a, b]).unwrap());
+        let report = check_conformance(&model, &foreign);
+        assert!(report.is_conformal(), "{report:?}");
+    }
+
+    #[test]
+    fn instrumented_conformance_matches_plain() {
+        use crate::telemetry::ConformanceMetrics;
+        let (model, log) = figure1();
+        let mut mixed = WorkflowLog::with_activities(log.activities().clone());
+        mixed.push(exec_of(&log, "ACBE")); // consistent
+        mixed.push(exec_of(&log, "ADBE")); // D unreachable
+        mixed.push(exec_of(&log, "BACDE")); // wrong start + dependency
+
+        let plain = check_conformance(&model, &mixed);
+        let mut metrics = ConformanceMetrics::new();
+        let instrumented = check_conformance_instrumented(&model, &mixed, &mut metrics);
+        assert_eq!(plain, instrumented);
+
+        assert_eq!(metrics.executions_checked, 3);
+        assert_eq!(metrics.consistent_executions, 1);
+        assert!(metrics.violations_unreachable >= 1);
+        assert!(metrics.violations_wrong_initiating >= 1);
+        assert!(metrics.violations_dependency >= 1);
+        assert_eq!(
+            metrics.missing_dependencies,
+            plain.missing_dependencies.len() as u64
+        );
+        assert_eq!(
+            metrics.spurious_dependencies,
+            plain.spurious_dependencies.len() as u64
+        );
+        assert_eq!(metrics.unknown_activities, 0);
+    }
+
+    #[test]
+    fn instrumented_conformance_counts_unknowns_on_foreign_log() {
+        use crate::telemetry::ConformanceMetrics;
+        let (model, _) = figure1();
+        let foreign = WorkflowLog::from_strings(["AXB"]).unwrap();
+        let plain = check_conformance(&model, &foreign);
+        let mut metrics = ConformanceMetrics::new();
+        let instrumented = check_conformance_instrumented(&model, &foreign, &mut metrics);
+        assert_eq!(plain, instrumented);
+        assert_eq!(metrics.unknown_activities, 1);
+        assert_eq!(metrics.violations_unknown_activity, 1);
+        assert_eq!(metrics.executions_checked, 1);
+    }
+
+    #[test]
+    fn instrumented_execution_check_matches_plain() {
+        use crate::telemetry::ConformanceMetrics;
+        let (model, log) = figure1();
+        let exec = exec_of(&log, "ADBE");
+        let mut metrics = ConformanceMetrics::new();
+        assert_eq!(
+            check_execution(&model, &exec),
+            check_execution_instrumented(&model, &exec, &mut metrics)
+        );
+        assert_eq!(metrics.executions_checked, 1);
+        assert_eq!(metrics.consistent_executions, 0);
+        assert!(metrics.violations_unreachable >= 1);
+    }
+
+    #[test]
+    fn fitness_counts_unknown_activities() {
+        let (model, _) = figure1();
+        let log = WorkflowLog::from_strings(["ABCDEF"]).unwrap();
+        let f = fitness(&model, &log);
+        assert_eq!(f.unknown_activity, 1);
+        assert_eq!(f.consistent, 0);
     }
 
     #[test]

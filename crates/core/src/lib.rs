@@ -73,4 +73,4 @@ pub use miner::{mine_auto, mine_auto_instrumented, Algorithm, MinerOptions};
 pub use model::MinedModel;
 pub use parallel::{mine_general_dag_parallel, mine_general_dag_parallel_instrumented};
 pub use special_dag::{mine_special_dag, mine_special_dag_instrumented};
-pub use telemetry::{MetricsSink, MinerMetrics, NullSink, Stage};
+pub use telemetry::{ConformanceMetrics, MetricsSink, MinerMetrics, NullSink, Stage, WallStage};

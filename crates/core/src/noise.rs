@@ -84,14 +84,19 @@ pub fn success_probability(m: u64, t: u64, eps: f64) -> f64 {
 /// Requires `0 < eps < 1/2` (the paper's standing assumption); at
 /// `eps → 1/2` this tends to `m/2`, and smaller error rates give smaller
 /// thresholds.
-pub fn optimal_threshold(m: u64, eps: f64) -> u32 {
+///
+/// Returns `u64`: `T` scales with `m`, so for logs beyond `u32::MAX`
+/// executions a narrower return type would silently truncate. Callers
+/// feeding [`MinerOptions`](crate::MinerOptions) narrow with
+/// `u32::try_from` at the boundary.
+pub fn optimal_threshold(m: u64, eps: f64) -> u64 {
     assert!(
         eps > 0.0 && eps < 0.5,
         "optimal_threshold requires 0 < eps < 1/2 (got {eps})"
     );
     let ln2 = std::f64::consts::LN_2;
     let t = m as f64 * ln2 / (ln2 - eps.ln());
-    (t.round() as u64).clamp(1, m.max(1)) as u32
+    (t.round() as u64).clamp(1, m.max(1))
 }
 
 #[cfg(test)]
@@ -121,11 +126,20 @@ mod tests {
     }
 
     #[test]
+    fn optimal_threshold_survives_logs_beyond_u32() {
+        // At eps → 1/2, T ≈ m/2: for 10 billion executions that is
+        // itself beyond u32::MAX. The old `as u32` return truncated it.
+        let t = optimal_threshold(10_000_000_000, 0.499);
+        assert!(t > u64::from(u32::MAX), "got {t}");
+        assert!((4_990_000_000..=5_000_000_000).contains(&t), "got {t}");
+    }
+
+    #[test]
     fn balanced_threshold_equalizes_bounds() {
         // At the optimal T the two log-bounds agree (the probabilities
         // themselves underflow f64 — by design).
         let (m, eps) = (10_000u64, 0.05f64);
-        let t = optimal_threshold(m, eps) as u64;
+        let t = optimal_threshold(m, eps);
         let lost = ln_prob_dependency_lost(m, t, eps);
         let false_dep = ln_prob_false_dependency(m, t);
         let rel = (lost - false_dep).abs() / lost.abs().max(1.0);
@@ -150,7 +164,7 @@ mod tests {
     fn success_probability_reasonable() {
         let m = 10_000;
         let eps = 0.05;
-        let t = optimal_threshold(m, eps) as u64;
+        let t = optimal_threshold(m, eps);
         let p = success_probability(m, t, eps);
         assert!(
             p > 0.999,

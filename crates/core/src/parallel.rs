@@ -14,7 +14,9 @@ use crate::general_dag::{
     OrderObservations, VertexLog,
 };
 use crate::model::graph_skeleton;
-use crate::telemetry::{stage_end, stage_start, MetricsSink, MinerMetrics, NullSink, Stage};
+use crate::telemetry::{
+    stage_end, stage_start, MetricsSink, MinerMetrics, NullSink, Stage, WallStage,
+};
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::{AdjMatrix, NodeId};
 use procmine_log::WorkflowLog;
@@ -37,8 +39,10 @@ pub fn mine_general_dag_parallel(
 /// [`mine_general_dag_parallel`] with telemetry: each worker thread
 /// accumulates its own [`MinerMetrics`], merged into `sink` at the two
 /// join barriers (see [`crate::telemetry`]). Stage nanoseconds for the
-/// parallel passes therefore sum CPU time across threads rather than
-/// wall-clock time; the counters are identical to the serial miner's.
+/// parallel passes therefore sum CPU time across threads; a
+/// [`WallStage`] timer around each barrier additionally records the
+/// elapsed wall time, so CPU-ns / wall-ns per stage is the parallel
+/// efficiency. The counters are identical to the serial miner's.
 pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     log: &WorkflowLog,
     options: &MinerOptions,
@@ -75,6 +79,7 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     // Each worker also fills a private MinerMetrics (the sink itself
     // never crosses a thread boundary); the join merges them.
     let chunk = vlog.execs.len().div_ceil(threads);
+    let wall = WallStage::start::<S>(Stage::CountPairs);
     let obs: OrderObservations = std::thread::scope(|scope| {
         let handles: Vec<_> = vlog
             .execs
@@ -111,12 +116,14 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
         }
         total
     });
+    wall.finish(sink);
 
     // Steps 3–4 serial (cheap).
     let mut g = prune_graph(n, &obs, options.noise_threshold, sink);
     let counts = obs.ordered;
 
     // Step 5 in parallel: per-thread marked matrices, merged by union.
+    let wall = WallStage::start::<S>(Stage::Reduce);
     let marked: AdjMatrix = std::thread::scope(|scope| {
         let g_ref = &g;
         let handles: Vec<_> = vlog
@@ -150,6 +157,7 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
         }
         total
     });
+    wall.finish(sink);
 
     // Step 6: drop edges no execution needed.
     let unmarked: Vec<(usize, usize)> =
@@ -267,6 +275,32 @@ mod tests {
                 "threads={threads}: per-thread metrics must merge to the serial totals"
             );
         }
+    }
+
+    #[test]
+    fn wall_timers_cover_only_the_barrier_stages() {
+        use procmine_sim::{randdag, walk};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let model = randdag::random_dag(
+            &randdag::RandomDagConfig {
+                vertices: 15,
+                edge_prob: 0.4,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let log = walk::random_walk_log(&model, 400, &mut rng).unwrap();
+        let mut m = MinerMetrics::new();
+        mine_general_dag_parallel_instrumented(&log, &MinerOptions::default(), 2, &mut m).unwrap();
+        // The two fan-out/join barriers record wall time; serial stages
+        // have no barrier and stay at zero wall.
+        assert!(m.wall_nanos(Stage::CountPairs) > 0);
+        assert!(m.wall_nanos(Stage::Reduce) > 0);
+        assert_eq!(m.wall_nanos(Stage::Lower), 0);
+        assert_eq!(m.wall_nanos(Stage::Prune), 0);
+        assert_eq!(m.wall_nanos(Stage::Assemble), 0);
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub struct CodecStats {
 }
 
 impl CodecStats {
+    /// Adds `other`'s tallies into `self` (stats from separate reads or
+    /// a finished [`stream::ExecutionStream`]).
+    pub fn merge(&mut self, other: &CodecStats) {
+        self.bytes_read += other.bytes_read;
+        self.events_parsed += other.events_parsed;
+        self.executions_parsed += other.executions_parsed;
+    }
+
     /// Machine-readable JSON object with a stable key order (matches
     /// the field order above).
     pub fn to_json(&self) -> String {
@@ -156,6 +164,28 @@ mod tests {
         assert_eq!(stats.bytes_read, 2 * text.len() as u64);
         assert_eq!(stats.events_parsed, 4);
         assert_eq!(stats.executions_parsed, 2);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = CodecStats {
+            bytes_read: 1,
+            events_parsed: 2,
+            executions_parsed: 3,
+        };
+        a.merge(&CodecStats {
+            bytes_read: 10,
+            events_parsed: 20,
+            executions_parsed: 30,
+        });
+        assert_eq!(
+            a,
+            CodecStats {
+                bytes_read: 11,
+                events_parsed: 22,
+                executions_parsed: 33,
+            }
+        );
     }
 
     #[test]

@@ -13,19 +13,27 @@
 //! continue (the noise-tolerant route) or abort.
 
 use crate::codec::flowmark;
+use crate::codec::{CodecStats, CountingReader};
 use crate::validate::{assemble_executions_with, AssemblyPolicy};
 use crate::{ActivityTable, EventRecord, Execution, LogError};
-use std::io::{BufRead, Lines};
+use std::io::BufRead;
 
 /// Iterator over executions in a Flowmark-style event stream. Yields
 /// `Ok(Execution)` per completed case, or `Err` for unparsable lines
 /// and unpaired events (iteration can continue after an error).
+///
+/// The reader runs through a [`CountingReader`], so [`stats`] reports
+/// real byte/event/execution tallies as the stream is consumed — the
+/// same [`CodecStats`] the batch codecs fill.
+///
+/// [`stats`]: ExecutionStream::stats
 pub struct ExecutionStream<R: BufRead> {
-    lines: Lines<R>,
+    reader: CountingReader<R>,
+    line: String,
     lineno: usize,
     table: ActivityTable,
     current: Vec<EventRecord>,
-    /// A parse error to emit after flushing the current case.
+    stats: CodecStats,
     done: bool,
 }
 
@@ -33,10 +41,12 @@ impl<R: BufRead> ExecutionStream<R> {
     /// Creates a stream over `reader`.
     pub fn new(reader: R) -> Self {
         ExecutionStream {
-            lines: reader.lines(),
+            reader: CountingReader::new(reader),
+            line: String::new(),
             lineno: 0,
             table: ActivityTable::new(),
             current: Vec::new(),
+            stats: CodecStats::default(),
             done: false,
         }
     }
@@ -48,13 +58,30 @@ impl<R: BufRead> ExecutionStream<R> {
         &self.table
     }
 
+    /// Byte/event/execution tallies so far. Bytes come straight from
+    /// the [`CountingReader`]; events count parsed Flowmark records and
+    /// executions count successfully assembled cases. Final totals are
+    /// available once iteration ends.
+    pub fn stats(&self) -> CodecStats {
+        CodecStats {
+            bytes_read: self.reader.bytes(),
+            ..self.stats
+        }
+    }
+
     fn flush(&mut self) -> Option<Result<Execution, LogError>> {
         if self.current.is_empty() {
             return None;
         }
         let records = std::mem::take(&mut self.current);
         match assemble_executions_with(&records, &mut self.table, AssemblyPolicy::Strict) {
-            Ok(report) => report.executions.into_iter().next().map(Ok),
+            Ok(report) => {
+                let exec = report.executions.into_iter().next();
+                if exec.is_some() {
+                    self.stats.executions_parsed += 1;
+                }
+                exec.map(Ok)
+            }
             Err(e) => Some(Err(e)),
         }
     }
@@ -68,16 +95,17 @@ impl<R: BufRead> Iterator for ExecutionStream<R> {
             return self.flush();
         }
         loop {
-            let Some(line) = self.lines.next() else {
-                self.done = true;
-                return self.flush();
-            };
-            self.lineno += 1;
-            let line = match line {
-                Ok(l) => l,
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return self.flush();
+                }
+                Ok(_) => {}
                 Err(e) => return Some(Err(LogError::Io(e))),
-            };
-            let trimmed = line.trim();
+            }
+            self.lineno += 1;
+            let trimmed = self.line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
@@ -85,6 +113,7 @@ impl<R: BufRead> Iterator for ExecutionStream<R> {
                 Ok(r) => r,
                 Err(e) => return Some(Err(e)),
             };
+            self.stats.events_parsed += 1;
             let case_boundary = self
                 .current
                 .first()
@@ -167,6 +196,38 @@ p2,B,END,1
     fn empty_input_yields_nothing() {
         let stream = ExecutionStream::new("".as_bytes());
         assert_eq!(stream.count(), 0);
+    }
+
+    #[test]
+    fn stats_report_real_bytes_events_and_executions() {
+        let mut stream = ExecutionStream::new(SAMPLE.as_bytes());
+        for r in stream.by_ref() {
+            r.unwrap();
+        }
+        let stats = stream.stats();
+        assert_eq!(stats.bytes_read, SAMPLE.len() as u64);
+        assert_eq!(stats.events_parsed, 8);
+        assert_eq!(stats.executions_parsed, 3);
+    }
+
+    #[test]
+    fn stats_skip_failed_cases_and_unparsable_lines() {
+        let text = "\
+p1,A,START,0
+not a record
+p2,B,START,0
+p2,B,END,1
+";
+        let mut stream = ExecutionStream::new(text.as_bytes());
+        let mut results = 0;
+        for _ in stream.by_ref() {
+            results += 1;
+        }
+        assert_eq!(results, 3); // parse error, unmatched p1, good p2
+        let stats = stream.stats();
+        assert_eq!(stats.bytes_read, text.len() as u64);
+        assert_eq!(stats.events_parsed, 3, "the bad line is not an event");
+        assert_eq!(stats.executions_parsed, 1, "only p2 assembles");
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn main() {
     // A few spurious edges can remain because the erroneous executions
     // are still in the log and the execution-completeness pass (step 5)
     // keeps the edges they need.
-    let t = optimal_threshold(m as u64, eps);
+    let t = u32::try_from(optimal_threshold(m as u64, eps)).expect("threshold fits u32 at this m");
     let robust = mine_general_dag(&noisy, &MinerOptions::with_threshold(t)).expect("mine");
     let r = compare_models(&reference, &robust).expect("same activities");
     println!(

@@ -345,6 +345,47 @@ proptest! {
     }
 
     #[test]
+    fn mined_random_walk_models_are_conformal(
+        vertices in 3usize..12,
+        edge_pct in 20u64..80,
+        m in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // §8.1 workload: a noise-free random-walk log mined back into a
+        // model must be conformal with the log it came from, and the
+        // conformance checker must handle it without panicking.
+        use procmine::sim::randdag::{random_dag, RandomDagConfig};
+        use procmine::sim::walk::random_walk_log;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandomDagConfig { vertices, edge_prob: edge_pct as f64 / 100.0 };
+        let model = random_dag(&cfg, &mut rng).unwrap();
+        let log = random_walk_log(&model, m, &mut rng).unwrap();
+        let mined = procmine::mine::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let report = check_conformance(&mined, &log);
+        prop_assert!(report.is_conformal(), "{report:?}");
+    }
+
+    #[test]
+    fn instrumented_conformance_matches_plain(log in arb_log(10)) {
+        use procmine::mine::conformance::check_conformance_instrumented;
+        use procmine::mine::ConformanceMetrics;
+        let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        let plain = check_conformance(&model, &log);
+        let mut metrics = ConformanceMetrics::new();
+        let instrumented = check_conformance_instrumented(&model, &log, &mut metrics);
+        prop_assert_eq!(&plain, &instrumented);
+        prop_assert_eq!(metrics.executions_checked, log.len() as u64);
+        prop_assert_eq!(
+            metrics.consistent_executions,
+            (log.len() - plain.inconsistent_executions.len()) as u64
+        );
+        prop_assert_eq!(metrics.missing_dependencies, plain.missing_dependencies.len() as u64);
+        prop_assert_eq!(metrics.spurious_dependencies, plain.spurious_dependencies.len() as u64);
+    }
+
+    #[test]
     fn cyclic_agrees_with_general_on_repeat_free_logs(log in arb_log(10)) {
         let cyclic = procmine::mine::mine_cyclic(&log, &MinerOptions::default()).unwrap();
         let general = procmine::mine::mine_general_dag(&log, &MinerOptions::default()).unwrap();
