@@ -10,8 +10,19 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The ingestion and mining libraries are panic-audited: unwrap/expect
+# are denied, with `#[allow]` + a justification comment at the few
+# provably infallible sites. Lib targets only — tests and benches may
+# unwrap freely.
+echo "==> panic audit: clippy -D clippy::unwrap_used -D clippy::expect_used (log, core)"
+cargo clippy -p procmine-log -p procmine-core --lib --no-deps -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> corruption smoke subset"
+cargo test -q --test corruption smoke_
 
 echo "ci: OK"

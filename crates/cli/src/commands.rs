@@ -8,7 +8,7 @@ use procmine_core::{
     mine_general_dag_parallel_instrumented, mine_special_dag_instrumented, Algorithm,
     ConformanceMetrics, MetricsSink, MinedModel, MinerMetrics, MinerOptions, NullSink,
 };
-use procmine_log::codec::CodecStats;
+use procmine_log::codec::{CodecStats, IngestReport, RecoveryPolicy};
 use procmine_log::{codec, WorkflowLog};
 use procmine_sim::{engine, presets, randdag, walk, ProcessModel};
 use rand::rngs::StdRng;
@@ -63,10 +63,18 @@ COMMANDS:
                            cpu/wall parallel efficiency)
       --stats-json FILE    write the same telemetry as JSON with a
                            stable key order
+      --recover            skip undecodable records instead of aborting;
+                           an ingest summary goes to stderr
+      --max-errors N       like --recover but abort after N decode
+                           errors
+      --deadline-ms MS     abort mining if it exceeds MS milliseconds of
+                           wall-clock time
 
   check       Check a mined model (JSON) against a log
       <MODEL.json> <LOG>
       --format F           log format (default flowmark)
+      --recover            skip undecodable records instead of aborting
+      --max-errors N       like --recover but abort after N decode errors
       --stats              print conformance telemetry (executions
                            checked, violations by variant, closure/SCC
                            time, codec tallies)
@@ -77,6 +85,9 @@ COMMANDS:
       --format F           log format (default flowmark)
       --threshold T        noise threshold (default 1)
       --max-depth D        decision-tree depth limit (default 8)
+      --recover            skip undecodable records instead of aborting
+      --max-errors N       like --recover but abort after N decode errors
+      --deadline-ms MS     abort mining if it exceeds MS milliseconds
       --stats              print miner and classifier telemetry (rows
                            extracted, splits evaluated, tree depth,
                            learn time)
@@ -158,15 +169,71 @@ fn read_log_instrumented(
     format: &str,
     stats: &mut CodecStats,
 ) -> Result<WorkflowLog, Box<dyn Error>> {
+    read_log_with(
+        path,
+        format,
+        RecoveryPolicy::Strict,
+        stats,
+        &mut IngestReport::default(),
+    )
+}
+
+fn read_log_with(
+    path: &str,
+    format: &str,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, Box<dyn Error>> {
     let reader = BufReader::new(File::open(path)?);
     let log = match format {
-        "flowmark" => codec::flowmark::read_log_instrumented(reader, stats)?,
-        "seqs" => codec::seqs::read_log_instrumented(reader, stats)?,
-        "jsonl" => codec::jsonl::read_log_instrumented(reader, stats)?,
-        "xes" => codec::xes::read_log_instrumented(reader, stats)?,
+        "flowmark" => codec::flowmark::read_log_with(reader, policy, stats, report)?,
+        "seqs" => codec::seqs::read_log_with(reader, policy, stats, report)?,
+        "jsonl" => codec::jsonl::read_log_with(reader, policy, stats, report)?,
+        "xes" => codec::xes::read_log_with(reader, policy, stats, report)?,
         other => return Err(format!("unknown log format `{other}`").into()),
     };
     Ok(log)
+}
+
+/// The recovery policy implied by `--recover` / `--max-errors N`:
+/// `--max-errors` bounds the decode-error budget (and implies recovery
+/// on its own); bare `--recover` skips without limit.
+fn ingest_policy(p: &Parsed) -> Result<RecoveryPolicy, ArgError> {
+    let max_errors: Option<u64> = match p.get("max-errors") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
+            flag: "max-errors".to_string(),
+            value: v.to_string(),
+            expected: "error budget (integer)",
+        })?),
+    };
+    Ok(match (p.has("recover"), max_errors) {
+        (_, Some(max_errors)) => RecoveryPolicy::Skip { max_errors },
+        (true, None) => RecoveryPolicy::BestEffort,
+        (false, None) => RecoveryPolicy::Strict,
+    })
+}
+
+/// Summarizes a recovering ingest on stderr (silent under `Strict`,
+/// where any decode error already aborted the command).
+fn report_ingest(report: &IngestReport, policy: RecoveryPolicy) {
+    if policy.is_strict() {
+        return;
+    }
+    eprintln!(
+        "ingest: {} records parsed, {} skipped, {} decode errors",
+        report.records_parsed, report.records_skipped, report.errors_total
+    );
+    for e in &report.errors {
+        eprintln!("  byte {} (line {}): {}", e.byte_offset, e.line, e.message);
+    }
+    if report.errors_total as usize > report.errors.len() {
+        eprintln!(
+            "  ... {} more not recorded",
+            report.errors_total as usize - report.errors.len()
+        );
+    }
 }
 
 fn write_log(log: &WorkflowLog, out: Option<&str>, format: &str) -> CliResult {
@@ -282,12 +349,22 @@ fn generate(argv: &[String]) -> CliResult {
     write_log(&log, p.get("out"), format)
 }
 
+/// Miner options from the shared `--threshold` / `--deadline-ms` flags.
+fn miner_options(p: &Parsed) -> Result<MinerOptions, ArgError> {
+    let mut opts = MinerOptions::with_threshold(p.get_parse("threshold", 1, "integer")?);
+    let deadline_ms: u64 = p.get_parse("deadline-ms", 0, "integer")?;
+    if deadline_ms > 0 {
+        opts.limits.deadline = Some(std::time::Duration::from_millis(deadline_ms));
+    }
+    Ok(opts)
+}
+
 fn mine_with<S: MetricsSink>(
     p: &Parsed,
     log: &WorkflowLog,
     sink: &mut S,
 ) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
-    let opts = MinerOptions::with_threshold(p.get_parse("threshold", 1, "integer")?);
+    let opts = miner_options(p)?;
     let threads: usize = p.get_parse("threads", 0, "integer")?;
     if threads > 0 {
         return match p.get("algorithm").unwrap_or("auto") {
@@ -321,16 +398,23 @@ fn mine_with<S: MetricsSink>(
 /// Streams a flowmark log through the incremental miner, skipping bad
 /// cases with a warning. Returns the model and the log (re-read in
 /// batch form for the conformance/gateway reporting). The stream's
-/// byte/event/execution tallies are merged into `codec_stats`.
+/// byte/event/execution tallies are merged into `codec_stats` and its
+/// decode-error accounting into `ingest`. Under a recovering `policy`
+/// the stream itself skips bad lines; under `Strict` a decode error
+/// aborts the whole command (the historical `--stream` behaviour of
+/// warning and continuing applies only to *assembly* rejections, which
+/// the miner reports per case).
 fn mine_streaming(
     path: &str,
-    threshold: u32,
+    options: MinerOptions,
+    policy: RecoveryPolicy,
     metrics: Option<&mut MinerMetrics>,
     codec_stats: &mut CodecStats,
+    ingest: &mut IngestReport,
 ) -> Result<(MinedModel, WorkflowLog), Box<dyn Error>> {
     use procmine_log::codec::stream::ExecutionStream;
-    let mut miner = procmine_core::IncrementalMiner::new(MinerOptions::with_threshold(threshold));
-    let mut stream = ExecutionStream::new(BufReader::new(File::open(path)?));
+    let mut miner = procmine_core::IncrementalMiner::new(options);
+    let mut stream = ExecutionStream::with_policy(BufReader::new(File::open(path)?), policy);
     let mut skipped = 0usize;
     let mut kept = WorkflowLog::new();
     while let Some(result) = stream.next() {
@@ -352,6 +436,11 @@ fn mine_streaming(
                     }
                 }
             }
+            Err(e) if policy.is_strict() => {
+                codec_stats.merge(&stream.stats());
+                ingest.merge(stream.report());
+                return Err(e.into());
+            }
             Err(e) => {
                 eprintln!("warning: skipping unparsable case: {e}");
                 skipped += 1;
@@ -362,6 +451,7 @@ fn mine_streaming(
         eprintln!("streamed with {skipped} case(s) skipped");
     }
     codec_stats.merge(&stream.stats());
+    ingest.merge(stream.report());
     let model = match metrics {
         Some(m) => miner.model_instrumented(m)?,
         None => miner.model()?,
@@ -382,15 +472,19 @@ fn mine(argv: &[String]) -> CliResult {
             "json",
             "bpmn",
             "stats-json",
+            "max-errors",
+            "deadline-ms",
         ],
-        &["check", "stream", "stats"],
+        &["check", "stream", "stats", "recover"],
     )?;
     let path = p
         .positional()
         .first()
         .ok_or(ArgError::Required("log file"))?;
     let want_stats = p.has("stats") || p.get("stats-json").is_some();
+    let policy = ingest_policy(&p)?;
     let mut codec_stats = CodecStats::default();
+    let mut ingest = IngestReport::default();
     let mut metrics = MinerMetrics::new();
     let started = std::time::Instant::now();
     let (model, log, algorithm) = if p.has("stream") {
@@ -400,21 +494,18 @@ fn mine(argv: &[String]) -> CliResult {
         if p.get("threads").is_some() {
             return Err("--threads cannot be combined with --stream".into());
         }
-        let threshold = p.get_parse("threshold", 1, "integer")?;
         let (model, log) = mine_streaming(
             path,
-            threshold,
+            miner_options(&p)?,
+            policy,
             want_stats.then_some(&mut metrics),
             &mut codec_stats,
+            &mut ingest,
         )?;
         (model, log, Algorithm::GeneralDag)
     } else {
         let format = p.get("format").unwrap_or("flowmark");
-        let log = if want_stats {
-            read_log_instrumented(path, format, &mut codec_stats)?
-        } else {
-            read_log(path, format)?
-        };
+        let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest)?;
         let (model, algorithm) = if want_stats {
             mine_with(&p, &log, &mut metrics)?
         } else {
@@ -422,6 +513,7 @@ fn mine(argv: &[String]) -> CliResult {
         };
         (model, log, algorithm)
     };
+    report_ingest(&ingest, policy);
     let elapsed = started.elapsed();
 
     println!(
@@ -511,6 +603,8 @@ fn mine(argv: &[String]) -> CliResult {
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
         out.push_str(&codec_stats.to_json());
+        out.push_str(",\"ingest\":");
+        out.push_str(&ingest.to_json());
         out.push(',');
         metrics.write_json_fields(&mut out);
         out.push('}');
@@ -543,19 +637,22 @@ fn mine(argv: &[String]) -> CliResult {
 }
 
 fn check(argv: &[String]) -> CliResult {
-    let p = parse(argv, &["format", "stats-json"], &["stats"])?;
+    let p = parse(
+        argv,
+        &["format", "stats-json", "max-errors"],
+        &["stats", "recover"],
+    )?;
     let [model_path, log_path] = p.positional() else {
         return Err(ArgError::Required("MODEL.json and LOG arguments").into());
     };
     let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let model: MinedModel = serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
     let format = p.get("format").unwrap_or("flowmark");
+    let policy = ingest_policy(&p)?;
     let mut codec_stats = CodecStats::default();
-    let log = if want_stats {
-        read_log_instrumented(log_path, format, &mut codec_stats)?
-    } else {
-        read_log(log_path, format)?
-    };
+    let mut ingest = IngestReport::default();
+    let log = read_log_with(log_path, format, policy, &mut codec_stats, &mut ingest)?;
+    report_ingest(&ingest, policy);
     let mut metrics = ConformanceMetrics::new();
     let report = if want_stats {
         conformance::check_conformance_instrumented(&model, &log, &mut metrics)
@@ -572,6 +669,8 @@ fn check(argv: &[String]) -> CliResult {
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
         out.push_str(&codec_stats.to_json());
+        out.push_str(",\"ingest\":");
+        out.push_str(&ingest.to_json());
         out.push(',');
         metrics.write_json_fields(&mut out);
         out.push('}');
@@ -600,21 +699,27 @@ fn check(argv: &[String]) -> CliResult {
 fn conditions(argv: &[String]) -> CliResult {
     let p = parse(
         argv,
-        &["format", "threshold", "max-depth", "stats-json"],
-        &["stats"],
+        &[
+            "format",
+            "threshold",
+            "max-depth",
+            "stats-json",
+            "max-errors",
+            "deadline-ms",
+        ],
+        &["stats", "recover"],
     )?;
     let path = p
         .positional()
         .first()
         .ok_or(ArgError::Required("log file"))?;
     let want_stats = p.has("stats") || p.get("stats-json").is_some();
+    let policy = ingest_policy(&p)?;
     let mut codec_stats = CodecStats::default();
+    let mut ingest = IngestReport::default();
     let format = p.get("format").unwrap_or("flowmark");
-    let log = if want_stats {
-        read_log_instrumented(path, format, &mut codec_stats)?
-    } else {
-        read_log(path, format)?
-    };
+    let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest)?;
+    report_ingest(&ingest, policy);
     let mut miner_metrics = MinerMetrics::new();
     let (model, _) = if want_stats {
         mine_with(&p, &log, &mut miner_metrics)?
@@ -647,6 +752,8 @@ fn conditions(argv: &[String]) -> CliResult {
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
         out.push_str(&codec_stats.to_json());
+        out.push_str(",\"ingest\":");
+        out.push_str(&ingest.to_json());
         out.push(',');
         miner_metrics.write_json_fields(&mut out);
         out.push_str(",\"classify\":");

@@ -698,3 +698,140 @@ fn bad_flags_are_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
 }
+
+/// A small valid flowmark log (two executions of A then B) with one
+/// garbage line spliced into the middle.
+fn corrupted_flowmark(dir: &std::path::Path) -> PathBuf {
+    let log = dir.join("corrupt.fm");
+    std::fs::write(
+        &log,
+        "case1,A,START,1\n\
+         case1,A,END,2\n\
+         this line is not an event record\n\
+         case1,B,START,3\n\
+         case1,B,END,4\n\
+         case2,A,START,5\n\
+         case2,A,END,6\n\
+         case2,B,START,7\n\
+         case2,B,END,8\n",
+    )
+    .unwrap();
+    log
+}
+
+#[test]
+fn mine_aborts_on_corruption_without_recover() {
+    let dir = tmpdir("strict-corrupt");
+    let log = corrupted_flowmark(&dir);
+    let out = procmine(&["mine", log.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 3"), "{err}");
+}
+
+#[test]
+fn mine_recover_skips_corruption_and_reports() {
+    let dir = tmpdir("recover-corrupt");
+    let log = corrupted_flowmark(&dir);
+    let out = procmine(&["mine", log.to_str().unwrap(), "--recover"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 executions"), "{text}");
+    assert!(text.contains("A -> B"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1 decode errors"), "{err}");
+}
+
+#[test]
+fn mine_max_errors_budget_is_enforced() {
+    let dir = tmpdir("max-errors");
+    let log = corrupted_flowmark(&dir);
+    // A budget of 1 tolerates the single bad line...
+    let out = procmine(&["mine", log.to_str().unwrap(), "--max-errors", "1"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...but a budget of 0 rejects it.
+    let out = procmine(&["mine", log.to_str().unwrap(), "--max-errors", "0"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn mine_recover_ingest_lands_in_stats_json() {
+    let dir = tmpdir("recover-stats");
+    let log = corrupted_flowmark(&dir);
+    let stats = dir.join("stats.json");
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--recover",
+        "--stats-json",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    let ingest = json.get("ingest").expect("ingest key present");
+    assert_eq!(ingest.get("errors_total").unwrap().as_u64(), Some(1));
+    assert_eq!(ingest.get("records_skipped").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn check_recovers_from_corruption() {
+    let dir = tmpdir("check-recover");
+    let log = corrupted_flowmark(&dir);
+    let model = dir.join("model.json");
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--recover",
+        "--json",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Strict check aborts on the bad line; --recover passes.
+    let out = procmine(&["check", model.to_str().unwrap(), log.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let out = procmine(&[
+        "check",
+        model.to_str().unwrap(),
+        log.to_str().unwrap(),
+        "--recover",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn mine_deadline_ms_aborts_mining() {
+    let dir = tmpdir("deadline");
+    let log = dir.join("big.fm");
+    let out = procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "20000",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = procmine(&["mine", log.to_str().unwrap(), "--deadline-ms", "1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline"), "{err}");
+}

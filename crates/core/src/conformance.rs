@@ -176,20 +176,17 @@ fn check_execution_impl(model: &MinedModel, exec: &Execution) -> Vec<Violation> 
     // each; we accept membership so partially-mined graphs still check.)
     // With unknown activities in the mix, the first/last *known*
     // activity stands in for the endpoints.
-    let known = |a: &ActivityId| a.index() < n;
-    let first = exec
+    let mut known = exec
         .instances()
         .iter()
         .map(|i| i.activity)
-        .find(|a| known(a))
-        .expect("present is non-empty");
-    let last = exec
-        .instances()
-        .iter()
-        .rev()
-        .map(|i| i.activity)
-        .find(|a| known(a))
-        .expect("present is non-empty");
+        .filter(|a| a.index() < n);
+    let Some(first) = known.next() else {
+        // Unreachable: `present` being non-empty means some instance
+        // maps into the model; bail without endpoint checks regardless.
+        return violations;
+    };
+    let last = known.next_back().unwrap_or(first);
     let sources = g.sources();
     let sinks = g.sinks();
     if !sources.is_empty() && !sources.contains(&NodeId::new(first.index())) {
@@ -205,12 +202,12 @@ fn check_execution_impl(model: &MinedModel, exec: &Execution) -> Vec<Violation> 
 
     // Reachability from the initiating activity within the induced
     // subgraph.
-    let start_pos = NodeId::new(
-        present
-            .iter()
-            .position(|&a| a == first.index())
-            .expect("first known activity is present"),
-    );
+    let Some(first_pos) = present.iter().position(|&a| a == first.index()) else {
+        // Unreachable: `first` was selected from the known activities
+        // that populated `present`.
+        return violations;
+    };
+    let start_pos = NodeId::new(first_pos);
     let mut reachable = reach::reachable_from(&induced, start_pos);
     reachable.insert(start_pos.index());
     for (i, &a) in present.iter().enumerate() {
@@ -439,6 +436,9 @@ fn check_foreign_execution(
     if mapped.is_empty() {
         return violations;
     }
+    // Infallible: `mapped` is non-empty (checked above) and remapping
+    // changes only activity ids, never the validated intervals.
+    #[allow(clippy::expect_used)]
     let remapped = Execution::new(exec.id.clone(), mapped)
         .expect("remapping preserves the original execution's validated intervals");
     violations.extend(check_execution_impl(model, &remapped));

@@ -43,6 +43,8 @@ pub fn mine_cyclic_instrumented<S: MetricsSink>(
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    options.limits.check_log(log)?;
+    let deadline = options.limits.start_clock();
     let n = log.activities().len();
 
     // Step 2 (of Algorithm 3): uniquely identify each occurrence.
@@ -51,6 +53,7 @@ pub fn mine_cyclic_instrumented<S: MetricsSink>(
     let started = stage_start::<S>();
     let mut max_occ = vec![0usize; n];
     for exec in log.executions() {
+        deadline.check()?;
         let mut counts = vec![0usize; n];
         for a in exec.sequence() {
             counts[a.index()] += 1;
@@ -69,18 +72,18 @@ pub fn mine_cyclic_instrumented<S: MetricsSink>(
     }
 
     // Lower the log to instance vertices (steps 1–3 are one pass).
-    let execs: Vec<Vec<(usize, u64, u64)>> = log
-        .executions()
-        .iter()
-        .map(|e| {
-            let labeled = e.labeled_sequence();
+    let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+    for e in log.executions() {
+        deadline.check()?;
+        let labeled = e.labeled_sequence();
+        execs.push(
             e.instances()
                 .iter()
                 .zip(labeled)
                 .map(|(inst, (a, occ))| (offset[a.index()] + occ as usize, inst.start, inst.end))
-                .collect()
-        })
-        .collect();
+                .collect(),
+        );
+    }
     let vlog = VertexLog {
         n: total,
         execs: &execs,
@@ -88,7 +91,7 @@ pub fn mine_cyclic_instrumented<S: MetricsSink>(
     stage_end(sink, Stage::Lower, started);
 
     // Steps 4–7: the shared pipeline.
-    let result = mine_vertex_log(&vlog, options.noise_threshold, sink);
+    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink)?;
 
     // Step 8: merge instance vertices back into activities.
     let started = stage_start::<S>();

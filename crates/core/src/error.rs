@@ -31,6 +31,15 @@ pub enum MineError {
     /// algorithm requires a DAG. With interval (non-instantaneous) logs
     /// this can happen in Algorithm 1; the general miner handles it.
     UnexpectedCycle,
+    /// A resource guard fired: the log exceeded a configured
+    /// [`crate::Limits`] bound, or the mining run outlived its
+    /// wall-clock deadline.
+    LimitExceeded {
+        /// Which limit fired.
+        kind: crate::LimitKind,
+        /// Human-readable specifics (the observed and configured values).
+        details: String,
+    },
 }
 
 impl fmt::Display for MineError {
@@ -52,6 +61,9 @@ impl fmt::Display for MineError {
                 f,
                 "the ordering graph contains a cycle the algorithm cannot resolve; use mine_general_dag or mine_cyclic"
             ),
+            MineError::LimitExceeded { kind, details } => {
+                write!(f, "resource limit exceeded ({kind}): {details}")
+            }
         }
     }
 }

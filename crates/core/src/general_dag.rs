@@ -19,6 +19,7 @@
 //! (see [`crate::mine_cyclic`]); [`VertexLog`]/[`mine_vertex_log`] are
 //! the shared implementation.
 
+use crate::limits::Deadline;
 use crate::model::graph_skeleton;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
@@ -45,14 +46,16 @@ pub(crate) struct VertexMineResult {
     pub counts: Vec<u32>,
 }
 
-/// Steps 2–7 of Algorithm 2 over an arbitrary vertex log.
+/// Steps 2–7 of Algorithm 2 over an arbitrary vertex log. The
+/// `deadline` is re-checked once per execution in both heavy passes.
 pub(crate) fn mine_vertex_log<S: MetricsSink>(
     vlog: &VertexLog<'_>,
     threshold: u32,
+    deadline: Deadline,
     sink: &mut S,
-) -> VertexMineResult {
-    let counts = count_ordered_pairs(vlog, sink);
-    finish_from_counts(vlog, counts, threshold, sink)
+) -> Result<VertexMineResult, MineError> {
+    let counts = count_ordered_pairs(vlog, deadline, sink)?;
+    finish_from_counts(vlog, counts, threshold, deadline, sink)
 }
 
 /// Step-2 observation counts: `ordered[u*n+v]` executions where `u`
@@ -81,12 +84,14 @@ impl OrderObservations {
 /// maintain counts across batches.
 pub(crate) fn count_ordered_pairs<S: MetricsSink>(
     vlog: &VertexLog<'_>,
+    deadline: Deadline,
     sink: &mut S,
-) -> OrderObservations {
+) -> Result<OrderObservations, MineError> {
     let started = stage_start::<S>();
     let n = vlog.n;
     let mut obs = OrderObservations::new(n);
     for exec in vlog.execs {
+        deadline.check()?;
         count_one_execution(n, exec, &mut obs);
     }
     if S::ENABLED {
@@ -98,7 +103,7 @@ pub(crate) fn count_ordered_pairs<S: MetricsSink>(
         });
     }
     stage_end(sink, Stage::CountPairs, started);
-    obs
+    Ok(obs)
 }
 
 /// Pair observations step 2 makes over `execs`: `k·(k−1)/2` per
@@ -290,8 +295,9 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     vlog: &VertexLog<'_>,
     obs: OrderObservations,
     threshold: u32,
+    deadline: Deadline,
     sink: &mut S,
-) -> VertexMineResult {
+) -> Result<VertexMineResult, MineError> {
     let n = vlog.n;
     let mut g = prune_graph(n, &obs, threshold, sink);
     let counts = obs.ordered;
@@ -302,6 +308,7 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     let mut marked = AdjMatrix::new(n);
     let mut scratch = MarkScratch::new();
     for exec in vlog.execs {
+        deadline.check()?;
         mark_one_execution(&g, exec, &mut marked, &mut scratch);
     }
 
@@ -321,15 +328,17 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     }
     stage_end(sink, Stage::Reduce, started);
 
-    VertexMineResult { graph: g, counts }
+    Ok(VertexMineResult { graph: g, counts })
 }
 
 /// Mines a conformal graph for an acyclic process whose executions may
 /// skip activities (Algorithm 2). Runs in O(n³m).
 ///
-/// Errors: [`MineError::EmptyLog`] for an empty log, and
+/// Errors: [`MineError::EmptyLog`] for an empty log,
 /// [`MineError::RepeatsRequireCyclicMiner`] if any execution repeats an
-/// activity (use [`crate::mine_cyclic`]).
+/// activity (use [`crate::mine_cyclic`]), and
+/// [`MineError::LimitExceeded`] when `options.limits` sets a bound the
+/// log or the run exceeds.
 pub fn mine_general_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
@@ -348,7 +357,10 @@ pub fn mine_general_dag_instrumented<S: MetricsSink>(
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    options.limits.check_log(log)?;
+    let deadline = options.limits.start_clock();
     for exec in log.executions() {
+        deadline.check()?;
         if exec.has_repeats() {
             return Err(MineError::RepeatsRequireCyclicMiner {
                 execution: exec.id.clone(),
@@ -358,20 +370,20 @@ pub fn mine_general_dag_instrumented<S: MetricsSink>(
 
     let started = stage_start::<S>();
     let n = log.activities().len();
-    let execs: Vec<Vec<(usize, u64, u64)>> = log
-        .executions()
-        .iter()
-        .map(|e| {
+    let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+    for e in log.executions() {
+        deadline.check()?;
+        execs.push(
             e.instances()
                 .iter()
                 .map(|i| (i.activity.index(), i.start, i.end))
-                .collect()
-        })
-        .collect();
+                .collect(),
+        );
+    }
     stage_end(sink, Stage::Lower, started);
 
     let vlog = VertexLog { n, execs: &execs };
-    let result = mine_vertex_log(&vlog, options.noise_threshold, sink);
+    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink)?;
 
     let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());

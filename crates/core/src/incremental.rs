@@ -20,6 +20,7 @@
 use crate::general_dag::{
     count_one_execution, finish_from_counts, pair_observations, OrderObservations, VertexLog,
 };
+use crate::limits::LimitKind;
 use crate::model::graph_skeleton;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::{MineError, MinedModel, MinerOptions};
@@ -38,6 +39,9 @@ pub struct IncrementalMiner {
     /// Lowered executions (dense vertex, start, end), kept for the
     /// marking pass (steps 5–6 need the executions themselves).
     execs: Vec<Vec<(usize, u64, u64)>>,
+    /// Total activity instances absorbed — checked against
+    /// [`crate::Limits::max_events`] before each absorb.
+    events: u64,
 }
 
 impl IncrementalMiner {
@@ -48,7 +52,47 @@ impl IncrementalMiner {
             table: ActivityTable::new(),
             obs: OrderObservations::new(0),
             execs: Vec::new(),
+            events: 0,
         }
+    }
+
+    /// Size-limit checks run *before* an absorb mutates any state, so a
+    /// rejected execution leaves the miner (including its activity
+    /// table) untouched. `new_names` is how many previously-unseen
+    /// activities the execution would intern.
+    fn check_absorb(&self, id: &str, len: usize, new_names: usize) -> Result<(), MineError> {
+        let limits = &self.options.limits;
+        if let Some(max) = limits.max_execution_len {
+            if len > max {
+                return Err(MineError::LimitExceeded {
+                    kind: LimitKind::ExecutionLength,
+                    details: format!("execution `{id}` has {len} activity instances (limit {max})"),
+                });
+            }
+        }
+        if let Some(max) = limits.max_activities {
+            let grown = self.table.len() + new_names;
+            if grown > max {
+                return Err(MineError::LimitExceeded {
+                    kind: LimitKind::Activities,
+                    details: format!(
+                        "execution `{id}` would grow the activity universe to {grown} (limit {max})"
+                    ),
+                });
+            }
+        }
+        if let Some(max) = limits.max_events {
+            let total = self.events + len as u64;
+            if total > max {
+                return Err(MineError::LimitExceeded {
+                    kind: LimitKind::Events,
+                    details: format!(
+                        "absorbing execution `{id}` would exceed {max} total activity instances"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of executions absorbed.
@@ -75,6 +119,12 @@ impl IncrementalMiner {
                 execution: format!("incremental-{}", self.execs.len()),
             });
         }
+        let new_names = seen.iter().filter(|n| self.table.id(n).is_none()).count();
+        self.check_absorb(
+            &format!("incremental-{}", self.execs.len()),
+            names.len(),
+            new_names,
+        )?;
         let old_n = self.table.len();
         let lowered: Vec<(usize, u64, u64)> = names
             .iter()
@@ -83,6 +133,7 @@ impl IncrementalMiner {
             .collect();
         self.grow_to(self.table.len(), old_n);
         count_one_execution(self.table.len(), &lowered, &mut self.obs);
+        self.events += lowered.len() as u64;
         self.execs.push(lowered);
         Ok(())
     }
@@ -105,6 +156,12 @@ impl IncrementalMiner {
                 execution: exec.id.clone(),
             });
         }
+        let new_names = exec
+            .instances()
+            .iter()
+            .filter(|i| self.table.id(source_table.name(i.activity)).is_none())
+            .count();
+        self.check_absorb(&exec.id, exec.len(), new_names)?;
         let old_n = self.table.len();
         let lowered: Vec<(usize, u64, u64)> = exec
             .instances()
@@ -119,6 +176,7 @@ impl IncrementalMiner {
             .collect();
         self.grow_to(self.table.len(), old_n);
         count_one_execution(self.table.len(), &lowered, &mut self.obs);
+        self.events += lowered.len() as u64;
         self.execs.push(lowered);
         Ok(())
     }
@@ -184,8 +242,13 @@ impl IncrementalMiner {
                 m.pairs_counted += pairs;
             });
         }
-        let result =
-            finish_from_counts(&vlog, self.obs.clone(), self.options.noise_threshold, sink);
+        let result = finish_from_counts(
+            &vlog,
+            self.obs.clone(),
+            self.options.noise_threshold,
+            self.options.limits.start_clock(),
+            sink,
+        )?;
         let started = stage_start::<S>();
         let mut graph = graph_skeleton(&self.table);
         let mut support = Vec::with_capacity(result.graph.edge_count());

@@ -51,6 +51,7 @@ mod cyclic;
 mod error;
 mod general_dag;
 mod incremental;
+mod limits;
 mod miner;
 mod model;
 mod parallel;
@@ -69,6 +70,7 @@ pub use cyclic::{mine_cyclic, mine_cyclic_instrumented};
 pub use error::MineError;
 pub use general_dag::{mine_general_dag, mine_general_dag_instrumented};
 pub use incremental::IncrementalMiner;
+pub use limits::{LimitKind, Limits};
 pub use miner::{mine_auto, mine_auto_instrumented, Algorithm, MinerOptions};
 pub use model::MinedModel;
 pub use parallel::{mine_general_dag_parallel, mine_general_dag_parallel_instrumented};

@@ -77,6 +77,9 @@ pub fn compare_models(
     for (_, name) in reference.graph().nodes() {
         remapped.add_node(name.clone());
     }
+    // Infallible: the ActivityMismatch check above guarantees every
+    // mined name exists in the reference.
+    #[allow(clippy::expect_used)]
     for (u, v) in mined.graph().edges() {
         let ru = reference
             .node_of(mined.name_of(u))
@@ -139,6 +142,9 @@ pub fn compare_dependencies(
     for (_, name) in reference.graph().nodes() {
         remapped.add_node(name.clone());
     }
+    // Infallible: compare_models above already errored on any
+    // activity-name mismatch.
+    #[allow(clippy::expect_used)]
     for (u, v) in mined.graph().edges() {
         let ru = reference.node_of(mined.name_of(u)).expect("aligned above");
         let rv = reference.node_of(mined.name_of(v)).expect("aligned above");

@@ -16,18 +16,33 @@ pub struct MinerOptions {
     /// setting of §3–§5). Use [`crate::noise::optimal_threshold`] to
     /// derive a value from an error-rate estimate.
     pub noise_threshold: u32,
+    /// Resource guards (size and wall-clock bounds). Defaults to
+    /// unlimited; see [`crate::Limits`].
+    pub limits: crate::Limits,
 }
 
 impl Default for MinerOptions {
     fn default() -> Self {
-        MinerOptions { noise_threshold: 1 }
+        MinerOptions {
+            noise_threshold: 1,
+            limits: crate::Limits::default(),
+        }
     }
 }
 
 impl MinerOptions {
     /// Options with a specific noise threshold.
     pub fn with_threshold(noise_threshold: u32) -> Self {
-        MinerOptions { noise_threshold }
+        MinerOptions {
+            noise_threshold,
+            ..MinerOptions::default()
+        }
+    }
+
+    /// Replaces the resource guards, builder-style.
+    pub fn with_limits(mut self, limits: crate::Limits) -> Self {
+        self.limits = limits;
+        self
     }
 }
 

@@ -52,7 +52,10 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    options.limits.check_log(log)?;
+    let deadline = options.limits.start_clock();
     for exec in log.executions() {
+        deadline.check()?;
         if exec.has_repeats() {
             return Err(MineError::RepeatsRequireCyclicMiner {
                 execution: exec.id.clone(),
@@ -62,16 +65,16 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     let threads = threads.max(1);
     let n = log.activities().len();
     let started = stage_start::<S>();
-    let execs: Vec<Vec<(usize, u64, u64)>> = log
-        .executions()
-        .iter()
-        .map(|e| {
+    let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+    for e in log.executions() {
+        deadline.check()?;
+        execs.push(
             e.instances()
                 .iter()
                 .map(|i| (i.activity.index(), i.start, i.end))
-                .collect()
-        })
-        .collect();
+                .collect(),
+        );
+    }
     let vlog = VertexLog { n, execs: &execs };
     stage_end(sink, Stage::Lower, started);
 
@@ -85,25 +88,38 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
             .execs
             .chunks(chunk.max(1))
             .map(|execs| {
-                scope.spawn(move || {
-                    let started = stage_start::<S>();
-                    let mut local = OrderObservations::new(n);
-                    for exec in execs {
-                        count_one_execution(n, exec, &mut local);
-                    }
-                    let mut lm = MinerMetrics::new();
-                    if S::ENABLED {
-                        lm.executions_scanned = execs.len() as u64;
-                        lm.pairs_counted = pair_observations(execs);
-                        stage_end(&mut lm, Stage::CountPairs, started);
-                    }
-                    (local, lm)
-                })
+                scope.spawn(
+                    move || -> Result<(OrderObservations, MinerMetrics), MineError> {
+                        let started = stage_start::<S>();
+                        let mut local = OrderObservations::new(n);
+                        for exec in execs {
+                            deadline.check()?;
+                            count_one_execution(n, exec, &mut local);
+                        }
+                        let mut lm = MinerMetrics::new();
+                        if S::ENABLED {
+                            lm.executions_scanned = execs.len() as u64;
+                            lm.pairs_counted = pair_observations(execs);
+                            stage_end(&mut lm, Stage::CountPairs, started);
+                        }
+                        Ok((local, lm))
+                    },
+                )
             })
             .collect();
         let mut total = OrderObservations::new(n);
+        let mut first_err = None;
         for h in handles {
-            let (local, lm) = h.join().expect("counting thread panicked");
+            // Every handle is joined even after an error so no worker
+            // outlives the scope; a worker panic is re-raised as-is.
+            let (local, lm) = match h.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+                Ok(Ok(parts)) => parts,
+            };
             for (t, l) in total.ordered.iter_mut().zip(local.ordered) {
                 *t += l;
             }
@@ -114,8 +130,11 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
                 sink.record(|m| m.merge(&lm));
             }
         }
-        total
-    });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    })?;
     wall.finish(sink);
 
     // Steps 3–4 serial (cheap).
@@ -130,24 +149,33 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
             .execs
             .chunks(chunk.max(1))
             .map(|execs| {
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<(AdjMatrix, MinerMetrics), MineError> {
                     let started = stage_start::<S>();
                     let mut local = AdjMatrix::new(n);
                     let mut scratch = MarkScratch::new();
                     for exec in execs {
+                        deadline.check()?;
                         mark_one_execution(g_ref, exec, &mut local, &mut scratch);
                     }
                     let mut lm = MinerMetrics::new();
                     if S::ENABLED {
                         stage_end(&mut lm, Stage::Reduce, started);
                     }
-                    (local, lm)
+                    Ok((local, lm))
                 })
             })
             .collect();
         let mut total = AdjMatrix::new(n);
+        let mut first_err = None;
         for h in handles {
-            let (local, lm) = h.join().expect("marking thread panicked");
+            let (local, lm) = match h.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+                Ok(Ok(parts)) => parts,
+            };
             for (u, v) in local.edges() {
                 total.add_edge(u, v);
             }
@@ -155,8 +183,11 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
                 sink.record(|m| m.merge(&lm));
             }
         }
-        total
-    });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    })?;
     wall.finish(sink);
 
     // Step 6: drop edges no execution needed.

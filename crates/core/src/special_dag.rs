@@ -51,8 +51,11 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    options.limits.check_log(log)?;
+    let deadline = options.limits.start_clock();
     let n = log.activities().len();
     for exec in log.executions() {
+        deadline.check()?;
         if exec.has_repeats() {
             return Err(MineError::RepeatsRequireCyclicMiner {
                 execution: exec.id.clone(),
@@ -72,6 +75,7 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
     let started = stage_start::<S>();
     let mut obs = crate::general_dag::OrderObservations::new(n);
     for exec in log.executions() {
+        deadline.check()?;
         let lowered: Vec<(usize, u64, u64)> = exec
             .instances()
             .iter()

@@ -13,8 +13,9 @@
 //! consumed ("lists of event records consisting of the process name, the
 //! activity name, the event type, and the timestamp", §8).
 
-use super::{CodecStats, CountingReader};
-use crate::{EventKind, EventRecord, LogError, WorkflowLog};
+use super::{ByteLines, CodecStats, IngestReport, RecoveryPolicy};
+use crate::validate::{assemble_executions_with, AssemblyPolicy};
+use crate::{ActivityTable, EventKind, EventRecord, LogError, WorkflowLog};
 use std::io::{BufRead, Write};
 
 /// Parses a Flowmark-style event stream into raw records.
@@ -43,13 +44,100 @@ pub fn read_log_instrumented<R: BufRead>(
     reader: R,
     stats: &mut CodecStats,
 ) -> Result<WorkflowLog, LogError> {
-    let mut counting = CountingReader::new(reader);
-    let records = read_events(&mut counting)?;
-    let log = WorkflowLog::from_events(&records)?;
-    stats.bytes_read += counting.bytes();
+    read_log_with(
+        reader,
+        RecoveryPolicy::Strict,
+        stats,
+        &mut IngestReport::default(),
+    )
+}
+
+/// [`read_log_instrumented`] with a [`RecoveryPolicy`]: under `Strict`
+/// the first bad line aborts (it is still recorded in `report`, with
+/// its byte offset); under `Skip`/`BestEffort` bad lines are counted
+/// and skipped and START/END pairing falls back to lenient assembly.
+/// An unparsable final line with no trailing newline is reported as
+/// [`LogError::UnexpectedEof`] — a truncated file, not a garbage line.
+pub fn read_log_with<R: BufRead>(
+    reader: R,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    let mut lines = ByteLines::new(reader);
+    let result = collect_records(&mut lines, policy, report);
+    stats.bytes_read += lines.bytes();
+    let records = result?;
     stats.events_parsed += records.len() as u64;
+    let log = if policy.is_strict() {
+        WorkflowLog::from_events(&records).map_err(|e| {
+            report.record_error(lines.bytes(), 0, e.to_string());
+            e
+        })?
+    } else {
+        let mut table = ActivityTable::new();
+        let assembled = assemble_executions_with(&records, &mut table, AssemblyPolicy::Lenient)
+            .map_err(|e| {
+                report.record_error(lines.bytes(), 0, e.to_string());
+                e
+            })?;
+        report.records_skipped += assembled.diagnostics.len() as u64;
+        let mut log = WorkflowLog::with_activities(table);
+        for exec in assembled.executions {
+            log.push(exec);
+        }
+        log
+    };
     stats.executions_parsed += log.len() as u64;
     Ok(log)
+}
+
+fn collect_records<R: BufRead>(
+    lines: &mut ByteLines<R>,
+    policy: RecoveryPolicy,
+    report: &mut IngestReport,
+) -> Result<Vec<EventRecord>, LogError> {
+    let mut records = Vec::new();
+    while let Some((offset, lineno, had_newline)) = lines.read_next()? {
+        let raw = lines.line();
+        let parsed = match std::str::from_utf8(raw) {
+            Ok(text) => {
+                let trimmed = text.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                parse_event_line(trimmed, lineno)
+            }
+            Err(_) => Err(LogError::Parse {
+                line: lineno,
+                message: "line is not valid UTF-8".to_string(),
+            }),
+        };
+        match parsed {
+            Ok(record) => {
+                report.records_parsed += 1;
+                records.push(record);
+            }
+            Err(e) => {
+                // A bad final line with no newline is a truncated tail.
+                let err = if had_newline {
+                    e
+                } else {
+                    LogError::UnexpectedEof {
+                        byte_offset: offset,
+                        message: format!("input ends mid-record ({e})"),
+                    }
+                };
+                report.record_error(offset, lineno, err.to_string());
+                if policy.is_strict() {
+                    return Err(err);
+                }
+                report.records_skipped += 1;
+                report.over_budget(policy)?;
+            }
+        }
+    }
+    Ok(records)
 }
 
 /// Writes a log as a Flowmark-style event stream. Instances are emitted

@@ -7,8 +7,8 @@
 //! {"id":"p1","instances":[{"activity":"A","start":0,"end":1,"output":[3,4]}]}
 //! ```
 
-use super::{CodecStats, CountingReader};
-use crate::{ActivityInstance, Execution, LogError, WorkflowLog};
+use super::{ByteLines, CodecStats, IngestReport, RecoveryPolicy};
+use crate::{ActivityInstance, ActivityTable, Execution, LogError, WorkflowLog};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
@@ -60,38 +60,133 @@ pub fn read_log_instrumented<R: BufRead>(
     reader: R,
     stats: &mut CodecStats,
 ) -> Result<WorkflowLog, LogError> {
-    let mut counting = CountingReader::new(reader);
+    read_log_with(
+        reader,
+        RecoveryPolicy::Strict,
+        stats,
+        &mut IngestReport::default(),
+    )
+}
+
+/// [`read_log_instrumented`] with a [`RecoveryPolicy`]: a line that is
+/// not valid JSON, or whose execution is structurally invalid (no
+/// instances, an interval ending before it starts), aborts under
+/// `Strict` and is counted and skipped otherwise. An unparsable final
+/// line with no trailing newline is reported as
+/// [`LogError::UnexpectedEof`] — a truncated file, not a garbage line.
+pub fn read_log_with<R: BufRead>(
+    reader: R,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    let mut lines = ByteLines::new(reader);
+    let mut table = ActivityTable::new();
     let mut executions = Vec::new();
-    let mut table = crate::ActivityTable::new();
-    for (lineno, line) in (&mut counting).lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let je: JsonExecution = serde_json::from_str(&line).map_err(|e| LogError::Parse {
-            line: lineno + 1,
-            message: e.to_string(),
-        })?;
-        stats.events_parsed += je.instances.len() as u64;
-        let instances: Vec<ActivityInstance> = je
-            .instances
-            .into_iter()
-            .map(|i| ActivityInstance {
-                activity: table.intern(&i.activity),
-                start: i.start,
-                end: i.end,
-                output: i.output,
-            })
-            .collect();
-        executions.push(Execution::new(je.id, instances)?);
-    }
+    let result = read_impl(
+        &mut lines,
+        policy,
+        stats,
+        report,
+        &mut table,
+        &mut executions,
+    );
+    stats.bytes_read += lines.bytes();
+    result?;
     let mut log = WorkflowLog::with_activities(table);
     for e in executions {
         log.push(e);
     }
-    stats.bytes_read += counting.bytes();
     stats.executions_parsed += log.len() as u64;
     Ok(log)
+}
+
+fn read_impl<R: BufRead>(
+    lines: &mut ByteLines<R>,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+    table: &mut ActivityTable,
+    executions: &mut Vec<Execution>,
+) -> Result<(), LogError> {
+    while let Some((offset, lineno, had_newline)) = lines.read_next()? {
+        match parse_line(lines.line(), lineno, table) {
+            Ok(None) => {}
+            Ok(Some(exec)) => {
+                stats.events_parsed += exec.len() as u64;
+                report.records_parsed += 1;
+                executions.push(exec);
+            }
+            Err(e) => {
+                let err = if had_newline {
+                    e
+                } else {
+                    LogError::UnexpectedEof {
+                        byte_offset: offset,
+                        message: format!("input ends mid-record ({e})"),
+                    }
+                };
+                report.record_error(offset, lineno, err.to_string());
+                if policy.is_strict() {
+                    return Err(err);
+                }
+                report.records_skipped += 1;
+                report.over_budget(policy)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses one JSON-lines record; `Ok(None)` for a blank line. The
+/// execution is validated *before* names are interned, so a skipped
+/// record cannot pollute the activity table.
+fn parse_line(
+    raw: &[u8],
+    lineno: usize,
+    table: &mut ActivityTable,
+) -> Result<Option<Execution>, LogError> {
+    let text = std::str::from_utf8(raw).map_err(|_| LogError::Parse {
+        line: lineno,
+        message: "line is not valid UTF-8".to_string(),
+    })?;
+    if text.trim().is_empty() {
+        return Ok(None);
+    }
+    let je: JsonExecution = serde_json::from_str(text).map_err(|e| LogError::Parse {
+        line: lineno,
+        message: e.to_string(),
+    })?;
+    if je.instances.is_empty() {
+        return Err(LogError::Parse {
+            line: lineno,
+            message: format!("execution `{}` has no instances", je.id),
+        });
+    }
+    if let Some(bad) = je.instances.iter().find(|i| i.end < i.start) {
+        return Err(LogError::Parse {
+            line: lineno,
+            message: format!(
+                "execution `{}`: activity `{}` ends at {} before it starts at {}",
+                je.id, bad.activity, bad.end, bad.start
+            ),
+        });
+    }
+    let instances: Vec<ActivityInstance> = je
+        .instances
+        .into_iter()
+        .map(|i| ActivityInstance {
+            activity: table.intern(&i.activity),
+            start: i.start,
+            end: i.end,
+            output: i.output,
+        })
+        .collect();
+    let exec = Execution::new(je.id, instances).map_err(|e| LogError::Parse {
+        line: lineno,
+        message: e.to_string(),
+    })?;
+    Ok(Some(exec))
 }
 
 #[cfg(test)]
@@ -123,8 +218,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_json() {
-        let result = read_log("{not json".as_bytes());
+        let result = read_log("{not json\n".as_bytes());
         assert!(matches!(result, Err(LogError::Parse { line: 1, .. })));
+        // Without the newline the same garbage reads as a truncated tail.
+        let result = read_log("{not json".as_bytes());
+        assert!(matches!(
+            result,
+            Err(LogError::UnexpectedEof { byte_offset: 0, .. })
+        ));
     }
 
     #[test]

@@ -20,7 +20,209 @@ pub mod seqs;
 pub mod stream;
 pub mod xes;
 
+use crate::LogError;
 use std::io::{BufRead, Read};
+
+/// How a codec treats decode errors (bad lines, truncated tails,
+/// malformed XML). Every codec's `read_log_with` entry point takes one;
+/// the plain `read_log` / `read_log_instrumented` entry points use
+/// [`RecoveryPolicy::Strict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// The first decode error aborts the read (it is still recorded in
+    /// the [`IngestReport`], with its byte offset).
+    #[default]
+    Strict,
+    /// Skip bad records, but give up with
+    /// [`LogError::TooManyErrors`](crate::LogError::TooManyErrors) once
+    /// more than `max_errors` decode errors accumulate.
+    Skip {
+        /// Decode-error budget; `Skip { max_errors: 0 }` behaves like
+        /// [`RecoveryPolicy::Strict`] except that dropped-but-harmless
+        /// assembly diagnostics do not count.
+        max_errors: u64,
+    },
+    /// Skip bad records without limit and salvage everything parsable.
+    BestEffort,
+}
+
+impl RecoveryPolicy {
+    /// `true` for [`RecoveryPolicy::Strict`].
+    pub fn is_strict(self) -> bool {
+        matches!(self, RecoveryPolicy::Strict)
+    }
+}
+
+/// At most this many individual errors are retained in
+/// [`IngestReport::errors`]; the rest only bump
+/// [`IngestReport::errors_total`].
+pub const MAX_RECORDED_ERRORS: usize = 16;
+
+/// One decode error, located in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestError {
+    /// Byte offset of the offending record's start.
+    pub byte_offset: u64,
+    /// 1-based line number (0 when the format is not line-oriented).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+/// Outcome of one (possibly recovering) codec read: how many records
+/// made it, how many were dropped, and where the first
+/// [`MAX_RECORDED_ERRORS`] problems sat. Rides alongside [`CodecStats`]
+/// through the telemetry layer. "Record" means the codec's natural
+/// unit — event lines for flowmark, lines for seqs/jsonl, `<event>`
+/// elements for XES.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records decoded successfully.
+    pub records_parsed: u64,
+    /// Records lost to recovery: undecodable lines/events plus events
+    /// dropped by lenient START/END assembly.
+    pub records_skipped: u64,
+    /// Decode errors encountered (assembly diagnostics not included).
+    pub errors_total: u64,
+    /// The first [`MAX_RECORDED_ERRORS`] errors, in input order.
+    pub errors: Vec<IngestError>,
+}
+
+impl IngestReport {
+    /// Appends an error, retaining detail for the first
+    /// [`MAX_RECORDED_ERRORS`].
+    pub fn record_error(&mut self, byte_offset: u64, line: usize, message: impl Into<String>) {
+        self.errors_total += 1;
+        if self.errors.len() < MAX_RECORDED_ERRORS {
+            self.errors.push(IngestError {
+                byte_offset,
+                line,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Checks the error budget after recording an error: under
+    /// [`RecoveryPolicy::Skip`] an exhausted budget aborts the read.
+    pub(crate) fn over_budget(&self, policy: RecoveryPolicy) -> Result<(), LogError> {
+        if let RecoveryPolicy::Skip { max_errors } = policy {
+            if self.errors_total > max_errors {
+                return Err(LogError::TooManyErrors {
+                    errors: self.errors_total,
+                    max_errors,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds `other`'s tallies into `self` (reports from separate reads).
+    pub fn merge(&mut self, other: &IngestReport) {
+        self.records_parsed += other.records_parsed;
+        self.records_skipped += other.records_skipped;
+        self.errors_total += other.errors_total;
+        for e in &other.errors {
+            if self.errors.len() >= MAX_RECORDED_ERRORS {
+                break;
+            }
+            self.errors.push(e.clone());
+        }
+    }
+
+    /// Machine-readable JSON object with a stable key order (matches
+    /// the field order above).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"records_parsed\":{},\"records_skipped\":{},\"errors_total\":{},\"errors\":[",
+            self.records_parsed, self.records_skipped, self.errors_total
+        );
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"byte_offset\":{},\"line\":{},\"message\":\"{}\"}}",
+                e.byte_offset,
+                e.line,
+                json_escape(&e.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Byte-level line reader for the recovering decode paths: unlike
+/// [`BufRead::lines`], it survives invalid UTF-8 (a bit flip must not
+/// abort the whole read as an I/O error), reports each line's starting
+/// byte offset, and says whether the line was newline-terminated — the
+/// signal that distinguishes a garbage line from a truncated tail.
+pub(crate) struct ByteLines<R: BufRead> {
+    reader: CountingReader<R>,
+    buf: Vec<u8>,
+    lineno: usize,
+}
+
+impl<R: BufRead> ByteLines<R> {
+    pub fn new(reader: R) -> Self {
+        ByteLines {
+            reader: CountingReader::new(reader),
+            buf: Vec::new(),
+            lineno: 0,
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes(&self) -> u64 {
+        // Fully qualified: `Read::bytes` (in scope here) would win the
+        // by-value probe over the inherent counter.
+        CountingReader::bytes(&self.reader)
+    }
+
+    /// Advances to the next line. Returns `Ok(Some((byte_offset,
+    /// lineno, had_newline)))` and exposes the raw bytes via
+    /// [`ByteLines::line`]; `Ok(None)` at EOF. I/O errors are fatal.
+    pub fn read_next(&mut self) -> Result<Option<(u64, usize, bool)>, LogError> {
+        let offset = CountingReader::bytes(&self.reader);
+        self.buf.clear();
+        let n = self.reader.read_until(b'\n', &mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.lineno += 1;
+        let had_newline = self.buf.last() == Some(&b'\n');
+        if had_newline {
+            self.buf.pop();
+            if self.buf.last() == Some(&b'\r') {
+                self.buf.pop();
+            }
+        }
+        Ok(Some((offset, self.lineno, had_newline)))
+    }
+
+    /// The bytes of the line returned by the last
+    /// [`ByteLines::read_next`], without the line terminator.
+    pub fn line(&self) -> &[u8] {
+        &self.buf
+    }
+}
 
 /// Byte and event tallies from one codec read.
 ///

@@ -10,7 +10,7 @@
 //! to multi-character activity names. Interval and output information is
 //! not representable — executions are read back as instantaneous.
 
-use super::{CodecStats, CountingReader};
+use super::{ByteLines, CodecStats, IngestReport, RecoveryPolicy};
 use crate::{LogError, WorkflowLog};
 use std::io::{BufRead, Write};
 
@@ -25,27 +25,90 @@ pub fn read_log_instrumented<R: BufRead>(
     reader: R,
     stats: &mut CodecStats,
 ) -> Result<WorkflowLog, LogError> {
-    let mut counting = CountingReader::new(reader);
+    read_log_with(
+        reader,
+        RecoveryPolicy::Strict,
+        stats,
+        &mut IngestReport::default(),
+    )
+}
+
+/// [`read_log_instrumented`] with a [`RecoveryPolicy`]: bad lines abort
+/// (`Strict`) or are counted and skipped. Note that truncation is mostly
+/// *undetectable* in this format — any prefix of a line is itself a
+/// valid sequence — so a cut-off tail silently drops activities; only an
+/// unparsable unterminated tail (e.g. split multi-byte UTF-8) surfaces
+/// as [`LogError::UnexpectedEof`].
+pub fn read_log_with<R: BufRead>(
+    reader: R,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    let mut lines = ByteLines::new(reader);
     let mut log = WorkflowLog::new();
-    for (lineno, line) in (&mut counting).lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let names: Vec<&str> = trimmed.split_whitespace().collect();
-        stats.events_parsed += names.len() as u64;
-        log.push_sequence(&names).map_err(|e| match e {
-            LogError::EmptyExecution { .. } => LogError::Parse {
-                line: lineno + 1,
-                message: "empty execution".to_string(),
-            },
-            other => other,
-        })?;
-    }
-    stats.bytes_read += counting.bytes();
+    let result = read_impl(&mut lines, policy, stats, report, &mut log);
+    stats.bytes_read += lines.bytes();
+    result?;
     stats.executions_parsed += log.len() as u64;
     Ok(log)
+}
+
+fn read_impl<R: BufRead>(
+    lines: &mut ByteLines<R>,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+    log: &mut WorkflowLog,
+) -> Result<(), LogError> {
+    while let Some((offset, lineno, had_newline)) = lines.read_next()? {
+        let pushed = match std::str::from_utf8(lines.line()) {
+            Ok(text) => {
+                let trimmed = text.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                let names: Vec<&str> = trimmed.split_whitespace().collect();
+                let count = names.len() as u64;
+                log.push_sequence(&names)
+                    .map(|_| count)
+                    .map_err(|e| match e {
+                        LogError::EmptyExecution { .. } => LogError::Parse {
+                            line: lineno,
+                            message: "empty execution".to_string(),
+                        },
+                        other => other,
+                    })
+            }
+            Err(_) => Err(LogError::Parse {
+                line: lineno,
+                message: "line is not valid UTF-8".to_string(),
+            }),
+        };
+        match pushed {
+            Ok(count) => {
+                stats.events_parsed += count;
+                report.records_parsed += 1;
+            }
+            Err(e) => {
+                let err = if had_newline {
+                    e
+                } else {
+                    LogError::UnexpectedEof {
+                        byte_offset: offset,
+                        message: format!("input ends mid-record ({e})"),
+                    }
+                };
+                report.record_error(offset, lineno, err.to_string());
+                if policy.is_strict() {
+                    return Err(err);
+                }
+                report.records_skipped += 1;
+                report.over_budget(policy)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Writes a log in sequence format (activity names in start-time order,

@@ -13,7 +13,7 @@
 //! continue (the noise-tolerant route) or abort.
 
 use crate::codec::flowmark;
-use crate::codec::{CodecStats, CountingReader};
+use crate::codec::{ByteLines, CodecStats, IngestReport, RecoveryPolicy};
 use crate::validate::{assemble_executions_with, AssemblyPolicy};
 use crate::{ActivityTable, EventRecord, Execution, LogError};
 use std::io::BufRead;
@@ -22,31 +22,45 @@ use std::io::BufRead;
 /// `Ok(Execution)` per completed case, or `Err` for unparsable lines
 /// and unpaired events (iteration can continue after an error).
 ///
-/// The reader runs through a [`CountingReader`], so [`stats`] reports
-/// real byte/event/execution tallies as the stream is consumed — the
-/// same [`CodecStats`] the batch codecs fill.
+/// Under a recovering [`RecoveryPolicy`] (see
+/// [`ExecutionStream::with_policy`]), bad lines are counted into the
+/// [`IngestReport`] and skipped instead of yielded, cases assemble
+/// leniently, and a [`RecoveryPolicy::Skip`] budget overrun yields one
+/// final [`LogError::TooManyErrors`] before the stream ends.
+///
+/// Bytes are counted as consumed, so [`stats`] reports real
+/// byte/event/execution tallies as the stream is consumed — the same
+/// [`CodecStats`] the batch codecs fill.
 ///
 /// [`stats`]: ExecutionStream::stats
 pub struct ExecutionStream<R: BufRead> {
-    reader: CountingReader<R>,
-    line: String,
-    lineno: usize,
+    lines: ByteLines<R>,
+    policy: RecoveryPolicy,
     table: ActivityTable,
     current: Vec<EventRecord>,
     stats: CodecStats,
+    report: IngestReport,
     done: bool,
 }
 
 impl<R: BufRead> ExecutionStream<R> {
-    /// Creates a stream over `reader`.
+    /// Creates a strict stream over `reader`: every bad line or
+    /// unpaired event is yielded as an `Err` item (iteration can
+    /// continue past it), and a truncated final record surfaces as
+    /// [`LogError::UnexpectedEof`] with its byte offset.
     pub fn new(reader: R) -> Self {
+        Self::with_policy(reader, RecoveryPolicy::Strict)
+    }
+
+    /// Creates a stream with an explicit [`RecoveryPolicy`].
+    pub fn with_policy(reader: R, policy: RecoveryPolicy) -> Self {
         ExecutionStream {
-            reader: CountingReader::new(reader),
-            line: String::new(),
-            lineno: 0,
+            lines: ByteLines::new(reader),
+            policy,
             table: ActivityTable::new(),
             current: Vec::new(),
             stats: CodecStats::default(),
+            report: IngestReport::default(),
             done: false,
         }
     }
@@ -59,14 +73,20 @@ impl<R: BufRead> ExecutionStream<R> {
     }
 
     /// Byte/event/execution tallies so far. Bytes come straight from
-    /// the [`CountingReader`]; events count parsed Flowmark records and
+    /// the line reader; events count parsed Flowmark records and
     /// executions count successfully assembled cases. Final totals are
     /// available once iteration ends.
     pub fn stats(&self) -> CodecStats {
         CodecStats {
-            bytes_read: self.reader.bytes(),
+            bytes_read: self.lines.bytes(),
             ..self.stats
         }
+    }
+
+    /// Records parsed/skipped and located errors so far; meaningful
+    /// totals once iteration ends.
+    pub fn report(&self) -> &IngestReport {
+        &self.report
     }
 
     fn flush(&mut self) -> Option<Result<Execution, LogError>> {
@@ -74,9 +94,15 @@ impl<R: BufRead> ExecutionStream<R> {
             return None;
         }
         let records = std::mem::take(&mut self.current);
-        match assemble_executions_with(&records, &mut self.table, AssemblyPolicy::Strict) {
-            Ok(report) => {
-                let exec = report.executions.into_iter().next();
+        let assembly = if self.policy.is_strict() {
+            AssemblyPolicy::Strict
+        } else {
+            AssemblyPolicy::Lenient
+        };
+        match assemble_executions_with(&records, &mut self.table, assembly) {
+            Ok(assembled) => {
+                self.report.records_skipped += assembled.diagnostics.len() as u64;
+                let exec = assembled.executions.into_iter().next();
                 if exec.is_some() {
                     self.stats.executions_parsed += 1;
                 }
@@ -95,25 +121,54 @@ impl<R: BufRead> Iterator for ExecutionStream<R> {
             return self.flush();
         }
         loop {
-            self.line.clear();
-            match self.reader.read_line(&mut self.line) {
-                Ok(0) => {
+            let (offset, lineno, had_newline) = match self.lines.read_next() {
+                Ok(Some(next)) => next,
+                Ok(None) => {
                     self.done = true;
                     return self.flush();
                 }
-                Ok(_) => {}
-                Err(e) => return Some(Err(LogError::Io(e))),
-            }
-            self.lineno += 1;
-            let trimmed = self.line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
-            }
-            let record = match flowmark::parse_event_line(trimmed, self.lineno) {
-                Ok(r) => r,
                 Err(e) => return Some(Err(e)),
             };
+            let parsed = match std::str::from_utf8(self.lines.line()) {
+                Ok(text) => {
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    flowmark::parse_event_line(trimmed, lineno)
+                }
+                Err(_) => Err(LogError::Parse {
+                    line: lineno,
+                    message: "line is not valid UTF-8".to_string(),
+                }),
+            };
+            let record = match parsed {
+                Ok(record) => record,
+                Err(e) => {
+                    // A bad final line with no newline is a truncated tail.
+                    let err = if had_newline {
+                        e
+                    } else {
+                        LogError::UnexpectedEof {
+                            byte_offset: offset,
+                            message: format!("input ends mid-record ({e})"),
+                        }
+                    };
+                    self.report.record_error(offset, lineno, err.to_string());
+                    if self.policy.is_strict() {
+                        return Some(Err(err));
+                    }
+                    self.report.records_skipped += 1;
+                    if let Err(give_up) = self.report.over_budget(self.policy) {
+                        self.done = true;
+                        self.current.clear();
+                        return Some(Err(give_up));
+                    }
+                    continue;
+                }
+            };
             self.stats.events_parsed += 1;
+            self.report.records_parsed += 1;
             let case_boundary = self
                 .current
                 .first()
@@ -228,6 +283,66 @@ p2,B,END,1
         assert_eq!(stats.bytes_read, text.len() as u64);
         assert_eq!(stats.events_parsed, 3, "the bad line is not an event");
         assert_eq!(stats.executions_parsed, 1, "only p2 assembles");
+    }
+
+    #[test]
+    fn truncated_tail_yields_unexpected_eof_with_offset() {
+        let text = "p1,A,START,0\np1,A,END,1\np2,B,STA"; // cut mid-record
+        let stream = ExecutionStream::new(text.as_bytes());
+        let results: Vec<_> = stream.collect();
+        let offset = "p1,A,START,0\np1,A,END,1\n".len() as u64;
+        assert!(
+            results.iter().any(
+                |r| matches!(r, Err(LogError::UnexpectedEof { byte_offset, .. }) if *byte_offset == offset)
+            ),
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn recover_skips_bad_lines_and_counts_them() {
+        let text = "\
+p1,A,START,0
+not a record
+p1,A,END,1
+p2,B,START,0
+p2,B,END,1
+";
+        let mut stream = ExecutionStream::with_policy(text.as_bytes(), RecoveryPolicy::BestEffort);
+        let execs: Vec<Execution> = stream.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(execs.len(), 2, "bad line skipped, both cases assemble");
+        let report = stream.report();
+        assert_eq!(report.records_parsed, 4);
+        assert_eq!(report.records_skipped, 1);
+        assert_eq!(report.errors_total, 1);
+        assert_eq!(report.errors[0].line, 2);
+    }
+
+    #[test]
+    fn recover_budget_overrun_ends_stream_with_error() {
+        let text = "bad one\nbad two\nbad three\np1,A,START,0\np1,A,END,1\n";
+        let stream =
+            ExecutionStream::with_policy(text.as_bytes(), RecoveryPolicy::Skip { max_errors: 1 });
+        let results: Vec<_> = stream.collect();
+        assert!(matches!(
+            results.last(),
+            Some(Err(LogError::TooManyErrors {
+                errors: 2,
+                max_errors: 1
+            }))
+        ));
+        assert_eq!(results.len(), 1, "stream ends after giving up");
+    }
+
+    #[test]
+    fn recover_assembles_leniently() {
+        // p1 has a dangling START; recover drops it instead of erroring.
+        let text = "p1,A,START,0\np1,A,END,1\np1,B,START,2\np2,C,START,0\np2,C,END,1\n";
+        let mut stream = ExecutionStream::with_policy(text.as_bytes(), RecoveryPolicy::BestEffort);
+        let execs: Vec<Execution> = stream.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(execs.len(), 2);
+        assert_eq!(execs[0].len(), 1, "dangling B dropped");
+        assert_eq!(stream.report().records_skipped, 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! * output vectors ride on `complete` events as a `procmine:output`
 //!   string attribute (`"1;2;3"`), a documented extension.
 
+use super::{CodecStats, IngestReport, RecoveryPolicy};
 use crate::{EventKind, EventRecord, LogError, WorkflowLog};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -89,8 +90,20 @@ pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
             .ok_or_else(fail)
     };
     let (y, mo, d) = (num(0..4)?, num(5..7)? as u32, num(8..10)? as u32);
-    if !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+    if !(1..=12).contains(&mo) {
         return Err(fail());
+    }
+    let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+    let days_in_month = match mo {
+        4 | 6 | 9 | 11 => 30,
+        2 if leap => 29,
+        2 => 28,
+        _ => 31,
+    };
+    if d == 0 || d > days_in_month {
+        return Err(format!(
+            "invalid ISO 8601 timestamp `{text}`: day {d} out of range for {y:04}-{mo:02}"
+        ));
     }
     let (h, mi, s) = (num(11..13)?, num(14..16)?, num(17..19)?);
     if bytes[13] != b':' || bytes[16] != b':' || h > 23 || mi > 59 || s > 60 {
@@ -168,15 +181,46 @@ impl XmlParser {
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> LogError {
-        LogError::Parse {
-            line: self.text[..self.pos.min(self.text.len())]
-                .iter()
-                .filter(|&&c| c == '\n')
-                .count()
-                + 1,
-            message: message.into(),
+    /// 1-based line, 1-based column (in characters), and byte offset of
+    /// the current position. O(pos), but only paid on the error paths.
+    fn position(&self) -> (usize, usize, u64) {
+        let (mut line, mut column, mut bytes) = (1usize, 1usize, 0u64);
+        for &c in &self.text[..self.pos.min(self.text.len())] {
+            bytes += c.len_utf8() as u64;
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
         }
+        (line, column, bytes)
+    }
+
+    /// An error at the current position: [`LogError::UnexpectedEof`]
+    /// when input ran out (truncation), [`LogError::Xml`] with
+    /// line/column otherwise.
+    fn error(&self, message: impl Into<String>) -> LogError {
+        let (line, column, byte_offset) = self.position();
+        if self.pos >= self.text.len() {
+            LogError::UnexpectedEof {
+                byte_offset,
+                message: message.into(),
+            }
+        } else {
+            LogError::Xml {
+                line,
+                column,
+                message: message.into(),
+            }
+        }
+    }
+
+    /// After a syntax error in a recovering read: step past the
+    /// offending character so the pull loop re-syncs at the next `<`.
+    /// Always advances, so a corrupt document cannot loop forever.
+    fn resync(&mut self) {
+        self.pos += 1;
     }
 
     /// Next element-open or element-close event, skipping text,
@@ -255,7 +299,8 @@ impl XmlParser {
                 }
                 let raw: String = self.text[start..self.pos].iter().collect();
                 self.pos += 1; // closing quote
-                attrs.insert(key, unescape(&raw)?);
+                let value = unescape(&raw).map_err(|m| self.error(m))?;
+                attrs.insert(key, value);
             }
         }
     }
@@ -327,7 +372,9 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, LogError> {
+/// Resolves entity escapes; the `Err` message is positioned by the
+/// caller (via [`XmlParser::error`]).
+fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.char_indices();
     while let Some((i, c)) = chars.next() {
@@ -336,10 +383,9 @@ fn unescape(s: &str) -> Result<String, LogError> {
             continue;
         }
         let rest = &s[i..];
-        let semi = rest.find(';').ok_or(LogError::Parse {
-            line: 0,
-            message: format!("unterminated entity in `{s}`"),
-        })?;
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity in `{s}`"))?;
         let entity = &rest[1..semi];
         out.push(match entity {
             "amp" => '&',
@@ -347,12 +393,7 @@ fn unescape(s: &str) -> Result<String, LogError> {
             "gt" => '>',
             "quot" => '"',
             "apos" => '\'',
-            other => {
-                return Err(LogError::Parse {
-                    line: 0,
-                    message: format!("unsupported entity `&{other};`"),
-                })
-            }
+            other => return Err(format!("unsupported entity `&{other};`")),
         });
         // Skip the entity body.
         for _ in 0..semi {
@@ -454,42 +495,158 @@ pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
 /// [`read_log`] with telemetry: bytes consumed, `<event>` elements
 /// parsed, and executions assembled accumulate into `stats`.
 pub fn read_log_instrumented<R: BufRead>(
-    mut reader: R,
+    reader: R,
     stats: &mut super::CodecStats,
 ) -> Result<WorkflowLog, LogError> {
-    let mut text = String::new();
-    reader.read_to_string(&mut text)?;
-    stats.bytes_read += text.len() as u64;
-    let mut parser = XmlParser::new(&text);
+    read_log_with(
+        reader,
+        RecoveryPolicy::Strict,
+        stats,
+        &mut IngestReport::default(),
+    )
+}
 
+/// [`read_log_instrumented`] with a [`RecoveryPolicy`]. Under `Strict`
+/// the first XML syntax error, undecodable event, or invalid timestamp
+/// aborts (recorded in `report` with its byte offset; truncation
+/// surfaces as [`LogError::UnexpectedEof`]). Under `Skip`/`BestEffort`
+/// bad events are dropped, XML syntax errors re-sync at the next tag,
+/// and START/END pairing falls back to lenient assembly.
+pub fn read_log_with<R: BufRead>(
+    mut reader: R,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    let mut raw = Vec::new();
+    let read_result = reader.read_to_end(&mut raw);
+    stats.bytes_read += raw.len() as u64;
+    read_result?;
+    let text = match String::from_utf8(raw) {
+        Ok(text) => text,
+        Err(e) => {
+            let offset = e.utf8_error().valid_up_to() as u64;
+            if policy.is_strict() {
+                let err = LogError::Parse {
+                    line: 0,
+                    message: format!("input is not valid UTF-8 (first bad byte at {offset})"),
+                };
+                report.record_error(offset, 0, err.to_string());
+                return Err(err);
+            }
+            report.record_error(offset, 0, "input is not valid UTF-8; decoding lossily");
+            report.over_budget(policy)?;
+            String::from_utf8_lossy(e.as_bytes()).into_owned()
+        }
+    };
+    let mut parser = XmlParser::new(&text);
+    let records = parse_events(&mut parser, policy, stats, report)?;
+    let log = if policy.is_strict() {
+        WorkflowLog::from_events(&records).map_err(|e| {
+            report.record_error(stats.bytes_read, 0, e.to_string());
+            e
+        })?
+    } else {
+        let mut table = crate::ActivityTable::new();
+        let assembled = crate::validate::assemble_executions_with(
+            &records,
+            &mut table,
+            crate::validate::AssemblyPolicy::Lenient,
+        )
+        .map_err(|e| {
+            report.record_error(stats.bytes_read, 0, e.to_string());
+            e
+        })?;
+        report.records_skipped += assembled.diagnostics.len() as u64;
+        let mut log = WorkflowLog::with_activities(table);
+        for exec in assembled.executions {
+            log.push(exec);
+        }
+        log
+    };
+    stats.executions_parsed += log.len() as u64;
+    Ok(log)
+}
+
+fn parse_events(
+    parser: &mut XmlParser,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<Vec<EventRecord>, LogError> {
     let mut records: Vec<EventRecord> = Vec::new();
     // Parse state.
     let mut trace_name: Option<String> = None;
     let mut trace_counter = 0usize;
     let mut in_event = false;
     let mut event_attrs: HashMap<String, String> = HashMap::new();
-    // Pending instantaneous `complete` events that had no `start`:
-    // emitted as START+END at the same stamp.
-    while let Some(xml) = parser.next()? {
+    // Open (non-self-closing) elements, innermost last. A non-empty
+    // stack at EOF means the document was cut off between records —
+    // truncation that clean XML-level parsing would otherwise miss.
+    let mut open_elements: Vec<String> = Vec::new();
+    loop {
+        let xml = match parser.next() {
+            Ok(None) => {
+                if let Some(innermost) = open_elements.last() {
+                    let (line, _, byte_offset) = parser.position();
+                    let err = LogError::UnexpectedEof {
+                        byte_offset,
+                        message: format!("input ends inside an open <{innermost}> element"),
+                    };
+                    report.record_error(byte_offset, line, err.to_string());
+                    if policy.is_strict() {
+                        return Err(err);
+                    }
+                    report.over_budget(policy)?;
+                }
+                break;
+            }
+            Ok(Some(xml)) => xml,
+            Err(e) => {
+                let (line, _, byte_offset) = parser.position();
+                report.record_error(byte_offset, line, e.to_string());
+                if policy.is_strict() {
+                    return Err(e);
+                }
+                report.over_budget(policy)?;
+                // Attribute state is suspect after a syntax error.
+                in_event = false;
+                parser.resync();
+                continue;
+            }
+        };
+        match &xml {
+            Xml::Open {
+                name,
+                self_closing: false,
+                ..
+            } => open_elements.push(name.clone()),
+            Xml::Close(name) => {
+                // Pop to the innermost matching element; mismatches are
+                // tolerated (recovery resync can drop close tags).
+                if let Some(i) = open_elements.iter().rposition(|n| n == name) {
+                    open_elements.truncate(i);
+                }
+            }
+            _ => {}
+        }
         match xml {
             Xml::Open { name, .. } if name == "trace" => {
                 trace_counter += 1;
                 trace_name = Some(format!("trace-{trace_counter}"));
             }
-            Xml::Open { name, attrs, .. } if name == "event" => {
+            Xml::Open { name, .. } if name == "event" => {
                 in_event = true;
                 event_attrs.clear();
-                let _ = attrs;
             }
-            Xml::Open {
-                name,
-                attrs,
-                self_closing,
-            } if matches!(
-                name.as_str(),
-                "string" | "date" | "int" | "float" | "boolean"
-            ) =>
+            Xml::Open { name, attrs, .. }
+                if matches!(
+                    name.as_str(),
+                    "string" | "date" | "int" | "float" | "boolean"
+                ) =>
             {
+                // Nested attributes are allowed by XES; we only need the
+                // top-level key/value, children are skipped naturally.
                 let key = attrs.get("key").cloned().unwrap_or_default();
                 let value = attrs.get("value").cloned().unwrap_or_default();
                 if in_event {
@@ -497,82 +654,22 @@ pub fn read_log_instrumented<R: BufRead>(
                 } else if key == "concept:name" && trace_name.is_some() {
                     trace_name = Some(value);
                 }
-                if !self_closing {
-                    // Nested attributes are allowed by XES; we only need
-                    // the top-level key/value, children are skipped by
-                    // the main loop naturally.
-                }
             }
             Xml::Close(name) if name == "event" => {
-                stats.events_parsed += 1;
                 in_event = false;
-                let case = trace_name.clone().unwrap_or_else(|| "trace-0".to_string());
-                let activity = event_attrs
-                    .get("concept:name")
-                    .cloned()
-                    .ok_or(LogError::Parse {
-                        line: 0,
-                        message: "event without concept:name".to_string(),
-                    })?;
-                let stamp = match event_attrs.get("time:timestamp") {
-                    Some(ts) => iso8601_to_millis(ts)
-                        .map_err(|message| LogError::Parse { line: 0, message })?,
-                    None => records.len() as u64, // ordinal fallback
-                };
-                let transition = event_attrs
-                    .get("lifecycle:transition")
-                    .map(|s| s.to_ascii_lowercase())
-                    .unwrap_or_else(|| "complete".to_string());
-                let output = event_attrs.get("procmine:output").map(|v| {
-                    v.split(';')
-                        .filter_map(|x| x.trim().parse::<i64>().ok())
-                        .collect::<Vec<i64>>()
-                });
-                match transition.as_str() {
-                    "start" => records.push(EventRecord {
-                        process: case,
-                        activity,
-                        kind: EventKind::Start,
-                        time: stamp,
-                        output: None,
-                    }),
-                    // Everything else — complete, and coarse lifecycles
-                    // like "ate_abort" — closes the instance.
-                    _ => {
-                        // If no START is open for this activity in this
-                        // case, synthesize an instantaneous one.
-                        let open_starts = records
-                            .iter()
-                            .filter(|r| {
-                                r.process == case
-                                    && r.activity == activity
-                                    && r.kind == EventKind::Start
-                            })
-                            .count();
-                        let closed = records
-                            .iter()
-                            .filter(|r| {
-                                r.process == case
-                                    && r.activity == activity
-                                    && r.kind == EventKind::End
-                            })
-                            .count();
-                        if open_starts == closed {
-                            records.push(EventRecord {
-                                process: case.clone(),
-                                activity: activity.clone(),
-                                kind: EventKind::Start,
-                                time: stamp,
-                                output: None,
-                            });
+                match close_event(&event_attrs, trace_name.as_deref(), &mut records, parser) {
+                    Ok(()) => {
+                        stats.events_parsed += 1;
+                        report.records_parsed += 1;
+                    }
+                    Err(e) => {
+                        let (line, _, byte_offset) = parser.position();
+                        report.record_error(byte_offset, line, e.to_string());
+                        if policy.is_strict() {
+                            return Err(e);
                         }
-                        records.push(EventRecord {
-                            process: case,
-                            activity,
-                            kind: EventKind::End,
-                            time: stamp,
-                            output,
-                        });
+                        report.records_skipped += 1;
+                        report.over_budget(policy)?;
                     }
                 }
             }
@@ -582,9 +679,77 @@ pub fn read_log_instrumented<R: BufRead>(
             _ => {}
         }
     }
-    let log = WorkflowLog::from_events(&records)?;
-    stats.executions_parsed += log.len() as u64;
-    Ok(log)
+    Ok(records)
+}
+
+/// Turns one closed `<event>` into START/END records. Validates before
+/// pushing, so a failed event leaves `records` untouched.
+fn close_event(
+    event_attrs: &HashMap<String, String>,
+    trace_name: Option<&str>,
+    records: &mut Vec<EventRecord>,
+    parser: &XmlParser,
+) -> Result<(), LogError> {
+    let case = trace_name.unwrap_or("trace-0").to_string();
+    let activity = event_attrs
+        .get("concept:name")
+        .cloned()
+        .ok_or_else(|| parser.error("event without concept:name"))?;
+    let stamp = match event_attrs.get("time:timestamp") {
+        Some(ts) => iso8601_to_millis(ts).map_err(|message| parser.error(message))?,
+        None => records.len() as u64, // ordinal fallback
+    };
+    let transition = event_attrs
+        .get("lifecycle:transition")
+        .map(|s| s.to_ascii_lowercase())
+        .unwrap_or_else(|| "complete".to_string());
+    let output = event_attrs.get("procmine:output").map(|v| {
+        v.split(';')
+            .filter_map(|x| x.trim().parse::<i64>().ok())
+            .collect::<Vec<i64>>()
+    });
+    match transition.as_str() {
+        "start" => records.push(EventRecord {
+            process: case,
+            activity,
+            kind: EventKind::Start,
+            time: stamp,
+            output: None,
+        }),
+        // Everything else — complete, and coarse lifecycles like
+        // "ate_abort" — closes the instance.
+        _ => {
+            // If no START is open for this activity in this case,
+            // synthesize an instantaneous one.
+            let open_starts = records
+                .iter()
+                .filter(|r| {
+                    r.process == case && r.activity == activity && r.kind == EventKind::Start
+                })
+                .count();
+            let closed = records
+                .iter()
+                .filter(|r| r.process == case && r.activity == activity && r.kind == EventKind::End)
+                .count();
+            if open_starts == closed {
+                records.push(EventRecord {
+                    process: case.clone(),
+                    activity: activity.clone(),
+                    kind: EventKind::Start,
+                    time: stamp,
+                    output: None,
+                });
+            }
+            records.push(EventRecord {
+                process: case,
+                activity,
+                kind: EventKind::End,
+                time: stamp,
+                output,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

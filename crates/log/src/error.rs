@@ -46,6 +46,32 @@ pub enum LogError {
         /// Description of the problem.
         message: String,
     },
+    /// The input ended in the middle of a record — a truncated file or
+    /// stream. Distinct from [`LogError::Parse`] so callers can tell
+    /// "the tail was cut off" from "this line is garbage".
+    UnexpectedEof {
+        /// Byte offset at which the truncated record starts.
+        byte_offset: u64,
+        /// Description of what was being parsed when input ran out.
+        message: String,
+    },
+    /// A recovering read hit more decode errors than its
+    /// `RecoveryPolicy::Skip { max_errors }` budget allows.
+    TooManyErrors {
+        /// Errors seen when the read gave up (`max_errors + 1`).
+        errors: u64,
+        /// The configured budget.
+        max_errors: u64,
+    },
+    /// An XML syntax error in the XES codec, with source position.
+    Xml {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column (in characters).
+        column: usize,
+        /// Description of the problem.
+        message: String,
+    },
     /// An I/O error while reading or writing a log.
     Io(std::io::Error),
     /// A JSON (de)serialization error in the JSON-lines codec.
@@ -73,6 +99,22 @@ impl fmt::Display for LogError {
                 "execution `{execution}`: START for `{activity}` at t={time} never followed by an END"
             ),
             LogError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LogError::UnexpectedEof {
+                byte_offset,
+                message,
+            } => write!(
+                f,
+                "unexpected end of input at byte {byte_offset}: {message}"
+            ),
+            LogError::TooManyErrors { errors, max_errors } => write!(
+                f,
+                "recovery gave up after {errors} decode errors (budget: {max_errors})"
+            ),
+            LogError::Xml {
+                line,
+                column,
+                message,
+            } => write!(f, "XML error at line {line}, column {column}: {message}"),
             LogError::Io(e) => write!(f, "I/O error: {e}"),
             LogError::Json(e) => write!(f, "JSON error: {e}"),
             LogError::EmptyLog => write!(f, "log contains no executions"),

@@ -124,6 +124,9 @@ impl Execution {
 
     /// The first and last activities by time — Definition 6 requires
     /// these to be the process' initiating and terminating activities.
+    // Non-emptiness is a constructor invariant: Execution::new rejects
+    // empty instance lists.
+    #[allow(clippy::expect_used)]
     pub fn endpoints(&self) -> (ActivityId, ActivityId) {
         (
             self.instances

@@ -1,0 +1,346 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Production logs arrive truncated, bit-rotted, interleaved with
+//! garbage, or on flaky transports. [`FaultReader`] wraps any [`Read`]
+//! and injects those failure modes deterministically from a seed, so
+//! the corruption fuzz suite (`tests/corruption.rs`) and the
+//! `ingest_robustness` bench binary exercise exactly reproducible
+//! corpora. The faults modelled:
+//!
+//! * **truncation** — the stream ends early, possibly mid-record;
+//! * **bit flips** — each byte delivered has a seeded chance of one
+//!   flipped bit (storage rot, bad RAM);
+//! * **garbage interleaving** — bursts of random bytes appear between
+//!   reads (log multiplexing gone wrong, partial overwrites);
+//! * **short reads** — `read` returns fewer bytes than asked, shaking
+//!   out buffering assumptions;
+//! * **mid-stream I/O errors** — a one-shot [`std::io::Error`] at a
+//!   chosen offset (network drop, disk fault).
+//!
+//! The module is dependency-free: randomness comes from an internal
+//! SplitMix64 generator so the log crate stays free of a `rand`
+//! dependency.
+
+use std::io::Read;
+
+/// Which faults to inject and where. `Default` injects nothing — each
+/// field opts into one failure mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the injection PRNG; equal seeds replay equal faults.
+    pub seed: u64,
+    /// End the stream (clean EOF) after this many delivered bytes.
+    pub truncate_at: Option<u64>,
+    /// Per-byte probability of flipping one random bit, in `[0, 1]`.
+    pub bit_flip_rate: f64,
+    /// Per-read probability of injecting a burst of 1–16 random bytes
+    /// instead of real data, in `[0, 1]`.
+    pub garbage_rate: f64,
+    /// Cap on bytes returned per `read` call (short reads). `None`
+    /// leaves read sizes alone.
+    pub max_read: Option<usize>,
+    /// Return a one-shot `io::Error` once this many bytes were
+    /// delivered; subsequent reads resume normally.
+    pub io_error_at: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            truncate_at: None,
+            bit_flip_rate: 0.0,
+            garbage_rate: 0.0,
+            max_read: None,
+            io_error_at: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that only truncates the stream after `at` bytes.
+    pub fn truncated(at: u64) -> Self {
+        FaultConfig {
+            truncate_at: Some(at),
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A config that only flips bits at `rate`, seeded.
+    pub fn bit_flips(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            bit_flip_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// SplitMix64 — small, fast, and good enough for fault placement.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A [`Read`] adapter that injects the faults described by a
+/// [`FaultConfig`] into the wrapped stream. See the module docs for the
+/// fault taxonomy. Wrap in a [`std::io::BufReader`] to feed the codecs.
+#[derive(Debug)]
+pub struct FaultReader<R> {
+    inner: R,
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    /// Bytes delivered to the consumer so far (including garbage).
+    delivered: u64,
+    io_error_fired: bool,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: R, cfg: FaultConfig) -> Self {
+        let rng = SplitMix64(cfg.seed ^ 0xa076_1d64_78bd_642f);
+        FaultReader {
+            inner,
+            cfg,
+            rng,
+            delivered: 0,
+            io_error_fired: false,
+        }
+    }
+
+    /// Bytes delivered to the consumer so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Truncation: clean EOF once the budget is spent.
+        let remaining = match self.cfg.truncate_at {
+            Some(limit) if self.delivered >= limit => return Ok(0),
+            Some(limit) => (limit - self.delivered) as usize,
+            None => usize::MAX,
+        };
+        // One-shot mid-stream I/O error.
+        if let Some(at) = self.cfg.io_error_at {
+            if !self.io_error_fired && self.delivered >= at {
+                self.io_error_fired = true;
+                return Err(std::io::Error::other(format!(
+                    "injected I/O fault at offset {}",
+                    self.delivered
+                )));
+            }
+        }
+        let cap = buf
+            .len()
+            .min(remaining)
+            .min(self.cfg.max_read.unwrap_or(usize::MAX))
+            .max(1);
+        // Garbage interleaving: a burst of random bytes instead of data.
+        if self.cfg.garbage_rate > 0.0 && self.rng.next_f64() < self.cfg.garbage_rate {
+            let burst = 1 + (self.rng.next_u64() as usize) % 16.min(cap);
+            for slot in buf.iter_mut().take(burst) {
+                *slot = (self.rng.next_u64() & 0xff) as u8;
+            }
+            self.delivered += burst as u64;
+            return Ok(burst);
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        // Bit flips on the delivered bytes.
+        if self.cfg.bit_flip_rate > 0.0 {
+            for slot in buf.iter_mut().take(n) {
+                if self.rng.next_f64() < self.cfg.bit_flip_rate {
+                    *slot ^= 1u8 << (self.rng.next_u64() % 8);
+                }
+            }
+        }
+        self.delivered += n as u64;
+        Ok(n)
+    }
+}
+
+/// Runs `data` through a [`FaultReader`] to completion and returns the
+/// corrupted bytes — for benchmarks and tests that want a corrupted
+/// buffer up front rather than a streaming fault source. Mid-stream
+/// I/O errors cannot be captured in a buffer and are ignored here.
+pub fn corrupt_bytes(data: &[u8], cfg: &FaultConfig) -> Vec<u8> {
+    let cfg = FaultConfig {
+        io_error_at: None,
+        ..cfg.clone()
+    };
+    let mut reader = FaultReader::new(data, cfg);
+    let mut out = Vec::with_capacity(data.len());
+    let mut buf = [0u8; 4096];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Replaces `k` distinct whole lines of `data` (chosen by `seed`) with
+/// garbage of the same length, preserving newlines — for tests that
+/// need an exact corrupted-record count. Lines shorter than 4 bytes are
+/// left alone (a 1–3 byte line may corrupt into a comment or blank).
+/// Returns the corrupted buffer and the byte offsets of the corrupted
+/// lines, in ascending order.
+pub fn corrupt_whole_lines(data: &[u8], k: usize, seed: u64) -> (Vec<u8>, Vec<u64>) {
+    let mut out = data.to_vec();
+    // Collect (offset, len) of corruptible lines.
+    let mut lines: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            if i - start >= 4 {
+                lines.push((start, i - start));
+            }
+            start = i + 1;
+        }
+    }
+    let mut rng = SplitMix64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let mut chosen: Vec<usize> = Vec::new();
+    while chosen.len() < k && chosen.len() < lines.len() {
+        let idx = (rng.next_u64() as usize) % lines.len();
+        if !chosen.contains(&idx) {
+            chosen.push(idx);
+        }
+    }
+    let mut offsets: Vec<u64> = Vec::with_capacity(chosen.len());
+    for idx in &chosen {
+        let (off, len) = lines[*idx];
+        offsets.push(off as u64);
+        for slot in &mut out[off..off + len] {
+            // Printable garbage that parses in no *structured* codec:
+            // '|' is not a field separator, digit, or XML/JSON
+            // structural byte. (seqs accepts any token as an activity
+            // name, so whole-line corruption is undetectable there.)
+            *slot = b'|';
+        }
+    }
+    offsets.sort_unstable();
+    (out, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &[u8] = b"p1,A,START,0\np1,A,END,1\np2,B,START,0\np2,B,END,3\n";
+
+    #[test]
+    fn no_faults_is_identity() {
+        let out = corrupt_bytes(DATA, &FaultConfig::default());
+        assert_eq!(out, DATA);
+    }
+
+    #[test]
+    fn truncation_cuts_at_offset() {
+        let out = corrupt_bytes(DATA, &FaultConfig::truncated(17));
+        assert_eq!(out, &DATA[..17]);
+    }
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let cfg = FaultConfig::bit_flips(0.1, 7);
+        assert_eq!(corrupt_bytes(DATA, &cfg), corrupt_bytes(DATA, &cfg));
+        let other = FaultConfig::bit_flips(0.1, 8);
+        assert_ne!(corrupt_bytes(DATA, &cfg), corrupt_bytes(DATA, &other));
+    }
+
+    #[test]
+    fn bit_flip_rate_one_changes_every_byte() {
+        let out = corrupt_bytes(DATA, &FaultConfig::bit_flips(1.0, 3));
+        assert_eq!(out.len(), DATA.len());
+        assert!(out.iter().zip(DATA).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn short_reads_deliver_everything() {
+        let cfg = FaultConfig {
+            max_read: Some(3),
+            ..FaultConfig::default()
+        };
+        let mut reader = FaultReader::new(DATA, cfg);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            let n = reader.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 3);
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, DATA);
+    }
+
+    #[test]
+    fn io_error_fires_once_at_offset() {
+        let cfg = FaultConfig {
+            io_error_at: Some(13),
+            max_read: Some(13),
+            ..FaultConfig::default()
+        };
+        let mut reader = FaultReader::new(DATA, cfg);
+        let mut buf = [0u8; 64];
+        assert_eq!(reader.read(&mut buf).unwrap(), 13);
+        assert!(reader.read(&mut buf).is_err(), "one-shot error at 13");
+        assert!(reader.read(&mut buf).unwrap() > 0, "stream resumes");
+    }
+
+    #[test]
+    fn garbage_rate_one_never_reads_inner() {
+        let cfg = FaultConfig {
+            garbage_rate: 1.0,
+            truncate_at: Some(64),
+            seed: 5,
+            ..FaultConfig::default()
+        };
+        let mut reader = FaultReader::new(DATA, cfg);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            let n = reader.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out.len(), 64, "truncation caps garbage volume");
+    }
+
+    #[test]
+    fn corrupt_whole_lines_reports_offsets() {
+        let (out, offsets) = corrupt_whole_lines(DATA, 2, 42);
+        assert_eq!(offsets.len(), 2);
+        assert_eq!(out.len(), DATA.len());
+        for &off in &offsets {
+            assert_eq!(out[off as usize], b'|');
+        }
+        // Newlines preserved.
+        assert_eq!(
+            out.iter().filter(|&&b| b == b'\n').count(),
+            DATA.iter().filter(|&&b| b == b'\n').count()
+        );
+    }
+}

@@ -14,9 +14,12 @@
 //!   instantaneous activities is the special case `start == end`);
 //! * [`WorkflowLog`] — a set of executions over a shared activity table;
 //! * [`codec`] — Flowmark-style CSV event format, a one-line-per-execution
-//!   sequence format, and JSON-lines;
+//!   sequence format, JSON-lines, and XES, each with a recovering decode
+//!   path ([`RecoveryPolicy`] / [`IngestReport`]);
 //! * [`validate`] — structural validation and diagnostics for raw event
-//!   streams (unmatched STARTs, END-before-START, duplicate events).
+//!   streams (unmatched STARTs, END-before-START, duplicate events);
+//! * [`fault`] — deterministic fault injection ([`fault::FaultReader`])
+//!   for robustness tests and benchmarks.
 //!
 //! # Example
 //!
@@ -42,10 +45,12 @@ mod log_impl;
 mod ops;
 
 pub mod codec;
+pub mod fault;
 pub mod stats;
 pub mod validate;
 
 pub use activity::{ActivityId, ActivityTable};
+pub use codec::{IngestError, IngestReport, RecoveryPolicy};
 pub use error::LogError;
 pub use event::{EventKind, EventRecord};
 pub use execution::{ActivityInstance, Execution};

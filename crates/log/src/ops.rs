@@ -45,6 +45,9 @@ impl WorkflowLog {
                     }
                 })
                 .collect();
+            // Infallible: the source execution was already validated and
+            // re-interning changes only activity ids, not intervals.
+            #[allow(clippy::expect_used)]
             self.push(
                 Execution::new(exec.id.clone(), instances)
                     .expect("re-interning preserves validity"),

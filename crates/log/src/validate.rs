@@ -91,20 +91,21 @@ fn assemble_impl(
     let mut order: Vec<&str> = Vec::new();
     let mut groups: HashMap<&str, Vec<&EventRecord>> = HashMap::new();
     for r in records {
-        groups.entry(&r.process).or_insert_with(|| {
-            order.push(&r.process);
-            Vec::new()
-        });
         groups
-            .get_mut(r.process.as_str())
-            .expect("just inserted")
+            .entry(&r.process)
+            .or_insert_with(|| {
+                order.push(&r.process);
+                Vec::new()
+            })
             .push(r);
     }
 
     let mut diagnostics = Vec::new();
     let mut executions = Vec::new();
     for name in order {
-        let mut events = groups.remove(name).expect("group exists");
+        let Some(mut events) = groups.remove(name) else {
+            continue; // unreachable: `order` mirrors `groups` keys
+        };
         events.sort_by_key(|r| r.time); // stable: log order breaks ties
 
         // Open STARTs per activity, FIFO.
