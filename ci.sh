@@ -10,12 +10,12 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# The ingestion and mining libraries are panic-audited: unwrap/expect
-# are denied, with `#[allow]` + a justification comment at the few
-# provably infallible sites. Lib targets only — tests and benches may
-# unwrap freely.
-echo "==> panic audit: clippy -D clippy::unwrap_used -D clippy::expect_used (log, core)"
-cargo clippy -p procmine-log -p procmine-core --lib --no-deps -- \
+# The ingestion, mining, and graph libraries are panic-audited:
+# unwrap/expect are denied, with `#[allow]` + a justification comment
+# at the few provably infallible sites. Lib targets only — tests and
+# benches may unwrap freely.
+echo "==> panic audit: clippy -D clippy::unwrap_used -D clippy::expect_used (log, core, graph)"
+cargo clippy -p procmine-log -p procmine-core -p procmine-graph --lib --no-deps -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> tier-1: cargo build --release && cargo test -q"
@@ -24,5 +24,16 @@ cargo test -q
 
 echo "==> corruption smoke subset"
 cargo test -q --test corruption smoke_
+
+# Perf-regression smoke: run the fixed scenario matrix once in smoke
+# mode, validate the report against the perfsuite schema, and let the
+# binary's built-in disabled-tracer overhead guard gate the run. The
+# report lands in target/ci-artifacts/ for the workflow to upload.
+echo "==> perfsuite smoke + schema validation"
+mkdir -p target/ci-artifacts
+cargo run --release -q -p procmine-bench --bin perfsuite -- \
+  --smoke --out target/ci-artifacts/BENCH_perfsuite_smoke.json
+cargo run --release -q -p procmine-bench --bin perfsuite -- \
+  --check-schema target/ci-artifacts/BENCH_perfsuite_smoke.json
 
 echo "ci: OK"

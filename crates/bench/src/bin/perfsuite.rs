@@ -1,0 +1,362 @@
+//! The unified perf-regression harness.
+//!
+//! Runs a fixed matrix of (workload × pipeline stage) timings — the
+//! §8.1 random-walk workloads through every miner, conformance
+//! checking, and the four codec round-trips, plus micro-benchmarks of
+//! the transitive-reduction and SCC graph phases — and writes
+//! median/p95 wall times to a schema-stable JSON report
+//! (`BENCH_perfsuite.json` by default). With `--compare old.json` it
+//! diffs the fresh run against a saved baseline and exits nonzero when
+//! any cell's median regressed past the threshold, so CI can gate on
+//! performance without Criterion's runtime cost.
+//!
+//! ```text
+//! perfsuite [--smoke] [--out FILE] [--repeats N] [--compare OLD.json]
+//!           [--threshold-pct N] [--check-schema FILE]
+//! ```
+//!
+//! Exit status: 0 on success, 1 on usage or I/O errors, 2 when
+//! `--compare` found regressions, 3 when the disabled-tracer overhead
+//! guard tripped (instrumented-with-disabled-tracer mining measurably
+//! slower than the plain entry point).
+
+use procmine_bench::perf::{compare, summarize, Cell, Report, TraceOverhead};
+use procmine_bench::synthetic_workload;
+use procmine_core::conformance::check_conformance;
+use procmine_core::{
+    mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_instrumented,
+    mine_general_dag_parallel, IncrementalMiner, MinerOptions, NullSink, Tracer,
+};
+use procmine_graph::reduction::transitive_reduction_matrix;
+use procmine_graph::scc::tarjan_scc;
+use procmine_graph::{AdjMatrix, DiGraph};
+use procmine_log::codec;
+use procmine_log::WorkflowLog;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Ratio above which disabled tracing counts as "not free". The plain
+/// miners delegate to the instrumented twins, so today's expected ratio
+/// is ~1.0; the guard exists to catch future divergence.
+const TRACE_OVERHEAD_LIMIT: f64 = 1.5;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    repeats: usize,
+    compare: Option<String>,
+    threshold_pct: f64,
+    check_schema: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_perfsuite.json".to_string(),
+        repeats: 0, // resolved after --smoke is known
+        compare: None,
+        threshold_pct: 15.0,
+        check_schema: None,
+    };
+    let mut repeats: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = value("--out")?,
+            "--repeats" => {
+                repeats = Some(
+                    value("--repeats")?
+                        .parse()
+                        .map_err(|e| format!("--repeats: {e}"))?,
+                );
+            }
+            "--compare" => args.compare = Some(value("--compare")?),
+            "--threshold-pct" => {
+                args.threshold_pct = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("--threshold-pct: {e}"))?;
+            }
+            "--check-schema" => args.check_schema = Some(value("--check-schema")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    args.repeats = repeats.unwrap_or(if args.smoke { 3 } else { 5 });
+    if args.repeats == 0 {
+        return Err("--repeats must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// Times `op` (after `setup`-free warmup) `repeats` times in
+/// nanoseconds. One untimed warmup run absorbs cold caches and lazy
+/// allocations.
+fn time_runs<F: FnMut()>(repeats: usize, mut op: F) -> Vec<u64> {
+    op();
+    (0..repeats)
+        .map(|_| {
+            let started = Instant::now();
+            op();
+            started.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+/// The names of a log's executions, for replaying through the
+/// incremental miner's absorb path.
+fn sequences(log: &WorkflowLog) -> Vec<Vec<String>> {
+    log.executions()
+        .iter()
+        .map(|exec| {
+            exec.sequence()
+                .iter()
+                .map(|&a| log.activities().name(a).to_string())
+                .collect()
+        })
+        .collect()
+}
+
+fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut Vec<Cell>) {
+    let options = MinerOptions::default();
+
+    cells.push(summarize(
+        scenario,
+        "mine.general",
+        time_runs(repeats, || {
+            mine_general_dag(log, &options).expect("mining succeeds");
+        }),
+    ));
+    cells.push(summarize(
+        scenario,
+        "mine.auto",
+        time_runs(repeats, || {
+            mine_auto(log, &options).expect("mining succeeds");
+        }),
+    ));
+    cells.push(summarize(
+        scenario,
+        "mine.cyclic",
+        time_runs(repeats, || {
+            mine_cyclic(log, &options).expect("mining succeeds");
+        }),
+    ));
+    cells.push(summarize(
+        scenario,
+        "mine.parallel4",
+        time_runs(repeats, || {
+            mine_general_dag_parallel(log, &options, 4).expect("mining succeeds");
+        }),
+    ));
+
+    let seqs = sequences(log);
+    cells.push(summarize(
+        scenario,
+        "mine.incremental",
+        time_runs(repeats, || {
+            let mut miner = IncrementalMiner::new(options.clone());
+            for seq in &seqs {
+                miner.absorb_sequence(seq).expect("absorb succeeds");
+            }
+            miner.model().expect("model succeeds");
+        }),
+    ));
+
+    let model = mine_general_dag(log, &options).expect("mining succeeds");
+    cells.push(summarize(
+        scenario,
+        "check_conformance",
+        time_runs(repeats, || {
+            check_conformance(&model, log);
+        }),
+    ));
+
+    // Codec round-trips: serialize to a buffer, parse it back.
+    macro_rules! codec_cell {
+        ($stage:literal, $module:ident) => {
+            cells.push(summarize(
+                scenario,
+                $stage,
+                time_runs(repeats, || {
+                    let mut buf = Vec::new();
+                    codec::$module::write_log(log, &mut buf).expect("write succeeds");
+                    codec::$module::read_log(&buf[..]).expect("read succeeds");
+                }),
+            ));
+        };
+    }
+    codec_cell!("codec.flowmark", flowmark);
+    codec_cell!("codec.seqs", seqs);
+    codec_cell!("codec.jsonl", jsonl);
+    codec_cell!("codec.xes", xes);
+}
+
+/// Micro-benchmarks of the two graph phases the miners lean on: matrix
+/// transitive reduction over a transitive tournament (worst case — every
+/// edge above the diagonal) and Tarjan SCC over one big directed cycle.
+fn micro_cells(smoke: bool, repeats: usize, cells: &mut Vec<Cell>) {
+    let n = if smoke { 100 } else { 300 };
+    let mut tournament = AdjMatrix::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            tournament.add_edge(u, v);
+        }
+    }
+    cells.push(summarize(
+        "micro",
+        "transitive_reduction",
+        time_runs(repeats, || {
+            transitive_reduction_matrix(&tournament).expect("tournament is a DAG");
+        }),
+    ));
+
+    let cycle_n = if smoke { 2_000 } else { 10_000 };
+    let cycle: DiGraph<()> = DiGraph::from_edges(
+        vec![(); cycle_n],
+        (0..cycle_n).map(|i| (i, (i + 1) % cycle_n)),
+    );
+    cells.push(summarize(
+        "micro",
+        "scc",
+        time_runs(repeats, || {
+            tarjan_scc(&cycle);
+        }),
+    ));
+}
+
+/// Measures the disabled-tracer overhead: the plain general miner
+/// against its instrumented twin fed `Tracer::disabled()` + `NullSink`,
+/// interleaved so drift hits both arms equally.
+fn trace_overhead(log: &WorkflowLog, repeats: usize) -> TraceOverhead {
+    let options = MinerOptions::default();
+    let mut plain = Vec::with_capacity(repeats);
+    let mut traced = Vec::with_capacity(repeats);
+    mine_general_dag(log, &options).expect("mining succeeds"); // warmup
+    for _ in 0..repeats {
+        let started = Instant::now();
+        mine_general_dag(log, &options).expect("mining succeeds");
+        plain.push(started.elapsed().as_nanos() as u64);
+
+        let started = Instant::now();
+        mine_general_dag_instrumented(log, &options, &mut NullSink, &Tracer::disabled())
+            .expect("mining succeeds");
+        traced.push(started.elapsed().as_nanos() as u64);
+    }
+    let plain_cell = summarize("overhead", "plain", plain);
+    let traced_cell = summarize("overhead", "traced", traced);
+    TraceOverhead {
+        plain_median_ns: plain_cell.median_ns,
+        traced_disabled_median_ns: traced_cell.median_ns,
+        ratio: traced_cell.median_ns as f64 / plain_cell.median_ns.max(1) as f64,
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if let Some(path) = &args.check_schema {
+        let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = Report::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid perfsuite report ({} mode, {} cells)",
+            report.mode,
+            report.cells.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Fixed workload matrix: §8.1 random-walk logs over the paper's
+    // generating-graph sizes, deterministic seeds.
+    let workloads: Vec<(String, usize, usize, usize, u64)> = if args.smoke {
+        vec![("rw10x24m200".to_string(), 10, 24, 200, 7)]
+    } else {
+        vec![
+            ("rw10x24m1000".to_string(), 10, 24, 1_000, 7),
+            ("rw25x224m1000".to_string(), 25, 224, 1_000, 11),
+            ("rw50x1058m1000".to_string(), 50, 1_058, 1_000, 13),
+        ]
+    };
+
+    let mut cells = Vec::new();
+    let mut overhead_log = None;
+    for (scenario, n, edges, m, seed) in &workloads {
+        eprintln!("perfsuite: {scenario} ({} repeats)", args.repeats);
+        let (_, log) = synthetic_workload(*n, *edges, *m, *seed);
+        workload_cells(scenario, &log, args.repeats, &mut cells);
+        overhead_log.get_or_insert(log);
+    }
+    eprintln!("perfsuite: micro graph phases");
+    micro_cells(args.smoke, args.repeats, &mut cells);
+
+    eprintln!("perfsuite: trace-overhead guard");
+    let overhead = overhead_log
+        .as_ref()
+        .map(|log| trace_overhead(log, args.repeats.max(5)));
+
+    let report = Report {
+        mode: if args.smoke { "smoke" } else { "full" }.to_string(),
+        repeats: args.repeats,
+        cells,
+        trace_overhead: overhead.clone(),
+    };
+    fs::write(&args.out, report.to_json()).map_err(|e| format!("{}: {e}", args.out))?;
+    eprintln!("wrote {} ({} cells)", args.out, report.cells.len());
+
+    let mut status = ExitCode::SUCCESS;
+
+    if let Some(t) = &overhead {
+        eprintln!(
+            "trace overhead: plain {}ns vs disabled-tracer {}ns (ratio {:.3})",
+            t.plain_median_ns, t.traced_disabled_median_ns, t.ratio
+        );
+        if t.ratio > TRACE_OVERHEAD_LIMIT {
+            eprintln!(
+                "FAIL: disabled tracing costs {:.0}% (limit {:.0}%)",
+                (t.ratio - 1.0) * 100.0,
+                (TRACE_OVERHEAD_LIMIT - 1.0) * 100.0
+            );
+            status = ExitCode::from(3);
+        }
+    }
+
+    if let Some(baseline_path) = &args.compare {
+        let json =
+            fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline = Report::from_json(&json).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let regressions = compare(&baseline.cells, &report.cells, args.threshold_pct);
+        if regressions.is_empty() {
+            eprintln!(
+                "no regressions vs {baseline_path} (threshold {:.0}%)",
+                args.threshold_pct
+            );
+        } else {
+            for r in &regressions {
+                eprintln!(
+                    "REGRESSION {}/{}: {}ns -> {}ns ({:.2}x)",
+                    r.scenario, r.stage, r.old_median_ns, r.new_median_ns, r.ratio
+                );
+            }
+            eprintln!(
+                "{} regression(s) vs {baseline_path} (threshold {:.0}%)",
+                regressions.len(),
+                args.threshold_pct
+            );
+            status = ExitCode::from(2);
+        }
+    }
+
+    Ok(status)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("perfsuite: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

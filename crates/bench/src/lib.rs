@@ -5,8 +5,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use procmine_core::{
-    mine_general_dag, mine_general_dag_instrumented, MinedModel, MinerMetrics, MinerOptions,
+    mine_general_dag, mine_general_dag_instrumented, MinedModel, MinerMetrics, MinerOptions, Tracer,
 };
 use procmine_log::WorkflowLog;
 use procmine_sim::randdag::{random_dag, RandomDagConfig};
@@ -56,8 +58,13 @@ pub fn timed_mine(log: &WorkflowLog) -> (MinedModel, Duration) {
 pub fn timed_mine_instrumented(log: &WorkflowLog) -> (MinedModel, Duration, MinerMetrics) {
     let mut metrics = MinerMetrics::new();
     let started = Instant::now();
-    let model = mine_general_dag_instrumented(log, &MinerOptions::default(), &mut metrics)
-        .expect("mining succeeds");
+    let model = mine_general_dag_instrumented(
+        log,
+        &MinerOptions::default(),
+        &mut metrics,
+        &Tracer::disabled(),
+    )
+    .expect("mining succeeds");
     (model, started.elapsed(), metrics)
 }
 

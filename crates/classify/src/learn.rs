@@ -2,7 +2,7 @@
 
 use crate::telemetry::ClassifyMetrics;
 use crate::{edge_training_set, rules_of, Dataset, DecisionTree, Rule, TreeConfig};
-use procmine_core::{MetricsSink, MinedModel, NullSink};
+use procmine_core::{MetricsSink, MinedModel, NullSink, Tracer};
 use procmine_log::ActivityId;
 use procmine_log::WorkflowLog;
 use std::time::Instant;
@@ -48,19 +48,22 @@ pub fn learn_edge_conditions(
     log: &WorkflowLog,
     cfg: &TreeConfig,
 ) -> Vec<LearnedCondition> {
-    learn_edge_conditions_instrumented(model, log, cfg, &mut NullSink)
+    learn_edge_conditions_instrumented(model, log, cfg, &mut NullSink, &Tracer::disabled())
 }
 
-/// [`learn_edge_conditions`] with telemetry: counts edges, extracted
-/// training rows, evaluated splits, fitted trees and their maximum
-/// depth, plus the end-to-end learn time, into `sink` (see
-/// [`ClassifyMetrics`]). With [`NullSink`] this is the plain twin.
+/// [`learn_edge_conditions`] with telemetry and tracing: counts edges,
+/// extracted training rows, evaluated splits, fitted trees and their
+/// maximum depth, plus the end-to-end learn time, into `sink` (see
+/// [`ClassifyMetrics`]), and a `learn_conditions` span into `tracer`.
+/// With [`NullSink`] and a disabled tracer this is the plain twin.
 pub fn learn_edge_conditions_instrumented<S: MetricsSink<ClassifyMetrics>>(
     model: &MinedModel,
     log: &WorkflowLog,
     cfg: &TreeConfig,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Vec<LearnedCondition> {
+    let _root = tracer.span_cat("learn_conditions", "classify");
     let started = S::ENABLED.then(Instant::now);
     let mut out = Vec::with_capacity(model.edge_count());
     for (u, v) in model.graph().edges() {
@@ -171,8 +174,13 @@ mod tests {
 
         let plain = learn_edge_conditions(&mined, &log, &TreeConfig::default());
         let mut metrics = ClassifyMetrics::new();
-        let instrumented =
-            learn_edge_conditions_instrumented(&mined, &log, &TreeConfig::default(), &mut metrics);
+        let instrumented = learn_edge_conditions_instrumented(
+            &mined,
+            &log,
+            &TreeConfig::default(),
+            &mut metrics,
+            &Tracer::disabled(),
+        );
 
         assert_eq!(plain.len(), instrumented.len());
         let mut max_depth = 0u64;
@@ -203,7 +211,13 @@ mod tests {
         let log = procmine_log::WorkflowLog::from_strings(["ABC", "ABC", "AC"]).unwrap();
         let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
         let mut metrics = ClassifyMetrics::new();
-        learn_edge_conditions_instrumented(&mined, &log, &TreeConfig::default(), &mut metrics);
+        learn_edge_conditions_instrumented(
+            &mined,
+            &log,
+            &TreeConfig::default(),
+            &mut metrics,
+            &Tracer::disabled(),
+        );
         assert_eq!(metrics.edges_without_outputs, metrics.edges_considered);
         assert_eq!(metrics.trees_fitted, 0);
         assert_eq!(metrics.rows_extracted, 0);

@@ -6,7 +6,7 @@ use procmine_classify::{ClassifyMetrics, TreeConfig};
 use procmine_core::{
     conformance, mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
     mine_general_dag_parallel_instrumented, mine_special_dag_instrumented, Algorithm,
-    ConformanceMetrics, MetricsSink, MinedModel, MinerMetrics, MinerOptions, NullSink,
+    ConformanceMetrics, MetricsSink, MinedModel, MinerMetrics, MinerOptions, NullSink, Tracer,
 };
 use procmine_log::codec::{CodecStats, IngestReport, RecoveryPolicy};
 use procmine_log::{codec, WorkflowLog};
@@ -69,16 +69,22 @@ COMMANDS:
                            errors
       --deadline-ms MS     abort mining if it exceeds MS milliseconds of
                            wall-clock time
+      --trace FILE         write a Chrome Trace Event file of the run
+                           (load in ui.perfetto.dev or chrome://tracing)
 
   check       Check a mined model (JSON) against a log
       <MODEL.json> <LOG>
       --format F           log format (default flowmark)
       --recover            skip undecodable records instead of aborting
       --max-errors N       like --recover but abort after N decode errors
+      --json               print the conformance report as JSON on
+                           stdout (exit status still reflects the
+                           verdict)
       --stats              print conformance telemetry (executions
                            checked, violations by variant, closure/SCC
                            time, codec tallies)
       --stats-json FILE    write the same telemetry as JSON
+      --trace FILE         write a Chrome Trace Event file of the run
 
   conditions  Mine a model and learn Boolean edge conditions (§7)
       <LOG>
@@ -92,6 +98,7 @@ COMMANDS:
                            extracted, splits evaluated, tree depth,
                            learn time)
       --stats-json FILE    write the same telemetry as JSON
+      --trace FILE         write a Chrome Trace Event file of the run
 
   info        Show log statistics
       <LOG>
@@ -175,6 +182,7 @@ fn read_log_instrumented(
         RecoveryPolicy::Strict,
         stats,
         &mut IngestReport::default(),
+        &Tracer::disabled(),
     )
 }
 
@@ -184,7 +192,19 @@ fn read_log_with(
     policy: RecoveryPolicy,
     stats: &mut CodecStats,
     report: &mut IngestReport,
+    tracer: &Tracer,
 ) -> Result<WorkflowLog, Box<dyn Error>> {
+    // Span names are static, so map the format up front (codecs live in
+    // `procmine-log`, which cannot depend on core — the ingest spans are
+    // recorded here at the CLI layer instead).
+    let span_name = match format {
+        "flowmark" => "ingest.flowmark",
+        "seqs" => "ingest.seqs",
+        "jsonl" => "ingest.jsonl",
+        "xes" => "ingest.xes",
+        other => return Err(format!("unknown log format `{other}`").into()),
+    };
+    let _span = tracer.span_cat(span_name, "codec");
     let reader = BufReader::new(File::open(path)?);
     let log = match format {
         "flowmark" => codec::flowmark::read_log_with(reader, policy, stats, report)?,
@@ -194,6 +214,30 @@ fn read_log_with(
         other => return Err(format!("unknown log format `{other}`").into()),
     };
     Ok(log)
+}
+
+/// The tracer implied by `--trace FILE`: enabled when the flag is
+/// present, the no-op tracer otherwise.
+fn tracer_from_args(p: &Parsed) -> Tracer {
+    if p.get("trace").is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    }
+}
+
+/// Writes the collected trace as a Chrome Trace Event file when
+/// `--trace FILE` was given. Call after the traced work finishes (and
+/// before any verdict-driven early return, so failing runs still leave
+/// a trace behind).
+fn write_trace(tracer: &Tracer, p: &Parsed) -> CliResult {
+    if let Some(path) = p.get("trace") {
+        let mut f = BufWriter::new(File::create(path)?);
+        tracer.write_chrome_json(&mut f)?;
+        f.flush()?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 /// The recovery policy implied by `--recover` / `--max-errors N`:
@@ -363,13 +407,14 @@ fn mine_with<S: MetricsSink>(
     p: &Parsed,
     log: &WorkflowLog,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
     let opts = miner_options(p)?;
     let threads: usize = p.get_parse("threads", 0, "integer")?;
     if threads > 0 {
         return match p.get("algorithm").unwrap_or("auto") {
             "auto" | "general" => Ok((
-                mine_general_dag_parallel_instrumented(log, &opts, threads, sink)?,
+                mine_general_dag_parallel_instrumented(log, &opts, threads, sink, tracer)?,
                 Algorithm::GeneralDag,
             )),
             other => Err(
@@ -378,17 +423,17 @@ fn mine_with<S: MetricsSink>(
         };
     }
     Ok(match p.get("algorithm").unwrap_or("auto") {
-        "auto" => mine_auto_instrumented(log, &opts, sink)?,
+        "auto" => mine_auto_instrumented(log, &opts, sink, tracer)?,
         "special" => (
-            mine_special_dag_instrumented(log, &opts, sink)?,
+            mine_special_dag_instrumented(log, &opts, sink, tracer)?,
             Algorithm::SpecialDag,
         ),
         "general" => (
-            mine_general_dag_instrumented(log, &opts, sink)?,
+            mine_general_dag_instrumented(log, &opts, sink, tracer)?,
             Algorithm::GeneralDag,
         ),
         "cyclic" => (
-            mine_cyclic_instrumented(log, &opts, sink)?,
+            mine_cyclic_instrumented(log, &opts, sink, tracer)?,
             Algorithm::Cyclic,
         ),
         other => return Err(format!("unknown algorithm `{other}`").into()),
@@ -411,8 +456,10 @@ fn mine_streaming(
     metrics: Option<&mut MinerMetrics>,
     codec_stats: &mut CodecStats,
     ingest: &mut IngestReport,
+    tracer: &Tracer,
 ) -> Result<(MinedModel, WorkflowLog), Box<dyn Error>> {
     use procmine_log::codec::stream::ExecutionStream;
+    let stream_span = tracer.span_cat("stream.ingest", "codec");
     let mut miner = procmine_core::IncrementalMiner::new(options);
     let mut stream = ExecutionStream::with_policy(BufReader::new(File::open(path)?), policy);
     let mut skipped = 0usize;
@@ -452,9 +499,10 @@ fn mine_streaming(
     }
     codec_stats.merge(&stream.stats());
     ingest.merge(stream.report());
+    drop(stream_span);
     let model = match metrics {
-        Some(m) => miner.model_instrumented(m)?,
-        None => miner.model()?,
+        Some(m) => miner.model_instrumented(m, tracer)?,
+        None => miner.model_instrumented(&mut NullSink, tracer)?,
     };
     Ok((model, kept))
 }
@@ -474,6 +522,7 @@ fn mine(argv: &[String]) -> CliResult {
             "stats-json",
             "max-errors",
             "deadline-ms",
+            "trace",
         ],
         &["check", "stream", "stats", "recover"],
     )?;
@@ -483,6 +532,7 @@ fn mine(argv: &[String]) -> CliResult {
         .ok_or(ArgError::Required("log file"))?;
     let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let policy = ingest_policy(&p)?;
+    let tracer = tracer_from_args(&p);
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
     let mut metrics = MinerMetrics::new();
@@ -501,15 +551,16 @@ fn mine(argv: &[String]) -> CliResult {
             want_stats.then_some(&mut metrics),
             &mut codec_stats,
             &mut ingest,
+            &tracer,
         )?;
         (model, log, Algorithm::GeneralDag)
     } else {
         let format = p.get("format").unwrap_or("flowmark");
-        let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest)?;
+        let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest, &tracer)?;
         let (model, algorithm) = if want_stats {
-            mine_with(&p, &log, &mut metrics)?
+            mine_with(&p, &log, &mut metrics, &tracer)?
         } else {
-            mine_with(&p, &log, &mut NullSink)?
+            mine_with(&p, &log, &mut NullSink, &tracer)?
         };
         (model, log, algorithm)
     };
@@ -612,8 +663,10 @@ fn mine(argv: &[String]) -> CliResult {
         std::fs::write(stats_path, out)?;
         eprintln!("wrote {stats_path}");
     }
+    let mut check_failed = false;
     if p.has("check") {
-        let report = conformance::check_conformance(&model, &log);
+        let report =
+            conformance::check_conformance_instrumented(&model, &log, &mut NullSink, &tracer);
         if report.is_conformal() {
             println!("conformance: OK (dependency-complete, irredundant, execution-complete)");
         } else {
@@ -630,8 +683,12 @@ fn mine(argv: &[String]) -> CliResult {
             for activity in &report.unknown_activities {
                 println!("  unknown activity: {activity}");
             }
-            return Err("mined model is not conformal".into());
+            check_failed = true;
         }
+    }
+    write_trace(&tracer, &p)?;
+    if check_failed {
+        return Err("mined model is not conformal".into());
     }
     Ok(())
 }
@@ -639,8 +696,8 @@ fn mine(argv: &[String]) -> CliResult {
 fn check(argv: &[String]) -> CliResult {
     let p = parse(
         argv,
-        &["format", "stats-json", "max-errors"],
-        &["stats", "recover"],
+        &["format", "stats-json", "max-errors", "trace"],
+        &["stats", "recover", "json"],
     )?;
     let [model_path, log_path] = p.positional() else {
         return Err(ArgError::Required("MODEL.json and LOG arguments").into());
@@ -649,15 +706,23 @@ fn check(argv: &[String]) -> CliResult {
     let model: MinedModel = serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
     let format = p.get("format").unwrap_or("flowmark");
     let policy = ingest_policy(&p)?;
+    let tracer = tracer_from_args(&p);
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
-    let log = read_log_with(log_path, format, policy, &mut codec_stats, &mut ingest)?;
+    let log = read_log_with(
+        log_path,
+        format,
+        policy,
+        &mut codec_stats,
+        &mut ingest,
+        &tracer,
+    )?;
     report_ingest(&ingest, policy);
     let mut metrics = ConformanceMetrics::new();
     let report = if want_stats {
-        conformance::check_conformance_instrumented(&model, &log, &mut metrics)
+        conformance::check_conformance_instrumented(&model, &log, &mut metrics, &tracer)
     } else {
-        conformance::check_conformance(&model, &log)
+        conformance::check_conformance_instrumented(&model, &log, &mut NullSink, &tracer)
     };
     if p.has("stats") {
         println!(
@@ -677,6 +742,17 @@ fn check(argv: &[String]) -> CliResult {
         out.push('\n');
         std::fs::write(stats_path, out)?;
         eprintln!("wrote {stats_path}");
+    }
+    write_trace(&tracer, &p)?;
+    if p.has("json") {
+        // Machine-readable verdict on stdout; the exit status still
+        // reflects conformality so scripts can branch either way.
+        println!("{}", report.to_json());
+        return if report.is_conformal() {
+            Ok(())
+        } else {
+            Err("model is not conformal".into())
+        };
     }
     if report.is_conformal() {
         println!("conformal: model satisfies Definition 7 for this log");
@@ -706,6 +782,7 @@ fn conditions(argv: &[String]) -> CliResult {
             "stats-json",
             "max-errors",
             "deadline-ms",
+            "trace",
         ],
         &["stats", "recover"],
     )?;
@@ -715,16 +792,17 @@ fn conditions(argv: &[String]) -> CliResult {
         .ok_or(ArgError::Required("log file"))?;
     let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let policy = ingest_policy(&p)?;
+    let tracer = tracer_from_args(&p);
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
     let format = p.get("format").unwrap_or("flowmark");
-    let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest)?;
+    let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest, &tracer)?;
     report_ingest(&ingest, policy);
     let mut miner_metrics = MinerMetrics::new();
     let (model, _) = if want_stats {
-        mine_with(&p, &log, &mut miner_metrics)?
+        mine_with(&p, &log, &mut miner_metrics, &tracer)?
     } else {
-        mine_with(&p, &log, &mut NullSink)?
+        mine_with(&p, &log, &mut NullSink, &tracer)?
     };
     let cfg = TreeConfig {
         max_depth: p.get_parse("max-depth", 8, "integer")?,
@@ -737,9 +815,16 @@ fn conditions(argv: &[String]) -> CliResult {
             &log,
             &cfg,
             &mut classify_metrics,
+            &tracer,
         )
     } else {
-        procmine_classify::learn_edge_conditions(&model, &log, &cfg)
+        procmine_classify::learn_edge_conditions_instrumented(
+            &model,
+            &log,
+            &cfg,
+            &mut NullSink,
+            &tracer,
+        )
     };
     if p.has("stats") {
         println!(
@@ -778,7 +863,7 @@ fn conditions(argv: &[String]) -> CliResult {
             }
         }
     }
-    Ok(())
+    write_trace(&tracer, &p)
 }
 
 fn info(argv: &[String]) -> CliResult {

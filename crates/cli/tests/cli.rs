@@ -835,3 +835,208 @@ fn mine_deadline_ms_aborts_mining() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("deadline"), "{err}");
 }
+
+#[test]
+fn mine_trace_writes_chrome_trace_with_worker_lanes() {
+    let dir = tmpdir("trace");
+    let log = dir.join("log.fm");
+    let trace = dir.join("trace.json");
+    let out = procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "400",
+        "--seed",
+        "3",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--threads",
+        "4",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = match json.get("traceEvents") {
+        Some(serde_json::Value::Seq(events)) => events.clone(),
+        other => panic!("traceEvents missing: {other:?}"),
+    };
+    let names: Vec<String> = events
+        .iter()
+        .filter(|e| matches!(e.get("ph"), Some(serde_json::Value::Str(p)) if p == "X"))
+        .filter_map(|e| match e.get("name") {
+            Some(serde_json::Value::Str(n)) => Some(n.clone()),
+            _ => None,
+        })
+        .collect();
+    // Codec ingestion, the parallel miner root, and per-worker spans
+    // all land in one trace file.
+    for expected in ["ingest.flowmark", "mine.parallel", "count_pairs.worker"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "span `{expected}` missing from {names:?}"
+        );
+    }
+    // Worker spans occupy lanes above the main thread.
+    let worker_tids: Vec<u64> = events
+        .iter()
+        .filter(|e| {
+            matches!(e.get("name"), Some(serde_json::Value::Str(n)) if n == "count_pairs.worker")
+        })
+        .filter_map(|e| e.get("tid").and_then(serde_json::Value::as_u64))
+        .collect();
+    assert!(
+        worker_tids.iter().all(|&t| t >= 1),
+        "worker spans on the main lane: {worker_tids:?}"
+    );
+}
+
+#[test]
+fn mine_without_trace_flag_writes_no_trace_file() {
+    let dir = tmpdir("no-trace");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate",
+        "--preset",
+        "upload",
+        "--executions",
+        "50",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&["mine", log.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(!dir.join("trace.json").exists());
+}
+
+#[test]
+fn check_json_emits_machine_readable_report() {
+    let dir = tmpdir("check-json");
+    let log = dir.join("log.fm");
+    let model = dir.join("model.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "120",
+        "--seed",
+        "9",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--json",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Conformal case: exit 0, "conformal": true, empty violation lists.
+    let out = procmine(&[
+        "check",
+        model.to_str().unwrap(),
+        log.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let report: serde_json::Value = serde_json::from_str(&stdout)
+        .unwrap_or_else(|e| panic!("check --json stdout must be pure JSON ({e}): {stdout}"));
+    assert!(matches!(
+        report.get("conformal"),
+        Some(serde_json::Value::Bool(true))
+    ));
+    for list in [
+        "missing_dependencies",
+        "spurious_dependencies",
+        "unknown_activities",
+        "inconsistent_executions",
+    ] {
+        assert!(
+            matches!(report.get(list), Some(serde_json::Value::Seq(v)) if v.is_empty()),
+            "{list} must be an empty array: {stdout}"
+        );
+    }
+
+    // Non-conformal case (foreign log): nonzero exit, but the report
+    // still lands on stdout with the offending activities listed.
+    let foreign = dir.join("foreign.fm");
+    procmine(&[
+        "generate",
+        "--preset",
+        "upload",
+        "--executions",
+        "30",
+        "-o",
+        foreign.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "check",
+        model.to_str().unwrap(),
+        foreign.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(!out.status.success(), "foreign log must fail the check");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let report: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert!(matches!(
+        report.get("conformal"),
+        Some(serde_json::Value::Bool(false))
+    ));
+}
+
+#[test]
+fn check_trace_covers_conformance_stages() {
+    let dir = tmpdir("check-trace");
+    let log = dir.join("log.fm");
+    let model = dir.join("model.json");
+    let trace = dir.join("trace.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "100",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--json",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = procmine(&[
+        "check",
+        model.to_str().unwrap(),
+        log.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let _: serde_json::Value = serde_json::from_str(&text).expect("trace parses");
+    for span in ["check_conformance", "closure", "execution_checks"] {
+        assert!(text.contains(&format!("\"name\":\"{span}\"")), "{span}");
+    }
+}

@@ -28,6 +28,7 @@
 
 use crate::follows::FollowsAnalysis;
 use crate::telemetry::{ConformanceMetrics, MetricsSink, NullSink};
+use crate::trace::Tracer;
 use crate::MinedModel;
 use procmine_graph::{reach, scc, NodeId};
 use procmine_log::{ActivityId, ActivityInstance, Execution, WorkflowLog};
@@ -276,6 +277,102 @@ impl ConformanceReport {
             && self.inconsistent_executions.is_empty()
             && self.unknown_activities.is_empty()
     }
+
+    /// Renders the report as machine-readable JSON (the CLI's
+    /// `check --json` output). Stable schema:
+    ///
+    /// ```json
+    /// {
+    ///   "conformal": false,
+    ///   "missing_dependencies": [{"from": "A", "to": "B"}],
+    ///   "spurious_dependencies": [],
+    ///   "unknown_activities": ["X"],
+    ///   "inconsistent_executions": [
+    ///     {"execution": "e1",
+    ///      "violations": [{"kind": "unreachable", "activity": "D"}]}
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        use crate::trace::escape;
+        let pairs = |out: &mut String, list: &[(String, String)]| {
+            out.push('[');
+            for (i, (from, to)) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"from\":\"{}\",\"to\":\"{}\"}}",
+                    escape(from),
+                    escape(to)
+                ));
+            }
+            out.push(']');
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{{\"conformal\":{}", self.is_conformal()));
+        out.push_str(",\"missing_dependencies\":");
+        pairs(&mut out, &self.missing_dependencies);
+        out.push_str(",\"spurious_dependencies\":");
+        pairs(&mut out, &self.spurious_dependencies);
+        out.push_str(",\"unknown_activities\":[");
+        for (i, name) in self.unknown_activities.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(name)));
+        }
+        out.push_str("],\"inconsistent_executions\":[");
+        for (i, (exec, violations)) in self.inconsistent_executions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"execution\":\"{}\",\"violations\":[",
+                escape(exec)
+            ));
+            for (j, v) in violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_json());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Violation {
+    /// One violation as a JSON object with a discriminating `kind` field.
+    fn to_json(&self) -> String {
+        use crate::trace::escape;
+        match self {
+            Violation::UnknownActivity { activity } => format!(
+                "{{\"kind\":\"unknown_activity\",\"activity\":\"{}\"}}",
+                escape(activity)
+            ),
+            Violation::NotConnected => "{\"kind\":\"not_connected\"}".to_string(),
+            Violation::WrongInitiating { found } => format!(
+                "{{\"kind\":\"wrong_initiating\",\"found\":\"{}\"}}",
+                escape(found)
+            ),
+            Violation::WrongTerminating { found } => format!(
+                "{{\"kind\":\"wrong_terminating\",\"found\":\"{}\"}}",
+                escape(found)
+            ),
+            Violation::Unreachable { activity } => format!(
+                "{{\"kind\":\"unreachable\",\"activity\":\"{}\"}}",
+                escape(activity)
+            ),
+            Violation::DependencyViolated { from, to } => format!(
+                "{{\"kind\":\"dependency_violated\",\"from\":\"{}\",\"to\":\"{}\"}}",
+                escape(from),
+                escape(to)
+            ),
+        }
+    }
 }
 
 /// Checks a model against a log for all three conformal-graph properties
@@ -289,17 +386,21 @@ impl ConformanceReport {
 /// executions and dependencies involving them are checked over the
 /// known activities. This never panics.
 pub fn check_conformance(model: &MinedModel, log: &WorkflowLog) -> ConformanceReport {
-    check_conformance_instrumented(model, log, &mut NullSink)
+    check_conformance_instrumented(model, log, &mut NullSink, &Tracer::disabled())
 }
 
-/// [`check_conformance`] with telemetry: records the closure/SCC/check
-/// timers and the report-level counters into `sink` (see
-/// [`ConformanceMetrics`]). With [`NullSink`] this is the plain twin.
+/// [`check_conformance`] with telemetry and tracing: records the
+/// closure/SCC/check timers and the report-level counters into `sink`
+/// (see [`ConformanceMetrics`]), and spans for the closure, SCC and
+/// per-execution phases into `tracer` (see [`crate::trace`]). With
+/// [`NullSink`] and a disabled tracer this is the plain twin.
 pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
     model: &MinedModel,
     log: &WorkflowLog,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> ConformanceReport {
+    let _root = tracer.span_cat("check_conformance", "conformance");
     let g = model.graph();
     let n = g.node_count();
     let follows = FollowsAnalysis::analyze(log);
@@ -325,19 +426,24 @@ pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
         }
     }
 
+    let closure_span = tracer.span_cat("closure", "conformance");
     let started = S::ENABLED.then(Instant::now);
     let closure = reach::transitive_closure(g);
     if let Some(s) = started {
         let nanos = s.elapsed().as_nanos() as u64;
         sink.record(|m| m.closure_nanos += nanos);
     }
+    drop(closure_span);
+    let scc_span = tracer.span_cat("scc", "conformance");
     let started = S::ENABLED.then(Instant::now);
     let sccs = scc::tarjan_scc(g);
     if let Some(s) = started {
         let nanos = s.elapsed().as_nanos() as u64;
         sink.record(|m| m.scc_nanos += nanos);
     }
+    drop(scc_span);
 
+    let deps_span = tracer.span_cat("dependency_checks", "conformance");
     for u in 0..n_log {
         for v in 0..n_log {
             if u == v {
@@ -370,7 +476,9 @@ pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
             }
         }
     }
+    drop(deps_span);
 
+    let _exec_span = tracer.span_cat("execution_checks", "conformance");
     for exec in log.executions() {
         let violations = if identity {
             check_execution_instrumented(model, exec, sink)
@@ -806,7 +914,8 @@ mod tests {
 
         let plain = check_conformance(&model, &mixed);
         let mut metrics = ConformanceMetrics::new();
-        let instrumented = check_conformance_instrumented(&model, &mixed, &mut metrics);
+        let instrumented =
+            check_conformance_instrumented(&model, &mixed, &mut metrics, &Tracer::disabled());
         assert_eq!(plain, instrumented);
 
         assert_eq!(metrics.executions_checked, 3);
@@ -832,7 +941,8 @@ mod tests {
         let foreign = WorkflowLog::from_strings(["AXB"]).unwrap();
         let plain = check_conformance(&model, &foreign);
         let mut metrics = ConformanceMetrics::new();
-        let instrumented = check_conformance_instrumented(&model, &foreign, &mut metrics);
+        let instrumented =
+            check_conformance_instrumented(&model, &foreign, &mut metrics, &Tracer::disabled());
         assert_eq!(plain, instrumented);
         assert_eq!(metrics.unknown_activities, 1);
         assert_eq!(metrics.violations_unknown_activity, 1);
@@ -861,6 +971,47 @@ mod tests {
         let f = fitness(&model, &log);
         assert_eq!(f.unknown_activity, 1);
         assert_eq!(f.consistent, 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_complete() {
+        let (model, _) = figure1();
+        let foreign = WorkflowLog::from_strings(["AXB", "AXB"]).unwrap();
+        let report = check_conformance(&model, &foreign);
+        let json = report.to_json();
+        // Well-formed per the vendored parser, with the expected fields.
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        for expected in [
+            "conformal",
+            "missing_dependencies",
+            "spurious_dependencies",
+            "unknown_activities",
+            "inconsistent_executions",
+        ] {
+            assert!(value.get(expected).is_some(), "missing key {expected}");
+        }
+        assert!(json.contains("\"conformal\":false"));
+        assert!(json.contains("\"unknown_activity\""));
+        assert!(json.contains("\"X\""));
+
+        // A conformal report renders too.
+        let log = WorkflowLog::from_strings(["ABCDE"]).unwrap();
+        let model = mine_special_dag(&log, &MinerOptions::default()).unwrap();
+        let clean = check_conformance(&model, &log).to_json();
+        let _: serde_json::Value = serde_json::from_str(&clean).expect("valid JSON");
+        assert!(clean.contains("\"conformal\":true"));
+    }
+
+    #[test]
+    fn report_json_escapes_activity_names() {
+        let report = ConformanceReport {
+            unknown_activities: vec!["a\"b".to_string()],
+            ..ConformanceReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("a\\\"b"));
+        let _: serde_json::Value =
+            serde_json::from_str(&json).expect("valid JSON despite quotes in names");
     }
 
     #[test]

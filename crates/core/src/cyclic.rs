@@ -14,6 +14,7 @@
 use crate::general_dag::{mine_vertex_log, VertexLog};
 use crate::model::graph_skeleton;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
 use procmine_log::WorkflowLog;
@@ -28,18 +29,21 @@ use procmine_log::WorkflowLog;
 /// equivalent sets"); immediate self-repetition `AA` therefore does not
 /// produce a self-loop.
 pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedModel, MineError> {
-    mine_cyclic_instrumented(log, options, &mut NullSink)
+    mine_cyclic_instrumented(log, options, &mut NullSink, &Tracer::disabled())
 }
 
-/// [`mine_cyclic`] with telemetry: stage timings and counters are
-/// recorded into `sink` (see [`crate::telemetry`]). Instance labeling
-/// and lowering are timed as [`Stage::Lower`]; the instance-merge step
-/// is part of [`Stage::Assemble`].
+/// [`mine_cyclic`] with telemetry and tracing: stage timings and
+/// counters are recorded into `sink` (see [`crate::telemetry`]), spans
+/// into `tracer` (see [`crate::trace`]). Instance labeling and lowering
+/// are timed as [`Stage::Lower`]; the instance-merge step is part of
+/// [`Stage::Assemble`].
 pub fn mine_cyclic_instrumented<S: MetricsSink>(
     log: &WorkflowLog,
     options: &MinerOptions,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
+    let _root = tracer.span_cat("mine.cyclic", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -50,6 +54,7 @@ pub fn mine_cyclic_instrumented<S: MetricsSink>(
     // Step 2 (of Algorithm 3): uniquely identify each occurrence.
     // Instance vertex space: activity a gets `max_occ[a]` consecutive
     // vertices starting at offset[a].
+    let lower_span = tracer.span_cat("lower", "miner");
     let started = stage_start::<S>();
     let mut max_occ = vec![0usize; n];
     for exec in log.executions() {
@@ -89,11 +94,13 @@ pub fn mine_cyclic_instrumented<S: MetricsSink>(
         execs: &execs,
     };
     stage_end(sink, Stage::Lower, started);
+    drop(lower_span);
 
     // Steps 4–7: the shared pipeline.
-    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink)?;
+    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink, tracer)?;
 
     // Step 8: merge instance vertices back into activities.
+    let _span = tracer.span_cat("assemble", "miner");
     let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support_acc = vec![0u32; n * n];

@@ -22,6 +22,7 @@
 use crate::limits::Deadline;
 use crate::model::graph_skeleton;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::{scc, AdjMatrix, BitSet, NodeId};
 use procmine_log::WorkflowLog;
@@ -53,9 +54,10 @@ pub(crate) fn mine_vertex_log<S: MetricsSink>(
     threshold: u32,
     deadline: Deadline,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<VertexMineResult, MineError> {
-    let counts = count_ordered_pairs(vlog, deadline, sink)?;
-    finish_from_counts(vlog, counts, threshold, deadline, sink)
+    let counts = count_ordered_pairs(vlog, deadline, sink, tracer)?;
+    finish_from_counts(vlog, counts, threshold, deadline, sink, tracer)
 }
 
 /// Step-2 observation counts: `ordered[u*n+v]` executions where `u`
@@ -86,7 +88,9 @@ pub(crate) fn count_ordered_pairs<S: MetricsSink>(
     vlog: &VertexLog<'_>,
     deadline: Deadline,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<OrderObservations, MineError> {
+    let _span = tracer.span_cat("count_pairs", "miner");
     let started = stage_start::<S>();
     let n = vlog.n;
     let mut obs = OrderObservations::new(n);
@@ -239,12 +243,17 @@ impl Default for MarkScratch {
 /// Steps 3–4 of Algorithm 2: threshold the counts into an edge matrix,
 /// remove two-cycles (including pairs observed overlapping — §2's
 /// independence evidence), and dissolve strongly connected components.
+/// The SCC pass runs under the deadline's wall-clock budget, so even a
+/// pathological followings graph cannot hide from `--deadline-ms`.
 pub(crate) fn prune_graph<S: MetricsSink>(
     n: usize,
     obs: &OrderObservations,
     threshold: u32,
+    deadline: Deadline,
     sink: &mut S,
-) -> AdjMatrix {
+    tracer: &Tracer,
+) -> Result<AdjMatrix, MineError> {
+    let _span = tracer.span_cat("prune", "miner");
     let started = stage_start::<S>();
     if S::ENABLED {
         let before = (0..n * n)
@@ -270,8 +279,11 @@ pub(crate) fn prune_graph<S: MetricsSink>(
         });
     }
 
+    let scc_span = tracer.span_cat("scc_removal", "miner");
     let digraph = g.to_digraph(|_| ());
-    let sccs = scc::tarjan_scc(&digraph);
+    // The budgeted Tarjan's only failure mode is budget exhaustion.
+    let sccs = scc::tarjan_scc_budgeted(&digraph, &deadline.budget())
+        .map_err(|_| Deadline::exceeded_in("SCC removal"))?;
     let mut nontrivial = 0u64;
     for comp in sccs.nontrivial() {
         nontrivial += 1;
@@ -283,11 +295,12 @@ pub(crate) fn prune_graph<S: MetricsSink>(
             }
         }
     }
+    drop(scc_span);
     if S::ENABLED {
         sink.record(|m| m.scc_count += nontrivial);
     }
     stage_end(sink, Stage::Prune, started);
-    g
+    Ok(g)
 }
 
 /// Steps 3–7 of Algorithm 2, given precomputed step-2 counts.
@@ -297,13 +310,15 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     threshold: u32,
     deadline: Deadline,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<VertexMineResult, MineError> {
     let n = vlog.n;
-    let mut g = prune_graph(n, &obs, threshold, sink);
+    let mut g = prune_graph(n, &obs, threshold, deadline, sink, tracer)?;
     let counts = obs.ordered;
 
     // Steps 5–6: per-execution induced-subgraph transitive reduction;
     // keep only edges some reduction needs.
+    let _span = tracer.span_cat("transitive_reduction", "miner");
     let started = stage_start::<S>();
     let mut marked = AdjMatrix::new(n);
     let mut scratch = MarkScratch::new();
@@ -343,17 +358,21 @@ pub fn mine_general_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<MinedModel, MineError> {
-    mine_general_dag_instrumented(log, options, &mut NullSink)
+    mine_general_dag_instrumented(log, options, &mut NullSink, &Tracer::disabled())
 }
 
-/// [`mine_general_dag`] with telemetry: stage timings and counters are
-/// recorded into `sink` (see [`crate::telemetry`]). With
-/// [`NullSink`] this compiles to exactly the uninstrumented miner.
+/// [`mine_general_dag`] with telemetry and tracing: stage timings and
+/// counters are recorded into `sink` (see [`crate::telemetry`]), and
+/// hierarchical spans into `tracer` (see [`crate::trace`]). With
+/// [`NullSink`] and a disabled tracer this compiles to exactly the
+/// uninstrumented miner.
 pub fn mine_general_dag_instrumented<S: MetricsSink>(
     log: &WorkflowLog,
     options: &MinerOptions,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
+    let _root = tracer.span_cat("mine.general", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -368,6 +387,7 @@ pub fn mine_general_dag_instrumented<S: MetricsSink>(
         }
     }
 
+    let lower_span = tracer.span_cat("lower", "miner");
     let started = stage_start::<S>();
     let n = log.activities().len();
     let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
@@ -381,10 +401,12 @@ pub fn mine_general_dag_instrumented<S: MetricsSink>(
         );
     }
     stage_end(sink, Stage::Lower, started);
+    drop(lower_span);
 
     let vlog = VertexLog { n, execs: &execs };
-    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink)?;
+    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink, tracer)?;
 
+    let _span = tracer.span_cat("assemble", "miner");
     let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support = Vec::with_capacity(result.graph.edge_count());
@@ -403,6 +425,37 @@ mod tests {
     fn mine(strings: &[&str]) -> MinedModel {
         let log = WorkflowLog::from_strings(strings.iter().copied()).unwrap();
         mine_general_dag(&log, &MinerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn expired_deadline_aborts_scc_removal() {
+        // A single directed cycle of 2000 activities: one giant SCC with
+        // no two-cycles to dissolve first, and more than 1024 Tarjan
+        // steps so the periodic budget check fires deterministically.
+        let n = 2_000;
+        let mut obs = OrderObservations {
+            ordered: vec![0; n * n],
+            overlap: vec![0; n * n],
+        };
+        for i in 0..n {
+            obs.ordered[i * n + (i + 1) % n] = 1;
+        }
+        let err = prune_graph(
+            n,
+            &obs,
+            1,
+            Deadline::already_expired(),
+            &mut NullSink,
+            &Tracer::disabled(),
+        )
+        .unwrap_err();
+        match err {
+            MineError::LimitExceeded {
+                kind: crate::LimitKind::Deadline,
+                details,
+            } => assert!(details.contains("SCC removal"), "details: {details}"),
+            other => panic!("expected a deadline error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -518,8 +571,13 @@ mod tests {
         use crate::telemetry::MinerMetrics;
         let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
         let mut metrics = MinerMetrics::new();
-        let model =
-            mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut metrics).unwrap();
+        let model = mine_general_dag_instrumented(
+            &log,
+            &MinerOptions::default(),
+            &mut metrics,
+            &Tracer::disabled(),
+        )
+        .unwrap();
         assert_eq!(metrics.executions_scanned, 4);
         assert_eq!(metrics.pairs_counted, 4 * 6, "four executions of length 4");
         assert_eq!(metrics.edges_final, model.edge_count() as u64);

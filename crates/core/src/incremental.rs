@@ -23,6 +23,7 @@ use crate::general_dag::{
 use crate::limits::LimitKind;
 use crate::model::graph_skeleton;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
 use procmine_log::{ActivityTable, Execution, WorkflowLog};
@@ -213,19 +214,22 @@ impl IncrementalMiner {
     /// Snapshots borrow the retained executions — producing a model
     /// copies nothing but the count matrices.
     pub fn model(&self) -> Result<MinedModel, MineError> {
-        self.model_instrumented(&mut NullSink)
+        self.model_instrumented(&mut NullSink, &Tracer::disabled())
     }
 
-    /// [`model`](IncrementalMiner::model) with telemetry: the finishing
-    /// steps are timed and counted into `sink` (see
-    /// [`crate::telemetry`]). The step-2 counting work happened at
-    /// absorb time, so [`Stage::CountPairs`] stays zero here; the
+    /// [`model`](IncrementalMiner::model) with telemetry and tracing:
+    /// the finishing steps are timed and counted into `sink` (see
+    /// [`crate::telemetry`]) and recorded as spans into `tracer` (see
+    /// [`crate::trace`]). The step-2 counting work happened at absorb
+    /// time, so [`Stage::CountPairs`] stays zero here; the
     /// scanned-execution and pair totals are still reported so the
     /// counters describe the whole mining effort behind the snapshot.
     pub fn model_instrumented<S: MetricsSink>(
         &self,
         sink: &mut S,
+        tracer: &Tracer,
     ) -> Result<MinedModel, MineError> {
+        let _root = tracer.span_cat("mine.incremental", "miner");
         if self.execs.is_empty() {
             return Err(MineError::EmptyLog);
         }
@@ -248,7 +252,9 @@ impl IncrementalMiner {
             self.options.noise_threshold,
             self.options.limits.start_clock(),
             sink,
+            tracer,
         )?;
+        let _span = tracer.span_cat("assemble", "miner");
         let started = stage_start::<S>();
         let mut graph = graph_skeleton(&self.table);
         let mut support = Vec::with_capacity(result.graph.edge_count());

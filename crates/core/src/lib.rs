@@ -65,6 +65,7 @@ pub mod metrics;
 pub mod noise;
 pub mod splits;
 pub mod telemetry;
+pub mod trace;
 
 pub use cyclic::{mine_cyclic, mine_cyclic_instrumented};
 pub use error::MineError;
@@ -76,3 +77,4 @@ pub use model::MinedModel;
 pub use parallel::{mine_general_dag_parallel, mine_general_dag_parallel_instrumented};
 pub use special_dag::{mine_special_dag, mine_special_dag_instrumented};
 pub use telemetry::{ConformanceMetrics, MetricsSink, MinerMetrics, NullSink, Stage, WallStage};
+pub use trace::{SpanGuard, SpanRecord, TraceBuffer, Tracer};

@@ -13,7 +13,11 @@
 //! before any quadratic work starts). The deadline is re-checked inside
 //! every per-execution loop, so a run over `m` executions exceeds its
 //! deadline by at most the cost of one execution — which the size
-//! limits in turn bound.
+//! limits in turn bound. The graph post-processing passes (the special
+//! miner's global transitive reduction and the SCC dissolution of the
+//! pruning step) re-check it too, as a [`procmine_graph::Budget`], so a
+//! pathological dense graph cannot hide from the deadline inside a
+//! single graph call.
 
 use crate::MineError;
 use std::time::{Duration, Instant};
@@ -115,6 +119,31 @@ impl Deadline {
     #[cfg(test)]
     pub(crate) fn unlimited() -> Self {
         Deadline(None)
+    }
+
+    /// A deadline that has effectively already passed (it expires the
+    /// instant it is created), for deterministic tests of the budgeted
+    /// graph phases.
+    #[cfg(test)]
+    pub(crate) fn already_expired() -> Self {
+        Deadline(Some(Instant::now()))
+    }
+
+    /// The same deadline as a [`procmine_graph::Budget`], for the
+    /// budgeted graph algorithms (transitive reduction, Tarjan SCC).
+    pub(crate) fn budget(self) -> procmine_graph::Budget {
+        match self.0 {
+            Some(t) => procmine_graph::Budget::with_deadline(t),
+            None => procmine_graph::Budget::unlimited(),
+        }
+    }
+
+    /// The typed error the graph algorithms' budget exhaustion maps to.
+    pub(crate) fn exceeded_in(context: &str) -> MineError {
+        MineError::LimitExceeded {
+            kind: LimitKind::Deadline,
+            details: format!("wall-clock deadline passed during {context}"),
+        }
     }
 
     /// Errors with [`MineError::LimitExceeded`] once the deadline has

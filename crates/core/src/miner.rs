@@ -4,6 +4,7 @@ use crate::cyclic::mine_cyclic_instrumented;
 use crate::general_dag::mine_general_dag_instrumented;
 use crate::special_dag::mine_special_dag_instrumented;
 use crate::telemetry::{MetricsSink, NullSink};
+use crate::trace::Tracer;
 use crate::{MineError, MinedModel};
 use procmine_log::WorkflowLog;
 
@@ -70,32 +71,34 @@ pub fn mine_auto(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<(MinedModel, Algorithm), MineError> {
-    mine_auto_instrumented(log, options, &mut NullSink)
+    mine_auto_instrumented(log, options, &mut NullSink, &Tracer::disabled())
 }
 
-/// [`mine_auto`] with telemetry: the chosen algorithm's stage timings
-/// and counters are recorded into `sink` (see [`crate::telemetry`]).
+/// [`mine_auto`] with telemetry and tracing: the chosen algorithm's
+/// stage timings and counters are recorded into `sink` (see
+/// [`crate::telemetry`]), its spans into `tracer` (see [`crate::trace`]).
 pub fn mine_auto_instrumented<S: MetricsSink>(
     log: &WorkflowLog,
     options: &MinerOptions,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<(MinedModel, Algorithm), MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
     if log.has_repeats() {
         Ok((
-            mine_cyclic_instrumented(log, options, sink)?,
+            mine_cyclic_instrumented(log, options, sink, tracer)?,
             Algorithm::Cyclic,
         ))
     } else if log.every_activity_in_every_execution() {
         Ok((
-            mine_special_dag_instrumented(log, options, sink)?,
+            mine_special_dag_instrumented(log, options, sink, tracer)?,
             Algorithm::SpecialDag,
         ))
     } else {
         Ok((
-            mine_general_dag_instrumented(log, options, sink)?,
+            mine_general_dag_instrumented(log, options, sink, tracer)?,
             Algorithm::GeneralDag,
         ))
     }

@@ -17,6 +17,7 @@ use crate::model::graph_skeleton;
 use crate::telemetry::{
     stage_end, stage_start, MetricsSink, MinerMetrics, NullSink, Stage, WallStage,
 };
+use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::{AdjMatrix, NodeId};
 use procmine_log::WorkflowLog;
@@ -33,22 +34,33 @@ pub fn mine_general_dag_parallel(
     options: &MinerOptions,
     threads: usize,
 ) -> Result<MinedModel, MineError> {
-    mine_general_dag_parallel_instrumented(log, options, threads, &mut NullSink)
+    mine_general_dag_parallel_instrumented(
+        log,
+        options,
+        threads,
+        &mut NullSink,
+        &Tracer::disabled(),
+    )
 }
 
-/// [`mine_general_dag_parallel`] with telemetry: each worker thread
-/// accumulates its own [`MinerMetrics`], merged into `sink` at the two
-/// join barriers (see [`crate::telemetry`]). Stage nanoseconds for the
-/// parallel passes therefore sum CPU time across threads; a
+/// [`mine_general_dag_parallel`] with telemetry and tracing: each worker
+/// thread accumulates its own [`MinerMetrics`], merged into `sink` at
+/// the two join barriers (see [`crate::telemetry`]). Stage nanoseconds
+/// for the parallel passes therefore sum CPU time across threads; a
 /// [`WallStage`] timer around each barrier additionally records the
 /// elapsed wall time, so CPU-ns / wall-ns per stage is the parallel
-/// efficiency. The counters are identical to the serial miner's.
+/// efficiency. The counters are identical to the serial miner's. Each
+/// worker additionally records a per-thread span into `tracer` (its own
+/// trace lane — see [`Tracer::worker`]), so a Chrome-trace view shows
+/// the fan-out/join shape directly.
 pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     log: &WorkflowLog,
     options: &MinerOptions,
     threads: usize,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
+    let _root = tracer.span_cat("mine.parallel", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -64,6 +76,7 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     }
     let threads = threads.max(1);
     let n = log.activities().len();
+    let lower_span = tracer.span_cat("lower", "miner");
     let started = stage_start::<S>();
     let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
     for e in log.executions() {
@@ -77,11 +90,15 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
     }
     let vlog = VertexLog { n, execs: &execs };
     stage_end(sink, Stage::Lower, started);
+    drop(lower_span);
 
     // Step 2 in parallel: per-thread count matrices, merged by addition.
     // Each worker also fills a private MinerMetrics (the sink itself
-    // never crosses a thread boundary); the join merges them.
+    // never crosses a thread boundary); the join merges them. Each
+    // worker likewise records its span into a private per-thread trace
+    // buffer, flushed into the tracer when the buffer drops at join.
     let chunk = vlog.execs.len().div_ceil(threads);
+    let count_span = tracer.span_cat("count_pairs", "miner");
     let wall = WallStage::start::<S>(Stage::CountPairs);
     let obs: OrderObservations = std::thread::scope(|scope| {
         let handles: Vec<_> = vlog
@@ -90,6 +107,8 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
             .map(|execs| {
                 scope.spawn(
                     move || -> Result<(OrderObservations, MinerMetrics), MineError> {
+                        let buf = tracer.worker();
+                        let _span = buf.span_cat("count_pairs.worker", "miner");
                         let started = stage_start::<S>();
                         let mut local = OrderObservations::new(n);
                         for exec in execs {
@@ -136,12 +155,14 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
         }
     })?;
     wall.finish(sink);
+    drop(count_span);
 
     // Steps 3–4 serial (cheap).
-    let mut g = prune_graph(n, &obs, options.noise_threshold, sink);
+    let mut g = prune_graph(n, &obs, options.noise_threshold, deadline, sink, tracer)?;
     let counts = obs.ordered;
 
     // Step 5 in parallel: per-thread marked matrices, merged by union.
+    let reduce_span = tracer.span_cat("transitive_reduction", "miner");
     let wall = WallStage::start::<S>(Stage::Reduce);
     let marked: AdjMatrix = std::thread::scope(|scope| {
         let g_ref = &g;
@@ -150,6 +171,8 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
             .chunks(chunk.max(1))
             .map(|execs| {
                 scope.spawn(move || -> Result<(AdjMatrix, MinerMetrics), MineError> {
+                    let buf = tracer.worker();
+                    let _span = buf.span_cat("transitive_reduction.worker", "miner");
                     let started = stage_start::<S>();
                     let mut local = AdjMatrix::new(n);
                     let mut scratch = MarkScratch::new();
@@ -189,6 +212,7 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
         }
     })?;
     wall.finish(sink);
+    drop(reduce_span);
 
     // Step 6: drop edges no execution needed.
     let unmarked: Vec<(usize, usize)> =
@@ -205,6 +229,7 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
         sink.record(|m| m.edges_final += final_edges);
     }
 
+    let _span = tracer.span_cat("assemble", "miner");
     let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support = Vec::with_capacity(g.edge_count());
@@ -290,7 +315,13 @@ mod tests {
         let strings = ["ABCF", "ACDF", "ADEF", "AECF", "ABCF", "ACDF"];
         let log = WorkflowLog::from_strings(strings).unwrap();
         let mut serial = MinerMetrics::new();
-        mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut serial).unwrap();
+        mine_general_dag_instrumented(
+            &log,
+            &MinerOptions::default(),
+            &mut serial,
+            &Tracer::disabled(),
+        )
+        .unwrap();
         for threads in [1, 2, 3, 8, 64] {
             let mut parallel = MinerMetrics::new();
             mine_general_dag_parallel_instrumented(
@@ -298,6 +329,7 @@ mod tests {
                 &MinerOptions::default(),
                 threads,
                 &mut parallel,
+                &Tracer::disabled(),
             )
             .unwrap();
             assert_eq!(
@@ -324,7 +356,14 @@ mod tests {
         .unwrap();
         let log = walk::random_walk_log(&model, 400, &mut rng).unwrap();
         let mut m = MinerMetrics::new();
-        mine_general_dag_parallel_instrumented(&log, &MinerOptions::default(), 2, &mut m).unwrap();
+        mine_general_dag_parallel_instrumented(
+            &log,
+            &MinerOptions::default(),
+            2,
+            &mut m,
+            &Tracer::disabled(),
+        )
+        .unwrap();
         // The two fan-out/join barriers record wall time; serial stages
         // have no barrier and stay at zero wall.
         assert!(m.wall_nanos(Stage::CountPairs) > 0);

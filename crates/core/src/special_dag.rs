@@ -12,11 +12,13 @@
 //!
 //! Complexity O(n²m): step 1 dominates since `m ≫ n`.
 
+use crate::limits::Deadline;
 use crate::model::graph_skeleton;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
-use procmine_graph::reduction::transitive_reduction_matrix;
-use procmine_graph::{AdjMatrix, NodeId};
+use procmine_graph::reduction::transitive_reduction_matrix_budgeted;
+use procmine_graph::{AdjMatrix, GraphError, NodeId};
 use procmine_log::WorkflowLog;
 
 /// Mines the unique minimal conformal graph of a log in which every
@@ -36,18 +38,21 @@ pub fn mine_special_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<MinedModel, MineError> {
-    mine_special_dag_instrumented(log, options, &mut NullSink)
+    mine_special_dag_instrumented(log, options, &mut NullSink, &Tracer::disabled())
 }
 
-/// [`mine_special_dag`] with telemetry: stage timings and counters are
-/// recorded into `sink` (see [`crate::telemetry`]). Algorithm 1 lowers
-/// while counting, so [`Stage::Lower`] stays zero and its global
-/// transitive reduction is timed as [`Stage::Reduce`].
+/// [`mine_special_dag`] with telemetry and tracing: stage timings and
+/// counters are recorded into `sink` (see [`crate::telemetry`]), spans
+/// into `tracer` (see [`crate::trace`]). Algorithm 1 lowers while
+/// counting, so [`Stage::Lower`] stays zero and its global transitive
+/// reduction is timed as [`Stage::Reduce`].
 pub fn mine_special_dag_instrumented<S: MetricsSink>(
     log: &WorkflowLog,
     options: &MinerOptions,
     sink: &mut S,
+    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
+    let _root = tracer.span_cat("mine.special", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
@@ -72,6 +77,7 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
     // occurs once per execution, so each execution contributes at most
     // 1 per pair. An overlap is independence evidence (§2) and prunes
     // the pair like a two-cycle.
+    let count_span = tracer.span_cat("count_pairs", "miner");
     let started = stage_start::<S>();
     let mut obs = crate::general_dag::OrderObservations::new(n);
     for exec in log.executions() {
@@ -93,9 +99,11 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
         });
     }
     stage_end(sink, Stage::CountPairs, started);
+    drop(count_span);
     let counts = obs.ordered.clone();
 
     // Threshold (T = 1 keeps everything) and step 3: drop two-cycles.
+    let prune_span = tracer.span_cat("prune", "miner");
     let started = stage_start::<S>();
     if S::ENABLED {
         let before = (0..n * n)
@@ -105,6 +113,7 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
     }
     let mut m = AdjMatrix::new(n);
     for u in 0..n {
+        deadline.check()?;
         for v in 0..n {
             if u != v
                 && obs.ordered[u * n + v] >= options.noise_threshold
@@ -124,10 +133,17 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
         });
     }
     stage_end(sink, Stage::Prune, started);
+    drop(prune_span);
 
-    // Step 4: transitive reduction (unique for a DAG).
+    // Step 4: transitive reduction (unique for a DAG), under the
+    // deadline's wall-clock budget.
+    let reduce_span = tracer.span_cat("transitive_reduction", "miner");
     let started = stage_start::<S>();
-    let reduced = transitive_reduction_matrix(&m).map_err(|_| MineError::UnexpectedCycle)?;
+    let reduced =
+        transitive_reduction_matrix_budgeted(&m, &deadline.budget()).map_err(|e| match e {
+            GraphError::BudgetExhausted => Deadline::exceeded_in("transitive reduction"),
+            _ => MineError::UnexpectedCycle,
+        })?;
     if S::ENABLED {
         let dropped = (m.edge_count() - reduced.edge_count()) as u64;
         let final_edges = reduced.edge_count() as u64;
@@ -137,7 +153,9 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
         });
     }
     stage_end(sink, Stage::Reduce, started);
+    drop(reduce_span);
 
+    let _span = tracer.span_cat("assemble", "miner");
     let started = stage_start::<S>();
     let mut graph = graph_skeleton(log.activities());
     let mut support = Vec::with_capacity(reduced.edge_count());

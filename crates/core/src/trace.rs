@@ -1,0 +1,402 @@
+//! Hierarchical span tracing with Chrome Trace Event export.
+//!
+//! The telemetry layer ([`crate::telemetry`]) answers *how much* work
+//! each pipeline stage did; this module answers *when* and *in what
+//! nesting*. A [`Tracer`] collects [`SpanRecord`]s — named wall-clock
+//! intervals tagged with a thread id — and exports them in the Chrome
+//! Trace Event Format, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
+//!
+//! Design points, mirroring the zero-cost sink idiom:
+//!
+//! * **No-op default** — [`Tracer::disabled`] carries no state; opening
+//!   a span against it never reads the clock, so untraced runs pay one
+//!   branch per span site.
+//! * **RAII spans** — [`Tracer::span`] / [`TraceBuffer::span`] return a
+//!   [`SpanGuard`] that records the interval when dropped; nesting in
+//!   the exported trace follows lexical scope.
+//! * **Cheap per-thread buffers** — the parallel miner's workers each
+//!   take a [`TraceBuffer`] via [`Tracer::worker`]: a plain `Vec`
+//!   behind a `RefCell`, flushed into the shared tracer exactly once
+//!   (when the buffer drops at the join barrier). Worker spans carry
+//!   their own thread id, so the exported trace shows one lane per
+//!   worker.
+//!
+//! Timestamps are nanoseconds since the tracer's construction; the
+//! exporter converts to the microsecond `ts`/`dur` fields the Chrome
+//! format specifies.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span: a named interval on one thread lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (stable, machine-readable; e.g. `count_pairs`).
+    pub name: &'static str,
+    /// Category, used as the Chrome `cat` field (e.g. `miner`, `codec`).
+    pub cat: &'static str,
+    /// Trace lane: 0 is the main thread, workers count up from 1.
+    pub tid: u32,
+    /// Start, in nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// State shared by a tracer and its thread buffers.
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    next_tid: AtomicU32,
+}
+
+impl Shared {
+    fn push(&self, record: SpanRecord) {
+        // A poisoned mutex means another thread panicked mid-push;
+        // dropping this span beats propagating the panic.
+        if let Ok(mut spans) = self.spans.lock() {
+            spans.push(record);
+        }
+    }
+}
+
+/// A span collector with Chrome Trace Event export. Cloning is cheap
+/// and shares the underlying buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// An enabled tracer; the construction instant is timestamp zero.
+    pub fn new() -> Tracer {
+        Tracer {
+            shared: Some(Arc::new(Shared {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                next_tid: AtomicU32::new(1),
+            })),
+        }
+    }
+
+    /// The no-op tracer: spans opened against it are never timed or
+    /// recorded. This is what the plain (un-traced) entry points pass.
+    pub fn disabled() -> Tracer {
+        Tracer { shared: None }
+    }
+
+    /// `true` when spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Opens a span on the main lane (tid 0) with category `procmine`.
+    /// The span is recorded when the returned guard drops.
+    #[must_use = "the span ends when the guard is dropped"]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_cat(name, "procmine")
+    }
+
+    /// Opens a span on the main lane (tid 0) with an explicit category.
+    #[must_use = "the span ends when the guard is dropped"]
+    pub fn span_cat(&self, name: &'static str, cat: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            target: match &self.shared {
+                Some(shared) => Target::Shared(shared),
+                None => Target::Disabled,
+            },
+            name,
+            cat,
+            start: self.shared.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Allocates a thread-local span buffer with a fresh lane id
+    /// (tid ≥ 1). Spans recorded into it are flushed into this tracer
+    /// when the buffer drops — one lock acquisition per buffer, not per
+    /// span. Disabled tracers hand out inert buffers.
+    pub fn worker(&self) -> TraceBuffer {
+        match &self.shared {
+            Some(shared) => TraceBuffer {
+                shared: Some(Arc::clone(shared)),
+                tid: shared.next_tid.fetch_add(1, Ordering::Relaxed),
+                spans: RefCell::new(Vec::new()),
+            },
+            None => TraceBuffer {
+                shared: None,
+                tid: 0,
+                spans: RefCell::new(Vec::new()),
+            },
+        }
+    }
+
+    /// Snapshot of every span recorded so far (flushed buffers only).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        match &self.shared {
+            Some(shared) => shared
+                .spans
+                .lock()
+                .map(|spans| spans.clone())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders the recorded spans as a Chrome Trace Event JSON string.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = Vec::new();
+        // Infallible: Vec<u8> as a Write sink never errors.
+        let _ = self.write_chrome_json(&mut out);
+        String::from_utf8(out).unwrap_or_default()
+    }
+
+    /// Writes the recorded spans in Chrome Trace Event Format: one
+    /// complete (`"ph":"X"`) event per span, `ts`/`dur` in microseconds,
+    /// plus process/thread-name metadata events so Perfetto labels the
+    /// lanes. Load the file in <https://ui.perfetto.dev> or
+    /// `chrome://tracing`.
+    pub fn write_chrome_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let records = self.records();
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"procmine\"}}}}"
+        )?;
+        let mut tids: Vec<u32> = records.iter().map(|r| r.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let label = if tid == 0 {
+                "main".to_string()
+            } else {
+                format!("worker-{tid}")
+            };
+            write!(
+                w,
+                ",\n{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            )?;
+        }
+        for r in &records {
+            write!(
+                w,
+                ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3}}}",
+                escape(r.name),
+                escape(r.cat),
+                r.tid,
+                r.start_ns as f64 / 1000.0,
+                r.dur_ns as f64 / 1000.0,
+            )?;
+        }
+        writeln!(w, "\n]}}")
+    }
+}
+
+/// Minimal JSON string escaping. Span names and categories are static
+/// identifiers, so this is belt-and-braces for the exported file; the
+/// conformance JSON report reuses it for arbitrary activity names.
+pub(crate) fn escape(s: &str) -> String {
+    if s.chars().all(|c| c != '"' && c != '\\' && c >= ' ') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if c < ' ' => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A per-thread span buffer handed out by [`Tracer::worker`]. Spans
+/// recorded into it stay thread-local (no locking) until the buffer is
+/// dropped, which flushes them into the owning tracer in one step.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    shared: Option<Arc<Shared>>,
+    tid: u32,
+    spans: RefCell<Vec<SpanRecord>>,
+}
+
+impl TraceBuffer {
+    /// This buffer's trace lane id (0 when the tracer is disabled).
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Opens a span on this buffer's lane with category `procmine`.
+    #[must_use = "the span ends when the guard is dropped"]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_cat(name, "procmine")
+    }
+
+    /// Opens a span on this buffer's lane with an explicit category.
+    #[must_use = "the span ends when the guard is dropped"]
+    pub fn span_cat(&self, name: &'static str, cat: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            target: match self.shared {
+                Some(_) => Target::Buffer(self),
+                None => Target::Disabled,
+            },
+            name,
+            cat,
+            start: self.shared.as_ref().map(|_| Instant::now()),
+        }
+    }
+}
+
+impl Drop for TraceBuffer {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            let spans = std::mem::take(&mut *self.spans.borrow_mut());
+            if !spans.is_empty() {
+                if let Ok(mut all) = shared.spans.lock() {
+                    all.extend(spans);
+                }
+            }
+        }
+    }
+}
+
+enum Target<'a> {
+    Disabled,
+    Shared(&'a Shared),
+    Buffer(&'a TraceBuffer),
+}
+
+/// RAII guard for one open span: created by [`Tracer::span`] or
+/// [`TraceBuffer::span`], records the elapsed interval when dropped.
+/// Against a disabled tracer the guard holds no timestamp and its drop
+/// is a no-op.
+#[must_use = "the span ends when the guard is dropped"]
+pub struct SpanGuard<'a> {
+    target: Target<'a>,
+    name: &'static str,
+    cat: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        match self.target {
+            Target::Disabled => {}
+            Target::Shared(shared) => {
+                let record = SpanRecord {
+                    name: self.name,
+                    cat: self.cat,
+                    tid: 0,
+                    start_ns: start.duration_since(shared.epoch).as_nanos() as u64,
+                    dur_ns: start.elapsed().as_nanos() as u64,
+                };
+                shared.push(record);
+            }
+            Target::Buffer(buffer) => {
+                let Some(shared) = &buffer.shared else { return };
+                let record = SpanRecord {
+                    name: self.name,
+                    cat: self.cat,
+                    tid: buffer.tid,
+                    start_ns: start.duration_since(shared.epoch).as_nanos() as u64,
+                    dur_ns: start.elapsed().as_nanos() as u64,
+                };
+                buffer.spans.borrow_mut().push(record);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        {
+            let _root = tracer.span("root");
+            let _inner = tracer.span("inner");
+            let buf = tracer.worker();
+            let _w = buf.span("worker");
+        }
+        assert!(!tracer.is_enabled());
+        assert!(tracer.records().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_pair() {
+        let tracer = Tracer::new();
+        {
+            let _root = tracer.span("root");
+            let _inner = tracer.span_cat("inner", "test");
+        }
+        let records = tracer.records();
+        assert_eq!(records.len(), 2);
+        // Inner drops first, so it is recorded first.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].cat, "test");
+        assert_eq!(records[1].name, "root");
+        // The root span contains the inner span.
+        let (root, inner) = (&records[1], &records[0]);
+        assert!(root.start_ns <= inner.start_ns);
+        assert!(root.start_ns + root.dur_ns >= inner.start_ns + inner.dur_ns);
+        assert_eq!(root.tid, 0);
+    }
+
+    #[test]
+    fn worker_buffers_get_distinct_tids_and_flush_on_drop() {
+        let tracer = Tracer::new();
+        let b1 = tracer.worker();
+        let b2 = tracer.worker();
+        assert_ne!(b1.tid(), b2.tid());
+        assert!(b1.tid() >= 1 && b2.tid() >= 1);
+        {
+            let _s = b1.span("one");
+        }
+        assert!(
+            tracer.records().is_empty(),
+            "worker spans stay local until the buffer drops"
+        );
+        drop(b1);
+        drop(b2);
+        let records = tracer.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "one");
+        assert!(records[0].tid >= 1);
+    }
+
+    #[test]
+    fn chrome_export_contains_events_and_thread_names() {
+        let tracer = Tracer::new();
+        {
+            let _root = tracer.span("root");
+            let buf = tracer.worker();
+            let _w = buf.span("chunk");
+        }
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"root\""));
+        assert!(json.contains("\"name\":\"chunk\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("worker-1"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\u000ab");
+    }
+}

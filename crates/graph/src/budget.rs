@@ -1,0 +1,74 @@
+//! Wall-clock budgets for the graph algorithms.
+//!
+//! The miners bound their per-execution loops with a deadline, but the
+//! post-processing passes — transitive reduction and SCC dissolution —
+//! are loops over *vertices and edges* of a potentially dense graph, so
+//! a pathological input can overstay its welcome inside a single graph
+//! call. [`Budget`] threads the same deadline into those passes:
+//! budgeted algorithm variants ([`crate::reduction::transitive_reduction_matrix_budgeted`],
+//! [`crate::scc::tarjan_scc_budgeted`]) check it periodically and bail
+//! out with [`GraphError::BudgetExhausted`].
+
+use crate::GraphError;
+use std::time::Instant;
+
+/// A wall-clock budget: either unlimited or a deadline instant.
+/// Checking an unlimited budget never reads the clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Budget {
+        Budget { deadline: None }
+    }
+
+    /// A budget that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Errors with [`GraphError::BudgetExhausted`] once the deadline has
+    /// passed. Free when unlimited.
+    #[inline]
+    pub fn check(&self) -> Result<(), GraphError> {
+        match self.deadline {
+            None => Ok(()),
+            Some(t) => {
+                if Instant::now() <= t {
+                    Ok(())
+                } else {
+                    Err(GraphError::BudgetExhausted)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_fires() {
+        assert!(Budget::unlimited().check().is_ok());
+        assert!(Budget::default().check().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let budget = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(budget.check(), Err(GraphError::BudgetExhausted));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let budget = Budget::with_deadline(Instant::now() + Duration::from_secs(60));
+        assert!(budget.check().is_ok());
+    }
+}

@@ -13,6 +13,11 @@ pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// Creates a node id from a raw index.
+    ///
+    /// # Panics
+    /// If `index` does not fit in `u32` — a graph with more than 4
+    /// billion nodes is far past every other limit in the pipeline.
+    #[allow(clippy::expect_used)] // documented invariant, not a recoverable error
     pub fn new(index: usize) -> Self {
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
@@ -128,6 +133,9 @@ impl<N> DiGraph<N> {
             Ok(_) => false,
             Err(pos) => {
                 self.out[from.index()].insert(pos, to);
+                // out and inn are maintained in lockstep: an edge absent
+                // from one is absent from the other.
+                #[allow(clippy::expect_used)]
                 let ipos = self.inn[to.index()]
                     .binary_search(&from)
                     .expect_err("in/out adjacency out of sync");
@@ -146,6 +154,9 @@ impl<N> DiGraph<N> {
         match self.out[from.index()].binary_search(&to) {
             Ok(pos) => {
                 self.out[from.index()].remove(pos);
+                // add_edge/remove_edge maintain out and inn in lockstep,
+                // so an edge present in one is present in the other.
+                #[allow(clippy::expect_used)]
                 let ipos = self.inn[to.index()]
                     .binary_search(&from)
                     .expect("in/out adjacency out of sync");

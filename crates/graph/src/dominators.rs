@@ -103,6 +103,9 @@ pub fn dominators<N>(g: &DiGraph<N>, root: NodeId) -> Dominators {
     let mut idom: Vec<Option<NodeId>> = vec![None; n];
     idom[root.index()] = Some(root);
 
+    // Cooper–Harvey–Kennedy invariant: intersect is only called on
+    // nodes already processed this pass, whose idom entries are set.
+    #[allow(clippy::expect_used)]
     let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
         while a != b {
             while rpo_number[a.index()] > rpo_number[b.index()] {

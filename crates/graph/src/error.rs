@@ -18,6 +18,9 @@ pub enum GraphError {
         /// Number of nodes in the graph.
         node_count: usize,
     },
+    /// A budgeted algorithm exceeded its wall-clock budget (see
+    /// [`crate::budget::Budget`]).
+    BudgetExhausted,
 }
 
 impl fmt::Display for GraphError {
@@ -31,6 +34,9 @@ impl fmt::Display for GraphError {
                     f,
                     "node index {index} out of range (graph has {node_count} nodes)"
                 )
+            }
+            GraphError::BudgetExhausted => {
+                write!(f, "wall-clock budget exhausted during graph algorithm")
             }
         }
     }

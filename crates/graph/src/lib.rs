@@ -50,6 +50,7 @@ mod bitset;
 mod digraph;
 mod error;
 
+pub mod budget;
 pub mod diff;
 pub mod dominators;
 pub mod dot;
@@ -63,5 +64,6 @@ pub mod topo;
 
 pub use adjmatrix::AdjMatrix;
 pub use bitset::BitSet;
+pub use budget::Budget;
 pub use digraph::{DiGraph, EdgeIter, NodeId};
 pub use error::GraphError;

@@ -17,8 +17,10 @@
 //! [`transitive_reduction_naive`] is the per-edge-DFS reference used to
 //! cross-check it in tests and as the baseline of ablation A1.
 
+use crate::budget::Budget;
 use crate::topo::topological_sort;
 use crate::{AdjMatrix, BitSet, DiGraph, GraphError, NodeId};
+use std::collections::VecDeque;
 
 /// Computes the transitive reduction of the DAG `g` (Appendix A,
 /// Algorithm 4). Payloads are preserved. Returns
@@ -57,14 +59,26 @@ pub fn transitive_reduction_dag<N: Clone>(g: &DiGraph<N>) -> Result<DiGraph<N>, 
 /// algorithm as [`transitive_reduction_dag`], operating on bitset rows
 /// directly; used in the miners' inner loops.
 pub fn transitive_reduction_matrix(m: &AdjMatrix) -> Result<AdjMatrix, GraphError> {
-    let g = m.to_digraph(|_| ());
-    let order = topological_sort(&g)?;
+    transitive_reduction_matrix_budgeted(m, &Budget::unlimited())
+}
+
+/// [`transitive_reduction_matrix`] under a wall-clock [`Budget`]: the
+/// budget is re-checked once per vertex of the reverse-topological
+/// descent — and periodically inside the topological-sort setup, which
+/// is itself O(|E|) — so a run overstays its deadline by at most one
+/// vertex's row work. Returns [`GraphError::BudgetExhausted`] when it
+/// fires.
+pub fn transitive_reduction_matrix_budgeted(
+    m: &AdjMatrix,
+    budget: &Budget,
+) -> Result<AdjMatrix, GraphError> {
+    let order = topo_order_matrix_budgeted(m, budget)?;
     let n = m.node_count();
     let mut desc: Vec<BitSet> = vec![BitSet::new(n); n];
     let mut reduced = m.clone();
 
-    for &v in order.iter().rev() {
-        let vi = v.index();
+    for &vi in order.iter().rev() {
+        budget.check()?;
         let mut dv = BitSet::new(n);
         for s in m.successors(vi) {
             dv.union_with(&desc[s]);
@@ -80,6 +94,45 @@ pub fn transitive_reduction_matrix(m: &AdjMatrix) -> Result<AdjMatrix, GraphErro
         desc[vi] = dv;
     }
     Ok(reduced)
+}
+
+/// Kahn's algorithm directly on an [`AdjMatrix`], under a [`Budget`]:
+/// checked once per row while counting in-degrees and every 64 dequeued
+/// vertices thereafter. Avoids materializing an intermediate
+/// [`DiGraph`], whose O(|E|) construction would run ahead of the first
+/// budget check. Ties break by vertex id, matching
+/// [`topological_sort`].
+fn topo_order_matrix_budgeted(m: &AdjMatrix, budget: &Budget) -> Result<Vec<usize>, GraphError> {
+    let n = m.node_count();
+    let mut in_deg = vec![0usize; n];
+    for u in 0..n {
+        budget.check()?;
+        for v in m.successors(u) {
+            in_deg[v] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut ticks = 0u32;
+    while let Some(u) = queue.pop_front() {
+        ticks = ticks.wrapping_add(1);
+        if ticks & 0x3F == 0 {
+            budget.check()?;
+        }
+        order.push(u);
+        for v in m.successors(u) {
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let node = (0..n).find(|&i| in_deg[i] > 0).unwrap_or(0);
+        Err(GraphError::CycleDetected { node })
+    }
 }
 
 /// Naive O(|E|·(|V|+|E|)) transitive reduction: for each edge `(u, v)`,
@@ -252,6 +305,30 @@ mod tests {
         assert_eq!(
             tr.edges().collect::<Vec<_>>(),
             tr2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budgeted_matches_plain_when_unlimited() {
+        let g = DiGraph::from_edges(
+            vec![(); 5],
+            [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (0, 4)],
+        );
+        let m = AdjMatrix::from_digraph(&g);
+        let plain = transitive_reduction_matrix(&m).unwrap();
+        let budgeted = transitive_reduction_matrix_budgeted(&m, &Budget::unlimited()).unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn expired_budget_aborts_reduction() {
+        use std::time::{Duration, Instant};
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (0, 2)]);
+        let m = AdjMatrix::from_digraph(&g);
+        let budget = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            transitive_reduction_matrix_budgeted(&m, &budget),
+            Err(GraphError::BudgetExhausted)
         );
     }
 

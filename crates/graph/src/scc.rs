@@ -4,7 +4,8 @@
 //! strongly connected component of the followings graph: a cycle of
 //! followings means the activities on it are mutually independent.
 
-use crate::{DiGraph, NodeId};
+use crate::budget::Budget;
+use crate::{DiGraph, GraphError, NodeId};
 
 /// The strongly-connected-component decomposition of a graph.
 #[derive(Debug, Clone)]
@@ -59,6 +60,38 @@ impl SccDecomposition {
 /// Tarjan algorithm (explicit stack — no recursion, so deep graphs cannot
 /// overflow the call stack).
 pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
+    match tarjan_impl::<N, std::convert::Infallible>(g, || Ok(())) {
+        Ok(sccs) => sccs,
+        Err(never) => match never {},
+    }
+}
+
+/// [`tarjan_scc`] under a wall-clock [`Budget`]: the budget is
+/// re-checked every 1024 work-stack steps, so even one huge component
+/// cannot overstay its deadline by much. Returns
+/// [`GraphError::BudgetExhausted`] when it fires.
+pub fn tarjan_scc_budgeted<N>(
+    g: &DiGraph<N>,
+    budget: &Budget,
+) -> Result<SccDecomposition, GraphError> {
+    let mut ticks = 0u32;
+    tarjan_impl(g, move || {
+        ticks = ticks.wrapping_add(1);
+        if ticks & 0x3FF == 0 {
+            budget.check()
+        } else {
+            Ok(())
+        }
+    })
+}
+
+/// The iterative Tarjan core, generic over a periodic interrupt check.
+/// With an infallible check (`E = Infallible`) the error path
+/// monomorphizes away.
+fn tarjan_impl<N, E>(
+    g: &DiGraph<N>,
+    mut check: impl FnMut() -> Result<(), E>,
+) -> Result<SccDecomposition, E> {
     let n = g.node_count();
     const UNVISITED: usize = usize::MAX;
     let mut index = vec![UNVISITED; n];
@@ -84,6 +117,7 @@ pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
         on_stack[root] = true;
 
         while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            check()?;
             let succs = g.successors(NodeId::new(v));
             if *pos < succs.len() {
                 let w = succs[*pos].index();
@@ -106,8 +140,10 @@ pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
                 if lowlink[v] == index[v] {
                     let c = members.len();
                     let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("Tarjan stack underflow");
+                    // Pop until the component root reappears; Tarjan's
+                    // invariant guarantees `v` is still on the stack, so
+                    // an empty pop (impossible) just ends the component.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         component[w] = c;
                         comp.push(NodeId::new(w));
@@ -122,7 +158,7 @@ pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
         }
     }
 
-    SccDecomposition { component, members }
+    Ok(SccDecomposition { component, members })
 }
 
 /// Builds the condensation of `g`: one node per SCC (payload = members),
@@ -232,6 +268,36 @@ mod tests {
         let sccs = tarjan_scc(&g);
         assert_eq!(sccs.count(), 2);
         assert!(sccs.nontrivial().next().is_none());
+    }
+
+    #[test]
+    fn budgeted_matches_plain_when_unlimited() {
+        let g = DiGraph::from_edges(
+            vec![(); 6],
+            [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2), (5, 0)],
+        );
+        let plain = tarjan_scc(&g);
+        let budgeted = tarjan_scc_budgeted(&g, &Budget::unlimited()).unwrap();
+        assert_eq!(plain.count(), budgeted.count());
+        for v in 0..6 {
+            assert_eq!(
+                plain.component_of(NodeId::new(v)),
+                budgeted.component_of(NodeId::new(v))
+            );
+        }
+    }
+
+    #[test]
+    fn expired_budget_aborts_large_graph() {
+        use std::time::{Duration, Instant};
+        // > 1024 work-stack steps so the periodic check fires.
+        let n = 5_000;
+        let g = DiGraph::from_edges(vec![(); n], (0..n - 1).map(|i| (i, i + 1)));
+        let budget = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(
+            tarjan_scc_budgeted(&g, &budget),
+            Err(GraphError::BudgetExhausted)
+        ));
     }
 
     #[test]

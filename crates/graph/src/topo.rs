@@ -29,7 +29,9 @@ pub fn topological_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, GraphError> {
     if order.len() == n {
         Ok(order)
     } else {
-        // Some node still has positive in-degree: it lies on or below a cycle.
+        // Some node still has positive in-degree: it lies on or below a
+        // cycle (Kahn's algorithm emitted fewer than n nodes).
+        #[allow(clippy::expect_used)]
         let node = (0..n)
             .find(|&i| in_deg[i] > 0)
             .expect("cycle node must exist");

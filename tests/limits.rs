@@ -4,8 +4,8 @@
 
 use procmine::log::WorkflowLog;
 use procmine::mine::{
-    mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_parallel, IncrementalMiner,
-    LimitKind, Limits, MineError, MinerOptions,
+    mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_parallel, mine_special_dag,
+    IncrementalMiner, LimitKind, Limits, MineError, MinerOptions,
 };
 use std::time::{Duration, Instant};
 
@@ -43,6 +43,32 @@ fn deadline_fires_within_twice_the_budget() {
     }
     assert!(
         elapsed < deadline * 2,
+        "deadline overshot: {elapsed:?} vs budget {deadline:?}"
+    );
+}
+
+#[test]
+fn deadline_bounds_reduction_dominated_special_mining() {
+    // Two identical executions over many activities: pair counting is
+    // O(execs·n²) and cheap, but the followings graph is a transitive
+    // tournament whose O(n³/64) matrix reduction dominates. Before the
+    // reduction ran under the deadline's budget, this workload blew
+    // straight through `--deadline-ms`; now the error must surface
+    // promptly whichever phase the clock runs out in.
+    let log = adversarial_log(3_500, 2);
+    let deadline = Duration::from_millis(200);
+    let started = Instant::now();
+    let result = mine_special_dag(&log, &deadline_options(deadline));
+    let elapsed = started.elapsed();
+    match result {
+        Err(MineError::LimitExceeded {
+            kind: LimitKind::Deadline,
+            ..
+        }) => {}
+        other => panic!("expected a deadline error, got {other:?} after {elapsed:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(1_500),
         "deadline overshot: {elapsed:?} vs budget {deadline:?}"
     );
 }

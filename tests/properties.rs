@@ -223,14 +223,14 @@ proptest! {
         // Degenerate chunking: most threads receive no executions at
         // all; merge-at-join must still reproduce the serial result.
         use procmine::mine::mine_general_dag_parallel_instrumented;
-        use procmine::mine::MinerMetrics;
+        use procmine::mine::{MinerMetrics, Tracer};
         let mut serial_metrics = MinerMetrics::new();
         let serial = procmine::mine::mine_general_dag_instrumented(
-            &log, &MinerOptions::default(), &mut serial_metrics,
+            &log, &MinerOptions::default(), &mut serial_metrics, &Tracer::disabled(),
         ).unwrap();
         let mut parallel_metrics = MinerMetrics::new();
         let parallel = mine_general_dag_parallel_instrumented(
-            &log, &MinerOptions::default(), threads, &mut parallel_metrics,
+            &log, &MinerOptions::default(), threads, &mut parallel_metrics, &Tracer::disabled(),
         ).unwrap();
         let mut a = serial.edges_named(); a.sort();
         let mut b = parallel.edges_named(); b.sort();
@@ -309,10 +309,11 @@ proptest! {
 
     #[test]
     fn instrumented_miners_match_plain(log in arb_log(8)) {
-        use procmine::mine::{mine_auto_instrumented, MinerMetrics};
+        use procmine::mine::{mine_auto_instrumented, MinerMetrics, Tracer};
         let mut metrics = MinerMetrics::new();
-        let (instrumented, alg_a) =
-            mine_auto_instrumented(&log, &MinerOptions::default(), &mut metrics).unwrap();
+        let (instrumented, alg_a) = mine_auto_instrumented(
+            &log, &MinerOptions::default(), &mut metrics, &Tracer::disabled(),
+        ).unwrap();
         let (plain, alg_b) = mine_auto(&log, &MinerOptions::default()).unwrap();
         prop_assert_eq!(alg_a, alg_b);
         let mut a = instrumented.edges_named(); a.sort();
@@ -370,11 +371,12 @@ proptest! {
     #[test]
     fn instrumented_conformance_matches_plain(log in arb_log(10)) {
         use procmine::mine::conformance::check_conformance_instrumented;
-        use procmine::mine::ConformanceMetrics;
+        use procmine::mine::{ConformanceMetrics, Tracer};
         let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
         let plain = check_conformance(&model, &log);
         let mut metrics = ConformanceMetrics::new();
-        let instrumented = check_conformance_instrumented(&model, &log, &mut metrics);
+        let instrumented =
+            check_conformance_instrumented(&model, &log, &mut metrics, &Tracer::disabled());
         prop_assert_eq!(&plain, &instrumented);
         prop_assert_eq!(metrics.executions_checked, log.len() as u64);
         prop_assert_eq!(

@@ -1,0 +1,253 @@
+//! Integration tests of the tracing subsystem: span nesting invariants
+//! across the mining pipeline, Chrome Trace Event export
+//! well-formedness, per-worker lanes under parallel mining, and the
+//! traced == untraced model guarantee.
+
+use procmine::log::WorkflowLog;
+use procmine::mine::conformance::check_conformance_instrumented;
+use procmine::mine::{
+    mine_auto, mine_auto_instrumented, mine_general_dag, mine_general_dag_instrumented,
+    mine_general_dag_parallel_instrumented, MinerOptions, NullSink, SpanRecord, Tracer,
+};
+use proptest::prelude::*;
+use serde_json::Value;
+
+/// Example 6 of the paper plus enough repeats to chunk across workers.
+fn example_log(copies: usize) -> WorkflowLog {
+    let mut log = WorkflowLog::new();
+    for _ in 0..copies {
+        for seq in [
+            ["A", "B", "C", "D", "E"],
+            ["A", "C", "D", "B", "E"],
+            ["A", "C", "B", "D", "E"],
+        ] {
+            log.push_sequence(&seq).unwrap();
+        }
+    }
+    log
+}
+
+fn span<'a>(records: &'a [SpanRecord], name: &str) -> &'a SpanRecord {
+    records
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("span `{name}` missing from {records:?}"))
+}
+
+/// `inner` lies entirely within `outer`'s interval.
+fn contains(outer: &SpanRecord, inner: &SpanRecord) -> bool {
+    outer.start_ns <= inner.start_ns
+        && outer.start_ns + outer.dur_ns >= inner.start_ns + inner.dur_ns
+}
+
+#[test]
+fn general_mining_emits_nested_stage_spans() {
+    let log = example_log(1);
+    let tracer = Tracer::new();
+    mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut NullSink, &tracer).unwrap();
+
+    let records = tracer.records();
+    let root = span(&records, "mine.general");
+    assert_eq!(root.cat, "miner");
+    assert_eq!(root.tid, 0, "serial mining stays on the main lane");
+    for stage in [
+        "lower",
+        "count_pairs",
+        "prune",
+        "transitive_reduction",
+        "assemble",
+    ] {
+        let s = span(&records, stage);
+        assert!(
+            contains(root, s),
+            "stage `{stage}` [{}, {}] escapes root [{}, {}]",
+            s.start_ns,
+            s.start_ns + s.dur_ns,
+            root.start_ns,
+            root.start_ns + root.dur_ns
+        );
+    }
+    // Stages run in pipeline order: each starts no earlier than the
+    // previous one.
+    let starts: Vec<u64> = ["lower", "count_pairs", "prune", "transitive_reduction"]
+        .iter()
+        .map(|name| span(&records, name).start_ns)
+        .collect();
+    assert!(
+        starts.windows(2).all(|w| w[0] <= w[1]),
+        "stage starts not monotone: {starts:?}"
+    );
+}
+
+#[test]
+fn conformance_check_emits_spans() {
+    let log = example_log(1);
+    let model = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+    let tracer = Tracer::new();
+    check_conformance_instrumented(&model, &log, &mut NullSink, &tracer);
+    let records = tracer.records();
+    let root = span(&records, "check_conformance");
+    assert_eq!(root.cat, "conformance");
+    for stage in ["closure", "dependency_checks", "execution_checks"] {
+        assert!(contains(root, span(&records, stage)), "stage `{stage}`");
+    }
+}
+
+#[test]
+fn parallel_mining_records_per_worker_lanes() {
+    let log = example_log(20); // 60 executions: plenty to chunk
+    let tracer = Tracer::new();
+    mine_general_dag_parallel_instrumented(
+        &log,
+        &MinerOptions::default(),
+        4,
+        &mut NullSink,
+        &tracer,
+    )
+    .unwrap();
+
+    let records = tracer.records();
+    let worker_spans: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|r| r.name == "count_pairs.worker")
+        .collect();
+    assert!(
+        worker_spans.len() >= 2,
+        "expected several count_pairs workers, got {worker_spans:?}"
+    );
+    let mut tids: Vec<u32> = worker_spans.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() >= 2, "workers share a lane: {tids:?}");
+    assert!(
+        tids.iter().all(|&t| t >= 1),
+        "worker lanes must not collide with the main lane: {tids:?}"
+    );
+    // The fan-out phases still roll up under the root span on tid 0.
+    let root = span(&records, "mine.parallel");
+    assert_eq!(root.tid, 0);
+    for w in &worker_spans {
+        assert!(
+            root.start_ns + root.dur_ns >= w.start_ns + w.dur_ns,
+            "worker span outlives the root"
+        );
+    }
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_expected_events() {
+    let log = example_log(20);
+    let tracer = Tracer::new();
+    mine_general_dag_parallel_instrumented(
+        &log,
+        &MinerOptions::default(),
+        4,
+        &mut NullSink,
+        &tracer,
+    )
+    .unwrap();
+
+    let json = tracer.to_chrome_json();
+    let value: Value = serde_json::from_str(&json).expect("chrome trace must parse as JSON");
+
+    let events = match value.get("traceEvents") {
+        Some(Value::Seq(events)) => events,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    let mut complete = 0usize;
+    let mut thread_names = Vec::new();
+    for e in events {
+        let ph = match e.get("ph") {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("event without ph: {other:?}"),
+        };
+        match ph.as_str() {
+            "X" => {
+                complete += 1;
+                assert!(matches!(e.get("name"), Some(Value::Str(_))));
+                assert!(
+                    matches!(e.get("ts"), Some(Value::F64(_) | Value::U64(_))),
+                    "ts must be numeric"
+                );
+                assert!(matches!(e.get("dur"), Some(Value::F64(_) | Value::U64(_))));
+                assert!(e.get("tid").and_then(Value::as_u64).is_some());
+            }
+            "M" => {
+                if let (Some(Value::Str(kind)), Some(args)) = (e.get("name"), e.get("args")) {
+                    if kind == "thread_name" {
+                        if let Some(Value::Str(label)) = args.get("name") {
+                            thread_names.push(label.clone());
+                        }
+                    }
+                }
+            }
+            other => panic!("unexpected event phase `{other}`"),
+        }
+    }
+    assert_eq!(complete, tracer.records().len(), "one X event per span");
+    assert!(
+        thread_names.iter().any(|n| n == "main"),
+        "main lane must be labeled: {thread_names:?}"
+    );
+    assert!(
+        thread_names.iter().any(|n| n.starts_with("worker-")),
+        "worker lanes must be labeled: {thread_names:?}"
+    );
+}
+
+#[test]
+fn disabled_tracer_stays_empty_through_full_pipeline() {
+    let log = example_log(2);
+    let tracer = Tracer::disabled();
+    let model =
+        mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut NullSink, &tracer)
+            .unwrap();
+    check_conformance_instrumented(&model, &log, &mut NullSink, &tracer);
+    assert!(!tracer.is_enabled());
+    assert!(tracer.records().is_empty());
+    let json = tracer.to_chrome_json();
+    let value: Value = serde_json::from_str(&json).expect("even an empty trace parses");
+    assert!(matches!(value.get("traceEvents"), Some(Value::Seq(_))));
+}
+
+/// Strategy: a random log of executions over activities `B`..`I`
+/// wrapped in fixed start/end activities (same shape as
+/// `tests/properties.rs`).
+fn arb_log(max_execs: usize) -> impl Strategy<Value = WorkflowLog> {
+    let activity_pool: Vec<String> = (b'B'..=b'I').map(|c| (c as char).to_string()).collect();
+    let exec = proptest::sample::subsequence(activity_pool, 0..=8).prop_shuffle();
+    proptest::collection::vec(exec, 1..=max_execs).prop_map(|execs| {
+        let mut log = WorkflowLog::new();
+        for middle in execs {
+            let mut seq = vec!["A".to_string()];
+            seq.extend(middle);
+            seq.push("J".to_string());
+            log.push_sequence(&seq).unwrap();
+        }
+        log
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tracing must be observation only: an enabled tracer never
+    /// changes the mined model.
+    #[test]
+    fn traced_mining_matches_untraced(log in arb_log(10)) {
+        let options = MinerOptions::default();
+        let untraced = mine_general_dag(&log, &options).unwrap();
+        let tracer = Tracer::new();
+        let traced =
+            mine_general_dag_instrumented(&log, &options, &mut NullSink, &tracer).unwrap();
+        prop_assert_eq!(untraced.edges_named(), traced.edges_named());
+        prop_assert!(!tracer.records().is_empty(), "enabled tracer saw no spans");
+
+        let (plain_model, plain_algo) = mine_auto(&log, &options).unwrap();
+        let auto_tracer = Tracer::new();
+        let (traced_model, traced_algo) =
+            mine_auto_instrumented(&log, &options, &mut NullSink, &auto_tracer).unwrap();
+        prop_assert_eq!(plain_algo, traced_algo);
+        prop_assert_eq!(plain_model.edges_named(), traced_model.edges_named());
+    }
+}
