@@ -18,6 +18,25 @@ echo "==> panic audit: clippy -D clippy::unwrap_used -D clippy::expect_used (log
 cargo clippy -p procmine-log -p procmine-core -p procmine-graph --lib --no-deps -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+# The `*_instrumented` twin API is deprecated: every shim lives in the
+# two compat modules, and nothing else may (re)grow one. The CLI must
+# likewise build its telemetry through `MineSession` rather than wiring
+# sinks and tracers by hand.
+echo "==> deprecation lane: *_instrumented shims confined to compat modules"
+bad_shims=$(grep -rn --include='*.rs' -E 'pub fn [A-Za-z0-9_]*_instrumented' crates src \
+  | grep -v -e '^crates/core/src/compat\.rs:' -e '^crates/classify/src/compat\.rs:' || true)
+if [ -n "$bad_shims" ]; then
+  echo "new *_instrumented twins outside the deprecated compat modules:" >&2
+  echo "$bad_shims" >&2
+  exit 1
+fi
+cli_raw_telemetry=$(grep -rn --include='*.rs' -E 'NullSink|Tracer::disabled\(\)' crates/cli/src || true)
+if [ -n "$cli_raw_telemetry" ]; then
+  echo "CLI constructs sinks/tracers directly instead of using MineSession:" >&2
+  echo "$cli_raw_telemetry" >&2
+  exit 1
+fi
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

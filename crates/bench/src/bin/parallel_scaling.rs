@@ -8,8 +8,8 @@
 
 use procmine_bench::{synthetic_workload, TextTable};
 use procmine_core::{
-    mine_general_dag, mine_general_dag_parallel, mine_general_dag_parallel_instrumented,
-    MinerMetrics, MinerOptions, Stage, Tracer,
+    mine_general_dag, mine_general_dag_in, mine_general_dag_parallel, MineSession, MinerMetrics,
+    MinerOptions, Stage,
 };
 use std::time::Instant;
 
@@ -58,14 +58,9 @@ fn main() {
             // workers over wall-ns at the two join barriers. Near the
             // thread count means the workers stayed busy.
             let mut metrics = MinerMetrics::new();
-            mine_general_dag_parallel_instrumented(
-                &log,
-                &MinerOptions::default(),
-                8,
-                &mut metrics,
-                &Tracer::disabled(),
-            )
-            .expect("mine");
+            let mut session = MineSession::new().with_threads(8).with_sink(&mut metrics);
+            mine_general_dag_in(&mut session, &log, &MinerOptions::default()).expect("mine");
+            drop(session);
             let cpu = metrics.stage_nanos(Stage::CountPairs) + metrics.stage_nanos(Stage::Reduce);
             let wall = metrics.wall_nanos(Stage::CountPairs) + metrics.wall_nanos(Stage::Reduce);
             row.push(format!("{:.2}x", cpu as f64 / wall.max(1) as f64));

@@ -12,24 +12,30 @@
 //!
 //! ```text
 //! perfsuite [--smoke] [--out FILE] [--repeats N] [--compare OLD.json]
-//!           [--threshold-pct N] [--check-schema FILE]
+//!           [--threshold-pct N] [--check-schema FILE] [--normalize]
 //! ```
+//!
+//! `--normalize` adds a `ratio_vs_general` field to every cell: its
+//! median as a multiple of the same-scenario `mine.general` median, so
+//! stage costs read as fractions of the reference pipeline.
 //!
 //! Exit status: 0 on success, 1 on usage or I/O errors, 2 when
 //! `--compare` found regressions, 3 when the disabled-tracer overhead
-//! guard tripped (instrumented-with-disabled-tracer mining measurably
-//! slower than the plain entry point).
+//! guard tripped (a default-session `mine_general_dag_in` call
+//! measurably slower than the plain entry point).
 
-use procmine_bench::perf::{compare, summarize, Cell, Report, TraceOverhead};
+use procmine_bench::perf::{compare, normalize, summarize, Cell, Report, TraceOverhead};
 use procmine_bench::synthetic_workload;
 use procmine_core::conformance::check_conformance;
 use procmine_core::{
-    mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_instrumented,
-    mine_general_dag_parallel, IncrementalMiner, MinerOptions, NullSink, Tracer,
+    mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_in, mine_general_dag_parallel,
+    IncrementalMiner, MineSession, MinerOptions,
 };
-use procmine_graph::reduction::transitive_reduction_matrix;
-use procmine_graph::scc::tarjan_scc;
-use procmine_graph::{AdjMatrix, DiGraph};
+use procmine_graph::reduction::{
+    transitive_reduction_matrix, transitive_reduction_matrix_parallel_budgeted,
+};
+use procmine_graph::scc::{tarjan_scc, tarjan_scc_parallel_budgeted};
+use procmine_graph::{AdjMatrix, Budget, DiGraph};
 use procmine_log::codec;
 use procmine_log::WorkflowLog;
 use std::fs;
@@ -41,6 +47,19 @@ use std::time::Instant;
 /// is ~1.0; the guard exists to catch future divergence.
 const TRACE_OVERHEAD_LIMIT: f64 = 1.5;
 
+/// Thread count for the parallel micro cells and `mine.parallel4`.
+const MICRO_THREADS: usize = 4;
+
+/// [`MICRO_THREADS`] clamped to the host's cores: oversubscribing a
+/// smaller machine only measures context-switch thrash, so on (say) a
+/// single-core runner the parallel micro cells exercise the kernels'
+/// serial fallback instead and stay comparable to the serial cells.
+fn micro_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(MICRO_THREADS)
+}
+
 struct Args {
     smoke: bool,
     out: String,
@@ -48,6 +67,7 @@ struct Args {
     compare: Option<String>,
     threshold_pct: f64,
     check_schema: Option<String>,
+    normalize: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         threshold_pct: 15.0,
         check_schema: None,
+        normalize: false,
     };
     let mut repeats: Option<usize> = None;
     let mut it = std::env::args().skip(1);
@@ -82,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threshold-pct: {e}"))?;
             }
             "--check-schema" => args.check_schema = Some(value("--check-schema")?),
+            "--normalize" => args.normalize = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -148,7 +170,7 @@ fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut
         scenario,
         "mine.parallel4",
         time_runs(repeats, || {
-            mine_general_dag_parallel(log, &options, 4).expect("mining succeeds");
+            mine_general_dag_parallel(log, &options, MICRO_THREADS).expect("mining succeeds");
         }),
     ));
 
@@ -194,9 +216,29 @@ fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut
     codec_cell!("codec.xes", xes);
 }
 
-/// Micro-benchmarks of the two graph phases the miners lean on: matrix
+/// `k` disjoint directed cycles whose sizes sum to `total` vertices
+/// (and therefore `total` edges) — the same V+E as one big cycle, but
+/// with `k` weak components for the parallel SCC to spread over.
+fn disjoint_cycles(total: usize, k: usize) -> DiGraph<()> {
+    let base = total / k;
+    let extra = total % k;
+    let mut edges = Vec::with_capacity(total);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        for j in 0..len {
+            edges.push((start + j, start + (j + 1) % len));
+        }
+        start += len;
+    }
+    DiGraph::from_edges(vec![(); total], edges)
+}
+
+/// Micro-benchmarks of the two graph phases the miners lean on — matrix
 /// transitive reduction over a transitive tournament (worst case — every
-/// edge above the diagonal) and Tarjan SCC over one big directed cycle.
+/// edge above the diagonal) and Tarjan SCC over 64 disjoint directed
+/// cycles — each in its serial form and its [`micro_threads`]-way
+/// parallel strategy.
 fn micro_cells(smoke: bool, repeats: usize, cells: &mut Vec<Cell>) {
     let n = if smoke { 100 } else { 300 };
     let mut tournament = AdjMatrix::new(n);
@@ -212,24 +254,41 @@ fn micro_cells(smoke: bool, repeats: usize, cells: &mut Vec<Cell>) {
             transitive_reduction_matrix(&tournament).expect("tournament is a DAG");
         }),
     ));
+    cells.push(summarize(
+        "micro",
+        "transitive_reduction_parallel",
+        time_runs(repeats, || {
+            transitive_reduction_matrix_parallel_budgeted(
+                &tournament,
+                micro_threads(),
+                &Budget::unlimited(),
+            )
+            .expect("tournament is a DAG");
+        }),
+    ));
 
     let cycle_n = if smoke { 2_000 } else { 10_000 };
-    let cycle: DiGraph<()> = DiGraph::from_edges(
-        vec![(); cycle_n],
-        (0..cycle_n).map(|i| (i, (i + 1) % cycle_n)),
-    );
+    let cycles = disjoint_cycles(cycle_n, 64);
     cells.push(summarize(
         "micro",
         "scc",
         time_runs(repeats, || {
-            tarjan_scc(&cycle);
+            tarjan_scc(&cycles);
+        }),
+    ));
+    cells.push(summarize(
+        "micro",
+        "scc_parallel",
+        time_runs(repeats, || {
+            tarjan_scc_parallel_budgeted(&cycles, micro_threads(), &Budget::unlimited())
+                .expect("unlimited budget");
         }),
     ));
 }
 
 /// Measures the disabled-tracer overhead: the plain general miner
-/// against its instrumented twin fed `Tracer::disabled()` + `NullSink`,
-/// interleaved so drift hits both arms equally.
+/// against `mine_general_dag_in` with a default session (null sink,
+/// no-op tracer), interleaved so drift hits both arms equally.
 fn trace_overhead(log: &WorkflowLog, repeats: usize) -> TraceOverhead {
     let options = MinerOptions::default();
     let mut plain = Vec::with_capacity(repeats);
@@ -241,8 +300,7 @@ fn trace_overhead(log: &WorkflowLog, repeats: usize) -> TraceOverhead {
         plain.push(started.elapsed().as_nanos() as u64);
 
         let started = Instant::now();
-        mine_general_dag_instrumented(log, &options, &mut NullSink, &Tracer::disabled())
-            .expect("mining succeeds");
+        mine_general_dag_in(&mut MineSession::new(), log, &options).expect("mining succeeds");
         traced.push(started.elapsed().as_nanos() as u64);
     }
     let plain_cell = summarize("overhead", "plain", plain);
@@ -290,6 +348,10 @@ fn run() -> Result<ExitCode, String> {
     }
     eprintln!("perfsuite: micro graph phases");
     micro_cells(args.smoke, args.repeats, &mut cells);
+
+    if args.normalize {
+        normalize(&mut cells);
+    }
 
     eprintln!("perfsuite: trace-overhead guard");
     let overhead = overhead_log

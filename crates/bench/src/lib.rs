@@ -8,7 +8,7 @@
 pub mod perf;
 
 use procmine_core::{
-    mine_general_dag, mine_general_dag_instrumented, MinedModel, MinerMetrics, MinerOptions, Tracer,
+    mine_general_dag, mine_general_dag_in, MineSession, MinedModel, MinerMetrics, MinerOptions,
 };
 use procmine_log::WorkflowLog;
 use procmine_sim::randdag::{random_dag, RandomDagConfig};
@@ -55,14 +55,13 @@ pub fn timed_mine(log: &WorkflowLog) -> (MinedModel, Duration) {
 /// [`timed_mine`] with telemetry: also returns the pipeline's
 /// [`MinerMetrics`], so experiment binaries can break the wall-clock
 /// figure down by stage and report the pipeline counters.
-pub fn timed_mine_instrumented(log: &WorkflowLog) -> (MinedModel, Duration, MinerMetrics) {
+pub fn timed_mine_with_metrics(log: &WorkflowLog) -> (MinedModel, Duration, MinerMetrics) {
     let mut metrics = MinerMetrics::new();
     let started = Instant::now();
-    let model = mine_general_dag_instrumented(
+    let model = mine_general_dag_in(
+        &mut MineSession::new().with_sink(&mut metrics),
         log,
         &MinerOptions::default(),
-        &mut metrics,
-        &Tracer::disabled(),
     )
     .expect("mining succeeds");
     (model, started.elapsed(), metrics)
@@ -145,9 +144,9 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_mine_fills_metrics() {
+    fn metered_mine_fills_metrics() {
         let (_, log) = synthetic_workload(10, 24, 50, 1);
-        let (model, _, metrics) = timed_mine_instrumented(&log);
+        let (model, _, metrics) = timed_mine_with_metrics(&log);
         assert_eq!(metrics.executions_scanned, 50);
         assert_eq!(metrics.edges_final, model.edge_count() as u64);
         // The plain and instrumented paths mine the same model.

@@ -16,7 +16,7 @@ use serde_json::Value;
 pub const SCHEMA: &str = "procmine-perfsuite/v1";
 
 /// Summarized timings for one `(scenario, stage)` cell.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// Workload name, e.g. `rw25x224m1000`.
     pub scenario: String,
@@ -28,6 +28,11 @@ pub struct Cell {
     pub p95_ns: u64,
     /// Number of timed runs behind the summary.
     pub runs: usize,
+    /// Under `--normalize`: this cell's median as a multiple of the
+    /// same-scenario `mine.general` median. `None` when not
+    /// normalizing, or when the scenario has no `mine.general` cell
+    /// (the `micro` graph phases).
+    pub ratio_vs_general: Option<f64>,
 }
 
 /// The disabled-tracer overhead guard: the plain entry point against
@@ -73,6 +78,25 @@ pub fn summarize(scenario: &str, stage: &str, mut samples: Vec<u64>) -> Cell {
         median_ns: percentile(&samples, 50),
         p95_ns: percentile(&samples, 95),
         runs: samples.len(),
+        ratio_vs_general: None,
+    }
+}
+
+/// Fills each cell's `ratio_vs_general` with its median relative to the
+/// same-scenario `mine.general` median — the serial reference pipeline
+/// everything else is judged against. Cells in scenarios without a
+/// (nonzero-median) `mine.general` cell stay `None`.
+pub fn normalize(cells: &mut [Cell]) {
+    let generals: Vec<(String, u64)> = cells
+        .iter()
+        .filter(|c| c.stage == "mine.general" && c.median_ns > 0)
+        .map(|c| (c.scenario.clone(), c.median_ns))
+        .collect();
+    for c in cells.iter_mut() {
+        c.ratio_vs_general = generals
+            .iter()
+            .find(|(s, _)| *s == c.scenario)
+            .map(|&(_, g)| c.median_ns as f64 / g as f64);
     }
 }
 
@@ -93,9 +117,13 @@ impl Report {
             }
             out.push_str(&format!(
                 "\n    {{\"scenario\": \"{}\", \"stage\": \"{}\", \
-                 \"median_ns\": {}, \"p95_ns\": {}, \"runs\": {}}}",
+                 \"median_ns\": {}, \"p95_ns\": {}, \"runs\": {}",
                 c.scenario, c.stage, c.median_ns, c.p95_ns, c.runs
             ));
+            if let Some(r) = c.ratio_vs_general {
+                out.push_str(&format!(", \"ratio_vs_general\": {r:.4}"));
+            }
+            out.push('}');
         }
         out.push_str("\n  ]");
         if let Some(t) = &self.trace_overhead {
@@ -145,12 +173,22 @@ impl Report {
                     .and_then(Value::as_u64)
                     .ok_or(format!("cell {i}: missing `{key}`"))
             };
+            let ratio_vs_general = match c.get("ratio_vs_general") {
+                None => None,
+                Some(Value::F64(r)) => Some(*r),
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or(format!("cell {i}: bad `ratio_vs_general`"))?
+                        as f64,
+                ),
+            };
             cells.push(Cell {
                 scenario: field_str("scenario")?,
                 stage: field_str("stage")?,
                 median_ns: field_u64("median_ns")?,
                 p95_ns: field_u64("p95_ns")?,
                 runs: field_u64("runs")? as usize,
+                ratio_vs_general,
             });
         }
         let trace_overhead = match value.get("trace_overhead") {
@@ -241,6 +279,7 @@ mod tests {
             median_ns: median,
             p95_ns: median + median / 10,
             runs: 5,
+            ratio_vs_general: None,
         }
     }
 
@@ -308,6 +347,48 @@ mod tests {
         let t = back.trace_overhead.expect("overhead present");
         assert_eq!(t.plain_median_ns, 1_000);
         assert!((t.ratio - 1.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_ratios_against_same_scenario_general() {
+        let mut cells = vec![
+            cell("rw10", "mine.general", 2_000),
+            cell("rw10", "mine.parallel4", 1_000),
+            cell("rw25", "mine.general", 4_000),
+            cell("rw25", "codec.xes", 8_000),
+            cell("micro", "scc", 500),
+        ];
+        normalize(&mut cells);
+        let ratio = |scenario: &str, stage: &str| {
+            cells
+                .iter()
+                .find(|c| c.scenario == scenario && c.stage == stage)
+                .unwrap()
+                .ratio_vs_general
+        };
+        assert_eq!(ratio("rw10", "mine.general"), Some(1.0));
+        assert_eq!(ratio("rw10", "mine.parallel4"), Some(0.5));
+        assert_eq!(ratio("rw25", "codec.xes"), Some(2.0));
+        assert_eq!(
+            ratio("micro", "scc"),
+            None,
+            "no mine.general to normalize by"
+        );
+    }
+
+    #[test]
+    fn normalized_ratio_round_trips_through_json() {
+        let mut c = cell("rw10", "mine.parallel4", 500);
+        c.ratio_vs_general = Some(0.25);
+        let report = Report {
+            mode: "smoke".to_string(),
+            repeats: 3,
+            cells: vec![c, cell("micro", "scc", 100)],
+            trace_overhead: None,
+        };
+        let back = Report::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.cells[0].ratio_vs_general, Some(0.25));
+        assert_eq!(back.cells[1].ratio_vs_general, None);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Deprecated pre-session entry points, kept for one release.
+//!
+//! These twins hand-threaded `(sink, tracer)` through the call; the
+//! session-based forms ([`learn_edge_conditions_in`] and
+//! [`DecisionTree::fit_with`]) replace them. Migrate by building a
+//! [`MineSession`] once:
+//!
+//! ```
+//! use procmine_classify::{learn_edge_conditions_in, ClassifyMetrics, TreeConfig};
+//! use procmine_core::{mine_general_dag, MineSession, MinerOptions};
+//! # use procmine_log::WorkflowLog;
+//! # let log = WorkflowLog::from_strings(["ABC", "AC"]).unwrap();
+//! let model = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+//! let mut metrics = ClassifyMetrics::new();
+//! let mut session = MineSession::new().with_sink(&mut metrics);
+//! let learned = learn_edge_conditions_in(&mut session, &model, &log, &TreeConfig::default());
+//! ```
+
+use crate::learn::{learn_edge_conditions_in, LearnedCondition};
+use crate::telemetry::ClassifyMetrics;
+use crate::{Dataset, DecisionTree, TreeConfig};
+use procmine_core::{MetricsSink, MineSession, MinedModel, Tracer};
+use procmine_log::WorkflowLog;
+
+/// Deprecated spelling of [`learn_edge_conditions_in`]: wraps `sink`
+/// and `tracer` in a temporary serial [`MineSession`].
+#[deprecated(note = "build a `MineSession` and call `learn_edge_conditions_in` instead")]
+pub fn learn_edge_conditions_instrumented<S: MetricsSink<ClassifyMetrics>>(
+    model: &MinedModel,
+    log: &WorkflowLog,
+    cfg: &TreeConfig,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Vec<LearnedCondition> {
+    let mut session = MineSession::new()
+        .with_tracer(tracer.clone())
+        .with_sink(sink);
+    learn_edge_conditions_in(&mut session, model, log, cfg)
+}
+
+impl DecisionTree {
+    /// Deprecated spelling of [`fit_with`](DecisionTree::fit_with).
+    #[deprecated(note = "renamed to `DecisionTree::fit_with`")]
+    pub fn fit_instrumented<S: MetricsSink<ClassifyMetrics>>(
+        ds: &Dataset,
+        cfg: &TreeConfig,
+        sink: &mut S,
+    ) -> Self {
+        Self::fit_with(ds, cfg, sink)
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::learn_edge_conditions;
+    use procmine_core::{mine_general_dag, MinerOptions};
+
+    #[test]
+    fn deprecated_twins_match_session_forms() {
+        let log = procmine_log::WorkflowLog::from_strings(["ABC", "ABC", "AC"]).unwrap();
+        let model = mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let plain = learn_edge_conditions(&model, &log, &TreeConfig::default());
+        let mut metrics = ClassifyMetrics::new();
+        let shimmed = learn_edge_conditions_instrumented(
+            &model,
+            &log,
+            &TreeConfig::default(),
+            &mut metrics,
+            &Tracer::disabled(),
+        );
+        assert_eq!(plain.len(), shimmed.len());
+        assert_eq!(metrics.edges_considered, model.edge_count() as u64);
+
+        let ds = Dataset::from_rows(vec![(vec![1], false), (vec![9], true)]).unwrap();
+        let mut metrics = ClassifyMetrics::new();
+        let tree = DecisionTree::fit_instrumented(&ds, &TreeConfig::default(), &mut metrics);
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        assert_eq!(metrics.trees_fitted, 1);
+    }
+}

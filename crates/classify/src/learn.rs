@@ -2,7 +2,7 @@
 
 use crate::telemetry::ClassifyMetrics;
 use crate::{edge_training_set, rules_of, Dataset, DecisionTree, Rule, TreeConfig};
-use procmine_core::{MetricsSink, MinedModel, NullSink, Tracer};
+use procmine_core::{MetricsSink, MineSession, MinedModel};
 use procmine_log::ActivityId;
 use procmine_log::WorkflowLog;
 use std::time::Instant;
@@ -48,21 +48,21 @@ pub fn learn_edge_conditions(
     log: &WorkflowLog,
     cfg: &TreeConfig,
 ) -> Vec<LearnedCondition> {
-    learn_edge_conditions_instrumented(model, log, cfg, &mut NullSink, &Tracer::disabled())
+    learn_edge_conditions_in(&mut MineSession::new(), model, log, cfg)
 }
 
-/// [`learn_edge_conditions`] with telemetry and tracing: counts edges,
+/// [`learn_edge_conditions`] inside a [`MineSession`]: counts edges,
 /// extracted training rows, evaluated splits, fitted trees and their
-/// maximum depth, plus the end-to-end learn time, into `sink` (see
-/// [`ClassifyMetrics`]), and a `learn_conditions` span into `tracer`.
-/// With [`NullSink`] and a disabled tracer this is the plain twin.
-pub fn learn_edge_conditions_instrumented<S: MetricsSink<ClassifyMetrics>>(
+/// maximum depth, plus the end-to-end learn time, into the session's
+/// sink (see [`ClassifyMetrics`]), and a `learn_conditions` span into
+/// its tracer. With the default session this is the plain twin.
+pub fn learn_edge_conditions_in<S: MetricsSink<ClassifyMetrics>>(
+    session: &mut MineSession<S>,
     model: &MinedModel,
     log: &WorkflowLog,
     cfg: &TreeConfig,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> Vec<LearnedCondition> {
+    let (sink, tracer) = session.handles();
     let _root = tracer.span_cat("learn_conditions", "classify");
     let started = S::ENABLED.then(Instant::now);
     let mut out = Vec::with_capacity(model.edge_count());
@@ -83,7 +83,7 @@ pub fn learn_edge_conditions_instrumented<S: MetricsSink<ClassifyMetrics>>(
         }
         match ds {
             Some(ds) => {
-                let tree = DecisionTree::fit_instrumented(&ds, cfg, sink);
+                let tree = DecisionTree::fit_with(&ds, cfg, sink);
                 let rules = rules_of(&tree);
                 let support = (ds.len() - ds.positives(), ds.positives());
                 out.push(LearnedCondition {
@@ -166,7 +166,7 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_learning_matches_plain() {
+    fn session_learning_matches_plain() {
         let model = presets::order_fulfillment();
         let mut rng = StdRng::seed_from_u64(7);
         let log = engine::generate_log(&model, 200, &mut rng).unwrap();
@@ -174,13 +174,10 @@ mod tests {
 
         let plain = learn_edge_conditions(&mined, &log, &TreeConfig::default());
         let mut metrics = ClassifyMetrics::new();
-        let instrumented = learn_edge_conditions_instrumented(
-            &mined,
-            &log,
-            &TreeConfig::default(),
-            &mut metrics,
-            &Tracer::disabled(),
-        );
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        let instrumented =
+            learn_edge_conditions_in(&mut session, &mined, &log, &TreeConfig::default());
+        drop(session);
 
         assert_eq!(plain.len(), instrumented.len());
         let mut max_depth = 0u64;
@@ -207,17 +204,13 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_counts_edges_without_outputs() {
+    fn session_counts_edges_without_outputs() {
         let log = procmine_log::WorkflowLog::from_strings(["ABC", "ABC", "AC"]).unwrap();
         let mined = mine_general_dag(&log, &MinerOptions::default()).unwrap();
         let mut metrics = ClassifyMetrics::new();
-        learn_edge_conditions_instrumented(
-            &mined,
-            &log,
-            &TreeConfig::default(),
-            &mut metrics,
-            &Tracer::disabled(),
-        );
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        learn_edge_conditions_in(&mut session, &mined, &log, &TreeConfig::default());
+        drop(session);
         assert_eq!(metrics.edges_without_outputs, metrics.edges_considered);
         assert_eq!(metrics.trees_fitted, 0);
         assert_eq!(metrics.rows_extracted, 0);

@@ -40,11 +40,14 @@ mod learn;
 mod rules;
 mod tree;
 
+pub mod compat;
 pub mod telemetry;
 
+#[allow(deprecated)]
+pub use compat::learn_edge_conditions_instrumented;
 pub use dataset::{edge_training_set, Dataset, DatasetError};
 pub use decisions::{analyze_decision_points, DecisionPoint};
-pub use learn::{learn_edge_conditions, learn_edge_conditions_instrumented, LearnedCondition};
+pub use learn::{learn_edge_conditions, learn_edge_conditions_in, LearnedCondition};
 pub use rules::{rules_of, Atom, Rule};
 pub use telemetry::ClassifyMetrics;
 pub use tree::{DecisionTree, TreeConfig};

@@ -70,13 +70,13 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Fits a tree to the dataset.
     pub fn fit(ds: &Dataset, cfg: &TreeConfig) -> Self {
-        Self::fit_instrumented(ds, cfg, &mut NullSink)
+        Self::fit_with(ds, cfg, &mut NullSink)
     }
 
     /// [`fit`](Self::fit) with telemetry: counts the tree, the
     /// candidate splits evaluated while growing it, and its final depth
     /// into `sink` (see [`ClassifyMetrics`]).
-    pub fn fit_instrumented<S: MetricsSink<ClassifyMetrics>>(
+    pub fn fit_with<S: MetricsSink<ClassifyMetrics>>(
         ds: &Dataset,
         cfg: &TreeConfig,
         sink: &mut S,

@@ -4,9 +4,8 @@
 use crate::args::{parse, ArgError, Parsed};
 use procmine_classify::{ClassifyMetrics, TreeConfig};
 use procmine_core::{
-    conformance, mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
-    mine_general_dag_parallel_instrumented, mine_special_dag_instrumented, Algorithm,
-    ConformanceMetrics, MetricsSink, MinedModel, MinerMetrics, MinerOptions, NullSink, Tracer,
+    conformance, mine_auto_in, mine_cyclic_in, mine_general_dag_in, mine_special_dag_in, Algorithm,
+    ConformanceMetrics, MetricsSink, MineSession, MinedModel, MinerMetrics, MinerOptions, Tracer,
 };
 use procmine_log::codec::{CodecStats, IngestReport, RecoveryPolicy};
 use procmine_log::{codec, WorkflowLog};
@@ -168,21 +167,14 @@ fn convert(argv: &[String]) -> CliResult {
 }
 
 fn read_log(path: &str, format: &str) -> Result<WorkflowLog, Box<dyn Error>> {
-    read_log_instrumented(path, format, &mut CodecStats::default())
-}
-
-fn read_log_instrumented(
-    path: &str,
-    format: &str,
-    stats: &mut CodecStats,
-) -> Result<WorkflowLog, Box<dyn Error>> {
+    // An un-configured session supplies the no-op tracer.
     read_log_with(
         path,
         format,
         RecoveryPolicy::Strict,
-        stats,
+        &mut CodecStats::default(),
         &mut IngestReport::default(),
-        &Tracer::disabled(),
+        MineSession::new().tracer(),
     )
 }
 
@@ -216,13 +208,15 @@ fn read_log_with(
     Ok(log)
 }
 
-/// The tracer implied by `--trace FILE`: enabled when the flag is
-/// present, the no-op tracer otherwise.
-fn tracer_from_args(p: &Parsed) -> Tracer {
+/// The serial session implied by `--trace FILE`: tracing enabled when
+/// the flag is present, the default no-op tracer otherwise. Commands
+/// attach their metrics sink (and thread count) before mining.
+fn session_from_args(p: &Parsed) -> MineSession {
+    let session = MineSession::new();
     if p.get("trace").is_some() {
-        Tracer::new()
+        session.with_tracer(Tracer::new())
     } else {
-        Tracer::disabled()
+        session
     }
 }
 
@@ -405,16 +399,17 @@ fn miner_options(p: &Parsed) -> Result<MinerOptions, ArgError> {
 
 fn mine_with<S: MetricsSink>(
     p: &Parsed,
+    session: &mut MineSession<S>,
     log: &WorkflowLog,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> Result<(MinedModel, Algorithm), Box<dyn Error>> {
     let opts = miner_options(p)?;
+    // `--threads N` was validated and folded into the session by the
+    // command; re-read the flag only to reject incompatible algorithms.
     let threads: usize = p.get_parse("threads", 0, "integer")?;
     if threads > 0 {
         return match p.get("algorithm").unwrap_or("auto") {
             "auto" | "general" => Ok((
-                mine_general_dag_parallel_instrumented(log, &opts, threads, sink, tracer)?,
+                mine_general_dag_in(session, log, &opts)?,
                 Algorithm::GeneralDag,
             )),
             other => Err(
@@ -423,19 +418,16 @@ fn mine_with<S: MetricsSink>(
         };
     }
     Ok(match p.get("algorithm").unwrap_or("auto") {
-        "auto" => mine_auto_instrumented(log, &opts, sink, tracer)?,
+        "auto" => mine_auto_in(session, log, &opts)?,
         "special" => (
-            mine_special_dag_instrumented(log, &opts, sink, tracer)?,
+            mine_special_dag_in(session, log, &opts)?,
             Algorithm::SpecialDag,
         ),
         "general" => (
-            mine_general_dag_instrumented(log, &opts, sink, tracer)?,
+            mine_general_dag_in(session, log, &opts)?,
             Algorithm::GeneralDag,
         ),
-        "cyclic" => (
-            mine_cyclic_instrumented(log, &opts, sink, tracer)?,
-            Algorithm::Cyclic,
-        ),
+        "cyclic" => (mine_cyclic_in(session, log, &opts)?, Algorithm::Cyclic),
         other => return Err(format!("unknown algorithm `{other}`").into()),
     })
 }
@@ -449,16 +441,16 @@ fn mine_with<S: MetricsSink>(
 /// aborts the whole command (the historical `--stream` behaviour of
 /// warning and continuing applies only to *assembly* rejections, which
 /// the miner reports per case).
-fn mine_streaming(
+fn mine_streaming<S: MetricsSink>(
     path: &str,
     options: MinerOptions,
     policy: RecoveryPolicy,
-    metrics: Option<&mut MinerMetrics>,
+    session: &mut MineSession<S>,
     codec_stats: &mut CodecStats,
     ingest: &mut IngestReport,
-    tracer: &Tracer,
 ) -> Result<(MinedModel, WorkflowLog), Box<dyn Error>> {
     use procmine_log::codec::stream::ExecutionStream;
+    let tracer = session.tracer().clone();
     let stream_span = tracer.span_cat("stream.ingest", "codec");
     let mut miner = procmine_core::IncrementalMiner::new(options);
     let mut stream = ExecutionStream::with_policy(BufReader::new(File::open(path)?), policy);
@@ -500,10 +492,7 @@ fn mine_streaming(
     codec_stats.merge(&stream.stats());
     ingest.merge(stream.report());
     drop(stream_span);
-    let model = match metrics {
-        Some(m) => miner.model_instrumented(m, tracer)?,
-        None => miner.model_instrumented(&mut NullSink, tracer)?,
-    };
+    let model = miner.model_in(session)?;
     Ok((model, kept))
 }
 
@@ -530,12 +519,14 @@ fn mine(argv: &[String]) -> CliResult {
         .positional()
         .first()
         .ok_or(ArgError::Required("log file"))?;
-    let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let policy = ingest_policy(&p)?;
-    let tracer = tracer_from_args(&p);
+    let threads: usize = p.get_parse("threads", 0, "integer")?;
+    let base = session_from_args(&p).with_threads(threads.max(1));
+    let tracer = base.tracer().clone();
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
     let mut metrics = MinerMetrics::new();
+    let mut session = base.with_sink(&mut metrics);
     let started = std::time::Instant::now();
     let (model, log, algorithm) = if p.has("stream") {
         if p.get("format").is_some_and(|f| f != "flowmark") {
@@ -548,22 +539,18 @@ fn mine(argv: &[String]) -> CliResult {
             path,
             miner_options(&p)?,
             policy,
-            want_stats.then_some(&mut metrics),
+            &mut session,
             &mut codec_stats,
             &mut ingest,
-            &tracer,
         )?;
         (model, log, Algorithm::GeneralDag)
     } else {
         let format = p.get("format").unwrap_or("flowmark");
         let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest, &tracer)?;
-        let (model, algorithm) = if want_stats {
-            mine_with(&p, &log, &mut metrics, &tracer)?
-        } else {
-            mine_with(&p, &log, &mut NullSink, &tracer)?
-        };
+        let (model, algorithm) = mine_with(&p, &mut session, &log)?;
         (model, log, algorithm)
     };
+    drop(session);
     report_ingest(&ingest, policy);
     let elapsed = started.elapsed();
 
@@ -665,8 +652,8 @@ fn mine(argv: &[String]) -> CliResult {
     }
     let mut check_failed = false;
     if p.has("check") {
-        let report =
-            conformance::check_conformance_instrumented(&model, &log, &mut NullSink, &tracer);
+        let mut session = MineSession::new().with_tracer(tracer.clone());
+        let report = conformance::check_conformance_in(&mut session, &model, &log);
         if report.is_conformal() {
             println!("conformance: OK (dependency-complete, irredundant, execution-complete)");
         } else {
@@ -702,11 +689,11 @@ fn check(argv: &[String]) -> CliResult {
     let [model_path, log_path] = p.positional() else {
         return Err(ArgError::Required("MODEL.json and LOG arguments").into());
     };
-    let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let model: MinedModel = serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
     let format = p.get("format").unwrap_or("flowmark");
     let policy = ingest_policy(&p)?;
-    let tracer = tracer_from_args(&p);
+    let base = session_from_args(&p);
+    let tracer = base.tracer().clone();
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
     let log = read_log_with(
@@ -719,11 +706,9 @@ fn check(argv: &[String]) -> CliResult {
     )?;
     report_ingest(&ingest, policy);
     let mut metrics = ConformanceMetrics::new();
-    let report = if want_stats {
-        conformance::check_conformance_instrumented(&model, &log, &mut metrics, &tracer)
-    } else {
-        conformance::check_conformance_instrumented(&model, &log, &mut NullSink, &tracer)
-    };
+    let mut session = base.with_sink(&mut metrics);
+    let report = conformance::check_conformance_in(&mut session, &model, &log);
+    drop(session);
     if p.has("stats") {
         println!(
             "codec: {} bytes read, {} events parsed, {} executions parsed",
@@ -790,42 +775,28 @@ fn conditions(argv: &[String]) -> CliResult {
         .positional()
         .first()
         .ok_or(ArgError::Required("log file"))?;
-    let want_stats = p.has("stats") || p.get("stats-json").is_some();
     let policy = ingest_policy(&p)?;
-    let tracer = tracer_from_args(&p);
+    let base = session_from_args(&p);
+    let tracer = base.tracer().clone();
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
     let format = p.get("format").unwrap_or("flowmark");
     let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest, &tracer)?;
     report_ingest(&ingest, policy);
     let mut miner_metrics = MinerMetrics::new();
-    let (model, _) = if want_stats {
-        mine_with(&p, &log, &mut miner_metrics, &tracer)?
-    } else {
-        mine_with(&p, &log, &mut NullSink, &tracer)?
-    };
+    let mut session = base.with_sink(&mut miner_metrics);
+    let (model, _) = mine_with(&p, &mut session, &log)?;
+    drop(session);
     let cfg = TreeConfig {
         max_depth: p.get_parse("max-depth", 8, "integer")?,
         ..TreeConfig::default()
     };
     let mut classify_metrics = ClassifyMetrics::new();
-    let learned = if want_stats {
-        procmine_classify::learn_edge_conditions_instrumented(
-            &model,
-            &log,
-            &cfg,
-            &mut classify_metrics,
-            &tracer,
-        )
-    } else {
-        procmine_classify::learn_edge_conditions_instrumented(
-            &model,
-            &log,
-            &cfg,
-            &mut NullSink,
-            &tracer,
-        )
-    };
+    let mut session = MineSession::new()
+        .with_tracer(tracer.clone())
+        .with_sink(&mut classify_metrics);
+    let learned = procmine_classify::learn_edge_conditions_in(&mut session, &model, &log, &cfg);
+    drop(session);
     if p.has("stats") {
         println!(
             "codec: {} bytes read, {} events parsed, {} executions parsed",

@@ -1,0 +1,204 @@
+//! Deprecated pre-session entry points, kept for one release.
+//!
+//! Before [`MineSession`](crate::MineSession), every instrumented
+//! pipeline had a `*_instrumented` twin that hand-threaded
+//! `(sink, tracer)` through the call. Those twins now forward to the
+//! session-based `*_in` forms; migrate by building a session once and
+//! passing it instead:
+//!
+//! ```
+//! use procmine_core::{mine_general_dag_in, MineSession, MinerMetrics, MinerOptions, Tracer};
+//! # use procmine_log::WorkflowLog;
+//! # let log = WorkflowLog::from_strings(["ABCF", "ACDF"]).unwrap();
+//! let mut metrics = MinerMetrics::new();
+//! let mut session = MineSession::new()
+//!     .with_tracer(Tracer::new())
+//!     .with_sink(&mut metrics);
+//! let model = mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+//! ```
+
+use crate::conformance::{ConformanceReport, Violation};
+use crate::incremental::IncrementalMiner;
+use crate::session::MineSession;
+use crate::telemetry::{ConformanceMetrics, MetricsSink};
+use crate::trace::Tracer;
+use crate::{Algorithm, MineError, MinedModel, MinerOptions};
+use procmine_log::{Execution, WorkflowLog};
+
+/// Builds the throwaway serial session the deprecated twins run in.
+fn shim_session<'s, S>(sink: &'s mut S, tracer: &Tracer) -> MineSession<&'s mut S> {
+    MineSession::new()
+        .with_tracer(tracer.clone())
+        .with_sink(sink)
+}
+
+/// Deprecated spelling of
+/// [`mine_special_dag_in`](crate::mine_special_dag_in): wraps `sink`
+/// and `tracer` in a temporary serial [`MineSession`].
+#[deprecated(note = "build a `MineSession` and call `mine_special_dag_in` instead")]
+pub fn mine_special_dag_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<MinedModel, MineError> {
+    crate::special_dag::mine_special_dag_in(&mut shim_session(sink, tracer), log, options)
+}
+
+/// Deprecated spelling of
+/// [`mine_general_dag_in`](crate::mine_general_dag_in): wraps `sink`
+/// and `tracer` in a temporary serial [`MineSession`].
+#[deprecated(note = "build a `MineSession` and call `mine_general_dag_in` instead")]
+pub fn mine_general_dag_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<MinedModel, MineError> {
+    crate::general_dag::mine_general_dag_in(&mut shim_session(sink, tracer), log, options)
+}
+
+/// Deprecated spelling of [`mine_cyclic_in`](crate::mine_cyclic_in):
+/// wraps `sink` and `tracer` in a temporary serial [`MineSession`].
+#[deprecated(note = "build a `MineSession` and call `mine_cyclic_in` instead")]
+pub fn mine_cyclic_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<MinedModel, MineError> {
+    crate::cyclic::mine_cyclic_in(&mut shim_session(sink, tracer), log, options)
+}
+
+/// Deprecated spelling of [`mine_auto_in`](crate::mine_auto_in): wraps
+/// `sink` and `tracer` in a temporary serial [`MineSession`].
+#[deprecated(note = "build a `MineSession` and call `mine_auto_in` instead")]
+pub fn mine_auto_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<(MinedModel, Algorithm), MineError> {
+    crate::miner::mine_auto_in(&mut shim_session(sink, tracer), log, options)
+}
+
+/// Deprecated spelling of
+/// [`mine_general_dag_in`](crate::mine_general_dag_in) with
+/// `threads > 1`: wraps the arguments in a temporary [`MineSession`]
+/// configured via
+/// [`with_threads`](crate::MineSession::with_threads).
+#[deprecated(
+    note = "build a `MineSession` with `.with_threads(n)` and call `mine_general_dag_in` instead"
+)]
+pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    threads: usize,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<MinedModel, MineError> {
+    crate::general_dag::mine_general_dag_in(
+        &mut shim_session(sink, tracer).with_threads(threads),
+        log,
+        options,
+    )
+}
+
+/// Deprecated spelling of
+/// [`check_conformance_in`](crate::conformance::check_conformance_in):
+/// wraps `sink` and `tracer` in a temporary serial [`MineSession`].
+#[deprecated(note = "build a `MineSession` and call `check_conformance_in` instead")]
+pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
+    model: &MinedModel,
+    log: &WorkflowLog,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> ConformanceReport {
+    crate::conformance::check_conformance_in(&mut shim_session(sink, tracer), model, log)
+}
+
+/// Deprecated spelling of
+/// [`check_execution_in`](crate::conformance::check_execution_in):
+/// wraps `sink` in a temporary serial [`MineSession`] with tracing
+/// disabled (the per-execution check never traced).
+#[deprecated(note = "build a `MineSession` and call `check_execution_in` instead")]
+pub fn check_execution_instrumented<S: MetricsSink<ConformanceMetrics>>(
+    model: &MinedModel,
+    exec: &Execution,
+    sink: &mut S,
+) -> Vec<Violation> {
+    crate::conformance::check_execution_in(&mut MineSession::new().with_sink(sink), model, exec)
+}
+
+impl IncrementalMiner {
+    /// Deprecated spelling of
+    /// [`model_in`](IncrementalMiner::model_in) from before sessions
+    /// existed: wraps `sink` and `tracer` in a temporary serial session.
+    #[deprecated(note = "build a `MineSession` and call `model_in` instead")]
+    pub fn model_instrumented<S: MetricsSink>(
+        &self,
+        sink: &mut S,
+        tracer: &Tracer,
+    ) -> Result<MinedModel, MineError> {
+        self.model_in(&mut shim_session(sink, tracer))
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::telemetry::MinerMetrics;
+
+    #[test]
+    fn deprecated_twins_match_session_forms() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+        let options = MinerOptions::default();
+        let mut metrics = MinerMetrics::new();
+        let tracer = Tracer::new();
+        let shimmed = mine_general_dag_instrumented(&log, &options, &mut metrics, &tracer).unwrap();
+        let direct = crate::mine_general_dag(&log, &options).unwrap();
+        assert_eq!(shimmed.edges_named(), direct.edges_named());
+        assert_eq!(metrics.edges_final, direct.edge_count() as u64);
+        assert!(
+            tracer.records().iter().any(|r| r.name == "mine.general"),
+            "shim forwards the caller's tracer"
+        );
+
+        let parallel = mine_general_dag_parallel_instrumented(
+            &log,
+            &options,
+            4,
+            &mut MinerMetrics::new(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(parallel.edges_named(), direct.edges_named());
+
+        let (auto, alg) = mine_auto_instrumented(
+            &log,
+            &options,
+            &mut MinerMetrics::new(),
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(alg, Algorithm::GeneralDag);
+        assert_eq!(auto.edges_named(), direct.edges_named());
+    }
+
+    #[test]
+    fn deprecated_conformance_twins_still_work() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+        let model = crate::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        let mut metrics = ConformanceMetrics::new();
+        let report =
+            check_conformance_instrumented(&model, &log, &mut metrics, &Tracer::disabled());
+        assert!(report.is_conformal());
+        assert_eq!(metrics.executions_checked, log.len() as u64);
+
+        let mut metrics = ConformanceMetrics::new();
+        let violations = check_execution_instrumented(&model, &log.executions()[0], &mut metrics);
+        assert!(violations.is_empty());
+        assert_eq!(metrics.executions_checked, 1);
+    }
+}

@@ -22,18 +22,23 @@
 //! tables by activity name and reports unmatched names in
 //! [`ConformanceReport::unknown_activities`]; [`check_execution`]
 //! reports out-of-range activity ids as
-//! [`Violation::UnknownActivity`]. Neither panics. Both have
-//! `*_instrumented` twins feeding a
-//! [`ConformanceMetrics`](crate::telemetry::ConformanceMetrics) sink.
+//! [`Violation::UnknownActivity`]. Neither panics. Both have `*_in`
+//! forms that run inside a [`MineSession`](crate::MineSession) and feed
+//! its [`ConformanceMetrics`](crate::telemetry::ConformanceMetrics)
+//! sink; the pre-session `*_instrumented` twins live on as deprecated
+//! shims in [`crate::compat`].
 
 use crate::follows::FollowsAnalysis;
-use crate::telemetry::{ConformanceMetrics, MetricsSink, NullSink};
-use crate::trace::Tracer;
+use crate::session::MineSession;
+use crate::telemetry::{ConformanceMetrics, MetricsSink};
 use crate::MinedModel;
 use procmine_graph::{reach, scc, NodeId};
 use procmine_log::{ActivityId, ActivityInstance, Execution, WorkflowLog};
 use std::collections::HashMap;
 use std::time::Instant;
+
+#[allow(deprecated)]
+pub use crate::compat::{check_conformance_instrumented, check_execution_instrumented};
 
 /// One way an execution can fail Definition 6 against a model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,14 +91,16 @@ pub fn check_execution(model: &MinedModel, exec: &Execution) -> Vec<Violation> {
     check_execution_impl(model, exec)
 }
 
-/// [`check_execution`] with telemetry: counts the execution, its
-/// violations by variant, and the check's wall time into `sink` (see
-/// [`ConformanceMetrics`]). With [`NullSink`] this is the plain twin.
-pub fn check_execution_instrumented<S: MetricsSink<ConformanceMetrics>>(
+/// [`check_execution`] inside a [`MineSession`]: counts the execution,
+/// its violations by variant, and the check's wall time into the
+/// session's sink (see [`ConformanceMetrics`]). With a default session
+/// this is the plain twin; the single-execution check records no spans.
+pub fn check_execution_in<S: MetricsSink<ConformanceMetrics>>(
+    session: &mut MineSession<S>,
     model: &MinedModel,
     exec: &Execution,
-    sink: &mut S,
 ) -> Vec<Violation> {
+    let (sink, _) = session.handles();
     let started = S::ENABLED.then(Instant::now);
     let violations = check_execution_impl(model, exec);
     record_execution_check(sink, &violations, elapsed_nanos(started));
@@ -386,20 +393,20 @@ impl Violation {
 /// executions and dependencies involving them are checked over the
 /// known activities. This never panics.
 pub fn check_conformance(model: &MinedModel, log: &WorkflowLog) -> ConformanceReport {
-    check_conformance_instrumented(model, log, &mut NullSink, &Tracer::disabled())
+    check_conformance_in(&mut MineSession::new(), model, log)
 }
 
-/// [`check_conformance`] with telemetry and tracing: records the
-/// closure/SCC/check timers and the report-level counters into `sink`
-/// (see [`ConformanceMetrics`]), and spans for the closure, SCC and
-/// per-execution phases into `tracer` (see [`crate::trace`]). With
-/// [`NullSink`] and a disabled tracer this is the plain twin.
-pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
+/// [`check_conformance`] inside a [`MineSession`]: records the
+/// closure/SCC/check timers and the report-level counters into the
+/// session's sink (see [`ConformanceMetrics`]), and spans for the
+/// closure, SCC and per-execution phases into its tracer (see
+/// [`crate::trace`]). With a default session this is the plain twin.
+pub fn check_conformance_in<S: MetricsSink<ConformanceMetrics>>(
+    session: &mut MineSession<S>,
     model: &MinedModel,
     log: &WorkflowLog,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> ConformanceReport {
+    let (sink, tracer) = session.handles();
     let _root = tracer.span_cat("check_conformance", "conformance");
     let g = model.graph();
     let n = g.node_count();
@@ -481,7 +488,10 @@ pub fn check_conformance_instrumented<S: MetricsSink<ConformanceMetrics>>(
     let _exec_span = tracer.span_cat("execution_checks", "conformance");
     for exec in log.executions() {
         let violations = if identity {
-            check_execution_instrumented(model, exec, sink)
+            let started = S::ENABLED.then(Instant::now);
+            let violations = check_execution_impl(model, exec);
+            record_execution_check(sink, &violations, elapsed_nanos(started));
+            violations
         } else {
             let started = S::ENABLED.then(Instant::now);
             let violations = check_foreign_execution(model, exec, &map, log_names);
@@ -904,7 +914,7 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_conformance_matches_plain() {
+    fn session_conformance_matches_plain() {
         use crate::telemetry::ConformanceMetrics;
         let (model, log) = figure1();
         let mut mixed = WorkflowLog::with_activities(log.activities().clone());
@@ -914,8 +924,9 @@ mod tests {
 
         let plain = check_conformance(&model, &mixed);
         let mut metrics = ConformanceMetrics::new();
-        let instrumented =
-            check_conformance_instrumented(&model, &mixed, &mut metrics, &Tracer::disabled());
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        let instrumented = check_conformance_in(&mut session, &model, &mixed);
+        drop(session);
         assert_eq!(plain, instrumented);
 
         assert_eq!(metrics.executions_checked, 3);
@@ -935,14 +946,15 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_conformance_counts_unknowns_on_foreign_log() {
+    fn session_conformance_counts_unknowns_on_foreign_log() {
         use crate::telemetry::ConformanceMetrics;
         let (model, _) = figure1();
         let foreign = WorkflowLog::from_strings(["AXB"]).unwrap();
         let plain = check_conformance(&model, &foreign);
         let mut metrics = ConformanceMetrics::new();
-        let instrumented =
-            check_conformance_instrumented(&model, &foreign, &mut metrics, &Tracer::disabled());
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        let instrumented = check_conformance_in(&mut session, &model, &foreign);
+        drop(session);
         assert_eq!(plain, instrumented);
         assert_eq!(metrics.unknown_activities, 1);
         assert_eq!(metrics.violations_unknown_activity, 1);
@@ -950,15 +962,17 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_execution_check_matches_plain() {
+    fn session_execution_check_matches_plain() {
         use crate::telemetry::ConformanceMetrics;
         let (model, log) = figure1();
         let exec = exec_of(&log, "ADBE");
         let mut metrics = ConformanceMetrics::new();
+        let mut session = MineSession::new().with_sink(&mut metrics);
         assert_eq!(
             check_execution(&model, &exec),
-            check_execution_instrumented(&model, &exec, &mut metrics)
+            check_execution_in(&mut session, &model, &exec)
         );
+        drop(session);
         assert_eq!(metrics.executions_checked, 1);
         assert_eq!(metrics.consistent_executions, 0);
         assert!(metrics.violations_unreachable >= 1);

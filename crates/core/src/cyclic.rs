@@ -13,7 +13,8 @@
 
 use crate::general_dag::{mine_vertex_log, VertexLog};
 use crate::model::graph_skeleton;
-use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::session::{run_stage, MineSession};
+use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
@@ -29,102 +30,117 @@ use procmine_log::WorkflowLog;
 /// equivalent sets"); immediate self-repetition `AA` therefore does not
 /// produce a self-loop.
 pub fn mine_cyclic(log: &WorkflowLog, options: &MinerOptions) -> Result<MinedModel, MineError> {
-    mine_cyclic_instrumented(log, options, &mut NullSink, &Tracer::disabled())
+    mine_cyclic_in(&mut MineSession::new(), log, options)
 }
 
-/// [`mine_cyclic`] with telemetry and tracing: stage timings and
-/// counters are recorded into `sink` (see [`crate::telemetry`]), spans
-/// into `tracer` (see [`crate::trace`]). Instance labeling and lowering
-/// are timed as [`Stage::Lower`]; the instance-merge step is part of
-/// [`Stage::Assemble`].
-pub fn mine_cyclic_instrumented<S: MetricsSink>(
+/// [`mine_cyclic`] inside a [`MineSession`]: stage timings and counters
+/// are recorded into the session's sink, spans into its tracer.
+/// Instance labeling and lowering are timed as [`Stage::Lower`]; the
+/// instance-merge step is part of [`Stage::Assemble`]. With
+/// `threads > 1` the heavy pipeline stages fan out across threads.
+pub fn mine_cyclic_in<S: MetricsSink>(
+    session: &mut MineSession<S>,
     log: &WorkflowLog,
     options: &MinerOptions,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
+    let deadline = session.run_deadline(&options.limits);
+    let threads = session.threads;
+    let MineSession {
+        sink,
+        tracer,
+        limits,
+        ..
+    } = session;
+    let tracer: &Tracer = tracer;
     let _root = tracer.span_cat("mine.cyclic", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    limits.check_log(log)?;
     options.limits.check_log(log)?;
-    let deadline = options.limits.start_clock();
     let n = log.activities().len();
 
     // Step 2 (of Algorithm 3): uniquely identify each occurrence.
     // Instance vertex space: activity a gets `max_occ[a]` consecutive
-    // vertices starting at offset[a].
-    let lower_span = tracer.span_cat("lower", "miner");
-    let started = stage_start::<S>();
-    let mut max_occ = vec![0usize; n];
-    for exec in log.executions() {
-        deadline.check()?;
-        let mut counts = vec![0usize; n];
-        for a in exec.sequence() {
-            counts[a.index()] += 1;
-            max_occ[a.index()] = max_occ[a.index()].max(counts[a.index()]);
+    // vertices starting at offset[a]. Lowering the log to instance
+    // vertices (steps 1–3) is one pass.
+    let (execs, activity_of, total) = run_stage(Stage::Lower, deadline, sink, tracer, |_, _| {
+        let mut max_occ = vec![0usize; n];
+        for exec in log.executions() {
+            deadline.check()?;
+            let mut counts = vec![0usize; n];
+            for a in exec.sequence() {
+                counts[a.index()] += 1;
+                max_occ[a.index()] = max_occ[a.index()].max(counts[a.index()]);
+            }
         }
-    }
-    let mut offset = vec![0usize; n + 1];
-    for a in 0..n {
-        offset[a + 1] = offset[a] + max_occ[a];
-    }
-    let total = offset[n];
-    // Reverse map: instance vertex -> activity.
-    let mut activity_of = vec![0usize; total];
-    for a in 0..n {
-        activity_of[offset[a]..offset[a + 1]].fill(a);
-    }
+        let mut offset = vec![0usize; n + 1];
+        for a in 0..n {
+            offset[a + 1] = offset[a] + max_occ[a];
+        }
+        let total = offset[n];
+        // Reverse map: instance vertex -> activity.
+        let mut activity_of = vec![0usize; total];
+        for a in 0..n {
+            activity_of[offset[a]..offset[a + 1]].fill(a);
+        }
 
-    // Lower the log to instance vertices (steps 1–3 are one pass).
-    let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
-    for e in log.executions() {
-        deadline.check()?;
-        let labeled = e.labeled_sequence();
-        execs.push(
-            e.instances()
-                .iter()
-                .zip(labeled)
-                .map(|(inst, (a, occ))| (offset[a.index()] + occ as usize, inst.start, inst.end))
-                .collect(),
-        );
-    }
+        let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+        for e in log.executions() {
+            deadline.check()?;
+            let labeled = e.labeled_sequence();
+            execs.push(
+                e.instances()
+                    .iter()
+                    .zip(labeled)
+                    .map(|(inst, (a, occ))| {
+                        (offset[a.index()] + occ as usize, inst.start, inst.end)
+                    })
+                    .collect(),
+            );
+        }
+        Ok((execs, activity_of, total))
+    })?;
     let vlog = VertexLog {
         n: total,
         execs: &execs,
     };
-    stage_end(sink, Stage::Lower, started);
-    drop(lower_span);
 
     // Steps 4–7: the shared pipeline.
-    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink, tracer)?;
+    let result = mine_vertex_log(
+        &vlog,
+        options.noise_threshold,
+        deadline,
+        threads,
+        sink,
+        tracer,
+    )?;
 
     // Step 8: merge instance vertices back into activities.
-    let _span = tracer.span_cat("assemble", "miner");
-    let started = stage_start::<S>();
-    let mut graph = graph_skeleton(log.activities());
-    let mut support_acc = vec![0u32; n * n];
-    for (x, y) in result.graph.edges() {
-        let (a, b) = (activity_of[x], activity_of[y]);
-        if a != b {
-            graph.add_edge(NodeId::new(a), NodeId::new(b));
-            support_acc[a * n + b] =
-                support_acc[a * n + b].saturating_add(result.counts[x * total + y]);
+    run_stage(Stage::Assemble, deadline, sink, tracer, |sink, _| {
+        let mut graph = graph_skeleton(log.activities());
+        let mut support_acc = vec![0u32; n * n];
+        for (x, y) in result.graph.edges() {
+            let (a, b) = (activity_of[x], activity_of[y]);
+            if a != b {
+                graph.add_edge(NodeId::new(a), NodeId::new(b));
+                support_acc[a * n + b] =
+                    support_acc[a * n + b].saturating_add(result.counts[x * total + y]);
+            }
         }
-    }
-    let support: Vec<(usize, usize, u32)> = graph
-        .edges()
-        .map(|(u, v)| (u.index(), v.index(), support_acc[u.index() * n + v.index()]))
-        .collect();
-    if S::ENABLED {
-        // The pipeline recorded the instance-level edge count; the
-        // merge step can collapse several instance edges into one
-        // activity edge, so re-point `edges_final` at the model.
-        let merged = support.len() as u64;
-        sink.record(|m| m.edges_final = merged);
-    }
-    stage_end(sink, Stage::Assemble, started);
-    Ok(MinedModel::new(graph, support))
+        let support: Vec<(usize, usize, u32)> = graph
+            .edges()
+            .map(|(u, v)| (u.index(), v.index(), support_acc[u.index() * n + v.index()]))
+            .collect();
+        if S::ENABLED {
+            // The pipeline recorded the instance-level edge count; the
+            // merge step can collapse several instance edges into one
+            // activity edge, so re-point `edges_final` at the model.
+            let merged = support.len() as u64;
+            sink.record(|m| m.edges_final = merged);
+        }
+        Ok(MinedModel::new(graph, support))
+    })
 }
 
 #[cfg(test)]
@@ -202,6 +218,20 @@ mod tests {
             mine_cyclic(&WorkflowLog::new(), &MinerOptions::default()).unwrap_err(),
             MineError::EmptyLog
         );
+    }
+
+    #[test]
+    fn threaded_session_matches_serial() {
+        let strings = ["ABDCE", "ABDCBCE", "ABCBDCE", "ADE"];
+        let log = WorkflowLog::from_strings(strings).unwrap();
+        let serial = mine_cyclic(&log, &MinerOptions::default()).unwrap();
+        let mut session = MineSession::new().with_threads(3);
+        let threaded = mine_cyclic_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        let mut a = serial.edges_named();
+        let mut b = threaded.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -15,13 +15,20 @@
 //!   the induced subgraph is computed and its edges marked; unmarked
 //!   edges are dropped.
 //!
-//! The same pipeline, run over *instance vertices*, powers Algorithm 3
-//! (see [`crate::mine_cyclic`]); [`VertexLog`]/[`mine_vertex_log`] are
-//! the shared implementation.
+//! The pipeline is expressed as [`Stage`]s run inside a
+//! [`MineSession`]: lower → count_pairs → prune → scc_removal →
+//! transitive_reduction → assemble. The session's thread count selects
+//! the execution strategy per stage — with `threads > 1` the counting
+//! and marking passes fan out over scoped threads (see
+//! [`crate::parallel`]) while reusing the serial per-execution bodies
+//! defined here. The same pipeline, run over *instance vertices*,
+//! powers Algorithm 3 (see [`crate::mine_cyclic`]);
+//! [`VertexLog`]/[`mine_vertex_log`] are the shared implementation.
 
 use crate::limits::Deadline;
 use crate::model::graph_skeleton;
-use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::session::{run_stage, MineSession};
+use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::{scc, AdjMatrix, BitSet, NodeId};
@@ -48,16 +55,24 @@ pub(crate) struct VertexMineResult {
 }
 
 /// Steps 2–7 of Algorithm 2 over an arbitrary vertex log. The
-/// `deadline` is re-checked once per execution in both heavy passes.
+/// `deadline` is re-checked once per execution in both heavy passes;
+/// `threads > 1` selects the parallel strategy for them.
 pub(crate) fn mine_vertex_log<S: MetricsSink>(
     vlog: &VertexLog<'_>,
     threshold: u32,
     deadline: Deadline,
+    threads: usize,
     sink: &mut S,
     tracer: &Tracer,
 ) -> Result<VertexMineResult, MineError> {
-    let counts = count_ordered_pairs(vlog, deadline, sink, tracer)?;
-    finish_from_counts(vlog, counts, threshold, deadline, sink, tracer)
+    let obs = if threads > 1 {
+        crate::parallel::parallel_count(vlog, threads, deadline, sink, tracer)?
+    } else {
+        run_stage(Stage::CountPairs, deadline, sink, tracer, |sink, _| {
+            count_ordered_pairs(vlog, deadline, sink)
+        })?
+    };
+    finish_from_counts(vlog, obs, threshold, deadline, threads, sink, tracer)
 }
 
 /// Step-2 observation counts: `ordered[u*n+v]` executions where `u`
@@ -82,16 +97,15 @@ impl OrderObservations {
     }
 }
 
-/// Step 2 alone, exposed separately so the incremental miner can
-/// maintain counts across batches.
+/// The serial [`Stage::CountPairs`] body: one pass over the executions,
+/// re-checking the deadline per execution. Counter recording only — the
+/// stage runner (or the parallel strategy's workers) owns the span and
+/// stage timer.
 pub(crate) fn count_ordered_pairs<S: MetricsSink>(
     vlog: &VertexLog<'_>,
     deadline: Deadline,
     sink: &mut S,
-    tracer: &Tracer,
 ) -> Result<OrderObservations, MineError> {
-    let _span = tracer.span_cat("count_pairs", "miner");
-    let started = stage_start::<S>();
     let n = vlog.n;
     let mut obs = OrderObservations::new(n);
     for exec in vlog.execs {
@@ -106,7 +120,6 @@ pub(crate) fn count_ordered_pairs<S: MetricsSink>(
             m.pairs_counted += pairs;
         });
     }
-    stage_end(sink, Stage::CountPairs, started);
     Ok(obs)
 }
 
@@ -240,66 +253,79 @@ impl Default for MarkScratch {
     }
 }
 
-/// Steps 3–4 of Algorithm 2: threshold the counts into an edge matrix,
-/// remove two-cycles (including pairs observed overlapping — §2's
-/// independence evidence), and dissolve strongly connected components.
-/// The SCC pass runs under the deadline's wall-clock budget, so even a
-/// pathological followings graph cannot hide from `--deadline-ms`.
+/// Steps 3–4 of Algorithm 2 as two stages: [`Stage::Prune`] thresholds
+/// the counts into an edge matrix and removes two-cycles (including
+/// pairs observed overlapping — §2's independence evidence);
+/// [`Stage::SccRemoval`] dissolves strongly connected components. The
+/// SCC pass runs under the deadline's wall-clock budget, so even a
+/// pathological followings graph cannot hide from `--deadline-ms`; with
+/// `threads > 1` and a large vertex count it fans out per weakly
+/// connected component.
 pub(crate) fn prune_graph<S: MetricsSink>(
     n: usize,
     obs: &OrderObservations,
     threshold: u32,
     deadline: Deadline,
+    threads: usize,
     sink: &mut S,
     tracer: &Tracer,
 ) -> Result<AdjMatrix, MineError> {
-    let _span = tracer.span_cat("prune", "miner");
-    let started = stage_start::<S>();
-    if S::ENABLED {
-        let before = (0..n * n)
-            .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
-            .count() as u64;
-        sink.record(|m| m.edges_before_threshold += before);
-    }
-    let mut g = AdjMatrix::new(n);
-    for u in 0..n {
-        for v in 0..n {
-            if u != v && obs.ordered[u * n + v] >= threshold && obs.overlap[u * n + v] < threshold {
-                g.add_edge(u, v);
-            }
+    let mut g = run_stage(Stage::Prune, deadline, sink, tracer, |sink, _| {
+        if S::ENABLED {
+            let before = (0..n * n)
+                .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
+                .count() as u64;
+            sink.record(|m| m.edges_before_threshold += before);
         }
-    }
-    let thresholded = g.edge_count();
-    g.remove_two_cycles();
-    if S::ENABLED {
-        let dissolved = ((thresholded - g.edge_count()) / 2) as u64;
-        sink.record(|m| {
-            m.edges_after_threshold += thresholded as u64;
-            m.two_cycles_dissolved += dissolved;
-        });
-    }
-
-    let scc_span = tracer.span_cat("scc_removal", "miner");
-    let digraph = g.to_digraph(|_| ());
-    // The budgeted Tarjan's only failure mode is budget exhaustion.
-    let sccs = scc::tarjan_scc_budgeted(&digraph, &deadline.budget())
-        .map_err(|_| Deadline::exceeded_in("SCC removal"))?;
-    let mut nontrivial = 0u64;
-    for comp in sccs.nontrivial() {
-        nontrivial += 1;
-        for &u in comp {
-            for &v in comp {
-                if u != v {
-                    g.remove_edge(u.index(), v.index());
+        let mut g = AdjMatrix::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v
+                    && obs.ordered[u * n + v] >= threshold
+                    && obs.overlap[u * n + v] < threshold
+                {
+                    g.add_edge(u, v);
                 }
             }
         }
-    }
-    drop(scc_span);
-    if S::ENABLED {
-        sink.record(|m| m.scc_count += nontrivial);
-    }
-    stage_end(sink, Stage::Prune, started);
+        let thresholded = g.edge_count();
+        g.remove_two_cycles();
+        if S::ENABLED {
+            let dissolved = ((thresholded - g.edge_count()) / 2) as u64;
+            sink.record(|m| {
+                m.edges_after_threshold += thresholded as u64;
+                m.two_cycles_dissolved += dissolved;
+            });
+        }
+        Ok(g)
+    })?;
+
+    run_stage(Stage::SccRemoval, deadline, sink, tracer, |sink, _| {
+        let digraph = g.to_digraph(|_| ());
+        let budget = deadline.budget();
+        // The budgeted Tarjan's only failure mode is budget exhaustion.
+        let sccs = if threads > 1 && n >= crate::parallel::PARALLEL_GRAPH_MIN_VERTICES {
+            scc::tarjan_scc_parallel_budgeted(&digraph, threads, &budget)
+        } else {
+            scc::tarjan_scc_budgeted(&digraph, &budget)
+        }
+        .map_err(|_| Deadline::exceeded_in("SCC removal"))?;
+        let mut nontrivial = 0u64;
+        for comp in sccs.nontrivial() {
+            nontrivial += 1;
+            for &u in comp {
+                for &v in comp {
+                    if u != v {
+                        g.remove_edge(u.index(), v.index());
+                    }
+                }
+            }
+        }
+        if S::ENABLED {
+            sink.record(|m| m.scc_count += nontrivial);
+        }
+        Ok(())
+    })?;
     Ok(g)
 }
 
@@ -309,23 +335,29 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     obs: OrderObservations,
     threshold: u32,
     deadline: Deadline,
+    threads: usize,
     sink: &mut S,
     tracer: &Tracer,
 ) -> Result<VertexMineResult, MineError> {
     let n = vlog.n;
-    let mut g = prune_graph(n, &obs, threshold, deadline, sink, tracer)?;
+    let mut g = prune_graph(n, &obs, threshold, deadline, threads, sink, tracer)?;
     let counts = obs.ordered;
 
     // Steps 5–6: per-execution induced-subgraph transitive reduction;
     // keep only edges some reduction needs.
-    let _span = tracer.span_cat("transitive_reduction", "miner");
-    let started = stage_start::<S>();
-    let mut marked = AdjMatrix::new(n);
-    let mut scratch = MarkScratch::new();
-    for exec in vlog.execs {
-        deadline.check()?;
-        mark_one_execution(&g, exec, &mut marked, &mut scratch);
-    }
+    let marked = if threads > 1 {
+        crate::parallel::parallel_mark(vlog, &g, threads, deadline, sink, tracer)?
+    } else {
+        run_stage(Stage::Reduce, deadline, sink, tracer, |_, _| {
+            let mut marked = AdjMatrix::new(n);
+            let mut scratch = MarkScratch::new();
+            for exec in vlog.execs {
+                deadline.check()?;
+                mark_one_execution(&g, exec, &mut marked, &mut scratch);
+            }
+            Ok(marked)
+        })?
+    };
 
     // Step 6: drop edges no execution needed.
     let unmarked: Vec<(usize, usize)> =
@@ -341,7 +373,6 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
         let final_edges = g.edge_count() as u64;
         sink.record(|m| m.edges_final += final_edges);
     }
-    stage_end(sink, Stage::Reduce, started);
 
     Ok(VertexMineResult { graph: g, counts })
 }
@@ -358,26 +389,43 @@ pub fn mine_general_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<MinedModel, MineError> {
-    mine_general_dag_instrumented(log, options, &mut NullSink, &Tracer::disabled())
+    mine_general_dag_in(&mut MineSession::new(), log, options)
 }
 
-/// [`mine_general_dag`] with telemetry and tracing: stage timings and
-/// counters are recorded into `sink` (see [`crate::telemetry`]), and
-/// hierarchical spans into `tracer` (see [`crate::trace`]). With
-/// [`NullSink`] and a disabled tracer this compiles to exactly the
-/// uninstrumented miner.
-pub fn mine_general_dag_instrumented<S: MetricsSink>(
+/// [`mine_general_dag`] inside a [`MineSession`]: stage timings and
+/// counters are recorded into the session's sink, hierarchical spans
+/// into its tracer, and the session's thread count selects the
+/// execution strategy (`threads > 1` fans the counting and marking
+/// passes out over scoped threads, with output identical to the serial
+/// strategy). With the default session this compiles to exactly the
+/// uninstrumented serial miner.
+pub fn mine_general_dag_in<S: MetricsSink>(
+    session: &mut MineSession<S>,
     log: &WorkflowLog,
     options: &MinerOptions,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
-    let _root = tracer.span_cat("mine.general", "miner");
+    let deadline = session.run_deadline(&options.limits);
+    let threads = session.threads;
+    let MineSession {
+        sink,
+        tracer,
+        limits,
+        ..
+    } = session;
+    let tracer: &Tracer = tracer;
+    let _root = tracer.span_cat(
+        if threads > 1 {
+            "mine.parallel"
+        } else {
+            "mine.general"
+        },
+        "miner",
+    );
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    limits.check_log(log)?;
     options.limits.check_log(log)?;
-    let deadline = options.limits.start_clock();
     for exec in log.executions() {
         deadline.check()?;
         if exec.has_repeats() {
@@ -387,40 +435,46 @@ pub fn mine_general_dag_instrumented<S: MetricsSink>(
         }
     }
 
-    let lower_span = tracer.span_cat("lower", "miner");
-    let started = stage_start::<S>();
     let n = log.activities().len();
-    let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
-    for e in log.executions() {
-        deadline.check()?;
-        execs.push(
-            e.instances()
-                .iter()
-                .map(|i| (i.activity.index(), i.start, i.end))
-                .collect(),
-        );
-    }
-    stage_end(sink, Stage::Lower, started);
-    drop(lower_span);
+    let execs = run_stage(Stage::Lower, deadline, sink, tracer, |_, _| {
+        let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+        for e in log.executions() {
+            deadline.check()?;
+            execs.push(
+                e.instances()
+                    .iter()
+                    .map(|i| (i.activity.index(), i.start, i.end))
+                    .collect(),
+            );
+        }
+        Ok(execs)
+    })?;
 
     let vlog = VertexLog { n, execs: &execs };
-    let result = mine_vertex_log(&vlog, options.noise_threshold, deadline, sink, tracer)?;
+    let result = mine_vertex_log(
+        &vlog,
+        options.noise_threshold,
+        deadline,
+        threads,
+        sink,
+        tracer,
+    )?;
 
-    let _span = tracer.span_cat("assemble", "miner");
-    let started = stage_start::<S>();
-    let mut graph = graph_skeleton(log.activities());
-    let mut support = Vec::with_capacity(result.graph.edge_count());
-    for (u, v) in result.graph.edges() {
-        graph.add_edge(NodeId::new(u), NodeId::new(v));
-        support.push((u, v, result.counts[u * n + v]));
-    }
-    stage_end(sink, Stage::Assemble, started);
-    Ok(MinedModel::new(graph, support))
+    run_stage(Stage::Assemble, deadline, sink, tracer, |_, _| {
+        let mut graph = graph_skeleton(log.activities());
+        let mut support = Vec::with_capacity(result.graph.edge_count());
+        for (u, v) in result.graph.edges() {
+            graph.add_edge(NodeId::new(u), NodeId::new(v));
+            support.push((u, v, result.counts[u * n + v]));
+        }
+        Ok(MinedModel::new(graph, support))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::NullSink;
 
     fn mine(strings: &[&str]) -> MinedModel {
         let log = WorkflowLog::from_strings(strings.iter().copied()).unwrap();
@@ -428,10 +482,11 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_aborts_scc_removal() {
+    fn expired_deadline_aborts_prune_pipeline() {
         // A single directed cycle of 2000 activities: one giant SCC with
-        // no two-cycles to dissolve first, and more than 1024 Tarjan
-        // steps so the periodic budget check fires deterministically.
+        // no two-cycles to dissolve first. With the deadline already
+        // expired the stage runner (or the budgeted Tarjan inside the
+        // SCC stage) must abort with a deadline error.
         let n = 2_000;
         let mut obs = OrderObservations {
             ordered: vec![0; n * n],
@@ -440,22 +495,20 @@ mod tests {
         for i in 0..n {
             obs.ordered[i * n + (i + 1) % n] = 1;
         }
-        let err = prune_graph(
-            n,
-            &obs,
-            1,
-            Deadline::already_expired(),
-            &mut NullSink,
-            &Tracer::disabled(),
-        )
-        .unwrap_err();
-        match err {
-            MineError::LimitExceeded {
-                kind: crate::LimitKind::Deadline,
-                details,
-            } => assert!(details.contains("SCC removal"), "details: {details}"),
-            other => panic!("expected a deadline error, got {other:?}"),
-        }
+        let deadline = Deadline::already_expired();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err =
+            prune_graph(n, &obs, 1, deadline, 1, &mut NullSink, &Tracer::disabled()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MineError::LimitExceeded {
+                    kind: crate::LimitKind::Deadline,
+                    ..
+                }
+            ),
+            "expected a deadline error, got {err:?}"
+        );
     }
 
     #[test]
@@ -567,25 +620,37 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_counters_match_model() {
+    fn session_counters_match_model() {
         use crate::telemetry::MinerMetrics;
         let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
         let mut metrics = MinerMetrics::new();
-        let model = mine_general_dag_instrumented(
-            &log,
-            &MinerOptions::default(),
-            &mut metrics,
-            &Tracer::disabled(),
-        )
-        .unwrap();
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        let model = mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        drop(session);
         assert_eq!(metrics.executions_scanned, 4);
         assert_eq!(metrics.pairs_counted, 4 * 6, "four executions of length 4");
         assert_eq!(metrics.edges_final, model.edge_count() as u64);
         assert_eq!(metrics.scc_count, 1, "Example 7: C,D,E form one SCC");
         assert!(metrics.edges_before_threshold >= metrics.edges_after_threshold);
-        // The instrumented run mines the same model as the plain one.
+        // The session run mines the same model as the plain one.
         let plain = mine_general_dag(&log, &MinerOptions::default()).unwrap();
         assert_eq!(plain.edges_named(), model.edges_named());
+    }
+
+    #[test]
+    fn session_limits_apply_alongside_option_limits() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF"]).unwrap();
+        let mut session = MineSession::new().with_limits(crate::Limits {
+            max_events: Some(3),
+            ..crate::Limits::default()
+        });
+        assert!(matches!(
+            mine_general_dag_in(&mut session, &log, &MinerOptions::default()),
+            Err(MineError::LimitExceeded {
+                kind: crate::LimitKind::Events,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::general_dag::{
 };
 use crate::limits::LimitKind;
 use crate::model::graph_skeleton;
-use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::session::{run_stage, MineSession};
+use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
@@ -214,25 +215,35 @@ impl IncrementalMiner {
     /// Snapshots borrow the retained executions — producing a model
     /// copies nothing but the count matrices.
     pub fn model(&self) -> Result<MinedModel, MineError> {
-        self.model_instrumented(&mut NullSink, &Tracer::disabled())
+        self.model_in(&mut MineSession::new())
     }
 
-    /// [`model`](IncrementalMiner::model) with telemetry and tracing:
-    /// the finishing steps are timed and counted into `sink` (see
-    /// [`crate::telemetry`]) and recorded as spans into `tracer` (see
-    /// [`crate::trace`]). The step-2 counting work happened at absorb
-    /// time, so [`Stage::CountPairs`] stays zero here; the
-    /// scanned-execution and pair totals are still reported so the
-    /// counters describe the whole mining effort behind the snapshot.
-    pub fn model_instrumented<S: MetricsSink>(
+    /// [`model`](IncrementalMiner::model) inside a [`MineSession`]: the
+    /// finishing steps are timed and counted into the session's sink,
+    /// recorded as spans into its tracer, and fanned out over its
+    /// threads. The step-2 counting work happened at absorb time, so
+    /// [`Stage::CountPairs`] stays zero here; the scanned-execution and
+    /// pair totals are still reported so the counters describe the
+    /// whole mining effort behind the snapshot.
+    ///
+    /// The deadline (the sooner of the session's and
+    /// `options.limits.deadline`, the latter measured from this call)
+    /// starts *before* any work and is re-checked exactly once per
+    /// retained execution during the marking pass, so an expired
+    /// deadline aborts the snapshot promptly even on large histories.
+    pub fn model_in<S: MetricsSink>(
         &self,
-        sink: &mut S,
-        tracer: &Tracer,
+        session: &mut MineSession<S>,
     ) -> Result<MinedModel, MineError> {
+        let deadline = session.run_deadline(&self.options.limits);
+        let threads = session.threads;
+        let MineSession { sink, tracer, .. } = session;
+        let tracer: &Tracer = tracer;
         let _root = tracer.span_cat("mine.incremental", "miner");
         if self.execs.is_empty() {
             return Err(MineError::EmptyLog);
         }
+        deadline.check()?;
         let n = self.table.len();
         let vlog = VertexLog {
             n,
@@ -250,20 +261,20 @@ impl IncrementalMiner {
             &vlog,
             self.obs.clone(),
             self.options.noise_threshold,
-            self.options.limits.start_clock(),
+            deadline,
+            threads,
             sink,
             tracer,
         )?;
-        let _span = tracer.span_cat("assemble", "miner");
-        let started = stage_start::<S>();
-        let mut graph = graph_skeleton(&self.table);
-        let mut support = Vec::with_capacity(result.graph.edge_count());
-        for (u, v) in result.graph.edges() {
-            graph.add_edge(NodeId::new(u), NodeId::new(v));
-            support.push((u, v, result.counts[u * n + v]));
-        }
-        stage_end(sink, Stage::Assemble, started);
-        Ok(MinedModel::new(graph, support))
+        run_stage(Stage::Assemble, deadline, sink, tracer, |_, _| {
+            let mut graph = graph_skeleton(&self.table);
+            let mut support = Vec::with_capacity(result.graph.edge_count());
+            for (u, v) in result.graph.edges() {
+                graph.add_edge(NodeId::new(u), NodeId::new(v));
+                support.push((u, v, result.counts[u * n + v]));
+            }
+            Ok(MinedModel::new(graph, support))
+        })
     }
 }
 
@@ -271,6 +282,8 @@ impl IncrementalMiner {
 mod tests {
     use super::*;
     use crate::mine_general_dag;
+    use crate::Limits;
+    use std::time::Duration;
 
     #[test]
     fn matches_batch_miner() {
@@ -354,6 +367,61 @@ mod tests {
             Err(MineError::EmptyExecution { .. })
         ));
         assert!(matches!(inc.model(), Err(MineError::EmptyLog)));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_snapshot_promptly() {
+        // The snapshot deadline must start before any work and be
+        // honored between retained executions, so even a large history
+        // aborts on the first check rather than after a full pass.
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        for i in 0..200 {
+            let names: Vec<String> = (0..20).map(|a| format!("A{a}-{}", i % 3)).collect();
+            inc.absorb_sequence(&names).unwrap();
+        }
+        let mut session = MineSession::new().with_limits(Limits {
+            deadline: Some(Duration::ZERO),
+            ..Limits::default()
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        let err = inc.model_in(&mut session).unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::LimitExceeded {
+                kind: LimitKind::Deadline,
+                ..
+            }
+        ));
+
+        // An expired per-options deadline is honored the same way.
+        let mut tight = IncrementalMiner::new(MinerOptions::default().with_limits(Limits {
+            deadline: Some(Duration::ZERO),
+            ..Limits::default()
+        }));
+        tight.absorb_sequence(&["A", "B", "C"]).unwrap();
+        assert!(matches!(
+            tight.model(),
+            Err(MineError::LimitExceeded {
+                kind: LimitKind::Deadline,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn threaded_snapshot_matches_serial() {
+        let strings = ["ABCF", "ACDF", "ADEF", "AECF"];
+        let log = WorkflowLog::from_strings(strings).unwrap();
+        let mut inc = IncrementalMiner::new(MinerOptions::default());
+        inc.absorb_log(&log).unwrap();
+        let serial = inc.model().unwrap();
+        let mut session = MineSession::new().with_threads(4);
+        let threaded = inc.model_in(&mut session).unwrap();
+        let mut a = serial.edges_named();
+        let mut b = threaded.edges_named();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

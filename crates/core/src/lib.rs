@@ -28,6 +28,13 @@
 //! against Definitions 6–7, and [`follows`] exposes the underlying
 //! *follows* / *depends* relations (Definitions 3–5).
 //!
+//! Every miner also has a `*_in` form ([`mine_general_dag_in`] etc.)
+//! that runs inside a [`MineSession`] — the one place to configure
+//! metrics, tracing, resource limits, and the thread count for the
+//! parallelizable stages. See [`session`](MineSession) for the builder
+//! idiom; the old `*_instrumented` twins are deprecated shims in
+//! [`compat`].
+//!
 //! # Example
 //!
 //! ```
@@ -55,10 +62,12 @@ mod limits;
 mod miner;
 mod model;
 mod parallel;
+mod session;
 mod special_dag;
 
 pub mod baseline;
 pub mod bpmn;
+pub mod compat;
 pub mod conformance;
 pub mod follows;
 pub mod metrics;
@@ -67,14 +76,20 @@ pub mod splits;
 pub mod telemetry;
 pub mod trace;
 
-pub use cyclic::{mine_cyclic, mine_cyclic_instrumented};
+#[allow(deprecated)]
+pub use compat::{
+    mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
+    mine_general_dag_parallel_instrumented, mine_special_dag_instrumented,
+};
+pub use cyclic::{mine_cyclic, mine_cyclic_in};
 pub use error::MineError;
-pub use general_dag::{mine_general_dag, mine_general_dag_instrumented};
+pub use general_dag::{mine_general_dag, mine_general_dag_in};
 pub use incremental::IncrementalMiner;
 pub use limits::{LimitKind, Limits};
-pub use miner::{mine_auto, mine_auto_instrumented, Algorithm, MinerOptions};
+pub use miner::{mine_auto, mine_auto_in, Algorithm, MinerOptions};
 pub use model::MinedModel;
-pub use parallel::{mine_general_dag_parallel, mine_general_dag_parallel_instrumented};
-pub use special_dag::{mine_special_dag, mine_special_dag_instrumented};
+pub use parallel::mine_general_dag_parallel;
+pub use session::MineSession;
+pub use special_dag::{mine_special_dag, mine_special_dag_in};
 pub use telemetry::{ConformanceMetrics, MetricsSink, MinerMetrics, NullSink, Stage, WallStage};
 pub use trace::{SpanGuard, SpanRecord, TraceBuffer, Tracer};

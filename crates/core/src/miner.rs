@@ -1,10 +1,10 @@
 //! Miner configuration and automatic algorithm selection.
 
-use crate::cyclic::mine_cyclic_instrumented;
-use crate::general_dag::mine_general_dag_instrumented;
-use crate::special_dag::mine_special_dag_instrumented;
-use crate::telemetry::{MetricsSink, NullSink};
-use crate::trace::Tracer;
+use crate::cyclic::mine_cyclic_in;
+use crate::general_dag::mine_general_dag_in;
+use crate::session::MineSession;
+use crate::special_dag::mine_special_dag_in;
+use crate::telemetry::MetricsSink;
 use crate::{MineError, MinedModel};
 use procmine_log::WorkflowLog;
 
@@ -67,38 +67,39 @@ pub enum Algorithm {
 /// * otherwise → [`mine_general_dag`] (Algorithm 2).
 ///
 /// Returns the model together with the algorithm chosen.
+///
+/// [`mine_cyclic`]: crate::mine_cyclic
+/// [`mine_special_dag`]: crate::mine_special_dag
+/// [`mine_general_dag`]: crate::mine_general_dag
 pub fn mine_auto(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<(MinedModel, Algorithm), MineError> {
-    mine_auto_instrumented(log, options, &mut NullSink, &Tracer::disabled())
+    mine_auto_in(&mut MineSession::new(), log, options)
 }
 
-/// [`mine_auto`] with telemetry and tracing: the chosen algorithm's
-/// stage timings and counters are recorded into `sink` (see
-/// [`crate::telemetry`]), its spans into `tracer` (see [`crate::trace`]).
-pub fn mine_auto_instrumented<S: MetricsSink>(
+/// [`mine_auto`] inside a [`MineSession`]: the chosen algorithm's stage
+/// timings and counters are recorded into the session's sink, its spans
+/// into the session's tracer, and its heavy stages honor the session's
+/// thread count.
+pub fn mine_auto_in<S: MetricsSink>(
+    session: &mut MineSession<S>,
     log: &WorkflowLog,
     options: &MinerOptions,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> Result<(MinedModel, Algorithm), MineError> {
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
     if log.has_repeats() {
-        Ok((
-            mine_cyclic_instrumented(log, options, sink, tracer)?,
-            Algorithm::Cyclic,
-        ))
+        Ok((mine_cyclic_in(session, log, options)?, Algorithm::Cyclic))
     } else if log.every_activity_in_every_execution() {
         Ok((
-            mine_special_dag_instrumented(log, options, sink, tracer)?,
+            mine_special_dag_in(session, log, options)?,
             Algorithm::SpecialDag,
         ))
     } else {
         Ok((
-            mine_general_dag_instrumented(log, options, sink, tracer)?,
+            mine_general_dag_in(session, log, options)?,
             Algorithm::GeneralDag,
         ))
     }
@@ -127,6 +128,16 @@ mod tests {
         let log = WorkflowLog::from_strings(["ABDCE", "ABDCBCE"]).unwrap();
         let (_, alg) = mine_auto(&log, &MinerOptions::default()).unwrap();
         assert_eq!(alg, Algorithm::Cyclic);
+    }
+
+    #[test]
+    fn threaded_session_dispatches_identically() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+        let (serial, alg) = mine_auto(&log, &MinerOptions::default()).unwrap();
+        let mut session = MineSession::new().with_threads(4);
+        let (threaded, alg2) = mine_auto_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        assert_eq!(alg, alg2);
+        assert_eq!(serial.edges_named(), threaded.edges_named());
     }
 
     #[test]

@@ -1,8 +1,19 @@
-//! Parallel mining: Algorithm 2's two heavy passes — ordered-pair
-//! counting (step 2) and per-execution transitive-reduction marking
-//! (step 5) — are embarrassingly parallel over executions. This module
-//! runs them on scoped threads with per-thread accumulators merged at
-//! the barriers, producing results identical to the serial miner.
+//! Parallel execution strategies for the pipeline stages. Algorithm 2's
+//! two heavy passes — ordered-pair counting (step 2) and per-execution
+//! transitive-reduction marking (step 5) — are embarrassingly parallel
+//! over executions; this module fans them out over scoped threads with
+//! per-thread accumulators merged at the join barriers, reusing the
+//! serial per-execution bodies ([`count_one_execution`] /
+//! [`mark_one_execution`]) so there is exactly one implementation of
+//! each stage's work.
+//!
+//! A [`MineSession`](crate::MineSession) with `threads > 1` routes the
+//! counting and marking stages through [`parallel_count`] /
+//! [`parallel_mark`]; the SCC and global-transitive-reduction stages
+//! additionally switch to the graph crate's parallel algorithms once
+//! the vertex count reaches [`PARALLEL_GRAPH_MIN_VERTICES`]. The
+//! results are identical to the serial strategy for any thread count —
+//! counts merge by addition, marks by union, both order-independent.
 //!
 //! The paper's cost model has `m ≫ n`, so both passes are linear in the
 //! number of executions; at the Table 1 scale (10 000 executions) the
@@ -10,100 +21,95 @@
 //! binary).
 
 use crate::general_dag::{
-    count_one_execution, mark_one_execution, pair_observations, prune_graph, MarkScratch,
-    OrderObservations, VertexLog,
+    count_one_execution, mark_one_execution, pair_observations, MarkScratch, OrderObservations,
+    VertexLog,
 };
-use crate::model::graph_skeleton;
-use crate::telemetry::{
-    stage_end, stage_start, MetricsSink, MinerMetrics, NullSink, Stage, WallStage,
-};
+use crate::limits::Deadline;
+use crate::session::MineSession;
+use crate::telemetry::{stage_end, stage_start, MetricsSink, MinerMetrics, Stage, WallStage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
-use procmine_graph::{AdjMatrix, NodeId};
+use procmine_graph::AdjMatrix;
 use procmine_log::WorkflowLog;
 
+/// Vertex count below which the graph-level parallel algorithms
+/// (per-component SCC, row-parallel transitive reduction) are not worth
+/// their spawn overhead; smaller graphs keep the serial bodies even in
+/// a multi-threaded session.
+pub(crate) const PARALLEL_GRAPH_MIN_VERTICES: usize = 256;
+
 /// Parallel Algorithm 2: identical output to
-/// [`mine_general_dag`](crate::mine_general_dag), with steps 2 and 5
-/// fanned out over `threads` scoped threads.
-///
-/// `threads == 0` is treated as 1. The result is deterministic and
-/// equal to the serial miner's for any thread count (counts merge by
-/// addition, marks by union — both order-independent).
+/// [`mine_general_dag`](crate::mine_general_dag), with the heavy stages
+/// fanned out over `threads` scoped threads. Convenience wrapper for a
+/// default [`MineSession`](crate::MineSession) with
+/// [`with_threads`](crate::MineSession::with_threads) set;
+/// `threads == 0` is treated as 1.
 pub fn mine_general_dag_parallel(
     log: &WorkflowLog,
     options: &MinerOptions,
     threads: usize,
 ) -> Result<MinedModel, MineError> {
-    mine_general_dag_parallel_instrumented(
+    crate::general_dag::mine_general_dag_in(
+        &mut MineSession::new().with_threads(threads),
         log,
         options,
-        threads,
-        &mut NullSink,
-        &Tracer::disabled(),
     )
 }
 
-/// [`mine_general_dag_parallel`] with telemetry and tracing: each worker
-/// thread accumulates its own [`MinerMetrics`], merged into `sink` at
-/// the two join barriers (see [`crate::telemetry`]). Stage nanoseconds
-/// for the parallel passes therefore sum CPU time across threads; a
-/// [`WallStage`] timer around each barrier additionally records the
-/// elapsed wall time, so CPU-ns / wall-ns per stage is the parallel
-/// efficiency. The counters are identical to the serial miner's. Each
-/// worker additionally records a per-thread span into `tracer` (its own
-/// trace lane — see [`Tracer::worker`]), so a Chrome-trace view shows
-/// the fan-out/join shape directly.
-pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
-    log: &WorkflowLog,
-    options: &MinerOptions,
-    threads: usize,
+/// Merges per-worker results at a join barrier: every handle is joined
+/// even after an error so no worker outlives the scope; a worker panic
+/// is re-raised as-is, and the first worker error wins.
+fn join_workers<'scope, T, S: MetricsSink>(
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, Result<(T, MinerMetrics), MineError>>>,
     sink: &mut S,
-    tracer: &Tracer,
-) -> Result<MinedModel, MineError> {
-    let _root = tracer.span_cat("mine.parallel", "miner");
-    if log.is_empty() {
-        return Err(MineError::EmptyLog);
-    }
-    options.limits.check_log(log)?;
-    let deadline = options.limits.start_clock();
-    for exec in log.executions() {
-        deadline.check()?;
-        if exec.has_repeats() {
-            return Err(MineError::RepeatsRequireCyclicMiner {
-                execution: exec.id.clone(),
-            });
+    mut fold: impl FnMut(T),
+) -> Result<(), MineError> {
+    let mut first_err = None;
+    for h in handles {
+        let (local, lm) = match h.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+                continue;
+            }
+            Ok(Ok(parts)) => parts,
+        };
+        fold(local);
+        if S::ENABLED {
+            sink.record(|m| m.merge(&lm));
         }
     }
-    let threads = threads.max(1);
-    let n = log.activities().len();
-    let lower_span = tracer.span_cat("lower", "miner");
-    let started = stage_start::<S>();
-    let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
-    for e in log.executions() {
-        deadline.check()?;
-        execs.push(
-            e.instances()
-                .iter()
-                .map(|i| (i.activity.index(), i.start, i.end))
-                .collect(),
-        );
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    let vlog = VertexLog { n, execs: &execs };
-    stage_end(sink, Stage::Lower, started);
-    drop(lower_span);
+}
 
-    // Step 2 in parallel: per-thread count matrices, merged by addition.
-    // Each worker also fills a private MinerMetrics (the sink itself
-    // never crosses a thread boundary); the join merges them. Each
-    // worker likewise records its span into a private per-thread trace
-    // buffer, flushed into the tracer when the buffer drops at join.
-    let chunk = vlog.execs.len().div_ceil(threads);
-    let count_span = tracer.span_cat("count_pairs", "miner");
+/// The parallel [`Stage::CountPairs`] strategy: per-thread count
+/// matrices built by the serial [`count_one_execution`] body, merged by
+/// addition at the join barrier. Each worker accumulates its own
+/// [`MinerMetrics`] (the sink itself never crosses a thread boundary)
+/// and records its span into a private per-thread trace buffer (its own
+/// lane — see [`Tracer::worker`]), flushed at the join. A [`WallStage`]
+/// timer around the barrier records elapsed wall time, so CPU-ns /
+/// wall-ns per stage is the parallel efficiency.
+pub(crate) fn parallel_count<S: MetricsSink>(
+    vlog: &VertexLog<'_>,
+    threads: usize,
+    deadline: Deadline,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<OrderObservations, MineError> {
+    let _span = tracer.span_cat(Stage::CountPairs.span_name(), "miner");
+    deadline.check()?;
+    let n = vlog.n;
+    let chunk = vlog.execs.len().div_ceil(threads).max(1);
     let wall = WallStage::start::<S>(Stage::CountPairs);
-    let obs: OrderObservations = std::thread::scope(|scope| {
+    let mut total = OrderObservations::new(n);
+    std::thread::scope(|scope| {
         let handles: Vec<_> = vlog
             .execs
-            .chunks(chunk.max(1))
+            .chunks(chunk)
             .map(|execs| {
                 scope.spawn(
                     move || -> Result<(OrderObservations, MinerMetrics), MineError> {
@@ -126,49 +132,41 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
                 )
             })
             .collect();
-        let mut total = OrderObservations::new(n);
-        let mut first_err = None;
-        for h in handles {
-            // Every handle is joined even after an error so no worker
-            // outlives the scope; a worker panic is re-raised as-is.
-            let (local, lm) = match h.join() {
-                Err(payload) => std::panic::resume_unwind(payload),
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
-                    continue;
-                }
-                Ok(Ok(parts)) => parts,
-            };
+        join_workers(handles, sink, |local: OrderObservations| {
             for (t, l) in total.ordered.iter_mut().zip(local.ordered) {
                 *t += l;
             }
             for (t, l) in total.overlap.iter_mut().zip(local.overlap) {
                 *t += l;
             }
-            if S::ENABLED {
-                sink.record(|m| m.merge(&lm));
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(total),
-        }
+        })
     })?;
     wall.finish(sink);
-    drop(count_span);
+    Ok(total)
+}
 
-    // Steps 3–4 serial (cheap).
-    let mut g = prune_graph(n, &obs, options.noise_threshold, deadline, sink, tracer)?;
-    let counts = obs.ordered;
-
-    // Step 5 in parallel: per-thread marked matrices, merged by union.
-    let reduce_span = tracer.span_cat("transitive_reduction", "miner");
+/// The parallel [`Stage::Reduce`] strategy: per-thread marked matrices
+/// built by the serial [`mark_one_execution`] body, merged by union at
+/// the join barrier. Worker telemetry and tracing mirror
+/// [`parallel_count`].
+pub(crate) fn parallel_mark<S: MetricsSink>(
+    vlog: &VertexLog<'_>,
+    g: &AdjMatrix,
+    threads: usize,
+    deadline: Deadline,
+    sink: &mut S,
+    tracer: &Tracer,
+) -> Result<AdjMatrix, MineError> {
+    let _span = tracer.span_cat(Stage::Reduce.span_name(), "miner");
+    deadline.check()?;
+    let n = vlog.n;
+    let chunk = vlog.execs.len().div_ceil(threads).max(1);
     let wall = WallStage::start::<S>(Stage::Reduce);
-    let marked: AdjMatrix = std::thread::scope(|scope| {
-        let g_ref = &g;
+    let mut total = AdjMatrix::new(n);
+    std::thread::scope(|scope| {
         let handles: Vec<_> = vlog
             .execs
-            .chunks(chunk.max(1))
+            .chunks(chunk)
             .map(|execs| {
                 scope.spawn(move || -> Result<(AdjMatrix, MinerMetrics), MineError> {
                     let buf = tracer.worker();
@@ -178,7 +176,7 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
                     let mut scratch = MarkScratch::new();
                     for exec in execs {
                         deadline.check()?;
-                        mark_one_execution(g_ref, exec, &mut local, &mut scratch);
+                        mark_one_execution(g, exec, &mut local, &mut scratch);
                     }
                     let mut lm = MinerMetrics::new();
                     if S::ENABLED {
@@ -188,57 +186,14 @@ pub fn mine_general_dag_parallel_instrumented<S: MetricsSink>(
                 })
             })
             .collect();
-        let mut total = AdjMatrix::new(n);
-        let mut first_err = None;
-        for h in handles {
-            let (local, lm) = match h.join() {
-                Err(payload) => std::panic::resume_unwind(payload),
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
-                    continue;
-                }
-                Ok(Ok(parts)) => parts,
-            };
+        join_workers(handles, sink, |local: AdjMatrix| {
             for (u, v) in local.edges() {
                 total.add_edge(u, v);
             }
-            if S::ENABLED {
-                sink.record(|m| m.merge(&lm));
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(total),
-        }
+        })
     })?;
     wall.finish(sink);
-    drop(reduce_span);
-
-    // Step 6: drop edges no execution needed.
-    let unmarked: Vec<(usize, usize)> =
-        g.edges().filter(|&(u, v)| !marked.has_edge(u, v)).collect();
-    if S::ENABLED {
-        let dropped = unmarked.len() as u64;
-        sink.record(|m| m.edges_dropped_by_reduction += dropped);
-    }
-    for (u, v) in unmarked {
-        g.remove_edge(u, v);
-    }
-    if S::ENABLED {
-        let final_edges = g.edge_count() as u64;
-        sink.record(|m| m.edges_final += final_edges);
-    }
-
-    let _span = tracer.span_cat("assemble", "miner");
-    let started = stage_start::<S>();
-    let mut graph = graph_skeleton(log.activities());
-    let mut support = Vec::with_capacity(g.edge_count());
-    for (u, v) in g.edges() {
-        graph.add_edge(NodeId::new(u), NodeId::new(v));
-        support.push((u, v, counts[u * n + v]));
-    }
-    stage_end(sink, Stage::Assemble, started);
-    Ok(MinedModel::new(graph, support))
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -310,28 +265,21 @@ mod tests {
 
     #[test]
     fn merged_counters_equal_serial() {
-        use crate::general_dag::mine_general_dag_instrumented;
+        use crate::general_dag::mine_general_dag_in;
         use crate::telemetry::MinerMetrics;
         let strings = ["ABCF", "ACDF", "ADEF", "AECF", "ABCF", "ACDF"];
         let log = WorkflowLog::from_strings(strings).unwrap();
         let mut serial = MinerMetrics::new();
-        mine_general_dag_instrumented(
-            &log,
-            &MinerOptions::default(),
-            &mut serial,
-            &Tracer::disabled(),
-        )
-        .unwrap();
+        let mut session = MineSession::new().with_sink(&mut serial);
+        mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        drop(session);
         for threads in [1, 2, 3, 8, 64] {
             let mut parallel = MinerMetrics::new();
-            mine_general_dag_parallel_instrumented(
-                &log,
-                &MinerOptions::default(),
-                threads,
-                &mut parallel,
-                &Tracer::disabled(),
-            )
-            .unwrap();
+            let mut session = MineSession::new()
+                .with_threads(threads)
+                .with_sink(&mut parallel);
+            mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+            drop(session);
             assert_eq!(
                 serial.counters(),
                 parallel.counters(),
@@ -342,6 +290,7 @@ mod tests {
 
     #[test]
     fn wall_timers_cover_only_the_barrier_stages() {
+        use crate::general_dag::mine_general_dag_in;
         use procmine_sim::{randdag, walk};
         use rand::rngs::StdRng;
         use rand::SeedableRng;
@@ -356,20 +305,16 @@ mod tests {
         .unwrap();
         let log = walk::random_walk_log(&model, 400, &mut rng).unwrap();
         let mut m = MinerMetrics::new();
-        mine_general_dag_parallel_instrumented(
-            &log,
-            &MinerOptions::default(),
-            2,
-            &mut m,
-            &Tracer::disabled(),
-        )
-        .unwrap();
+        let mut session = MineSession::new().with_threads(2).with_sink(&mut m);
+        mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        drop(session);
         // The two fan-out/join barriers record wall time; serial stages
         // have no barrier and stay at zero wall.
         assert!(m.wall_nanos(Stage::CountPairs) > 0);
         assert!(m.wall_nanos(Stage::Reduce) > 0);
         assert_eq!(m.wall_nanos(Stage::Lower), 0);
         assert_eq!(m.wall_nanos(Stage::Prune), 0);
+        assert_eq!(m.wall_nanos(Stage::SccRemoval), 0);
         assert_eq!(m.wall_nanos(Stage::Assemble), 0);
     }
 

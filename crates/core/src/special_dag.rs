@@ -14,10 +14,13 @@
 
 use crate::limits::Deadline;
 use crate::model::graph_skeleton;
-use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
+use crate::session::{run_stage, MineSession};
+use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
-use procmine_graph::reduction::transitive_reduction_matrix_budgeted;
+use procmine_graph::reduction::{
+    transitive_reduction_matrix_budgeted, transitive_reduction_matrix_parallel_budgeted,
+};
 use procmine_graph::{AdjMatrix, GraphError, NodeId};
 use procmine_log::WorkflowLog;
 
@@ -38,26 +41,35 @@ pub fn mine_special_dag(
     log: &WorkflowLog,
     options: &MinerOptions,
 ) -> Result<MinedModel, MineError> {
-    mine_special_dag_instrumented(log, options, &mut NullSink, &Tracer::disabled())
+    mine_special_dag_in(&mut MineSession::new(), log, options)
 }
 
-/// [`mine_special_dag`] with telemetry and tracing: stage timings and
-/// counters are recorded into `sink` (see [`crate::telemetry`]), spans
-/// into `tracer` (see [`crate::trace`]). Algorithm 1 lowers while
-/// counting, so [`Stage::Lower`] stays zero and its global transitive
-/// reduction is timed as [`Stage::Reduce`].
-pub fn mine_special_dag_instrumented<S: MetricsSink>(
+/// [`mine_special_dag`] inside a [`MineSession`]: stage timings and
+/// counters are recorded into the session's sink, spans into its
+/// tracer. Algorithm 1 lowers while counting, so [`Stage::Lower`] stays
+/// zero and its global transitive reduction is timed as
+/// [`Stage::Reduce`]; with `threads > 1` and a large activity universe
+/// the reduction runs row-parallel.
+pub fn mine_special_dag_in<S: MetricsSink>(
+    session: &mut MineSession<S>,
     log: &WorkflowLog,
     options: &MinerOptions,
-    sink: &mut S,
-    tracer: &Tracer,
 ) -> Result<MinedModel, MineError> {
+    let deadline = session.run_deadline(&options.limits);
+    let threads = session.threads;
+    let MineSession {
+        sink,
+        tracer,
+        limits,
+        ..
+    } = session;
+    let tracer: &Tracer = tracer;
     let _root = tracer.span_cat("mine.special", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
     }
+    limits.check_log(log)?;
     options.limits.check_log(log)?;
-    let deadline = options.limits.start_clock();
     let n = log.activities().len();
     for exec in log.executions() {
         deadline.check()?;
@@ -77,94 +89,96 @@ pub fn mine_special_dag_instrumented<S: MetricsSink>(
     // occurs once per execution, so each execution contributes at most
     // 1 per pair. An overlap is independence evidence (§2) and prunes
     // the pair like a two-cycle.
-    let count_span = tracer.span_cat("count_pairs", "miner");
-    let started = stage_start::<S>();
-    let mut obs = crate::general_dag::OrderObservations::new(n);
-    for exec in log.executions() {
-        deadline.check()?;
-        let lowered: Vec<(usize, u64, u64)> = exec
-            .instances()
-            .iter()
-            .map(|i| (i.activity.index(), i.start, i.end))
-            .collect();
-        crate::general_dag::count_one_execution(n, &lowered, &mut obs);
-    }
-    if S::ENABLED {
-        let scanned = log.len() as u64;
-        // Every execution contains all n activities exactly once.
-        let pairs = scanned * (n as u64 * (n as u64).saturating_sub(1) / 2);
-        sink.record(|m| {
-            m.executions_scanned += scanned;
-            m.pairs_counted += pairs;
-        });
-    }
-    stage_end(sink, Stage::CountPairs, started);
-    drop(count_span);
+    let obs = run_stage(Stage::CountPairs, deadline, sink, tracer, |sink, _| {
+        let mut obs = crate::general_dag::OrderObservations::new(n);
+        for exec in log.executions() {
+            deadline.check()?;
+            let lowered: Vec<(usize, u64, u64)> = exec
+                .instances()
+                .iter()
+                .map(|i| (i.activity.index(), i.start, i.end))
+                .collect();
+            crate::general_dag::count_one_execution(n, &lowered, &mut obs);
+        }
+        if S::ENABLED {
+            let scanned = log.len() as u64;
+            // Every execution contains all n activities exactly once.
+            let pairs = scanned * (n as u64 * (n as u64).saturating_sub(1) / 2);
+            sink.record(|m| {
+                m.executions_scanned += scanned;
+                m.pairs_counted += pairs;
+            });
+        }
+        Ok(obs)
+    })?;
     let counts = obs.ordered.clone();
 
     // Threshold (T = 1 keeps everything) and step 3: drop two-cycles.
-    let prune_span = tracer.span_cat("prune", "miner");
-    let started = stage_start::<S>();
-    if S::ENABLED {
-        let before = (0..n * n)
-            .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
-            .count() as u64;
-        sink.record(|m| m.edges_before_threshold += before);
-    }
-    let mut m = AdjMatrix::new(n);
-    for u in 0..n {
-        deadline.check()?;
-        for v in 0..n {
-            if u != v
-                && obs.ordered[u * n + v] >= options.noise_threshold
-                && obs.overlap[u * n + v] < options.noise_threshold
-            {
-                m.add_edge(u, v);
+    let m = run_stage(Stage::Prune, deadline, sink, tracer, |sink, _| {
+        if S::ENABLED {
+            let before = (0..n * n)
+                .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
+                .count() as u64;
+            sink.record(|m| m.edges_before_threshold += before);
+        }
+        let mut m = AdjMatrix::new(n);
+        for u in 0..n {
+            deadline.check()?;
+            for v in 0..n {
+                if u != v
+                    && obs.ordered[u * n + v] >= options.noise_threshold
+                    && obs.overlap[u * n + v] < options.noise_threshold
+                {
+                    m.add_edge(u, v);
+                }
             }
         }
-    }
-    let thresholded = m.edge_count();
-    m.remove_two_cycles();
-    if S::ENABLED {
-        let dissolved = ((thresholded - m.edge_count()) / 2) as u64;
-        sink.record(|met| {
-            met.edges_after_threshold += thresholded as u64;
-            met.two_cycles_dissolved += dissolved;
-        });
-    }
-    stage_end(sink, Stage::Prune, started);
-    drop(prune_span);
+        let thresholded = m.edge_count();
+        m.remove_two_cycles();
+        if S::ENABLED {
+            let dissolved = ((thresholded - m.edge_count()) / 2) as u64;
+            sink.record(|met| {
+                met.edges_after_threshold += thresholded as u64;
+                met.two_cycles_dissolved += dissolved;
+            });
+        }
+        Ok(m)
+    })?;
 
     // Step 4: transitive reduction (unique for a DAG), under the
-    // deadline's wall-clock budget.
-    let reduce_span = tracer.span_cat("transitive_reduction", "miner");
-    let started = stage_start::<S>();
-    let reduced =
-        transitive_reduction_matrix_budgeted(&m, &deadline.budget()).map_err(|e| match e {
+    // deadline's wall-clock budget; row-parallel for large graphs in a
+    // multi-threaded session.
+    let reduced = run_stage(Stage::Reduce, deadline, sink, tracer, |sink, _| {
+        let budget = deadline.budget();
+        let reduced = if threads > 1 && n >= crate::parallel::PARALLEL_GRAPH_MIN_VERTICES {
+            transitive_reduction_matrix_parallel_budgeted(&m, threads, &budget)
+        } else {
+            transitive_reduction_matrix_budgeted(&m, &budget)
+        }
+        .map_err(|e| match e {
             GraphError::BudgetExhausted => Deadline::exceeded_in("transitive reduction"),
             _ => MineError::UnexpectedCycle,
         })?;
-    if S::ENABLED {
-        let dropped = (m.edge_count() - reduced.edge_count()) as u64;
-        let final_edges = reduced.edge_count() as u64;
-        sink.record(|met| {
-            met.edges_dropped_by_reduction += dropped;
-            met.edges_final += final_edges;
-        });
-    }
-    stage_end(sink, Stage::Reduce, started);
-    drop(reduce_span);
+        if S::ENABLED {
+            let dropped = (m.edge_count() - reduced.edge_count()) as u64;
+            let final_edges = reduced.edge_count() as u64;
+            sink.record(|met| {
+                met.edges_dropped_by_reduction += dropped;
+                met.edges_final += final_edges;
+            });
+        }
+        Ok(reduced)
+    })?;
 
-    let _span = tracer.span_cat("assemble", "miner");
-    let started = stage_start::<S>();
-    let mut graph = graph_skeleton(log.activities());
-    let mut support = Vec::with_capacity(reduced.edge_count());
-    for (u, v) in reduced.edges() {
-        graph.add_edge(NodeId::new(u), NodeId::new(v));
-        support.push((u, v, counts[u * n + v]));
-    }
-    stage_end(sink, Stage::Assemble, started);
-    Ok(MinedModel::new(graph, support))
+    run_stage(Stage::Assemble, deadline, sink, tracer, |_, _| {
+        let mut graph = graph_skeleton(log.activities());
+        let mut support = Vec::with_capacity(reduced.edge_count());
+        for (u, v) in reduced.edges() {
+            graph.add_edge(NodeId::new(u), NodeId::new(v));
+            support.push((u, v, counts[u * n + v]));
+        }
+        Ok(MinedModel::new(graph, support))
+    })
 }
 
 #[cfg(test)]
@@ -249,6 +263,16 @@ mod tests {
             mine_special_dag(&log, &MinerOptions::default()),
             Err(MineError::RepeatsRequireCyclicMiner { .. })
         ));
+    }
+
+    #[test]
+    fn threaded_session_matches_serial() {
+        let strings = ["ABCDE", "ACDBE", "ACBDE"];
+        let log = WorkflowLog::from_strings(strings).unwrap();
+        let serial = mine_special_dag(&log, &MinerOptions::default()).unwrap();
+        let mut session = MineSession::new().with_threads(4);
+        let threaded = mine_special_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        assert_eq!(serial.edges_named(), threaded.edges_named());
     }
 
     #[test]

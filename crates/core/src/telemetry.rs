@@ -2,11 +2,13 @@
 //! miners and the conformance checker, behind a sink trait that is
 //! zero-cost when disabled.
 //!
-//! Every miner has an `*_instrumented` twin taking a
-//! [`MetricsSink`]. The plain entry points pass [`NullSink`], whose
-//! `ENABLED = false` constant lets the instrumentation monomorphize
-//! away entirely — the hot loops compile to the same code as before the
-//! telemetry layer existed. Passing a [`MinerMetrics`] collects:
+//! Every miner has a `*_in` form running inside a
+//! [`MineSession`](crate::MineSession), whose [`MetricsSink`] receives
+//! the measurements. The plain entry points use a default session
+//! carrying [`NullSink`], whose `ENABLED = false` constant lets the
+//! instrumentation monomorphize away entirely — the hot loops compile
+//! to the same code as before the telemetry layer existed. A session
+//! built `with_sink(&mut MinerMetrics)` collects:
 //!
 //! * per-thread CPU nanoseconds per pipeline [`Stage`] (summed across
 //!   threads in the parallel miner);
@@ -35,7 +37,7 @@
 use std::fmt;
 use std::time::Instant;
 
-/// The pipeline stages timed by the instrumented miners.
+/// The pipeline stages timed by the session-based miners.
 ///
 /// Not every algorithm exercises every stage: Algorithm 1 has no
 /// separate lowering pass (it lowers while counting) and no marking
@@ -49,9 +51,11 @@ pub enum Stage {
     /// Step 2: scanning executions and counting ordered/overlapping
     /// pairs.
     CountPairs,
-    /// Steps 3–4: noise thresholding, two-cycle removal, and SCC
-    /// dissolution.
+    /// Step 3: noise thresholding and two-cycle removal.
     Prune,
+    /// Step 4: dissolving strongly connected components (general and
+    /// cyclic miners only; Algorithm 1 never forms cycles).
+    SccRemoval,
     /// Transitive reduction: the per-execution marking pass of steps
     /// 5–6 (Algorithms 2–3) or the global reduction of Algorithm 1.
     Reduce,
@@ -61,13 +65,14 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (size of the timer array).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All stages, in reporting order.
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Lower,
         Stage::CountPairs,
         Stage::Prune,
+        Stage::SccRemoval,
         Stage::Reduce,
         Stage::Assemble,
     ];
@@ -78,8 +83,20 @@ impl Stage {
             Stage::Lower => "lower",
             Stage::CountPairs => "count_pairs",
             Stage::Prune => "prune",
+            Stage::SccRemoval => "scc_removal",
             Stage::Reduce => "reduce",
             Stage::Assemble => "assemble",
+        }
+    }
+
+    /// The trace-span name for this stage (see [`crate::trace`]). This
+    /// differs from [`name`](Self::name) only for [`Stage::Reduce`],
+    /// whose span has always been called `transitive_reduction` while
+    /// its JSON key stays `reduce`.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Reduce => "transitive_reduction",
+            other => other.name(),
         }
     }
 }
@@ -316,6 +333,18 @@ impl<M> MetricsSink<M> for NullSink {
     fn record(&mut self, _update: impl FnOnce(&mut M)) {}
 }
 
+/// A mutable reference to a sink is itself a sink, so a
+/// [`MineSession`](crate::MineSession) can borrow caller-owned metrics
+/// (`session.with_sink(&mut metrics)`) without taking ownership.
+impl<M, S: MetricsSink<M>> MetricsSink<M> for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, update: impl FnOnce(&mut M)) {
+        (**self).record(update);
+    }
+}
+
 impl MetricsSink for MinerMetrics {
     const ENABLED: bool = true;
 
@@ -542,6 +571,7 @@ mod tests {
         m.add_stage_nanos(Stage::Lower, 10);
         m.add_stage_nanos(Stage::CountPairs, 20);
         m.add_stage_nanos(Stage::Prune, 30);
+        m.add_stage_nanos(Stage::SccRemoval, 35);
         m.add_stage_nanos(Stage::Reduce, 40);
         m.add_stage_nanos(Stage::Assemble, 50);
         m.add_wall_nanos(Stage::CountPairs, 11);
@@ -576,12 +606,14 @@ mod tests {
              \"lower\":10,\
              \"count_pairs\":20,\
              \"prune\":30,\
+             \"scc_removal\":35,\
              \"reduce\":40,\
              \"assemble\":50},\
              \"stages_wall_ns\":{\
              \"lower\":0,\
              \"count_pairs\":11,\
              \"prune\":0,\
+             \"scc_removal\":0,\
              \"reduce\":12,\
              \"assemble\":0}}"
         );

@@ -28,7 +28,7 @@
 
 use std::cell::RefCell;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -51,16 +51,63 @@ pub struct SpanRecord {
 #[derive(Debug)]
 struct Shared {
     epoch: Instant,
-    spans: Mutex<Vec<SpanRecord>>,
+    spans: Mutex<SpanStore>,
     next_tid: AtomicU32,
+    /// Maximum retained spans ([`Tracer::with_capacity`]); `None` grows
+    /// without bound.
+    capacity: Option<usize>,
+    /// Spans evicted (or refused) because the ring was full.
+    dropped: AtomicU64,
+}
+
+/// The retained spans, as a ring once `capacity` is reached: `next` is
+/// the slot the oldest span occupies (and the next overwrite target).
+#[derive(Debug, Default)]
+struct SpanStore {
+    spans: Vec<SpanRecord>,
+    next: usize,
+}
+
+impl SpanStore {
+    fn insert(&mut self, record: SpanRecord, capacity: Option<usize>, dropped: &AtomicU64) {
+        match capacity {
+            Some(0) => {
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(cap) if self.spans.len() >= cap => {
+                self.spans[self.next] = record;
+                self.next = (self.next + 1) % cap;
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => self.spans.push(record),
+        }
+    }
+
+    /// The retained spans in insertion order (oldest first).
+    fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.next..]);
+        out.extend_from_slice(&self.spans[..self.next]);
+        out
+    }
 }
 
 impl Shared {
     fn push(&self, record: SpanRecord) {
         // A poisoned mutex means another thread panicked mid-push;
         // dropping this span beats propagating the panic.
-        if let Ok(mut spans) = self.spans.lock() {
-            spans.push(record);
+        if let Ok(mut store) = self.spans.lock() {
+            store.insert(record, self.capacity, &self.dropped);
+        }
+    }
+
+    /// Bulk insert under one lock acquisition (the [`TraceBuffer`]
+    /// flush path).
+    fn extend(&self, records: impl IntoIterator<Item = SpanRecord>) {
+        if let Ok(mut store) = self.spans.lock() {
+            for record in records {
+                store.insert(record, self.capacity, &self.dropped);
+            }
         }
     }
 }
@@ -75,13 +122,38 @@ pub struct Tracer {
 impl Tracer {
     /// An enabled tracer; the construction instant is timestamp zero.
     pub fn new() -> Tracer {
+        Tracer::with_store(None)
+    }
+
+    /// An enabled tracer retaining at most `capacity` spans: once full
+    /// it behaves as a ring buffer, evicting the oldest span for each
+    /// new one, so very long traced runs cannot grow memory without
+    /// bound. The evicted-span count is reported by
+    /// [`dropped_spans`](Self::dropped_spans) and recorded in the
+    /// Chrome export metadata.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer::with_store(Some(capacity))
+    }
+
+    fn with_store(capacity: Option<usize>) -> Tracer {
         Tracer {
             shared: Some(Arc::new(Shared {
                 epoch: Instant::now(),
-                spans: Mutex::new(Vec::new()),
+                spans: Mutex::new(SpanStore::default()),
                 next_tid: AtomicU32::new(1),
+                capacity,
+                dropped: AtomicU64::new(0),
             })),
         }
+    }
+
+    /// Spans evicted (or refused) by the ring buffer of
+    /// [`with_capacity`](Self::with_capacity); always zero for an
+    /// unbounded or disabled tracer.
+    pub fn dropped_spans(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
     }
 
     /// The no-op tracer: spans opened against it are never timed or
@@ -135,13 +207,14 @@ impl Tracer {
         }
     }
 
-    /// Snapshot of every span recorded so far (flushed buffers only).
+    /// Snapshot of every retained span recorded so far (flushed buffers
+    /// only), oldest first.
     pub fn records(&self) -> Vec<SpanRecord> {
         match &self.shared {
             Some(shared) => shared
                 .spans
                 .lock()
-                .map(|spans| spans.clone())
+                .map(|store| store.snapshot())
                 .unwrap_or_default(),
             None => Vec::new(),
         }
@@ -195,7 +268,11 @@ impl Tracer {
                 r.dur_ns as f64 / 1000.0,
             )?;
         }
-        writeln!(w, "\n]}}")
+        writeln!(
+            w,
+            "\n],\"metadata\":{{\"dropped_spans\":{}}}}}",
+            self.dropped_spans()
+        )
     }
 }
 
@@ -260,9 +337,7 @@ impl Drop for TraceBuffer {
         if let Some(shared) = &self.shared {
             let spans = std::mem::take(&mut *self.spans.borrow_mut());
             if !spans.is_empty() {
-                if let Ok(mut all) = shared.spans.lock() {
-                    all.extend(spans);
-                }
+                shared.extend(spans);
             }
         }
     }
@@ -390,6 +465,62 @@ mod tests {
         assert!(json.contains("\"name\":\"chunk\""));
         assert!(json.contains("\"thread_name\""));
         assert!(json.contains("worker-1"));
+    }
+
+    #[test]
+    fn bounded_tracer_keeps_most_recent_spans() {
+        let tracer = Tracer::with_capacity(3);
+        for name in ["s1", "s2", "s3", "s4", "s5"] {
+            let _s = tracer.span(name);
+        }
+        let names: Vec<&str> = tracer.records().iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["s3", "s4", "s5"], "oldest spans evicted first");
+        assert_eq!(tracer.dropped_spans(), 2);
+        // Before the ring fills, nothing is dropped.
+        let fresh = Tracer::with_capacity(8);
+        {
+            let _s = fresh.span("only");
+        }
+        assert_eq!(fresh.dropped_spans(), 0);
+        assert_eq!(fresh.records().len(), 1);
+    }
+
+    #[test]
+    fn bounded_tracer_applies_to_worker_flushes() {
+        let tracer = Tracer::with_capacity(2);
+        let buf = tracer.worker();
+        for name in ["w1", "w2", "w3"] {
+            let _s = buf.span(name);
+        }
+        drop(buf);
+        let names: Vec<&str> = tracer.records().iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["w2", "w3"]);
+        assert_eq!(tracer.dropped_spans(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let tracer = Tracer::with_capacity(0);
+        {
+            let _s = tracer.span("gone");
+        }
+        assert!(tracer.records().is_empty());
+        assert_eq!(tracer.dropped_spans(), 1);
+    }
+
+    #[test]
+    fn chrome_metadata_reports_dropped_spans() {
+        let tracer = Tracer::with_capacity(1);
+        for name in ["a", "b", "c"] {
+            let _s = tracer.span(name);
+        }
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"dropped_spans\":2"), "{json}");
+        // Unbounded tracers report zero, and the field is always there.
+        let unbounded = Tracer::new();
+        assert!(unbounded.to_chrome_json().contains("\"dropped_spans\":0"));
+        assert_eq!(unbounded.dropped_spans(), 0);
+        assert_eq!(Tracer::disabled().dropped_spans(), 0);
     }
 
     #[test]

@@ -96,6 +96,134 @@ pub fn transitive_reduction_matrix_budgeted(
     Ok(reduced)
 }
 
+/// [`transitive_reduction_matrix_budgeted`] fanned out over `threads`
+/// scoped threads.
+///
+/// The serial algorithm's reverse-topological descent is a sequential
+/// dependency chain, so the parallel strategy restructures the work
+/// into two row-parallel passes with a barrier between them:
+///
+/// 1. **descendants** — each vertex's descendant bitset is computed by
+///    an independent frontier BFS over the adjacency rows (no
+///    cross-vertex data dependency, so rows split freely across
+///    threads); every reached vertex contributes one word-parallel row
+///    union, matching the serial DP's per-successor union cost;
+/// 2. **redundancy** — per row `v`, an edge `(v, s)` is redundant iff
+///    `s` lies in the union of the descendants of `v`'s successors
+///    (Lemma 7 verbatim, now with fully-computed descendant sets).
+///
+/// A DAG's transitive reduction is unique, so the result equals the
+/// serial algorithm's for any thread count. Cycle detection reuses the
+/// budgeted Kahn pass up front; each worker re-checks `budget` once
+/// per row. `threads <= 1` falls back to the serial algorithm.
+pub fn transitive_reduction_matrix_parallel_budgeted(
+    m: &AdjMatrix,
+    threads: usize,
+    budget: &Budget,
+) -> Result<AdjMatrix, GraphError> {
+    if threads <= 1 {
+        return transitive_reduction_matrix_budgeted(m, budget);
+    }
+    // Cycle check (a cyclic graph has no unique reduction) and the
+    // first budget gate.
+    topo_order_matrix_budgeted(m, budget)?;
+    let n = m.node_count();
+    let chunk = n.div_ceil(threads).max(1);
+
+    // Pass 1: per-vertex descendant sets by independent DFS.
+    let desc: Vec<BitSet> = {
+        let parts: Vec<Result<Vec<BitSet>, GraphError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|lo| {
+                    let hi = (lo + chunk).min(n);
+                    scope.spawn(move || {
+                        let mut rows = Vec::with_capacity(hi - lo);
+                        let mut frontier = BitSet::new(n);
+                        let mut next = BitSet::new(n);
+                        for v in lo..hi {
+                            budget.check()?;
+                            let mut dv = BitSet::new(n);
+                            frontier.clear();
+                            frontier.union_with(m.row(v));
+                            // Wave-front reachability: each vertex joins
+                            // the frontier at most once, paying one row
+                            // union when it is expanded.
+                            while frontier.count() > 0 {
+                                dv.union_with(&frontier);
+                                next.clear();
+                                for u in frontier.iter() {
+                                    next.union_with(m.row(u));
+                                }
+                                next.difference_with(&dv);
+                                std::mem::swap(&mut frontier, &mut next);
+                            }
+                            rows.push(dv);
+                        }
+                        Ok(rows)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        let mut desc = Vec::with_capacity(n);
+        for part in parts {
+            desc.extend(part?);
+        }
+        desc
+    };
+
+    // Pass 2: row-parallel redundancy — drop (v, s) when another
+    // successor of v already reaches s.
+    let desc = &desc;
+    let removals: Vec<Result<Vec<(usize, usize)>, GraphError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(n);
+                scope.spawn(move || {
+                    let mut redundant = Vec::new();
+                    let mut dv = BitSet::new(n);
+                    for v in lo..hi {
+                        budget.check()?;
+                        dv.clear();
+                        for s in m.successors(v) {
+                            dv.union_with(&desc[s]);
+                        }
+                        for s in m.successors(v) {
+                            if dv.contains(s) {
+                                redundant.push((v, s));
+                            }
+                        }
+                    }
+                    Ok(redundant)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut reduced = m.clone();
+    for part in removals {
+        for (v, s) in part? {
+            reduced.remove_edge(v, s);
+        }
+    }
+    Ok(reduced)
+}
+
 /// Kahn's algorithm directly on an [`AdjMatrix`], under a [`Budget`]:
 /// checked once per row while counting in-degrees and every 64 dequeued
 /// vertices thereafter. Avoids materializing an intermediate
@@ -338,5 +466,73 @@ mod tests {
         assert_eq!(transitive_reduction_dag(&g).unwrap().edge_count(), 0);
         let g = DiGraph::from_edges(vec![(); 3], std::iter::empty());
         assert_eq!(transitive_reduction_dag(&g).unwrap().edge_count(), 0);
+    }
+
+    /// A layered DAG with shortcut edges: `layers` layers of `width`
+    /// vertices, every vertex wired to the whole next layer plus a
+    /// shortcut two layers ahead (all redundant).
+    fn layered_dag(layers: usize, width: usize) -> AdjMatrix {
+        let n = layers * width;
+        let mut m = AdjMatrix::new(n);
+        for l in 0..layers - 1 {
+            for i in 0..width {
+                for j in 0..width {
+                    m.add_edge(l * width + i, (l + 1) * width + j);
+                }
+                if l + 2 < layers {
+                    m.add_edge(l * width + i, (l + 2) * width + i);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let m = layered_dag(6, 7);
+        let serial = transitive_reduction_matrix(&m).unwrap();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let parallel =
+                transitive_reduction_matrix_parallel_budgeted(&m, threads, &Budget::unlimited())
+                    .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_cycles() {
+        let g = DiGraph::from_edges(vec![(); 3], [(0, 1), (1, 2), (2, 0)]);
+        let m = AdjMatrix::from_digraph(&g);
+        assert!(matches!(
+            transitive_reduction_matrix_parallel_budgeted(&m, 4, &Budget::unlimited()),
+            Err(GraphError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_expired_budget_aborts() {
+        use std::time::{Duration, Instant};
+        let m = layered_dag(4, 4);
+        let budget = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            transitive_reduction_matrix_parallel_budgeted(&m, 4, &budget),
+            Err(GraphError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn parallel_handles_empty_and_tiny_graphs() {
+        let empty = AdjMatrix::new(0);
+        assert_eq!(
+            transitive_reduction_matrix_parallel_budgeted(&empty, 4, &Budget::unlimited())
+                .unwrap()
+                .edge_count(),
+            0
+        );
+        let mut two = AdjMatrix::new(2);
+        two.add_edge(0, 1);
+        let reduced =
+            transitive_reduction_matrix_parallel_budgeted(&two, 8, &Budget::unlimited()).unwrap();
+        assert!(reduced.has_edge(0, 1));
     }
 }

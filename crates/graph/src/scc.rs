@@ -60,7 +60,7 @@ impl SccDecomposition {
 /// Tarjan algorithm (explicit stack — no recursion, so deep graphs cannot
 /// overflow the call stack).
 pub fn tarjan_scc<N>(g: &DiGraph<N>) -> SccDecomposition {
-    match tarjan_impl::<N, std::convert::Infallible>(g, || Ok(())) {
+    match tarjan_impl::<N, std::convert::Infallible>(g, 0..g.node_count(), || Ok(())) {
         Ok(sccs) => sccs,
         Err(never) => match never {},
     }
@@ -75,7 +75,7 @@ pub fn tarjan_scc_budgeted<N>(
     budget: &Budget,
 ) -> Result<SccDecomposition, GraphError> {
     let mut ticks = 0u32;
-    tarjan_impl(g, move || {
+    tarjan_impl(g, 0..g.node_count(), move || {
         ticks = ticks.wrapping_add(1);
         if ticks & 0x3FF == 0 {
             budget.check()
@@ -85,11 +85,153 @@ pub fn tarjan_scc_budgeted<N>(
     })
 }
 
-/// The iterative Tarjan core, generic over a periodic interrupt check.
-/// With an infallible check (`E = Infallible`) the error path
-/// monomorphizes away.
+/// [`tarjan_scc_budgeted`] fanned out over `threads` scoped threads.
+///
+/// The graph is first split into weakly connected components (a cheap
+/// union-find over the edge list); Tarjan then runs per weak component,
+/// with the components packed onto threads largest-first. Strong
+/// components never span weak ones, so the merged decomposition has
+/// exactly the serial algorithm's components and membership — only the
+/// component *numbering* may differ, and the numbering stays
+/// reverse-topological within each weak component (the property the
+/// miners rely on is [`SccDecomposition::same_component`], which is
+/// numbering-independent).
+///
+/// The fan-out pays off on graphs with many weak components — e.g. the
+/// instance-labeled vertex graphs of the cyclic miner, or followings
+/// graphs of logs with disconnected sub-processes. A graph that is one
+/// weak component (or `threads <= 1`) falls back to the serial budgeted
+/// run. Each worker checks `budget` on the serial cadence; the first
+/// error wins. Deterministic for any thread count.
+pub fn tarjan_scc_parallel_budgeted<N: Sync>(
+    g: &DiGraph<N>,
+    threads: usize,
+    budget: &Budget,
+) -> Result<SccDecomposition, GraphError> {
+    let n = g.node_count();
+    // Bail before paying for the union-find partition when there is
+    // nothing to fan out over.
+    if threads <= 1 {
+        return tarjan_scc_budgeted(g, budget);
+    }
+    let wccs = weak_components(g);
+    if wccs.len() <= 1 {
+        return tarjan_scc_budgeted(g, budget);
+    }
+    budget.check()?;
+
+    // Pack weak components onto min(threads, #wcc) buckets, largest
+    // first onto the least-loaded bucket (LPT). Ties break by position,
+    // so the packing — and hence the merged numbering — is
+    // deterministic.
+    let buckets = packed_buckets(&wccs, threads.min(wccs.len()));
+
+    let wccs = &wccs;
+    let parts: Vec<Result<SccDecomposition, GraphError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    let roots = bucket
+                        .iter()
+                        .flat_map(|&c| wccs[c].iter().copied())
+                        .collect::<Vec<usize>>();
+                    let mut ticks = 0u32;
+                    tarjan_impl(g, roots, move || {
+                        ticks = ticks.wrapping_add(1);
+                        if ticks & 0x3FF == 0 {
+                            budget.check()
+                        } else {
+                            Ok(())
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    // Merge in bucket order: re-number each part's components after the
+    // ones already merged. Unvisited slots of a part belong to other
+    // buckets.
+    let mut component = vec![usize::MAX; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    for part in parts {
+        let part = part?;
+        let offset = members.len();
+        for (ci, comp) in part.members.into_iter().enumerate() {
+            for &v in &comp {
+                component[v.index()] = offset + ci;
+            }
+            members.push(comp);
+        }
+    }
+    Ok(SccDecomposition { component, members })
+}
+
+/// Weakly connected components by union-find (path-halving) over the
+/// edge list, returned as node lists in increasing first-node order.
+fn weak_components<N>(g: &DiGraph<N>) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u.index());
+        let rv = find(&mut parent, v.index());
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+    }
+    let mut index_of_root = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        if index_of_root[r] == usize::MAX {
+            index_of_root[r] = groups.len();
+            groups.push(Vec::new());
+        }
+        groups[index_of_root[r]].push(v);
+    }
+    groups
+}
+
+/// Longest-processing-time packing of the weak components onto
+/// `buckets` buckets: components sorted by size (descending, position
+/// tie-break) each go to the currently least-loaded bucket.
+fn packed_buckets(wccs: &[Vec<usize>], buckets: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..wccs.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(wccs[c].len()));
+    let mut packed: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+    let mut load = vec![0usize; buckets];
+    for c in order {
+        let target = (0..buckets).min_by_key(|&b| load[b]).unwrap_or(0);
+        load[target] += wccs[c].len();
+        packed[target].push(c);
+    }
+    packed
+}
+
+/// The iterative Tarjan core over a root set, generic over a periodic
+/// interrupt check. With an infallible check (`E = Infallible`) the
+/// error path monomorphizes away. Roots that reach each other share
+/// components as usual; nodes unreachable from `roots` stay out of the
+/// decomposition (their `component` slot remains `usize::MAX`), which
+/// the parallel driver uses to run disjoint node subsets concurrently.
 fn tarjan_impl<N, E>(
     g: &DiGraph<N>,
+    roots: impl IntoIterator<Item = usize>,
     mut check: impl FnMut() -> Result<(), E>,
 ) -> Result<SccDecomposition, E> {
     let n = g.node_count();
@@ -105,7 +247,7 @@ fn tarjan_impl<N, E>(
     // Work stack frames: (node, next-successor-position).
     let mut call: Vec<(usize, usize)> = Vec::new();
 
-    for root in 0..n {
+    for root in roots {
         if index[root] != UNVISITED {
             continue;
         }
@@ -307,5 +449,80 @@ mod tests {
         let g = DiGraph::from_edges(vec![(); n], (0..n - 1).map(|i| (i, i + 1)));
         let sccs = tarjan_scc(&g);
         assert_eq!(sccs.count(), n);
+    }
+
+    /// 64 disjoint directed cycles of 16 nodes each, plus 32 isolated
+    /// nodes — many weak components of uneven kinds.
+    fn many_cycles() -> DiGraph<()> {
+        let cycles = 64usize;
+        let len = 16usize;
+        let n = cycles * len + 32;
+        let edges = (0..cycles).flat_map(move |c| {
+            let base = c * len;
+            (0..len).map(move |i| (base + i, base + (i + 1) % len))
+        });
+        DiGraph::from_edges(vec![(); n], edges)
+    }
+
+    #[test]
+    fn parallel_matches_serial_membership() {
+        let g = many_cycles();
+        let serial = tarjan_scc(&g);
+        for threads in [2, 3, 8, 64] {
+            let parallel = tarjan_scc_parallel_budgeted(&g, threads, &Budget::unlimited()).unwrap();
+            assert_eq!(serial.count(), parallel.count(), "threads={threads}");
+            // Same partition: every pair agrees on same_component, which
+            // is the property the miners consume. Spot-check via sorted
+            // member lists.
+            let canon = |sccs: &SccDecomposition| {
+                let mut comps: Vec<Vec<NodeId>> = sccs.iter().map(|m| m.to_vec()).collect();
+                comps.sort();
+                comps
+            };
+            assert_eq!(canon(&serial), canon(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_single_weak_component_falls_back() {
+        let g = DiGraph::from_edges(vec![(); 4], [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let parallel = tarjan_scc_parallel_budgeted(&g, 8, &Budget::unlimited()).unwrap();
+        let serial = tarjan_scc(&g);
+        assert_eq!(parallel.count(), serial.count());
+        for v in 0..4 {
+            for w in 0..4 {
+                assert_eq!(
+                    parallel.same_component(NodeId::new(v), NodeId::new(w)),
+                    serial.same_component(NodeId::new(v), NodeId::new(w)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_numbering_is_reverse_topological_within_weak_components() {
+        let g = many_cycles();
+        let sccs = tarjan_scc_parallel_budgeted(&g, 4, &Budget::unlimited()).unwrap();
+        for (u, v) in g.edges() {
+            let (cu, cv) = (sccs.component_of(u), sccs.component_of(v));
+            if cu != cv {
+                assert!(cu > cv, "edge {u:?}->{v:?} must point down the numbering");
+            }
+        }
+        // Every node is assigned a component.
+        for v in 0..g.node_count() {
+            assert!(sccs.component_of(NodeId::new(v)) < sccs.count());
+        }
+    }
+
+    #[test]
+    fn parallel_expired_budget_aborts() {
+        use std::time::{Duration, Instant};
+        let g = many_cycles();
+        let budget = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(
+            tarjan_scc_parallel_budgeted(&g, 4, &budget),
+            Err(GraphError::BudgetExhausted)
+        ));
     }
 }

@@ -35,12 +35,12 @@ pub fn read_events<R: BufRead>(reader: R) -> Result<Vec<EventRecord>, LogError> 
 /// Parses a Flowmark-style event stream and assembles it into a
 /// [`WorkflowLog`] (strict START/END pairing).
 pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
-    read_log_instrumented(reader, &mut CodecStats::default())
+    read_log_with_stats(reader, &mut CodecStats::default())
 }
 
 /// [`read_log`] with telemetry: bytes consumed, event lines parsed, and
 /// executions assembled accumulate into `stats`.
-pub fn read_log_instrumented<R: BufRead>(
+pub fn read_log_with_stats<R: BufRead>(
     reader: R,
     stats: &mut CodecStats,
 ) -> Result<WorkflowLog, LogError> {
@@ -52,7 +52,7 @@ pub fn read_log_instrumented<R: BufRead>(
     )
 }
 
-/// [`read_log_instrumented`] with a [`RecoveryPolicy`]: under `Strict`
+/// [`read_log_with_stats`] with a [`RecoveryPolicy`]: under `Strict`
 /// the first bad line aborts (it is still recorded in `report`, with
 /// its byte offset); under `Skip`/`BestEffort` bad lines are counted
 /// and skipped and START/END pairing falls back to lenient assembly.

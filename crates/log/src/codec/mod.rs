@@ -25,7 +25,7 @@ use std::io::{BufRead, Read};
 
 /// How a codec treats decode errors (bad lines, truncated tails,
 /// malformed XML). Every codec's `read_log_with` entry point takes one;
-/// the plain `read_log` / `read_log_instrumented` entry points use
+/// the plain `read_log` / `read_log_with_stats` entry points use
 /// [`RecoveryPolicy::Strict`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RecoveryPolicy {
@@ -226,7 +226,7 @@ impl<R: BufRead> ByteLines<R> {
 
 /// Byte and event tallies from one codec read.
 ///
-/// Every codec has a `read_log_instrumented` twin that fills one of
+/// Every codec has a `read_log_with_stats` twin that fills one of
 /// these; the plain `read_log` entry points discard the stats. Fields
 /// accumulate, so one `CodecStats` can tally several reads.
 ///
@@ -312,7 +312,7 @@ mod tests {
     fn seqs_stats_count_bytes_names_and_executions() {
         let text = "# log\nA B C E\nA C D E\n";
         let mut stats = CodecStats::default();
-        let log = seqs::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        let log = seqs::read_log_with_stats(text.as_bytes(), &mut stats).unwrap();
         assert_eq!(log.len(), 2);
         assert_eq!(stats.bytes_read, text.len() as u64);
         assert_eq!(stats.events_parsed, 8);
@@ -323,7 +323,7 @@ mod tests {
     fn flowmark_stats_count_event_lines() {
         let text = "p1,A,START,0\np1,A,END,1\np1,B,START,2\np1,B,END,3\n";
         let mut stats = CodecStats::default();
-        let log = flowmark::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        let log = flowmark::read_log_with_stats(text.as_bytes(), &mut stats).unwrap();
         assert_eq!(log.len(), 1);
         assert_eq!(stats.bytes_read, text.len() as u64);
         assert_eq!(stats.events_parsed, 4);
@@ -336,7 +336,7 @@ mod tests {
         let mut buf = Vec::new();
         jsonl::write_log(&log, &mut buf).unwrap();
         let mut stats = CodecStats::default();
-        let back = jsonl::read_log_instrumented(buf.as_slice(), &mut stats).unwrap();
+        let back = jsonl::read_log_with_stats(buf.as_slice(), &mut stats).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(stats.bytes_read, buf.len() as u64);
         assert_eq!(stats.events_parsed, 5);
@@ -349,7 +349,7 @@ mod tests {
         let mut buf = Vec::new();
         xes::write_log(&log, &mut buf).unwrap();
         let mut stats = CodecStats::default();
-        let back = xes::read_log_instrumented(buf.as_slice(), &mut stats).unwrap();
+        let back = xes::read_log_with_stats(buf.as_slice(), &mut stats).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(stats.bytes_read, buf.len() as u64);
         // Instantaneous instances write one `complete` element each.
@@ -361,8 +361,8 @@ mod tests {
     fn stats_accumulate_across_reads() {
         let text = "A B\n";
         let mut stats = CodecStats::default();
-        seqs::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
-        seqs::read_log_instrumented(text.as_bytes(), &mut stats).unwrap();
+        seqs::read_log_with_stats(text.as_bytes(), &mut stats).unwrap();
+        seqs::read_log_with_stats(text.as_bytes(), &mut stats).unwrap();
         assert_eq!(stats.bytes_read, 2 * text.len() as u64);
         assert_eq!(stats.events_parsed, 4);
         assert_eq!(stats.executions_parsed, 2);

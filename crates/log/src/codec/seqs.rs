@@ -16,12 +16,12 @@ use std::io::{BufRead, Write};
 
 /// Reads a sequence-format log.
 pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
-    read_log_instrumented(reader, &mut CodecStats::default())
+    read_log_with_stats(reader, &mut CodecStats::default())
 }
 
 /// [`read_log`] with telemetry: bytes consumed, activity names parsed,
 /// and executions assembled accumulate into `stats`.
-pub fn read_log_instrumented<R: BufRead>(
+pub fn read_log_with_stats<R: BufRead>(
     reader: R,
     stats: &mut CodecStats,
 ) -> Result<WorkflowLog, LogError> {
@@ -33,7 +33,7 @@ pub fn read_log_instrumented<R: BufRead>(
     )
 }
 
-/// [`read_log_instrumented`] with a [`RecoveryPolicy`]: bad lines abort
+/// [`read_log_with_stats`] with a [`RecoveryPolicy`]: bad lines abort
 /// (`Strict`) or are counted and skipped. Note that truncation is mostly
 /// *undetectable* in this format — any prefix of a line is itself a
 /// valid sequence — so a cut-off tail silently drops activities; only an

@@ -489,12 +489,12 @@ pub fn write_log<W: Write>(log: &WorkflowLog, mut w: W) -> Result<(), LogError> 
 /// as `complete`; a lone `complete` without a preceding `start` becomes
 /// an instantaneous instance.
 pub fn read_log<R: BufRead>(reader: R) -> Result<WorkflowLog, LogError> {
-    read_log_instrumented(reader, &mut super::CodecStats::default())
+    read_log_with_stats(reader, &mut super::CodecStats::default())
 }
 
 /// [`read_log`] with telemetry: bytes consumed, `<event>` elements
 /// parsed, and executions assembled accumulate into `stats`.
-pub fn read_log_instrumented<R: BufRead>(
+pub fn read_log_with_stats<R: BufRead>(
     reader: R,
     stats: &mut super::CodecStats,
 ) -> Result<WorkflowLog, LogError> {
@@ -506,7 +506,7 @@ pub fn read_log_instrumented<R: BufRead>(
     )
 }
 
-/// [`read_log_instrumented`] with a [`RecoveryPolicy`]. Under `Strict`
+/// [`read_log_with_stats`] with a [`RecoveryPolicy`]. Under `Strict`
 /// the first XML syntax error, undecodable event, or invalid timestamp
 /// aborts (recorded in `report` with its byte offset; truncation
 /// surfaces as [`LogError::UnexpectedEof`]). Under `Skip`/`BestEffort`

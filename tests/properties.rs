@@ -43,6 +43,84 @@ fn arb_dag(n: usize) -> impl Strategy<Value = DiGraph<()>> {
         .prop_map(move |edges| DiGraph::from_edges(vec![(); n], edges))
 }
 
+fn owned_sorted_edges(model: &procmine::mine::MinedModel) -> Vec<(String, String)> {
+    let mut edges: Vec<(String, String)> = model
+        .edges_named()
+        .into_iter()
+        .map(|(u, v)| (u.to_string(), v.to_string()))
+        .collect();
+    edges.sort();
+    edges
+}
+
+/// Every miner as spelled through the deprecated `*_instrumented`
+/// shims (kept for one release). One sorted edge list per miner;
+/// errors compare by debug rendering.
+#[allow(deprecated)]
+fn edges_via_deprecated_twins(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    threads: usize,
+) -> Vec<Result<Vec<(String, String)>, String>> {
+    use procmine::mine::{
+        mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
+        mine_general_dag_parallel_instrumented, mine_special_dag_instrumented, IncrementalMiner,
+        MinerMetrics, Tracer,
+    };
+    let tracer = Tracer::disabled();
+    let mut inc = IncrementalMiner::new(options.clone());
+    inc.absorb_log(log).expect("logs here have no repeats");
+    [
+        mine_special_dag_instrumented(log, options, &mut MinerMetrics::new(), &tracer),
+        mine_general_dag_instrumented(log, options, &mut MinerMetrics::new(), &tracer),
+        mine_cyclic_instrumented(log, options, &mut MinerMetrics::new(), &tracer),
+        mine_auto_instrumented(log, options, &mut MinerMetrics::new(), &tracer).map(|(m, _)| m),
+        mine_general_dag_parallel_instrumented(
+            log,
+            options,
+            threads,
+            &mut MinerMetrics::new(),
+            &tracer,
+        ),
+        inc.model_instrumented(&mut MinerMetrics::new(), &tracer),
+    ]
+    .into_iter()
+    .map(|r| {
+        r.map(|m| owned_sorted_edges(&m))
+            .map_err(|e| format!("{e:?}"))
+    })
+    .collect()
+}
+
+/// The same miners through the session pipeline, with `threads`
+/// selecting the parallel execution strategy for the fifth entry.
+fn edges_via_sessions(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    threads: usize,
+) -> Vec<Result<Vec<(String, String)>, String>> {
+    use procmine::mine::{
+        mine_auto_in, mine_cyclic_in, mine_general_dag_in, mine_special_dag_in, IncrementalMiner,
+        MineSession,
+    };
+    let mut inc = IncrementalMiner::new(options.clone());
+    inc.absorb_log(log).expect("logs here have no repeats");
+    [
+        mine_special_dag_in(&mut MineSession::new(), log, options),
+        mine_general_dag_in(&mut MineSession::new(), log, options),
+        mine_cyclic_in(&mut MineSession::new(), log, options),
+        mine_auto_in(&mut MineSession::new(), log, options).map(|(m, _)| m),
+        mine_general_dag_in(&mut MineSession::new().with_threads(threads), log, options),
+        inc.model_in(&mut MineSession::new()),
+    ]
+    .into_iter()
+    .map(|r| {
+        r.map(|m| owned_sorted_edges(&m))
+            .map_err(|e| format!("{e:?}"))
+    })
+    .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -222,16 +300,19 @@ proptest! {
     ) {
         // Degenerate chunking: most threads receive no executions at
         // all; merge-at-join must still reproduce the serial result.
-        use procmine::mine::mine_general_dag_parallel_instrumented;
-        use procmine::mine::{MinerMetrics, Tracer};
+        use procmine::mine::{mine_general_dag_in, MineSession, MinerMetrics};
         let mut serial_metrics = MinerMetrics::new();
-        let serial = procmine::mine::mine_general_dag_instrumented(
-            &log, &MinerOptions::default(), &mut serial_metrics, &Tracer::disabled(),
-        ).unwrap();
+        let mut serial_session = MineSession::new().with_sink(&mut serial_metrics);
+        let serial =
+            mine_general_dag_in(&mut serial_session, &log, &MinerOptions::default()).unwrap();
+        drop(serial_session);
         let mut parallel_metrics = MinerMetrics::new();
-        let parallel = mine_general_dag_parallel_instrumented(
-            &log, &MinerOptions::default(), threads, &mut parallel_metrics, &Tracer::disabled(),
-        ).unwrap();
+        let mut parallel_session = MineSession::new()
+            .with_threads(threads)
+            .with_sink(&mut parallel_metrics);
+        let parallel =
+            mine_general_dag_in(&mut parallel_session, &log, &MinerOptions::default()).unwrap();
+        drop(parallel_session);
         let mut a = serial.edges_named(); a.sort();
         let mut b = parallel.edges_named(); b.sort();
         prop_assert_eq!(a, b);
@@ -308,19 +389,20 @@ proptest! {
     }
 
     #[test]
-    fn instrumented_miners_match_plain(log in arb_log(8)) {
-        use procmine::mine::{mine_auto_instrumented, MinerMetrics, Tracer};
+    fn session_miners_match_plain(log in arb_log(8)) {
+        use procmine::mine::{mine_auto_in, MineSession, MinerMetrics};
         let mut metrics = MinerMetrics::new();
-        let (instrumented, alg_a) = mine_auto_instrumented(
-            &log, &MinerOptions::default(), &mut metrics, &Tracer::disabled(),
-        ).unwrap();
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        let (metered, alg_a) =
+            mine_auto_in(&mut session, &log, &MinerOptions::default()).unwrap();
+        drop(session);
         let (plain, alg_b) = mine_auto(&log, &MinerOptions::default()).unwrap();
         prop_assert_eq!(alg_a, alg_b);
-        let mut a = instrumented.edges_named(); a.sort();
+        let mut a = metered.edges_named(); a.sort();
         let mut b = plain.edges_named(); b.sort();
         prop_assert_eq!(a, b);
         prop_assert_eq!(metrics.executions_scanned, log.len() as u64);
-        prop_assert_eq!(metrics.edges_final, instrumented.edge_count() as u64);
+        prop_assert_eq!(metrics.edges_final, metered.edge_count() as u64);
     }
 
     #[test]
@@ -369,15 +451,16 @@ proptest! {
     }
 
     #[test]
-    fn instrumented_conformance_matches_plain(log in arb_log(10)) {
-        use procmine::mine::conformance::check_conformance_instrumented;
-        use procmine::mine::{ConformanceMetrics, Tracer};
+    fn session_conformance_matches_plain(log in arb_log(10)) {
+        use procmine::mine::conformance::check_conformance_in;
+        use procmine::mine::{ConformanceMetrics, MineSession};
         let (model, _) = mine_auto(&log, &MinerOptions::default()).unwrap();
         let plain = check_conformance(&model, &log);
         let mut metrics = ConformanceMetrics::new();
-        let instrumented =
-            check_conformance_instrumented(&model, &log, &mut metrics, &Tracer::disabled());
-        prop_assert_eq!(&plain, &instrumented);
+        let mut session = MineSession::new().with_sink(&mut metrics);
+        let metered = check_conformance_in(&mut session, &model, &log);
+        drop(session);
+        prop_assert_eq!(&plain, &metered);
         prop_assert_eq!(metrics.executions_checked, log.len() as u64);
         prop_assert_eq!(
             metrics.consistent_executions,
@@ -394,5 +477,45 @@ proptest! {
         let mut a = cyclic.edges_named(); a.sort();
         let mut b = general.edges_named(); b.sort();
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_miners_match_deprecated_twins_on_random_walks(
+        vertices in 3usize..10,
+        edge_pct in 20u64..80,
+        m in 1usize..30,
+        seed in 0u64..500,
+        threads in 2usize..6,
+    ) {
+        // The deprecated `*_instrumented` twins are shims over the
+        // session pipeline: on §8.1 random-walk logs every miner —
+        // special, general, cyclic, auto, the `threads`-wide parallel
+        // strategy, and the incremental miner — must produce the exact
+        // result (or the exact error) of its session spelling.
+        use procmine::sim::randdag::{random_dag, RandomDagConfig};
+        use procmine::sim::walk::random_walk_log;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandomDagConfig { vertices, edge_prob: edge_pct as f64 / 100.0 };
+        let model = random_dag(&cfg, &mut rng).unwrap();
+        let log = random_walk_log(&model, m, &mut rng).unwrap();
+        let options = MinerOptions::default();
+        prop_assert_eq!(
+            edges_via_deprecated_twins(&log, &options, threads),
+            edges_via_sessions(&log, &options, threads)
+        );
+    }
+
+    #[test]
+    fn session_miners_match_deprecated_twins_on_partial_logs(log in arb_log(10), threads in 2usize..6) {
+        // Same equivalence over shuffled-subset logs, where the special
+        // DAG miner may reject the log: the shim and the session form
+        // must agree even on the error.
+        let options = MinerOptions::default();
+        prop_assert_eq!(
+            edges_via_deprecated_twins(&log, &options, threads),
+            edges_via_sessions(&log, &options, threads)
+        );
     }
 }

@@ -4,10 +4,10 @@
 //! traced == untraced model guarantee.
 
 use procmine::log::WorkflowLog;
-use procmine::mine::conformance::check_conformance_instrumented;
+use procmine::mine::conformance::check_conformance_in;
 use procmine::mine::{
-    mine_auto, mine_auto_instrumented, mine_general_dag, mine_general_dag_instrumented,
-    mine_general_dag_parallel_instrumented, MinerOptions, NullSink, SpanRecord, Tracer,
+    mine_auto, mine_auto_in, mine_general_dag, mine_general_dag_in, MineSession, MinerOptions,
+    SpanRecord, Tracer,
 };
 use proptest::prelude::*;
 use serde_json::Value;
@@ -44,7 +44,8 @@ fn contains(outer: &SpanRecord, inner: &SpanRecord) -> bool {
 fn general_mining_emits_nested_stage_spans() {
     let log = example_log(1);
     let tracer = Tracer::new();
-    mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut NullSink, &tracer).unwrap();
+    let mut session = MineSession::new().with_tracer(tracer.clone());
+    mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
 
     let records = tracer.records();
     let root = span(&records, "mine.general");
@@ -84,7 +85,8 @@ fn conformance_check_emits_spans() {
     let log = example_log(1);
     let model = mine_general_dag(&log, &MinerOptions::default()).unwrap();
     let tracer = Tracer::new();
-    check_conformance_instrumented(&model, &log, &mut NullSink, &tracer);
+    let mut session = MineSession::new().with_tracer(tracer.clone());
+    check_conformance_in(&mut session, &model, &log);
     let records = tracer.records();
     let root = span(&records, "check_conformance");
     assert_eq!(root.cat, "conformance");
@@ -97,14 +99,10 @@ fn conformance_check_emits_spans() {
 fn parallel_mining_records_per_worker_lanes() {
     let log = example_log(20); // 60 executions: plenty to chunk
     let tracer = Tracer::new();
-    mine_general_dag_parallel_instrumented(
-        &log,
-        &MinerOptions::default(),
-        4,
-        &mut NullSink,
-        &tracer,
-    )
-    .unwrap();
+    let mut session = MineSession::new()
+        .with_tracer(tracer.clone())
+        .with_threads(4);
+    mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
 
     let records = tracer.records();
     let worker_spans: Vec<&SpanRecord> = records
@@ -138,14 +136,10 @@ fn parallel_mining_records_per_worker_lanes() {
 fn chrome_export_is_valid_json_with_expected_events() {
     let log = example_log(20);
     let tracer = Tracer::new();
-    mine_general_dag_parallel_instrumented(
-        &log,
-        &MinerOptions::default(),
-        4,
-        &mut NullSink,
-        &tracer,
-    )
-    .unwrap();
+    let mut session = MineSession::new()
+        .with_tracer(tracer.clone())
+        .with_threads(4);
+    mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
 
     let json = tracer.to_chrome_json();
     let value: Value = serde_json::from_str(&json).expect("chrome trace must parse as JSON");
@@ -198,11 +192,12 @@ fn chrome_export_is_valid_json_with_expected_events() {
 #[test]
 fn disabled_tracer_stays_empty_through_full_pipeline() {
     let log = example_log(2);
+    // Keep a shared handle on the (disabled) tracer so it can be
+    // inspected after the session runs both pipeline halves.
     let tracer = Tracer::disabled();
-    let model =
-        mine_general_dag_instrumented(&log, &MinerOptions::default(), &mut NullSink, &tracer)
-            .unwrap();
-    check_conformance_instrumented(&model, &log, &mut NullSink, &tracer);
+    let mut session = MineSession::new().with_tracer(tracer.clone());
+    let model = mine_general_dag_in(&mut session, &log, &MinerOptions::default()).unwrap();
+    check_conformance_in(&mut session, &model, &log);
     assert!(!tracer.is_enabled());
     assert!(tracer.records().is_empty());
     let json = tracer.to_chrome_json();
@@ -238,15 +233,14 @@ proptest! {
         let options = MinerOptions::default();
         let untraced = mine_general_dag(&log, &options).unwrap();
         let tracer = Tracer::new();
-        let traced =
-            mine_general_dag_instrumented(&log, &options, &mut NullSink, &tracer).unwrap();
+        let mut session = MineSession::new().with_tracer(tracer.clone());
+        let traced = mine_general_dag_in(&mut session, &log, &options).unwrap();
         prop_assert_eq!(untraced.edges_named(), traced.edges_named());
         prop_assert!(!tracer.records().is_empty(), "enabled tracer saw no spans");
 
         let (plain_model, plain_algo) = mine_auto(&log, &options).unwrap();
-        let auto_tracer = Tracer::new();
-        let (traced_model, traced_algo) =
-            mine_auto_instrumented(&log, &options, &mut NullSink, &auto_tracer).unwrap();
+        let mut auto_session = MineSession::new().with_tracer(Tracer::new());
+        let (traced_model, traced_algo) = mine_auto_in(&mut auto_session, &log, &options).unwrap();
         prop_assert_eq!(plain_algo, traced_algo);
         prop_assert_eq!(plain_model.edges_named(), traced_model.edges_named());
     }
