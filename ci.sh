@@ -18,15 +18,14 @@ echo "==> panic audit: clippy -D clippy::unwrap_used -D clippy::expect_used (log
 cargo clippy -p procmine-log -p procmine-core -p procmine-graph --lib --no-deps -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-# The `*_instrumented` twin API is deprecated: every shim lives in the
-# two compat modules, and nothing else may (re)grow one. The CLI must
-# likewise build its telemetry through `MineSession` rather than wiring
-# sinks and tracers by hand.
-echo "==> deprecation lane: *_instrumented shims confined to compat modules"
-bad_shims=$(grep -rn --include='*.rs' -E 'pub fn [A-Za-z0-9_]*_instrumented' crates src \
-  | grep -v -e '^crates/core/src/compat\.rs:' -e '^crates/classify/src/compat\.rs:' || true)
+# The `*_instrumented` twin API is gone (its one-release grace period
+# ended with the compat modules' removal) and must not regrow. The CLI
+# must likewise build its telemetry through `MineSession` rather than
+# wiring sinks and tracers by hand.
+echo "==> deprecation lane: no *_instrumented identifiers anywhere"
+bad_shims=$(grep -rn --include='*.rs' '_instrumented' crates src tests || true)
 if [ -n "$bad_shims" ]; then
-  echo "new *_instrumented twins outside the deprecated compat modules:" >&2
+  echo "*_instrumented identifiers reappeared (the twin API is retired):" >&2
   echo "$bad_shims" >&2
   exit 1
 fi
@@ -54,5 +53,12 @@ cargo run --release -q -p procmine-bench --bin perfsuite -- \
   --smoke --out target/ci-artifacts/BENCH_perfsuite_smoke.json
 cargo run --release -q -p procmine-bench --bin perfsuite -- \
   --check-schema target/ci-artifacts/BENCH_perfsuite_smoke.json
+
+# Codec fast-path gate: on the committed baseline, decoding XES may
+# cost at most 2x decoding JSONL. Checked against the repo's
+# BENCH_perfsuite.json (not a fresh run) so the gate is deterministic.
+echo "==> codec fast-path gate: codec.xes within 2x of codec.jsonl"
+cargo run --release -q -p procmine-bench --bin perfsuite -- \
+  --assert-xes-ratio BENCH_perfsuite.json
 
 echo "ci: OK"

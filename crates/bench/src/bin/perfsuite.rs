@@ -13,18 +13,27 @@
 //! ```text
 //! perfsuite [--smoke] [--out FILE] [--repeats N] [--compare OLD.json]
 //!           [--threshold-pct N] [--check-schema FILE] [--normalize]
+//!           [--assert-xes-ratio FILE]
 //! ```
 //!
 //! `--normalize` adds a `ratio_vs_general` field to every cell: its
 //! median as a multiple of the same-scenario `mine.general` median, so
 //! stage costs read as fractions of the reference pipeline.
 //!
+//! `--assert-xes-ratio FILE` runs no benchmarks: it loads a saved
+//! report and fails when any scenario's `codec.xes` median exceeds
+//! [`XES_RATIO_LIMIT`] times its `codec.jsonl` median — the codec
+//! fast-path gate, pinned against the committed baseline.
+//!
 //! Exit status: 0 on success, 1 on usage or I/O errors, 2 when
 //! `--compare` found regressions, 3 when the disabled-tracer overhead
 //! guard tripped (a default-session `mine_general_dag_in` call
-//! measurably slower than the plain entry point).
+//! measurably slower than the plain entry point), 4 when
+//! `--assert-xes-ratio` found the XES decoder too far behind JSONL.
 
-use procmine_bench::perf::{compare, normalize, summarize, Cell, Report, TraceOverhead};
+use procmine_bench::perf::{
+    compare, max_stage_ratio, normalize, summarize, Cell, Report, TraceOverhead,
+};
 use procmine_bench::synthetic_workload;
 use procmine_core::conformance::check_conformance;
 use procmine_core::{
@@ -36,19 +45,25 @@ use procmine_graph::reduction::{
 };
 use procmine_graph::scc::{tarjan_scc, tarjan_scc_parallel_budgeted};
 use procmine_graph::{AdjMatrix, Budget, DiGraph};
-use procmine_log::codec;
-use procmine_log::WorkflowLog;
+use procmine_log::codec::{self, CodecStats};
+use procmine_log::{IngestReport, RecoveryPolicy, WorkflowLog};
 use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
 /// Ratio above which disabled tracing counts as "not free". The plain
-/// miners delegate to the instrumented twins, so today's expected ratio
-/// is ~1.0; the guard exists to catch future divergence.
+/// miners run through a default session, so today's expected ratio is
+/// ~1.0; the guard exists to catch future divergence.
 const TRACE_OVERHEAD_LIMIT: f64 = 1.5;
 
 /// Thread count for the parallel micro cells and `mine.parallel4`.
 const MICRO_THREADS: usize = 4;
+
+/// `--assert-xes-ratio` limit: the `codec.xes` median may cost at most
+/// this multiple of the same-scenario `codec.jsonl` median. The
+/// zero-copy XES parser landed well under it; the gate keeps the XML
+/// path from quietly sliding back to its pre-rewrite 10–20x.
+const XES_RATIO_LIMIT: f64 = 2.0;
 
 /// [`MICRO_THREADS`] clamped to the host's cores: oversubscribing a
 /// smaller machine only measures context-switch thrash, so on (say) a
@@ -67,6 +82,7 @@ struct Args {
     compare: Option<String>,
     threshold_pct: f64,
     check_schema: Option<String>,
+    assert_xes_ratio: Option<String>,
     normalize: bool,
 }
 
@@ -78,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         threshold_pct: 15.0,
         check_schema: None,
+        assert_xes_ratio: None,
         normalize: false,
     };
     let mut repeats: Option<usize> = None;
@@ -103,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threshold-pct: {e}"))?;
             }
             "--check-schema" => args.check_schema = Some(value("--check-schema")?),
+            "--assert-xes-ratio" => args.assert_xes_ratio = Some(value("--assert-xes-ratio")?),
             "--normalize" => args.normalize = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -214,6 +232,39 @@ fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut
     codec_cell!("codec.seqs", seqs);
     codec_cell!("codec.jsonl", jsonl);
     codec_cell!("codec.xes", xes);
+
+    // XES chunked-parallel decode at the micro thread count (on a
+    // single-core runner this measures the serial-fallback dispatch).
+    cells.push(summarize(
+        scenario,
+        "codec.xes_parallel",
+        time_runs(repeats, || {
+            let mut buf = Vec::new();
+            codec::xes::write_log(log, &mut buf).expect("write succeeds");
+            codec::xes::read_log_with_threads(
+                &buf[..],
+                RecoveryPolicy::Strict,
+                micro_threads(),
+                &mut CodecStats::default(),
+                &mut IngestReport::default(),
+            )
+            .expect("read succeeds");
+        }),
+    ));
+
+    // Read→write round-trip from a pre-encoded buffer: isolates the
+    // decode+encode cost from the initial materialization above.
+    let mut pre_encoded = Vec::new();
+    codec::xes::write_log(log, &mut pre_encoded).expect("write succeeds");
+    cells.push(summarize(
+        scenario,
+        "codec.xes_roundtrip",
+        time_runs(repeats, || {
+            let back = codec::xes::read_log(&pre_encoded[..]).expect("read succeeds");
+            let mut out = Vec::new();
+            codec::xes::write_log(&back, &mut out).expect("write succeeds");
+        }),
+    ));
 }
 
 /// `k` disjoint directed cycles whose sizes sum to `total` vertices
@@ -323,6 +374,24 @@ fn run() -> Result<ExitCode, String> {
             report.mode,
             report.cells.len()
         );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = &args.assert_xes_ratio {
+        let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = Report::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        let Some(worst) = max_stage_ratio(&report.cells, "codec.xes", "codec.jsonl") else {
+            return Err(format!(
+                "{path}: no scenario carries both codec.xes and codec.jsonl cells"
+            ));
+        };
+        if worst > XES_RATIO_LIMIT {
+            eprintln!(
+                "FAIL: codec.xes runs {worst:.2}x codec.jsonl in {path} (limit {XES_RATIO_LIMIT}x)"
+            );
+            return Ok(ExitCode::from(4));
+        }
+        println!("{path}: codec.xes within {worst:.2}x of codec.jsonl (limit {XES_RATIO_LIMIT}x)");
         return Ok(ExitCode::SUCCESS);
     }
 

@@ -149,7 +149,7 @@ mod tests {
         let (model, _, metrics) = timed_mine_with_metrics(&log);
         assert_eq!(metrics.executions_scanned, 50);
         assert_eq!(metrics.edges_final, model.edge_count() as u64);
-        // The plain and instrumented paths mine the same model.
+        // The plain and metered paths mine the same model.
         let (plain, _) = timed_mine(&log);
         assert_eq!(plain.edges_named(), model.edges_named());
     }

@@ -36,12 +36,12 @@ pub struct Cell {
 }
 
 /// The disabled-tracer overhead guard: the plain entry point against
-/// the instrumented twin with a disabled tracer, same workload.
+/// a session carrying a disabled tracer, same workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceOverhead {
     /// Median of the plain (un-traced) mining calls.
     pub plain_median_ns: u64,
-    /// Median of the instrumented calls with `Tracer::disabled()`.
+    /// Median of the session calls with `Tracer::disabled()`.
     pub traced_disabled_median_ns: u64,
     /// `traced_disabled / plain`; ~1.0 when disabled tracing is free.
     pub ratio: f64,
@@ -223,6 +223,30 @@ impl Report {
     }
 }
 
+/// The worst (largest) per-scenario ratio of `numerator` stage median
+/// over `denominator` stage median, across every scenario carrying
+/// both cells. Scenarios missing either stage, or whose denominator
+/// median is zero, are skipped; `None` when no scenario qualifies.
+///
+/// This backs the codec fast-path gate: `codec.xes` must stay within a
+/// fixed multiple of `codec.jsonl` on the committed baseline.
+pub fn max_stage_ratio(cells: &[Cell], numerator: &str, denominator: &str) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for num in cells.iter().filter(|c| c.stage == numerator) {
+        let Some(den) = cells
+            .iter()
+            .find(|c| c.scenario == num.scenario && c.stage == denominator && c.median_ns > 0)
+        else {
+            continue;
+        };
+        let ratio = num.median_ns as f64 / den.median_ns as f64;
+        if worst.map_or(true, |w| ratio > w) {
+            worst = Some(ratio);
+        }
+    }
+    worst
+}
+
 /// One cell whose median regressed past the threshold.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -317,6 +341,29 @@ mod tests {
         assert_eq!(regs[0].scenario, "rw10");
         assert_eq!(regs[0].stage, "mine.general");
         assert!((regs[0].ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_stage_ratio_takes_worst_scenario() {
+        let cells = vec![
+            cell("rw10", "codec.jsonl", 1_000),
+            cell("rw10", "codec.xes", 1_500), // 1.5x
+            cell("rw25", "codec.jsonl", 2_000),
+            cell("rw25", "codec.xes", 3_800),  // 1.9x — the worst
+            cell("micro", "codec.xes", 9_000), // no jsonl cell: skipped
+        ];
+        let worst = max_stage_ratio(&cells, "codec.xes", "codec.jsonl").unwrap();
+        assert!((worst - 1.9).abs() < 1e-9, "got {worst}");
+    }
+
+    #[test]
+    fn max_stage_ratio_skips_zero_denominators() {
+        let cells = vec![
+            cell("rw10", "codec.jsonl", 0),
+            cell("rw10", "codec.xes", 1_500),
+        ];
+        assert_eq!(max_stage_ratio(&cells, "codec.xes", "codec.jsonl"), None);
+        assert_eq!(max_stage_ratio(&[], "codec.xes", "codec.jsonl"), None);
     }
 
     #[test]

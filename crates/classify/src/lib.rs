@@ -40,11 +40,8 @@ mod learn;
 mod rules;
 mod tree;
 
-pub mod compat;
 pub mod telemetry;
 
-#[allow(deprecated)]
-pub use compat::learn_edge_conditions_instrumented;
 pub use dataset::{edge_training_set, Dataset, DatasetError};
 pub use decisions::{analyze_decision_points, DecisionPoint};
 pub use learn::{learn_edge_conditions, learn_edge_conditions_in, LearnedCondition};

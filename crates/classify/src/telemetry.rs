@@ -1,6 +1,6 @@
 //! Telemetry for conditions mining, on the same
 //! [`MetricsSink`] machinery as the miner and conformance layers: the
-//! `*_instrumented` entry points are generic over
+//! session-based entry points are generic over
 //! `S: MetricsSink<ClassifyMetrics>`, and with
 //! [`NullSink`](procmine_core::NullSink) every guard is `if false` and
 //! the instrumentation compiles to nothing.
@@ -9,11 +9,11 @@ use procmine_core::MetricsSink;
 use std::fmt;
 
 /// Counters and timers collected by one conditions-mining run (see
-/// [`learn_edge_conditions_instrumented`]): edges visited, training
-/// rows extracted, candidate splits evaluated while growing trees, the
+/// [`learn_edge_conditions_in`]): edges visited, training rows
+/// extracted, candidate splits evaluated while growing trees, the
 /// deepest tree fitted, and total learn time. Fields accumulate.
 ///
-/// [`learn_edge_conditions_instrumented`]: crate::learn_edge_conditions_instrumented
+/// [`learn_edge_conditions_in`]: crate::learn_edge_conditions_in
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ClassifyMetrics {
     /// Model edges a condition was learned (or counted) for.

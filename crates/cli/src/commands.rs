@@ -2,6 +2,7 @@
 //! `info`, `help`.
 
 use crate::args::{parse, ArgError, Parsed};
+use crate::output::{errln, out, outln};
 use procmine_classify::{ClassifyMetrics, TreeConfig};
 use procmine_core::{
     conformance, mine_auto_in, mine_cyclic_in, mine_general_dag_in, mine_special_dag_in, Algorithm,
@@ -55,7 +56,9 @@ COMMANDS:
                            are skipped with a warning)
       --threads N          mine with the parallel general miner on N
                            threads (requires --algorithm auto|general;
-                           not combinable with --stream)
+                           not combinable with --stream); with
+                           --format xes the log is also decoded in
+                           parallel chunks
       --stats              print pipeline telemetry (stage timings,
                            counters, codec byte/event tallies; with
                            --threads also per-stage wall time and
@@ -119,7 +122,7 @@ extensions fall back to flowmark.
 pub fn run(argv: &[String]) -> CliResult {
     match argv.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => {
-            print!("{USAGE}");
+            out!("{USAGE}");
             Ok(())
         }
         Some("generate") => generate(&argv[1..]),
@@ -159,7 +162,7 @@ fn convert(argv: &[String]) -> CliResult {
     let to = p.get("to").unwrap_or_else(|| format_from_extension(output));
     let log = read_log(input, from)?;
     write_log(&log, Some(output), to)?;
-    eprintln!(
+    errln!(
         "converted {} executions: {input} ({from}) -> {output} ({to})",
         log.len()
     );
@@ -175,9 +178,11 @@ fn read_log(path: &str, format: &str) -> Result<WorkflowLog, Box<dyn Error>> {
         &mut CodecStats::default(),
         &mut IngestReport::default(),
         MineSession::new().tracer(),
+        1,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn read_log_with(
     path: &str,
     format: &str,
@@ -185,6 +190,7 @@ fn read_log_with(
     stats: &mut CodecStats,
     report: &mut IngestReport,
     tracer: &Tracer,
+    threads: usize,
 ) -> Result<WorkflowLog, Box<dyn Error>> {
     // Span names are static, so map the format up front (codecs live in
     // `procmine-log`, which cannot depend on core — the ingest spans are
@@ -202,6 +208,12 @@ fn read_log_with(
         "flowmark" => codec::flowmark::read_log_with(reader, policy, stats, report)?,
         "seqs" => codec::seqs::read_log_with(reader, policy, stats, report)?,
         "jsonl" => codec::jsonl::read_log_with(reader, policy, stats, report)?,
+        // The XES decoder can split the document at trace boundaries
+        // and parse chunks in parallel; the session's thread count is
+        // threaded through here like the ingest spans.
+        "xes" if threads > 1 => {
+            codec::xes::read_log_with_threads(reader, policy, threads, stats, report)?
+        }
         "xes" => codec::xes::read_log_with(reader, policy, stats, report)?,
         other => return Err(format!("unknown log format `{other}`").into()),
     };
@@ -229,7 +241,7 @@ fn write_trace(tracer: &Tracer, p: &Parsed) -> CliResult {
         let mut f = BufWriter::new(File::create(path)?);
         tracer.write_chrome_json(&mut f)?;
         f.flush()?;
-        eprintln!("wrote {path}");
+        errln!("wrote {path}");
     }
     Ok(())
 }
@@ -259,15 +271,17 @@ fn report_ingest(report: &IngestReport, policy: RecoveryPolicy) {
     if policy.is_strict() {
         return;
     }
-    eprintln!(
+    errln!(
         "ingest: {} records parsed, {} skipped, {} decode errors",
-        report.records_parsed, report.records_skipped, report.errors_total
+        report.records_parsed,
+        report.records_skipped,
+        report.errors_total
     );
     for e in &report.errors {
-        eprintln!("  byte {} (line {}): {}", e.byte_offset, e.line, e.message);
+        errln!("  byte {} (line {}): {}", e.byte_offset, e.line, e.message);
     }
     if report.errors_total as usize > report.errors.len() {
-        eprintln!(
+        errln!(
             "  ... {} more not recorded",
             report.errors_total as usize - report.errors.len()
         );
@@ -377,7 +391,7 @@ fn generate(argv: &[String]) -> CliResult {
         }
         other => return Err(format!("unknown engine `{other}`").into()),
     };
-    eprintln!(
+    errln!(
         "generated {} executions of `{}` ({} activities, {} edges)",
         log.len(),
         model.name(),
@@ -470,7 +484,7 @@ fn mine_streaming<S: MetricsSink>(
                         kept.push_sequence(&names)?;
                     }
                     Err(e) => {
-                        eprintln!("warning: skipping case `{}`: {e}", exec.id);
+                        errln!("warning: skipping case `{}`: {e}", exec.id);
                         skipped += 1;
                     }
                 }
@@ -481,13 +495,13 @@ fn mine_streaming<S: MetricsSink>(
                 return Err(e.into());
             }
             Err(e) => {
-                eprintln!("warning: skipping unparsable case: {e}");
+                errln!("warning: skipping unparsable case: {e}");
                 skipped += 1;
             }
         }
     }
     if skipped > 0 {
-        eprintln!("streamed with {skipped} case(s) skipped");
+        errln!("streamed with {skipped} case(s) skipped");
     }
     codec_stats.merge(&stream.stats());
     ingest.merge(stream.report());
@@ -546,7 +560,15 @@ fn mine(argv: &[String]) -> CliResult {
         (model, log, Algorithm::GeneralDag)
     } else {
         let format = p.get("format").unwrap_or("flowmark");
-        let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest, &tracer)?;
+        let log = read_log_with(
+            path,
+            format,
+            policy,
+            &mut codec_stats,
+            &mut ingest,
+            &tracer,
+            threads.max(1),
+        )?;
         let (model, algorithm) = mine_with(&p, &mut session, &log)?;
         (model, log, algorithm)
     };
@@ -554,7 +576,7 @@ fn mine(argv: &[String]) -> CliResult {
     report_ingest(&ingest, policy);
     let elapsed = started.elapsed();
 
-    println!(
+    outln!(
         "mined `{path}` with {algorithm:?}: {} activities, {} edges ({} executions, {:.3}s)",
         model.activity_count(),
         model.edge_count(),
@@ -562,28 +584,28 @@ fn mine(argv: &[String]) -> CliResult {
         elapsed.as_secs_f64()
     );
     for (u, v) in model.edges_named() {
-        println!("  {u} -> {v}");
+        outln!("  {u} -> {v}");
     }
 
     // Route analytics (acyclic models with a unique source and sink).
     let g = model.graph();
     if let (&[source], &[sink]) = (&g.sources()[..], &g.sinks()[..]) {
         if let Ok(routes) = procmine_graph::paths::count_paths(g, source, sink) {
-            println!("distinct routes: {routes}");
+            outln!("distinct routes: {routes}");
         }
         if let Ok(Some(critical)) = procmine_graph::paths::longest_path(g, source, sink) {
             let names: Vec<&str> = critical.iter().map(|&v| g.node(v).as_str()).collect();
-            println!("critical path:   {}", names.join(" -> "));
+            outln!("critical path:   {}", names.join(" -> "));
         }
         let mandatory = procmine_graph::dominators::mandatory_activities(g, source, sink);
         let names: Vec<&str> = mandatory.iter().map(|&v| g.node(v).as_str()).collect();
-        println!("mandatory:       {}", names.join(", "));
+        outln!("mandatory:       {}", names.join(", "));
     }
 
     // Split/join semantics from the log's co-occurrence statistics.
     let gateways = procmine_core::splits::analyze_gateways(&model, &log);
     for gw in gateways.splits.iter() {
-        println!(
+        outln!(
             "split at {}: {} over {{{}}}",
             gw.activity,
             gw.kind,
@@ -591,7 +613,7 @@ fn mine(argv: &[String]) -> CliResult {
         );
     }
     for gw in gateways.joins.iter() {
-        println!(
+        outln!(
             "join at {}:  {} over {{{}}}",
             gw.activity,
             gw.kind,
@@ -601,7 +623,7 @@ fn mine(argv: &[String]) -> CliResult {
 
     if let Some(dot_path) = p.get("dot") {
         std::fs::write(dot_path, model.to_dot("mined"))?;
-        eprintln!("wrote {dot_path}");
+        errln!("wrote {dot_path}");
     }
     if let Some(graphml_path) = p.get("graphml") {
         let support: std::collections::HashMap<(usize, usize), u32> = model
@@ -616,12 +638,12 @@ fn mine(argv: &[String]) -> CliResult {
             |u, v| support.get(&(u.index(), v.index())).map(|&c| f64::from(c)),
         );
         std::fs::write(graphml_path, xml)?;
-        eprintln!("wrote {graphml_path}");
+        errln!("wrote {graphml_path}");
     }
     if let Some(json_path) = p.get("json") {
         let f = BufWriter::new(File::create(json_path)?);
         serde_json::to_writer_pretty(f, &model)?;
-        eprintln!("wrote {json_path}");
+        errln!("wrote {json_path}");
     }
     if let Some(bpmn_path) = p.get("bpmn") {
         let gateways = procmine_core::splits::analyze_gateways(&model, &log);
@@ -629,14 +651,16 @@ fn mine(argv: &[String]) -> CliResult {
             bpmn_path,
             procmine_core::bpmn::to_bpmn_xml(&model, &gateways, "mined_process"),
         )?;
-        eprintln!("wrote {bpmn_path}");
+        errln!("wrote {bpmn_path}");
     }
     if p.has("stats") {
-        println!(
+        outln!(
             "codec: {} bytes read, {} events parsed, {} executions parsed",
-            codec_stats.bytes_read, codec_stats.events_parsed, codec_stats.executions_parsed
+            codec_stats.bytes_read,
+            codec_stats.events_parsed,
+            codec_stats.executions_parsed
         );
-        print!("{}", metrics.render_table());
+        out!("{}", metrics.render_table());
     }
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
@@ -648,27 +672,27 @@ fn mine(argv: &[String]) -> CliResult {
         out.push('}');
         out.push('\n');
         std::fs::write(stats_path, out)?;
-        eprintln!("wrote {stats_path}");
+        errln!("wrote {stats_path}");
     }
     let mut check_failed = false;
     if p.has("check") {
         let mut session = MineSession::new().with_tracer(tracer.clone());
         let report = conformance::check_conformance_in(&mut session, &model, &log);
         if report.is_conformal() {
-            println!("conformance: OK (dependency-complete, irredundant, execution-complete)");
+            outln!("conformance: OK (dependency-complete, irredundant, execution-complete)");
         } else {
-            println!("conformance: FAILED");
+            outln!("conformance: FAILED");
             for (u, v) in &report.missing_dependencies {
-                println!("  missing dependency: {u} -> {v}");
+                outln!("  missing dependency: {u} -> {v}");
             }
             for (u, v) in &report.spurious_dependencies {
-                println!("  spurious dependency: {u} -> {v}");
+                outln!("  spurious dependency: {u} -> {v}");
             }
             for (exec, violations) in &report.inconsistent_executions {
-                println!("  inconsistent execution {exec}: {violations:?}");
+                outln!("  inconsistent execution {exec}: {violations:?}");
             }
             for activity in &report.unknown_activities {
-                println!("  unknown activity: {activity}");
+                outln!("  unknown activity: {activity}");
             }
             check_failed = true;
         }
@@ -703,6 +727,7 @@ fn check(argv: &[String]) -> CliResult {
         &mut codec_stats,
         &mut ingest,
         &tracer,
+        1,
     )?;
     report_ingest(&ingest, policy);
     let mut metrics = ConformanceMetrics::new();
@@ -710,11 +735,13 @@ fn check(argv: &[String]) -> CliResult {
     let report = conformance::check_conformance_in(&mut session, &model, &log);
     drop(session);
     if p.has("stats") {
-        println!(
+        outln!(
             "codec: {} bytes read, {} events parsed, {} executions parsed",
-            codec_stats.bytes_read, codec_stats.events_parsed, codec_stats.executions_parsed
+            codec_stats.bytes_read,
+            codec_stats.events_parsed,
+            codec_stats.executions_parsed
         );
-        print!("{}", metrics.render_table());
+        out!("{}", metrics.render_table());
     }
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
@@ -726,13 +753,13 @@ fn check(argv: &[String]) -> CliResult {
         out.push('}');
         out.push('\n');
         std::fs::write(stats_path, out)?;
-        eprintln!("wrote {stats_path}");
+        errln!("wrote {stats_path}");
     }
     write_trace(&tracer, &p)?;
     if p.has("json") {
         // Machine-readable verdict on stdout; the exit status still
         // reflects conformality so scripts can branch either way.
-        println!("{}", report.to_json());
+        outln!("{}", report.to_json());
         return if report.is_conformal() {
             Ok(())
         } else {
@@ -740,10 +767,10 @@ fn check(argv: &[String]) -> CliResult {
         };
     }
     if report.is_conformal() {
-        println!("conformal: model satisfies Definition 7 for this log");
+        outln!("conformal: model satisfies Definition 7 for this log");
         Ok(())
     } else {
-        println!(
+        outln!(
             "not conformal: {} missing, {} spurious, {} inconsistent executions, {} unknown activities",
             report.missing_dependencies.len(),
             report.spurious_dependencies.len(),
@@ -751,7 +778,7 @@ fn check(argv: &[String]) -> CliResult {
             report.unknown_activities.len()
         );
         for activity in &report.unknown_activities {
-            println!("  unknown activity: {activity}");
+            outln!("  unknown activity: {activity}");
         }
         Err("model is not conformal".into())
     }
@@ -781,7 +808,15 @@ fn conditions(argv: &[String]) -> CliResult {
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
     let format = p.get("format").unwrap_or("flowmark");
-    let log = read_log_with(path, format, policy, &mut codec_stats, &mut ingest, &tracer)?;
+    let log = read_log_with(
+        path,
+        format,
+        policy,
+        &mut codec_stats,
+        &mut ingest,
+        &tracer,
+        1,
+    )?;
     report_ingest(&ingest, policy);
     let mut miner_metrics = MinerMetrics::new();
     let mut session = base.with_sink(&mut miner_metrics);
@@ -798,12 +833,14 @@ fn conditions(argv: &[String]) -> CliResult {
     let learned = procmine_classify::learn_edge_conditions_in(&mut session, &model, &log, &cfg);
     drop(session);
     if p.has("stats") {
-        println!(
+        outln!(
             "codec: {} bytes read, {} events parsed, {} executions parsed",
-            codec_stats.bytes_read, codec_stats.events_parsed, codec_stats.executions_parsed
+            codec_stats.bytes_read,
+            codec_stats.events_parsed,
+            codec_stats.executions_parsed
         );
-        print!("{}", miner_metrics.render_table());
-        print!("{}", classify_metrics.render_table());
+        out!("{}", miner_metrics.render_table());
+        out!("{}", classify_metrics.render_table());
     }
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
@@ -817,20 +854,24 @@ fn conditions(argv: &[String]) -> CliResult {
         out.push('}');
         out.push('\n');
         std::fs::write(stats_path, out)?;
-        eprintln!("wrote {stats_path}");
+        errln!("wrote {stats_path}");
     }
     for c in &learned {
-        println!(
+        outln!(
             "{} -> {}   [{} taken / {} not, accuracy {:.2}]",
-            c.from, c.to, c.support.1, c.support.0, c.train_accuracy
+            c.from,
+            c.to,
+            c.support.1,
+            c.support.0,
+            c.train_accuracy
         );
         if c.tree.is_none() {
-            println!("    (no outputs logged; unconditional)");
+            outln!("    (no outputs logged; unconditional)");
         } else if c.rules.is_empty() {
-            println!("    never taken");
+            outln!("    never taken");
         } else {
             for rule in &c.rules {
-                println!("    when {rule}");
+                outln!("    when {rule}");
             }
         }
     }
@@ -846,21 +887,23 @@ fn info(argv: &[String]) -> CliResult {
     let log = read_log(path, p.get("format").unwrap_or("flowmark"))?;
     let stats = procmine_log::stats::log_stats(&log);
 
-    println!("executions:  {}", stats.executions);
-    println!("activities:  {}", stats.activities);
-    println!("instances:   {}", stats.total_instances);
-    println!(
+    outln!("executions:  {}", stats.executions);
+    outln!("activities:  {}", stats.activities);
+    outln!("instances:   {}", stats.total_instances);
+    outln!(
         "distinct:    {} distinct sequences",
         stats.distinct_sequences
     );
-    println!("max repeats: {}", log.max_repeats());
-    println!(
+    outln!("max repeats: {}", log.max_repeats());
+    outln!(
         "complete:    {} (every activity in every execution)",
         log.every_activity_in_every_execution()
     );
-    println!(
+    outln!(
         "exec length: min {} / avg {:.1} / max {}",
-        stats.min_len, stats.mean_len, stats.max_len
+        stats.min_len,
+        stats.mean_len,
+        stats.max_len
     );
     let names = |ids: &[procmine_log::ActivityId]| {
         ids.iter()
@@ -868,11 +911,11 @@ fn info(argv: &[String]) -> CliResult {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    println!("starts with: {}", names(&stats.start_candidates()));
-    println!("ends with:   {}", names(&stats.end_candidates()));
-    println!("\nper-activity (executions / instances):");
+    outln!("starts with: {}", names(&stats.start_candidates()));
+    outln!("ends with:   {}", names(&stats.end_candidates()));
+    outln!("\nper-activity (executions / instances):");
     for s in &stats.per_activity {
-        println!(
+        outln!(
             "  {:<24} {:>6} / {:<6}",
             log.activities().name(s.activity),
             s.executions,
@@ -880,14 +923,14 @@ fn info(argv: &[String]) -> CliResult {
         );
     }
     let variants = procmine_log::stats::variants(&log);
-    println!("\ntop variants ({} total):", variants.len());
+    outln!("\ntop variants ({} total):", variants.len());
     for v in variants.iter().take(5) {
         let names: Vec<&str> = v
             .sequence
             .iter()
             .map(|&a| log.activities().name(a))
             .collect();
-        println!(
+        outln!(
             "  {:>4}x ({:>5.1}%)  {}",
             v.count,
             100.0 * v.count as f64 / log.len().max(1) as f64,

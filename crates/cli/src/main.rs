@@ -11,7 +11,9 @@
 
 mod args;
 mod commands;
+mod output;
 
+use crate::output::errln;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,7 +21,13 @@ fn main() -> ExitCode {
     match commands::run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("procmine: {e}");
+            // A broken pipe is normal pipeline teardown (`procmine … |
+            // head`): exit with the conventional SIGPIPE status, no
+            // error banner.
+            if output::error_is_broken_pipe(e.as_ref()) {
+                return ExitCode::from(output::SIGPIPE_EXIT);
+            }
+            errln!("procmine: {e}");
             ExitCode::FAILURE
         }
     }

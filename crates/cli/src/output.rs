@@ -1,0 +1,91 @@
+//! Broken-pipe-tolerant CLI output.
+//!
+//! `println!` panics when stdout is a closed pipe (`procmine mine … |
+//! head` used to abort with a backtrace once `head` exited). The
+//! [`out!`]/[`outln!`] macros route every stdout write through
+//! [`stdout_write`], which exits with the conventional SIGPIPE status
+//! instead of panicking; [`errln!`] writes diagnostics to stderr on a
+//! best-effort basis (a closed stderr silently drops them — there is
+//! nowhere left to complain to).
+
+use std::io::Write;
+
+/// Exit status for a closed stdout: `128 + SIGPIPE`, the status a
+/// shell reports for a process actually killed by SIGPIPE.
+pub const SIGPIPE_EXIT: u8 = 141;
+
+/// True if any error in the source chain is an I/O broken pipe.
+/// `main` uses this to exit quietly (status [`SIGPIPE_EXIT`]) instead
+/// of printing an error banner for what is normal pipeline teardown.
+pub fn error_is_broken_pipe(e: &(dyn std::error::Error + 'static)) -> bool {
+    let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(e);
+    while let Some(err) = cur {
+        if let Some(io) = err.downcast_ref::<std::io::Error>() {
+            if io.kind() == std::io::ErrorKind::BrokenPipe {
+                return true;
+            }
+        }
+        cur = err.source();
+    }
+    false
+}
+
+fn handle_stdout_failure(e: std::io::Error) -> ! {
+    if e.kind() == std::io::ErrorKind::BrokenPipe {
+        std::process::exit(i32::from(SIGPIPE_EXIT));
+    }
+    let _ = writeln!(std::io::stderr(), "procmine: cannot write to stdout: {e}");
+    std::process::exit(1);
+}
+
+/// Writes to stdout; a broken pipe exits with [`SIGPIPE_EXIT`], any
+/// other write failure reports to stderr and exits 1.
+pub fn stdout_write(args: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_fmt(args) {
+        handle_stdout_failure(e);
+    }
+}
+
+/// [`stdout_write`] plus a trailing newline.
+pub fn stdout_writeln(args: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = out.write_fmt(args).and_then(|()| out.write_all(b"\n")) {
+        handle_stdout_failure(e);
+    }
+}
+
+/// Best-effort stderr line; write failures are ignored.
+pub fn stderr_writeln(args: std::fmt::Arguments<'_>) {
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_fmt(args).and_then(|()| err.write_all(b"\n"));
+}
+
+/// `print!` that tolerates a closed stdout.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        $crate::output::stdout_write(format_args!($($arg)*))
+    };
+}
+
+/// `println!` that tolerates a closed stdout.
+macro_rules! outln {
+    () => {
+        $crate::output::stdout_writeln(format_args!(""))
+    };
+    ($($arg:tt)*) => {
+        $crate::output::stdout_writeln(format_args!($($arg)*))
+    };
+}
+
+/// `eprintln!` that tolerates a closed stderr.
+macro_rules! errln {
+    () => {
+        $crate::output::stderr_writeln(format_args!(""))
+    };
+    ($($arg:tt)*) => {
+        $crate::output::stderr_writeln(format_args!($($arg)*))
+    };
+}
+
+pub(crate) use {errln, out, outln};

@@ -1040,3 +1040,90 @@ fn check_trace_covers_conformance_stages() {
         assert!(text.contains(&format!("\"name\":\"{span}\"")), "{span}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Broken-pipe behaviour (`procmine … | head`).
+// ---------------------------------------------------------------------------
+
+/// Exit status for a stdout closed mid-write: 128 + SIGPIPE.
+const SIGPIPE_EXIT: i32 = 141;
+
+/// Runs the binary with stdout piped, immediately closes the read end,
+/// and returns (exit code, stderr). Any write to stdout after the close
+/// hits EPIPE.
+fn run_with_closed_stdout(args: &[&str]) -> (Option<i32>, String) {
+    use std::io::Read;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_procmine"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    drop(child.stdout.take()); // close the read end: writes now EPIPE
+    let mut stderr = String::new();
+    if let Some(mut err) = child.stderr.take() {
+        err.read_to_string(&mut stderr).unwrap();
+    }
+    let status = child.wait().unwrap();
+    (status.code(), stderr)
+}
+
+#[test]
+fn generate_to_closed_stdout_exits_quietly() {
+    // Enough output to overflow any pipe buffer, so a write is
+    // guaranteed to fail with EPIPE after the reader is gone.
+    let (code, stderr) = run_with_closed_stdout(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "5000",
+        "--seed",
+        "7",
+    ]);
+    assert_eq!(code, Some(SIGPIPE_EXIT), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "panic banner: {stderr}");
+    assert!(
+        !stderr.contains("RUST_BACKTRACE"),
+        "backtrace hint: {stderr}"
+    );
+}
+
+#[test]
+fn mine_to_closed_stdout_does_not_panic() {
+    let dir = tmpdir("epipe-mine");
+    let log = dir.join("g10.fm");
+    let out = procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "200",
+        "--seed",
+        "7",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let (code, stderr) = run_with_closed_stdout(&["mine", log.to_str().unwrap()]);
+    // Small outputs may complete before the first failed write is
+    // attempted; both a clean exit and the SIGPIPE status are fine.
+    // What must never happen is a panic.
+    assert!(
+        code == Some(0) || code == Some(SIGPIPE_EXIT),
+        "unexpected exit {code:?}, stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panic banner: {stderr}");
+}
+
+#[test]
+fn help_to_closed_stdout_does_not_panic() {
+    let (code, stderr) = run_with_closed_stdout(&["help"]);
+    assert!(
+        code == Some(0) || code == Some(SIGPIPE_EXIT),
+        "unexpected exit {code:?}, stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panic banner: {stderr}");
+}

@@ -25,8 +25,7 @@
 //! [`Violation::UnknownActivity`]. Neither panics. Both have `*_in`
 //! forms that run inside a [`MineSession`](crate::MineSession) and feed
 //! its [`ConformanceMetrics`](crate::telemetry::ConformanceMetrics)
-//! sink; the pre-session `*_instrumented` twins live on as deprecated
-//! shims in [`crate::compat`].
+//! sink.
 
 use crate::follows::FollowsAnalysis;
 use crate::session::MineSession;
@@ -36,9 +35,6 @@ use procmine_graph::{reach, scc, NodeId};
 use procmine_log::{ActivityId, ActivityInstance, Execution, WorkflowLog};
 use std::collections::HashMap;
 use std::time::Instant;
-
-#[allow(deprecated)]
-pub use crate::compat::{check_conformance_instrumented, check_execution_instrumented};
 
 /// One way an execution can fail Definition 6 against a model.
 #[derive(Debug, Clone, PartialEq, Eq)]

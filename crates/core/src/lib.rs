@@ -32,8 +32,7 @@
 //! that runs inside a [`MineSession`] — the one place to configure
 //! metrics, tracing, resource limits, and the thread count for the
 //! parallelizable stages. See [`session`](MineSession) for the builder
-//! idiom; the old `*_instrumented` twins are deprecated shims in
-//! [`compat`].
+//! idiom.
 //!
 //! # Example
 //!
@@ -67,7 +66,6 @@ mod special_dag;
 
 pub mod baseline;
 pub mod bpmn;
-pub mod compat;
 pub mod conformance;
 pub mod follows;
 pub mod metrics;
@@ -76,11 +74,6 @@ pub mod splits;
 pub mod telemetry;
 pub mod trace;
 
-#[allow(deprecated)]
-pub use compat::{
-    mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
-    mine_general_dag_parallel_instrumented, mine_special_dag_instrumented,
-};
 pub use cyclic::{mine_cyclic, mine_cyclic_in};
 pub use error::MineError;
 pub use general_dag::{mine_general_dag, mine_general_dag_in};

@@ -2,11 +2,11 @@
 //! execute — metrics sink, tracer, resource limits, and thread count —
 //! so the miners themselves only describe *what* each stage computes.
 //!
-//! A [`MineSession`] replaces the retired `*_instrumented` twin entry
-//! points (which hand-threaded `(sink, tracer)` through every call).
-//! The convenience miners (`mine_general_dag(log, &options)` etc.)
-//! build a default session internally; instrumented callers build one
-//! explicitly:
+//! A [`MineSession`] is the single way to configure instrumentation
+//! (the retired twin entry points hand-threaded `(sink, tracer)`
+//! through every call instead). The convenience miners
+//! (`mine_general_dag(log, &options)` etc.) build a default session
+//! internally; instrumented callers build one explicitly:
 //!
 //! ```
 //! use procmine_core::{mine_general_dag_in, MineSession, MinerMetrics, MinerOptions, Tracer};

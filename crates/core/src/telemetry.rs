@@ -306,7 +306,7 @@ fn format_nanos(nanos: u64) -> String {
 /// (defaulting to [`MinerMetrics`], so miner code writes plain
 /// `S: MetricsSink` bounds).
 ///
-/// The `*_instrumented` entry points are generic over this trait and
+/// The session-based entry points are generic over this trait and
 /// guard every measurement behind `Self::ENABLED`, a compile-time
 /// constant: with [`NullSink`] the guards are `if false` and the
 /// instrumentation vanishes at monomorphization, so the plain entry

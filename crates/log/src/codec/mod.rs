@@ -19,6 +19,7 @@ pub mod jsonl;
 pub mod seqs;
 pub mod stream;
 pub mod xes;
+pub mod xes_reference;
 
 use crate::LogError;
 use std::io::{BufRead, Read};

@@ -18,9 +18,33 @@
 //!   simplification;
 //! * output vectors ride on `complete` events as a `procmine:output`
 //!   string attribute (`"1;2;3"`), a documented extension.
+//!
+//! # Fast path
+//!
+//! The parser is zero-copy: the whole document is validated as UTF-8
+//! once up front, then a byte-offset [`Scanner`] slices names and
+//! attribute values straight out of the input. All XML delimiters are
+//! ASCII, so byte search never lands inside a multi-byte character;
+//! values are borrowed (`Cow::Borrowed`) unless they contain an entity
+//! (`&…;`), which is the only case that allocates. Errors keep the
+//! historical contract — byte offsets, 1-based line:column (column in
+//! characters), [`LogError::UnexpectedEof`] at clean truncation — by
+//! computing positions lazily on the error paths only.
+//!
+//! [`read_log_with_threads`] adds a chunked parallel mode: the input is
+//! split at top-level-looking `<trace` boundaries and chunks are parsed
+//! on scoped threads. The merge step re-validates every assumption the
+//! split makes (no chunk errors, no state leaking across boundaries, no
+//! case names shared between chunks) and falls back to the serial
+//! parser whenever anything is off, so error reports and recovery
+//! behaviour are byte-for-byte identical to a serial read. The previous
+//! character-based implementation is preserved as
+//! [`xes_reference`](super::xes_reference) and pinned to this one by
+//! differential tests.
 
 use super::{CodecStats, IngestReport, RecoveryPolicy};
 use crate::{EventKind, EventRecord, LogError, WorkflowLog};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
@@ -54,9 +78,10 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
     (y + i64::from(m <= 2), m, d)
 }
 
-/// Formats milliseconds since the Unix epoch as
+/// Appends `millis` since the Unix epoch to `out` as
 /// `YYYY-MM-DDThh:mm:ss.mmm+00:00`.
-pub fn millis_to_iso8601(millis: u64) -> String {
+fn push_iso8601(out: &mut String, millis: u64) {
+    use std::fmt::Write as _;
     let total_secs = millis / 1000;
     let ms = millis % 1000;
     let days = (total_secs / 86_400) as i64;
@@ -67,20 +92,38 @@ pub fn millis_to_iso8601(millis: u64) -> String {
         (secs_of_day % 3600) / 60,
         secs_of_day % 60,
     );
-    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{ms:03}+00:00")
+    let _ = write!(
+        out,
+        "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{ms:03}+00:00"
+    );
+}
+
+/// Formats milliseconds since the Unix epoch as
+/// `YYYY-MM-DDThh:mm:ss.mmm+00:00`.
+pub fn millis_to_iso8601(millis: u64) -> String {
+    let mut out = String::with_capacity(29);
+    push_iso8601(&mut out, millis);
+    out
 }
 
 /// Parses an ISO 8601 timestamp to milliseconds since the Unix epoch.
-/// Accepts `YYYY-MM-DDThh:mm:ss[.fff][Z|±hh:mm]`; offsets are applied.
-/// Timestamps before the epoch are rejected (the log model's clock is
-/// unsigned).
+/// Accepts `YYYY-MM-DDThh:mm:ss[.fff][Z|±hh:mm]`; the `T` separator may
+/// also be lowercase `t` or a space, and the zone designator may be
+/// lowercase `z`. Offsets are applied. Timestamps before the epoch are
+/// rejected (the log model's clock is unsigned).
+///
+/// The leap-second spelling `:60` is **clamped to `:59`** (fractional
+/// part preserved): the log clock is POSIX-like and has no leap
+/// seconds, and [`millis_to_iso8601`] never emits `:60`, so
+/// `parse ∘ format` is the identity and `format ∘ parse` is idempotent
+/// — XES round-trips are byte-stable.
 pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
     let bytes = text.as_bytes();
     let fail = || format!("invalid ISO 8601 timestamp `{text}`");
     if bytes.len() < 19
         || bytes[4] != b'-'
         || bytes[7] != b'-'
-        || (bytes[10] != b'T' && bytes[10] != b' ')
+        || !matches!(bytes[10], b'T' | b't' | b' ')
     {
         return Err(fail());
     }
@@ -109,6 +152,8 @@ pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
     if bytes[13] != b':' || bytes[16] != b':' || h > 23 || mi > 59 || s > 60 {
         return Err(fail());
     }
+    // Leap second: fold into the last ordinary second of the minute.
+    let s = s.min(59);
 
     let mut pos = 19;
     let mut ms: i64 = 0;
@@ -133,7 +178,7 @@ pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
     let mut offset_minutes: i64 = 0;
     match bytes.get(pos) {
         None => {}
-        Some(b'Z') if pos + 1 == bytes.len() => {}
+        Some(b'Z' | b'z') if pos + 1 == bytes.len() => {}
         Some(sign @ (b'+' | b'-')) => {
             if bytes.len() != pos + 6 || bytes[pos + 3] != b':' {
                 return Err(fail());
@@ -154,47 +199,59 @@ pub fn iso8601_to_millis(text: &str) -> Result<u64, String> {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal XML pull parser.
+// Zero-copy XML pull scanner.
 // ---------------------------------------------------------------------------
 
-/// An XML event from the mini-parser.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Xml {
-    Open {
-        name: String,
-        attrs: HashMap<String, String>,
-        self_closing: bool,
-    },
-    Close(String),
+/// First position of `needle` in `hay`. `Iterator::position` over bytes
+/// compiles to a vectorized scan, which is all the memchr this needs.
+#[inline]
+fn find_byte(needle: u8, hay: &[u8]) -> Option<usize> {
+    hay.iter().position(|&b| b == needle)
 }
 
-struct XmlParser {
-    text: Vec<char>,
+/// An XML tag event. Borrowed from the document text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag<'a> {
+    Open { name: &'a str, self_closing: bool },
+    Close(&'a str),
+}
+
+/// The only two attributes the XES subset reads (`key="…"`/`value="…"`
+/// on `<string>`-family elements). Captured during tag parsing so
+/// uninteresting attributes are scanned but never stored.
+#[derive(Default)]
+struct KeyValue<'a> {
+    key: Option<Cow<'a, str>>,
+    value: Option<Cow<'a, str>>,
+}
+
+/// Byte-offset scanner over a UTF-8 document. `pos` always sits on a
+/// character boundary: every delimiter searched for is ASCII, and the
+/// Unicode-aware paths (names, whitespace) advance by whole `char`s.
+struct Scanner<'a> {
+    text: &'a str,
     pos: usize,
 }
 
-impl XmlParser {
-    fn new(text: &str) -> Self {
-        XmlParser {
-            text: text.chars().collect(),
-            pos: 0,
-        }
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner { text, pos: 0 }
     }
 
     /// 1-based line, 1-based column (in characters), and byte offset of
     /// the current position. O(pos), but only paid on the error paths.
     fn position(&self) -> (usize, usize, u64) {
-        let (mut line, mut column, mut bytes) = (1usize, 1usize, 0u64);
-        for &c in &self.text[..self.pos.min(self.text.len())] {
-            bytes += c.len_utf8() as u64;
-            if c == '\n' {
+        let end = self.pos.min(self.text.len());
+        let mut line = 1usize;
+        let mut line_start = 0usize;
+        for (i, &b) in self.text.as_bytes()[..end].iter().enumerate() {
+            if b == b'\n' {
                 line += 1;
-                column = 1;
-            } else {
-                column += 1;
+                line_start = i + 1;
             }
         }
-        (line, column, bytes)
+        let column = 1 + self.text[line_start..end].chars().count();
+        (line, column, end as u64)
     }
 
     /// An error at the current position: [`LogError::UnexpectedEof`]
@@ -220,119 +277,19 @@ impl XmlParser {
     /// offending character so the pull loop re-syncs at the next `<`.
     /// Always advances, so a corrupt document cannot loop forever.
     fn resync(&mut self) {
-        self.pos += 1;
+        let step = self.text[self.pos.min(self.text.len())..]
+            .chars()
+            .next()
+            .map_or(1, char::len_utf8);
+        self.pos += step;
     }
 
-    /// Next element-open or element-close event, skipping text,
-    /// comments, declarations and processing instructions.
-    fn next(&mut self) -> Result<Option<Xml>, LogError> {
-        loop {
-            // Skip character data.
-            while self.pos < self.text.len() && self.text[self.pos] != '<' {
-                self.pos += 1;
-            }
-            if self.pos >= self.text.len() {
-                return Ok(None);
-            }
-            // Comment / declaration / PI?
-            if self.starts_with("<!--") {
-                self.skip_until("-->")?;
-                continue;
-            }
-            if self.starts_with("<?") {
-                self.skip_until("?>")?;
-                continue;
-            }
-            if self.starts_with("<!") {
-                self.skip_until(">")?;
-                continue;
-            }
-            if self.starts_with("</") {
-                self.pos += 2;
-                let name = self.read_name()?;
-                self.skip_ws();
-                if !self.consume('>') {
-                    return Err(self.error("malformed closing tag"));
-                }
-                return Ok(Some(Xml::Close(name)));
-            }
-            // Opening tag.
-            self.pos += 1;
-            let name = self.read_name()?;
-            let mut attrs = HashMap::new();
-            loop {
-                self.skip_ws();
-                if self.consume('>') {
-                    return Ok(Some(Xml::Open {
-                        name,
-                        attrs,
-                        self_closing: false,
-                    }));
-                }
-                if self.starts_with("/>") {
-                    self.pos += 2;
-                    return Ok(Some(Xml::Open {
-                        name,
-                        attrs,
-                        self_closing: true,
-                    }));
-                }
-                let key = self.read_name()?;
-                self.skip_ws();
-                if !self.consume('=') {
-                    return Err(self.error(format!("attribute `{key}` missing `=`")));
-                }
-                self.skip_ws();
-                let quote = if self.consume('"') {
-                    '"'
-                } else if self.consume('\'') {
-                    '\''
-                } else {
-                    return Err(self.error(format!("attribute `{key}` missing quote")));
-                };
-                let start = self.pos;
-                while self.pos < self.text.len() && self.text[self.pos] != quote {
-                    self.pos += 1;
-                }
-                if self.pos >= self.text.len() {
-                    return Err(self.error("unterminated attribute value"));
-                }
-                let raw: String = self.text[start..self.pos].iter().collect();
-                self.pos += 1; // closing quote
-                let value = unescape(&raw).map_err(|m| self.error(m))?;
-                attrs.insert(key, value);
-            }
-        }
+    fn starts_with(&self, pat: &[u8]) -> bool {
+        self.text.as_bytes()[self.pos.min(self.text.len())..].starts_with(pat)
     }
 
-    fn starts_with(&self, s: &str) -> bool {
-        self.text[self.pos..]
-            .iter()
-            .zip(s.chars())
-            .filter(|(a, b)| **a == *b)
-            .count()
-            == s.len()
-    }
-
-    fn skip_until(&mut self, end: &str) -> Result<(), LogError> {
-        while self.pos < self.text.len() {
-            if self.starts_with(end) {
-                self.pos += end.len();
-                return Ok(());
-            }
-            self.pos += 1;
-        }
-        Err(self.error(format!("unterminated construct (expected `{end}`)")))
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.text.len() && self.text[self.pos].is_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn consume(&mut self, c: char) -> bool {
-        if self.pos < self.text.len() && self.text[self.pos] == c {
+    fn consume(&mut self, b: u8) -> bool {
+        if self.pos < self.text.len() && self.text.as_bytes()[self.pos] == b {
             self.pos += 1;
             true
         } else {
@@ -340,25 +297,178 @@ impl XmlParser {
         }
     }
 
-    fn read_name(&mut self) -> Result<String, LogError> {
-        let start = self.pos;
-        while self.pos < self.text.len() {
-            let c = self.text[self.pos];
-            if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.') {
-                self.pos += 1;
+    fn skip_until(&mut self, end: &str) -> Result<(), LogError> {
+        let bytes = self.text.as_bytes();
+        let pat = end.as_bytes();
+        let mut i = self.pos.min(bytes.len());
+        while i < bytes.len() {
+            match find_byte(pat[0], &bytes[i..]) {
+                Some(k) => {
+                    i += k;
+                    if bytes[i..].starts_with(pat) {
+                        self.pos = i + pat.len();
+                        return Ok(());
+                    }
+                    i += 1;
+                }
+                None => break,
+            }
+        }
+        self.pos = bytes.len();
+        Err(self.error(format!("unterminated construct (expected `{end}`)")))
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.text.as_bytes();
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            if b.is_ascii() {
+                if matches!(b, b'\t' | b'\n' | 0x0b | 0x0c | b'\r' | b' ') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
             } else {
-                break;
+                // Unicode whitespace: match `char::is_whitespace`.
+                match self.text[self.pos..].chars().next() {
+                    Some(c) if c.is_whitespace() => self.pos += c.len_utf8(),
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<&'a str, LogError> {
+        let bytes = self.text.as_bytes();
+        let start = self.pos;
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            if b.is_ascii() {
+                if b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                // Unicode name characters: match `char::is_alphanumeric`.
+                match self.text[self.pos..].chars().next() {
+                    Some(c) if c.is_alphanumeric() => self.pos += c.len_utf8(),
+                    _ => break,
+                }
             }
         }
         if self.pos == start {
             return Err(self.error("expected a name"));
         }
-        Ok(self.text[start..self.pos].iter().collect())
+        Ok(&self.text[start..self.pos])
+    }
+
+    /// Next element-open or element-close event, skipping text,
+    /// comments, declarations and processing instructions. `key`/`value`
+    /// attributes of an opening tag are captured into `kv`; all other
+    /// attributes are scanned (and validated) but dropped.
+    fn next(&mut self, kv: &mut KeyValue<'a>) -> Result<Option<Tag<'a>>, LogError> {
+        let bytes = self.text.as_bytes();
+        self.pos = self.pos.min(bytes.len());
+        loop {
+            // Skip character data.
+            match find_byte(b'<', &bytes[self.pos..]) {
+                Some(i) => self.pos += i,
+                None => {
+                    self.pos = bytes.len();
+                    return Ok(None);
+                }
+            }
+            // Comment / declaration / PI?
+            if self.starts_with(b"<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with(b"<?") {
+                self.skip_until("?>")?;
+                continue;
+            }
+            if self.starts_with(b"<!") {
+                self.skip_until(">")?;
+                continue;
+            }
+            if self.starts_with(b"</") {
+                self.pos += 2;
+                let name = self.read_name()?;
+                self.skip_ws();
+                if !self.consume(b'>') {
+                    return Err(self.error("malformed closing tag"));
+                }
+                return Ok(Some(Tag::Close(name)));
+            }
+            // Opening tag.
+            self.pos += 1;
+            let name = self.read_name()?;
+            kv.key = None;
+            kv.value = None;
+            loop {
+                self.skip_ws();
+                if self.consume(b'>') {
+                    return Ok(Some(Tag::Open {
+                        name,
+                        self_closing: false,
+                    }));
+                }
+                if self.starts_with(b"/>") {
+                    self.pos += 2;
+                    return Ok(Some(Tag::Open {
+                        name,
+                        self_closing: true,
+                    }));
+                }
+                let key = self.read_name()?;
+                self.skip_ws();
+                if !self.consume(b'=') {
+                    return Err(self.error(format!("attribute `{key}` missing `=`")));
+                }
+                self.skip_ws();
+                let quote = if self.consume(b'"') {
+                    b'"'
+                } else if self.consume(b'\'') {
+                    b'\''
+                } else {
+                    return Err(self.error(format!("attribute `{key}` missing quote")));
+                };
+                let start = self.pos;
+                match find_byte(quote, &bytes[self.pos..]) {
+                    Some(i) => self.pos += i,
+                    None => {
+                        self.pos = bytes.len();
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                }
+                let raw = &self.text[start..self.pos];
+                self.pos += 1; // closing quote
+                let value = if raw.as_bytes().contains(&b'&') {
+                    Cow::Owned(unescape(raw).map_err(|m| self.error(m))?)
+                } else {
+                    Cow::Borrowed(raw)
+                };
+                match key {
+                    "key" => kv.key = Some(value),
+                    "value" => kv.value = Some(value),
+                    _ => {}
+                }
+            }
+        }
     }
 }
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Appends `s` to `out` with XML entity escaping. The escape-free case
+/// (overwhelmingly common) is a single bulk copy.
+fn push_escaped(out: &mut String, s: &str) {
+    if !s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\''))
+    {
+        out.push_str(s);
+        return;
+    }
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -369,12 +479,11 @@ fn escape(s: &str) -> String {
             other => out.push(other),
         }
     }
-    out
 }
 
 /// Resolves entity escapes; the `Err` message is positioned by the
-/// caller (via [`XmlParser::error`]).
-fn unescape(s: &str) -> Result<String, String> {
+/// caller (via [`Scanner::error`]).
+pub(crate) fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.char_indices();
     while let Some((i, c)) = chars.next() {
@@ -407,34 +516,28 @@ fn unescape(s: &str) -> Result<String, String> {
 // XES writing.
 // ---------------------------------------------------------------------------
 
-/// Writes a log as XES.
+const XES_HEADER: &str = concat!(
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n",
+    "<log xes.version=\"1.0\" xes.features=\"nested-attributes\" openxes.version=\"procmine\">\n",
+    "  <extension name=\"Concept\" prefix=\"concept\" uri=\"http://www.xes-standard.org/concept.xesext\"/>\n",
+    "  <extension name=\"Lifecycle\" prefix=\"lifecycle\" uri=\"http://www.xes-standard.org/lifecycle.xesext\"/>\n",
+    "  <extension name=\"Time\" prefix=\"time\" uri=\"http://www.xes-standard.org/time.xesext\"/>\n",
+);
+
+/// Writes a log as XES. The document is built in memory and written
+/// with a single `write_all`, so `w` needs no buffering of its own.
 pub fn write_log<W: Write>(log: &WorkflowLog, mut w: W) -> Result<(), LogError> {
-    writeln!(w, r#"<?xml version="1.0" encoding="UTF-8"?>"#)?;
-    writeln!(
-        w,
-        r#"<log xes.version="1.0" xes.features="nested-attributes" openxes.version="procmine">"#
-    )?;
-    writeln!(
-        w,
-        r#"  <extension name="Concept" prefix="concept" uri="http://www.xes-standard.org/concept.xesext"/>"#
-    )?;
-    writeln!(
-        w,
-        r#"  <extension name="Lifecycle" prefix="lifecycle" uri="http://www.xes-standard.org/lifecycle.xesext"/>"#
-    )?;
-    writeln!(
-        w,
-        r#"  <extension name="Time" prefix="time" uri="http://www.xes-standard.org/time.xesext"/>"#
-    )?;
+    use std::fmt::Write as _;
+    let instances: usize = log.executions().iter().map(|e| e.instances().len()).sum();
+    let mut out = String::with_capacity(XES_HEADER.len() + 16 + log.len() * 64 + instances * 300);
+    out.push_str(XES_HEADER);
+    let mut events: Vec<(u64, bool, usize)> = Vec::new(); // (time, is_end, instance)
     for exec in log.executions() {
-        writeln!(w, "  <trace>")?;
-        writeln!(
-            w,
-            r#"    <string key="concept:name" value="{}"/>"#,
-            escape(&exec.id)
-        )?;
+        out.push_str("  <trace>\n    <string key=\"concept:name\" value=\"");
+        push_escaped(&mut out, &exec.id);
+        out.push_str("\"/>\n");
         // Emit events in time order (START before END at equal stamps).
-        let mut events: Vec<(u64, bool, usize)> = Vec::new(); // (time, is_end, instance)
+        events.clear();
         for (i, inst) in exec.instances().iter().enumerate() {
             if inst.start == inst.end {
                 events.push((inst.end, true, i)); // single complete event
@@ -444,40 +547,34 @@ pub fn write_log<W: Write>(log: &WorkflowLog, mut w: W) -> Result<(), LogError> 
             }
         }
         events.sort_by_key(|&(t, is_end, _)| (t, is_end));
-        for (time, is_end, i) in events {
+        for &(time, is_end, i) in &events {
             let inst = &exec.instances()[i];
             let name = log.activities().name(inst.activity);
-            writeln!(w, "    <event>")?;
-            writeln!(
-                w,
-                r#"      <string key="concept:name" value="{}"/>"#,
-                escape(name)
-            )?;
-            writeln!(
-                w,
-                r#"      <string key="lifecycle:transition" value="{}"/>"#,
-                if is_end { "complete" } else { "start" }
-            )?;
-            writeln!(
-                w,
-                r#"      <date key="time:timestamp" value="{}"/>"#,
-                millis_to_iso8601(time)
-            )?;
+            out.push_str("    <event>\n      <string key=\"concept:name\" value=\"");
+            push_escaped(&mut out, name);
+            out.push_str("\"/>\n      <string key=\"lifecycle:transition\" value=\"");
+            out.push_str(if is_end { "complete" } else { "start" });
+            out.push_str("\"/>\n      <date key=\"time:timestamp\" value=\"");
+            push_iso8601(&mut out, time);
+            out.push_str("\"/>\n");
             if is_end {
                 if let Some(output) = &inst.output {
-                    let joined: Vec<String> = output.iter().map(i64::to_string).collect();
-                    writeln!(
-                        w,
-                        r#"      <string key="procmine:output" value="{}"/>"#,
-                        joined.join(";")
-                    )?;
+                    out.push_str("      <string key=\"procmine:output\" value=\"");
+                    for (k, v) in output.iter().enumerate() {
+                        if k > 0 {
+                            out.push(';');
+                        }
+                        let _ = write!(out, "{v}");
+                    }
+                    out.push_str("\"/>\n");
                 }
             }
-            writeln!(w, "    </event>")?;
+            out.push_str("    </event>\n");
         }
-        writeln!(w, "  </trace>")?;
+        out.push_str("  </trace>\n");
     }
-    writeln!(w, "</log>")?;
+    out.push_str("</log>\n");
+    w.write_all(out.as_bytes())?;
     Ok(())
 }
 
@@ -522,10 +619,78 @@ pub fn read_log_with<R: BufRead>(
     let read_result = reader.read_to_end(&mut raw);
     stats.bytes_read += raw.len() as u64;
     read_result?;
-    let text = match String::from_utf8(raw) {
-        Ok(text) => text,
+    let text = decode_utf8(&raw, policy, report)?;
+    read_text(&text, policy, stats, report)
+}
+
+/// Minimum input size for the chunked parallel decode. Below this the
+/// serial parser wins: spawning scoped threads costs tens of
+/// microseconds, which dwarfs the parse itself.
+pub const PARALLEL_XES_MIN_BYTES: usize = 64 * 1024;
+
+/// [`read_log_with`] with a chunked parallel decode. With `threads > 1`
+/// and at least [`PARALLEL_XES_MIN_BYTES`] of input the document is
+/// split at top-level `<trace` boundaries and chunks are parsed on
+/// scoped threads. The fast path engages only when every chunk parses
+/// cleanly and no parser state crosses a chunk boundary; otherwise the
+/// input is re-parsed serially, so results — including error offsets,
+/// recovery behaviour and truncation detection — are identical to
+/// [`read_log_with`] in all cases.
+pub fn read_log_with_threads<R: BufRead>(
+    reader: R,
+    policy: RecoveryPolicy,
+    threads: usize,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    read_log_with_threads_min_bytes(
+        reader,
+        policy,
+        threads,
+        PARALLEL_XES_MIN_BYTES,
+        stats,
+        report,
+    )
+}
+
+/// [`read_log_with_threads`] with an explicit parallel threshold.
+/// Exposed for tests and tuning; most callers want the default.
+#[doc(hidden)]
+pub fn read_log_with_threads_min_bytes<R: BufRead>(
+    mut reader: R,
+    policy: RecoveryPolicy,
+    threads: usize,
+    min_bytes: usize,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    let mut raw = Vec::new();
+    let read_result = reader.read_to_end(&mut raw);
+    stats.bytes_read += raw.len() as u64;
+    read_result?;
+    let text = decode_utf8(&raw, policy, report)?;
+    if threads > 1 && text.len() >= min_bytes {
+        if let Some((records, events)) = parallel_parse(&text, threads) {
+            stats.events_parsed += events;
+            report.records_parsed += events;
+            return assemble(records, policy, stats, report);
+        }
+    }
+    read_text(&text, policy, stats, report)
+}
+
+/// Validates `raw` as UTF-8 without copying; under a recovery policy an
+/// invalid input is decoded lossily (recorded in `report`), matching
+/// the historical behaviour.
+fn decode_utf8<'a>(
+    raw: &'a [u8],
+    policy: RecoveryPolicy,
+    report: &mut IngestReport,
+) -> Result<Cow<'a, str>, LogError> {
+    match std::str::from_utf8(raw) {
+        Ok(text) => Ok(Cow::Borrowed(text)),
         Err(e) => {
-            let offset = e.utf8_error().valid_up_to() as u64;
+            let offset = e.valid_up_to() as u64;
             if policy.is_strict() {
                 let err = LogError::Parse {
                     line: 0,
@@ -536,11 +701,31 @@ pub fn read_log_with<R: BufRead>(
             }
             report.record_error(offset, 0, "input is not valid UTF-8; decoding lossily");
             report.over_budget(policy)?;
-            String::from_utf8_lossy(e.as_bytes()).into_owned()
+            Ok(String::from_utf8_lossy(raw))
         }
-    };
-    let mut parser = XmlParser::new(&text);
-    let records = parse_events(&mut parser, policy, stats, report)?;
+    }
+}
+
+/// Serial parse + assembly of a decoded document.
+fn read_text(
+    text: &str,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
+    let mut scanner = Scanner::new(text);
+    let outcome = parse_records(&mut scanner, policy, stats, report, true)?;
+    assemble(outcome.records, policy, stats, report)
+}
+
+/// Builds the final [`WorkflowLog`] from parsed event records: strict
+/// assembly under `Strict`, lenient START/END pairing otherwise.
+fn assemble(
+    records: Vec<EventRecord>,
+    policy: RecoveryPolicy,
+    stats: &mut CodecStats,
+    report: &mut IngestReport,
+) -> Result<WorkflowLog, LogError> {
     let log = if policy.is_strict() {
         WorkflowLog::from_events(&records).map_err(|e| {
             report.record_error(stats.bytes_read, 0, e.to_string());
@@ -568,42 +753,86 @@ pub fn read_log_with<R: BufRead>(
     Ok(log)
 }
 
-fn parse_events(
-    parser: &mut XmlParser,
+/// Per-case, per-activity count of START events not yet closed by an
+/// END — an O(1) replacement for the reference parser's linear scans,
+/// with provably identical outcomes.
+type BalanceMap = HashMap<String, HashMap<String, usize>>;
+
+/// Everything one `parse_records` pass produces. The serial path only
+/// uses `records`; the rest lets the parallel coordinator prove that a
+/// chunked parse is equivalent to a serial one (or fall back).
+struct ParseOutcome<'a> {
+    records: Vec<EventRecord>,
+    /// `(record index, local trace ordinal)` for records whose case is
+    /// an auto-generated `trace-N` name; the parallel merge rewrites
+    /// these with the chunk's global trace base.
+    default_named: Vec<(usize, usize)>,
+    /// `<trace>` opens seen.
+    traces: usize,
+    /// Successfully closed `<event>` elements.
+    events: u64,
+    /// Elements still open at EOF, innermost last.
+    open_at_eof: Vec<&'a str>,
+    /// Close tags that matched no open element, in input order.
+    unmatched_closes: Vec<&'a str>,
+    /// An `<event>` scope was still active at EOF (a self-closing
+    /// `<event/>` sets this without a stack entry).
+    in_event_at_eof: bool,
+    /// Some event had no `time:timestamp` and fell back to its ordinal,
+    /// which depends on global record count — poison for chunking.
+    used_ordinal_fallback: bool,
+}
+
+/// The pull loop: tags in, event records out. With `check_truncation`
+/// an open element at EOF is reported as [`LogError::UnexpectedEof`]
+/// (the document was cut off); chunk parses disable that check and let
+/// the coordinator judge the residual stack instead.
+fn parse_records<'a>(
+    scanner: &mut Scanner<'a>,
     policy: RecoveryPolicy,
     stats: &mut CodecStats,
     report: &mut IngestReport,
-) -> Result<Vec<EventRecord>, LogError> {
+    check_truncation: bool,
+) -> Result<ParseOutcome<'a>, LogError> {
     let mut records: Vec<EventRecord> = Vec::new();
+    let mut default_named: Vec<(usize, usize)> = Vec::new();
+    let mut balance = BalanceMap::new();
+    let mut events = 0u64;
+    let mut used_ordinal_fallback = false;
     // Parse state.
-    let mut trace_name: Option<String> = None;
+    let mut trace_name: Option<Cow<'a, str>> = None;
+    let mut trace_default = false;
     let mut trace_counter = 0usize;
     let mut in_event = false;
-    let mut event_attrs: HashMap<String, String> = HashMap::new();
+    let mut attrs = EventAttrs::default();
+    let mut kv = KeyValue::default();
     // Open (non-self-closing) elements, innermost last. A non-empty
     // stack at EOF means the document was cut off between records —
     // truncation that clean XML-level parsing would otherwise miss.
-    let mut open_elements: Vec<String> = Vec::new();
+    let mut open_elements: Vec<&'a str> = Vec::new();
+    let mut unmatched_closes: Vec<&'a str> = Vec::new();
     loop {
-        let xml = match parser.next() {
+        let tag = match scanner.next(&mut kv) {
             Ok(None) => {
-                if let Some(innermost) = open_elements.last() {
-                    let (line, _, byte_offset) = parser.position();
-                    let err = LogError::UnexpectedEof {
-                        byte_offset,
-                        message: format!("input ends inside an open <{innermost}> element"),
-                    };
-                    report.record_error(byte_offset, line, err.to_string());
-                    if policy.is_strict() {
-                        return Err(err);
+                if check_truncation {
+                    if let Some(innermost) = open_elements.last() {
+                        let (line, _, byte_offset) = scanner.position();
+                        let err = LogError::UnexpectedEof {
+                            byte_offset,
+                            message: format!("input ends inside an open <{innermost}> element"),
+                        };
+                        report.record_error(byte_offset, line, err.to_string());
+                        if policy.is_strict() {
+                            return Err(err);
+                        }
+                        report.over_budget(policy)?;
                     }
-                    report.over_budget(policy)?;
                 }
                 break;
             }
-            Ok(Some(xml)) => xml,
+            Ok(Some(tag)) => tag,
             Err(e) => {
-                let (line, _, byte_offset) = parser.position();
+                let (line, _, byte_offset) = scanner.position();
                 report.record_error(byte_offset, line, e.to_string());
                 if policy.is_strict() {
                     return Err(e);
@@ -611,59 +840,74 @@ fn parse_events(
                 report.over_budget(policy)?;
                 // Attribute state is suspect after a syntax error.
                 in_event = false;
-                parser.resync();
+                scanner.resync();
                 continue;
             }
         };
-        match &xml {
-            Xml::Open {
+        match tag {
+            Tag::Open {
                 name,
                 self_closing: false,
-                ..
-            } => open_elements.push(name.clone()),
-            Xml::Close(name) => {
+            } => open_elements.push(name),
+            Tag::Close(name) => {
                 // Pop to the innermost matching element; mismatches are
                 // tolerated (recovery resync can drop close tags).
-                if let Some(i) = open_elements.iter().rposition(|n| n == name) {
+                if let Some(i) = open_elements.iter().rposition(|n| *n == name) {
                     open_elements.truncate(i);
+                } else {
+                    unmatched_closes.push(name);
                 }
             }
             _ => {}
         }
-        match xml {
-            Xml::Open { name, .. } if name == "trace" => {
+        match tag {
+            Tag::Open { name: "trace", .. } => {
                 trace_counter += 1;
-                trace_name = Some(format!("trace-{trace_counter}"));
+                trace_name = Some(Cow::Owned(format!("trace-{trace_counter}")));
+                trace_default = true;
             }
-            Xml::Open { name, .. } if name == "event" => {
+            Tag::Open { name: "event", .. } => {
                 in_event = true;
-                event_attrs.clear();
+                attrs.clear();
             }
-            Xml::Open { name, attrs, .. }
-                if matches!(
-                    name.as_str(),
-                    "string" | "date" | "int" | "float" | "boolean"
-                ) =>
-            {
+            Tag::Open {
+                name: "string" | "date" | "int" | "float" | "boolean",
+                ..
+            } => {
                 // Nested attributes are allowed by XES; we only need the
                 // top-level key/value, children are skipped naturally.
-                let key = attrs.get("key").cloned().unwrap_or_default();
-                let value = attrs.get("value").cloned().unwrap_or_default();
+                let key = kv.key.take().unwrap_or(Cow::Borrowed(""));
+                let value = kv.value.take().unwrap_or(Cow::Borrowed(""));
                 if in_event {
-                    event_attrs.insert(key, value);
+                    attrs.set(&key, value);
                 } else if key == "concept:name" && trace_name.is_some() {
                     trace_name = Some(value);
+                    trace_default = false;
                 }
             }
-            Xml::Close(name) if name == "event" => {
+            Tag::Close("event") => {
                 in_event = false;
-                match close_event(&event_attrs, trace_name.as_deref(), &mut records, parser) {
+                let len_before = records.len();
+                match close_event(
+                    &attrs,
+                    trace_name.as_deref(),
+                    &mut records,
+                    &mut balance,
+                    scanner,
+                    &mut used_ordinal_fallback,
+                ) {
                     Ok(()) => {
                         stats.events_parsed += 1;
                         report.records_parsed += 1;
+                        events += 1;
+                        if trace_default && trace_name.is_some() {
+                            for i in len_before..records.len() {
+                                default_named.push((i, trace_counter));
+                            }
+                        }
                     }
                     Err(e) => {
-                        let (line, _, byte_offset) = parser.position();
+                        let (line, _, byte_offset) = scanner.position();
                         report.record_error(byte_offset, line, e.to_string());
                         if policy.is_strict() {
                             return Err(e);
@@ -673,83 +917,310 @@ fn parse_events(
                     }
                 }
             }
-            Xml::Close(name) if name == "trace" => {
+            Tag::Close("trace") => {
                 trace_name = None;
             }
             _ => {}
         }
     }
-    Ok(records)
+    Ok(ParseOutcome {
+        records,
+        default_named,
+        traces: trace_counter,
+        events,
+        open_at_eof: open_elements,
+        unmatched_closes,
+        in_event_at_eof: in_event,
+        used_ordinal_fallback,
+    })
+}
+
+/// The four event attributes the log model reads. Last write wins,
+/// like the reference parser's attribute map.
+#[derive(Default)]
+struct EventAttrs<'a> {
+    name: Option<Cow<'a, str>>,
+    transition: Option<Cow<'a, str>>,
+    timestamp: Option<Cow<'a, str>>,
+    output: Option<Cow<'a, str>>,
+}
+
+impl<'a> EventAttrs<'a> {
+    fn clear(&mut self) {
+        *self = EventAttrs::default();
+    }
+
+    fn set(&mut self, key: &str, value: Cow<'a, str>) {
+        match key {
+            "concept:name" => self.name = Some(value),
+            "lifecycle:transition" => self.transition = Some(value),
+            "time:timestamp" => self.timestamp = Some(value),
+            "procmine:output" => self.output = Some(value),
+            _ => {}
+        }
+    }
 }
 
 /// Turns one closed `<event>` into START/END records. Validates before
 /// pushing, so a failed event leaves `records` untouched.
 fn close_event(
-    event_attrs: &HashMap<String, String>,
+    attrs: &EventAttrs<'_>,
     trace_name: Option<&str>,
     records: &mut Vec<EventRecord>,
-    parser: &XmlParser,
+    balance: &mut BalanceMap,
+    scanner: &Scanner<'_>,
+    used_ordinal_fallback: &mut bool,
 ) -> Result<(), LogError> {
-    let case = trace_name.unwrap_or("trace-0").to_string();
-    let activity = event_attrs
-        .get("concept:name")
-        .cloned()
-        .ok_or_else(|| parser.error("event without concept:name"))?;
-    let stamp = match event_attrs.get("time:timestamp") {
-        Some(ts) => iso8601_to_millis(ts).map_err(|message| parser.error(message))?,
-        None => records.len() as u64, // ordinal fallback
+    let case = trace_name.unwrap_or("trace-0");
+    let activity = attrs
+        .name
+        .as_deref()
+        .ok_or_else(|| scanner.error("event without concept:name"))?;
+    let stamp = match attrs.timestamp.as_deref() {
+        Some(ts) => iso8601_to_millis(ts).map_err(|message| scanner.error(message))?,
+        None => {
+            *used_ordinal_fallback = true;
+            records.len() as u64 // ordinal fallback
+        }
     };
-    let transition = event_attrs
-        .get("lifecycle:transition")
-        .map(|s| s.to_ascii_lowercase())
-        .unwrap_or_else(|| "complete".to_string());
-    let output = event_attrs.get("procmine:output").map(|v| {
+    let transition: Cow<'_, str> = match attrs.transition.as_deref() {
+        Some(s) => Cow::Owned(s.to_ascii_lowercase()),
+        None => Cow::Borrowed("complete"),
+    };
+    let output = attrs.output.as_deref().map(|v| {
         v.split(';')
             .filter_map(|x| x.trim().parse::<i64>().ok())
             .collect::<Vec<i64>>()
     });
-    match transition.as_str() {
-        "start" => records.push(EventRecord {
-            process: case,
-            activity,
+    if transition == "start" {
+        records.push(EventRecord {
+            process: case.to_string(),
+            activity: activity.to_string(),
             kind: EventKind::Start,
             time: stamp,
             output: None,
-        }),
+        });
+        let open = balance
+            .entry(case.to_string())
+            .or_default()
+            .entry(activity.to_string())
+            .or_insert(0);
+        *open += 1;
+    } else {
         // Everything else — complete, and coarse lifecycles like
-        // "ate_abort" — closes the instance.
-        _ => {
-            // If no START is open for this activity in this case,
-            // synthesize an instantaneous one.
-            let open_starts = records
-                .iter()
-                .filter(|r| {
-                    r.process == case && r.activity == activity && r.kind == EventKind::Start
-                })
-                .count();
-            let closed = records
-                .iter()
-                .filter(|r| r.process == case && r.activity == activity && r.kind == EventKind::End)
-                .count();
-            if open_starts == closed {
-                records.push(EventRecord {
-                    process: case.clone(),
-                    activity: activity.clone(),
-                    kind: EventKind::Start,
-                    time: stamp,
-                    output: None,
-                });
-            }
-            records.push(EventRecord {
-                process: case,
-                activity,
-                kind: EventKind::End,
+        // "ate_abort" — closes the instance. If no START is open for
+        // this activity in this case, synthesize an instantaneous one.
+        let open = balance
+            .get_mut(case)
+            .and_then(|acts| acts.get_mut(activity));
+        match open {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => records.push(EventRecord {
+                process: case.to_string(),
+                activity: activity.to_string(),
+                kind: EventKind::Start,
                 time: stamp,
-                output,
-            });
+                output: None,
+            }),
         }
+        records.push(EventRecord {
+            process: case.to_string(),
+            activity: activity.to_string(),
+            kind: EventKind::End,
+            time: stamp,
+            output,
+        });
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Chunked parallel decode.
+// ---------------------------------------------------------------------------
+
+/// Byte offsets of `<trace` tokens whose next byte cannot continue an
+/// XML name — candidate top-level trace boundaries. Deliberately
+/// conservative in both directions: a token inside a comment or
+/// attribute value still becomes a split point (the resulting broken
+/// chunk fails validation and forces the serial fallback), and a
+/// Unicode-delimited `<trace…>` is missed (its chunk simply contains
+/// more than one trace, which the merge handles via per-chunk counts).
+fn trace_splits(bytes: &[u8]) -> Vec<usize> {
+    let mut splits = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < bytes.len() {
+        match find_byte(b'<', &bytes[i..]) {
+            Some(k) => i += k,
+            None => break,
+        }
+        if i + 6 >= bytes.len() {
+            break;
+        }
+        if &bytes[i + 1..i + 6] == b"trace" {
+            let d = bytes[i + 6];
+            let name_cont = d.is_ascii_alphanumeric()
+                || matches!(d, b':' | b'_' | b'-' | b'.')
+                || !d.is_ascii();
+            if !name_cont {
+                splits.push(i);
+                i += 6;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    splits
+}
+
+/// Parses one chunk in isolation. Any error at all disqualifies the
+/// chunk (`None`): errors must be produced by the serial parser so
+/// their offsets and recovery interplay are exact.
+fn parse_chunk(chunk: &str) -> Option<ParseOutcome<'_>> {
+    let mut stats = CodecStats::default();
+    let mut report = IngestReport::default();
+    let mut scanner = Scanner::new(chunk);
+    let outcome = parse_records(
+        &mut scanner,
+        RecoveryPolicy::Strict,
+        &mut stats,
+        &mut report,
+        false,
+    )
+    .ok()?;
+    if report.errors_total != 0 {
+        return None;
+    }
+    Some(outcome)
+}
+
+/// Splits at trace boundaries, parses chunks on scoped threads, and
+/// merges — or returns `None` when a serial parse is required for
+/// exactness.
+fn parallel_parse(text: &str, threads: usize) -> Option<(Vec<EventRecord>, u64)> {
+    let mut bounds = vec![0usize];
+    bounds.extend(trace_splits(text.as_bytes()));
+    bounds.dedup();
+    bounds.push(text.len());
+    let nchunks = bounds.len() - 1;
+    if nchunks < 2 {
+        return None;
+    }
+    let workers = threads.min(nchunks);
+    let outcomes: Vec<Option<ParseOutcome<'_>>> = std::thread::scope(|scope| {
+        let bounds = &bounds;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * nchunks / workers;
+                let hi = (w + 1) * nchunks / workers;
+                scope.spawn(move || {
+                    (lo..hi)
+                        .map(|c| parse_chunk(&text[bounds[c]..bounds[c + 1]]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(nchunks);
+        for h in handles {
+            match h.join() {
+                Ok(v) => all.extend(v),
+                Err(_) => all.push(None), // worker panicked → serial fallback
+            }
+        }
+        all
+    });
+    if outcomes.len() != nchunks {
+        return None;
+    }
+    merge_chunks(outcomes)
+}
+
+/// Validates that the chunked parse is equivalent to a serial one and
+/// concatenates the per-chunk records. Every rule here exists because
+/// the serial parser carries state across what is now a chunk
+/// boundary; violating any of them returns `None` (serial fallback).
+fn merge_chunks(outcomes: Vec<Option<ParseOutcome<'_>>>) -> Option<(Vec<EventRecord>, u64)> {
+    let n = outcomes.len();
+    let mut chunks: Vec<ParseOutcome<'_>> = Vec::with_capacity(n);
+    for o in outcomes {
+        chunks.push(o?);
+    }
+    for (i, c) in chunks.iter().enumerate() {
+        let last = i + 1 == n;
+        // Ordinal timestamps depend on the global record count.
+        if c.used_ordinal_fallback {
+            return None;
+        }
+        // An `<event>` scope crossing a boundary would attach the next
+        // chunk's attributes to it.
+        if !last && c.in_event_at_eof {
+            return None;
+        }
+        if i == 0 {
+            // The prefix may leave `<log>` (and stray elements) open,
+            // but an open `<event>` means records could straddle.
+            if !c.unmatched_closes.is_empty() || c.open_at_eof.contains(&"event") {
+                return None;
+            }
+        } else if !last {
+            // Interior chunks must be fully self-contained.
+            if !c.open_at_eof.is_empty() || !c.unmatched_closes.is_empty() {
+                return None;
+            }
+        } else if !c.open_at_eof.is_empty() {
+            // A serial parse would flag truncation here.
+            return None;
+        }
+    }
+    // Replay the last chunk's unmatched closes (typically `</log>`)
+    // against the prefix's residual stack exactly like the parser
+    // (rposition + truncate); anything left means a serial parse would
+    // report truncation.
+    let mut stack: Vec<&str> = chunks[0].open_at_eof.clone();
+    for name in &chunks[n - 1].unmatched_closes {
+        if let Some(i) = stack.iter().rposition(|s| s == name) {
+            stack.truncate(i);
+        }
+    }
+    if !stack.is_empty() {
+        return None;
+    }
+    // Rewrite auto-generated trace names with global ordinals.
+    let mut base = 0usize;
+    for c in &mut chunks {
+        for &(idx, ord) in &c.default_named {
+            c.records[idx].process = format!("trace-{}", base + ord);
+        }
+        base += c.traces;
+    }
+    // Case names must be disjoint across chunks: START/END balance (and
+    // hence instantaneous-event synthesis) is tracked per case.
+    {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (ci, c) in chunks.iter().enumerate() {
+            let mut prev_case: Option<&str> = None;
+            for r in &c.records {
+                let case = r.process.as_str();
+                if prev_case == Some(case) {
+                    continue; // consecutive records share their case
+                }
+                prev_case = Some(case);
+                match seen.get(case) {
+                    Some(&owner) if owner != ci => return None,
+                    _ => {
+                        seen.insert(case, ci);
+                    }
+                }
+            }
+        }
+    }
+    let total: usize = chunks.iter().map(|c| c.records.len()).sum();
+    let mut records = Vec::with_capacity(total);
+    let mut events = 0u64;
+    for c in chunks {
+        events += c.events;
+        records.extend(c.records);
+    }
+    Some((records, events))
 }
 
 #[cfg(test)]
@@ -798,8 +1269,52 @@ mod tests {
             "not a date",
             "1970-01-01T00:00",
             "1969-01-01T00:00:00Z",
+            "1970-01-01T00:00:61Z",
         ] {
             assert!(iso8601_to_millis(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn iso8601_lowercase_separators() {
+        assert_eq!(iso8601_to_millis("1970-01-01t00:00:01z").unwrap(), 1000);
+        assert_eq!(iso8601_to_millis("1970-01-01t00:00:01Z").unwrap(), 1000);
+        assert_eq!(iso8601_to_millis("1970-01-01T00:00:01z").unwrap(), 1000);
+    }
+
+    #[test]
+    fn iso8601_leap_second_clamps() {
+        // `:60` folds into the last ordinary second, fraction intact.
+        assert_eq!(
+            iso8601_to_millis("1998-12-31T23:59:60.500Z").unwrap(),
+            iso8601_to_millis("1998-12-31T23:59:59.500Z").unwrap(),
+        );
+        // `:61` is still rejected.
+        assert!(iso8601_to_millis("1998-12-31T23:59:61Z").is_err());
+    }
+
+    #[test]
+    fn iso8601_parse_format_fixed_point() {
+        // format ∘ parse is idempotent across accepted spellings.
+        for text in [
+            "1970-01-01T00:00:00.000+00:00",
+            "1998-12-31T23:59:60.500Z",
+            "2024-06-01t12:34:56z",
+            "2024-06-01 12:34:56.789",
+            "2024-06-01T13:34:56+01:00",
+        ] {
+            let millis = iso8601_to_millis(text).unwrap();
+            let formatted = millis_to_iso8601(millis);
+            assert_eq!(
+                iso8601_to_millis(&formatted).unwrap(),
+                millis,
+                "parse(format(parse({text})))"
+            );
+            assert_eq!(
+                millis_to_iso8601(iso8601_to_millis(&formatted).unwrap()),
+                formatted,
+                "format is a fixed point for {text}"
+            );
         }
     }
 
@@ -913,5 +1428,127 @@ mod tests {
         let back = read_log(buf.as_slice()).unwrap();
         assert_eq!(back.display_sequences(), log.display_sequences());
         assert_eq!(back.activities().len(), log.activities().len());
+    }
+
+    /// Parses `buf` both serially and with the chunked mode forced on
+    /// (threshold 0) and asserts identical logs and reports.
+    fn assert_parallel_matches_serial(buf: &[u8], policy: RecoveryPolicy) {
+        let mut serial_stats = CodecStats::default();
+        let mut serial_report = IngestReport::default();
+        let serial = read_log_with(buf, policy, &mut serial_stats, &mut serial_report);
+        let mut par_stats = CodecStats::default();
+        let mut par_report = IngestReport::default();
+        let par =
+            read_log_with_threads_min_bytes(buf, policy, 4, 0, &mut par_stats, &mut par_report);
+        assert_eq!(serial_report, par_report);
+        assert_eq!(serial_stats, par_stats);
+        match (serial, par) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.display_sequences(), b.display_sequences());
+                assert_eq!(a.executions(), b.executions());
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!("serial {a:?} vs parallel {b:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_read_matches_serial_on_clean_log() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        assert_parallel_matches_serial(&buf, RecoveryPolicy::Strict);
+        assert_parallel_matches_serial(&buf, RecoveryPolicy::BestEffort);
+    }
+
+    #[test]
+    fn parallel_read_renumbers_unnamed_traces() {
+        // Traces without concept:name get trace-1, trace-2, … ordinals
+        // that must be global, not per-chunk.
+        let mut doc = String::from("<log>\n");
+        for i in 0..6 {
+            doc.push_str("<trace>\n<event>\n");
+            doc.push_str(&format!(
+                "<string key=\"concept:name\" value=\"act{i}\"/>\n"
+            ));
+            doc.push_str(
+                "<date key=\"time:timestamp\" value=\"2024-01-01T10:00:00Z\"/>\n</event>\n</trace>\n",
+            );
+        }
+        doc.push_str("</log>\n");
+        assert_parallel_matches_serial(doc.as_bytes(), RecoveryPolicy::Strict);
+        let log = read_log_with_threads_min_bytes(
+            doc.as_bytes(),
+            RecoveryPolicy::Strict,
+            4,
+            0,
+            &mut CodecStats::default(),
+            &mut IngestReport::default(),
+        )
+        .unwrap();
+        let ids: Vec<_> = log.executions().iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["trace-1", "trace-2", "trace-3", "trace-4", "trace-5", "trace-6"]
+        );
+    }
+
+    #[test]
+    fn parallel_read_matches_serial_on_truncated_and_corrupt_input() {
+        let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF"]).unwrap();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        for cut in [buf.len() / 3, buf.len() / 2, buf.len() - 3] {
+            assert_parallel_matches_serial(&buf[..cut], RecoveryPolicy::Strict);
+            assert_parallel_matches_serial(&buf[..cut], RecoveryPolicy::BestEffort);
+        }
+        let mut corrupt = buf.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] = b'<';
+        assert_parallel_matches_serial(&corrupt, RecoveryPolicy::Strict);
+        assert_parallel_matches_serial(&corrupt, RecoveryPolicy::BestEffort);
+    }
+
+    #[test]
+    fn parallel_read_falls_back_on_shared_case_names() {
+        // Two explicit traces with the same name: START/END balance
+        // spans chunks, so the chunked mode must detect and fall back.
+        let doc = "<log>\
+<trace><string key=\"concept:name\" value=\"same\"/>\
+<event><string key=\"concept:name\" value=\"A\"/>\
+<string key=\"lifecycle:transition\" value=\"start\"/>\
+<date key=\"time:timestamp\" value=\"2024-01-01T10:00:00Z\"/></event></trace>\
+<trace><string key=\"concept:name\" value=\"same\"/>\
+<event><string key=\"concept:name\" value=\"A\"/>\
+<string key=\"lifecycle:transition\" value=\"complete\"/>\
+<date key=\"time:timestamp\" value=\"2024-01-01T11:00:00Z\"/></event></trace>\
+</log>";
+        assert_parallel_matches_serial(doc.as_bytes(), RecoveryPolicy::BestEffort);
+    }
+
+    #[test]
+    fn parallel_read_matches_serial_on_ordinal_timestamps() {
+        // Events without time:timestamp use a global ordinal — chunked
+        // mode must fall back rather than restart ordinals per chunk.
+        let mut doc = String::from("<log>");
+        for i in 0..4 {
+            doc.push_str(&format!(
+                "<trace><event><string key=\"concept:name\" value=\"a{i}\"/></event></trace>"
+            ));
+        }
+        doc.push_str("</log>");
+        assert_parallel_matches_serial(doc.as_bytes(), RecoveryPolicy::Strict);
+    }
+
+    #[test]
+    fn xes_stats_count_bytes_events_executions() {
+        let log = WorkflowLog::from_strings(["ABCE", "ACDE"]).unwrap();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let mut stats = CodecStats::default();
+        let back = read_log_with_stats(buf.as_slice(), &mut stats).unwrap();
+        assert_eq!(stats.bytes_read, buf.len() as u64);
+        assert_eq!(stats.events_parsed, 8, "4 instantaneous events per trace");
+        assert_eq!(stats.executions_parsed, back.len() as u64);
     }
 }

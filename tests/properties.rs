@@ -53,36 +53,27 @@ fn owned_sorted_edges(model: &procmine::mine::MinedModel) -> Vec<(String, String
     edges
 }
 
-/// Every miner as spelled through the deprecated `*_instrumented`
-/// shims (kept for one release). One sorted edge list per miner;
-/// errors compare by debug rendering.
-#[allow(deprecated)]
-fn edges_via_deprecated_twins(
+/// Every miner as spelled through the plain convenience entry points
+/// (which build a default session internally). One sorted edge list
+/// per miner; errors compare by debug rendering.
+fn edges_via_plain(
     log: &WorkflowLog,
     options: &MinerOptions,
     threads: usize,
 ) -> Vec<Result<Vec<(String, String)>, String>> {
     use procmine::mine::{
-        mine_auto_instrumented, mine_cyclic_instrumented, mine_general_dag_instrumented,
-        mine_general_dag_parallel_instrumented, mine_special_dag_instrumented, IncrementalMiner,
-        MinerMetrics, Tracer,
+        mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_parallel, mine_special_dag,
+        IncrementalMiner,
     };
-    let tracer = Tracer::disabled();
     let mut inc = IncrementalMiner::new(options.clone());
     inc.absorb_log(log).expect("logs here have no repeats");
     [
-        mine_special_dag_instrumented(log, options, &mut MinerMetrics::new(), &tracer),
-        mine_general_dag_instrumented(log, options, &mut MinerMetrics::new(), &tracer),
-        mine_cyclic_instrumented(log, options, &mut MinerMetrics::new(), &tracer),
-        mine_auto_instrumented(log, options, &mut MinerMetrics::new(), &tracer).map(|(m, _)| m),
-        mine_general_dag_parallel_instrumented(
-            log,
-            options,
-            threads,
-            &mut MinerMetrics::new(),
-            &tracer,
-        ),
-        inc.model_instrumented(&mut MinerMetrics::new(), &tracer),
+        mine_special_dag(log, options),
+        mine_general_dag(log, options),
+        mine_cyclic(log, options),
+        mine_auto(log, options).map(|(m, _)| m),
+        mine_general_dag_parallel(log, options, threads),
+        inc.model(),
     ]
     .into_iter()
     .map(|r| {
@@ -480,18 +471,18 @@ proptest! {
     }
 
     #[test]
-    fn session_miners_match_deprecated_twins_on_random_walks(
+    fn session_miners_match_plain_entry_points_on_random_walks(
         vertices in 3usize..10,
         edge_pct in 20u64..80,
         m in 1usize..30,
         seed in 0u64..500,
         threads in 2usize..6,
     ) {
-        // The deprecated `*_instrumented` twins are shims over the
-        // session pipeline: on §8.1 random-walk logs every miner —
-        // special, general, cyclic, auto, the `threads`-wide parallel
-        // strategy, and the incremental miner — must produce the exact
-        // result (or the exact error) of its session spelling.
+        // The plain convenience miners build a default session
+        // internally: on §8.1 random-walk logs every miner — special,
+        // general, cyclic, auto, the `threads`-wide parallel strategy,
+        // and the incremental miner — must produce the exact result (or
+        // the exact error) of its explicit session spelling.
         use procmine::sim::randdag::{random_dag, RandomDagConfig};
         use procmine::sim::walk::random_walk_log;
         use rand::rngs::StdRng;
@@ -502,19 +493,19 @@ proptest! {
         let log = random_walk_log(&model, m, &mut rng).unwrap();
         let options = MinerOptions::default();
         prop_assert_eq!(
-            edges_via_deprecated_twins(&log, &options, threads),
+            edges_via_plain(&log, &options, threads),
             edges_via_sessions(&log, &options, threads)
         );
     }
 
     #[test]
-    fn session_miners_match_deprecated_twins_on_partial_logs(log in arb_log(10), threads in 2usize..6) {
+    fn session_miners_match_plain_entry_points_on_partial_logs(log in arb_log(10), threads in 2usize..6) {
         // Same equivalence over shuffled-subset logs, where the special
-        // DAG miner may reject the log: the shim and the session form
+        // DAG miner may reject the log: the plain and the session form
         // must agree even on the error.
         let options = MinerOptions::default();
         prop_assert_eq!(
-            edges_via_deprecated_twins(&log, &options, threads),
+            edges_via_plain(&log, &options, threads),
             edges_via_sessions(&log, &options, threads)
         );
     }
