@@ -43,6 +43,30 @@ cargo test -q
 echo "==> corruption smoke subset"
 cargo test -q --test corruption smoke_
 
+# Streaming smoke: pipe a generated log through `mine --follow -` and
+# require the exact edge set of the batch miner, plus an ingest section
+# in the stats report. Guards the online pipeline end to end (source →
+# assembler → online miner → CLI surface).
+echo "==> streaming smoke: mine --follow parity with batch"
+cargo build --release -q -p procmine-cli
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/procmine generate --preset graph10 --executions 150 --seed 11 \
+  -o "$smoke_dir/follow.fm" >/dev/null
+./target/release/procmine mine "$smoke_dir/follow.fm" \
+  | grep -E '^  .* -> ' | sort > "$smoke_dir/batch.edges"
+./target/release/procmine mine --follow - --stats-json "$smoke_dir/follow-stats.json" \
+  < "$smoke_dir/follow.fm" \
+  | grep -E '^  .* -> ' | sort > "$smoke_dir/follow.edges"
+if ! diff -u "$smoke_dir/batch.edges" "$smoke_dir/follow.edges"; then
+  echo "mine --follow diverged from batch mining on the smoke log" >&2
+  exit 1
+fi
+grep -q '"cases_evicted"' "$smoke_dir/follow-stats.json" || {
+  echo "follow stats-json is missing the ingest section" >&2
+  exit 1
+}
+
 # Perf-regression smoke: run the fixed scenario matrix once in smoke
 # mode, validate the report against the perfsuite schema, and let the
 # binary's built-in disabled-tracer overhead guard gate the run. The

@@ -38,7 +38,7 @@ use procmine_bench::synthetic_workload;
 use procmine_core::conformance::check_conformance;
 use procmine_core::{
     mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_in, mine_general_dag_parallel,
-    IncrementalMiner, MineSession, MinerOptions,
+    IncrementalMiner, MineSession, MinerOptions, OnlineMiner, SnapshotPolicy,
 };
 use procmine_graph::reduction::{
     transitive_reduction_matrix, transitive_reduction_matrix_parallel_budgeted,
@@ -202,6 +202,36 @@ fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut
                 miner.absorb_sequence(seq).expect("absorb succeeds");
             }
             miner.model().expect("model succeeds");
+        }),
+    ));
+
+    // The --follow pipeline end to end: decode a pre-encoded flowmark
+    // buffer event-by-event, assemble interleavable cases, feed the
+    // online miner, and materialize the final snapshot.
+    let mut follow_buf = Vec::new();
+    codec::flowmark::write_log(log, &mut follow_buf).expect("write succeeds");
+    cells.push(summarize(
+        scenario,
+        "stream.mine",
+        time_runs(repeats, || {
+            use procmine_log::stream::{
+                AssemblerConfig, CaseAssembler, FlowmarkSource, StreamError,
+            };
+            use procmine_log::{ActivityTable, Execution};
+            let mut miner = OnlineMiner::new(options.clone(), SnapshotPolicy::on_demand());
+            let mut source = FlowmarkSource::new(&follow_buf[..], RecoveryPolicy::Strict);
+            let mut assembler = CaseAssembler::new(
+                AssemblerConfig::default(),
+                |exec: &Execution, table: &ActivityTable| -> Result<(), StreamError> {
+                    miner
+                        .absorb(exec, table)
+                        .map(|_| ())
+                        .map_err(|e| StreamError::Sink(Box::new(e)))
+                },
+            );
+            source.pump(&mut assembler).expect("stream succeeds");
+            drop(assembler);
+            miner.snapshot().expect("snapshot succeeds");
         }),
     ));
 

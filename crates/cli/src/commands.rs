@@ -54,6 +54,20 @@ COMMANDS:
       --stream             stream the log through the incremental miner
                            (flowmark format, contiguous cases; bad cases
                            are skipped with a warning)
+      --follow             online mining over a live event stream
+                           (flowmark format; cases may interleave).
+                           <LOG> may be `-` for stdin; final model
+                           prints in the same shape as batch mining
+      --snapshot-every N   with --follow: print an interim model
+                           summary to stderr every N absorbed events
+      --max-open-cases N   with --follow: bound on concurrently open
+                           cases before the least-recently-touched one
+                           is evicted (default 1024; 0 = unbounded)
+      --idle-ms MS         with --follow on a file: keep tailing the
+                           file as it grows, giving up after MS of
+                           inactivity (default 0: read to EOF once)
+      --poll-ms MS         with --follow --idle-ms: poll interval while
+                           tailing (default 50)
       --threads N          mine with the parallel general miner on N
                            threads (requires --algorithm auto|general;
                            not combinable with --stream); with
@@ -280,11 +294,11 @@ fn report_ingest(report: &IngestReport, policy: RecoveryPolicy) {
     for e in &report.errors {
         errln!("  byte {} (line {}): {}", e.byte_offset, e.line, e.message);
     }
-    if report.errors_total as usize > report.errors.len() {
-        errln!(
-            "  ... {} more not recorded",
-            report.errors_total as usize - report.errors.len()
-        );
+    // `errors` can exceed `errors_total` — located assembly diagnostics
+    // are retained without counting as decode errors.
+    let unrecorded = (report.errors_total as usize).saturating_sub(report.errors.len());
+    if unrecorded > 0 {
+        errln!("  ... {unrecorded} more not recorded");
     }
 }
 
@@ -510,6 +524,225 @@ fn mine_streaming<S: MetricsSink>(
     Ok((model, kept))
 }
 
+/// Writes the `--dot` / `--graphml` / `--json` model artifacts shared
+/// by batch and follow mining (`--bpmn` needs the materialized log and
+/// stays batch-only).
+fn write_model_artifacts(p: &Parsed, model: &MinedModel) -> CliResult {
+    if let Some(dot_path) = p.get("dot") {
+        std::fs::write(dot_path, model.to_dot("mined"))?;
+        errln!("wrote {dot_path}");
+    }
+    if let Some(graphml_path) = p.get("graphml") {
+        let support: std::collections::HashMap<(usize, usize), u32> = model
+            .edge_support()
+            .iter()
+            .map(|&(u, v, c)| ((u, v), c))
+            .collect();
+        let xml = procmine_graph::graphml::to_graphml_with(
+            model.graph(),
+            "mined_process",
+            |_, name| name.clone(),
+            |u, v| support.get(&(u.index(), v.index())).map(|&c| f64::from(c)),
+        );
+        std::fs::write(graphml_path, xml)?;
+        errln!("wrote {graphml_path}");
+    }
+    if let Some(json_path) = p.get("json") {
+        let f = BufWriter::new(File::create(json_path)?);
+        serde_json::to_writer_pretty(f, model)?;
+        errln!("wrote {json_path}");
+    }
+    Ok(())
+}
+
+/// The `--stats` / `--stats-json` telemetry reporting shared by batch
+/// and follow mining (same shape and key order for both paths).
+fn report_mine_stats(
+    p: &Parsed,
+    codec_stats: &CodecStats,
+    ingest: &IngestReport,
+    metrics: &MinerMetrics,
+) -> CliResult {
+    if p.has("stats") {
+        outln!(
+            "codec: {} bytes read, {} events parsed, {} executions parsed",
+            codec_stats.bytes_read,
+            codec_stats.events_parsed,
+            codec_stats.executions_parsed
+        );
+        out!("{}", metrics.render_table());
+    }
+    if let Some(stats_path) = p.get("stats-json") {
+        let mut out = String::from("{\"codec\":");
+        out.push_str(&codec_stats.to_json());
+        out.push_str(",\"ingest\":");
+        out.push_str(&ingest.to_json());
+        out.push(',');
+        metrics.write_json_fields(&mut out);
+        out.push('}');
+        out.push('\n');
+        std::fs::write(stats_path, out)?;
+        errln!("wrote {stats_path}");
+    }
+    Ok(())
+}
+
+/// `mine --follow`: online mining over a live event stream. `<LOG>` may
+/// be `-` for stdin (read until EOF — the pipe case) or a file, which
+/// with `--idle-ms` is tailed as it grows. Events flow through the
+/// interleaved case assembler (bounded by `--max-open-cases`) into the
+/// online miner; `--snapshot-every N` prints an interim model summary
+/// to stderr every N absorbed events, and the final model prints to
+/// stdout in the same shape as batch mining so outputs diff cleanly.
+fn mine_follow(p: &Parsed) -> CliResult {
+    use procmine_core::{OnlineMiner, SnapshotPolicy};
+    use procmine_log::stream::{AssemblerConfig, CaseAssembler, FlowmarkSource, StreamError};
+    use procmine_log::validate::AssemblyPolicy;
+    use procmine_log::{ActivityTable, Execution};
+
+    let path = p
+        .positional()
+        .first()
+        .ok_or(ArgError::Required("log file (or - for stdin)"))?;
+    if p.has("stream") {
+        return Err("--follow already streams; drop --stream".into());
+    }
+    if p.has("check") || p.get("bpmn").is_some() {
+        return Err("--check/--bpmn need a materialized log and cannot follow a stream".into());
+    }
+    if p.get("threads").is_some() {
+        return Err("--threads cannot be combined with --follow".into());
+    }
+    if p.get("format").is_some_and(|f| f != "flowmark") {
+        return Err("--follow supports the flowmark format only".into());
+    }
+    match p.get("algorithm").unwrap_or("auto") {
+        "auto" | "general" => {}
+        other => {
+            return Err(format!(
+                "--follow uses the incremental general miner (got --algorithm {other})"
+            )
+            .into())
+        }
+    }
+
+    let policy = ingest_policy(p)?;
+    let snapshot_every: u64 = p.get_parse("snapshot-every", 0, "integer")?;
+    let max_open_cases: usize = p.get_parse(
+        "max-open-cases",
+        procmine_log::stream::DEFAULT_OPEN_CASE_WINDOW,
+        "integer",
+    )?;
+    let poll_ms: u64 = p.get_parse("poll-ms", 50, "integer")?;
+    let idle_ms: u64 = p.get_parse("idle-ms", 0, "integer")?;
+
+    let base = session_from_args(p);
+    let tracer = base.tracer().clone();
+    let mut metrics = MinerMetrics::new();
+    let mut session = base.with_sink(&mut metrics);
+    let started = std::time::Instant::now();
+
+    let reader: Box<dyn std::io::BufRead> = if *path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else if idle_ms > 0 {
+        Box::new(BufReader::new(procmine_log::stream::TailReader::new(
+            File::open(path)?,
+            std::time::Duration::from_millis(poll_ms.max(1)),
+            Some(std::time::Duration::from_millis(idle_ms)),
+        )))
+    } else {
+        Box::new(BufReader::new(File::open(path)?))
+    };
+
+    let snap_policy = if snapshot_every > 0 {
+        SnapshotPolicy::every(snapshot_every)
+    } else {
+        SnapshotPolicy::on_demand()
+    };
+    let mut miner = OnlineMiner::new(miner_options(p)?, snap_policy);
+    let mut skipped = 0usize;
+
+    let follow_span = tracer.span_cat("stream.follow", "codec");
+    let mut source = FlowmarkSource::new(reader, policy);
+    let mut assembler = CaseAssembler::new(
+        AssemblerConfig {
+            max_open_cases,
+            assembly: if policy.is_strict() {
+                AssemblyPolicy::Strict
+            } else {
+                AssemblyPolicy::Lenient
+            },
+        },
+        |exec: &Execution, table: &ActivityTable| -> Result<(), StreamError> {
+            match miner.absorb(exec, table) {
+                Ok(false) => Ok(()),
+                Ok(true) => {
+                    let snap = miner
+                        .snapshot_in(&mut session)
+                        .map_err(|e| StreamError::Sink(Box::new(e)))?;
+                    errln!(
+                        "snapshot @ {} events: {} activities, {} edges ({} executions)",
+                        miner.events_absorbed(),
+                        snap.activity_count(),
+                        snap.edge_count(),
+                        miner.executions()
+                    );
+                    Ok(())
+                }
+                Err(e) => {
+                    errln!("warning: skipping case `{}`: {e}", exec.id);
+                    skipped += 1;
+                    Ok(())
+                }
+            }
+        },
+    );
+    let pumped = source.pump(&mut assembler);
+    let mut codec_stats = source.stats();
+    let mut ingest = source.report().clone();
+    ingest.merge(assembler.report());
+    codec_stats.executions_parsed = assembler.executions_emitted();
+    drop(assembler);
+    drop(follow_span);
+    if let Err(e) = pumped {
+        report_ingest(&ingest, policy);
+        return Err(e.into());
+    }
+    if skipped > 0 {
+        errln!("followed with {skipped} case(s) skipped");
+    }
+    if ingest.cases_evicted > 0 {
+        errln!(
+            "warning: {} incomplete open case(s) evicted by the --max-open-cases {} window",
+            ingest.cases_evicted,
+            max_open_cases
+        );
+    }
+
+    let executions = miner.executions();
+    let model = miner.snapshot_in(&mut session)?;
+    drop(session);
+    report_ingest(&ingest, policy);
+    let elapsed = started.elapsed();
+
+    outln!(
+        "mined `{path}` with {:?}: {} activities, {} edges ({} executions, {:.3}s)",
+        Algorithm::GeneralDag,
+        model.activity_count(),
+        model.edge_count(),
+        executions,
+        elapsed.as_secs_f64()
+    );
+    for (u, v) in model.edges_named() {
+        outln!("  {u} -> {v}");
+    }
+
+    write_model_artifacts(p, &model)?;
+    report_mine_stats(p, &codec_stats, &ingest, &metrics)?;
+    write_trace(&tracer, p)?;
+    Ok(())
+}
+
 fn mine(argv: &[String]) -> CliResult {
     let p = parse(
         argv,
@@ -526,9 +759,21 @@ fn mine(argv: &[String]) -> CliResult {
             "max-errors",
             "deadline-ms",
             "trace",
+            "snapshot-every",
+            "max-open-cases",
+            "poll-ms",
+            "idle-ms",
         ],
-        &["check", "stream", "stats", "recover"],
+        &["check", "stream", "stats", "recover", "follow"],
     )?;
+    if p.has("follow") {
+        return mine_follow(&p);
+    }
+    for follow_only in ["snapshot-every", "max-open-cases", "poll-ms", "idle-ms"] {
+        if p.get(follow_only).is_some() {
+            return Err(format!("--{follow_only} requires --follow").into());
+        }
+    }
     let path = p
         .positional()
         .first()
@@ -621,30 +866,7 @@ fn mine(argv: &[String]) -> CliResult {
         );
     }
 
-    if let Some(dot_path) = p.get("dot") {
-        std::fs::write(dot_path, model.to_dot("mined"))?;
-        errln!("wrote {dot_path}");
-    }
-    if let Some(graphml_path) = p.get("graphml") {
-        let support: std::collections::HashMap<(usize, usize), u32> = model
-            .edge_support()
-            .iter()
-            .map(|&(u, v, c)| ((u, v), c))
-            .collect();
-        let xml = procmine_graph::graphml::to_graphml_with(
-            model.graph(),
-            "mined_process",
-            |_, name| name.clone(),
-            |u, v| support.get(&(u.index(), v.index())).map(|&c| f64::from(c)),
-        );
-        std::fs::write(graphml_path, xml)?;
-        errln!("wrote {graphml_path}");
-    }
-    if let Some(json_path) = p.get("json") {
-        let f = BufWriter::new(File::create(json_path)?);
-        serde_json::to_writer_pretty(f, &model)?;
-        errln!("wrote {json_path}");
-    }
+    write_model_artifacts(&p, &model)?;
     if let Some(bpmn_path) = p.get("bpmn") {
         let gateways = procmine_core::splits::analyze_gateways(&model, &log);
         std::fs::write(
@@ -653,27 +875,7 @@ fn mine(argv: &[String]) -> CliResult {
         )?;
         errln!("wrote {bpmn_path}");
     }
-    if p.has("stats") {
-        outln!(
-            "codec: {} bytes read, {} events parsed, {} executions parsed",
-            codec_stats.bytes_read,
-            codec_stats.events_parsed,
-            codec_stats.executions_parsed
-        );
-        out!("{}", metrics.render_table());
-    }
-    if let Some(stats_path) = p.get("stats-json") {
-        let mut out = String::from("{\"codec\":");
-        out.push_str(&codec_stats.to_json());
-        out.push_str(",\"ingest\":");
-        out.push_str(&ingest.to_json());
-        out.push(',');
-        metrics.write_json_fields(&mut out);
-        out.push('}');
-        out.push('\n');
-        std::fs::write(stats_path, out)?;
-        errln!("wrote {stats_path}");
-    }
+    report_mine_stats(&p, &codec_stats, &ingest, &metrics)?;
     let mut check_failed = false;
     if p.has("check") {
         let mut session = MineSession::new().with_tracer(tracer.clone());

@@ -1127,3 +1127,186 @@ fn help_to_closed_stdout_does_not_panic() {
     );
     assert!(!stderr.contains("panicked"), "panic banner: {stderr}");
 }
+
+// --- mine --follow ---------------------------------------------------
+
+fn edge_lines(out: &[u8]) -> Vec<String> {
+    let mut lines: Vec<String> = String::from_utf8_lossy(out)
+        .lines()
+        .filter(|l| l.starts_with("  ") && l.contains(" -> "))
+        .map(str::to_string)
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn follow_mine_matches_batch() {
+    let dir = tmpdir("follow");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "150",
+        "--seed",
+        "11",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let batch = procmine(&["mine", log.to_str().unwrap()]);
+    let follow = procmine(&["mine", "--follow", log.to_str().unwrap()]);
+    assert!(
+        batch.status.success() && follow.status.success(),
+        "batch: {}\nfollow: {}",
+        String::from_utf8_lossy(&batch.stderr),
+        String::from_utf8_lossy(&follow.stderr)
+    );
+    assert_eq!(edge_lines(&batch.stdout), edge_lines(&follow.stdout));
+}
+
+#[test]
+fn follow_reads_stdin_and_reports_stats_json() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let dir = tmpdir("follow-stdin");
+    let log = dir.join("log.fm");
+    let stats = dir.join("stats.json");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "80",
+        "--seed",
+        "5",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let text = std::fs::read(&log).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_procmine"))
+        .args([
+            "mine",
+            "--follow",
+            "-",
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&text).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let batch = procmine(&["mine", log.to_str().unwrap()]);
+    assert_eq!(edge_lines(&batch.stdout), edge_lines(&out.stdout));
+
+    let json = std::fs::read_to_string(&stats).unwrap();
+    assert!(json.contains("\"codec\""), "{json}");
+    assert!(json.contains("\"cases_evicted\""), "{json}");
+}
+
+#[test]
+fn follow_assembles_interleaved_cases_that_break_contiguous_stream() {
+    let dir = tmpdir("follow-interleave");
+    let log = dir.join("interleaved.fm");
+    // Two cases interleaved record-by-record: contiguous grouping would
+    // split each into two fragments.
+    std::fs::write(
+        &log,
+        "p1,A,START,0\n\
+         p2,A,START,0\n\
+         p1,A,END,1\n\
+         p2,A,END,1\n\
+         p1,B,START,2\n\
+         p2,B,START,2\n\
+         p1,B,END,3\n\
+         p2,B,END,3\n",
+    )
+    .unwrap();
+    let follow = procmine(&["mine", "--follow", log.to_str().unwrap()]);
+    assert!(
+        follow.status.success(),
+        "{}",
+        String::from_utf8_lossy(&follow.stderr)
+    );
+    let text = String::from_utf8_lossy(&follow.stdout);
+    assert!(text.contains("2 executions"), "{text}");
+    assert!(text.contains("A -> B"), "{text}");
+
+    // The contiguous strict reader refuses the same input.
+    let strict = procmine(&["mine", "--stream", log.to_str().unwrap()]);
+    assert!(!strict.status.success());
+    let err = String::from_utf8_lossy(&strict.stderr);
+    assert!(err.contains("p1"), "{err}");
+}
+
+#[test]
+fn follow_snapshot_every_emits_interim_snapshots() {
+    let dir = tmpdir("follow-snap");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "60",
+        "--seed",
+        "9",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let out = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--snapshot-every",
+        "50",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("snapshot @"), "{err}");
+}
+
+#[test]
+fn follow_flag_validation() {
+    let dir = tmpdir("follow-flags");
+    let log = dir.join("log.fm");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "10",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let path = log.to_str().unwrap();
+    // Incompatible combinations are rejected up front.
+    for extra in [&["--stream"][..], &["--check"][..], &["--threads", "4"][..]] {
+        let mut args = vec!["mine", "--follow", path];
+        args.extend_from_slice(extra);
+        let out = procmine(&args);
+        assert!(!out.status.success(), "--follow {extra:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("follow"), "{err}");
+    }
+    // Follow-only flags require --follow.
+    let out = procmine(&["mine", path, "--snapshot-every", "10"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--follow"), "{err}");
+}

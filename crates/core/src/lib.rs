@@ -60,6 +60,7 @@ mod incremental;
 mod limits;
 mod miner;
 mod model;
+mod online;
 mod parallel;
 mod session;
 mod special_dag;
@@ -81,6 +82,7 @@ pub use incremental::IncrementalMiner;
 pub use limits::{LimitKind, Limits};
 pub use miner::{mine_auto, mine_auto_in, Algorithm, MinerOptions};
 pub use model::MinedModel;
+pub use online::{OnlineMiner, SnapshotPolicy};
 pub use parallel::mine_general_dag_parallel;
 pub use session::MineSession;
 pub use special_dag::{mine_special_dag, mine_special_dag_in};

@@ -1,0 +1,176 @@
+//! Online mining: an [`IncrementalMiner`] driven by a live event
+//! stream, with snapshot cadence.
+//!
+//! The incremental miner already keeps the expensive step-2 ordering
+//! counts up to date per absorbed execution; what a `--follow` session
+//! adds is *when to look*: emit a conformal model snapshot every N
+//! absorbed events, or on demand. [`OnlineMiner`] wraps the miner with
+//! that cadence. Edge-support frequencies are preserved — a snapshot
+//! after k executions equals batch-mining those k executions (the
+//! `--follow` parity tests pin this, edges and support counts both).
+
+use crate::session::MineSession;
+use crate::telemetry::MetricsSink;
+use crate::{IncrementalMiner, MineError, MinedModel, MinerOptions};
+use procmine_log::{ActivityTable, Execution};
+
+/// When an [`OnlineMiner`] considers a snapshot due.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Snapshot after at least this many newly absorbed activity
+    /// instances (events). `None`: only on demand / at end of stream.
+    pub every_events: Option<u64>,
+}
+
+impl SnapshotPolicy {
+    /// A policy snapshotting every `n` absorbed events.
+    pub fn every(n: u64) -> Self {
+        SnapshotPolicy {
+            every_events: Some(n),
+        }
+    }
+
+    /// A policy that only snapshots on demand.
+    pub fn on_demand() -> Self {
+        SnapshotPolicy { every_events: None }
+    }
+}
+
+/// An [`IncrementalMiner`] plus snapshot cadence — the consumer end of
+/// a `procmine mine --follow` pipeline. Executions come in as they
+/// complete out of the event stream (see
+/// `procmine_log::stream::CaseAssembler`); the driver asks
+/// [`OnlineMiner::snapshot_due`] after each absorb and materializes a
+/// model through [`OnlineMiner::snapshot_in`] when it is.
+#[derive(Debug, Clone)]
+pub struct OnlineMiner {
+    inner: IncrementalMiner,
+    policy: SnapshotPolicy,
+    /// Events absorbed since the last snapshot (or the start).
+    events_since_snapshot: u64,
+    events_absorbed: u64,
+    snapshots_taken: u64,
+}
+
+impl OnlineMiner {
+    /// Creates an empty online miner.
+    pub fn new(options: MinerOptions, policy: SnapshotPolicy) -> Self {
+        OnlineMiner {
+            inner: IncrementalMiner::new(options),
+            policy,
+            events_since_snapshot: 0,
+            events_absorbed: 0,
+            snapshots_taken: 0,
+        }
+    }
+
+    /// Absorbs one completed execution. Returns `true` if the cadence
+    /// policy now wants a snapshot. Errors leave the miner untouched
+    /// (same guarantee as [`IncrementalMiner::absorb_execution`]).
+    pub fn absorb(
+        &mut self,
+        exec: &Execution,
+        source_table: &ActivityTable,
+    ) -> Result<bool, MineError> {
+        self.inner.absorb_execution(exec, source_table)?;
+        self.events_since_snapshot += exec.len() as u64;
+        self.events_absorbed += exec.len() as u64;
+        Ok(self.snapshot_due())
+    }
+
+    /// `true` when the cadence policy wants a snapshot.
+    pub fn snapshot_due(&self) -> bool {
+        match self.policy.every_events {
+            Some(n) => self.events_since_snapshot >= n,
+            None => false,
+        }
+    }
+
+    /// Produces the current model and resets the snapshot cadence.
+    /// Errors if nothing has been absorbed yet.
+    pub fn snapshot(&mut self) -> Result<MinedModel, MineError> {
+        self.snapshot_in(&mut MineSession::new())
+    }
+
+    /// [`OnlineMiner::snapshot`] inside a [`MineSession`]: the
+    /// finishing steps are metered, traced, and deadline-budgeted like
+    /// any other pipeline run.
+    pub fn snapshot_in<S: MetricsSink>(
+        &mut self,
+        session: &mut MineSession<S>,
+    ) -> Result<MinedModel, MineError> {
+        let model = self.inner.model_in(session)?;
+        self.events_since_snapshot = 0;
+        self.snapshots_taken += 1;
+        Ok(model)
+    }
+
+    /// Executions absorbed so far.
+    pub fn executions(&self) -> usize {
+        self.inner.executions()
+    }
+
+    /// Activity instances absorbed so far.
+    pub fn events_absorbed(&self) -> u64 {
+        self.events_absorbed
+    }
+
+    /// Snapshots materialized so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// The activity table accumulated so far.
+    pub fn activities(&self) -> &ActivityTable {
+        self.inner.activities()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procmine_log::WorkflowLog;
+
+    fn absorb_log(miner: &mut OnlineMiner, log: &WorkflowLog) -> Vec<bool> {
+        log.executions()
+            .iter()
+            .map(|e| miner.absorb(e, log.activities()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn cadence_fires_every_n_events_and_resets() {
+        let log = WorkflowLog::from_strings(["ABC", "ABC", "ABC"]).unwrap();
+        let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::every(5));
+        let due = absorb_log(&mut miner, &log);
+        // 3, then 6 events: due after the second execution.
+        assert_eq!(due[..2], [false, true]);
+        miner.snapshot().unwrap();
+        assert!(!miner.snapshot_due(), "snapshot resets the cadence");
+        assert_eq!(miner.snapshots_taken(), 1);
+        assert_eq!(miner.events_absorbed(), 9);
+    }
+
+    #[test]
+    fn on_demand_policy_never_fires() {
+        let log = WorkflowLog::from_strings(["ABC"]).unwrap();
+        let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand());
+        assert_eq!(absorb_log(&mut miner, &log), [false]);
+    }
+
+    #[test]
+    fn snapshot_matches_batch_model() {
+        let log = WorkflowLog::from_strings(["ABCE", "ACDE", "ABCDE"]).unwrap();
+        let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::every(1));
+        absorb_log(&mut miner, &log);
+        let online = miner.snapshot().unwrap();
+        let batch = crate::mine_general_dag(&log, &MinerOptions::default()).unwrap();
+        assert_eq!(online.edges_named(), batch.edges_named());
+    }
+
+    #[test]
+    fn snapshot_of_empty_miner_errors() {
+        let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand());
+        assert!(miner.snapshot().is_err());
+    }
+}

@@ -85,6 +85,10 @@ pub struct IngestReport {
     pub records_skipped: u64,
     /// Decode errors encountered (assembly diagnostics not included).
     pub errors_total: u64,
+    /// Open cases evicted by the interleaved assembler's memory bound
+    /// (see [`crate::stream::CaseAssembler`]). Always zero for the
+    /// batch codecs.
+    pub cases_evicted: u64,
     /// The first [`MAX_RECORDED_ERRORS`] errors, in input order.
     pub errors: Vec<IngestError>,
 }
@@ -94,6 +98,22 @@ impl IngestReport {
     /// [`MAX_RECORDED_ERRORS`].
     pub fn record_error(&mut self, byte_offset: u64, line: usize, message: impl Into<String>) {
         self.errors_total += 1;
+        if self.errors.len() < MAX_RECORDED_ERRORS {
+            self.errors.push(IngestError {
+                byte_offset,
+                line,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Appends a located *assembly diagnostic* (a dropped unmatched
+    /// START/END) to [`IngestReport::errors`] without counting it into
+    /// [`IngestReport::errors_total`]: diagnostics are structural noise
+    /// that recovery deliberately tolerates, so they never burn the
+    /// [`RecoveryPolicy::Skip`] error budget, but streaming callers
+    /// still want them located for `--recover` reporting.
+    pub fn record_diagnostic(&mut self, byte_offset: u64, line: usize, message: impl Into<String>) {
         if self.errors.len() < MAX_RECORDED_ERRORS {
             self.errors.push(IngestError {
                 byte_offset,
@@ -122,6 +142,7 @@ impl IngestReport {
         self.records_parsed += other.records_parsed;
         self.records_skipped += other.records_skipped;
         self.errors_total += other.errors_total;
+        self.cases_evicted += other.cases_evicted;
         for e in &other.errors {
             if self.errors.len() >= MAX_RECORDED_ERRORS {
                 break;
@@ -134,8 +155,8 @@ impl IngestReport {
     /// the field order above).
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"records_parsed\":{},\"records_skipped\":{},\"errors_total\":{},\"errors\":[",
-            self.records_parsed, self.records_skipped, self.errors_total
+            "{{\"records_parsed\":{},\"records_skipped\":{},\"errors_total\":{},\"cases_evicted\":{},\"errors\":[",
+            self.records_parsed, self.records_skipped, self.errors_total, self.cases_evicted
         );
         for (i, e) in self.errors.iter().enumerate() {
             if i > 0 {

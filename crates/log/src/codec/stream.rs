@@ -6,7 +6,12 @@
 //! event stream, under the *contiguous cases* assumption that holds for
 //! exported audit trails: all records of one process execution appear
 //! consecutively (records within a case may still be out of time
-//! order). A record for a new case id closes the previous case.
+//! order). A record for a new case id closes the previous case; a
+//! record *reopening* a closed case id violates the assumption and is
+//! surfaced as [`LogError::ReopenedCase`] (strict) or a report entry
+//! (recovering) rather than silently splitting the case. Logs that
+//! interleave cases freely belong in the interleaved assembler,
+//! [`crate::stream::CaseAssembler`].
 //!
 //! Cases whose events do not pair up cleanly are reported as
 //! [`LogError`]s inline in the iteration; the caller can skip them and
@@ -14,8 +19,9 @@
 
 use crate::codec::flowmark;
 use crate::codec::{ByteLines, CodecStats, IngestReport, RecoveryPolicy};
-use crate::validate::{assemble_executions_with, AssemblyPolicy};
+use crate::validate::{assemble_executions_with, locate_diagnostic, AssemblyPolicy};
 use crate::{ActivityTable, EventRecord, Execution, LogError};
+use std::collections::HashSet;
 use std::io::BufRead;
 
 /// Iterator over executions in a Flowmark-style event stream. Yields
@@ -38,6 +44,20 @@ pub struct ExecutionStream<R: BufRead> {
     policy: RecoveryPolicy,
     table: ActivityTable,
     current: Vec<EventRecord>,
+    /// `(byte_offset, line)` of each buffered record, for locating
+    /// assembly diagnostics in the report.
+    current_locs: Vec<(u64, usize)>,
+    /// Case ids already flushed. A record reopening one of these means
+    /// the contiguous-cases assumption is violated — the stream would
+    /// silently split the case and corrupt follows counts, so it is
+    /// surfaced instead (strict: [`LogError::ReopenedCase`];
+    /// recovering: a report entry, and the split halves are salvaged).
+    /// Grows O(#cases); interleaved logs belong in
+    /// [`crate::stream::CaseAssembler`], which bounds memory properly.
+    closed: HashSet<String>,
+    /// An error queued behind a flushed execution (a case boundary can
+    /// produce both at once).
+    pending_err: Option<LogError>,
     stats: CodecStats,
     report: IngestReport,
     done: bool,
@@ -59,6 +79,9 @@ impl<R: BufRead> ExecutionStream<R> {
             policy,
             table: ActivityTable::new(),
             current: Vec::new(),
+            current_locs: Vec::new(),
+            closed: HashSet::new(),
+            pending_err: None,
             stats: CodecStats::default(),
             report: IngestReport::default(),
             done: false,
@@ -94,6 +117,8 @@ impl<R: BufRead> ExecutionStream<R> {
             return None;
         }
         let records = std::mem::take(&mut self.current);
+        let locs = std::mem::take(&mut self.current_locs);
+        self.closed.insert(records[0].process.clone());
         let assembly = if self.policy.is_strict() {
             AssemblyPolicy::Strict
         } else {
@@ -102,6 +127,13 @@ impl<R: BufRead> ExecutionStream<R> {
         match assemble_executions_with(&records, &mut self.table, assembly) {
             Ok(assembled) => {
                 self.report.records_skipped += assembled.diagnostics.len() as u64;
+                for diag in &assembled.diagnostics {
+                    let (byte_offset, line) = locate_diagnostic(&records, diag)
+                        .map(|i| locs[i])
+                        .unwrap_or_default();
+                    self.report
+                        .record_diagnostic(byte_offset, line, diag.to_string());
+                }
                 let exec = assembled.executions.into_iter().next();
                 if exec.is_some() {
                     self.stats.executions_parsed += 1;
@@ -117,6 +149,9 @@ impl<R: BufRead> Iterator for ExecutionStream<R> {
     type Item = Result<Execution, LogError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if let Some(err) = self.pending_err.take() {
+            return Some(Err(err));
+        }
         if self.done {
             return self.flush();
         }
@@ -127,7 +162,21 @@ impl<R: BufRead> Iterator for ExecutionStream<R> {
                     self.done = true;
                     return self.flush();
                 }
-                Err(e) => return Some(Err(e)),
+                Err(e) => {
+                    // A fatal I/O error ends the stream: retrying the
+                    // reader forever would yield an unbounded Err
+                    // stream. Strict mode discards the buffered case
+                    // (the read failed, there is no clean result);
+                    // recovering mode salvages it on the next call.
+                    self.report
+                        .record_error(self.lines.bytes(), 0, e.to_string());
+                    self.done = true;
+                    if self.policy.is_strict() {
+                        self.current.clear();
+                        self.current_locs.clear();
+                    }
+                    return Some(Err(e));
+                }
             };
             let parsed = match std::str::from_utf8(self.lines.line()) {
                 Ok(text) => {
@@ -173,14 +222,36 @@ impl<R: BufRead> Iterator for ExecutionStream<R> {
                 .current
                 .first()
                 .is_some_and(|first| first.process != record.process);
+            let opens_case = case_boundary || self.current.is_empty();
+            if opens_case && self.closed.contains(&record.process) {
+                let err = LogError::ReopenedCase {
+                    execution: record.process.clone(),
+                    line: lineno,
+                };
+                self.report.record_error(offset, lineno, err.to_string());
+                if self.policy.is_strict() {
+                    // Queued: a boundary flush may yield first.
+                    self.pending_err = Some(err);
+                } else if let Err(give_up) = self.report.over_budget(self.policy) {
+                    self.done = true;
+                    self.current.clear();
+                    self.current_locs.clear();
+                    return Some(Err(give_up));
+                }
+            }
             if case_boundary {
                 let finished = self.flush();
                 self.current.push(record);
+                self.current_locs.push((offset, lineno));
                 if finished.is_some() {
                     return finished;
                 }
             } else {
                 self.current.push(record);
+                self.current_locs.push((offset, lineno));
+            }
+            if let Some(err) = self.pending_err.take() {
+                return Some(Err(err));
             }
         }
     }
@@ -343,6 +414,127 @@ p2,B,END,1
         assert_eq!(execs.len(), 2);
         assert_eq!(execs[0].len(), 1, "dangling B dropped");
         assert_eq!(stream.report().records_skipped, 1);
+    }
+
+    #[test]
+    fn io_error_terminates_stream() {
+        use crate::fault::{FaultConfig, FaultReader};
+        use std::io::BufReader;
+        // One-shot fault after the first line; the reader would resume
+        // afterwards, but the stream must stay terminated — the old
+        // code never set `done`, so a failing reader yielded errors
+        // forever.
+        let text = "p1,A,START,0\np1,A,END,1\n";
+        let reader = BufReader::new(FaultReader::new(
+            text.as_bytes(),
+            FaultConfig {
+                io_error_at: Some(13),
+                max_read: Some(13),
+                ..FaultConfig::default()
+            },
+        ));
+        let mut stream = ExecutionStream::new(reader);
+        let results: Vec<_> = stream.by_ref().take(5).collect();
+        assert_eq!(results.len(), 1, "stream ends after the fatal error");
+        assert!(matches!(results[0], Err(LogError::Io(_))));
+        assert_eq!(stream.report().errors_total, 1);
+        assert!(stream.report().errors[0].message.contains("injected"));
+    }
+
+    #[test]
+    fn io_error_salvages_buffered_case_when_recovering() {
+        use crate::fault::{FaultConfig, FaultReader};
+        use std::io::BufReader;
+        let text = "p1,A,START,0\np1,A,END,1\np1,B,START,2\n";
+        let reader = BufReader::new(FaultReader::new(
+            text.as_bytes(),
+            FaultConfig {
+                io_error_at: Some(26),
+                max_read: Some(13),
+                ..FaultConfig::default()
+            },
+        ));
+        let mut stream = ExecutionStream::with_policy(reader, RecoveryPolicy::BestEffort);
+        let results: Vec<_> = stream.by_ref().take(5).collect();
+        assert_eq!(results.len(), 2);
+        assert!(matches!(results[0], Err(LogError::Io(_))));
+        let exec = results[1].as_ref().unwrap();
+        assert_eq!(exec.id, "p1");
+        assert_eq!(exec.len(), 1, "the complete A instance survives");
+    }
+
+    #[test]
+    fn flush_diagnostics_land_in_report_with_locations() {
+        // p1's dangling START sits on line 3.
+        let text = "p1,A,START,0\np1,A,END,1\np1,B,START,2\np2,C,START,0\np2,C,END,1\n";
+        let mut stream = ExecutionStream::with_policy(text.as_bytes(), RecoveryPolicy::BestEffort);
+        for r in stream.by_ref() {
+            r.unwrap();
+        }
+        let report = stream.report();
+        assert_eq!(report.records_skipped, 1);
+        assert_eq!(report.errors.len(), 1, "diagnostic retained, not dropped");
+        assert_eq!(report.errors[0].line, 3);
+        assert_eq!(
+            report.errors[0].byte_offset,
+            "p1,A,START,0\np1,A,END,1\n".len() as u64
+        );
+        assert!(report.errors[0].message.contains("dropped START"));
+        assert_eq!(report.errors_total, 0, "diagnostics are not decode errors");
+    }
+
+    #[test]
+    fn reopened_case_surfaces_error_in_strict_mode() {
+        let text = "\
+p1,A,START,0
+p1,A,END,1
+p2,B,START,0
+p2,B,END,1
+p1,C,START,2
+p1,C,END,3
+";
+        let stream = ExecutionStream::new(text.as_bytes());
+        let results: Vec<_> = stream.collect();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().id, "p1");
+        assert_eq!(results[1].as_ref().unwrap().id, "p2");
+        assert!(
+            matches!(
+                &results[2],
+                Err(LogError::ReopenedCase { execution, line: 5 }) if execution == "p1"
+            ),
+            "{results:?}"
+        );
+        // The split tail is still yielded so iteration can continue.
+        assert_eq!(results[3].as_ref().unwrap().id, "p1");
+    }
+
+    #[test]
+    fn reopened_case_reported_when_recovering() {
+        let text = "\
+p1,A,START,0
+p1,A,END,1
+p2,B,START,0
+p2,B,END,1
+p1,C,START,2
+p1,C,END,3
+";
+        let mut stream = ExecutionStream::with_policy(text.as_bytes(), RecoveryPolicy::BestEffort);
+        let execs: Vec<Execution> = stream.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(execs.len(), 3, "split halves are salvaged");
+        let report = stream.report();
+        assert_eq!(report.errors_total, 1);
+        assert!(report.errors[0].message.contains("reappears"));
+        assert_eq!(report.errors[0].line, 5);
+
+        // The error still burns the Skip budget.
+        let stream =
+            ExecutionStream::with_policy(text.as_bytes(), RecoveryPolicy::Skip { max_errors: 0 });
+        let results: Vec<_> = stream.collect();
+        assert!(matches!(
+            results.last(),
+            Some(Err(LogError::TooManyErrors { .. }))
+        ));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   path ([`RecoveryPolicy`] / [`IngestReport`]);
 //! * [`validate`] — structural validation and diagnostics for raw event
 //!   streams (unmatched STARTs, END-before-START, duplicate events);
+//! * [`stream`] — streaming/online ingestion: composable event-sink
+//!   stages, the interleaved case assembler (bounded open-case window),
+//!   and a follow-mode tail reader;
 //! * [`fault`] — deterministic fault injection ([`fault::FaultReader`])
 //!   for robustness tests and benchmarks.
 //!
@@ -47,6 +50,7 @@ mod ops;
 pub mod codec;
 pub mod fault;
 pub mod stats;
+pub mod stream;
 pub mod validate;
 
 pub use activity::{ActivityId, ActivityTable};

@@ -1,0 +1,424 @@
+//! The interleaved case assembler: events in, completed executions out.
+//!
+//! [`ExecutionStream`](crate::codec::stream::ExecutionStream) assumes
+//! *contiguous cases* — all records of one case adjacent in the log.
+//! Real multi-writer audit trails interleave cases freely, and under
+//! that assumption a case id that reappears is silently split into two
+//! executions, corrupting follows counts. [`CaseAssembler`] drops the
+//! assumption: events are keyed into an open-case map by case id, and a
+//! case is assembled into an [`Execution`](crate::Execution) when it
+//! *closes* — evicted by the memory bound, or flushed at end of input.
+//!
+//! # Memory bound
+//!
+//! An unbounded stream can contain cases that never complete (a crashed
+//! writer, a case id typo). The map is therefore bounded by
+//! [`AssemblerConfig::max_open_cases`]: when a new case would exceed
+//! the bound, the least-recently-touched case is *evicted* — assembled
+//! leniently, its salvageable part delivered downstream, its unmatched
+//! events dropped and reported. Evictions of structurally incomplete
+//! cases are counted in
+//! [`IngestReport::cases_evicted`](crate::IngestReport::cases_evicted)
+//! and announced through [`Observer::on_eviction`]; an evicted case
+//! whose events happen to pair up cleanly is delivered as a normal
+//! completion and not counted (indistinguishable from a finished case).
+//!
+//! If events for an evicted case arrive later they open a *fresh* case
+//! under the same id — the split the bound forces. Size the window
+//! above the log's interleaving depth and no complete case is ever
+//! split; the `--follow` parity tests pin exactly this.
+
+use super::{Observer, SourceLocation, StreamError, StreamSink};
+use crate::validate::{assemble_executions_with, locate_diagnostic, AssemblyPolicy};
+use crate::{ActivityTable, EventRecord, IngestReport};
+use std::collections::HashMap;
+
+/// Default [`AssemblerConfig::max_open_cases`]: generous for real logs
+/// (the paper's 107 MB trail had far fewer concurrent cases) while
+/// keeping worst-case memory far below materializing the log.
+pub const DEFAULT_OPEN_CASE_WINDOW: usize = 1024;
+
+/// Configuration for [`CaseAssembler`].
+#[derive(Debug, Clone, Copy)]
+pub struct AssemblerConfig {
+    /// Upper bound on concurrently open cases; `0` means unbounded.
+    pub max_open_cases: usize,
+    /// How end-of-input assembly treats unmatched events. Evicted cases
+    /// are always assembled leniently — under
+    /// [`AssemblyPolicy::Strict`] an eviction would otherwise turn the
+    /// memory bound itself into an input error.
+    pub assembly: AssemblyPolicy,
+}
+
+impl Default for AssemblerConfig {
+    fn default() -> Self {
+        AssemblerConfig {
+            max_open_cases: DEFAULT_OPEN_CASE_WINDOW,
+            assembly: AssemblyPolicy::Lenient,
+        }
+    }
+}
+
+/// Buffered state of one open case.
+struct OpenCase {
+    records: Vec<EventRecord>,
+    locations: Vec<SourceLocation>,
+    /// Sequence number of the first event (flush order at finish).
+    opened: u64,
+    /// Sequence number of the latest event (LRU eviction order).
+    last_touch: u64,
+}
+
+/// Keyed open-case map turning an interleaved event stream into
+/// completed executions for an [`Observer`]. See the module docs for
+/// the state machine and eviction policy.
+pub struct CaseAssembler<O: Observer> {
+    config: AssemblerConfig,
+    observer: O,
+    table: ActivityTable,
+    open: HashMap<String, OpenCase>,
+    /// Logical clock: one tick per event, orders `opened`/`last_touch`.
+    clock: u64,
+    executions_emitted: u64,
+    report: IngestReport,
+    finished: bool,
+}
+
+impl<O: Observer> CaseAssembler<O> {
+    /// Creates an assembler delivering completed executions to
+    /// `observer`.
+    pub fn new(config: AssemblerConfig, observer: O) -> Self {
+        CaseAssembler {
+            config,
+            observer,
+            table: ActivityTable::new(),
+            open: HashMap::new(),
+            clock: 0,
+            executions_emitted: 0,
+            report: IngestReport::default(),
+            finished: false,
+        }
+    }
+
+    /// The activity table accumulated so far (ids in delivered
+    /// executions are relative to it; it only grows).
+    pub fn activities(&self) -> &ActivityTable {
+        &self.table
+    }
+
+    /// Cases currently buffered — always `<= max_open_cases` when the
+    /// bound is set (the eviction test pins this).
+    pub fn open_cases(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Executions delivered to the observer so far.
+    pub fn executions_emitted(&self) -> u64 {
+        self.executions_emitted
+    }
+
+    /// Assembly-side ingest accounting: events dropped by lenient
+    /// assembly (`records_skipped`, located in `errors`) and
+    /// `cases_evicted`. Parse-side tallies live in the upstream
+    /// source's report; merge the two for a complete picture.
+    pub fn report(&self) -> &IngestReport {
+        &self.report
+    }
+
+    /// Unwraps the observer (after [`StreamSink::finish`]).
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Closes one case: assemble, account diagnostics, deliver.
+    fn close_case(
+        &mut self,
+        name: &str,
+        case: OpenCase,
+        assembly: AssemblyPolicy,
+        eviction: bool,
+    ) -> Result<(), StreamError> {
+        let assembled = assemble_executions_with(&case.records, &mut self.table, assembly)?;
+        self.report.records_skipped += assembled.diagnostics.len() as u64;
+        for diag in &assembled.diagnostics {
+            let at = locate_diagnostic(&case.records, diag)
+                .map(|i| case.locations[i])
+                .unwrap_or_default();
+            self.report
+                .record_diagnostic(at.byte_offset, at.line, diag.to_string());
+        }
+        if eviction && !assembled.diagnostics.is_empty() {
+            self.report.cases_evicted += 1;
+            self.observer.on_eviction(name, case.records.len());
+        }
+        for exec in &assembled.executions {
+            self.observer.on_execution(exec, &self.table)?;
+            self.executions_emitted += 1;
+        }
+        Ok(())
+    }
+
+    /// Evicts the least-recently-touched case to honor the bound.
+    fn evict_lru(&mut self) -> Result<(), StreamError> {
+        let Some(victim) = self
+            .open
+            .iter()
+            .min_by_key(|(_, c)| c.last_touch)
+            .map(|(name, _)| name.clone())
+        else {
+            return Ok(());
+        };
+        let Some(case) = self.open.remove(&victim) else {
+            return Ok(()); // unreachable: key just came from the map
+        };
+        self.close_case(&victim, case, AssemblyPolicy::Lenient, true)
+    }
+}
+
+impl<O: Observer> StreamSink for CaseAssembler<O> {
+    fn on_event(&mut self, event: EventRecord, at: SourceLocation) -> Result<(), StreamError> {
+        let tick = self.clock;
+        self.clock += 1;
+        if let Some(case) = self.open.get_mut(&event.process) {
+            case.last_touch = tick;
+            case.records.push(event);
+            case.locations.push(at);
+            return Ok(());
+        }
+        if self.config.max_open_cases > 0 && self.open.len() >= self.config.max_open_cases {
+            self.evict_lru()?;
+        }
+        self.open.insert(
+            event.process.clone(),
+            OpenCase {
+                records: vec![event],
+                locations: vec![at],
+                opened: tick,
+                last_touch: tick,
+            },
+        );
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), StreamError> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        // Flush remaining cases in the order they were opened, so a
+        // fully buffered (non-evicting) run reproduces batch order.
+        let mut names: Vec<(u64, String)> = self
+            .open
+            .iter()
+            .map(|(name, c)| (c.opened, name.clone()))
+            .collect();
+        names.sort_unstable();
+        let assembly = self.config.assembly;
+        for (_, name) in names {
+            let Some(case) = self.open.remove(&name) else {
+                continue; // unreachable: keys snapshot from the map
+            };
+            self.close_case(&name, case, assembly, false)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Execution;
+
+    /// Observer capturing displayed sequences and eviction notices.
+    #[derive(Default)]
+    struct Capture {
+        execs: Vec<(String, String)>,
+        evictions: Vec<(String, usize)>,
+    }
+
+    impl Observer for &mut Capture {
+        fn on_execution(
+            &mut self,
+            exec: &Execution,
+            table: &ActivityTable,
+        ) -> Result<(), StreamError> {
+            self.execs.push((exec.id.clone(), exec.display(table)));
+            Ok(())
+        }
+
+        fn on_eviction(&mut self, case: &str, buffered: usize) {
+            self.evictions.push((case.to_string(), buffered));
+        }
+    }
+
+    fn feed(
+        assembler: &mut CaseAssembler<impl Observer>,
+        events: &[EventRecord],
+    ) -> Result<(), StreamError> {
+        for (i, e) in events.iter().enumerate() {
+            assembler.on_event(
+                e.clone(),
+                SourceLocation {
+                    byte_offset: i as u64,
+                    line: i + 1,
+                },
+            )?;
+        }
+        assembler.finish()
+    }
+
+    #[test]
+    fn interleaved_cases_assemble_whole() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(AssemblerConfig::default(), &mut cap);
+        feed(
+            &mut asm,
+            &[
+                EventRecord::start("p1", "A", 0),
+                EventRecord::start("p2", "A", 0),
+                EventRecord::end("p1", "A", 1, None),
+                EventRecord::end("p2", "A", 1, None),
+                EventRecord::start("p1", "B", 2), // p1 reappears: same case
+                EventRecord::end("p1", "B", 3, None),
+            ],
+        )
+        .unwrap();
+        assert_eq!(asm.report().cases_evicted, 0);
+        drop(asm);
+        assert_eq!(
+            cap.execs,
+            vec![
+                ("p1".to_string(), "A B".to_string()),
+                ("p2".to_string(), "A".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn eviction_bounds_open_cases_and_reports() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(
+            AssemblerConfig {
+                max_open_cases: 2,
+                ..AssemblerConfig::default()
+            },
+            &mut cap,
+        );
+        // Three never-completing cases: the third arrival evicts p1.
+        for (i, case) in ["p1", "p2", "p3"].iter().enumerate() {
+            asm.on_event(
+                EventRecord::start(*case, "A", i as u64),
+                SourceLocation::default(),
+            )
+            .unwrap();
+            assert!(asm.open_cases() <= 2);
+        }
+        assert_eq!(asm.report().cases_evicted, 1);
+        assert_eq!(asm.report().records_skipped, 1, "p1's dangling START");
+        drop(asm);
+        assert_eq!(cap.evictions, vec![("p1".to_string(), 1)]);
+    }
+
+    #[test]
+    fn evicted_balanced_case_is_a_normal_completion() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(
+            AssemblerConfig {
+                max_open_cases: 1,
+                ..AssemblerConfig::default()
+            },
+            &mut cap,
+        );
+        feed(
+            &mut asm,
+            &[
+                EventRecord::start("p1", "A", 0),
+                EventRecord::end("p1", "A", 1, None),
+                EventRecord::start("p2", "B", 2), // evicts balanced p1
+                EventRecord::end("p2", "B", 3, None),
+            ],
+        )
+        .unwrap();
+        assert_eq!(asm.report().cases_evicted, 0, "balanced eviction is free");
+        drop(asm);
+        assert_eq!(cap.evictions, vec![]);
+        assert_eq!(cap.execs.len(), 2);
+    }
+
+    #[test]
+    fn finish_flushes_in_opened_order() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(AssemblerConfig::default(), &mut cap);
+        feed(
+            &mut asm,
+            &[
+                EventRecord::start("late", "A", 0),
+                EventRecord::start("early", "B", 0),
+                EventRecord::end("early", "B", 1, None),
+                EventRecord::end("late", "A", 1, None),
+            ],
+        )
+        .unwrap();
+        drop(asm);
+        let ids: Vec<&str> = cap.execs.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["late", "early"], "first-event order, not close order");
+    }
+
+    #[test]
+    fn strict_finish_surfaces_unmatched_events() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(
+            AssemblerConfig {
+                assembly: AssemblyPolicy::Strict,
+                ..AssemblerConfig::default()
+            },
+            &mut cap,
+        );
+        let err = feed(&mut asm, &[EventRecord::start("p1", "A", 0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Log(crate::LogError::UnmatchedStart { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_diagnostics_carry_source_locations() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(AssemblerConfig::default(), &mut cap);
+        feed(
+            &mut asm,
+            &[
+                EventRecord::start("p1", "A", 0),
+                EventRecord::end("p1", "A", 1, None),
+                EventRecord::end("p1", "Z", 2, None), // dangling END at line 3
+            ],
+        )
+        .unwrap();
+        assert_eq!(asm.report().records_skipped, 1);
+        assert_eq!(asm.report().errors.len(), 1);
+        assert_eq!(asm.report().errors[0].line, 3);
+        assert_eq!(asm.report().errors[0].byte_offset, 2);
+        assert_eq!(
+            asm.report().errors_total,
+            0,
+            "diagnostics must not burn the Skip budget"
+        );
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut cap = Capture::default();
+        let mut asm = CaseAssembler::new(AssemblerConfig::default(), &mut cap);
+        asm.on_event(EventRecord::start("p", "A", 0), SourceLocation::default())
+            .unwrap();
+        asm.on_event(
+            EventRecord::end("p", "A", 1, None),
+            SourceLocation::default(),
+        )
+        .unwrap();
+        asm.finish().unwrap();
+        asm.finish().unwrap();
+        drop(asm);
+        assert_eq!(cap.execs.len(), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Pull-based Flowmark event source for streaming pipelines.
+//!
+//! [`FlowmarkSource`] reads one Flowmark record at a time with the same
+//! [`RecoveryPolicy`] / [`IngestReport`] semantics as the batch codec:
+//! under [`RecoveryPolicy::Strict`] the first bad line is fatal; under
+//! a recovering policy bad lines are skipped and counted, a truncated
+//! unterminated tail surfaces as
+//! [`LogError::UnexpectedEof`](crate::LogError::UnexpectedEof), and a
+//! [`RecoveryPolicy::Skip`] budget overrun ends the stream with
+//! [`LogError::TooManyErrors`](crate::LogError::TooManyErrors). Unlike
+//! [`ExecutionStream`](crate::codec::stream::ExecutionStream) it emits
+//! raw *events*, leaving case assembly to a downstream
+//! [`StreamSink`] — typically a
+//! [`CaseAssembler`](super::CaseAssembler) behind some [`stages`](super::stages).
+
+use super::{SourceLocation, StreamError, StreamSink};
+use crate::codec::{flowmark, ByteLines, CodecStats, IngestReport, RecoveryPolicy};
+use crate::{EventRecord, LogError};
+use std::io::BufRead;
+
+/// Streaming Flowmark reader yielding `(EventRecord, SourceLocation)`
+/// pairs. After any `Err` from [`FlowmarkSource::next_event`] the
+/// source is exhausted — fatal errors terminate the stream (they never
+/// repeat, so a retry loop cannot spin).
+pub struct FlowmarkSource<R: BufRead> {
+    lines: ByteLines<R>,
+    policy: RecoveryPolicy,
+    stats: CodecStats,
+    report: IngestReport,
+    done: bool,
+}
+
+impl<R: BufRead> FlowmarkSource<R> {
+    /// Creates a source over `reader` with the given policy.
+    pub fn new(reader: R, policy: RecoveryPolicy) -> Self {
+        FlowmarkSource {
+            lines: ByteLines::new(reader),
+            policy,
+            stats: CodecStats::default(),
+            report: IngestReport::default(),
+            done: false,
+        }
+    }
+
+    /// Byte/event tallies so far (`executions_parsed` stays zero — the
+    /// source does not assemble cases).
+    pub fn stats(&self) -> CodecStats {
+        CodecStats {
+            bytes_read: self.lines.bytes(),
+            ..self.stats
+        }
+    }
+
+    /// Parse-side ingest accounting (records parsed/skipped, located
+    /// errors). Merge with the downstream assembler's report for the
+    /// complete picture.
+    pub fn report(&self) -> &IngestReport {
+        &self.report
+    }
+
+    /// Reads the next event. `Ok(None)` at end of input; any `Err`
+    /// also ends the stream. Blank lines and `#` comments are skipped.
+    pub fn next_event(&mut self) -> Result<Option<(EventRecord, SourceLocation)>, LogError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let (offset, lineno, had_newline) = match self.lines.read_next() {
+                Ok(Some(next)) => next,
+                Ok(None) => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    // Fatal I/O error: record it and terminate — a
+                    // persistently failing reader must not produce an
+                    // unbounded error stream.
+                    self.report
+                        .record_error(self.lines.bytes(), 0, e.to_string());
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            let parsed = match std::str::from_utf8(self.lines.line()) {
+                Ok(text) => {
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    flowmark::parse_event_line(trimmed, lineno)
+                }
+                Err(_) => Err(LogError::Parse {
+                    line: lineno,
+                    message: "line is not valid UTF-8".to_string(),
+                }),
+            };
+            match parsed {
+                Ok(record) => {
+                    self.stats.events_parsed += 1;
+                    self.report.records_parsed += 1;
+                    return Ok(Some((
+                        record,
+                        SourceLocation {
+                            byte_offset: offset,
+                            line: lineno,
+                        },
+                    )));
+                }
+                Err(e) => {
+                    // A bad final line with no newline is a truncated tail.
+                    let err = if had_newline {
+                        e
+                    } else {
+                        LogError::UnexpectedEof {
+                            byte_offset: offset,
+                            message: format!("input ends mid-record ({e})"),
+                        }
+                    };
+                    self.report.record_error(offset, lineno, err.to_string());
+                    if self.policy.is_strict() {
+                        self.done = true;
+                        return Err(err);
+                    }
+                    self.report.records_skipped += 1;
+                    if let Err(give_up) = self.report.over_budget(self.policy) {
+                        self.done = true;
+                        return Err(give_up);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives the whole stream into `sink`, calling
+    /// [`StreamSink::finish`] at end of input. On error the sink is
+    /// *not* finished — partial state would masquerade as a clean read.
+    pub fn pump<S: StreamSink>(&mut self, sink: &mut S) -> Result<(), StreamError> {
+        while let Some((event, at)) = self.next_event()? {
+            sink.on_event(event, at)?;
+        }
+        sink.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultReader};
+    use std::io::BufReader;
+
+    fn drain<R: BufRead>(source: &mut FlowmarkSource<R>) -> (Vec<EventRecord>, Option<LogError>) {
+        let mut events = Vec::new();
+        loop {
+            match source.next_event() {
+                Ok(Some((e, _))) => events.push(e),
+                Ok(None) => return (events, None),
+                Err(e) => return (events, Some(e)),
+            }
+        }
+    }
+
+    #[test]
+    fn yields_events_with_locations() {
+        let text = "# header\np1,A,START,0\n\np1,A,END,1\n";
+        let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::Strict);
+        let (first, at) = source.next_event().unwrap().unwrap();
+        assert_eq!(first.activity, "A");
+        assert_eq!(at.line, 2);
+        assert_eq!(at.byte_offset, "# header\n".len() as u64);
+        let (_, at) = source.next_event().unwrap().unwrap();
+        assert_eq!(at.line, 4);
+        assert!(source.next_event().unwrap().is_none());
+        assert_eq!(source.stats().events_parsed, 2);
+        assert_eq!(source.stats().bytes_read, text.len() as u64);
+    }
+
+    #[test]
+    fn strict_terminates_on_first_bad_line() {
+        let text = "garbage\np1,A,START,0\n";
+        let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::Strict);
+        let (events, err) = drain(&mut source);
+        assert!(events.is_empty());
+        assert!(matches!(err, Some(LogError::Parse { line: 1, .. })));
+        assert!(source.next_event().unwrap().is_none(), "stream is done");
+    }
+
+    #[test]
+    fn recovering_skips_and_counts_bad_lines() {
+        let text = "p1,A,START,0\ngarbage\np1,A,END,1\n";
+        let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::BestEffort);
+        let (events, err) = drain(&mut source);
+        assert_eq!(events.len(), 2);
+        assert!(err.is_none());
+        assert_eq!(source.report().records_skipped, 1);
+        assert_eq!(source.report().errors_total, 1);
+        assert_eq!(source.report().errors[0].line, 2);
+    }
+
+    #[test]
+    fn skip_budget_overrun_terminates() {
+        let text = "bad one\nbad two\np1,A,START,0\n";
+        let mut source =
+            FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::Skip { max_errors: 1 });
+        let (events, err) = drain(&mut source);
+        assert!(events.is_empty());
+        assert!(matches!(err, Some(LogError::TooManyErrors { .. })));
+        assert!(source.next_event().unwrap().is_none(), "stream is done");
+    }
+
+    #[test]
+    fn io_error_terminates_even_under_best_effort() {
+        let text = "p1,A,START,0\np1,A,END,1\n";
+        // max_read chunks delivery so the one-shot fault fires after
+        // the first full line instead of after one slurping read.
+        let reader = BufReader::new(FaultReader::new(
+            text.as_bytes(),
+            FaultConfig {
+                io_error_at: Some(13),
+                max_read: Some(13),
+                ..FaultConfig::default()
+            },
+        ));
+        let mut source = FlowmarkSource::new(reader, RecoveryPolicy::BestEffort);
+        let (events, err) = drain(&mut source);
+        assert_eq!(events.len(), 1, "first record parses before the fault");
+        assert!(matches!(err, Some(LogError::Io(_))));
+        assert!(
+            source.next_event().unwrap().is_none(),
+            "one-shot fault resumes the reader, but the source stays done"
+        );
+        assert_eq!(source.report().errors.len(), 1);
+    }
+
+    #[test]
+    fn truncated_tail_is_unexpected_eof() {
+        let text = "p1,A,START,0\np1,A,EN";
+        let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::BestEffort);
+        let (events, err) = drain(&mut source);
+        assert_eq!(events.len(), 1);
+        assert!(err.is_none(), "recovering read salvages past the tail");
+        assert!(source.report().errors[0].message.contains("mid-record"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Composable [`StreamSink`] adapters.
+//!
+//! Each stage wraps a downstream sink and forwards (possibly
+//! transformed) events to it; [`StreamSink::finish`] always propagates,
+//! so a chain flushes end to end. Stages hold O(1) state — they never
+//! buffer the stream.
+
+use super::{SourceLocation, StreamError, StreamSink};
+use crate::{EventKind, EventRecord};
+
+/// Forwards only events matching a predicate.
+///
+/// Dropped events are counted but not reported: filtering is a
+/// deliberate consumer choice, not noise.
+pub struct Filter<S, F> {
+    inner: S,
+    predicate: F,
+    dropped: u64,
+}
+
+impl<S: StreamSink, F: FnMut(&EventRecord) -> bool> Filter<S, F> {
+    /// Wraps `inner`, forwarding only events for which `predicate`
+    /// returns `true`.
+    pub fn new(inner: S, predicate: F) -> Self {
+        Filter {
+            inner,
+            predicate,
+            dropped: 0,
+        }
+    }
+
+    /// Events dropped by the predicate so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Unwraps the downstream sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StreamSink, F: FnMut(&EventRecord) -> bool> StreamSink for Filter<S, F> {
+    fn on_event(&mut self, event: EventRecord, at: SourceLocation) -> Result<(), StreamError> {
+        if (self.predicate)(&event) {
+            self.inner.on_event(event, at)
+        } else {
+            self.dropped += 1;
+            Ok(())
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), StreamError> {
+        self.inner.finish()
+    }
+}
+
+/// Drops consecutive exact-duplicate records — the classic
+/// at-least-once-delivery artifact of log shippers. Only *adjacent*
+/// duplicates are folded, so memory stays O(1).
+pub struct Repair<S> {
+    inner: S,
+    last: Option<EventRecord>,
+    deduplicated: u64,
+}
+
+impl<S: StreamSink> Repair<S> {
+    /// Wraps `inner` with adjacent-duplicate folding.
+    pub fn new(inner: S) -> Self {
+        Repair {
+            inner,
+            last: None,
+            deduplicated: 0,
+        }
+    }
+
+    /// Duplicate events folded so far.
+    pub fn deduplicated(&self) -> u64 {
+        self.deduplicated
+    }
+
+    /// Unwraps the downstream sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StreamSink> StreamSink for Repair<S> {
+    fn on_event(&mut self, event: EventRecord, at: SourceLocation) -> Result<(), StreamError> {
+        if self.last.as_ref() == Some(&event) {
+            self.deduplicated += 1;
+            return Ok(());
+        }
+        self.last = Some(event.clone());
+        self.inner.on_event(event, at)
+    }
+
+    fn finish(&mut self) -> Result<(), StreamError> {
+        self.inner.finish()
+    }
+}
+
+/// Drops structurally unusable records — empty case or activity names —
+/// that would otherwise pollute the open-case map with a garbage key.
+pub struct Validate<S> {
+    inner: S,
+    rejected: u64,
+}
+
+impl<S: StreamSink> Validate<S> {
+    /// Wraps `inner` with structural validation.
+    pub fn new(inner: S) -> Self {
+        Validate { inner, rejected: 0 }
+    }
+
+    /// Events rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Unwraps the downstream sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StreamSink> StreamSink for Validate<S> {
+    fn on_event(&mut self, event: EventRecord, at: SourceLocation) -> Result<(), StreamError> {
+        if event.process.is_empty() || event.activity.is_empty() {
+            self.rejected += 1;
+            return Ok(());
+        }
+        self.inner.on_event(event, at)
+    }
+
+    fn finish(&mut self) -> Result<(), StreamError> {
+        self.inner.finish()
+    }
+}
+
+/// Running tallies over the event stream, kept by the [`Stats`] stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events forwarded.
+    pub events: u64,
+    /// START events forwarded.
+    pub starts: u64,
+    /// END events forwarded.
+    pub ends: u64,
+    /// Smallest timestamp seen.
+    pub min_time: Option<u64>,
+    /// Largest timestamp seen.
+    pub max_time: Option<u64>,
+}
+
+/// Transparent stage that tallies the events flowing through it.
+pub struct Stats<S> {
+    inner: S,
+    stats: StreamStats,
+}
+
+impl<S: StreamSink> Stats<S> {
+    /// Wraps `inner` with event tallying.
+    pub fn new(inner: S) -> Self {
+        Stats {
+            inner,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The tallies so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Unwraps the downstream sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StreamSink> StreamSink for Stats<S> {
+    fn on_event(&mut self, event: EventRecord, at: SourceLocation) -> Result<(), StreamError> {
+        self.stats.events += 1;
+        match event.kind {
+            EventKind::Start => self.stats.starts += 1,
+            EventKind::End => self.stats.ends += 1,
+        }
+        self.stats.min_time = Some(
+            self.stats
+                .min_time
+                .map_or(event.time, |t| t.min(event.time)),
+        );
+        self.stats.max_time = Some(
+            self.stats
+                .max_time
+                .map_or(event.time, |t| t.max(event.time)),
+        );
+        self.inner.on_event(event, at)
+    }
+
+    fn finish(&mut self) -> Result<(), StreamError> {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every event it receives, plus whether finish was called.
+    struct Collect {
+        events: Vec<EventRecord>,
+        finished: bool,
+    }
+
+    impl Collect {
+        fn new() -> Self {
+            Collect {
+                events: Vec::new(),
+                finished: false,
+            }
+        }
+    }
+
+    impl StreamSink for Collect {
+        fn on_event(&mut self, event: EventRecord, _at: SourceLocation) -> Result<(), StreamError> {
+            self.events.push(event);
+            Ok(())
+        }
+
+        fn finish(&mut self) -> Result<(), StreamError> {
+            self.finished = true;
+            Ok(())
+        }
+    }
+
+    fn at() -> SourceLocation {
+        SourceLocation::default()
+    }
+
+    #[test]
+    fn filter_drops_and_counts() {
+        let mut stage = Filter::new(Collect::new(), |e: &EventRecord| e.activity != "noise");
+        stage
+            .on_event(EventRecord::start("p", "A", 0), at())
+            .unwrap();
+        stage
+            .on_event(EventRecord::start("p", "noise", 1), at())
+            .unwrap();
+        stage.finish().unwrap();
+        assert_eq!(stage.dropped(), 1);
+        let inner = stage.into_inner();
+        assert_eq!(inner.events.len(), 1);
+        assert!(inner.finished);
+    }
+
+    #[test]
+    fn repair_folds_adjacent_duplicates_only() {
+        let mut stage = Repair::new(Collect::new());
+        let e = EventRecord::start("p", "A", 0);
+        stage.on_event(e.clone(), at()).unwrap();
+        stage.on_event(e.clone(), at()).unwrap(); // duplicate: folded
+        stage
+            .on_event(EventRecord::end("p", "A", 1, None), at())
+            .unwrap();
+        stage.on_event(e.clone(), at()).unwrap(); // not adjacent: kept
+        assert_eq!(stage.deduplicated(), 1);
+        assert_eq!(stage.into_inner().events.len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_empty_names() {
+        let mut stage = Validate::new(Collect::new());
+        stage
+            .on_event(EventRecord::start("", "A", 0), at())
+            .unwrap();
+        stage
+            .on_event(EventRecord::start("p", "", 0), at())
+            .unwrap();
+        stage
+            .on_event(EventRecord::start("p", "A", 0), at())
+            .unwrap();
+        assert_eq!(stage.rejected(), 2);
+        assert_eq!(stage.into_inner().events.len(), 1);
+    }
+
+    #[test]
+    fn stats_tally_kinds_and_time_range() {
+        let mut stage = Stats::new(Collect::new());
+        stage
+            .on_event(EventRecord::start("p", "A", 7), at())
+            .unwrap();
+        stage
+            .on_event(EventRecord::end("p", "A", 9, None), at())
+            .unwrap();
+        let s = stage.stats();
+        assert_eq!((s.events, s.starts, s.ends), (2, 1, 1));
+        assert_eq!((s.min_time, s.max_time), (Some(7), Some(9)));
+    }
+}

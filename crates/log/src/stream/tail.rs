@@ -1,0 +1,94 @@
+//! Follow-mode reader: treat EOF as "not yet", within an idle budget.
+//!
+//! A regular file being appended to returns `Ok(0)` from `read` at the
+//! current end; [`TailReader`] turns that into a poll-and-retry loop so
+//! `procmine mine --follow` can consume a log while a workflow engine
+//! is still writing it. After `idle_limit` of consecutive empty polls
+//! the reader gives up and reports a real EOF, ending the follow
+//! session cleanly (set it to `None` to follow forever, e.g. under an
+//! external watchdog).
+//!
+//! Pipes need no wrapping — their reads block until data or a true EOF
+//! — so the CLI only wraps regular files.
+
+use std::io::Read;
+use std::time::Duration;
+
+/// A [`Read`] adapter that retries empty reads, for tailing a growing
+/// file. I/O errors pass through unchanged (and are fatal upstream —
+/// see [`FlowmarkSource`](super::FlowmarkSource)).
+pub struct TailReader<R> {
+    inner: R,
+    poll: Duration,
+    idle_limit: Option<Duration>,
+}
+
+impl<R: Read> TailReader<R> {
+    /// Wraps `inner`. `poll` is the sleep between empty reads;
+    /// `idle_limit` is the total idle time after which EOF becomes
+    /// final (`None`: never give up).
+    pub fn new(inner: R, poll: Duration, idle_limit: Option<Duration>) -> Self {
+        TailReader {
+            inner,
+            poll,
+            idle_limit,
+        }
+    }
+}
+
+impl<R: Read> Read for TailReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut idle = Duration::ZERO;
+        loop {
+            let n = self.inner.read(buf)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            if let Some(limit) = self.idle_limit {
+                if idle >= limit {
+                    return Ok(0);
+                }
+            }
+            std::thread::sleep(self.poll);
+            idle += self.poll;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    #[test]
+    fn picks_up_appended_data_then_gives_up_when_idle() {
+        // Reader and writer need independent file offsets: open twice.
+        let path =
+            std::env::temp_dir().join(format!("procmine-tail-test-{}.log", std::process::id()));
+        std::fs::write(&path, "first\n").unwrap();
+        let mut lines = BufReader::new(TailReader::new(
+            std::fs::File::open(&path).unwrap(),
+            Duration::from_millis(1),
+            Some(Duration::from_millis(50)),
+        ));
+
+        let mut line = String::new();
+        lines.read_line(&mut line).unwrap();
+        assert_eq!(line, "first\n");
+
+        let mut appender = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        appender.write_all(b"second\n").unwrap();
+        appender.flush().unwrap();
+        line.clear();
+        lines.read_line(&mut line).unwrap();
+        assert_eq!(line, "second\n");
+
+        // No more writes: the idle limit turns EOF final.
+        line.clear();
+        assert_eq!(lines.read_line(&mut line).unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -43,6 +43,43 @@ pub enum Diagnostic {
     },
 }
 
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Diagnostic::DanglingEnd {
+                execution,
+                activity,
+                time,
+            } => write!(
+                f,
+                "case `{execution}`: dropped END for `{activity}` at t={time} (no open START)"
+            ),
+            Diagnostic::DanglingStart {
+                execution,
+                activity,
+                time,
+            } => write!(
+                f,
+                "case `{execution}`: dropped START for `{activity}` at t={time} (never ended)"
+            ),
+        }
+    }
+}
+
+/// Finds the index of the event record a lenient-assembly diagnostic
+/// refers to (first match by kind, activity, and time), so streaming
+/// callers can report the diagnostic with the record's byte offset and
+/// line number.
+pub fn locate_diagnostic(records: &[EventRecord], diag: &Diagnostic) -> Option<usize> {
+    let (want_kind, activity, time) = match diag {
+        Diagnostic::DanglingEnd { activity, time, .. } => (EventKind::End, activity, *time),
+        Diagnostic::DanglingStart { activity, time, .. } => (EventKind::Start, activity, *time),
+    };
+    records
+        .iter()
+        .position(|r| r.kind == want_kind && r.activity == *activity && r.time == time)
+}
+
 /// Result of a lenient assembly: the usable executions plus diagnostics.
 #[derive(Debug)]
 pub struct AssemblyReport {
