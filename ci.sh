@@ -67,6 +67,54 @@ grep -q '"cases_evicted"' "$smoke_dir/follow-stats.json" || {
   exit 1
 }
 
+# Crash-recovery smoke: SIGKILL a checkpointing `mine --follow` mid
+# stream, let the log keep growing, resume from the checkpoint, and
+# require the exact edge set of batch-mining the whole log. Guards the
+# checkpoint/resume path end to end (atomic save → kill → load →
+# validate → seek → continue).
+echo "==> crash-recovery smoke: SIGKILL mid-follow, resume, diff vs batch"
+./target/release/procmine generate --preset graph10 --executions 300 --seed 17 \
+  -o "$smoke_dir/crash.fm" >/dev/null
+# Split at a case boundary so the torn tail is growth, not corruption.
+half=$(( $(wc -l < "$smoke_dir/crash.fm") / 2 ))
+head -n "$half" "$smoke_dir/crash.fm" > "$smoke_dir/crash-live.fm"
+first_case=$(head -n 1 "$smoke_dir/crash.fm" | cut -d, -f1)
+./target/release/procmine mine --follow "$smoke_dir/crash-live.fm" \
+  --idle-ms 30000 --poll-ms 20 \
+  --checkpoint "$smoke_dir/crash.ckpt" --checkpoint-every 40 \
+  >/dev/null 2>"$smoke_dir/crash.follow.err" &
+follow_pid=$!
+# Wait for the first checkpoint to land, then kill without warning.
+for _ in $(seq 1 100); do
+  [ -f "$smoke_dir/crash.ckpt" ] && break
+  sleep 0.1
+done
+if ! [ -f "$smoke_dir/crash.ckpt" ]; then
+  echo "follow session never wrote a checkpoint" >&2
+  cat "$smoke_dir/crash.follow.err" >&2
+  kill -9 "$follow_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -9 "$follow_pid" 2>/dev/null || true
+wait "$follow_pid" 2>/dev/null || true
+# The log keeps growing while the miner is down.
+tail -n +"$(( half + 1 ))" "$smoke_dir/crash.fm" >> "$smoke_dir/crash-live.fm"
+./target/release/procmine mine --follow "$smoke_dir/crash-live.fm" \
+  --checkpoint "$smoke_dir/crash.ckpt" --checkpoint-every 40 \
+  2>"$smoke_dir/crash.resume.err" \
+  | grep -E '^  .* -> ' | sort > "$smoke_dir/crash-resumed.edges"
+grep -q 'resuming from checkpoint @ byte' "$smoke_dir/crash.resume.err" || {
+  echo "resumed session did not report the checkpoint resume:" >&2
+  cat "$smoke_dir/crash.resume.err" >&2
+  exit 1
+}
+./target/release/procmine mine "$smoke_dir/crash.fm" \
+  | grep -E '^  .* -> ' | sort > "$smoke_dir/crash-batch.edges"
+if ! diff -u "$smoke_dir/crash-batch.edges" "$smoke_dir/crash-resumed.edges"; then
+  echo "resumed mine --follow diverged from batch mining after SIGKILL" >&2
+  exit 1
+fi
+
 # Perf-regression smoke: run the fixed scenario matrix once in smoke
 # mode, validate the report against the perfsuite schema, and let the
 # binary's built-in disabled-tracer overhead guard gate the run. The
@@ -84,5 +132,12 @@ cargo run --release -q -p procmine-bench --bin perfsuite -- \
 echo "==> codec fast-path gate: codec.xes within 2x of codec.jsonl"
 cargo run --release -q -p procmine-bench --bin perfsuite -- \
   --assert-xes-ratio BENCH_perfsuite.json
+
+# Checkpoint overhead gate: on the committed baseline, the cadenced
+# atomic checkpoint saves may cost the follow pipeline at most 10%
+# over plain streaming (stream.checkpoint vs stream.mine, per pass).
+echo "==> checkpoint overhead gate: stream.checkpoint within 1.1x of stream.mine"
+cargo run --release -q -p procmine-bench --bin perfsuite -- \
+  --assert-checkpoint-ratio BENCH_perfsuite.json
 
 echo "ci: OK"

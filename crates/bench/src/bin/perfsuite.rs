@@ -13,7 +13,7 @@
 //! ```text
 //! perfsuite [--smoke] [--out FILE] [--repeats N] [--compare OLD.json]
 //!           [--threshold-pct N] [--check-schema FILE] [--normalize]
-//!           [--assert-xes-ratio FILE]
+//!           [--assert-xes-ratio FILE] [--assert-checkpoint-ratio FILE]
 //! ```
 //!
 //! `--normalize` adds a `ratio_vs_general` field to every cell: its
@@ -25,11 +25,19 @@
 //! [`XES_RATIO_LIMIT`] times its `codec.jsonl` median — the codec
 //! fast-path gate, pinned against the committed baseline.
 //!
+//! `--assert-checkpoint-ratio FILE` is the same kind of saved-report
+//! gate for the `--follow` checkpoint subsystem: it fails when any
+//! scenario's `stream.checkpoint` median (the follow pipeline with
+//! cadenced atomic checkpoint saves, amortized per pass) exceeds
+//! [`CHECKPOINT_RATIO_LIMIT`] times its `stream.mine` median.
+//!
 //! Exit status: 0 on success, 1 on usage or I/O errors, 2 when
 //! `--compare` found regressions, 3 when the disabled-tracer overhead
 //! guard tripped (a default-session `mine_general_dag_in` call
 //! measurably slower than the plain entry point), 4 when
-//! `--assert-xes-ratio` found the XES decoder too far behind JSONL.
+//! `--assert-xes-ratio` found the XES decoder too far behind JSONL,
+//! 5 when `--assert-checkpoint-ratio` found checkpointing too far
+//! above the plain follow pipeline.
 
 use procmine_bench::perf::{
     compare, max_stage_ratio, normalize, summarize, Cell, Report, TraceOverhead,
@@ -38,7 +46,8 @@ use procmine_bench::synthetic_workload;
 use procmine_core::conformance::check_conformance;
 use procmine_core::{
     mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_in, mine_general_dag_parallel,
-    IncrementalMiner, MineSession, MinerOptions, OnlineMiner, SnapshotPolicy,
+    FollowCheckpoint, IncrementalMiner, MineSession, MinerOptions, OnlineMiner, OptionsFingerprint,
+    SnapshotPolicy, SourceState, DEFAULT_CHECKPOINT_EVERY,
 };
 use procmine_graph::reduction::{
     transitive_reduction_matrix, transitive_reduction_matrix_parallel_budgeted,
@@ -65,6 +74,13 @@ const MICRO_THREADS: usize = 4;
 /// path from quietly sliding back to its pre-rewrite 10–20x.
 const XES_RATIO_LIMIT: f64 = 2.0;
 
+/// `--assert-checkpoint-ratio` limit: the `stream.checkpoint` median
+/// (follow pipeline + cadenced atomic saves, amortized per pass) may
+/// cost at most this multiple of the same-scenario `stream.mine`
+/// median. At [`DEFAULT_CHECKPOINT_EVERY`] the save's ~1.5ms fsync is
+/// spread over enough consumed events to stay inside 10%.
+const CHECKPOINT_RATIO_LIMIT: f64 = 1.10;
+
 /// [`MICRO_THREADS`] clamped to the host's cores: oversubscribing a
 /// smaller machine only measures context-switch thrash, so on (say) a
 /// single-core runner the parallel micro cells exercise the kernels'
@@ -83,6 +99,7 @@ struct Args {
     threshold_pct: f64,
     check_schema: Option<String>,
     assert_xes_ratio: Option<String>,
+    assert_checkpoint_ratio: Option<String>,
     normalize: bool,
 }
 
@@ -95,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         threshold_pct: 15.0,
         check_schema: None,
         assert_xes_ratio: None,
+        assert_checkpoint_ratio: None,
         normalize: false,
     };
     let mut repeats: Option<usize> = None;
@@ -121,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--check-schema" => args.check_schema = Some(value("--check-schema")?),
             "--assert-xes-ratio" => args.assert_xes_ratio = Some(value("--assert-xes-ratio")?),
+            "--assert-checkpoint-ratio" => {
+                args.assert_checkpoint_ratio = Some(value("--assert-checkpoint-ratio")?);
+            }
             "--normalize" => args.normalize = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -207,32 +228,97 @@ fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut
 
     // The --follow pipeline end to end: decode a pre-encoded flowmark
     // buffer event-by-event, assemble interleavable cases, feed the
-    // online miner, and materialize the final snapshot.
+    // online miner, and materialize the final snapshot. One pass over
+    // the workload is sub-10ms — scheduler-noise territory — so the
+    // cell loops enough passes to cover two DEFAULT_CHECKPOINT_EVERY
+    // cadence windows and records per-pass time. stream.checkpoint
+    // below runs the identical pass count with the checkpoint
+    // subsystem engaged, so their ratio isolates the checkpoint cost.
     let mut follow_buf = Vec::new();
     codec::flowmark::write_log(log, &mut follow_buf).expect("write succeeds");
+    let events_per_pass: u64 = log.executions().iter().map(|e| e.len() as u64).sum();
+    let passes = (2 * DEFAULT_CHECKPOINT_EVERY / events_per_pass.max(1) + 1) as usize;
+    let follow_pass = |capture: bool| -> Option<FollowCheckpoint> {
+        use procmine_log::stream::{AssemblerConfig, CaseAssembler, FlowmarkSource, StreamError};
+        use procmine_log::{ActivityTable, Execution};
+        let mut miner = OnlineMiner::new(options.clone(), SnapshotPolicy::on_demand());
+        let mut source = FlowmarkSource::new(&follow_buf[..], RecoveryPolicy::Strict);
+        let mut assembler = CaseAssembler::new(
+            AssemblerConfig::default(),
+            |exec: &Execution, table: &ActivityTable| -> Result<(), StreamError> {
+                miner
+                    .absorb(exec, table)
+                    .map(|_| ())
+                    .map_err(|e| StreamError::Sink(Box::new(e)))
+            },
+        );
+        source.pump(&mut assembler).expect("stream succeeds");
+        let assembler_state = capture.then(|| assembler.export_state());
+        drop(assembler);
+        let ck = assembler_state.map(|assembler_state| {
+            let (byte_offset, line) = source.position();
+            FollowCheckpoint {
+                fingerprint: OptionsFingerprint {
+                    noise_threshold: options.noise_threshold,
+                    max_open_cases: 1024,
+                    strict_assembly: true,
+                },
+                miner: miner.export_state(),
+                assembler: assembler_state,
+                source: SourceState {
+                    byte_offset,
+                    line: line as u64,
+                    source_len: follow_buf.len() as u64,
+                    stats: source.stats(),
+                    report: source.report().clone(),
+                },
+            }
+        });
+        miner.snapshot().expect("snapshot succeeds");
+        ck
+    };
     cells.push(summarize(
         scenario,
         "stream.mine",
         time_runs(repeats, || {
-            use procmine_log::stream::{
-                AssemblerConfig, CaseAssembler, FlowmarkSource, StreamError,
-            };
-            use procmine_log::{ActivityTable, Execution};
-            let mut miner = OnlineMiner::new(options.clone(), SnapshotPolicy::on_demand());
-            let mut source = FlowmarkSource::new(&follow_buf[..], RecoveryPolicy::Strict);
-            let mut assembler = CaseAssembler::new(
-                AssemblerConfig::default(),
-                |exec: &Execution, table: &ActivityTable| -> Result<(), StreamError> {
-                    miner
-                        .absorb(exec, table)
-                        .map(|_| ())
-                        .map_err(|e| StreamError::Sink(Box::new(e)))
-                },
-            );
-            source.pump(&mut assembler).expect("stream succeeds");
-            drop(assembler);
-            miner.snapshot().expect("snapshot succeeds");
-        }),
+            for _ in 0..passes {
+                follow_pass(false);
+            }
+        })
+        .into_iter()
+        .map(|ns| ns / passes as u64)
+        .collect(),
+    ));
+
+    // The same pipeline with the checkpoint subsystem engaged: a real
+    // atomic save (tmp + fsync + rename) every DEFAULT_CHECKPOINT_EVERY
+    // consumed events — the steady-state cost of a crash-safe session
+    // (the load side runs once per restart, not per cadence; its
+    // correctness is pinned by tests/checkpoint_recovery.rs). The
+    // carry counter survives passes and runs, exactly like a
+    // long-lived follow session, so each run pays for exactly the
+    // saves the cadence demands. Per-pass time, same pass count as
+    // stream.mine; the --assert-checkpoint-ratio gate pins the ratio.
+    let ck_path = std::env::temp_dir().join(format!(
+        "procmine-perfsuite-{}-{scenario}.ckpt",
+        std::process::id()
+    ));
+    let mut carry = 0u64;
+    let runs = time_runs(repeats, || {
+        for _ in 0..passes {
+            carry += events_per_pass;
+            let checkpoint_now = carry >= DEFAULT_CHECKPOINT_EVERY;
+            if let Some(ck) = follow_pass(checkpoint_now) {
+                carry = 0;
+                ck.save(&ck_path).expect("save succeeds");
+            }
+        }
+    });
+    let _ = fs::remove_file(&ck_path);
+    cells.push(summarize(
+        scenario,
+        "stream.checkpoint",
+        runs.into_iter().map(|ns| ns / passes as u64).collect(),
     ));
 
     let model = mine_general_dag(log, &options).expect("mining succeeds");
@@ -422,6 +508,28 @@ fn run() -> Result<ExitCode, String> {
             return Ok(ExitCode::from(4));
         }
         println!("{path}: codec.xes within {worst:.2}x of codec.jsonl (limit {XES_RATIO_LIMIT}x)");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = &args.assert_checkpoint_ratio {
+        let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = Report::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        let Some(worst) = max_stage_ratio(&report.cells, "stream.checkpoint", "stream.mine") else {
+            return Err(format!(
+                "{path}: no scenario carries both stream.checkpoint and stream.mine cells"
+            ));
+        };
+        if worst > CHECKPOINT_RATIO_LIMIT {
+            eprintln!(
+                "FAIL: stream.checkpoint runs {worst:.2}x stream.mine in {path} \
+                 (limit {CHECKPOINT_RATIO_LIMIT}x)"
+            );
+            return Ok(ExitCode::from(5));
+        }
+        println!(
+            "{path}: stream.checkpoint within {worst:.2}x of stream.mine \
+             (limit {CHECKPOINT_RATIO_LIMIT}x)"
+        );
         return Ok(ExitCode::SUCCESS);
     }
 

@@ -68,6 +68,20 @@ COMMANDS:
                            inactivity (default 0: read to EOF once)
       --poll-ms MS         with --follow --idle-ms: poll interval while
                            tailing (default 50)
+      --checkpoint FILE    with --follow on a file: save resumable
+                           pipeline state (miner counts, open cases,
+                           source position) to FILE atomically every
+                           --checkpoint-every events and at end of
+                           stream; if FILE already exists the session
+                           resumes from it instead of re-reading the
+                           log. Corrupt checkpoints are refused
+                           (--recover discards them and cold-starts);
+                           changed mining options always refuse
+      --checkpoint-every N with --checkpoint: consumed events between
+                           saves (default 500000)
+      --io-retries N       with --follow on a file: transient read
+                           errors are retried with exponential backoff
+                           up to N times before failing (default 3)
       --threads N          mine with the parallel general miner on N
                            threads (requires --algorithm auto|general;
                            not combinable with --stream); with
@@ -587,6 +601,173 @@ fn report_mine_stats(
     Ok(())
 }
 
+/// The consumer end of a `mine --follow` pipeline: absorbs completed
+/// executions into the online miner, printing interim snapshots per
+/// the `--snapshot-every` cadence. A named struct (not a closure) so
+/// the pump loop can reach the miner *between* events through
+/// [`CaseAssembler::observer`] — that is where checkpoint saves hook
+/// in.
+struct FollowDriver<'a, S: MetricsSink> {
+    miner: &'a mut procmine_core::OnlineMiner,
+    session: &'a mut MineSession<S>,
+    skipped: &'a mut usize,
+}
+
+impl<S: MetricsSink> procmine_log::stream::Observer for FollowDriver<'_, S> {
+    fn on_execution(
+        &mut self,
+        exec: &procmine_log::Execution,
+        table: &procmine_log::ActivityTable,
+    ) -> Result<(), procmine_log::stream::StreamError> {
+        use procmine_log::stream::StreamError;
+        match self.miner.absorb(exec, table) {
+            Ok(false) => Ok(()),
+            Ok(true) => {
+                let snap = self
+                    .miner
+                    .snapshot_in(self.session)
+                    .map_err(|e| StreamError::Sink(Box::new(e)))?;
+                errln!(
+                    "snapshot @ {} events: {} activities, {} edges ({} executions)",
+                    self.miner.events_absorbed(),
+                    snap.activity_count(),
+                    snap.edge_count(),
+                    self.miner.executions()
+                );
+                Ok(())
+            }
+            Err(e) => {
+                errln!("warning: skipping case `{}`: {e}", exec.id);
+                *self.skipped += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// State restored from a `--checkpoint` file: the resumed miner, the
+/// assembler state to rebuild around a fresh observer, and the source
+/// position/accounting to continue from.
+type ResumeState = (
+    procmine_core::OnlineMiner,
+    procmine_log::stream::AssemblerState,
+    procmine_core::SourceState,
+);
+
+/// Attempts to resume a follow session from `ck_path`. Returns
+/// `Ok(None)` for a cold start — the file does not exist, or it is
+/// corrupt and `recovering` allows discarding it. Version skew and an
+/// options-fingerprint mismatch always refuse: the first is a
+/// different build's format, the second would silently mix counts
+/// accumulated under different mining semantics.
+fn load_follow_checkpoint(
+    ck_path: &str,
+    log_path: &str,
+    fingerprint: &procmine_core::OptionsFingerprint,
+    options: &MinerOptions,
+    snap_policy: procmine_core::SnapshotPolicy,
+    config: procmine_log::stream::AssemblerConfig,
+    recovering: bool,
+) -> Result<Option<ResumeState>, Box<dyn Error>> {
+    use procmine_core::{FollowCheckpoint, OnlineMiner};
+    use procmine_log::stream::{CaseAssembler, CheckpointError, StreamError};
+    use procmine_log::{ActivityTable, Execution};
+
+    if !std::path::Path::new(ck_path).exists() {
+        return Ok(None);
+    }
+    let degrade = |why: String| -> Result<Option<ResumeState>, Box<dyn Error>> {
+        if recovering {
+            errln!("warning: {why}; cold-starting (the checkpoint will be overwritten)");
+            Ok(None)
+        } else {
+            Err(format!(
+                "{why} (rerun with --recover to discard the checkpoint and cold-start, \
+                 or delete the file)"
+            )
+            .into())
+        }
+    };
+    let ck = match FollowCheckpoint::load(std::path::Path::new(ck_path)) {
+        Ok(ck) => ck,
+        Err(e @ CheckpointError::VersionSkew { .. }) => {
+            return Err(format!(
+                "cannot resume from `{ck_path}`: {e} (written by a different build; \
+                 delete the file to start over)"
+            )
+            .into())
+        }
+        Err(e) => return degrade(format!("cannot resume from `{ck_path}`: {e}")),
+    };
+    if let Some(diff) = fingerprint.mismatch(&ck.fingerprint) {
+        return Err(format!(
+            "cannot resume from `{ck_path}`: options changed — {diff}; rerun with the \
+             checkpoint's options, or delete the file to remine under the new ones"
+        )
+        .into());
+    }
+    let current_len = std::fs::metadata(log_path)?.len();
+    if current_len < ck.source.source_len {
+        return degrade(format!(
+            "cannot resume from `{ck_path}`: log `{log_path}` shrank from {} to \
+             {current_len} bytes since the checkpoint (truncated or rotated)",
+            ck.source.source_len
+        ));
+    }
+    let miner = match OnlineMiner::from_state(options.clone(), snap_policy, ck.miner) {
+        Ok(m) => m,
+        Err(e) => return degrade(format!("cannot resume from `{ck_path}`: {e}")),
+    };
+    // Dry-run the assembler restore so structural corruption in its
+    // half of the payload also degrades here, before the pipeline is
+    // wired up.
+    let probe = |_: &Execution, _: &ActivityTable| Ok::<(), StreamError>(());
+    if let Err(e) = CaseAssembler::resume(config, probe, ck.assembler.clone()) {
+        return degrade(format!("cannot resume from `{ck_path}`: {e}"));
+    }
+    Ok(Some((miner, ck.assembler, ck.source)))
+}
+
+/// Saves the full pipeline state to `ck_path` atomically. `base` is
+/// the source-side accounting carried over from the checkpoint this
+/// session resumed from (zeroed on a cold start); the session's own
+/// tallies are merged on top so the saved state is cumulative over the
+/// whole stream.
+#[allow(clippy::too_many_arguments)]
+fn save_follow_checkpoint(
+    ck_path: &str,
+    log_path: &str,
+    fingerprint: procmine_core::OptionsFingerprint,
+    miner: &procmine_core::OnlineMiner,
+    assembler_state: procmine_log::stream::AssemblerState,
+    position: (u64, usize),
+    base: &procmine_core::SourceState,
+    session_stats: &CodecStats,
+    session_report: &IngestReport,
+) -> CliResult {
+    let mut stats = base.stats;
+    stats.merge(session_stats);
+    let mut report = base.report.clone();
+    report.merge(session_report);
+    let ck = procmine_core::FollowCheckpoint {
+        fingerprint,
+        miner: miner.export_state(),
+        assembler: assembler_state,
+        source: procmine_core::SourceState {
+            byte_offset: position.0,
+            line: position.1 as u64,
+            // The file can only have grown since the bytes at
+            // `position` were read; clamp defensively so the invariant
+            // `source_len >= byte_offset` holds even mid-rotation.
+            source_len: std::fs::metadata(log_path)?.len().max(position.0),
+            stats,
+            report,
+        },
+    };
+    ck.save(std::path::Path::new(ck_path))?;
+    Ok(())
+}
+
 /// `mine --follow`: online mining over a live event stream. `<LOG>` may
 /// be `-` for stdin (read until EOF — the pipe case) or a file, which
 /// with `--idle-ms` is tailed as it grows. Events flow through the
@@ -594,11 +775,21 @@ fn report_mine_stats(
 /// online miner; `--snapshot-every N` prints an interim model summary
 /// to stderr every N absorbed events, and the final model prints to
 /// stdout in the same shape as batch mining so outputs diff cleanly.
+///
+/// With `--checkpoint FILE` the pipeline persists its full resumable
+/// state (miner counts, open cases, source position) every
+/// `--checkpoint-every` consumed events and at end of stream; a later
+/// run with the same flag resumes from the file instead of re-reading
+/// the log. File reads are supervised: transient I/O errors retry with
+/// exponential backoff (`--io-retries`), and a log that shrinks under
+/// the follow surfaces as a located truncation error.
 fn mine_follow(p: &Parsed) -> CliResult {
-    use procmine_core::{OnlineMiner, SnapshotPolicy};
-    use procmine_log::stream::{AssemblerConfig, CaseAssembler, FlowmarkSource, StreamError};
+    use procmine_core::{OnlineMiner, OptionsFingerprint, SnapshotPolicy, SourceState};
+    use procmine_log::stream::{
+        AssemblerConfig, CaseAssembler, FlowmarkSource, RetryPolicy, StreamSink, TailReader,
+    };
     use procmine_log::validate::AssemblyPolicy;
-    use procmine_log::{ActivityTable, Execution};
+    use std::io::Seek;
 
     let path = p
         .positional()
@@ -635,6 +826,72 @@ fn mine_follow(p: &Parsed) -> CliResult {
     )?;
     let poll_ms: u64 = p.get_parse("poll-ms", 50, "integer")?;
     let idle_ms: u64 = p.get_parse("idle-ms", 0, "integer")?;
+    let io_retries: u32 = p.get_parse("io-retries", 3, "integer")?;
+    let checkpoint_path = p.get("checkpoint");
+    let checkpoint_every: u64 = p.get_parse(
+        "checkpoint-every",
+        procmine_core::DEFAULT_CHECKPOINT_EVERY,
+        "integer",
+    )?;
+    if checkpoint_path.is_none() && p.get("checkpoint-every").is_some() {
+        return Err("--checkpoint-every requires --checkpoint".into());
+    }
+    if checkpoint_path.is_some() && *path == "-" {
+        return Err("--checkpoint requires a file log (stdin has no resumable position)".into());
+    }
+
+    let options = miner_options(p)?;
+    let snap_policy = if snapshot_every > 0 {
+        SnapshotPolicy::every(snapshot_every)
+    } else {
+        SnapshotPolicy::on_demand()
+    };
+    let config = AssemblerConfig {
+        max_open_cases,
+        assembly: if policy.is_strict() {
+            AssemblyPolicy::Strict
+        } else {
+            AssemblyPolicy::Lenient
+        },
+    };
+    let fingerprint = OptionsFingerprint {
+        noise_threshold: options.noise_threshold,
+        max_open_cases: max_open_cases as u64,
+        strict_assembly: policy.is_strict(),
+    };
+
+    // Resume decision — before the reader is even opened, so a refusal
+    // costs nothing and a resume seeks straight to the saved offset.
+    let resumed = match checkpoint_path {
+        Some(ck_path) => load_follow_checkpoint(
+            ck_path,
+            path,
+            &fingerprint,
+            &options,
+            snap_policy,
+            config,
+            !policy.is_strict(),
+        )?,
+        None => None,
+    };
+    let (mut miner, assembler_state, base_source) = match resumed {
+        Some((miner, assembler, source)) => {
+            errln!(
+                "resuming from checkpoint @ byte {} ({} executions mined, {} open cases)",
+                source.byte_offset,
+                miner.executions(),
+                assembler.open.len()
+            );
+            (miner, Some(assembler), source)
+        }
+        None => (
+            OnlineMiner::new(options, snap_policy),
+            None,
+            SourceState::default(),
+        ),
+    };
+    let start_offset = base_source.byte_offset;
+    let start_line = base_source.line as usize;
 
     let base = session_from_args(p);
     let tracer = base.tracer().clone();
@@ -644,69 +901,105 @@ fn mine_follow(p: &Parsed) -> CliResult {
 
     let reader: Box<dyn std::io::BufRead> = if *path == "-" {
         Box::new(std::io::stdin().lock())
-    } else if idle_ms > 0 {
-        Box::new(BufReader::new(procmine_log::stream::TailReader::new(
-            File::open(path)?,
-            std::time::Duration::from_millis(poll_ms.max(1)),
-            Some(std::time::Duration::from_millis(idle_ms)),
-        )))
     } else {
-        Box::new(BufReader::new(File::open(path)?))
+        // Files are always wrapped in the supervised tail reader: with
+        // --idle-ms 0 the idle budget is zero (EOF stays immediate),
+        // but transient-error retry and truncation detection still
+        // protect the session.
+        let mut f = File::open(path)?;
+        if start_offset > 0 {
+            f.seek(std::io::SeekFrom::Start(start_offset))?;
+        }
+        Box::new(BufReader::new(
+            TailReader::new(
+                f,
+                std::time::Duration::from_millis(poll_ms.max(1)),
+                Some(std::time::Duration::from_millis(idle_ms)),
+            )
+            .with_retry(RetryPolicy::with_retries(io_retries))
+            .watching(path.as_str(), start_offset),
+        ))
     };
 
-    let snap_policy = if snapshot_every > 0 {
-        SnapshotPolicy::every(snapshot_every)
-    } else {
-        SnapshotPolicy::on_demand()
-    };
-    let mut miner = OnlineMiner::new(miner_options(p)?, snap_policy);
     let mut skipped = 0usize;
-
     let follow_span = tracer.span_cat("stream.follow", "codec");
-    let mut source = FlowmarkSource::new(reader, policy);
-    let mut assembler = CaseAssembler::new(
-        AssemblerConfig {
-            max_open_cases,
-            assembly: if policy.is_strict() {
-                AssemblyPolicy::Strict
-            } else {
-                AssemblyPolicy::Lenient
-            },
-        },
-        |exec: &Execution, table: &ActivityTable| -> Result<(), StreamError> {
-            match miner.absorb(exec, table) {
-                Ok(false) => Ok(()),
-                Ok(true) => {
-                    let snap = miner
-                        .snapshot_in(&mut session)
-                        .map_err(|e| StreamError::Sink(Box::new(e)))?;
-                    errln!(
-                        "snapshot @ {} events: {} activities, {} edges ({} executions)",
-                        miner.events_absorbed(),
-                        snap.activity_count(),
-                        snap.edge_count(),
-                        miner.executions()
-                    );
-                    Ok(())
-                }
-                Err(e) => {
-                    errln!("warning: skipping case `{}`: {e}", exec.id);
-                    skipped += 1;
-                    Ok(())
+    let mut source = FlowmarkSource::with_origin(reader, policy, start_offset, start_line);
+    let driver = FollowDriver {
+        miner: &mut miner,
+        session: &mut session,
+        skipped: &mut skipped,
+    };
+    let mut assembler = match assembler_state {
+        Some(state) => CaseAssembler::resume(config, driver, state)?,
+        None => CaseAssembler::new(config, driver),
+    };
+
+    // Manual pump (rather than `source.pump`) so checkpoint saves can
+    // run between events, where miner counts, open cases, and the
+    // source position are mutually consistent. The cadence counts
+    // *consumed* events — open cases included — not absorbed
+    // executions: an assembler window that never overflows delivers
+    // executions only at the final flush, which would mean no
+    // mid-stream saves at all.
+    let cadence = checkpoint_every.max(1);
+    let mut events_since_save: u64 = 0;
+    let pumped = (|| -> Result<(), Box<dyn Error>> {
+        while let Some((event, at)) = source.next_event()? {
+            assembler.on_event(event, at)?;
+            if let Some(ck_path) = checkpoint_path {
+                events_since_save += 1;
+                if events_since_save >= cadence {
+                    save_follow_checkpoint(
+                        ck_path,
+                        path,
+                        fingerprint,
+                        assembler.observer().miner,
+                        assembler.export_state(),
+                        source.position(),
+                        &base_source,
+                        &source.stats(),
+                        source.report(),
+                    )?;
+                    errln!("checkpoint @ byte {} -> {ck_path}", source.position().0);
+                    events_since_save = 0;
                 }
             }
-        },
-    );
-    let pumped = source.pump(&mut assembler);
-    let mut codec_stats = source.stats();
-    let mut ingest = source.report().clone();
+        }
+        assembler.finish()?;
+        // A final save after the flush: a clean-exit resume continues
+        // with the full counts. Cases that were still open here were
+        // assembled by the flush, so a case spanning this boundary
+        // opens fresh on resume (same split the memory bound forces).
+        if let Some(ck_path) = checkpoint_path {
+            save_follow_checkpoint(
+                ck_path,
+                path,
+                fingerprint,
+                assembler.observer().miner,
+                assembler.export_state(),
+                source.position(),
+                &base_source,
+                &source.stats(),
+                source.report(),
+            )?;
+            errln!(
+                "checkpoint @ {} events -> {ck_path} (end of stream)",
+                assembler.observer().miner.events_absorbed()
+            );
+        }
+        Ok(())
+    })();
+    let mut codec_stats = base_source.stats;
+    codec_stats.merge(&source.stats());
+    let mut ingest = base_source.report.clone();
+    ingest.merge(source.report());
     ingest.merge(assembler.report());
     codec_stats.executions_parsed = assembler.executions_emitted();
     drop(assembler);
     drop(follow_span);
     if let Err(e) = pumped {
         report_ingest(&ingest, policy);
-        return Err(e.into());
+        return Err(e);
     }
     if skipped > 0 {
         errln!("followed with {skipped} case(s) skipped");
@@ -763,13 +1056,24 @@ fn mine(argv: &[String]) -> CliResult {
             "max-open-cases",
             "poll-ms",
             "idle-ms",
+            "checkpoint",
+            "checkpoint-every",
+            "io-retries",
         ],
         &["check", "stream", "stats", "recover", "follow"],
     )?;
     if p.has("follow") {
         return mine_follow(&p);
     }
-    for follow_only in ["snapshot-every", "max-open-cases", "poll-ms", "idle-ms"] {
+    for follow_only in [
+        "snapshot-every",
+        "max-open-cases",
+        "poll-ms",
+        "idle-ms",
+        "checkpoint",
+        "checkpoint-every",
+        "io-retries",
+    ] {
         if p.get(follow_only).is_some() {
             return Err(format!("--{follow_only} requires --follow").into());
         }

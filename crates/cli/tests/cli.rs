@@ -1310,3 +1310,248 @@ fn follow_flag_validation() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--follow"), "{err}");
 }
+
+// --- mine --follow --checkpoint --------------------------------------
+
+/// Splits flowmark `text` near the middle at a *case boundary* (first
+/// field changes between consecutive lines), so neither half tears a
+/// case apart — the final checkpoint of a clean session closes all
+/// open cases, so a torn case would legitimately split into fragments.
+fn split_at_case_boundary(text: &str) -> (String, String) {
+    let lines: Vec<&str> = text.lines().collect();
+    fn case_of(l: &str) -> &str {
+        l.split(',').next().unwrap_or("")
+    }
+    let mut cut = lines.len() / 2;
+    while cut < lines.len() && case_of(lines[cut - 1]) == case_of(lines[cut]) {
+        cut += 1;
+    }
+    let head: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+    let tail: String = lines[cut..].iter().map(|l| format!("{l}\n")).collect();
+    (head, tail)
+}
+
+#[test]
+fn follow_checkpoint_resume_across_restart_matches_batch() {
+    let dir = tmpdir("follow-ckpt");
+    let full = dir.join("full.fm");
+    let live = dir.join("live.fm");
+    let ck = dir.join("mine.ckpt");
+    procmine(&[
+        "generate",
+        "--preset",
+        "graph10",
+        "--executions",
+        "150",
+        "--seed",
+        "13",
+        "-o",
+        full.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&full).unwrap();
+    let (head, tail) = split_at_case_boundary(&text);
+    assert!(!head.is_empty() && !tail.is_empty());
+
+    // Session 1: mine the first half, checkpointing along the way.
+    std::fs::write(&live, &head).unwrap();
+    let first = procmine(&[
+        "mine",
+        "--follow",
+        live.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--checkpoint-every",
+        "25",
+    ]);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let err = String::from_utf8_lossy(&first.stderr);
+    assert!(err.contains("checkpoint @"), "{err}");
+    assert!(ck.exists(), "checkpoint file written");
+
+    // The log grows while the miner is down; session 2 resumes from
+    // the saved position and only reads the tail.
+    std::fs::write(&live, format!("{head}{tail}")).unwrap();
+    let second = procmine(&[
+        "mine",
+        "--follow",
+        live.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--checkpoint-every",
+        "25",
+    ]);
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let err = String::from_utf8_lossy(&second.stderr);
+    assert!(err.contains("resuming from checkpoint @ byte"), "{err}");
+
+    let batch = procmine(&["mine", full.to_str().unwrap()]);
+    assert!(batch.status.success());
+    assert_eq!(edge_lines(&batch.stdout), edge_lines(&second.stdout));
+    let text = String::from_utf8_lossy(&second.stdout);
+    assert!(text.contains("150 executions"), "{text}");
+}
+
+#[test]
+fn follow_corrupt_checkpoint_refused_then_recover_cold_starts() {
+    let dir = tmpdir("follow-ckpt-corrupt");
+    let log = dir.join("log.fm");
+    let ck = dir.join("mine.ckpt");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "60",
+        "--seed",
+        "3",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let first = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+
+    // Flip one byte mid-payload: the checksum must catch it.
+    let mut bytes = std::fs::read(&ck).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&ck, &bytes).unwrap();
+
+    let strict = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(!strict.status.success(), "corrupt checkpoint must refuse");
+    let err = String::from_utf8_lossy(&strict.stderr);
+    assert!(err.contains("checkpoint"), "{err}");
+    assert!(err.contains("--recover"), "hint missing: {err}");
+
+    // Under --recover the same corruption degrades to a cold start and
+    // the session still mines the whole log.
+    let recovered = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--recover",
+    ]);
+    assert!(
+        recovered.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    let err = String::from_utf8_lossy(&recovered.stderr);
+    assert!(err.contains("cold-starting"), "{err}");
+    let batch = procmine(&["mine", log.to_str().unwrap()]);
+    assert_eq!(edge_lines(&batch.stdout), edge_lines(&recovered.stdout));
+}
+
+#[test]
+fn follow_checkpoint_options_mismatch_is_refused() {
+    let dir = tmpdir("follow-ckpt-mismatch");
+    let log = dir.join("log.fm");
+    let ck = dir.join("mine.ckpt");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "40",
+        "--seed",
+        "2",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    let first = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(first.status.success());
+
+    // Same checkpoint, different mining options: always refused, even
+    // though the file itself is intact.
+    let out = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--threshold",
+        "5",
+    ]);
+    assert!(!out.status.success(), "options mismatch must refuse");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("noise threshold"), "{err}");
+}
+
+#[test]
+fn follow_checkpoint_flag_validation() {
+    let dir = tmpdir("follow-ckpt-flags");
+    let log = dir.join("log.fm");
+    let ck = dir.join("mine.ckpt");
+    procmine(&[
+        "generate",
+        "--preset",
+        "uwi",
+        "--executions",
+        "10",
+        "-o",
+        log.to_str().unwrap(),
+    ]);
+    // --checkpoint-every without --checkpoint.
+    let out = procmine(&[
+        "mine",
+        "--follow",
+        log.to_str().unwrap(),
+        "--checkpoint-every",
+        "10",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint"), "{err}");
+    // --checkpoint needs a seekable file, not stdin.
+    let out = procmine(&[
+        "mine",
+        "--follow",
+        "-",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("resumable"), "{err}");
+    // --checkpoint is follow-only.
+    let out = procmine(&[
+        "mine",
+        log.to_str().unwrap(),
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--follow"), "{err}");
+}

@@ -33,17 +33,17 @@ use procmine_log::{ActivityTable, Execution, WorkflowLog};
 /// step-2 counts).
 #[derive(Debug, Clone)]
 pub struct IncrementalMiner {
-    options: MinerOptions,
-    table: ActivityTable,
+    pub(crate) options: MinerOptions,
+    pub(crate) table: ActivityTable,
     /// Row-major `n × n` ordered-pair and overlap counts over the
     /// *current* table.
-    obs: OrderObservations,
+    pub(crate) obs: OrderObservations,
     /// Lowered executions (dense vertex, start, end), kept for the
     /// marking pass (steps 5–6 need the executions themselves).
-    execs: Vec<Vec<(usize, u64, u64)>>,
+    pub(crate) execs: Vec<Vec<(usize, u64, u64)>>,
     /// Total activity instances absorbed — checked against
     /// [`crate::Limits::max_events`] before each absorb.
-    events: u64,
+    pub(crate) events: u64,
 }
 
 impl IncrementalMiner {

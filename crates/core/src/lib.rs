@@ -67,6 +67,7 @@ mod special_dag;
 
 pub mod baseline;
 pub mod bpmn;
+pub mod checkpoint;
 pub mod conformance;
 pub mod follows;
 pub mod metrics;
@@ -75,6 +76,10 @@ pub mod splits;
 pub mod telemetry;
 pub mod trace;
 
+pub use checkpoint::{
+    FollowCheckpoint, MinerState, OnlineMinerState, OptionsFingerprint, SourceState,
+    DEFAULT_CHECKPOINT_EVERY,
+};
 pub use cyclic::{mine_cyclic, mine_cyclic_in};
 pub use error::MineError;
 pub use general_dag::{mine_general_dag, mine_general_dag_in};

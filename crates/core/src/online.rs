@@ -44,12 +44,12 @@ impl SnapshotPolicy {
 /// model through [`OnlineMiner::snapshot_in`] when it is.
 #[derive(Debug, Clone)]
 pub struct OnlineMiner {
-    inner: IncrementalMiner,
+    pub(crate) inner: IncrementalMiner,
     policy: SnapshotPolicy,
     /// Events absorbed since the last snapshot (or the start).
-    events_since_snapshot: u64,
-    events_absorbed: u64,
-    snapshots_taken: u64,
+    pub(crate) events_since_snapshot: u64,
+    pub(crate) events_absorbed: u64,
+    pub(crate) snapshots_taken: u64,
 }
 
 impl OnlineMiner {
@@ -61,6 +61,24 @@ impl OnlineMiner {
             events_since_snapshot: 0,
             events_absorbed: 0,
             snapshots_taken: 0,
+        }
+    }
+
+    /// Assembles a resumed miner from validated parts (the
+    /// [`crate::checkpoint`] module's constructor).
+    pub(crate) fn resume_parts(
+        inner: IncrementalMiner,
+        policy: SnapshotPolicy,
+        events_absorbed: u64,
+        events_since_snapshot: u64,
+        snapshots_taken: u64,
+    ) -> Self {
+        OnlineMiner {
+            inner,
+            policy,
+            events_since_snapshot,
+            events_absorbed,
+            snapshots_taken,
         }
     }
 
@@ -172,5 +190,24 @@ mod tests {
     fn snapshot_of_empty_miner_errors() {
         let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand());
         assert!(miner.snapshot().is_err());
+    }
+
+    #[test]
+    fn cadence_shorter_than_one_execution_fires_every_absorb() {
+        // every_events smaller than a single execution's length: the
+        // counter overshoots in one step. It must fire immediately and
+        // reset cleanly each time, not wedge or wrap.
+        let log = WorkflowLog::from_strings(["ABCDE", "ABCDE", "ABCDE"]).unwrap();
+        let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::every(2));
+        for exec in log.executions() {
+            assert!(
+                miner.absorb(exec, log.activities()).unwrap(),
+                "5 events >= cadence 2: due after every absorb"
+            );
+            miner.snapshot().unwrap();
+            assert!(!miner.snapshot_due(), "reset survives the overshoot");
+        }
+        assert_eq!(miner.snapshots_taken(), 3);
+        assert_eq!(miner.events_absorbed(), 15);
     }
 }

@@ -244,6 +244,12 @@ impl<R: BufRead> ByteLines<R> {
     pub fn line(&self) -> &[u8] {
         &self.buf
     }
+
+    /// Lines consumed so far (the 1-based number of the last line
+    /// returned by [`ByteLines::read_next`]; 0 before the first).
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
 }
 
 /// Byte and event tallies from one codec read.

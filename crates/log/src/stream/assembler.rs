@@ -28,6 +28,7 @@
 //! above the log's interleaving depth and no complete case is ever
 //! split; the `--follow` parity tests pin exactly this.
 
+use super::checkpoint::{self, CheckpointError, WireError, WireReader, WireWriter};
 use super::{Observer, SourceLocation, StreamError, StreamSink};
 use crate::validate::{assemble_executions_with, locate_diagnostic, AssemblyPolicy};
 use crate::{ActivityTable, EventRecord, IngestReport};
@@ -67,6 +68,105 @@ struct OpenCase {
     opened: u64,
     /// Sequence number of the latest event (LRU eviction order).
     last_touch: u64,
+}
+
+/// One open case as exported into a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenCaseState {
+    /// Case id.
+    pub case: String,
+    /// Buffered events, in arrival order.
+    pub records: Vec<EventRecord>,
+    /// Source location of each buffered event (same length as
+    /// `records`).
+    pub locations: Vec<SourceLocation>,
+    /// Logical-clock tick of the first event.
+    pub opened: u64,
+    /// Logical-clock tick of the latest event.
+    pub last_touch: u64,
+}
+
+/// The full resumable state of a [`CaseAssembler`]: activity table,
+/// open cases (with their clocks, so LRU eviction and flush order
+/// replay identically), and the accumulated ingest accounting.
+/// Produced by [`CaseAssembler::export_state`], consumed by
+/// [`CaseAssembler::resume`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AssemblerState {
+    /// Interned activity names, in id order.
+    pub activities: Vec<String>,
+    /// Open cases, sorted by `opened` for deterministic encoding.
+    pub open: Vec<OpenCaseState>,
+    /// The logical clock (next event tick).
+    pub clock: u64,
+    /// Executions delivered to the observer so far.
+    pub executions_emitted: u64,
+    /// Assembly-side ingest accounting accumulated so far.
+    pub report: IngestReport,
+}
+
+impl AssemblerState {
+    /// Encodes the state into `w` (checkpoint wire format).
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_usize(self.activities.len());
+        for name in &self.activities {
+            w.put_str(name);
+        }
+        w.put_usize(self.open.len());
+        for case in &self.open {
+            w.put_str(&case.case);
+            w.put_u64(case.opened);
+            w.put_u64(case.last_touch);
+            w.put_usize(case.records.len());
+            for (record, at) in case.records.iter().zip(&case.locations) {
+                checkpoint::encode_event(w, record);
+                checkpoint::encode_location(w, at);
+            }
+        }
+        w.put_u64(self.clock);
+        w.put_u64(self.executions_emitted);
+        checkpoint::encode_report(w, &self.report);
+    }
+
+    /// Decodes a state from `r` (checkpoint wire format).
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.get_len("assembler.activities.len", 8)?;
+        let mut activities = Vec::with_capacity(n);
+        for _ in 0..n {
+            activities.push(r.get_str("assembler.activity")?);
+        }
+        let cases = r.get_len("assembler.open.len", 24)?;
+        let mut open = Vec::with_capacity(cases);
+        for _ in 0..cases {
+            let case = r.get_str("assembler.case")?;
+            let opened = r.get_u64("assembler.case.opened")?;
+            let last_touch = r.get_u64("assembler.case.last_touch")?;
+            let events = r.get_len("assembler.case.events", 16)?;
+            let mut records = Vec::with_capacity(events);
+            let mut locations = Vec::with_capacity(events);
+            for _ in 0..events {
+                records.push(checkpoint::decode_event(r)?);
+                locations.push(checkpoint::decode_location(r)?);
+            }
+            open.push(OpenCaseState {
+                case,
+                records,
+                locations,
+                opened,
+                last_touch,
+            });
+        }
+        let clock = r.get_u64("assembler.clock")?;
+        let executions_emitted = r.get_u64("assembler.executions_emitted")?;
+        let report = checkpoint::decode_report(r)?;
+        Ok(AssemblerState {
+            activities,
+            open,
+            clock,
+            executions_emitted,
+            report,
+        })
+    }
 }
 
 /// Keyed open-case map turning an interleaved event stream into
@@ -128,6 +228,117 @@ impl<O: Observer> CaseAssembler<O> {
     /// Unwraps the observer (after [`StreamSink::finish`]).
     pub fn into_observer(self) -> O {
         self.observer
+    }
+
+    /// Borrows the observer (e.g. to consult miner state between
+    /// events while deciding whether a checkpoint is due).
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutably borrows the observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Exports the full resumable state: activity table, open cases
+    /// with their logical clocks, and the accumulated report. Open
+    /// cases are sorted by `opened` so the encoding is deterministic
+    /// regardless of hash-map iteration order.
+    pub fn export_state(&self) -> AssemblerState {
+        let mut open: Vec<OpenCaseState> = self
+            .open
+            .iter()
+            .map(|(name, c)| OpenCaseState {
+                case: name.clone(),
+                records: c.records.clone(),
+                locations: c.locations.clone(),
+                opened: c.opened,
+                last_touch: c.last_touch,
+            })
+            .collect();
+        open.sort_by_key(|c| c.opened);
+        AssemblerState {
+            activities: self.table.names().to_vec(),
+            open,
+            clock: self.clock,
+            executions_emitted: self.executions_emitted,
+            report: self.report.clone(),
+        }
+    }
+
+    /// Rebuilds an assembler from an exported [`AssemblerState`],
+    /// delivering future executions to `observer`. The restored
+    /// assembler replays exactly like the original: same activity-id
+    /// assignment, same LRU eviction order, same finish flush order.
+    /// Structural inconsistencies (length mismatches, clock
+    /// violations, duplicate names) are rejected — a checkpoint that
+    /// fails them is corrupt even if its checksum matched.
+    pub fn resume(
+        config: AssemblerConfig,
+        observer: O,
+        state: AssemblerState,
+    ) -> Result<Self, CheckpointError> {
+        let invalid = |message: String| CheckpointError::Payload { message };
+        let table = ActivityTable::from_names(state.activities.iter().map(String::as_str));
+        if table.len() != state.activities.len() {
+            return Err(invalid(format!(
+                "assembler activity table has duplicate names ({} unique of {})",
+                table.len(),
+                state.activities.len()
+            )));
+        }
+        let mut open = HashMap::with_capacity(state.open.len());
+        for case in state.open {
+            if case.records.len() != case.locations.len() {
+                return Err(invalid(format!(
+                    "open case `{}` has {} records but {} locations",
+                    case.case,
+                    case.records.len(),
+                    case.locations.len()
+                )));
+            }
+            if case.records.is_empty() {
+                return Err(invalid(format!("open case `{}` has no events", case.case)));
+            }
+            if case.opened > case.last_touch || case.last_touch >= state.clock {
+                return Err(invalid(format!(
+                    "open case `{}` has clock ticks {}..{} outside the assembler clock {}",
+                    case.case, case.opened, case.last_touch, state.clock
+                )));
+            }
+            if open
+                .insert(
+                    case.case.clone(),
+                    OpenCase {
+                        records: case.records,
+                        locations: case.locations,
+                        opened: case.opened,
+                        last_touch: case.last_touch,
+                    },
+                )
+                .is_some()
+            {
+                return Err(invalid(format!("open case `{}` appears twice", case.case)));
+            }
+        }
+        if config.max_open_cases > 0 && open.len() > config.max_open_cases {
+            return Err(invalid(format!(
+                "{} open cases exceed the --max-open-cases window {}",
+                open.len(),
+                config.max_open_cases
+            )));
+        }
+        Ok(CaseAssembler {
+            config,
+            observer,
+            table,
+            open,
+            clock: state.clock,
+            executions_emitted: state.executions_emitted,
+            report: state.report,
+            finished: false,
+        })
     }
 
     /// Closes one case: assemble, account diagnostics, deliver.
@@ -403,6 +614,132 @@ mod tests {
             0,
             "diagnostics must not burn the Skip budget"
         );
+    }
+
+    /// Mid-stream export/resume replays exactly like an uninterrupted
+    /// run: same executions in the same order, same report.
+    #[test]
+    fn export_resume_roundtrip_replays_identically() {
+        let events = [
+            EventRecord::start("p1", "A", 0),
+            EventRecord::start("p2", "A", 0),
+            EventRecord::end("p1", "A", 1, None),
+            EventRecord::start("p1", "B", 2),
+            EventRecord::end("p2", "A", 1, None),
+            EventRecord::end("p1", "B", 3, None),
+            EventRecord::start("p3", "C", 4),
+            EventRecord::end("p3", "C", 5, None),
+        ];
+        let at = |i: usize| SourceLocation {
+            byte_offset: i as u64,
+            line: i + 1,
+        };
+
+        // Uninterrupted baseline.
+        let mut base_cap = Capture::default();
+        let mut base = CaseAssembler::new(AssemblerConfig::default(), &mut base_cap);
+        for (i, e) in events.iter().enumerate() {
+            base.on_event(e.clone(), at(i)).unwrap();
+        }
+        base.finish().unwrap();
+        let base_report = base.report().clone();
+        drop(base);
+
+        // Interrupted at an arbitrary mid-stream boundary.
+        let split = 4;
+        let mut first_cap = Capture::default();
+        let mut first = CaseAssembler::new(AssemblerConfig::default(), &mut first_cap);
+        for (i, e) in events[..split].iter().enumerate() {
+            first.on_event(e.clone(), at(i)).unwrap();
+        }
+        let state = first.export_state();
+        drop(first); // "crash": never finished
+
+        // Wire roundtrip, then resume and replay the tail.
+        let mut w = WireWriter::new();
+        state.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let restored = AssemblerState::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, state);
+
+        let mut resumed_cap = Capture::default();
+        let mut resumed =
+            CaseAssembler::resume(AssemblerConfig::default(), &mut resumed_cap, restored).unwrap();
+        for (i, e) in events[split..].iter().enumerate() {
+            resumed.on_event(e.clone(), at(split + i)).unwrap();
+        }
+        resumed.finish().unwrap();
+        let resumed_report = resumed.report().clone();
+        drop(resumed);
+
+        let mut combined = first_cap.execs;
+        combined.extend(resumed_cap.execs);
+        assert_eq!(combined, base_cap.execs);
+        assert_eq!(resumed_report, base_report);
+    }
+
+    #[test]
+    fn resume_rejects_structurally_corrupt_state() {
+        let sane = |name: &str| OpenCaseState {
+            case: name.to_string(),
+            records: vec![EventRecord::start(name, "A", 0)],
+            locations: vec![SourceLocation::default()],
+            opened: 0,
+            last_touch: 0,
+        };
+        let reject = |state: AssemblerState, needle: &str| {
+            let err =
+                CaseAssembler::resume(AssemblerConfig::default(), &mut Capture::default(), state)
+                    .err()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| panic!("corrupt state accepted ({needle})"));
+            assert!(err.contains(needle), "got: {err}");
+        };
+
+        reject(
+            AssemblerState {
+                activities: vec!["A".to_string(), "A".to_string()],
+                clock: 1,
+                ..AssemblerState::default()
+            },
+            "duplicate names",
+        );
+        let mut mismatched = sane("p1");
+        mismatched.locations.clear();
+        reject(
+            AssemblerState {
+                open: vec![mismatched],
+                clock: 1,
+                ..AssemblerState::default()
+            },
+            "records but",
+        );
+        reject(
+            AssemblerState {
+                open: vec![sane("p1")],
+                clock: 0, // last_touch 0 is not < clock 0
+                ..AssemblerState::default()
+            },
+            "outside the assembler clock",
+        );
+        let err = CaseAssembler::resume(
+            AssemblerConfig {
+                max_open_cases: 2,
+                ..AssemblerConfig::default()
+            },
+            &mut Capture::default(),
+            AssemblerState {
+                open: vec![sane("p1"), sane("p2"), sane("p3")],
+                clock: 1,
+                ..AssemblerState::default()
+            },
+        )
+        .map(|_| ())
+        .expect_err("over-window state accepted")
+        .to_string();
+        assert!(err.contains("exceed the --max-open-cases"), "got: {err}");
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   [`IngestReport`](crate::IngestReport) semantics as the batch
 //!   codecs;
 //! * [`TailReader`] — a [`std::io::Read`] adapter that follows a
-//!   growing file (`procmine mine --follow`).
+//!   growing file (`procmine mine --follow`) with bounded retry
+//!   ([`RetryPolicy`]) and truncation detection;
+//! * [`checkpoint`] — the crash-safe checkpoint envelope (magic,
+//!   version, CRC-32, atomic tmp+fsync+rename writes) and the wire
+//!   codec used to persist resumable state such as
+//!   [`AssemblerState`].
 //!
 //! A typical pipeline:
 //!
@@ -47,14 +52,18 @@
 //! ```
 
 pub mod assembler;
+pub mod checkpoint;
 pub mod source;
 pub mod stages;
 pub mod tail;
 
-pub use assembler::{AssemblerConfig, CaseAssembler, DEFAULT_OPEN_CASE_WINDOW};
+pub use assembler::{
+    AssemblerConfig, AssemblerState, CaseAssembler, OpenCaseState, DEFAULT_OPEN_CASE_WINDOW,
+};
+pub use checkpoint::{CheckpointError, WireError, WireReader, WireWriter};
 pub use source::FlowmarkSource;
 pub use stages::{Filter, Repair, Stats, StreamStats, Validate};
-pub use tail::TailReader;
+pub use tail::{RetryPolicy, TailReader};
 
 use crate::{ActivityTable, EventRecord, Execution, LogError};
 

@@ -28,18 +28,45 @@ pub struct FlowmarkSource<R: BufRead> {
     stats: CodecStats,
     report: IngestReport,
     done: bool,
+    /// Byte offset of the reader's first byte within the original
+    /// source (nonzero when resuming from a checkpoint); added to every
+    /// reported location so diagnostics stay absolute.
+    base_offset: u64,
+    /// Line number of the line *before* the reader's first line.
+    base_line: usize,
 }
 
 impl<R: BufRead> FlowmarkSource<R> {
     /// Creates a source over `reader` with the given policy.
     pub fn new(reader: R, policy: RecoveryPolicy) -> Self {
+        FlowmarkSource::with_origin(reader, policy, 0, 0)
+    }
+
+    /// Creates a source whose `reader` starts `byte_offset` bytes (and
+    /// `line` full lines) into the original input — the resume
+    /// constructor. All reported locations and
+    /// [`FlowmarkSource::position`] are absolute in the original input.
+    pub fn with_origin(reader: R, policy: RecoveryPolicy, byte_offset: u64, line: usize) -> Self {
         FlowmarkSource {
             lines: ByteLines::new(reader),
             policy,
             stats: CodecStats::default(),
             report: IngestReport::default(),
             done: false,
+            base_offset: byte_offset,
+            base_line: line,
         }
+    }
+
+    /// The absolute `(byte_offset, line)` position after the last
+    /// consumed record — at a record boundary this is exactly the
+    /// offset the next record starts at, which makes it safe to
+    /// persist in a checkpoint and seek back to on resume.
+    pub fn position(&self) -> (u64, usize) {
+        (
+            self.base_offset + self.lines.bytes(),
+            self.base_line + self.lines.lineno(),
+        )
     }
 
     /// Byte/event tallies so far (`executions_parsed` stays zero — the
@@ -66,7 +93,11 @@ impl<R: BufRead> FlowmarkSource<R> {
         }
         loop {
             let (offset, lineno, had_newline) = match self.lines.read_next() {
-                Ok(Some(next)) => next,
+                Ok(Some((offset, lineno, had_newline))) => (
+                    self.base_offset + offset,
+                    self.base_line + lineno,
+                    had_newline,
+                ),
                 Ok(None) => {
                     self.done = true;
                     return Ok(None);
@@ -75,8 +106,11 @@ impl<R: BufRead> FlowmarkSource<R> {
                     // Fatal I/O error: record it and terminate — a
                     // persistently failing reader must not produce an
                     // unbounded error stream.
-                    self.report
-                        .record_error(self.lines.bytes(), 0, e.to_string());
+                    self.report.record_error(
+                        self.base_offset + self.lines.bytes(),
+                        self.base_line + self.lines.lineno(),
+                        e.to_string(),
+                    );
                     self.done = true;
                     return Err(e);
                 }

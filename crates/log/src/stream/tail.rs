@@ -1,56 +1,171 @@
-//! Follow-mode reader: treat EOF as "not yet", within an idle budget.
+//! Follow-mode reader: treat EOF as "not yet", within an idle budget,
+//! with supervised retries and truncation detection.
 //!
 //! A regular file being appended to returns `Ok(0)` from `read` at the
 //! current end; [`TailReader`] turns that into a poll-and-retry loop so
 //! `procmine mine --follow` can consume a log while a workflow engine
-//! is still writing it. After `idle_limit` of consecutive empty polls
+//! is still writing it. After `idle_limit` of *wall-clock* inactivity
 //! the reader gives up and reports a real EOF, ending the follow
 //! session cleanly (set it to `None` to follow forever, e.g. under an
 //! external watchdog).
+//!
+//! Two supervision layers harden long-running sessions:
+//!
+//! * **Bounded retry** ([`RetryPolicy`]): `ErrorKind::Interrupted` is
+//!   always retried for free (it is not a failure), and other I/O
+//!   errors are retried up to a budget with exponential backoff before
+//!   surfacing — a transient NFS hiccup should not kill an hours-long
+//!   follow. A successful read resets the budget.
+//! * **Truncation detection** ([`TailReader::watching`]): if the
+//!   watched file shrinks below the bytes already delivered (log
+//!   rotation, an accidental `> file`), the reader fails with a
+//!   descriptive I/O error instead of sitting at a stale offset
+//!   forever — upstream the [`FlowmarkSource`](super::FlowmarkSource)
+//!   records it as a located error in its
+//!   [`IngestReport`](crate::IngestReport).
 //!
 //! Pipes need no wrapping — their reads block until data or a true EOF
 //! — so the CLI only wraps regular files.
 
 use std::io::Read;
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Retry budget for transient I/O errors during a follow session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive non-`Interrupted` I/O errors tolerated before the
+    /// error surfaces. `0`: every error is immediately fatal.
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per consecutive failure.
+    pub initial_backoff: Duration,
+    /// Upper bound on the per-retry backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and the default backoff.
+    pub fn with_retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+}
 
 /// A [`Read`] adapter that retries empty reads, for tailing a growing
-/// file. I/O errors pass through unchanged (and are fatal upstream —
-/// see [`FlowmarkSource`](super::FlowmarkSource)).
+/// file. See the module docs for the idle budget, the retry policy,
+/// and truncation detection.
 pub struct TailReader<R> {
     inner: R,
     poll: Duration,
     idle_limit: Option<Duration>,
+    retry: RetryPolicy,
+    /// Watched path and the byte offset the file position started at
+    /// (nonzero when resuming from a checkpoint).
+    watch: Option<(PathBuf, u64)>,
+    /// Bytes delivered through this reader since construction.
+    delivered: u64,
 }
 
 impl<R: Read> TailReader<R> {
     /// Wraps `inner`. `poll` is the sleep between empty reads;
-    /// `idle_limit` is the total idle time after which EOF becomes
-    /// final (`None`: never give up).
+    /// `idle_limit` is the wall-clock inactivity after which EOF
+    /// becomes final (`None`: never give up).
     pub fn new(inner: R, poll: Duration, idle_limit: Option<Duration>) -> Self {
         TailReader {
             inner,
             poll,
             idle_limit,
+            retry: RetryPolicy::default(),
+            watch: None,
+            delivered: 0,
         }
+    }
+
+    /// Replaces the transient-error retry policy, builder-style.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables truncation detection: on every empty poll the file at
+    /// `path` is stat'ed, and a length below `origin` plus the bytes
+    /// already delivered fails the read (the file was truncated or
+    /// rotated underneath the follow). `origin` is the byte offset the
+    /// underlying reader was seeked to before wrapping (nonzero when
+    /// resuming from a checkpoint).
+    pub fn watching(mut self, path: impl Into<PathBuf>, origin: u64) -> Self {
+        self.watch = Some((path.into(), origin));
+        self
+    }
+
+    /// Checks the watched file for truncation below the delivered
+    /// position. Called on empty polls — the only time the answer can
+    /// be "the data we are waiting for can never arrive".
+    fn check_truncation(&self) -> std::io::Result<()> {
+        let Some((path, origin)) = &self.watch else {
+            return Ok(());
+        };
+        let position = origin + self.delivered;
+        let len = std::fs::metadata(path)?.len();
+        if len < position {
+            return Err(std::io::Error::other(format!(
+                "log file `{}` was truncated or rotated while being followed: \
+                 length is now {len} bytes, but {position} bytes were already consumed",
+                path.display()
+            )));
+        }
+        Ok(())
     }
 }
 
 impl<R: Read> Read for TailReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let mut idle = Duration::ZERO;
+        let started = Instant::now();
+        let mut retries = 0u32;
+        let mut backoff = self.retry.initial_backoff;
         loop {
-            let n = self.inner.read(buf)?;
-            if n > 0 {
-                return Ok(n);
-            }
-            if let Some(limit) = self.idle_limit {
-                if idle >= limit {
-                    return Ok(0);
+            match self.inner.read(buf) {
+                Ok(0) => {
+                    self.check_truncation()?;
+                    // Wall-clock idle budget: time blocked inside the
+                    // inner `read` counts too, so `--idle-ms` bounds
+                    // real elapsed time rather than just sleep ticks.
+                    if let Some(limit) = self.idle_limit {
+                        if started.elapsed() >= limit {
+                            return Ok(0);
+                        }
+                    }
+                    std::thread::sleep(self.poll);
+                }
+                Ok(n) => {
+                    self.delivered += n as u64;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    // Not a failure: retry immediately, free of budget.
+                    continue;
+                }
+                Err(e) => {
+                    if retries >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.retry.max_backoff);
                 }
             }
-            std::thread::sleep(self.poll);
-            idle += self.poll;
         }
     }
 }
@@ -60,11 +175,17 @@ mod tests {
     use super::*;
     use std::io::{BufRead, BufReader, Write};
 
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "procmine-tail-test-{tag}-{}.log",
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn picks_up_appended_data_then_gives_up_when_idle() {
         // Reader and writer need independent file offsets: open twice.
-        let path =
-            std::env::temp_dir().join(format!("procmine-tail-test-{}.log", std::process::id()));
+        let path = temp_path("append");
         std::fs::write(&path, "first\n").unwrap();
         let mut lines = BufReader::new(TailReader::new(
             std::fs::File::open(&path).unwrap(),
@@ -89,6 +210,153 @@ mod tests {
         // No more writes: the idle limit turns EOF final.
         line.clear();
         assert_eq!(lines.read_line(&mut line).unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A reader that takes its time before admitting it has nothing.
+    struct SlowEmpty {
+        delay: Duration,
+    }
+
+    impl Read for SlowEmpty {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(self.delay);
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn idle_budget_is_wall_clock_not_sleep_ticks() {
+        // Each inner read blocks 25ms before returning empty. Counting
+        // only poll sleeps (1ms per empty read) toward a 40ms budget
+        // would take 40 reads ≈ 1s; wall-clock elapsed gives up after
+        // two reads.
+        let mut tail = TailReader::new(
+            SlowEmpty {
+                delay: Duration::from_millis(25),
+            },
+            Duration::from_millis(1),
+            Some(Duration::from_millis(40)),
+        );
+        let started = Instant::now();
+        let mut buf = [0u8; 64];
+        assert_eq!(tail.read(&mut buf).unwrap(), 0);
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "idle budget ignored time blocked in read: {:?}",
+            started.elapsed()
+        );
+    }
+
+    /// Fails `failures` times with the given kind, then yields `data`.
+    struct Flaky {
+        failures: u32,
+        kind: std::io::ErrorKind,
+        data: &'static [u8],
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(std::io::Error::new(self.kind, "transient"));
+            }
+            self.data.read(buf)
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_within_budget() {
+        let mut tail = TailReader::new(
+            Flaky {
+                failures: 2,
+                kind: std::io::ErrorKind::Other,
+                data: b"payload",
+            },
+            Duration::from_millis(1),
+            Some(Duration::ZERO),
+        )
+        .with_retry(RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        });
+        let mut buf = [0u8; 16];
+        let n = tail.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"payload");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_error() {
+        let mut tail = TailReader::new(
+            Flaky {
+                failures: 5,
+                kind: std::io::ErrorKind::Other,
+                data: b"never reached",
+            },
+            Duration::from_millis(1),
+            Some(Duration::ZERO),
+        )
+        .with_retry(RetryPolicy {
+            max_retries: 1,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        });
+        let mut buf = [0u8; 16];
+        assert!(tail.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn interrupted_never_burns_the_retry_budget() {
+        let mut tail = TailReader::new(
+            Flaky {
+                failures: 10,
+                kind: std::io::ErrorKind::Interrupted,
+                data: b"made it",
+            },
+            Duration::from_millis(1),
+            Some(Duration::ZERO),
+        )
+        .with_retry(RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        });
+        let mut buf = [0u8; 16];
+        let n = tail.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"made it");
+    }
+
+    #[test]
+    fn truncation_under_the_follow_is_a_located_error() {
+        let path = temp_path("truncate");
+        std::fs::write(&path, "p1,A,START,0\np1,A,END,1\n").unwrap();
+        let mut tail = TailReader::new(
+            std::fs::File::open(&path).unwrap(),
+            Duration::from_millis(1),
+            Some(Duration::from_millis(200)),
+        )
+        .watching(&path, 0);
+
+        // Drain the current contents.
+        let mut all = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match tail.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => all.extend_from_slice(&buf[..n]),
+                Err(e) => panic!("unexpected error before truncation: {e}"),
+            }
+        }
+        assert_eq!(all.len(), 24);
+
+        // Rotate the file out from under the reader.
+        std::fs::write(&path, "p9,Z,START,9\n").unwrap();
+        let err = tail.read(&mut buf).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated or rotated"),
+            "got: {err}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

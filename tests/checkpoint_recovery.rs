@@ -1,0 +1,325 @@
+//! Crash-recovery tests for the `--follow` checkpoint subsystem.
+//!
+//! * proptest crash parity: kill the pipeline at a randomized event
+//!   boundary, resume from the last checkpoint, and require the final
+//!   model to equal an uninterrupted run — edges *and* support counts;
+//! * torn writes: a checkpoint file truncated at any byte, or with any
+//!   byte corrupted, is refused with a typed error — never silently
+//!   mined from;
+//! * disk roundtrip of genuinely mid-stream state (open cases, partial
+//!   counts, nonzero source position).
+
+use procmine::log::stream::{
+    AssemblerConfig, CaseAssembler, CheckpointError, FlowmarkSource, Observer, StreamError,
+    StreamSink,
+};
+use procmine::log::validate::AssemblyPolicy;
+use procmine::log::{
+    ActivityTable, EventKind, EventRecord, Execution, RecoveryPolicy, WorkflowLog,
+};
+use procmine::mine::{
+    FollowCheckpoint, MinedModel, MinerOptions, OnlineMiner, OptionsFingerprint, SnapshotPolicy,
+    SourceState,
+};
+use proptest::prelude::*;
+
+const FINGERPRINT: OptionsFingerprint = OptionsFingerprint {
+    noise_threshold: 1,
+    max_open_cases: 1024,
+    strict_assembly: true,
+};
+
+const CONFIG: AssemblerConfig = AssemblerConfig {
+    max_open_cases: 1024,
+    assembly: AssemblyPolicy::Strict,
+};
+
+/// Strategy: a random log over activities `A`..`J` (same shape as
+/// tests/streaming.rs — shuffled subsets wrapped in fixed start/end).
+fn arb_log(max_execs: usize) -> impl Strategy<Value = WorkflowLog> {
+    let activity_pool: Vec<String> = (b'B'..=b'I').map(|c| (c as char).to_string()).collect();
+    let exec = proptest::sample::subsequence(activity_pool, 0..=8).prop_shuffle();
+    proptest::collection::vec(exec, 1..=max_execs).prop_map(|execs| {
+        let mut log = WorkflowLog::new();
+        for middle in execs {
+            let mut seq = vec!["A".to_string()];
+            seq.extend(middle);
+            seq.push("J".to_string());
+            log.push_sequence(&seq).unwrap();
+        }
+        log
+    })
+}
+
+/// Serializes `log` as flowmark text with cases interleaved by `picks`
+/// (relative order within each case preserved).
+fn interleaved_flowmark(log: &WorkflowLog, picks: &[usize]) -> String {
+    let table = log.activities();
+    let mut queues: Vec<Vec<EventRecord>> = log
+        .executions()
+        .iter()
+        .map(|exec| {
+            let mut events = Vec::new();
+            for inst in exec.instances() {
+                let name = table.name(inst.activity);
+                events.push(EventRecord::start(&exec.id, name, inst.start));
+                events.push(EventRecord::end(&exec.id, name, inst.end, None));
+            }
+            events.reverse();
+            events
+        })
+        .collect();
+    let mut out = String::new();
+    let mut emit = |e: EventRecord| {
+        let kind = match e.kind {
+            EventKind::Start => "START",
+            EventKind::End => "END",
+        };
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            e.process, e.activity, kind, e.time
+        ));
+    };
+    for &pick in picks {
+        let live: Vec<usize> = (0..queues.len())
+            .filter(|&i| !queues[i].is_empty())
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let q = live[pick % live.len()];
+        if let Some(e) = queues[q].pop() {
+            emit(e);
+        }
+    }
+    for q in &mut queues {
+        while let Some(e) = q.pop() {
+            emit(e);
+        }
+    }
+    out
+}
+
+/// Sorted `(from, to, support)` triples with names resolved.
+fn support_triples(model: &MinedModel) -> Vec<(String, String, u32)> {
+    let mut triples: Vec<(String, String, u32)> = model
+        .edge_support()
+        .iter()
+        .map(|&(u, v, c)| {
+            let name = |i: usize| model.name_of(procmine::graph::NodeId::new(i)).to_string();
+            (name(u), name(v), c)
+        })
+        .collect();
+    triples.sort();
+    triples
+}
+
+/// The test pipeline's observer: absorb into the miner, fail loudly
+/// (the crash tests run on clean logs — nothing should be skipped).
+struct Driver<'a> {
+    miner: &'a mut OnlineMiner,
+}
+
+impl Observer for Driver<'_> {
+    fn on_execution(&mut self, exec: &Execution, table: &ActivityTable) -> Result<(), StreamError> {
+        self.miner
+            .absorb(exec, table)
+            .map(|_| ())
+            .map_err(|e| StreamError::Sink(Box::new(e)))
+    }
+}
+
+/// Captures the full pipeline state the way the CLI does at a
+/// checkpoint boundary.
+fn capture(
+    assembler: &CaseAssembler<Driver<'_>>,
+    source: &FlowmarkSource<&[u8]>,
+    source_len: u64,
+) -> FollowCheckpoint {
+    let (byte_offset, line) = source.position();
+    FollowCheckpoint {
+        fingerprint: FINGERPRINT,
+        miner: assembler.observer().miner.export_state(),
+        assembler: assembler.export_state(),
+        source: SourceState {
+            byte_offset,
+            line: line as u64,
+            source_len,
+            stats: source.stats(),
+            report: source.report().clone(),
+        },
+    }
+}
+
+/// Runs the follow pipeline over `text` from a cold start to
+/// completion and returns the final model plus executions absorbed.
+fn run_uninterrupted(text: &str) -> (MinedModel, usize) {
+    let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand());
+    let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::Strict);
+    let mut assembler = CaseAssembler::new(CONFIG, Driver { miner: &mut miner });
+    source.pump(&mut assembler).unwrap();
+    drop(assembler);
+    let executions = miner.executions();
+    (miner.snapshot().unwrap(), executions)
+}
+
+/// Runs the pipeline, checkpointing (through a full encode/decode
+/// byte roundtrip) every `cadence` consumed events — the same trigger
+/// the CLI driver uses, so saves routinely land mid-case with open
+/// cases in the assembler — and aborts without `finish` after
+/// `kill_events` consumed events: the crash. Returns the last durable
+/// checkpoint, if any cadence boundary was reached.
+fn run_until_crash(text: &str, cadence: u64, kill_events: usize) -> Option<FollowCheckpoint> {
+    let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand());
+    let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::Strict);
+    let mut assembler = CaseAssembler::new(CONFIG, Driver { miner: &mut miner });
+    let mut saved: Option<FollowCheckpoint> = None;
+    let mut consumed = 0usize;
+    let mut since_save = 0u64;
+    while consumed < kill_events {
+        match source.next_event().unwrap() {
+            Some((event, at)) => {
+                assembler.on_event(event, at).unwrap();
+                consumed += 1;
+                since_save += 1;
+                if since_save >= cadence {
+                    let ck = capture(&assembler, &source, text.len() as u64);
+                    // Simulate the disk hop: only what survives the
+                    // wire format is durable.
+                    saved = Some(FollowCheckpoint::decode(&ck.encode()).unwrap());
+                    since_save = 0;
+                }
+            }
+            None => break,
+        }
+    }
+    // Crash: no finish(), open cases and tail events are lost.
+    saved
+}
+
+/// Resumes from `ck` (or cold-starts) and runs the pipeline to the end
+/// of `text`, exactly like a restarted `mine --follow --checkpoint`.
+fn resume_and_finish(text: &str, ck: Option<FollowCheckpoint>) -> (MinedModel, usize) {
+    let (mut miner, assembler_state, offset, line) = match ck {
+        Some(ck) => (
+            OnlineMiner::from_state(
+                MinerOptions::default(),
+                SnapshotPolicy::on_demand(),
+                ck.miner,
+            )
+            .unwrap(),
+            Some(ck.assembler),
+            ck.source.byte_offset,
+            ck.source.line as usize,
+        ),
+        None => (
+            OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand()),
+            None,
+            0,
+            0,
+        ),
+    };
+    let tail = &text.as_bytes()[offset as usize..];
+    let mut source = FlowmarkSource::with_origin(tail, RecoveryPolicy::Strict, offset, line);
+    let driver = Driver { miner: &mut miner };
+    let mut assembler = match assembler_state {
+        Some(state) => CaseAssembler::resume(CONFIG, driver, state).unwrap(),
+        None => CaseAssembler::new(CONFIG, driver),
+    };
+    source.pump(&mut assembler).unwrap();
+    drop(assembler);
+    let executions = miner.executions();
+    (miner.snapshot().unwrap(), executions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Crash parity: killing the pipeline at any event boundary and
+    /// resuming from the last checkpoint yields the same model as an
+    /// uninterrupted run — same edges, same support counts, same
+    /// execution total.
+    #[test]
+    fn crash_resume_equals_uninterrupted(
+        log in arb_log(8),
+        picks in proptest::collection::vec(0usize..64, 0..160),
+        kill in 0usize..400,
+        cadence in 1u64..40,
+    ) {
+        let text = interleaved_flowmark(&log, &picks);
+        let total_events = text.lines().count();
+        let kill_events = kill % (total_events + 1);
+
+        let (expected, expected_execs) = run_uninterrupted(&text);
+        let ck = run_until_crash(&text, cadence, kill_events);
+        let (resumed, resumed_execs) = resume_and_finish(&text, ck);
+
+        prop_assert_eq!(resumed_execs, expected_execs);
+        prop_assert_eq!(support_triples(&resumed), support_triples(&expected));
+    }
+}
+
+/// Builds a checkpoint with genuinely mid-stream state: open cases in
+/// the assembler, partial counts in the miner, nonzero position.
+fn mid_stream_checkpoint() -> FollowCheckpoint {
+    let log = WorkflowLog::from_strings(["ABCF", "ACDF", "ADEF", "AECF"]).unwrap();
+    let picks: Vec<usize> = (0..40).map(|i| i * 7 + 3).collect();
+    let text = interleaved_flowmark(&log, &picks);
+    let mut miner = OnlineMiner::new(MinerOptions::default(), SnapshotPolicy::on_demand());
+    let mut source = FlowmarkSource::new(text.as_bytes(), RecoveryPolicy::Strict);
+    let mut assembler = CaseAssembler::new(CONFIG, Driver { miner: &mut miner });
+    for _ in 0..13 {
+        let (event, at) = source.next_event().unwrap().unwrap();
+        assembler.on_event(event, at).unwrap();
+    }
+    let ck = capture(&assembler, &source, text.len() as u64);
+    assert!(
+        !ck.assembler.open.is_empty(),
+        "mid-stream capture should have open cases"
+    );
+    ck
+}
+
+#[test]
+fn mid_stream_checkpoint_survives_disk_roundtrip() {
+    let ck = mid_stream_checkpoint();
+    let path = std::env::temp_dir().join(format!(
+        "procmine-midstream-ckpt-{}.ckpt",
+        std::process::id()
+    ));
+    ck.save(&path).unwrap();
+    assert_eq!(FollowCheckpoint::load(&path).unwrap(), ck);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_checkpoint_writes_are_always_refused() {
+    let ck = mid_stream_checkpoint();
+    let path = std::env::temp_dir().join(format!("procmine-torn-ckpt-{}.ckpt", std::process::id()));
+    ck.save(&path).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    // A write torn at any byte (power loss mid-save without the atomic
+    // rename) must be refused with a typed envelope error.
+    let step = (full.len() / 97).max(1);
+    for cut in (0..full.len()).step_by(step) {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        match FollowCheckpoint::load(&path) {
+            Err(CheckpointError::NotACheckpoint | CheckpointError::Truncated { .. }) => {}
+            other => panic!("cut at {cut}: expected a typed refusal, got {other:?}"),
+        }
+    }
+
+    // Any single corrupted byte past the header fails the checksum;
+    // header corruption is caught by the magic/version/length checks.
+    for i in (0..full.len()).step_by(step) {
+        let mut dirty = full.clone();
+        dirty[i] ^= 0x40;
+        std::fs::write(&path, &dirty).unwrap();
+        assert!(
+            FollowCheckpoint::load(&path).is_err(),
+            "flip at byte {i} was accepted"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
