@@ -140,4 +140,31 @@ echo "==> checkpoint overhead gate: stream.checkpoint within 1.1x of stream.mine
 cargo run --release -q -p procmine-bench --bin perfsuite -- \
   --assert-checkpoint-ratio BENCH_perfsuite.json
 
+# Metrics lane: run the follow pipeline with cadenced --metrics-every
+# exports over a case-boundary prefix of a log and then the full log
+# (the second run reprocesses a superset from scratch, so every counter
+# is deterministically >= the first scrape), then validate with the
+# in-repo checker: exposition shape (HELP/TYPE per family, no duplicate
+# series), counter monotonicity across the two scrapes, and the JSON
+# snapshot against its schema.
+echo "==> metrics lane: follow --metrics-every + exposition/schema validation"
+./target/release/procmine generate --preset graph10 --executions 200 --seed 23 \
+  -o "$smoke_dir/metrics.fm" >/dev/null
+total=$(wc -l < "$smoke_dir/metrics.fm")
+half=$(( total / 2 ))
+# Cut at the next case boundary so the prefix holds only whole cases.
+cut_line=$(awk -F, -v h="$half" 'NR<=h {prev=$1; next} $1!=prev {print NR-1; exit}' \
+  "$smoke_dir/metrics.fm")
+head -n "${cut_line:-$total}" "$smoke_dir/metrics.fm" > "$smoke_dir/metrics-prefix.fm"
+./target/release/procmine mine --follow "$smoke_dir/metrics-prefix.fm" \
+  --metrics "$smoke_dir/scrape1.prom" --metrics-every 50 >/dev/null
+./target/release/procmine mine --follow "$smoke_dir/metrics.fm" \
+  --metrics "$smoke_dir/scrape2.prom" --metrics-every 50 >/dev/null
+./target/release/procmine report "$smoke_dir/scrape1.prom" --validate
+./target/release/procmine report "$smoke_dir/scrape2.prom" \
+  --prev "$smoke_dir/scrape1.prom" --validate
+./target/release/procmine mine --follow "$smoke_dir/metrics.fm" \
+  --metrics "$smoke_dir/metrics-snapshot.json" --metrics-every 50 >/dev/null
+./target/release/procmine report "$smoke_dir/metrics-snapshot.json" --validate
+
 echo "ci: OK"

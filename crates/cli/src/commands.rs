@@ -2,11 +2,13 @@
 //! `info`, `help`.
 
 use crate::args::{parse, ArgError, Parsed};
+use crate::metrics::{record_ingest, registry_from_args, write_metrics, write_metrics_atomic};
 use crate::output::{errln, out, outln};
 use procmine_classify::{ClassifyMetrics, TreeConfig};
 use procmine_core::{
     conformance, mine_auto_in, mine_cyclic_in, mine_general_dag_in, mine_special_dag_in, Algorithm,
-    ConformanceMetrics, MetricsSink, MineSession, MinedModel, MinerMetrics, MinerOptions, Tracer,
+    ConformanceMetrics, MetricsSink, MineSession, MinedModel, MinerMetrics, MinerOptions, Registry,
+    Tracer,
 };
 use procmine_log::codec::{CodecStats, IngestReport, RecoveryPolicy};
 use procmine_log::{codec, WorkflowLog};
@@ -101,6 +103,14 @@ COMMANDS:
                            wall-clock time
       --trace FILE         write a Chrome Trace Event file of the run
                            (load in ui.perfetto.dev or chrome://tracing)
+      --metrics FILE       write a metrics export at exit: Prometheus
+                           text exposition for .prom/.txt, the
+                           versioned JSON snapshot otherwise (stage
+                           latency histograms, ingest rates; with
+                           --follow also stream-health gauges)
+      --metrics-every N    with --follow --metrics FILE: atomically
+                           rewrite FILE every N consumed events, safe
+                           to scrape mid-stream (works with `-` stdin)
 
   check       Check a mined model (JSON) against a log
       <MODEL.json> <LOG>
@@ -115,6 +125,8 @@ COMMANDS:
                            time, codec tallies)
       --stats-json FILE    write the same telemetry as JSON
       --trace FILE         write a Chrome Trace Event file of the run
+      --metrics FILE       write a metrics export at exit (format by
+                           extension, as for mine)
 
   conditions  Mine a model and learn Boolean edge conditions (§7)
       <LOG>
@@ -129,6 +141,20 @@ COMMANDS:
                            learn time)
       --stats-json FILE    write the same telemetry as JSON
       --trace FILE         write a Chrome Trace Event file of the run
+      --metrics FILE       write a metrics export at exit (format by
+                           extension, as for mine)
+
+  report      Render a metrics export as a human-readable summary
+      <SNAPSHOT>           a --metrics file (.prom/.txt: Prometheus
+                           exposition; otherwise JSON snapshot)
+      --trace FILE         join a Chrome Trace Event file into the
+                           summary (spans aggregated per name)
+      --validate           check the file instead of rendering it:
+                           exposition must have HELP/TYPE per family
+                           and no duplicate series; JSON must match
+                           the procmine-metrics/v1 schema
+      --prev FILE          with --validate: counters must be monotone
+                           versus this earlier scrape
 
   info        Show log statistics
       <LOG>
@@ -159,6 +185,7 @@ pub fn run(argv: &[String]) -> CliResult {
         Some("conditions") => conditions(&argv[1..]),
         Some("info") => info(&argv[1..]),
         Some("convert") => convert(&argv[1..]),
+        Some("report") => crate::metrics::report(&argv[1..]),
         Some(other) => Err(format!("unknown command `{other}`; see `procmine help`").into()),
     }
 }
@@ -198,14 +225,16 @@ fn convert(argv: &[String]) -> CliResult {
 }
 
 fn read_log(path: &str, format: &str) -> Result<WorkflowLog, Box<dyn Error>> {
-    // An un-configured session supplies the no-op tracer.
+    // An un-configured session supplies the no-op tracer and registry.
+    let session = MineSession::new();
     read_log_with(
         path,
         format,
         RecoveryPolicy::Strict,
         &mut CodecStats::default(),
         &mut IngestReport::default(),
-        MineSession::new().tracer(),
+        session.tracer(),
+        session.obs(),
         1,
     )
 }
@@ -218,11 +247,13 @@ fn read_log_with(
     stats: &mut CodecStats,
     report: &mut IngestReport,
     tracer: &Tracer,
+    reg: &Registry,
     threads: usize,
 ) -> Result<WorkflowLog, Box<dyn Error>> {
     // Span names are static, so map the format up front (codecs live in
-    // `procmine-log`, which cannot depend on core — the ingest spans are
-    // recorded here at the CLI layer instead).
+    // `procmine-log`, which cannot depend on core — the ingest spans
+    // and per-format metrics are recorded here at the CLI layer
+    // instead).
     let span_name = match format {
         "flowmark" => "ingest.flowmark",
         "seqs" => "ingest.seqs",
@@ -231,6 +262,8 @@ fn read_log_with(
         other => return Err(format!("unknown log format `{other}`").into()),
     };
     let _span = tracer.span_cat(span_name, "codec");
+    let (bytes_before, events_before) = (stats.bytes_read, stats.events_parsed);
+    let reg_started = reg.start();
     let reader = BufReader::new(File::open(path)?);
     let log = match format {
         "flowmark" => codec::flowmark::read_log_with(reader, policy, stats, report)?,
@@ -245,14 +278,30 @@ fn read_log_with(
         "xes" => codec::xes::read_log_with(reader, policy, stats, report)?,
         other => return Err(format!("unknown log format `{other}`").into()),
     };
+    if reg.is_enabled() {
+        record_ingest(
+            reg,
+            format,
+            stats.bytes_read - bytes_before,
+            stats.events_parsed - events_before,
+        );
+        reg.histogram(
+            "procmine_ingest_duration_ns",
+            "Wall-clock time spent decoding one input log, in nanoseconds.",
+            &[("format", format)],
+        )
+        .observe_since(reg_started);
+    }
     Ok(log)
 }
 
-/// The serial session implied by `--trace FILE`: tracing enabled when
-/// the flag is present, the default no-op tracer otherwise. Commands
-/// attach their metrics sink (and thread count) before mining.
-fn session_from_args(p: &Parsed) -> MineSession {
-    let session = MineSession::new();
+/// The serial session implied by `--trace FILE` / `--metrics FILE`:
+/// tracing enabled when the first flag is present, the caller's
+/// registry handle (from [`registry_from_args`]) shared in either way.
+/// Commands attach their metrics sink (and thread count) before
+/// mining.
+fn session_from_args(p: &Parsed, reg: &Registry) -> MineSession {
+    let session = MineSession::new().with_obs(reg.clone());
     if p.get("trace").is_some() {
         session.with_tracer(Tracer::new())
     } else {
@@ -569,6 +618,24 @@ fn write_model_artifacts(p: &Parsed, model: &MinedModel) -> CliResult {
     Ok(())
 }
 
+/// Prints the tracer's dropped-span count under `--stats` — silence
+/// here would read as "the trace is complete" when the ring buffer
+/// wrapped.
+fn report_dropped_spans(tracer: &Tracer) {
+    if tracer.dropped_spans() > 0 {
+        outln!(
+            "trace: {} span(s) dropped at capacity (raise the tracer buffer or trace less)",
+            tracer.dropped_spans()
+        );
+    }
+}
+
+/// The `"trace":{"dropped_spans":N}` fragment every `--stats-json`
+/// report carries (0 when tracing is disabled).
+fn trace_json_fragment(tracer: &Tracer) -> String {
+    format!("\"trace\":{{\"dropped_spans\":{}}}", tracer.dropped_spans())
+}
+
 /// The `--stats` / `--stats-json` telemetry reporting shared by batch
 /// and follow mining (same shape and key order for both paths).
 fn report_mine_stats(
@@ -576,6 +643,7 @@ fn report_mine_stats(
     codec_stats: &CodecStats,
     ingest: &IngestReport,
     metrics: &MinerMetrics,
+    tracer: &Tracer,
 ) -> CliResult {
     if p.has("stats") {
         outln!(
@@ -585,6 +653,7 @@ fn report_mine_stats(
             codec_stats.executions_parsed
         );
         out!("{}", metrics.render_table());
+        report_dropped_spans(tracer);
     }
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
@@ -593,6 +662,8 @@ fn report_mine_stats(
         out.push_str(&ingest.to_json());
         out.push(',');
         metrics.write_json_fields(&mut out);
+        out.push(',');
+        out.push_str(&trace_json_fragment(tracer));
         out.push('}');
         out.push('\n');
         std::fs::write(stats_path, out)?;
@@ -768,6 +839,97 @@ fn save_follow_checkpoint(
     Ok(())
 }
 
+/// Live-following health state sampled into the registry right before
+/// each metrics export (cadenced and final). Totals accumulated
+/// outside the registry (evictions, tail supervision) are synced into
+/// their counters by delta so scrape-over-scrape values stay monotone.
+struct FollowHealth<'a> {
+    open_cases: usize,
+    max_open_cases: usize,
+    cases_evicted: u64,
+    events_absorbed: u64,
+    snapshots_taken: u64,
+    snapshot_age_events: u64,
+    checkpoint_age_events: Option<u64>,
+    tail: Option<&'a procmine_log::stream::TailStats>,
+    elapsed: std::time::Duration,
+    events_total: u64,
+}
+
+fn update_follow_health(reg: &Registry, h: &FollowHealth<'_>) {
+    if !reg.is_enabled() {
+        return;
+    }
+    let sync = |name: &'static str, help: &'static str, total: u64| {
+        let c = reg.counter(name, help, &[]);
+        c.add(total.saturating_sub(c.value()));
+    };
+    reg.gauge(
+        "procmine_follow_open_cases",
+        "Concurrently open (incomplete) cases in the assembler window.",
+        &[],
+    )
+    .set_u64(h.open_cases as u64);
+    reg.gauge(
+        "procmine_follow_open_cases_limit",
+        "The --max-open-cases bound (0: unbounded).",
+        &[],
+    )
+    .set_u64(h.max_open_cases as u64);
+    reg.gauge(
+        "procmine_follow_events_per_second",
+        "Consumed events per wall-clock second since the session started.",
+        &[],
+    )
+    .set(h.events_total as f64 / h.elapsed.as_secs_f64().max(1e-9));
+    reg.gauge(
+        "procmine_follow_snapshot_age_events",
+        "Absorbed events since the last interim model snapshot.",
+        &[],
+    )
+    .set_u64(h.snapshot_age_events);
+    sync(
+        "procmine_follow_cases_evicted_total",
+        "Incomplete open cases evicted by the --max-open-cases window.",
+        h.cases_evicted,
+    );
+    sync(
+        "procmine_follow_events_absorbed_total",
+        "Events absorbed into the online miner (completed cases only).",
+        h.events_absorbed,
+    );
+    sync(
+        "procmine_follow_snapshots_total",
+        "Interim model snapshots taken.",
+        h.snapshots_taken,
+    );
+    if let Some(age) = h.checkpoint_age_events {
+        reg.gauge(
+            "procmine_checkpoint_age_events",
+            "Consumed events since the last checkpoint save.",
+            &[],
+        )
+        .set_u64(age);
+    }
+    if let Some(tail) = h.tail {
+        sync(
+            "procmine_tail_retries_total",
+            "Transient read errors retried by the supervised tail reader.",
+            tail.retries(),
+        );
+        sync(
+            "procmine_tail_backoff_ns_total",
+            "Nanoseconds slept in tail-retry exponential backoff.",
+            tail.backoff_ns(),
+        );
+        sync(
+            "procmine_tail_empty_polls_total",
+            "Empty tail polls (EOF-for-now) observed while following.",
+            tail.empty_polls(),
+        );
+    }
+}
+
 /// `mine --follow`: online mining over a live event stream. `<LOG>` may
 /// be `-` for stdin (read until EOF — the pipe case) or a file, which
 /// with `--idle-ms` is tailed as it grows. Events flow through the
@@ -839,6 +1001,13 @@ fn mine_follow(p: &Parsed) -> CliResult {
     if checkpoint_path.is_some() && *path == "-" {
         return Err("--checkpoint requires a file log (stdin has no resumable position)".into());
     }
+    // Unlike --checkpoint, --metrics-every works with `-` stdin: the
+    // export describes the session, not a resumable source position.
+    let metrics_path = p.get("metrics");
+    let metrics_every: u64 = p.get_parse("metrics-every", 0, "integer")?;
+    if metrics_every > 0 && metrics_path.is_none() {
+        return Err("--metrics-every requires --metrics FILE".into());
+    }
 
     let options = miner_options(p)?;
     let snap_policy = if snapshot_every > 0 {
@@ -893,12 +1062,14 @@ fn mine_follow(p: &Parsed) -> CliResult {
     let start_offset = base_source.byte_offset;
     let start_line = base_source.line as usize;
 
-    let base = session_from_args(p);
+    let reg = registry_from_args(p);
+    let base = session_from_args(p, &reg);
     let tracer = base.tracer().clone();
     let mut metrics = MinerMetrics::new();
     let mut session = base.with_sink(&mut metrics);
     let started = std::time::Instant::now();
 
+    let mut tail_stats = None;
     let reader: Box<dyn std::io::BufRead> = if *path == "-" {
         Box::new(std::io::stdin().lock())
     } else {
@@ -910,15 +1081,15 @@ fn mine_follow(p: &Parsed) -> CliResult {
         if start_offset > 0 {
             f.seek(std::io::SeekFrom::Start(start_offset))?;
         }
-        Box::new(BufReader::new(
-            TailReader::new(
-                f,
-                std::time::Duration::from_millis(poll_ms.max(1)),
-                Some(std::time::Duration::from_millis(idle_ms)),
-            )
-            .with_retry(RetryPolicy::with_retries(io_retries))
-            .watching(path.as_str(), start_offset),
-        ))
+        let tail = TailReader::new(
+            f,
+            std::time::Duration::from_millis(poll_ms.max(1)),
+            Some(std::time::Duration::from_millis(idle_ms)),
+        )
+        .with_retry(RetryPolicy::with_retries(io_retries))
+        .watching(path.as_str(), start_offset);
+        tail_stats = Some(tail.stats());
+        Box::new(BufReader::new(tail))
     };
 
     let mut skipped = 0usize;
@@ -943,12 +1114,35 @@ fn mine_follow(p: &Parsed) -> CliResult {
     // mid-stream saves at all.
     let cadence = checkpoint_every.max(1);
     let mut events_since_save: u64 = 0;
+    let mut events_total: u64 = 0;
+    let mut events_since_export: u64 = 0;
+    // (snapshots_taken, events_absorbed at that point) — tracks the
+    // snapshot-age gauge across exports.
+    let mut snap_seen = (0u64, 0u64);
+    let follow_events = reg.counter(
+        "procmine_follow_events_total",
+        "Events consumed from the live stream (open cases included).",
+        &[],
+    );
+    let ck_write_ns = reg.histogram(
+        "procmine_checkpoint_write_duration_ns",
+        "Wall-clock duration of one atomic checkpoint save, in nanoseconds.",
+        &[],
+    );
+    let ck_writes = reg.counter(
+        "procmine_checkpoint_writes_total",
+        "Atomic checkpoint saves performed.",
+        &[],
+    );
     let pumped = (|| -> Result<(), Box<dyn Error>> {
         while let Some((event, at)) = source.next_event()? {
             assembler.on_event(event, at)?;
+            follow_events.inc();
+            events_total += 1;
             if let Some(ck_path) = checkpoint_path {
                 events_since_save += 1;
                 if events_since_save >= cadence {
+                    let ck_started = reg.start();
                     save_follow_checkpoint(
                         ck_path,
                         path,
@@ -960,8 +1154,43 @@ fn mine_follow(p: &Parsed) -> CliResult {
                         &source.stats(),
                         source.report(),
                     )?;
+                    if ck_started.is_some() {
+                        ck_write_ns.observe_since(ck_started);
+                        ck_writes.inc();
+                    }
                     errln!("checkpoint @ byte {} -> {ck_path}", source.position().0);
                     events_since_save = 0;
+                }
+            }
+            if metrics_every > 0 {
+                events_since_export += 1;
+                if events_since_export >= metrics_every {
+                    if let Some(mp) = metrics_path {
+                        let miner = &*assembler.observer().miner;
+                        let (taken, absorbed) = (miner.snapshots_taken(), miner.events_absorbed());
+                        if taken > snap_seen.0 {
+                            snap_seen = (taken, absorbed);
+                        }
+                        update_follow_health(
+                            &reg,
+                            &FollowHealth {
+                                open_cases: assembler.open_cases(),
+                                max_open_cases,
+                                cases_evicted: assembler.report().cases_evicted,
+                                events_absorbed: absorbed,
+                                snapshots_taken: taken,
+                                snapshot_age_events: absorbed - snap_seen.1,
+                                checkpoint_age_events: checkpoint_path
+                                    .is_some()
+                                    .then_some(events_since_save),
+                                tail: tail_stats.as_deref(),
+                                elapsed: started.elapsed(),
+                                events_total,
+                            },
+                        );
+                        write_metrics_atomic(&reg, mp)?;
+                    }
+                    events_since_export = 0;
                 }
             }
         }
@@ -971,6 +1200,7 @@ fn mine_follow(p: &Parsed) -> CliResult {
         // assembled by the flush, so a case spanning this boundary
         // opens fresh on resume (same split the memory bound forces).
         if let Some(ck_path) = checkpoint_path {
+            let ck_started = reg.start();
             save_follow_checkpoint(
                 ck_path,
                 path,
@@ -982,6 +1212,10 @@ fn mine_follow(p: &Parsed) -> CliResult {
                 &source.stats(),
                 source.report(),
             )?;
+            if ck_started.is_some() {
+                ck_write_ns.observe_since(ck_started);
+                ck_writes.inc();
+            }
             errln!(
                 "checkpoint @ {} events -> {ck_path} (end of stream)",
                 assembler.observer().miner.events_absorbed()
@@ -995,6 +1229,29 @@ fn mine_follow(p: &Parsed) -> CliResult {
     ingest.merge(source.report());
     ingest.merge(assembler.report());
     codec_stats.executions_parsed = assembler.executions_emitted();
+    // Final health refresh so the exit export reflects the end state.
+    if reg.is_enabled() {
+        let miner = &*assembler.observer().miner;
+        let (taken, absorbed) = (miner.snapshots_taken(), miner.events_absorbed());
+        if taken > snap_seen.0 {
+            snap_seen = (taken, absorbed);
+        }
+        update_follow_health(
+            &reg,
+            &FollowHealth {
+                open_cases: assembler.open_cases(),
+                max_open_cases,
+                cases_evicted: ingest.cases_evicted,
+                events_absorbed: absorbed,
+                snapshots_taken: taken,
+                snapshot_age_events: absorbed - snap_seen.1,
+                checkpoint_age_events: checkpoint_path.is_some().then_some(events_since_save),
+                tail: tail_stats.as_deref(),
+                elapsed: started.elapsed(),
+                events_total,
+            },
+        );
+    }
     drop(assembler);
     drop(follow_span);
     if let Err(e) = pumped {
@@ -1031,8 +1288,9 @@ fn mine_follow(p: &Parsed) -> CliResult {
     }
 
     write_model_artifacts(p, &model)?;
-    report_mine_stats(p, &codec_stats, &ingest, &metrics)?;
+    report_mine_stats(p, &codec_stats, &ingest, &metrics, &tracer)?;
     write_trace(&tracer, p)?;
+    write_metrics(&reg, p)?;
     Ok(())
 }
 
@@ -1059,6 +1317,8 @@ fn mine(argv: &[String]) -> CliResult {
             "checkpoint",
             "checkpoint-every",
             "io-retries",
+            "metrics",
+            "metrics-every",
         ],
         &["check", "stream", "stats", "recover", "follow"],
     )?;
@@ -1073,6 +1333,7 @@ fn mine(argv: &[String]) -> CliResult {
         "checkpoint",
         "checkpoint-every",
         "io-retries",
+        "metrics-every",
     ] {
         if p.get(follow_only).is_some() {
             return Err(format!("--{follow_only} requires --follow").into());
@@ -1084,7 +1345,8 @@ fn mine(argv: &[String]) -> CliResult {
         .ok_or(ArgError::Required("log file"))?;
     let policy = ingest_policy(&p)?;
     let threads: usize = p.get_parse("threads", 0, "integer")?;
-    let base = session_from_args(&p).with_threads(threads.max(1));
+    let reg = registry_from_args(&p);
+    let base = session_from_args(&p, &reg).with_threads(threads.max(1));
     let tracer = base.tracer().clone();
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
@@ -1116,6 +1378,7 @@ fn mine(argv: &[String]) -> CliResult {
             &mut codec_stats,
             &mut ingest,
             &tracer,
+            &reg,
             threads.max(1),
         )?;
         let (model, algorithm) = mine_with(&p, &mut session, &log)?;
@@ -1179,10 +1442,12 @@ fn mine(argv: &[String]) -> CliResult {
         )?;
         errln!("wrote {bpmn_path}");
     }
-    report_mine_stats(&p, &codec_stats, &ingest, &metrics)?;
+    report_mine_stats(&p, &codec_stats, &ingest, &metrics, &tracer)?;
     let mut check_failed = false;
     if p.has("check") {
-        let mut session = MineSession::new().with_tracer(tracer.clone());
+        let mut session = MineSession::new()
+            .with_tracer(tracer.clone())
+            .with_obs(reg.clone());
         let report = conformance::check_conformance_in(&mut session, &model, &log);
         if report.is_conformal() {
             outln!("conformance: OK (dependency-complete, irredundant, execution-complete)");
@@ -1204,6 +1469,7 @@ fn mine(argv: &[String]) -> CliResult {
         }
     }
     write_trace(&tracer, &p)?;
+    write_metrics(&reg, &p)?;
     if check_failed {
         return Err("mined model is not conformal".into());
     }
@@ -1213,7 +1479,7 @@ fn mine(argv: &[String]) -> CliResult {
 fn check(argv: &[String]) -> CliResult {
     let p = parse(
         argv,
-        &["format", "stats-json", "max-errors", "trace"],
+        &["format", "stats-json", "max-errors", "trace", "metrics"],
         &["stats", "recover", "json"],
     )?;
     let [model_path, log_path] = p.positional() else {
@@ -1222,7 +1488,8 @@ fn check(argv: &[String]) -> CliResult {
     let model: MinedModel = serde_json::from_reader(BufReader::new(File::open(model_path)?))?;
     let format = p.get("format").unwrap_or("flowmark");
     let policy = ingest_policy(&p)?;
-    let base = session_from_args(&p);
+    let reg = registry_from_args(&p);
+    let base = session_from_args(&p, &reg);
     let tracer = base.tracer().clone();
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
@@ -1233,6 +1500,7 @@ fn check(argv: &[String]) -> CliResult {
         &mut codec_stats,
         &mut ingest,
         &tracer,
+        &reg,
         1,
     )?;
     report_ingest(&ingest, policy);
@@ -1248,6 +1516,7 @@ fn check(argv: &[String]) -> CliResult {
             codec_stats.executions_parsed
         );
         out!("{}", metrics.render_table());
+        report_dropped_spans(&tracer);
     }
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
@@ -1256,12 +1525,15 @@ fn check(argv: &[String]) -> CliResult {
         out.push_str(&ingest.to_json());
         out.push(',');
         metrics.write_json_fields(&mut out);
+        out.push(',');
+        out.push_str(&trace_json_fragment(&tracer));
         out.push('}');
         out.push('\n');
         std::fs::write(stats_path, out)?;
         errln!("wrote {stats_path}");
     }
     write_trace(&tracer, &p)?;
+    write_metrics(&reg, &p)?;
     if p.has("json") {
         // Machine-readable verdict on stdout; the exit status still
         // reflects conformality so scripts can branch either way.
@@ -1301,6 +1573,7 @@ fn conditions(argv: &[String]) -> CliResult {
             "max-errors",
             "deadline-ms",
             "trace",
+            "metrics",
         ],
         &["stats", "recover"],
     )?;
@@ -1309,7 +1582,8 @@ fn conditions(argv: &[String]) -> CliResult {
         .first()
         .ok_or(ArgError::Required("log file"))?;
     let policy = ingest_policy(&p)?;
-    let base = session_from_args(&p);
+    let reg = registry_from_args(&p);
+    let base = session_from_args(&p, &reg);
     let tracer = base.tracer().clone();
     let mut codec_stats = CodecStats::default();
     let mut ingest = IngestReport::default();
@@ -1321,6 +1595,7 @@ fn conditions(argv: &[String]) -> CliResult {
         &mut codec_stats,
         &mut ingest,
         &tracer,
+        &reg,
         1,
     )?;
     report_ingest(&ingest, policy);
@@ -1335,6 +1610,7 @@ fn conditions(argv: &[String]) -> CliResult {
     let mut classify_metrics = ClassifyMetrics::new();
     let mut session = MineSession::new()
         .with_tracer(tracer.clone())
+        .with_obs(reg.clone())
         .with_sink(&mut classify_metrics);
     let learned = procmine_classify::learn_edge_conditions_in(&mut session, &model, &log, &cfg);
     drop(session);
@@ -1347,6 +1623,7 @@ fn conditions(argv: &[String]) -> CliResult {
         );
         out!("{}", miner_metrics.render_table());
         out!("{}", classify_metrics.render_table());
+        report_dropped_spans(&tracer);
     }
     if let Some(stats_path) = p.get("stats-json") {
         let mut out = String::from("{\"codec\":");
@@ -1357,6 +1634,8 @@ fn conditions(argv: &[String]) -> CliResult {
         miner_metrics.write_json_fields(&mut out);
         out.push_str(",\"classify\":");
         out.push_str(&classify_metrics.to_json());
+        out.push(',');
+        out.push_str(&trace_json_fragment(&tracer));
         out.push('}');
         out.push('\n');
         std::fs::write(stats_path, out)?;
@@ -1381,7 +1660,8 @@ fn conditions(argv: &[String]) -> CliResult {
             }
         }
     }
-    write_trace(&tracer, &p)
+    write_trace(&tracer, &p)?;
+    write_metrics(&reg, &p)
 }
 
 fn info(argv: &[String]) -> CliResult {

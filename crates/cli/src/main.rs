@@ -11,6 +11,7 @@
 
 mod args;
 mod commands;
+mod metrics;
 mod output;
 
 use crate::output::errln;

@@ -48,10 +48,12 @@ pub fn mine_cyclic_in<S: MetricsSink>(
     let MineSession {
         sink,
         tracer,
+        obs: reg,
         limits,
         ..
     } = session;
     let tracer: &Tracer = tracer;
+    let reg: &crate::obs::Registry = reg;
     let _root = tracer.span_cat("mine.cyclic", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
@@ -64,43 +66,44 @@ pub fn mine_cyclic_in<S: MetricsSink>(
     // Instance vertex space: activity a gets `max_occ[a]` consecutive
     // vertices starting at offset[a]. Lowering the log to instance
     // vertices (steps 1–3) is one pass.
-    let (execs, activity_of, total) = run_stage(Stage::Lower, deadline, sink, tracer, |_, _| {
-        let mut max_occ = vec![0usize; n];
-        for exec in log.executions() {
-            deadline.check()?;
-            let mut counts = vec![0usize; n];
-            for a in exec.sequence() {
-                counts[a.index()] += 1;
-                max_occ[a.index()] = max_occ[a.index()].max(counts[a.index()]);
+    let (execs, activity_of, total) =
+        run_stage(Stage::Lower, deadline, sink, tracer, reg, |_, _| {
+            let mut max_occ = vec![0usize; n];
+            for exec in log.executions() {
+                deadline.check()?;
+                let mut counts = vec![0usize; n];
+                for a in exec.sequence() {
+                    counts[a.index()] += 1;
+                    max_occ[a.index()] = max_occ[a.index()].max(counts[a.index()]);
+                }
             }
-        }
-        let mut offset = vec![0usize; n + 1];
-        for a in 0..n {
-            offset[a + 1] = offset[a] + max_occ[a];
-        }
-        let total = offset[n];
-        // Reverse map: instance vertex -> activity.
-        let mut activity_of = vec![0usize; total];
-        for a in 0..n {
-            activity_of[offset[a]..offset[a + 1]].fill(a);
-        }
+            let mut offset = vec![0usize; n + 1];
+            for a in 0..n {
+                offset[a + 1] = offset[a] + max_occ[a];
+            }
+            let total = offset[n];
+            // Reverse map: instance vertex -> activity.
+            let mut activity_of = vec![0usize; total];
+            for a in 0..n {
+                activity_of[offset[a]..offset[a + 1]].fill(a);
+            }
 
-        let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
-        for e in log.executions() {
-            deadline.check()?;
-            let labeled = e.labeled_sequence();
-            execs.push(
-                e.instances()
-                    .iter()
-                    .zip(labeled)
-                    .map(|(inst, (a, occ))| {
-                        (offset[a.index()] + occ as usize, inst.start, inst.end)
-                    })
-                    .collect(),
-            );
-        }
-        Ok((execs, activity_of, total))
-    })?;
+            let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+            for e in log.executions() {
+                deadline.check()?;
+                let labeled = e.labeled_sequence();
+                execs.push(
+                    e.instances()
+                        .iter()
+                        .zip(labeled)
+                        .map(|(inst, (a, occ))| {
+                            (offset[a.index()] + occ as usize, inst.start, inst.end)
+                        })
+                        .collect(),
+                );
+            }
+            Ok((execs, activity_of, total))
+        })?;
     let vlog = VertexLog {
         n: total,
         execs: &execs,
@@ -114,10 +117,11 @@ pub fn mine_cyclic_in<S: MetricsSink>(
         threads,
         sink,
         tracer,
+        reg,
     )?;
 
     // Step 8: merge instance vertices back into activities.
-    run_stage(Stage::Assemble, deadline, sink, tracer, |sink, _| {
+    run_stage(Stage::Assemble, deadline, sink, tracer, reg, |sink, _| {
         let mut graph = graph_skeleton(log.activities());
         let mut support_acc = vec![0u32; n * n];
         for (x, y) in result.graph.edges() {

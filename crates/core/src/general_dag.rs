@@ -27,6 +27,7 @@
 
 use crate::limits::Deadline;
 use crate::model::graph_skeleton;
+use crate::obs::Registry;
 use crate::session::{run_stage, MineSession};
 use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
@@ -64,15 +65,16 @@ pub(crate) fn mine_vertex_log<S: MetricsSink>(
     threads: usize,
     sink: &mut S,
     tracer: &Tracer,
+    reg: &Registry,
 ) -> Result<VertexMineResult, MineError> {
     let obs = if threads > 1 {
-        crate::parallel::parallel_count(vlog, threads, deadline, sink, tracer)?
+        crate::parallel::parallel_count(vlog, threads, deadline, sink, tracer, reg)?
     } else {
-        run_stage(Stage::CountPairs, deadline, sink, tracer, |sink, _| {
+        run_stage(Stage::CountPairs, deadline, sink, tracer, reg, |sink, _| {
             count_ordered_pairs(vlog, deadline, sink)
         })?
     };
-    finish_from_counts(vlog, obs, threshold, deadline, threads, sink, tracer)
+    finish_from_counts(vlog, obs, threshold, deadline, threads, sink, tracer, reg)
 }
 
 /// Step-2 observation counts: `ordered[u*n+v]` executions where `u`
@@ -261,6 +263,7 @@ impl Default for MarkScratch {
 /// pathological followings graph cannot hide from `--deadline-ms`; with
 /// `threads > 1` and a large vertex count it fans out per weakly
 /// connected component.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn prune_graph<S: MetricsSink>(
     n: usize,
     obs: &OrderObservations,
@@ -269,8 +272,9 @@ pub(crate) fn prune_graph<S: MetricsSink>(
     threads: usize,
     sink: &mut S,
     tracer: &Tracer,
+    reg: &Registry,
 ) -> Result<AdjMatrix, MineError> {
-    let mut g = run_stage(Stage::Prune, deadline, sink, tracer, |sink, _| {
+    let mut g = run_stage(Stage::Prune, deadline, sink, tracer, reg, |sink, _| {
         if S::ENABLED {
             let before = (0..n * n)
                 .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
@@ -300,11 +304,11 @@ pub(crate) fn prune_graph<S: MetricsSink>(
         Ok(g)
     })?;
 
-    run_stage(Stage::SccRemoval, deadline, sink, tracer, |sink, _| {
+    run_stage(Stage::SccRemoval, deadline, sink, tracer, reg, |sink, _| {
         let digraph = g.to_digraph(|_| ());
         let budget = deadline.budget();
         // The budgeted Tarjan's only failure mode is budget exhaustion.
-        let sccs = if threads > 1 && n >= crate::parallel::PARALLEL_GRAPH_MIN_VERTICES {
+        let sccs = if threads > 1 && n >= crate::parallel::parallel_graph_min_vertices() {
             scc::tarjan_scc_parallel_budgeted(&digraph, threads, &budget)
         } else {
             scc::tarjan_scc_budgeted(&digraph, &budget)
@@ -330,6 +334,7 @@ pub(crate) fn prune_graph<S: MetricsSink>(
 }
 
 /// Steps 3–7 of Algorithm 2, given precomputed step-2 counts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_from_counts<S: MetricsSink>(
     vlog: &VertexLog<'_>,
     obs: OrderObservations,
@@ -338,17 +343,18 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     threads: usize,
     sink: &mut S,
     tracer: &Tracer,
+    reg: &Registry,
 ) -> Result<VertexMineResult, MineError> {
     let n = vlog.n;
-    let mut g = prune_graph(n, &obs, threshold, deadline, threads, sink, tracer)?;
+    let mut g = prune_graph(n, &obs, threshold, deadline, threads, sink, tracer, reg)?;
     let counts = obs.ordered;
 
     // Steps 5–6: per-execution induced-subgraph transitive reduction;
     // keep only edges some reduction needs.
     let marked = if threads > 1 {
-        crate::parallel::parallel_mark(vlog, &g, threads, deadline, sink, tracer)?
+        crate::parallel::parallel_mark(vlog, &g, threads, deadline, sink, tracer, reg)?
     } else {
-        run_stage(Stage::Reduce, deadline, sink, tracer, |_, _| {
+        run_stage(Stage::Reduce, deadline, sink, tracer, reg, |_, _| {
             let mut marked = AdjMatrix::new(n);
             let mut scratch = MarkScratch::new();
             for exec in vlog.execs {
@@ -409,10 +415,12 @@ pub fn mine_general_dag_in<S: MetricsSink>(
     let MineSession {
         sink,
         tracer,
+        obs: reg,
         limits,
         ..
     } = session;
     let tracer: &Tracer = tracer;
+    let reg: &Registry = reg;
     let _root = tracer.span_cat(
         if threads > 1 {
             "mine.parallel"
@@ -436,7 +444,7 @@ pub fn mine_general_dag_in<S: MetricsSink>(
     }
 
     let n = log.activities().len();
-    let execs = run_stage(Stage::Lower, deadline, sink, tracer, |_, _| {
+    let execs = run_stage(Stage::Lower, deadline, sink, tracer, reg, |_, _| {
         let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
         for e in log.executions() {
             deadline.check()?;
@@ -458,9 +466,10 @@ pub fn mine_general_dag_in<S: MetricsSink>(
         threads,
         sink,
         tracer,
+        reg,
     )?;
 
-    run_stage(Stage::Assemble, deadline, sink, tracer, |_, _| {
+    run_stage(Stage::Assemble, deadline, sink, tracer, reg, |_, _| {
         let mut graph = graph_skeleton(log.activities());
         let mut support = Vec::with_capacity(result.graph.edge_count());
         for (u, v) in result.graph.edges() {
@@ -497,8 +506,17 @@ mod tests {
         }
         let deadline = Deadline::already_expired();
         std::thread::sleep(std::time::Duration::from_millis(2));
-        let err =
-            prune_graph(n, &obs, 1, deadline, 1, &mut NullSink, &Tracer::disabled()).unwrap_err();
+        let err = prune_graph(
+            n,
+            &obs,
+            1,
+            deadline,
+            1,
+            &mut NullSink,
+            &Tracer::disabled(),
+            &Registry::disabled(),
+        )
+        .unwrap_err();
         assert!(
             matches!(
                 err,

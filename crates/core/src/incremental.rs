@@ -237,8 +237,14 @@ impl IncrementalMiner {
     ) -> Result<MinedModel, MineError> {
         let deadline = session.run_deadline(&self.options.limits);
         let threads = session.threads;
-        let MineSession { sink, tracer, .. } = session;
+        let MineSession {
+            sink,
+            tracer,
+            obs: reg,
+            ..
+        } = session;
         let tracer: &Tracer = tracer;
+        let reg: &crate::obs::Registry = reg;
         let _root = tracer.span_cat("mine.incremental", "miner");
         if self.execs.is_empty() {
             return Err(MineError::EmptyLog);
@@ -265,8 +271,9 @@ impl IncrementalMiner {
             threads,
             sink,
             tracer,
+            reg,
         )?;
-        run_stage(Stage::Assemble, deadline, sink, tracer, |_, _| {
+        run_stage(Stage::Assemble, deadline, sink, tracer, reg, |_, _| {
             let mut graph = graph_skeleton(&self.table);
             let mut support = Vec::with_capacity(result.graph.edge_count());
             for (u, v) in result.graph.edges() {

@@ -72,6 +72,7 @@ pub mod conformance;
 pub mod follows;
 pub mod metrics;
 pub mod noise;
+pub mod obs;
 pub mod splits;
 pub mod telemetry;
 pub mod trace;
@@ -87,6 +88,7 @@ pub use incremental::IncrementalMiner;
 pub use limits::{LimitKind, Limits};
 pub use miner::{mine_auto, mine_auto_in, Algorithm, MinerOptions};
 pub use model::MinedModel;
+pub use obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use online::{OnlineMiner, SnapshotPolicy};
 pub use parallel::mine_general_dag_parallel;
 pub use session::MineSession;

@@ -25,6 +25,7 @@ use crate::general_dag::{
     VertexLog,
 };
 use crate::limits::Deadline;
+use crate::obs::Registry;
 use crate::session::MineSession;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, MinerMetrics, Stage, WallStage};
 use crate::trace::Tracer;
@@ -35,8 +36,48 @@ use procmine_log::WorkflowLog;
 /// Vertex count below which the graph-level parallel algorithms
 /// (per-component SCC, row-parallel transitive reduction) are not worth
 /// their spawn overhead; smaller graphs keep the serial bodies even in
-/// a multi-threaded session.
+/// a multi-threaded session. Overridable at run time through the
+/// `PROCMINE_PARALLEL_MIN_VERTICES` environment variable (see
+/// [`parallel_graph_min_vertices`]), so the threshold can be tuned
+/// against real workloads without a rebuild.
 pub(crate) const PARALLEL_GRAPH_MIN_VERTICES: usize = 256;
+
+/// The effective graph-parallelism threshold: the
+/// `PROCMINE_PARALLEL_MIN_VERTICES` override when set and valid (a
+/// positive integer), [`PARALLEL_GRAPH_MIN_VERTICES`] otherwise. Read
+/// once per process; an invalid value warns on stderr and keeps the
+/// default rather than silently changing strategy.
+pub(crate) fn parallel_graph_min_vertices() -> usize {
+    static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        let raw = std::env::var("PROCMINE_PARALLEL_MIN_VERTICES").ok();
+        match parse_threshold_override(raw.as_deref(), PARALLEL_GRAPH_MIN_VERTICES) {
+            Ok(v) => v,
+            Err(bad) => {
+                eprintln!(
+                    "warning: ignoring PROCMINE_PARALLEL_MIN_VERTICES=`{bad}` \
+                     (expected a positive integer); using {PARALLEL_GRAPH_MIN_VERTICES}"
+                );
+                PARALLEL_GRAPH_MIN_VERTICES
+            }
+        }
+    })
+}
+
+/// Validates one threshold override: `None` keeps the default, a
+/// positive integer replaces it, anything else is returned as the
+/// offending string. Pure, so tests cover the validation without
+/// mutating process environment (env reads race across parallel
+/// tests).
+pub(crate) fn parse_threshold_override(raw: Option<&str>, default: usize) -> Result<usize, String> {
+    match raw {
+        None => Ok(default),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(v) if v > 0 => Ok(v),
+            _ => Err(s.to_string()),
+        },
+    }
+}
 
 /// Parallel Algorithm 2: identical output to
 /// [`mine_general_dag`](crate::mine_general_dag), with the heavy stages
@@ -99,9 +140,11 @@ pub(crate) fn parallel_count<S: MetricsSink>(
     deadline: Deadline,
     sink: &mut S,
     tracer: &Tracer,
+    reg: &Registry,
 ) -> Result<OrderObservations, MineError> {
     let _span = tracer.span_cat(Stage::CountPairs.span_name(), "miner");
     deadline.check()?;
+    let reg_started = reg.start();
     let n = vlog.n;
     let chunk = vlog.execs.len().div_ceil(threads).max(1);
     let wall = WallStage::start::<S>(Stage::CountPairs);
@@ -142,6 +185,8 @@ pub(crate) fn parallel_count<S: MetricsSink>(
         })
     })?;
     wall.finish(sink);
+    reg.stage_latency(Stage::CountPairs)
+        .observe_since(reg_started);
     Ok(total)
 }
 
@@ -156,9 +201,11 @@ pub(crate) fn parallel_mark<S: MetricsSink>(
     deadline: Deadline,
     sink: &mut S,
     tracer: &Tracer,
+    reg: &Registry,
 ) -> Result<AdjMatrix, MineError> {
     let _span = tracer.span_cat(Stage::Reduce.span_name(), "miner");
     deadline.check()?;
+    let reg_started = reg.start();
     let n = vlog.n;
     let chunk = vlog.execs.len().div_ceil(threads).max(1);
     let wall = WallStage::start::<S>(Stage::Reduce);
@@ -193,6 +240,7 @@ pub(crate) fn parallel_mark<S: MetricsSink>(
         })
     })?;
     wall.finish(sink);
+    reg.stage_latency(Stage::Reduce).observe_since(reg_started);
     Ok(total)
 }
 
@@ -316,6 +364,30 @@ mod tests {
         assert_eq!(m.wall_nanos(Stage::Prune), 0);
         assert_eq!(m.wall_nanos(Stage::SccRemoval), 0);
         assert_eq!(m.wall_nanos(Stage::Assemble), 0);
+    }
+
+    #[test]
+    fn threshold_override_parses_and_validates() {
+        // Pure validation — no env mutation (racy across parallel
+        // tests); `parallel_graph_min_vertices` is just a cached read
+        // of this through the process environment.
+        assert_eq!(parse_threshold_override(None, 256), Ok(256));
+        assert_eq!(parse_threshold_override(Some("64"), 256), Ok(64));
+        assert_eq!(parse_threshold_override(Some(" 1024 "), 256), Ok(1024));
+        assert_eq!(
+            parse_threshold_override(Some("0"), 256),
+            Err("0".to_string()),
+            "zero would disable the serial fallback entirely"
+        );
+        assert_eq!(
+            parse_threshold_override(Some("-3"), 256),
+            Err("-3".to_string())
+        );
+        assert_eq!(
+            parse_threshold_override(Some("lots"), 256),
+            Err("lots".to_string())
+        );
+        assert!(parallel_graph_min_vertices() > 0);
     }
 
     #[test]

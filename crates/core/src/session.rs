@@ -37,6 +37,7 @@
 //! aborts the run.
 
 use crate::limits::Deadline;
+use crate::obs::Registry;
 use crate::telemetry::{stage_end, stage_start, MetricsSink, NullSink, Stage};
 use crate::trace::Tracer;
 use crate::{Limits, MineError};
@@ -53,6 +54,7 @@ use crate::{Limits, MineError};
 pub struct MineSession<S = NullSink> {
     pub(crate) sink: S,
     pub(crate) tracer: Tracer,
+    pub(crate) obs: Registry,
     pub(crate) limits: Limits,
     pub(crate) deadline: Deadline,
     pub(crate) threads: usize,
@@ -65,6 +67,7 @@ impl MineSession<NullSink> {
         MineSession {
             sink: NullSink,
             tracer: Tracer::disabled(),
+            obs: Registry::disabled(),
             limits: Limits::default(),
             deadline: Limits::default().start_clock(),
             threads: 1,
@@ -85,6 +88,7 @@ impl<S> MineSession<S> {
         MineSession {
             sink,
             tracer: self.tracer,
+            obs: self.obs,
             limits: self.limits,
             deadline: self.deadline,
             threads: self.threads,
@@ -95,6 +99,15 @@ impl<S> MineSession<S> {
     /// so the caller can keep a handle for export.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Replaces the metrics registry. [`Registry`] clones share their
+    /// store, so the caller can keep a handle for export; every stage
+    /// run in this session samples its wall latency into
+    /// `procmine_stage_latency_ns{stage=…}`.
+    pub fn with_obs(mut self, obs: Registry) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -120,6 +133,11 @@ impl<S> MineSession<S> {
     /// The session's tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The session's metrics registry.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// The session's resource limits.
@@ -148,8 +166,9 @@ impl<S> MineSession<S> {
 
 /// Runs one pipeline stage as a named, traced, metered, budgeted unit:
 /// opens a `miner`-category span named [`Stage::span_name`], checks the
-/// deadline once at entry, and credits the body's elapsed CPU time to
-/// the stage's [`MinerMetrics`](crate::MinerMetrics) timer. Stage
+/// deadline once at entry, credits the body's elapsed CPU time to the
+/// stage's [`MinerMetrics`](crate::MinerMetrics) timer, and samples
+/// the wall latency into the registry's per-stage histogram. Stage
 /// bodies that loop over executions re-check the deadline themselves,
 /// once per execution.
 pub(crate) fn run_stage<S: MetricsSink, T>(
@@ -157,13 +176,18 @@ pub(crate) fn run_stage<S: MetricsSink, T>(
     deadline: Deadline,
     sink: &mut S,
     tracer: &Tracer,
+    obs: &Registry,
     body: impl FnOnce(&mut S, &Tracer) -> Result<T, MineError>,
 ) -> Result<T, MineError> {
     let _span = tracer.span_cat(stage.span_name(), "miner");
     deadline.check()?;
     let started = stage_start::<S>();
+    let obs_started = obs.start();
     let out = body(sink, tracer)?;
     stage_end(sink, stage, started);
+    if obs_started.is_some() {
+        obs.stage_latency(stage).observe_since(obs_started);
+    }
     Ok(out)
 }
 
@@ -237,6 +261,7 @@ mod tests {
             Deadline::unlimited(),
             &mut metrics,
             &tracer,
+            &Registry::disabled(),
             |sink, _| {
                 sink.record(|m| m.edges_final += 7);
                 Ok(7u32)
@@ -252,6 +277,35 @@ mod tests {
     }
 
     #[test]
+    fn run_stage_samples_the_registry_histogram() {
+        let obs = Registry::new();
+        run_stage(
+            Stage::Reduce,
+            Deadline::unlimited(),
+            &mut NullSink,
+            &Tracer::disabled(),
+            &obs,
+            |_, _| Ok(()),
+        )
+        .unwrap();
+        let snap = obs.stage_latency(Stage::Reduce).snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(obs.stage_latency(Stage::Prune).snapshot().count, 0);
+    }
+
+    #[test]
+    fn with_obs_is_carried_across_with_sink() {
+        let obs = Registry::new();
+        let session = MineSession::new().with_obs(obs.clone()).with_sink(NullSink);
+        assert!(session.obs().is_enabled());
+        drop(session);
+        assert!(
+            !MineSession::new().obs().is_enabled(),
+            "default session has the disabled registry"
+        );
+    }
+
+    #[test]
     fn run_stage_aborts_on_expired_deadline() {
         let deadline = Deadline::already_expired();
         std::thread::sleep(Duration::from_millis(2));
@@ -260,6 +314,7 @@ mod tests {
             deadline,
             &mut NullSink,
             &Tracer::disabled(),
+            &Registry::disabled(),
             |_, _| Ok(()),
         )
         .unwrap_err();

@@ -60,10 +60,12 @@ pub fn mine_special_dag_in<S: MetricsSink>(
     let MineSession {
         sink,
         tracer,
+        obs: reg,
         limits,
         ..
     } = session;
     let tracer: &Tracer = tracer;
+    let reg: &crate::obs::Registry = reg;
     let _root = tracer.span_cat("mine.special", "miner");
     if log.is_empty() {
         return Err(MineError::EmptyLog);
@@ -89,7 +91,7 @@ pub fn mine_special_dag_in<S: MetricsSink>(
     // occurs once per execution, so each execution contributes at most
     // 1 per pair. An overlap is independence evidence (§2) and prunes
     // the pair like a two-cycle.
-    let obs = run_stage(Stage::CountPairs, deadline, sink, tracer, |sink, _| {
+    let obs = run_stage(Stage::CountPairs, deadline, sink, tracer, reg, |sink, _| {
         let mut obs = crate::general_dag::OrderObservations::new(n);
         for exec in log.executions() {
             deadline.check()?;
@@ -114,7 +116,7 @@ pub fn mine_special_dag_in<S: MetricsSink>(
     let counts = obs.ordered.clone();
 
     // Threshold (T = 1 keeps everything) and step 3: drop two-cycles.
-    let m = run_stage(Stage::Prune, deadline, sink, tracer, |sink, _| {
+    let m = run_stage(Stage::Prune, deadline, sink, tracer, reg, |sink, _| {
         if S::ENABLED {
             let before = (0..n * n)
                 .filter(|&i| i / n != i % n && obs.ordered[i] > 0)
@@ -148,9 +150,9 @@ pub fn mine_special_dag_in<S: MetricsSink>(
     // Step 4: transitive reduction (unique for a DAG), under the
     // deadline's wall-clock budget; row-parallel for large graphs in a
     // multi-threaded session.
-    let reduced = run_stage(Stage::Reduce, deadline, sink, tracer, |sink, _| {
+    let reduced = run_stage(Stage::Reduce, deadline, sink, tracer, reg, |sink, _| {
         let budget = deadline.budget();
-        let reduced = if threads > 1 && n >= crate::parallel::PARALLEL_GRAPH_MIN_VERTICES {
+        let reduced = if threads > 1 && n >= crate::parallel::parallel_graph_min_vertices() {
             transitive_reduction_matrix_parallel_budgeted(&m, threads, &budget)
         } else {
             transitive_reduction_matrix_budgeted(&m, &budget)
@@ -170,7 +172,7 @@ pub fn mine_special_dag_in<S: MetricsSink>(
         Ok(reduced)
     })?;
 
-    run_stage(Stage::Assemble, deadline, sink, tracer, |_, _| {
+    run_stage(Stage::Assemble, deadline, sink, tracer, reg, |_, _| {
         let mut graph = graph_skeleton(log.activities());
         let mut support = Vec::with_capacity(reduced.edge_count());
         for (u, v) in reduced.edges() {

@@ -206,12 +206,19 @@ pub fn decode_envelope(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
 /// directory is synced best-effort so the rename itself survives a
 /// power loss.
 pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    write_atomic_raw(path, &encode_envelope(payload))
+}
+
+/// Atomic replace without the checkpoint envelope: `bytes` land on
+/// disk exactly as given. Same tmp + fsync + rename discipline as
+/// [`write_atomic`], for callers (metrics exports) whose readers
+/// expect the raw format, not an envelope.
+pub fn write_atomic_raw(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    let bytes = encode_envelope(payload);
     let mut f = File::create(&tmp)?;
-    f.write_all(&bytes)?;
+    f.write_all(bytes)?;
     f.sync_all()?;
     drop(f);
     std::fs::rename(&tmp, path)?;

@@ -63,7 +63,7 @@ pub use assembler::{
 pub use checkpoint::{CheckpointError, WireError, WireReader, WireWriter};
 pub use source::FlowmarkSource;
 pub use stages::{Filter, Repair, Stats, StreamStats, Validate};
-pub use tail::{RetryPolicy, TailReader};
+pub use tail::{RetryPolicy, TailReader, TailStats};
 
 use crate::{ActivityTable, EventRecord, Execution, LogError};
 

@@ -29,7 +29,42 @@
 
 use std::io::Read;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared counters describing a [`TailReader`]'s supervision activity,
+/// for health export. The reader holds one handle and increments it
+/// in-line; the follow driver keeps a clone ([`TailReader::stats`]) and
+/// reads it whenever metrics are scraped — the counters are relaxed
+/// atomics, never locks, so sampling them does not perturb the read
+/// loop.
+#[derive(Debug, Default)]
+pub struct TailStats {
+    /// Non-`Interrupted` I/O errors that were retried (budget spent).
+    retries: AtomicU64,
+    /// Total nanoseconds slept in retry backoff.
+    backoff_ns: AtomicU64,
+    /// Empty polls observed (EOF-for-now sleeps).
+    empty_polls: AtomicU64,
+}
+
+impl TailStats {
+    /// Retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total backoff sleep, in nanoseconds.
+    pub fn backoff_ns(&self) -> u64 {
+        self.backoff_ns.load(Ordering::Relaxed)
+    }
+
+    /// Empty polls (EOF-for-now) observed so far.
+    pub fn empty_polls(&self) -> u64 {
+        self.empty_polls.load(Ordering::Relaxed)
+    }
+}
 
 /// Retry budget for transient I/O errors during a follow session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +111,8 @@ pub struct TailReader<R> {
     watch: Option<(PathBuf, u64)>,
     /// Bytes delivered through this reader since construction.
     delivered: u64,
+    /// Supervision counters, shared with [`TailReader::stats`] handles.
+    stats: Arc<TailStats>,
 }
 
 impl<R: Read> TailReader<R> {
@@ -90,7 +127,14 @@ impl<R: Read> TailReader<R> {
             retry: RetryPolicy::default(),
             watch: None,
             delivered: 0,
+            stats: Arc::new(TailStats::default()),
         }
+    }
+
+    /// A handle onto the reader's supervision counters; stays valid
+    /// (and live) after the reader moves into a decode pipeline.
+    pub fn stats(&self) -> Arc<TailStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Replaces the transient-error retry policy, builder-style.
@@ -147,6 +191,7 @@ impl<R: Read> Read for TailReader<R> {
                             return Ok(0);
                         }
                     }
+                    self.stats.empty_polls.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(self.poll);
                 }
                 Ok(n) => {
@@ -162,6 +207,10 @@ impl<R: Read> Read for TailReader<R> {
                         return Err(e);
                     }
                     retries += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .backoff_ns
+                        .fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(self.retry.max_backoff);
                 }
@@ -325,6 +374,62 @@ mod tests {
         let mut buf = [0u8; 16];
         let n = tail.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"made it");
+    }
+
+    #[test]
+    fn stats_handle_counts_retries_and_backoff() {
+        let mut tail = TailReader::new(
+            Flaky {
+                failures: 2,
+                kind: std::io::ErrorKind::Other,
+                data: b"payload",
+            },
+            Duration::from_millis(1),
+            Some(Duration::ZERO),
+        )
+        .with_retry(RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        });
+        let stats = tail.stats();
+        assert_eq!(stats.retries(), 0);
+        let mut buf = [0u8; 16];
+        let n = tail.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"payload");
+        assert_eq!(stats.retries(), 2);
+        // 1ms + 2ms of backoff were slept.
+        assert_eq!(stats.backoff_ns(), 3_000_000);
+        // Interrupted reads never count as retries.
+        let mut tail = TailReader::new(
+            Flaky {
+                failures: 4,
+                kind: std::io::ErrorKind::Interrupted,
+                data: b"x",
+            },
+            Duration::from_millis(1),
+            Some(Duration::ZERO),
+        );
+        let stats = tail.stats();
+        let n = tail.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"x");
+        assert_eq!(stats.retries(), 0);
+    }
+
+    #[test]
+    fn empty_polls_are_counted() {
+        let path = temp_path("polls");
+        std::fs::write(&path, "data\n").unwrap();
+        let mut tail = TailReader::new(
+            std::fs::File::open(&path).unwrap(),
+            Duration::from_millis(1),
+            Some(Duration::from_millis(20)),
+        );
+        let stats = tail.stats();
+        let mut buf = [0u8; 64];
+        while tail.read(&mut buf).unwrap() != 0 {}
+        assert!(stats.empty_polls() > 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

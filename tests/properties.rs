@@ -112,8 +112,72 @@ fn edges_via_sessions(
     .collect()
 }
 
+/// One sorted edge list (or rendered error) per miner.
+type MinerEdges = Vec<Result<Vec<(String, String)>, String>>;
+
+/// The same miners through sessions all sharing an **enabled** metrics
+/// registry. Returns the per-miner edge lists plus the registry, so the
+/// caller can both compare output and check the samples collected.
+fn edges_via_metered_sessions(
+    log: &WorkflowLog,
+    options: &MinerOptions,
+    threads: usize,
+) -> (MinerEdges, procmine::mine::Registry) {
+    use procmine::mine::{
+        mine_auto_in, mine_cyclic_in, mine_general_dag_in, mine_special_dag_in, IncrementalMiner,
+        MineSession, Registry,
+    };
+    let reg = Registry::new();
+    let session = || MineSession::new().with_obs(reg.clone());
+    let mut inc = IncrementalMiner::new(options.clone());
+    inc.absorb_log(log).expect("logs here have no repeats");
+    let edges = [
+        mine_special_dag_in(&mut session(), log, options),
+        mine_general_dag_in(&mut session(), log, options),
+        mine_cyclic_in(&mut session(), log, options),
+        mine_auto_in(&mut session(), log, options).map(|(m, _)| m),
+        mine_general_dag_in(&mut session().with_threads(threads), log, options),
+        inc.model_in(&mut session()),
+    ]
+    .into_iter()
+    .map(|r| {
+        r.map(|m| owned_sorted_edges(&m))
+            .map_err(|e| format!("{e:?}"))
+    })
+    .collect();
+    (edges, reg)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metered_miners_match_unmetered_output(log in arb_log(10), threads in 2usize..6) {
+        // An enabled metrics registry must never steer mining: models
+        // (and errors) are identical with metrics on or off, and the
+        // shared registry actually collected stage-latency samples
+        // whenever any miner succeeded.
+        use procmine::mine::Stage;
+        let options = MinerOptions::default();
+        let (metered, reg) = edges_via_metered_sessions(&log, &options, threads);
+        let plain = edges_via_plain(&log, &options, threads);
+        let any_ok = plain.iter().any(Result::is_ok);
+        prop_assert_eq!(plain, metered);
+        if any_ok {
+            let samples: u64 = [
+                Stage::Lower,
+                Stage::CountPairs,
+                Stage::Prune,
+                Stage::SccRemoval,
+                Stage::Reduce,
+                Stage::Assemble,
+            ]
+            .into_iter()
+            .map(|s| reg.stage_latency(s).snapshot().count)
+            .sum();
+            prop_assert!(samples > 0, "no stage-latency samples recorded");
+        }
+    }
 
     #[test]
     fn mined_models_are_conformal(log in arb_log(12)) {
