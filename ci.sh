@@ -140,6 +140,14 @@ echo "==> checkpoint overhead gate: stream.checkpoint within 1.1x of stream.mine
 cargo run --release -q -p procmine-bench --bin perfsuite -- \
   --assert-checkpoint-ratio BENCH_perfsuite.json
 
+# Columnar data-layer gate: on the committed baseline, the columnar
+# mine.general path must sit at or below parity with the retained
+# nested-Vec reference implementation (mine.columnar_ratio <= 1000
+# milli-units) — the layout refactor may never cost throughput.
+echo "==> columnar layout gate: mine.general within 1.0x of mine.legacy"
+cargo run --release -q -p procmine-bench --bin perfsuite -- \
+  --assert-columnar-ratio BENCH_perfsuite.json
+
 # Metrics lane: run the follow pipeline with cadenced --metrics-every
 # exports over a case-boundary prefix of a log and then the full log
 # (the second run reprocesses a superset from scratch, so every counter

@@ -14,6 +14,7 @@
 //! perfsuite [--smoke] [--out FILE] [--repeats N] [--compare OLD.json]
 //!           [--threshold-pct N] [--check-schema FILE] [--normalize]
 //!           [--assert-xes-ratio FILE] [--assert-checkpoint-ratio FILE]
+//!           [--assert-columnar-ratio FILE]
 //! ```
 //!
 //! `--normalize` adds a `ratio_vs_general` field to every cell: its
@@ -31,6 +32,14 @@
 //! cadenced atomic checkpoint saves, amortized per pass) exceeds
 //! [`CHECKPOINT_RATIO_LIMIT`] times its `stream.mine` median.
 //!
+//! `--assert-columnar-ratio FILE` is the saved-report gate for the
+//! columnar data-layer refactor: every scenario's `mine.columnar_ratio`
+//! cell (the `mine.general` median over the `mine.legacy` median, in
+//! milli-units — 1000 is parity) must stay at or below
+//! [`COLUMNAR_RATIO_MILLI_LIMIT`], i.e. the columnar path may never be
+//! slower than the retained nested-`Vec` reference implementation on
+//! the §8.1 workloads.
+//!
 //! Exit status: 0 on success, 1 on usage or I/O errors, 2 when
 //! `--compare` found regressions, 3 when the disabled-tracer overhead
 //! guard tripped (a default-session `mine_general_dag_in` call
@@ -40,13 +49,15 @@
 //! above the plain follow pipeline, 6 when the disabled-registry
 //! overhead guard tripped (a session explicitly carrying
 //! `Registry::disabled()` measurably slower than the plain entry
-//! point).
+//! point), 7 when `--assert-columnar-ratio` found the columnar miner
+//! slower than the legacy layout.
 
 use procmine_bench::perf::{
     compare, max_stage_ratio, normalize, summarize, Cell, RegistryOverhead, Report, TraceOverhead,
 };
 use procmine_bench::synthetic_workload;
 use procmine_core::conformance::check_conformance;
+use procmine_core::reference::mine_general_reference;
 use procmine_core::{
     mine_auto, mine_cyclic, mine_general_dag, mine_general_dag_in, mine_general_dag_parallel,
     FollowCheckpoint, IncrementalMiner, MineSession, MinerOptions, OnlineMiner, OptionsFingerprint,
@@ -90,6 +101,13 @@ const XES_RATIO_LIMIT: f64 = 2.0;
 /// spread over enough consumed events to stay inside 10%.
 const CHECKPOINT_RATIO_LIMIT: f64 = 1.10;
 
+/// `--assert-columnar-ratio` limit, in milli-units: the
+/// `mine.columnar_ratio` cell (columnar `mine.general` median × 1000 /
+/// `mine.legacy` median) must not exceed 1000 — the columnar layout
+/// must be at least at parity with the nested-`Vec` reference path it
+/// replaced.
+const COLUMNAR_RATIO_MILLI_LIMIT: u64 = 1000;
+
 /// [`MICRO_THREADS`] clamped to the host's cores: oversubscribing a
 /// smaller machine only measures context-switch thrash, so on (say) a
 /// single-core runner the parallel micro cells exercise the kernels'
@@ -109,6 +127,7 @@ struct Args {
     check_schema: Option<String>,
     assert_xes_ratio: Option<String>,
     assert_checkpoint_ratio: Option<String>,
+    assert_columnar_ratio: Option<String>,
     normalize: bool,
 }
 
@@ -122,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
         check_schema: None,
         assert_xes_ratio: None,
         assert_checkpoint_ratio: None,
+        assert_columnar_ratio: None,
         normalize: false,
     };
     let mut repeats: Option<usize> = None;
@@ -150,6 +170,9 @@ fn parse_args() -> Result<Args, String> {
             "--assert-xes-ratio" => args.assert_xes_ratio = Some(value("--assert-xes-ratio")?),
             "--assert-checkpoint-ratio" => {
                 args.assert_checkpoint_ratio = Some(value("--assert-checkpoint-ratio")?);
+            }
+            "--assert-columnar-ratio" => {
+                args.assert_columnar_ratio = Some(value("--assert-columnar-ratio")?);
             }
             "--normalize" => args.normalize = true,
             other => return Err(format!("unknown argument `{other}`")),
@@ -193,13 +216,37 @@ fn sequences(log: &WorkflowLog) -> Vec<Vec<String>> {
 fn workload_cells(scenario: &str, log: &WorkflowLog, repeats: usize, cells: &mut Vec<Cell>) {
     let options = MinerOptions::default();
 
-    cells.push(summarize(
+    let general = summarize(
         scenario,
         "mine.general",
         time_runs(repeats, || {
             mine_general_dag(log, &options).expect("mining succeeds");
         }),
-    ));
+    );
+    // The retained nested-`Vec` implementation the columnar refactor
+    // replaced: same Algorithm 2 semantics (pinned by the differential
+    // suite), pre-refactor data layout.
+    let legacy = summarize(
+        scenario,
+        "mine.legacy",
+        time_runs(repeats, || {
+            mine_general_reference(log, &options).expect("mining succeeds");
+        }),
+    );
+    // Derived cell in milli-units (1000 == parity) so the committed
+    // baseline records how the columnar layout compares to the legacy
+    // one, and `--assert-columnar-ratio` can gate on it.
+    let milli = |num: u64, den: u64| num.saturating_mul(1000) / den.max(1);
+    cells.push(Cell {
+        scenario: scenario.to_string(),
+        stage: "mine.columnar_ratio".to_string(),
+        median_ns: milli(general.median_ns, legacy.median_ns),
+        p95_ns: milli(general.p95_ns, legacy.p95_ns),
+        runs: repeats,
+        ratio_vs_general: None,
+    });
+    cells.push(general);
+    cells.push(legacy);
     cells.push(summarize(
         scenario,
         "mine.auto",
@@ -572,6 +619,36 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "{path}: stream.checkpoint within {worst:.2}x of stream.mine \
              (limit {CHECKPOINT_RATIO_LIMIT}x)"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = &args.assert_columnar_ratio {
+        let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = Report::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        let worst = report
+            .cells
+            .iter()
+            .filter(|c| c.stage == "mine.columnar_ratio")
+            .map(|c| c.median_ns)
+            .max();
+        let Some(worst) = worst else {
+            return Err(format!(
+                "{path}: no scenario carries a mine.columnar_ratio cell"
+            ));
+        };
+        if worst > COLUMNAR_RATIO_MILLI_LIMIT {
+            eprintln!(
+                "FAIL: columnar mine.general runs {:.2}x mine.legacy in {path} (limit {:.2}x)",
+                worst as f64 / 1000.0,
+                COLUMNAR_RATIO_MILLI_LIMIT as f64 / 1000.0
+            );
+            return Ok(ExitCode::from(7));
+        }
+        println!(
+            "{path}: columnar mine.general within {:.2}x of mine.legacy (limit {:.2}x)",
+            worst as f64 / 1000.0,
+            COLUMNAR_RATIO_MILLI_LIMIT as f64 / 1000.0
         );
         return Ok(ExitCode::SUCCESS);
     }

@@ -346,6 +346,13 @@ fn stats_json_matches_mined_model() {
             "missing stage {stage}"
         );
     }
+    // The marking pass recycles its arena once per execution (reset
+    // runs before each per-execution alloc), so the arena section must
+    // report one reset per scanned execution and nonzero bytes.
+    let arena = json.get("arena").expect("arena object");
+    assert_eq!(arena.get("resets").unwrap().as_u64(), Some(200));
+    assert!(arena.get("bytes").unwrap().as_u64().unwrap() > 0);
+    assert!(arena.get("high_water_bytes").unwrap().as_u64().unwrap() > 0);
 }
 
 #[test]

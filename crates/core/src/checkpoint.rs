@@ -336,11 +336,23 @@ impl FollowCheckpoint {
 impl IncrementalMiner {
     /// Exports the miner's full resumable state.
     pub fn export_state(&self) -> MinerState {
+        // The wire format keeps the original nested (per-execution)
+        // layout, so checkpoints written before the columnar refactor
+        // stay readable; the columns are re-nested here and re-flattened
+        // in `from_state`.
+        let execs = (0..self.execs.exec_count())
+            .map(|i| {
+                let e = self.execs.exec(i);
+                (0..e.len())
+                    .map(|j| (e.activities[j] as usize, e.starts[j], e.ends[j]))
+                    .collect()
+            })
+            .collect();
         MinerState {
             activities: self.table.names().to_vec(),
             ordered: self.obs.ordered.clone(),
             overlap: self.obs.overlap.clone(),
-            execs: self.execs.clone(),
+            execs,
             events: self.events,
         }
     }
@@ -394,6 +406,11 @@ impl IncrementalMiner {
                 state.events
             )));
         }
+        let mut execs =
+            procmine_log::EventColumns::with_capacity(state.execs.len(), events as usize);
+        for exec in &state.execs {
+            execs.push_exec(exec.iter().map(|&(v, s, e)| (v as u32, s, e)));
+        }
         Ok(IncrementalMiner {
             options,
             table,
@@ -401,7 +418,7 @@ impl IncrementalMiner {
                 ordered: state.ordered,
                 overlap: state.overlap,
             },
-            execs: state.execs,
+            execs,
             events,
         })
     }

@@ -18,7 +18,7 @@ use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
-use procmine_log::WorkflowLog;
+use procmine_log::{EventColumns, WorkflowLog};
 
 /// Mines a process graph that may contain cycles (Algorithm 3). With
 /// every activity repeating at most `k` times per execution, runs in
@@ -66,7 +66,7 @@ pub fn mine_cyclic_in<S: MetricsSink>(
     // Instance vertex space: activity a gets `max_occ[a]` consecutive
     // vertices starting at offset[a]. Lowering the log to instance
     // vertices (steps 1–3) is one pass.
-    let (execs, activity_of, total) =
+    let (cols, activity_of, total) =
         run_stage(Stage::Lower, deadline, sink, tracer, reg, |_, _| {
             let mut max_occ = vec![0usize; n];
             for exec in log.executions() {
@@ -88,25 +88,24 @@ pub fn mine_cyclic_in<S: MetricsSink>(
                 activity_of[offset[a]..offset[a + 1]].fill(a);
             }
 
-            let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+            let events = log.executions().iter().map(|e| e.len()).sum();
+            let mut cols = EventColumns::with_capacity(log.len(), events);
             for e in log.executions() {
                 deadline.check()?;
                 let labeled = e.labeled_sequence();
-                execs.push(
-                    e.instances()
-                        .iter()
-                        .zip(labeled)
-                        .map(|(inst, (a, occ))| {
-                            (offset[a.index()] + occ as usize, inst.start, inst.end)
-                        })
-                        .collect(),
-                );
+                cols.push_exec(e.instances().iter().zip(labeled).map(|(inst, (a, occ))| {
+                    (
+                        (offset[a.index()] + occ as usize) as u32,
+                        inst.start,
+                        inst.end,
+                    )
+                }));
             }
-            Ok((execs, activity_of, total))
+            Ok((cols, activity_of, total))
         })?;
     let vlog = VertexLog {
         n: total,
-        execs: &execs,
+        cols: &cols,
     };
 
     // Steps 4–7: the shared pipeline.

@@ -32,20 +32,23 @@ use crate::session::{run_stage, MineSession};
 use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
-use procmine_graph::{scc, AdjMatrix, BitSet, NodeId};
-use procmine_log::WorkflowLog;
+use procmine_graph::{scc, words, AdjMatrix, Arena, ArenaStats, NodeId};
+use procmine_log::{EventColumns, ExecColumns, WorkflowLog};
 
-/// A log lowered to dense vertex ids: one entry per execution, each a
-/// start-time-sorted list of `(vertex, start, end)`. For Algorithm 2 the
-/// vertices are activities; for Algorithm 3 they are activity
-/// *instances*. Each vertex occurs at most once per execution.
+/// A log lowered to dense vertex ids, in columnar form: each
+/// execution's start-time-sorted `(vertex, start, end)` triples live in
+/// the shared [`EventColumns`] buffers, delimited by the CSR offsets.
+/// For Algorithm 2 the vertices are activities; for Algorithm 3 they
+/// are activity *instances*. Each vertex occurs at most once per
+/// execution.
 ///
-/// Borrows the lowered executions so long-lived owners (the incremental
+/// Borrows the lowered columns so long-lived owners (the incremental
 /// miner retains them across batches) can run the finishing steps
 /// without cloning the whole log per snapshot.
+#[derive(Clone, Copy)]
 pub(crate) struct VertexLog<'a> {
     pub n: usize,
-    pub execs: &'a [Vec<(usize, u64, u64)>],
+    pub cols: &'a EventColumns,
 }
 
 /// Output of the shared pipeline: the final edge matrix plus the step-2
@@ -110,13 +113,13 @@ pub(crate) fn count_ordered_pairs<S: MetricsSink>(
 ) -> Result<OrderObservations, MineError> {
     let n = vlog.n;
     let mut obs = OrderObservations::new(n);
-    for exec in vlog.execs {
+    for i in 0..vlog.cols.exec_count() {
         deadline.check()?;
-        count_one_execution(n, exec, &mut obs);
+        count_one_execution(n, vlog.cols.exec(i), &mut obs);
     }
     if S::ENABLED {
-        let scanned = vlog.execs.len() as u64;
-        let pairs = pair_observations(vlog.execs);
+        let scanned = vlog.cols.exec_count() as u64;
+        let pairs = pair_observations(vlog.cols);
         sink.record(|m| {
             m.executions_scanned += scanned;
             m.pairs_counted += pairs;
@@ -125,29 +128,35 @@ pub(crate) fn count_ordered_pairs<S: MetricsSink>(
     Ok(obs)
 }
 
-/// Pair observations step 2 makes over `execs`: `k·(k−1)/2` per
-/// execution of length `k`.
-pub(crate) fn pair_observations(execs: &[Vec<(usize, u64, u64)>]) -> u64 {
-    execs
-        .iter()
-        .map(|e| {
-            let k = e.len() as u64;
+/// Pair observations step 2 makes over the whole columnar log:
+/// `k·(k−1)/2` per execution of length `k`.
+pub(crate) fn pair_observations(cols: &EventColumns) -> u64 {
+    pair_observations_range(cols, 0, cols.exec_count())
+}
+
+/// [`pair_observations`] restricted to executions `lo..hi` — the
+/// parallel counting workers report their own chunk's total.
+pub(crate) fn pair_observations_range(cols: &EventColumns, lo: usize, hi: usize) -> u64 {
+    cols.offsets()[lo..=hi]
+        .windows(2)
+        .map(|w| {
+            let k = (w[1] - w[0]) as u64;
             k * k.saturating_sub(1) / 2
         })
         .sum()
 }
 
 /// Adds one execution's ordered and overlapping pairs into `obs`.
-pub(crate) fn count_one_execution(
-    n: usize,
-    exec: &[(usize, u64, u64)],
-    obs: &mut OrderObservations,
-) {
-    for (i, &(u, _, end_u)) in exec.iter().enumerate() {
-        for &(v, start_v, _) in &exec[i + 1..] {
+pub(crate) fn count_one_execution(n: usize, exec: ExecColumns<'_>, obs: &mut OrderObservations) {
+    let k = exec.len();
+    for i in 0..k {
+        let u = exec.activities[i] as usize;
+        let end_u = exec.ends[i];
+        for j in i + 1..k {
+            let v = exec.activities[j] as usize;
             // Instances are start-sorted: the later entry can only
             // follow or overlap, never wholly precede.
-            if end_u < start_v {
+            if end_u < exec.starts[j] {
                 obs.ordered[u * n + v] += 1;
             } else {
                 obs.overlap[u * n + v] += 1;
@@ -157,42 +166,28 @@ pub(crate) fn count_one_execution(
     }
 }
 
-/// Reusable scratch buffers for the per-execution marking pass. The
-/// pass needs two k×k bitset workspaces per execution; allocating them
-/// fresh for every execution dominated the runtime at Table 1 scale, so
-/// they are sized once (to the longest execution seen) and cleared
-/// between uses.
+/// Reusable scratch for the per-execution marking pass. The pass needs
+/// two k×k bit-matrix workspaces per execution; a bump [`Arena`] hands
+/// both out as one zeroed word block that is recycled (not freed)
+/// between executions, so the whole marking pass performs a handful of
+/// allocations total and the arena's statistics become the
+/// `procmine_arena_*` telemetry.
 pub(crate) struct MarkScratch {
-    sub: Vec<BitSet>,
-    desc: Vec<BitSet>,
+    arena: Arena,
     redundant: Vec<usize>,
 }
 
 impl MarkScratch {
     pub fn new() -> Self {
         MarkScratch {
-            sub: Vec::new(),
-            desc: Vec::new(),
+            arena: Arena::new(),
             redundant: Vec::new(),
         }
     }
 
-    /// Ensures capacity for executions of length `k` and clears the
-    /// first `k` rows.
-    fn prepare(&mut self, k: usize) {
-        let cap = self.sub.first().map_or(0, BitSet::capacity);
-        if self.sub.len() < k || cap < k {
-            let size = k.max(cap).max(self.sub.len());
-            self.sub = vec![BitSet::new(size); size];
-            self.desc = vec![BitSet::new(size); size];
-        } else {
-            for row in &mut self.sub[..k] {
-                row.clear();
-            }
-            for row in &mut self.desc[..k] {
-                row.clear();
-            }
-        }
+    /// Cumulative allocation telemetry for this scratch's arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 }
 
@@ -200,51 +195,59 @@ impl MarkScratch {
 /// `g` whose endpoints are ordered in this execution), take its
 /// transitive reduction (Appendix A, over positions — start order is a
 /// topological order), and mark the surviving edges.
+///
+/// The induced subgraph `sub` and descendant DP table `desc` are packed
+/// bit rows of `wpr = ceil(k/64)` words, carved from one arena block.
 pub(crate) fn mark_one_execution(
     g: &AdjMatrix,
-    exec: &[(usize, u64, u64)],
+    exec: ExecColumns<'_>,
     marked: &mut AdjMatrix,
     scratch: &mut MarkScratch,
 ) {
     let k = exec.len();
-    scratch.prepare(k);
-    let sub = &mut scratch.sub;
-    let desc = &mut scratch.desc;
+    let wpr = k.div_ceil(u64::BITS as usize);
+    scratch.arena.reset();
+    let (sub, desc) = scratch.arena.alloc(2 * k * wpr).split_at_mut(k * wpr);
 
     // Induced subgraph over positions 0..k: edge i→j iff the activity
     // pair is an edge of g AND instance i terminates before instance j
     // starts in this execution.
     for i in 0..k {
-        let (u, _, end_u) = exec[i];
-        for (j, &(v, start_v, _)) in exec.iter().enumerate().skip(i + 1) {
-            if end_u < start_v && g.has_edge(u, v) {
-                sub[i].insert(j);
+        let u = exec.activities[i] as usize;
+        let end_u = exec.ends[i];
+        let row = &mut sub[i * wpr..(i + 1) * wpr];
+        for j in i + 1..k {
+            if end_u < exec.starts[j] && g.has_edge(u, exec.activities[j] as usize) {
+                words::insert(row, j);
             }
         }
     }
     // Transitive reduction in reverse position order (Appendix A).
     for i in (0..k).rev() {
-        // desc[i] := union of descendants of i's successors.
-        let (before, after) = desc.split_at_mut(i + 1);
-        let di = &mut before[i];
-        for s in sub[i].iter() {
-            di.union_with(&after[s - i - 1]); // successors have j > i
+        // desc row i := union of descendants of i's successors.
+        let (before, after) = desc.split_at_mut((i + 1) * wpr);
+        let di = &mut before[i * wpr..];
+        let sub_i = &sub[i * wpr..(i + 1) * wpr];
+        for s in words::ones(sub_i) {
+            // Successors have s > i, so their desc rows sit in `after`.
+            words::union(di, &after[(s - i - 1) * wpr..(s - i) * wpr]);
         }
         scratch.redundant.clear();
         scratch
             .redundant
-            .extend(sub[i].iter().filter(|&s| di.contains(s)));
+            .extend(words::ones(sub_i).filter(|&s| words::contains(di, s)));
+        let sub_i = &mut sub[i * wpr..(i + 1) * wpr];
         for &s in &scratch.redundant {
-            sub[i].remove(s);
+            words::remove(sub_i, s);
         }
-        for s in sub[i].iter() {
-            di.insert(s);
+        for s in words::ones(&sub[i * wpr..(i + 1) * wpr]) {
+            words::insert(di, s);
         }
     }
     // Mark surviving edges at the vertex level.
     for i in 0..k {
-        for j in sub[i].iter() {
-            marked.add_edge(exec[i].0, exec[j].0);
+        for j in words::ones(&sub[i * wpr..(i + 1) * wpr]) {
+            marked.add_edge(exec.activities[i] as usize, exec.activities[j] as usize);
         }
     }
 }
@@ -253,6 +256,36 @@ impl Default for MarkScratch {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Folds one marking pass's arena statistics into the session's sink
+/// and the registry's `procmine_arena_bytes` / `procmine_arena_resets`
+/// counters (satellite telemetry for the arena-backed scratch).
+pub(crate) fn record_arena_telemetry<S: MetricsSink>(
+    stats: &ArenaStats,
+    sink: &mut S,
+    reg: &Registry,
+) {
+    if S::ENABLED {
+        let st = *stats;
+        sink.record(|m| {
+            m.arena_bytes += st.bytes_allocated;
+            m.arena_resets += st.resets;
+            m.arena_high_water_bytes = m.arena_high_water_bytes.max(st.high_water_bytes);
+        });
+    }
+    reg.counter(
+        "procmine_arena_bytes",
+        "Bytes handed out by mining scratch arenas",
+        &[],
+    )
+    .add(stats.bytes_allocated);
+    reg.counter(
+        "procmine_arena_resets",
+        "Mining scratch arena recycle events",
+        &[],
+    )
+    .add(stats.resets);
 }
 
 /// Steps 3–4 of Algorithm 2 as two stages: [`Stage::Prune`] thresholds
@@ -354,13 +387,14 @@ pub(crate) fn finish_from_counts<S: MetricsSink>(
     let marked = if threads > 1 {
         crate::parallel::parallel_mark(vlog, &g, threads, deadline, sink, tracer, reg)?
     } else {
-        run_stage(Stage::Reduce, deadline, sink, tracer, reg, |_, _| {
+        run_stage(Stage::Reduce, deadline, sink, tracer, reg, |sink, _| {
             let mut marked = AdjMatrix::new(n);
             let mut scratch = MarkScratch::new();
-            for exec in vlog.execs {
+            for i in 0..vlog.cols.exec_count() {
                 deadline.check()?;
-                mark_one_execution(&g, exec, &mut marked, &mut scratch);
+                mark_one_execution(&g, vlog.cols.exec(i), &mut marked, &mut scratch);
             }
+            record_arena_telemetry(&scratch.arena_stats(), sink, reg);
             Ok(marked)
         })?
     };
@@ -444,21 +478,21 @@ pub fn mine_general_dag_in<S: MetricsSink>(
     }
 
     let n = log.activities().len();
-    let execs = run_stage(Stage::Lower, deadline, sink, tracer, reg, |_, _| {
-        let mut execs: Vec<Vec<(usize, u64, u64)>> = Vec::with_capacity(log.len());
+    let cols = run_stage(Stage::Lower, deadline, sink, tracer, reg, |_, _| {
+        let events = log.executions().iter().map(|e| e.len()).sum();
+        let mut cols = EventColumns::with_capacity(log.len(), events);
         for e in log.executions() {
             deadline.check()?;
-            execs.push(
+            cols.push_exec(
                 e.instances()
                     .iter()
-                    .map(|i| (i.activity.index(), i.start, i.end))
-                    .collect(),
+                    .map(|i| (i.activity.index() as u32, i.start, i.end)),
             );
         }
-        Ok(execs)
+        Ok(cols)
     })?;
 
-    let vlog = VertexLog { n, execs: &execs };
+    let vlog = VertexLog { n, cols: &cols };
     let result = mine_vertex_log(
         &vlog,
         options.noise_threshold,

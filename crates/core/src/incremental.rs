@@ -27,7 +27,7 @@ use crate::telemetry::{MetricsSink, Stage};
 use crate::trace::Tracer;
 use crate::{MineError, MinedModel, MinerOptions};
 use procmine_graph::NodeId;
-use procmine_log::{ActivityTable, Execution, WorkflowLog};
+use procmine_log::{ActivityTable, EventColumns, Execution, WorkflowLog};
 
 /// A miner that absorbs executions over time (Algorithm 2, incremental
 /// step-2 counts).
@@ -38,9 +38,10 @@ pub struct IncrementalMiner {
     /// Row-major `n × n` ordered-pair and overlap counts over the
     /// *current* table.
     pub(crate) obs: OrderObservations,
-    /// Lowered executions (dense vertex, start, end), kept for the
-    /// marking pass (steps 5–6 need the executions themselves).
-    pub(crate) execs: Vec<Vec<(usize, u64, u64)>>,
+    /// Lowered executions (dense vertex, start, end) in columnar form,
+    /// kept for the marking pass (steps 5–6 need the executions
+    /// themselves).
+    pub(crate) execs: EventColumns,
     /// Total activity instances absorbed — checked against
     /// [`crate::Limits::max_events`] before each absorb.
     pub(crate) events: u64,
@@ -53,7 +54,7 @@ impl IncrementalMiner {
             options,
             table: ActivityTable::new(),
             obs: OrderObservations::new(0),
-            execs: Vec::new(),
+            execs: EventColumns::new(),
             events: 0,
         }
     }
@@ -99,7 +100,7 @@ impl IncrementalMiner {
 
     /// Number of executions absorbed.
     pub fn executions(&self) -> usize {
-        self.execs.len()
+        self.execs.exec_count()
     }
 
     /// The activity table accumulated so far.
@@ -112,31 +113,33 @@ impl IncrementalMiner {
     pub fn absorb_sequence<S: AsRef<str>>(&mut self, names: &[S]) -> Result<(), MineError> {
         if names.is_empty() {
             return Err(MineError::EmptyExecution {
-                execution: format!("incremental-{}", self.execs.len()),
+                execution: format!("incremental-{}", self.execs.exec_count()),
             });
         }
         let mut seen = std::collections::HashSet::new();
         if names.iter().any(|n| !seen.insert(n.as_ref())) {
             return Err(MineError::RepeatsRequireCyclicMiner {
-                execution: format!("incremental-{}", self.execs.len()),
+                execution: format!("incremental-{}", self.execs.exec_count()),
             });
         }
         let new_names = seen.iter().filter(|n| self.table.id(n).is_none()).count();
         self.check_absorb(
-            &format!("incremental-{}", self.execs.len()),
+            &format!("incremental-{}", self.execs.exec_count()),
             names.len(),
             new_names,
         )?;
         let old_n = self.table.len();
-        let lowered: Vec<(usize, u64, u64)> = names
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (self.table.intern(s.as_ref()).index(), i as u64, i as u64))
-            .collect();
+        let table = &mut self.table;
+        self.execs.push_exec(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (table.intern(s.as_ref()).index() as u32, i as u64, i as u64)),
+        );
         self.grow_to(self.table.len(), old_n);
-        count_one_execution(self.table.len(), &lowered, &mut self.obs);
-        self.events += lowered.len() as u64;
-        self.execs.push(lowered);
+        let last = self.execs.exec_count() - 1;
+        count_one_execution(self.table.len(), self.execs.exec(last), &mut self.obs);
+        self.events += names.len() as u64;
         Ok(())
     }
 
@@ -165,21 +168,18 @@ impl IncrementalMiner {
             .count();
         self.check_absorb(&exec.id, exec.len(), new_names)?;
         let old_n = self.table.len();
-        let lowered: Vec<(usize, u64, u64)> = exec
-            .instances()
-            .iter()
-            .map(|i| {
-                (
-                    self.table.intern(source_table.name(i.activity)).index(),
-                    i.start,
-                    i.end,
-                )
-            })
-            .collect();
+        let table = &mut self.table;
+        self.execs.push_exec(exec.instances().iter().map(|i| {
+            (
+                table.intern(source_table.name(i.activity)).index() as u32,
+                i.start,
+                i.end,
+            )
+        }));
         self.grow_to(self.table.len(), old_n);
-        count_one_execution(self.table.len(), &lowered, &mut self.obs);
-        self.events += lowered.len() as u64;
-        self.execs.push(lowered);
+        let last = self.execs.exec_count() - 1;
+        count_one_execution(self.table.len(), self.execs.exec(last), &mut self.obs);
+        self.events += exec.len() as u64;
         Ok(())
     }
 
@@ -253,10 +253,10 @@ impl IncrementalMiner {
         let n = self.table.len();
         let vlog = VertexLog {
             n,
-            execs: &self.execs,
+            cols: &self.execs,
         };
         if S::ENABLED {
-            let scanned = self.execs.len() as u64;
+            let scanned = self.execs.exec_count() as u64;
             let pairs = pair_observations(&self.execs);
             sink.record(|m| {
                 m.executions_scanned += scanned;

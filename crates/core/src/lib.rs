@@ -73,6 +73,7 @@ pub mod follows;
 pub mod metrics;
 pub mod noise;
 pub mod obs;
+pub mod reference;
 pub mod splits;
 pub mod telemetry;
 pub mod trace;

@@ -21,8 +21,8 @@
 //! binary).
 
 use crate::general_dag::{
-    count_one_execution, mark_one_execution, pair_observations, MarkScratch, OrderObservations,
-    VertexLog,
+    count_one_execution, mark_one_execution, pair_observations_range, record_arena_telemetry,
+    MarkScratch, OrderObservations, VertexLog,
 };
 use crate::limits::Deadline;
 use crate::obs::Registry;
@@ -145,29 +145,31 @@ pub(crate) fn parallel_count<S: MetricsSink>(
     let _span = tracer.span_cat(Stage::CountPairs.span_name(), "miner");
     deadline.check()?;
     let reg_started = reg.start();
+    let vlog = *vlog;
     let n = vlog.n;
-    let chunk = vlog.execs.len().div_ceil(threads).max(1);
+    let m_execs = vlog.cols.exec_count();
+    let chunk = m_execs.div_ceil(threads).max(1);
     let wall = WallStage::start::<S>(Stage::CountPairs);
     let mut total = OrderObservations::new(n);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = vlog
-            .execs
-            .chunks(chunk)
-            .map(|execs| {
+        let handles: Vec<_> = (0..m_execs)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(m_execs);
                 scope.spawn(
                     move || -> Result<(OrderObservations, MinerMetrics), MineError> {
                         let buf = tracer.worker();
                         let _span = buf.span_cat("count_pairs.worker", "miner");
                         let started = stage_start::<S>();
                         let mut local = OrderObservations::new(n);
-                        for exec in execs {
+                        for i in lo..hi {
                             deadline.check()?;
-                            count_one_execution(n, exec, &mut local);
+                            count_one_execution(n, vlog.cols.exec(i), &mut local);
                         }
                         let mut lm = MinerMetrics::new();
                         if S::ENABLED {
-                            lm.executions_scanned = execs.len() as u64;
-                            lm.pairs_counted = pair_observations(execs);
+                            lm.executions_scanned = (hi - lo) as u64;
+                            lm.pairs_counted = pair_observations_range(vlog.cols, lo, hi);
                             stage_end(&mut lm, Stage::CountPairs, started);
                         }
                         Ok((local, lm))
@@ -206,39 +208,50 @@ pub(crate) fn parallel_mark<S: MetricsSink>(
     let _span = tracer.span_cat(Stage::Reduce.span_name(), "miner");
     deadline.check()?;
     let reg_started = reg.start();
+    let vlog = *vlog;
     let n = vlog.n;
-    let chunk = vlog.execs.len().div_ceil(threads).max(1);
+    let m_execs = vlog.cols.exec_count();
+    let chunk = m_execs.div_ceil(threads).max(1);
     let wall = WallStage::start::<S>(Stage::Reduce);
     let mut total = AdjMatrix::new(n);
+    let mut arena_total = procmine_graph::ArenaStats::default();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = vlog
-            .execs
-            .chunks(chunk)
-            .map(|execs| {
-                scope.spawn(move || -> Result<(AdjMatrix, MinerMetrics), MineError> {
-                    let buf = tracer.worker();
-                    let _span = buf.span_cat("transitive_reduction.worker", "miner");
-                    let started = stage_start::<S>();
-                    let mut local = AdjMatrix::new(n);
-                    let mut scratch = MarkScratch::new();
-                    for exec in execs {
-                        deadline.check()?;
-                        mark_one_execution(g, exec, &mut local, &mut scratch);
-                    }
-                    let mut lm = MinerMetrics::new();
-                    if S::ENABLED {
-                        stage_end(&mut lm, Stage::Reduce, started);
-                    }
-                    Ok((local, lm))
-                })
+        let handles: Vec<_> = (0..m_execs)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(m_execs);
+                scope.spawn(
+                    move || -> Result<((AdjMatrix, procmine_graph::ArenaStats), MinerMetrics), MineError> {
+                        let buf = tracer.worker();
+                        let _span = buf.span_cat("transitive_reduction.worker", "miner");
+                        let started = stage_start::<S>();
+                        let mut local = AdjMatrix::new(n);
+                        let mut scratch = MarkScratch::new();
+                        for i in lo..hi {
+                            deadline.check()?;
+                            mark_one_execution(g, vlog.cols.exec(i), &mut local, &mut scratch);
+                        }
+                        let mut lm = MinerMetrics::new();
+                        if S::ENABLED {
+                            stage_end(&mut lm, Stage::Reduce, started);
+                        }
+                        Ok(((local, scratch.arena_stats()), lm))
+                    },
+                )
             })
             .collect();
-        join_workers(handles, sink, |local: AdjMatrix| {
-            for (u, v) in local.edges() {
-                total.add_edge(u, v);
-            }
-        })
+        join_workers(
+            handles,
+            sink,
+            |(local, stats): (AdjMatrix, procmine_graph::ArenaStats)| {
+                for (u, v) in local.edges() {
+                    total.add_edge(u, v);
+                }
+                arena_total.merge(&stats);
+            },
+        )
     })?;
+    record_arena_telemetry(&arena_total, sink, reg);
     wall.finish(sink);
     reg.stage_latency(Stage::Reduce).observe_since(reg_started);
     Ok(total)

@@ -93,14 +93,28 @@ pub fn mine_special_dag_in<S: MetricsSink>(
     // the pair like a two-cycle.
     let obs = run_stage(Stage::CountPairs, deadline, sink, tracer, reg, |sink, _| {
         let mut obs = crate::general_dag::OrderObservations::new(n);
+        // Columnar scratch reused across executions: Algorithm 1 lowers
+        // while counting, so one execution's columns live here at a
+        // time.
+        let mut verts: Vec<u32> = Vec::with_capacity(n);
+        let mut starts: Vec<u64> = Vec::with_capacity(n);
+        let mut ends: Vec<u64> = Vec::with_capacity(n);
         for exec in log.executions() {
             deadline.check()?;
-            let lowered: Vec<(usize, u64, u64)> = exec
-                .instances()
-                .iter()
-                .map(|i| (i.activity.index(), i.start, i.end))
-                .collect();
-            crate::general_dag::count_one_execution(n, &lowered, &mut obs);
+            verts.clear();
+            starts.clear();
+            ends.clear();
+            for i in exec.instances() {
+                verts.push(i.activity.index() as u32);
+                starts.push(i.start);
+                ends.push(i.end);
+            }
+            let cols = procmine_log::ExecColumns {
+                activities: &verts,
+                starts: &starts,
+                ends: &ends,
+            };
+            crate::general_dag::count_one_execution(n, cols, &mut obs);
         }
         if S::ENABLED {
             let scanned = log.len() as u64;

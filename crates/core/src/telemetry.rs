@@ -137,6 +137,14 @@ pub struct MinerMetrics {
     /// Edges in the final mined graph (vertex-level, before the cyclic
     /// miner's instance merge).
     pub edges_final: u64,
+    /// Bytes handed out by the marking pass's scratch arenas (cumulative
+    /// across executions and threads; see `procmine_graph::arena`).
+    pub arena_bytes: u64,
+    /// Scratch-arena recycle events (one per marked execution).
+    pub arena_resets: u64,
+    /// Largest per-arena resident scratch footprint, in bytes (max
+    /// across threads, not summed — it bounds one worker's memory).
+    pub arena_high_water_bytes: u64,
 }
 
 impl MinerMetrics {
@@ -184,6 +192,11 @@ impl MinerMetrics {
         self.scc_count += other.scc_count;
         self.edges_dropped_by_reduction += other.edges_dropped_by_reduction;
         self.edges_final += other.edges_final;
+        self.arena_bytes += other.arena_bytes;
+        self.arena_resets += other.arena_resets;
+        self.arena_high_water_bytes = self
+            .arena_high_water_bytes
+            .max(other.arena_high_water_bytes);
     }
 
     /// The counters as `(name, value)` pairs in the stable reporting
@@ -216,9 +229,19 @@ impl MinerMetrics {
         Stage::ALL.map(|s| (s.name(), self.wall_nanos(s)))
     }
 
+    /// The arena-telemetry fields as `(name, value)` pairs in the
+    /// stable order of the `"arena"` JSON section.
+    pub fn arena_counters(&self) -> [(&'static str, u64); 3] {
+        [
+            ("bytes", self.arena_bytes),
+            ("resets", self.arena_resets),
+            ("high_water_bytes", self.arena_high_water_bytes),
+        ]
+    }
+
     /// Writes the JSON fields
-    /// `"counters":{…},"stages_ns":{…},"stages_wall_ns":{…}` (no
-    /// surrounding braces) so callers can splice additional sibling
+    /// `"counters":{…},"stages_ns":{…},"stages_wall_ns":{…},"arena":{…}`
+    /// (no surrounding braces) so callers can splice additional sibling
     /// fields — the CLI prepends its codec stats.
     pub fn write_json_fields(&self, out: &mut String) {
         write_json_object(out, "counters", &self.counters());
@@ -226,6 +249,8 @@ impl MinerMetrics {
         write_json_object(out, "stages_ns", &self.stages());
         out.push(',');
         write_json_object(out, "stages_wall_ns", &self.stages_wall());
+        out.push(',');
+        write_json_object(out, "arena", &self.arena_counters());
     }
 
     /// Machine-readable JSON report with a stable key order (suitable
@@ -584,6 +609,9 @@ mod tests {
         m.scc_count = 6;
         m.edges_dropped_by_reduction = 7;
         m.edges_final = 8;
+        m.arena_bytes = 64;
+        m.arena_resets = 2;
+        m.arena_high_water_bytes = 32;
         m
     }
 
@@ -615,7 +643,11 @@ mod tests {
              \"prune\":0,\
              \"scc_removal\":0,\
              \"reduce\":12,\
-             \"assemble\":0}}"
+             \"assemble\":0},\
+             \"arena\":{\
+             \"bytes\":64,\
+             \"resets\":2,\
+             \"high_water_bytes\":32}}"
         );
     }
 
@@ -752,7 +784,7 @@ mod tests {
         // The report must stay parseable JSON.
         let parsed: serde_json::Value = serde_json::from_str(&sample().to_json()).unwrap();
         match parsed {
-            serde_json::Value::Map(fields) => assert_eq!(fields.len(), 3),
+            serde_json::Value::Map(fields) => assert_eq!(fields.len(), 4),
             other => panic!("expected object, got {other:?}"),
         }
     }

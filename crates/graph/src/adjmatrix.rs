@@ -6,26 +6,40 @@
 //! A dense adjacency matrix makes every one of these operations an O(1)
 //! bit operation (or an O(n/64) row operation), which is what lets the
 //! miners hit the paper's O(n²m) bound with a small constant.
+//!
+//! The matrix stores all rows in **one contiguous `u64` buffer** of
+//! `n * ceil(n/64)` words, row-major. Compared to the previous
+//! one-heap-allocation-per-row layout this keeps the row-parallel
+//! kernels' partitions cache-adjacent, makes `clone()` a single
+//! `memcpy`, and lets whole-matrix scans run over a flat slice.
 
+use crate::words::WordOnes;
 use crate::{BitSet, DiGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+const BITS: usize = u64::BITS as usize;
+
 /// A directed graph over nodes `0..n` stored as a boolean adjacency
-/// matrix with bitset rows.
+/// matrix: one contiguous word buffer holding `n` bitset rows of
+/// `words_per_row = ceil(n/64)` words each.
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdjMatrix {
     n: usize,
-    rows: Vec<BitSet>,
+    words_per_row: usize,
+    words: Vec<u64>,
     edge_count: usize,
 }
 
 impl AdjMatrix {
-    /// Creates an edgeless graph with `n` nodes.
+    /// Creates an edgeless graph with `n` nodes. One allocation for the
+    /// whole matrix, sized to the real vertex count.
     pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(BITS);
         AdjMatrix {
             n,
-            rows: vec![BitSet::new(n); n],
+            words_per_row,
+            words: vec![0u64; n * words_per_row],
             edge_count: 0,
         }
     }
@@ -40,10 +54,35 @@ impl AdjMatrix {
         self.edge_count
     }
 
+    /// Words per bitset row: `ceil(n / 64)`.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The whole matrix as one flat row-major word slice of length
+    /// `n * words_per_row()` — the backing store the row-parallel
+    /// kernels partition.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[inline]
+    fn check(&self, u: usize, v: usize) {
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u}, {v}) out of range for AdjMatrix of {} nodes",
+            self.n
+        );
+    }
+
     /// Adds edge `(u, v)`; returns `true` if newly added.
     #[inline]
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        let added = self.rows[u].insert(v);
+        self.check(u, v);
+        let word = &mut self.words[u * self.words_per_row + v / BITS];
+        let mask = 1u64 << (v % BITS);
+        let added = *word & mask == 0;
+        *word |= mask;
         self.edge_count += added as usize;
         added
     }
@@ -51,7 +90,11 @@ impl AdjMatrix {
     /// Removes edge `(u, v)`; returns `true` if it was present.
     #[inline]
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
-        let removed = self.rows[u].remove(v);
+        self.check(u, v);
+        let word = &mut self.words[u * self.words_per_row + v / BITS];
+        let mask = 1u64 << (v % BITS);
+        let removed = *word & mask != 0;
+        *word &= !mask;
         self.edge_count -= removed as usize;
         removed
     }
@@ -59,22 +102,41 @@ impl AdjMatrix {
     /// Tests edge `(u, v)`.
     #[inline]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.rows[u].contains(v)
+        self.check(u, v);
+        self.words[u * self.words_per_row + v / BITS] & (1u64 << (v % BITS)) != 0
     }
 
-    /// The out-neighbour set of `u` as a bitset row.
-    pub fn row(&self, u: usize) -> &BitSet {
-        &self.rows[u]
+    /// The out-neighbour set of `u` as a row view into the contiguous
+    /// word buffer (`words_per_row()` words).
+    #[inline]
+    pub fn row_words(&self, u: usize) -> &[u64] {
+        &self.words[u * self.words_per_row..(u + 1) * self.words_per_row]
+    }
+
+    /// `self.row(u) |= words`, returning how many edges were newly
+    /// added (`edge_count` is kept in sync). `words` must span
+    /// [`Self::words_per_row`] words with no bits at `>= n` set — row
+    /// views of a same-sized matrix satisfy both by construction.
+    pub fn union_row_with_words(&mut self, u: usize, words: &[u64]) -> usize {
+        assert_eq!(words.len(), self.words_per_row, "row width mismatch");
+        let row = &mut self.words[u * self.words_per_row..(u + 1) * self.words_per_row];
+        let mut added = 0usize;
+        for (a, b) in row.iter_mut().zip(words) {
+            added += (b & !*a).count_ones() as usize;
+            *a |= b;
+        }
+        self.edge_count += added;
+        added
     }
 
     /// Iterates the out-neighbours of `u` in increasing order.
-    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
-        self.rows[u].iter()
+    pub fn successors(&self, u: usize) -> WordOnes<'_> {
+        crate::words::ones(self.row_words(u))
     }
 
     /// Iterates all edges in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |u| self.rows[u].iter().map(move |v| (u, v)))
+        (0..self.n).flat_map(move |u| self.successors(u).map(move |v| (u, v)))
     }
 
     /// Removes every edge `(u, v)` where `(v, u)` is also present —
@@ -84,13 +146,13 @@ impl AdjMatrix {
     pub fn remove_two_cycles(&mut self) -> usize {
         let mut removed = 0;
         for u in 0..self.n {
-            // Collect first: we mutate rows[u] and rows[v] as we go.
-            let both: Vec<usize> = self.rows[u].iter().filter(|&v| v >= u).collect();
+            // Collect first: we mutate row u and row v as we go.
+            let both: Vec<usize> = self.successors(u).filter(|&v| v >= u).collect();
             for v in both {
                 if u == v {
                     self.remove_edge(u, u);
                     removed += 1;
-                } else if self.rows[v].contains(u) {
+                } else if self.has_edge(v, u) {
                     self.remove_edge(u, v);
                     self.remove_edge(v, u);
                     removed += 2;
@@ -120,14 +182,30 @@ impl AdjMatrix {
         }
         m
     }
+
+    /// Copies row `u` into an owned [`BitSet`] of capacity `n` (the
+    /// bridge to callers that accumulate into bitsets).
+    pub fn row_bitset(&self, u: usize) -> BitSet {
+        BitSet::from_words(self.row_words(u), self.n)
+    }
 }
 
 impl fmt::Debug for AdjMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "AdjMatrix ({} nodes, {} edges)", self.n, self.edge_count)?;
         for u in 0..self.n {
-            if !self.rows[u].is_empty() {
-                writeln!(f, "  {} -> {:?}", u, self.rows[u])?;
+            let mut succ = self.successors(u).peekable();
+            if succ.peek().is_some() {
+                write!(f, "  {u} -> {{")?;
+                let mut first = true;
+                for v in succ {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                    first = false;
+                }
+                writeln!(f, "}}")?;
             }
         }
         Ok(())
@@ -149,6 +227,67 @@ mod tests {
         assert!(m.remove_edge(0, 1));
         assert!(!m.remove_edge(0, 1));
         assert_eq!(m.edge_count(), 0);
+    }
+
+    #[test]
+    fn storage_is_one_contiguous_buffer() {
+        // 130 nodes → 3 words per row, 390 words total, one allocation.
+        let mut m = AdjMatrix::new(130);
+        assert_eq!(m.words_per_row(), 3);
+        assert_eq!(m.words().len(), 130 * 3);
+        m.add_edge(1, 0);
+        m.add_edge(1, 64);
+        m.add_edge(1, 129);
+        // Row 1 occupies words [3, 6) of the flat buffer.
+        assert_eq!(&m.words()[3..6], &[1, 1, 2]);
+        // Row views are slices of that same buffer.
+        assert_eq!(m.row_words(1), &m.words()[3..6]);
+        assert_eq!(m.successors(1).collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn zero_and_tiny_sizes() {
+        let m = AdjMatrix::new(0);
+        assert_eq!(m.words().len(), 0);
+        assert_eq!(m.edges().count(), 0);
+        let mut m = AdjMatrix::new(1);
+        assert_eq!(m.words().len(), 1);
+        m.add_edge(0, 0);
+        assert!(m.has_edge(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut m = AdjMatrix::new(3);
+        m.add_edge(0, 3);
+    }
+
+    #[test]
+    fn union_row_with_words_tracks_edge_count() {
+        let mut m = AdjMatrix::new(70);
+        m.add_edge(0, 1);
+        m.add_edge(1, 2);
+        m.add_edge(1, 69);
+        let row1 = m.row_words(1).to_vec();
+        let added = m.union_row_with_words(0, &row1);
+        assert_eq!(added, 2);
+        assert_eq!(m.edge_count(), 5);
+        assert_eq!(m.successors(0).collect::<Vec<_>>(), vec![1, 2, 69]);
+        // Re-unioning the same bits adds nothing.
+        assert_eq!(m.union_row_with_words(0, &row1), 0);
+        assert_eq!(m.edge_count(), 5);
+    }
+
+    #[test]
+    fn row_bitset_round_trips() {
+        let mut m = AdjMatrix::new(100);
+        for v in [0usize, 63, 64, 99] {
+            m.add_edge(7, v);
+        }
+        let row = m.row_bitset(7);
+        assert_eq!(row.capacity(), 100);
+        assert_eq!(row.iter().collect::<Vec<_>>(), vec![0, 63, 64, 99]);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! A bump arena for bitset scratch rows.
+//!
+//! The mining stages allocate short-lived boolean-matrix scratch — the
+//! per-execution induced subgraph and descendant DP rows of Appendix A's
+//! transitive reduction, frontier rows in the parallel kernels — whose
+//! sizes change with every execution. Allocating fresh `Vec<BitSet>`s
+//! per execution puts `n` heap allocations on the hot path; the arena
+//! replaces them with one growable `u64` region that is recycled with
+//! [`reset`](Arena::reset) between executions (or stages) and only
+//! grows monotonically to the session's high-water mark.
+//!
+//! The arena hands out zeroed `&mut [u64]` word blocks; callers treat
+//! them as packed bitset rows via [`crate::words`]. Because an
+//! allocation mutably borrows the arena, at most one live block exists
+//! at a time — callers that need several rows allocate one block and
+//! [`split_at_mut`](slice::split_at_mut) it, which is exactly the shape
+//! the reduction kernels want (all rows of a DP table share a lifetime).
+
+/// Cumulative allocation statistics for one [`Arena`], in bytes.
+///
+/// `bytes_allocated` counts every word handed out by
+/// [`Arena::alloc`] over the arena's lifetime (8 bytes per word), not
+/// the backing capacity; `high_water_bytes` is the largest in-use
+/// footprint between two resets — i.e. the real memory the arena pins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total bytes handed out by `alloc` (cumulative across resets).
+    pub bytes_allocated: u64,
+    /// Number of `reset` calls.
+    pub resets: u64,
+    /// Largest number of bytes in use between two resets.
+    pub high_water_bytes: u64,
+}
+
+impl ArenaStats {
+    /// Folds another arena's statistics into this one (bytes and resets
+    /// add; high-water takes the maximum). Used when parallel workers
+    /// each own an arena and the join barrier aggregates telemetry.
+    pub fn merge(&mut self, other: &ArenaStats) {
+        self.bytes_allocated += other.bytes_allocated;
+        self.resets += other.resets;
+        self.high_water_bytes = self.high_water_bytes.max(other.high_water_bytes);
+    }
+}
+
+/// A bump allocator over `u64` words; see the module docs.
+#[derive(Debug, Default)]
+pub struct Arena {
+    words: Vec<u64>,
+    used: usize,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    /// An empty arena; the backing region grows on first use.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// An arena whose region already holds `words` words, avoiding
+    /// growth during the first allocations.
+    pub fn with_capacity(words: usize) -> Arena {
+        Arena {
+            words: vec![0; words],
+            used: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Recycles the region: subsequent allocations reuse it from the
+    /// start. Existing blocks must have been dropped (the borrow
+    /// checker guarantees it — `alloc` borrows the arena mutably).
+    pub fn reset(&mut self) {
+        self.stats.resets += 1;
+        self.stats.high_water_bytes = self
+            .stats
+            .high_water_bytes
+            .max((self.used * WORD_BYTES) as u64);
+        self.used = 0;
+    }
+
+    /// Allocates a zeroed block of `words` words from the region,
+    /// growing it if needed. The block borrows the arena, so only one
+    /// block is live at a time; split it for multiple rows.
+    pub fn alloc(&mut self, words: usize) -> &mut [u64] {
+        let start = self.used;
+        let end = start + words;
+        if end > self.words.len() {
+            self.words.resize(end, 0);
+        }
+        self.used = end;
+        self.stats.bytes_allocated += (words * WORD_BYTES) as u64;
+        let block = &mut self.words[start..end];
+        block.fill(0);
+        block
+    }
+
+    /// Words currently handed out since the last reset.
+    pub fn in_use(&self) -> usize {
+        self.used
+    }
+
+    /// Cumulative allocation statistics (see [`ArenaStats`]). The
+    /// high-water mark also reflects the current in-use footprint, so
+    /// reading stats mid-stage does not under-report.
+    pub fn stats(&self) -> ArenaStats {
+        let mut s = self.stats;
+        s.high_water_bytes = s.high_water_bytes.max((self.used * WORD_BYTES) as u64);
+        s
+    }
+}
+
+const WORD_BYTES: usize = std::mem::size_of::<u64>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_zeroed_blocks_and_tracks_stats() {
+        let mut a = Arena::new();
+        let block = a.alloc(4);
+        assert_eq!(block, &[0u64; 4]);
+        block[0] = u64::MAX;
+        let more = a.alloc(2);
+        assert_eq!(more, &[0u64; 2], "second block is fresh");
+        assert_eq!(a.in_use(), 6);
+        let s = a.stats();
+        assert_eq!(s.bytes_allocated, 6 * 8);
+        assert_eq!(s.resets, 0);
+        assert_eq!(s.high_water_bytes, 6 * 8);
+    }
+
+    #[test]
+    fn reset_recycles_and_zeroes_reused_memory() {
+        let mut a = Arena::new();
+        a.alloc(3).fill(u64::MAX);
+        a.reset();
+        assert_eq!(a.in_use(), 0);
+        let block = a.alloc(3);
+        assert_eq!(block, &[0u64; 3], "recycled memory is re-zeroed");
+        let s = a.stats();
+        assert_eq!(s.resets, 1);
+        assert_eq!(s.bytes_allocated, 6 * 8, "bytes accumulate across resets");
+        assert_eq!(
+            s.high_water_bytes,
+            3 * 8,
+            "high-water is per-epoch, not cumulative"
+        );
+    }
+
+    #[test]
+    fn high_water_tracks_largest_epoch() {
+        let mut a = Arena::new();
+        a.alloc(2);
+        a.reset();
+        a.alloc(10);
+        a.reset();
+        a.alloc(1);
+        assert_eq!(a.stats().high_water_bytes, 10 * 8);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut a = Arena::with_capacity(8);
+        let block = a.alloc(8);
+        assert_eq!(block.len(), 8);
+        assert_eq!(a.stats().bytes_allocated, 8 * 8);
+    }
+
+    #[test]
+    fn split_block_gives_independent_rows() {
+        let mut a = Arena::new();
+        let block = a.alloc(6);
+        let (sub, desc) = block.split_at_mut(3);
+        sub[0] = 1;
+        desc[2] = 2;
+        assert_eq!(sub, &[1, 0, 0]);
+        assert_eq!(desc, &[0, 0, 2]);
+    }
+
+    #[test]
+    fn stats_merge_adds_and_maxes() {
+        let mut a = ArenaStats {
+            bytes_allocated: 10,
+            resets: 2,
+            high_water_bytes: 100,
+        };
+        let b = ArenaStats {
+            bytes_allocated: 5,
+            resets: 1,
+            high_water_bytes: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.bytes_allocated, 15);
+        assert_eq!(a.resets, 3);
+        assert_eq!(a.high_water_bytes, 100);
+    }
+}

@@ -85,6 +85,36 @@ impl BitSet {
         self.blocks.iter().all(|&b| b == 0)
     }
 
+    /// Builds a set of capacity `len` from a raw block slice (e.g. an
+    /// [`crate::AdjMatrix`] row view). Panics if `words` is not exactly
+    /// `ceil(len / 64)` blocks; bits at positions `>= len` must be
+    /// clear.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(BITS),
+            "block count mismatch for BitSet of capacity {len}"
+        );
+        BitSet {
+            blocks: words.to_vec(),
+            len,
+        }
+    }
+
+    /// The backing blocks, least-significant word first.
+    pub fn as_words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// `self |= words` for a raw block slice of the same width (e.g. an
+    /// [`crate::AdjMatrix`] row view). Panics on width mismatch.
+    pub fn union_with_words(&mut self, words: &[u64]) {
+        assert_eq!(self.blocks.len(), words.len(), "BitSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(words) {
+            *a |= b;
+        }
+    }
+
     /// `self |= other`. Panics if capacities differ.
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "BitSet capacity mismatch");

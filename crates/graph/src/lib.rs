@@ -50,6 +50,7 @@ mod bitset;
 mod digraph;
 mod error;
 
+pub mod arena;
 pub mod budget;
 pub mod diff;
 pub mod dominators;
@@ -61,8 +62,10 @@ pub mod reach;
 pub mod reduction;
 pub mod scc;
 pub mod topo;
+pub mod words;
 
 pub use adjmatrix::AdjMatrix;
+pub use arena::{Arena, ArenaStats};
 pub use bitset::BitSet;
 pub use budget::Budget;
 pub use digraph::{DiGraph, EdgeIter, NodeId};

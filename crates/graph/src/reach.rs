@@ -50,15 +50,12 @@ pub fn transitive_closure<N>(g: &DiGraph<N>) -> AdjMatrix {
 /// dense followings matrices the miners build.
 pub fn closure_in_place(m: &mut AdjMatrix) {
     let n = m.node_count();
+    let mut row_k = vec![0u64; m.words_per_row()];
     for k in 0..n {
-        let row_k = m.row(k).clone();
+        row_k.copy_from_slice(m.row_words(k));
         for u in 0..n {
             if u != k && m.has_edge(u, k) {
-                let mut row_u = m.row(u).clone();
-                row_u.union_with(&row_k);
-                for v in row_u.iter() {
-                    m.add_edge(u, v);
-                }
+                m.union_row_with_words(u, &row_k);
             }
         }
     }

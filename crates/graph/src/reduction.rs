@@ -17,9 +17,10 @@
 //! [`transitive_reduction_naive`] is the per-edge-DFS reference used to
 //! cross-check it in tests and as the baseline of ablation A1.
 
+use crate::arena::Arena;
 use crate::budget::Budget;
 use crate::topo::topological_sort;
-use crate::{AdjMatrix, BitSet, DiGraph, GraphError, NodeId};
+use crate::{words, AdjMatrix, BitSet, DiGraph, GraphError, NodeId};
 use std::collections::VecDeque;
 
 /// Computes the transitive reduction of the DAG `g` (Appendix A,
@@ -74,24 +75,29 @@ pub fn transitive_reduction_matrix_budgeted(
 ) -> Result<AdjMatrix, GraphError> {
     let order = topo_order_matrix_budgeted(m, budget)?;
     let n = m.node_count();
-    let mut desc: Vec<BitSet> = vec![BitSet::new(n); n];
+    let wpr = m.words_per_row();
+    // One arena block holds the whole descendant DP table (n rows) plus
+    // the scratch row `dv` — a single allocation for the entire descent.
+    let mut arena = Arena::new();
+    let block = arena.alloc((n + 1) * wpr);
+    let (desc, dv) = block.split_at_mut(n * wpr);
     let mut reduced = m.clone();
 
     for &vi in order.iter().rev() {
         budget.check()?;
-        let mut dv = BitSet::new(n);
+        dv.fill(0);
         for s in m.successors(vi) {
-            dv.union_with(&desc[s]);
+            words::union(dv, &desc[s * wpr..(s + 1) * wpr]);
         }
         for s in m.successors(vi) {
-            if dv.contains(s) {
+            if words::contains(dv, s) {
                 reduced.remove_edge(vi, s);
             }
         }
         for s in reduced.successors(vi) {
-            dv.insert(s);
+            words::insert(dv, s);
         }
-        desc[vi] = dv;
+        desc[vi * wpr..(vi + 1) * wpr].copy_from_slice(dv);
     }
     Ok(reduced)
 }
@@ -128,37 +134,39 @@ pub fn transitive_reduction_matrix_parallel_budgeted(
     // first budget gate.
     topo_order_matrix_budgeted(m, budget)?;
     let n = m.node_count();
+    let wpr = m.words_per_row();
     let chunk = n.div_ceil(threads).max(1);
 
-    // Pass 1: per-vertex descendant sets by independent DFS.
-    let desc: Vec<BitSet> = {
-        let parts: Vec<Result<Vec<BitSet>, GraphError>> = std::thread::scope(|scope| {
+    // Pass 1: per-vertex descendant sets by independent BFS. Each
+    // worker fills a flat word-row slab for its vertex range; the slabs
+    // concatenate into one contiguous descendant matrix.
+    let desc: Vec<u64> = {
+        let parts: Vec<Result<Vec<u64>, GraphError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .step_by(chunk)
                 .map(|lo| {
                     let hi = (lo + chunk).min(n);
                     scope.spawn(move || {
-                        let mut rows = Vec::with_capacity(hi - lo);
-                        let mut frontier = BitSet::new(n);
-                        let mut next = BitSet::new(n);
+                        let mut rows = vec![0u64; (hi - lo) * wpr];
+                        let mut arena = Arena::with_capacity(2 * wpr);
                         for v in lo..hi {
                             budget.check()?;
-                            let mut dv = BitSet::new(n);
-                            frontier.clear();
-                            frontier.union_with(m.row(v));
+                            arena.reset();
+                            let (mut frontier, mut next) = arena.alloc(2 * wpr).split_at_mut(wpr);
+                            frontier.copy_from_slice(m.row_words(v));
+                            let dv = &mut rows[(v - lo) * wpr..(v - lo + 1) * wpr];
                             // Wave-front reachability: each vertex joins
                             // the frontier at most once, paying one row
                             // union when it is expanded.
-                            while frontier.count() > 0 {
-                                dv.union_with(&frontier);
-                                next.clear();
-                                for u in frontier.iter() {
-                                    next.union_with(m.row(u));
+                            while words::any(frontier) {
+                                words::union(dv, frontier);
+                                next.fill(0);
+                                for u in words::ones(frontier) {
+                                    words::union(next, m.row_words(u));
                                 }
-                                next.difference_with(&dv);
+                                words::difference(next, dv);
                                 std::mem::swap(&mut frontier, &mut next);
                             }
-                            rows.push(dv);
                         }
                         Ok(rows)
                     })
@@ -172,7 +180,7 @@ pub fn transitive_reduction_matrix_parallel_budgeted(
                 })
                 .collect()
         });
-        let mut desc = Vec::with_capacity(n);
+        let mut desc = Vec::with_capacity(n * wpr);
         for part in parts {
             desc.extend(part?);
         }
@@ -189,15 +197,15 @@ pub fn transitive_reduction_matrix_parallel_budgeted(
                 let hi = (lo + chunk).min(n);
                 scope.spawn(move || {
                     let mut redundant = Vec::new();
-                    let mut dv = BitSet::new(n);
+                    let mut dv = vec![0u64; wpr];
                     for v in lo..hi {
                         budget.check()?;
-                        dv.clear();
+                        dv.fill(0);
                         for s in m.successors(v) {
-                            dv.union_with(&desc[s]);
+                            words::union(&mut dv, &desc[s * wpr..(s + 1) * wpr]);
                         }
                         for s in m.successors(v) {
-                            if dv.contains(s) {
+                            if words::contains(&dv, s) {
                                 redundant.push((v, s));
                             }
                         }

@@ -1,0 +1,146 @@
+//! Set operations on raw packed-bit word rows.
+//!
+//! [`crate::AdjMatrix`] rows and [`crate::arena::Arena`] blocks are
+//! plain `[u64]` slices; these free functions give them the same
+//! vocabulary as [`crate::BitSet`] without wrapping them in an owning
+//! type. Bit `i` of a row lives in word `i / 64`, position `i % 64`;
+//! callers guarantee `i` is within the row's capacity (the slice length
+//! bounds-checks the word index).
+
+const BITS: usize = u64::BITS as usize;
+
+/// Sets bit `bit` in `row`.
+#[inline]
+pub fn insert(row: &mut [u64], bit: usize) {
+    row[bit / BITS] |= 1u64 << (bit % BITS);
+}
+
+/// Clears bit `bit` in `row`.
+#[inline]
+pub fn remove(row: &mut [u64], bit: usize) {
+    row[bit / BITS] &= !(1u64 << (bit % BITS));
+}
+
+/// Tests bit `bit` of `row`.
+#[inline]
+pub fn contains(row: &[u64], bit: usize) -> bool {
+    row[bit / BITS] & (1u64 << (bit % BITS)) != 0
+}
+
+/// `dst |= src`. Panics if the rows differ in width.
+#[inline]
+pub fn union(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "row width mismatch");
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a |= b;
+    }
+}
+
+/// `dst &= !src` (set difference). Panics if the rows differ in width.
+#[inline]
+pub fn difference(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "row width mismatch");
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a &= !b;
+    }
+}
+
+/// `true` if any bit of `row` is set.
+#[inline]
+pub fn any(row: &[u64]) -> bool {
+    row.iter().any(|&w| w != 0)
+}
+
+/// Number of set bits in `row`.
+#[inline]
+pub fn count(row: &[u64]) -> usize {
+    row.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Iterates the set bits of `row` in increasing order.
+pub fn ones(row: &[u64]) -> WordOnes<'_> {
+    WordOnes {
+        words: row,
+        word_idx: 0,
+        bits: row.first().copied().unwrap_or(0),
+    }
+}
+
+/// Iterator over set bits of a word row, in increasing order.
+pub struct WordOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    bits: u64,
+}
+
+impl Iterator for WordOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.bits = self.words[self.word_idx];
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.word_idx * BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_across_word_boundary() {
+        let mut row = vec![0u64; 3];
+        insert(&mut row, 0);
+        insert(&mut row, 63);
+        insert(&mut row, 64);
+        insert(&mut row, 130);
+        assert!(contains(&row, 0) && contains(&row, 63));
+        assert!(contains(&row, 64) && contains(&row, 130));
+        assert!(!contains(&row, 1) && !contains(&row, 65));
+        remove(&mut row, 64);
+        assert!(!contains(&row, 64));
+        assert_eq!(count(&row), 3);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a = vec![0u64; 2];
+        let mut b = vec![0u64; 2];
+        for bit in [1usize, 2, 70] {
+            insert(&mut a, bit);
+        }
+        for bit in [2usize, 3, 99] {
+            insert(&mut b, bit);
+        }
+        union(&mut a, &b);
+        assert_eq!(ones(&a).collect::<Vec<_>>(), vec![1, 2, 3, 70, 99]);
+        difference(&mut a, &b);
+        assert_eq!(ones(&a).collect::<Vec<_>>(), vec![1, 70]);
+    }
+
+    #[test]
+    fn any_and_empty_iteration() {
+        let row = vec![0u64; 2];
+        assert!(!any(&row));
+        assert_eq!(ones(&row).count(), 0);
+        assert_eq!(ones(&[]).count(), 0);
+        let mut row = row;
+        insert(&mut row, 127);
+        assert!(any(&row));
+        assert_eq!(ones(&row).collect::<Vec<_>>(), vec![127]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn union_width_mismatch_panics() {
+        let mut a = vec![0u64; 2];
+        union(&mut a, &[0u64; 3]);
+    }
+}

@@ -48,6 +48,7 @@ mod log_impl;
 mod ops;
 
 pub mod codec;
+pub mod columnar;
 pub mod fault;
 pub mod stats;
 pub mod stream;
@@ -55,6 +56,7 @@ pub mod validate;
 
 pub use activity::{ActivityId, ActivityTable};
 pub use codec::{IngestError, IngestReport, RecoveryPolicy};
+pub use columnar::{CompactLog, EventColumns, ExecColumns};
 pub use error::LogError;
 pub use event::{EventKind, EventRecord};
 pub use execution::{ActivityInstance, Execution};
